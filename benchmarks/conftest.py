@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure, prints the reproduced
+rows/series next to the paper's values, and times the run via
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print an experiment's reproduction report (visible with -s or -rA)."""
+    print()
+    print(result.render())
+
+
+def check(result, allow_deviations: tuple = ()) -> None:
+    """Fail the benchmark if any toleranced comparison deviates."""
+    failures = [
+        f"{c.quantity}: paper={c.paper_value} measured={c.measured_value} ({c.deviation_pct:+.1f}%)"
+        for c in result.comparisons
+        if c.within_tolerance is False and c.quantity not in allow_deviations
+    ]
+    assert not failures, f"{result.experiment_id} deviates:\n" + "\n".join(failures)

@@ -1,0 +1,157 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §7.
+
+Each ablation regenerates a decision-relevant comparison:
+
+* filling policy (first-fit vs round-robin vs balanced) under loss model A;
+* slot guard time (0 / 1.5 / 3 s) — capacity and crossover sensitivity;
+* analytic cycle model vs discrete-event simulation;
+* SVM vs CNN service choice.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.allocator import Allocator, BalancedPolicy, FirstFitPolicy, RoundRobinPolicy
+from repro.core.calibration import CYCLE_SECONDS, PAPER
+from repro.core.dessim import run_des_fleet
+from repro.core.losses import LossConfig, SaturationPenalty
+from repro.core.routines import make_scenario
+from repro.core.server import paper_server
+from repro.core.simulate import simulate_allocation_energy, simulate_fleet
+from repro.core.sweep import sweep_clients
+from repro.experiments.report import ExperimentResult
+from repro.util.tabulate import render_table
+
+
+def test_ablation_filling_policy_under_saturation(benchmark):
+    """Loss A penalizes saturated slots, so slot-spreading policies should
+    beat the paper's first-fit whenever spare slots exist."""
+    server = paper_server("svm", max_parallel=10)
+    losses = LossConfig(saturation=SaturationPenalty())
+    n_clients = 100  # slots available to spread into (capacity 180)
+
+    def run():
+        rows = []
+        for name, policy in (
+            ("first-fit (paper)", FirstFitPolicy()),
+            ("round-robin", RoundRobinPolicy()),
+            ("balanced", BalancedPolicy()),
+        ):
+            allocator = Allocator(server, losses=losses, policy=policy)
+            alloc = allocator.allocate(n_clients)
+            energy = simulate_allocation_energy(alloc, server, losses=losses)
+            rows.append((name, alloc.n_servers, energy, energy / n_clients))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    result = ExperimentResult("ablation-policy", "Filling policy under loss A")
+    result.tables.append(
+        render_table(
+            ["Policy", "Servers", "Server energy (J)", "J/client"],
+            rows,
+            formats=[None, "d", ".0f", ".1f"],
+        )
+    )
+    emit(result)
+    first_fit, round_robin, balanced = (r[2] for r in rows)
+    assert balanced <= round_robin <= first_fit
+    assert balanced < first_fit  # spreading strictly helps at this occupancy
+
+
+def test_ablation_slot_guard_time(benchmark):
+    """Guard time sets the slot count (and thus capacity and crossover)."""
+
+    def run():
+        rows = []
+        for guard in (0.0, 1.5, 3.0):
+            srv = paper_server("svm", max_parallel=35)
+            srv = type(srv)(
+                name=srv.name, idle_watts=srv.idle_watts, receive_watts=srv.receive_watts,
+                transfer_s=srv.transfer_s, service=srv.service, guard_s=guard,
+                max_parallel=srv.max_parallel,
+            )
+            slots = srv.slots_per_cycle(CYCLE_SECONDS)
+            full = srv.cycle_energy([35] * slots) / (slots * 35)
+            rows.append((guard, slots, slots * 35, full))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    result = ExperimentResult("ablation-guard", "Slot guard time sensitivity")
+    result.tables.append(
+        render_table(
+            ["Guard (s)", "Slots/cycle", "Capacity", "Server J/client (full)"],
+            rows,
+            formats=[".1f", "d", "d", ".1f"],
+        )
+    )
+    emit(result)
+    slot_counts = [r[1] for r in rows]
+    assert slot_counts[0] >= slot_counts[1] >= slot_counts[2]
+    # The paper's geometry: guard 1.5 s -> 18 slots -> 630-client server.
+    assert rows[1][1] == 18 and rows[1][2] == 630
+
+
+def test_ablation_des_vs_analytic(benchmark):
+    """The event-driven replay agrees with the closed-form model exactly;
+    the benchmark records their relative cost."""
+    scenario = make_scenario("edge+cloud", "svm", max_parallel=10)
+
+    def run():
+        des = run_des_fleet(120, scenario, n_cycles=1)
+        analytic = simulate_fleet(120, scenario)
+        return des, analytic
+
+    des, analytic = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert des.server_energy_j == pytest.approx(analytic.server_energy_j, rel=1e-9)
+    assert des.edge_energy_j == pytest.approx(analytic.edge_energy_j, rel=1e-9)
+
+
+def test_ablation_service_choice_svm_vs_cnn(benchmark):
+    """§V: the service choice moves edge cost by ~0.3% and cloud cost by
+    ~0.4% — placement, not model choice, dominates."""
+
+    def run():
+        out = {}
+        for model in ("svm", "cnn"):
+            edge = make_scenario("edge", model)
+            cloud = make_scenario("edge+cloud", model, max_parallel=10)
+            cap = cloud.server.slots_per_cycle() * 10
+            full = simulate_fleet(cap, cloud)
+            out[model] = (edge.client_cycle_energy, full.total_energy_per_client)
+        return out
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    result = ExperimentResult("ablation-service", "SVM vs CNN service")
+    result.tables.append(
+        render_table(
+            ["Model", "Edge J/client", "Edge+Cloud best J/client"],
+            [(m, *v) for m, v in out.items()],
+            formats=[None, ".1f", ".1f"],
+        )
+    )
+    emit(result)
+    edge_delta = abs(out["cnn"][0] - out["svm"][0]) / out["svm"][0]
+    assert edge_delta < 0.01  # paper: 0.3%
+
+
+def test_ablation_sweep_grid_density(benchmark):
+    """Crossover locations are stable under grid refinement."""
+    from repro.core.crossover import find_crossover
+
+    edge = make_scenario("edge", "svm")
+    cloud = make_scenario("edge+cloud", "svm", max_parallel=35)
+
+    def run():
+        out = {}
+        for step in (1, 5, 10):
+            n = np.arange(100, 2001, step)
+            e = sweep_clients(n, edge)
+            c = sweep_clients(n, cloud)
+            rep = find_crossover(n, e.total_energy_per_client, c.total_energy_per_client)
+            out[step] = rep.first_crossover
+        return out
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    values = list(out.values())
+    assert max(values) - min(values) <= 10

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 (week-long trace and wake-up spikes)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import fig2_trace
+
+
+def test_fig2_week_trace(benchmark):
+    result = benchmark.pedantic(lambda: fig2_trace.run(days=7.0, seed=11), rounds=1, iterations=1)
+    emit(result)
+    check(result)

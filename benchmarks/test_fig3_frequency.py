@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 3 (average power vs wake-up frequency)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import fig3_frequency
+
+
+def test_fig3_frequency(benchmark):
+    result = benchmark.pedantic(fig3_frequency.run, rounds=5, iterations=1)
+    emit(result)
+    check(result)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 5 (CNN energy & accuracy vs image size).
+
+The energy curve uses the full ResNet-18 FLOP model at the paper's sizes.
+The accuracy curve trains on a mid-scale synthetic corpus (the paper-scale
+1647×10 s corpus produces the same curve but takes far longer; the corpus
+spec is one argument away).
+"""
+
+from benchmarks.conftest import check, emit
+from repro.audio.dataset import DatasetSpec
+from repro.experiments import fig5_imagesize
+
+
+def test_fig5_energy_and_accuracy(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_imagesize.run(
+            sizes=(20, 40, 60, 100, 140, 180, 220),
+            dataset_spec=DatasetSpec.small(n_samples=240, clip_duration=3.0, seed=5),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    check(result)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (ideal large-scale simulation)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import fig6_ideal
+
+
+def test_fig6_ideal(benchmark):
+    result = benchmark.pedantic(fig6_ideal.run, rounds=3, iterations=1)
+    emit(result)
+    check(result)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 (edge vs edge+cloud crossovers)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import fig7_crossover
+
+
+def test_fig7_crossover(benchmark):
+    result = benchmark.pedantic(fig7_crossover.run, rounds=3, iterations=1)
+    emit(result)
+    check(result)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 (loss models A/B/C and their combination)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import fig8_losses
+
+
+def test_fig8_losses(benchmark):
+    result = benchmark.pedantic(fig8_losses.run, rounds=3, iterations=1)
+    emit(result)
+    check(result)

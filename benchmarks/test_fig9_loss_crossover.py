@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 (loss-laden crossover at 35 clients/slot)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import fig9_loss_crossover
+
+
+def test_fig9_loss_crossover(benchmark):
+    result = benchmark.pedantic(fig9_loss_crossover.run, rounds=3, iterations=1)
+    emit(result)
+    check(result)

@@ -1,0 +1,58 @@
+"""Performance benchmarks for the hot computational kernels.
+
+These are not paper artifacts — they guard the vectorized implementations
+(mel pipeline, im2col convolution, Gram matrix, fleet sweep) against
+performance regressions, per the optimize-by-measurement workflow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.routines import EDGE_CLOUD_SVM
+from repro.core.sweep import sweep_clients
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+from repro.ml.kernels import rbf_kernel
+from repro.ml.nn.layers import Conv2d
+from repro.ml.nn.resnet import resnet18
+
+
+@pytest.fixture(scope="module")
+def audio_clip():
+    return np.random.default_rng(0).normal(size=220500)  # 10 s @ 22 050 Hz
+
+
+def test_mel_spectrogram_10s_clip(benchmark, audio_clip):
+    """Full paper-settings mel pipeline on one 10-second clip."""
+    mel = MelSpectrogram(SpectrogramConfig())
+    out = benchmark(mel.db, audio_clip)
+    assert out.shape == (128, 431)
+
+
+def test_conv2d_forward(benchmark):
+    """A ResNet-stage-sized convolution via im2col."""
+    conv = Conv2d(64, 64, 3, stride=1, padding=1, seed=0)
+    x = np.random.default_rng(0).normal(size=(4, 64, 25, 25))
+    out = benchmark(conv.forward, x)
+    assert out.shape == (4, 64, 25, 25)
+
+
+def test_resnet18_inference_small(benchmark):
+    """Quarter-width ResNet-18 forward pass at 64x64."""
+    model = resnet18(in_channels=1, width=0.25, seed=0)
+    x = np.random.default_rng(0).normal(size=(1, 1, 64, 64))
+    logits = benchmark(lambda: model.forward(x, training=False))
+    assert logits.shape == (1, 2)
+
+
+def test_rbf_gram_matrix(benchmark):
+    """Gram matrix of a paper-scale SVM training set (1647 x 256 features)."""
+    X = np.random.default_rng(0).normal(size=(1647, 256))
+    K = benchmark(rbf_kernel, X, X, 1e-5)
+    assert K.shape == (1647, 1647)
+
+
+def test_fleet_sweep_2000_points(benchmark):
+    """The closed-form sweep over 2000 fleet sizes (Figure 7's grid)."""
+    n = np.arange(1, 2001)
+    result = benchmark(sweep_clients, n, EDGE_CLOUD_SVM)
+    assert result.n_servers[-1] > 0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table I (edge scenario task breakdown)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import table1_edge
+
+
+def test_table1_edge(benchmark):
+    result = benchmark.pedantic(table1_edge.run, rounds=3, iterations=1)
+    emit(result)
+    check(result)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table II (edge+cloud task breakdown)."""
+
+from benchmarks.conftest import check, emit
+from repro.experiments import table2_edgecloud
+
+
+def test_table2_edgecloud(benchmark):
+    result = benchmark.pedantic(table2_edgecloud.run, rounds=3, iterations=1)
+    emit(result)
+    check(result)

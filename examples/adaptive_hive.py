@@ -1,0 +1,52 @@
+"""Adaptive beehive intelligence (the paper's future-work scenario).
+
+The paper's conclusion proposes letting the connected beehive "tune its
+parameters and choose between a set of scenarios".  This example runs that
+idea: an energy-aware controller that re-plans the wake-up period every hour
+from the battery level and a learned solar-harvest forecast, compared with
+the §IV fixed schedules, across weather regimes.
+
+Run:
+    python examples/adaptive_hive.py
+"""
+
+from repro.core.adaptive import AdaptiveDutyCycle, DutyCyclePolicy, simulate_adaptive_week
+from repro.util.tabulate import render_table
+from repro.util.units import MINUTE
+
+
+def main(seed: int = 11) -> None:
+    controller = AdaptiveDutyCycle(DutyCyclePolicy())
+    for cloudiness, label in ((0.3, "mostly sunny"), (0.5, "mixed"), (0.7, "overcast")):
+        rows = []
+        for name, kwargs in (
+            ("fixed 5 min", {"fixed_period": 5 * MINUTE}),
+            ("fixed 30 min", {"fixed_period": 30 * MINUTE}),
+            ("fixed 120 min", {"fixed_period": 120 * MINUTE}),
+            ("adaptive", {"controller": controller}),
+        ):
+            run = simulate_adaptive_week(cloudiness=cloudiness, seed=seed, **kwargs)
+            rows.append((
+                name,
+                f"{run.uptime_fraction:.1%}",
+                int(run.cycles_completed),
+                run.mean_period / MINUTE,
+                run.soc.min(),
+            ))
+        print(render_table(
+            ["Schedule", "Uptime", "Cycles/week", "Mean period (min)", "Min SoC"],
+            rows,
+            formats=[None, None, "d", ".0f", ".2f"],
+            title=f"One week, cloudiness {cloudiness:.0%} ({label})",
+        ))
+        print()
+    print(
+        "Reading: the adaptive schedule matches the slow schedule's 100%\n"
+        "uptime while collecting an order of magnitude more data — it speeds\n"
+        "up when the battery and forecast allow and backs off before nights\n"
+        "it could not survive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Capacity planning for a cooperative of beekeepers.
+
+Scenario: several beekeepers pool their smart beehives behind shared cloud
+servers ("an organization of several beekeepers putting their hardware in
+one unique network", §VI).  This example answers the operator questions:
+
+1. How many servers does a fleet of N hives need, with and without
+   real-world losses?
+2. At what fleet size does the shared cloud become the energy-efficient
+   choice, and how does the per-slot admission cap move that point?
+3. How much solar-side energy does each hive save by offloading?
+
+Run:
+    python examples/apiary_scaling.py
+"""
+
+import numpy as np
+
+from repro.core.crossover import find_crossover, tipping_max_parallel
+from repro.core.losses import LossConfig
+from repro.core.routines import make_scenario
+from repro.core.sweep import sweep_clients
+from repro.util.tabulate import render_table
+
+
+def main() -> None:
+    edge = make_scenario("edge", "svm")
+    fleet = np.arange(50, 2001)
+
+    # --- Q1: server provisioning table -----------------------------------
+    cloud35 = make_scenario("edge+cloud", "svm", max_parallel=35)
+    ideal = sweep_clients(fleet, cloud35)
+    lossy = sweep_clients(fleet, cloud35, losses=LossConfig.all_paper(), seed=42)
+    rows = []
+    for n in (100, 250, 500, 1000, 1500, 2000):
+        i = int(np.searchsorted(fleet, n))
+        rows.append((n, int(ideal.n_servers[i]), int(lossy.n_servers[i]),
+                     ideal.total_energy_per_client[i], lossy.total_energy_per_client[i]))
+    print(render_table(
+        ["Hives", "Servers (ideal)", "Servers (lossy)", "J/hive (ideal)", "J/hive (lossy)"],
+        rows,
+        formats=["d", "d", "d", ".1f", ".1f"],
+        title="Provisioning a shared apiary network (35 hives per time slot)",
+    ))
+
+    # --- Q2: crossover vs per-slot admission cap ------------------------------
+    print()
+    edge_sweep = sweep_clients(fleet, edge)
+    rows = []
+    for parallel in (10, 20, 26, 35, 50):
+        cloud = make_scenario("edge+cloud", "svm", max_parallel=parallel)
+        sweep = sweep_clients(fleet, cloud)
+        rep = find_crossover(fleet, edge_sweep.total_energy_per_client, sweep.total_energy_per_client)
+        rows.append((
+            parallel,
+            sweep.slots_per_server * parallel,
+            rep.first_crossover if rep.first_crossover else "never",
+            f"{rep.max_gap_j:.1f}" if rep.max_gap_j > 0 else "-",
+            f"{rep.fraction_cloud_better:.0%}",
+        ))
+    print(render_table(
+        ["Clients/slot", "Server capacity", "First crossover", "Max gain (J/hive)", "Cloud wins on"],
+        rows,
+        title="When does the shared cloud beat edge-only? (ideal conditions)",
+    ))
+    tip = tipping_max_parallel(edge, make_scenario("edge+cloud", "svm"))
+    print(f"\nTipping admission cap (paper: 26 clients/slot): {tip}")
+
+    # --- Q3: solar-side savings -----------------------------------------------
+    cloud_client = make_scenario("edge+cloud", "svm").client
+    edge_client = edge.client
+    per_day = (edge_client.cycle_energy - cloud_client.cycle_energy) * 86400 / edge_client.period
+    print(
+        f"\nEach hive's solar budget saves "
+        f"{edge_client.cycle_energy - cloud_client.cycle_energy:.1f} J per 5-minute cycle "
+        f"({per_day/3600:.1f} Wh/day) by offloading — "
+        "bought with grid energy at the server."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""The queen-detection service end to end, with its energy price tag.
+
+Synthesizes a labeled hive-audio corpus, extracts the paper's mel-spectrogram
+features, trains the SVM classifier (paper settings: RBF, C=20) and a small
+CNN, evaluates both, and prices each model's inference on the Raspberry Pi
+3b+ with the calibrated FLOP → energy model.
+
+Run:
+    python examples/queen_detection_pipeline.py
+"""
+
+import numpy as np
+
+from repro.audio.dataset import DatasetSpec, QueenDataset
+from repro.core.calibration import PAPER
+from repro.dsp.features import mel_statistics
+from repro.dsp.image import spectrogram_to_image
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+from repro.ml.metrics import accuracy, confusion_matrix, precision_recall_f1
+from repro.ml.nn.flops import InferenceCostModel, count_flops
+from repro.ml.nn.resnet import resnet18, small_cnn
+from repro.ml.nn.train import TrainConfig, Trainer
+from repro.ml.scaler import StandardScaler
+from repro.ml.split import train_test_split
+from repro.ml.svm import SVC
+from repro.util.tabulate import render_kv, render_table
+
+
+def main(n_samples: int = 240, clip_duration: float = 3.0, seed: int = 5) -> None:
+    # --- corpus & features ------------------------------------------------
+    print(f"Synthesizing {n_samples} hive clips of {clip_duration:g} s ...")
+    dataset = QueenDataset(DatasetSpec.small(n_samples=n_samples, clip_duration=clip_duration, seed=seed))
+    mel = MelSpectrogram(SpectrogramConfig())  # paper: n_fft 2048, hop 512, 128 mels
+    specs, labels = dataset.features(mel.db)
+
+    # --- SVM on mel statistics ----------------------------------------------
+    X = np.stack([mel_statistics(s) for s in specs])
+    Xtr, Xte, ytr, yte = train_test_split(X, labels, test_fraction=0.3, seed=seed)
+    scaler = StandardScaler()
+    svm = SVC(C=20.0, kernel="rbf", gamma="scale", seed=seed)
+    svm.fit(scaler.fit_transform(Xtr), ytr)
+    svm_preds = svm.predict(scaler.transform(Xte))
+
+    # --- CNN on 32x32 spectrogram images ------------------------------------
+    images = np.stack([spectrogram_to_image(s, 32) for s in specs])[:, None]
+    Itr, Ite, yitr, yite = train_test_split(images, labels, test_fraction=0.3, seed=seed)
+    trainer = Trainer(small_cnn(seed=seed), TrainConfig(epochs=6, lr=0.01, batch_size=16, seed=seed))
+    trainer.fit(Itr, yitr)
+    cnn_acc = trainer.evaluate(Ite, yite)
+
+    # --- report accuracy ------------------------------------------------------
+    prf = precision_recall_f1(yte, svm_preds, positive=1)
+    print(render_kv(
+        [
+            ("SVM accuracy", f"{accuracy(yte, svm_preds):.3f}"),
+            ("SVM precision / recall / F1",
+             f"{prf['precision']:.3f} / {prf['recall']:.3f} / {prf['f1']:.3f}"),
+            ("CNN (miniature) accuracy", f"{cnn_acc:.3f}"),
+        ],
+        title="\nQueen detection on held-out clips",
+    ))
+    print("\nSVM confusion matrix (rows: true queenless/queenright):")
+    print(confusion_matrix(yte, svm_preds, labels=[0, 1]))
+
+    # --- energy price on the Pi 3b+ -------------------------------------------
+    model = resnet18(in_channels=1)
+    anchor = count_flops(model, (1, PAPER.cnn_image_size, PAPER.cnn_image_size))
+    cost = InferenceCostModel.calibrate(
+        anchor_flops=anchor, anchor_seconds=PAPER.cnn_edge_s,
+        active_watts=PAPER.cnn_edge_j / PAPER.cnn_edge_s, fixed_overhead_s=5.0,
+    )
+    rows = []
+    for size in (32, 64, 100, 160):
+        flops = count_flops(model, (1, size, size))
+        t, e = cost.cost(flops)
+        rows.append((f"{size}x{size}", flops / 1e9, t, e))
+    print()
+    print(render_table(
+        ["CNN input", "GFLOPs", "Pi 3b+ time (s)", "Pi 3b+ energy (J)"],
+        rows,
+        formats=[None, ".2f", ".1f", ".1f"],
+        title="ResNet-18 inference cost at the edge (calibrated to the paper's 100x100 anchor)",
+    ))
+    print("\nThe SVM costs", f"{PAPER.svm_edge_j:.1f} J", "at the edge vs",
+          f"{PAPER.svm_cloud_j:.1f} J", "in the cloud — placement, not model choice, decides.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: where should the queen-detection service run?
+
+Builds the paper's two placements (edge vs edge+cloud), simulates a fleet of
+smart beehives for one 5-minute cycle, and prints the per-client energy
+comparison plus the crossover analysis.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import EDGE_CLOUD_SVM, EDGE_SVM, simulate_fleet, sweep_clients, find_crossover
+from repro.util.tabulate import render_table
+
+
+def main() -> None:
+    # --- one fleet, both placements ------------------------------------
+    fleet_size = 400
+    edge = simulate_fleet(fleet_size, EDGE_SVM)
+    cloud = simulate_fleet(fleet_size, EDGE_CLOUD_SVM, max_parallel=35)
+
+    print(
+        render_table(
+            ["Placement", "Servers", "Edge J/client", "Server J/client", "Total J/client"],
+            [
+                ("edge only", edge.n_servers, edge.edge_energy_per_client, 0.0,
+                 edge.total_energy_per_client),
+                ("edge + cloud", cloud.n_servers, cloud.edge_energy_per_client,
+                 cloud.server_energy_per_client, cloud.total_energy_per_client),
+            ],
+            formats=[None, "d", ".1f", ".1f", ".1f"],
+            title=f"One 5-minute cycle, {fleet_size} smart beehives",
+        )
+    )
+    saving = 1.0 - cloud.edge_energy_per_client / edge.total_energy_per_client
+    print(f"\nOffloading saves {saving:.1%} of each beehive's scarce solar energy")
+    print("(the cloud server pays the difference from grid power).\n")
+
+    # --- where does edge+cloud win end-to-end? -----------------------------
+    n = np.arange(100, 2001)
+    edge_sweep = sweep_clients(n, EDGE_SVM)
+    cloud_sweep = sweep_clients(n, EDGE_CLOUD_SVM, max_parallel=35)
+    report = find_crossover(
+        n, edge_sweep.total_energy_per_client, cloud_sweep.total_energy_per_client
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Solar autonomy study: picking the wake-up frequency for a hive.
+
+Recreates the §IV trade-off on synthetic weather: higher wake-up frequencies
+collect more data but drain the battery faster; overcast weeks push frequent
+schedules into night-time outages (the dark gaps of Figure 2a).  For each
+wake-up period and weather regime, the example simulates a week of the full
+energy chain (panel → converter → battery → duty-cycled load) and reports
+uptime, outages and the data-collection yield.
+
+Run:
+    python examples/solar_autonomy.py
+"""
+
+import numpy as np
+
+from repro.core.client import average_power_for_period
+from repro.devices.specs import RASPBERRY_PI_ZERO_WH
+from repro.energy.battery import Battery
+from repro.energy.converter import DCDCConverter
+from repro.energy.harvest import EnergyNode, HarvestSimulation
+from repro.energy.solar import SolarPanel
+from repro.sensing.weather import WeatherModel
+from repro.util.tabulate import render_table
+from repro.util.units import DAY, MINUTE
+
+
+def simulate_week(wakeup_period: float, cloudiness: float, seed: int) -> dict:
+    weather = WeatherModel(cloudiness=cloudiness).generate(duration=7 * DAY, step=300.0, seed=seed)
+    load = RASPBERRY_PI_ZERO_WH.power["idle"] + average_power_for_period(wakeup_period)
+    node = EnergyNode(
+        panel=SolarPanel(),
+        converter=DCDCConverter(),
+        battery=Battery(capacity_joules=Battery.DEFAULT_CAPACITY * 0.25, soc=0.6),
+    )
+    sim = HarvestSimulation(
+        node,
+        irradiance_fn=lambda t: float(weather.irradiance.at(t)),
+        load_fn=lambda t, available: load,
+        step=300.0,
+    )
+    result = sim.run(7 * DAY)
+    cycles_possible = int(7 * DAY / wakeup_period)
+    cycles_collected = int(result.uptime_fraction * cycles_possible)
+    return {
+        "uptime": result.uptime_fraction,
+        "outages": len(result.outages()),
+        "cycles": cycles_collected,
+        "audio_hours": cycles_collected * 3 * 10 / 3600.0,  # 3 x 10 s clips per cycle
+    }
+
+
+def main(seed: int = 11) -> None:
+    for cloudiness, label in ((0.2, "sunny spring week"), (0.7, "overcast week")):
+        rows = []
+        for period_min in (5, 10, 15, 30, 60, 120):
+            stats = simulate_week(period_min * MINUTE, cloudiness, seed)
+            rows.append((
+                period_min,
+                average_power_for_period(period_min * MINUTE),
+                f"{stats['uptime']:.0%}",
+                stats["outages"],
+                stats["cycles"],
+                stats["audio_hours"],
+            ))
+        print(render_table(
+            ["Wake-up (min)", "Avg power (W)", "Uptime", "Outages", "Cycles/week", "Audio (h)"],
+            rows,
+            formats=["d", ".2f", None, "d", "d", ".1f"],
+            title=f"One week, cloudiness={cloudiness:.0%} ({label})",
+        ))
+        print()
+    print(
+        "Reading: frequent wake-ups maximize data yield in good weather but\n"
+        "multiply outages when the sky closes — the §IV motivation for making\n"
+        "the wake-up frequency a tunable, service-dependent parameter."
+    )
+
+
+if __name__ == "__main__":
+    main()

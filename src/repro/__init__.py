@@ -1,0 +1,59 @@
+"""repro — energy-aware edge/cloud orchestration for precision beekeeping.
+
+A from-scratch reproduction of Hadjur, Lefèvre & Ammar, *Services
+Orchestration at the Edge and in the Cloud on Energy-Aware Precision
+Beekeeping Systems* (PAISE @ IPDPS 2023).
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: calibrated scenarios (Tables I/II), the
+    client/server/allocator large-scale model, loss models, sweeps and
+    crossover analysis.
+``repro.energy`` / ``repro.devices`` / ``repro.sensing`` / ``repro.network``
+    The physical substrates: solar/battery energy node, device power-state
+    machines, synthetic weather, Wi-Fi links.
+``repro.audio`` / ``repro.dsp`` / ``repro.ml``
+    The queen-detection service: synthetic hive audio, mel-spectrogram
+    pipeline, SMO SVM and a NumPy CNN stack (ResNet-18) with a FLOP/energy
+    model.
+``repro.des``
+    A discrete-event kernel used to cross-validate the analytic simulator.
+``repro.experiments``
+    One module per paper table/figure plus the registry behind the
+    ``repro-exp`` CLI.
+"""
+
+from repro.core import (
+    PAPER,
+    CYCLE_SECONDS,
+    EDGE_SVM,
+    EDGE_CNN,
+    EDGE_CLOUD_SVM,
+    EDGE_CLOUD_CNN,
+    Scenario,
+    LossConfig,
+    simulate_fleet,
+    sweep_clients,
+    find_crossover,
+)
+from repro.experiments import run_experiment, experiment_ids
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER",
+    "CYCLE_SECONDS",
+    "EDGE_SVM",
+    "EDGE_CNN",
+    "EDGE_CLOUD_SVM",
+    "EDGE_CLOUD_CNN",
+    "Scenario",
+    "LossConfig",
+    "simulate_fleet",
+    "sweep_clients",
+    "find_crossover",
+    "run_experiment",
+    "experiment_ids",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Waveform augmentation for the queen-detection corpus.
+
+Small labeled bioacoustic corpora (the paper's is 1647 clips) are routinely
+expanded with label-preserving transforms.  All transforms here are
+deterministic given a seed and preserve clip length, dtype and the class
+cue (which lives in spectral *structure*, not absolute level or phase).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedLike, derive_seed, make_rng
+from repro.util.validation import check_in_range, check_non_negative
+
+
+def _check_clip(clip: np.ndarray) -> np.ndarray:
+    clip = np.asarray(clip)
+    if clip.ndim != 1:
+        raise ValueError(f"clip must be 1-D, got shape {clip.shape}")
+    return clip
+
+
+def time_shift(clip: np.ndarray, max_fraction: float = 0.2, seed: SeedLike = None) -> np.ndarray:
+    """Circularly shift by up to ``max_fraction`` of the clip length."""
+    clip = _check_clip(clip)
+    check_in_range(max_fraction, "max_fraction", 0.0, 1.0)
+    rng = make_rng(seed)
+    max_shift = int(clip.size * max_fraction)
+    if max_shift == 0:
+        return clip.copy()
+    shift = int(rng.integers(-max_shift, max_shift + 1))
+    return np.roll(clip, shift)
+
+
+def add_noise(clip: np.ndarray, snr_db: float = 20.0, seed: SeedLike = None) -> np.ndarray:
+    """Add white noise at the given signal-to-noise ratio (dB)."""
+    clip = _check_clip(clip).astype(np.float64)
+    rng = make_rng(seed)
+    power = float(np.mean(clip**2))
+    if power == 0:
+        return clip.astype(np.float32)
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    noisy = clip + rng.normal(0.0, np.sqrt(noise_power), size=clip.size)
+    peak = np.abs(noisy).max()
+    if peak > 1.0:
+        noisy /= peak
+    return noisy.astype(np.float32)
+
+
+def gain(clip: np.ndarray, max_db: float = 6.0, seed: SeedLike = None) -> np.ndarray:
+    """Random gain in ±``max_db`` dB, clipped to [-1, 1]."""
+    clip = _check_clip(clip).astype(np.float64)
+    check_non_negative(max_db, "max_db")
+    rng = make_rng(seed)
+    factor = 10.0 ** (rng.uniform(-max_db, max_db) / 20.0)
+    return np.clip(clip * factor, -1.0, 1.0).astype(np.float32)
+
+
+def polarity_invert(clip: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+    """Flip the waveform sign (phase-inversion; spectrally a no-op)."""
+    return (-_check_clip(clip)).astype(np.float32)
+
+
+#: Default augmentation menu.
+DEFAULT_TRANSFORMS: Sequence[Callable] = (time_shift, add_noise, gain, polarity_invert)
+
+
+class Augmenter:
+    """Deterministic corpus expander.
+
+    ``expand(clips, labels, factor)`` returns the original corpus plus
+    ``factor−1`` augmented copies of every clip, each produced by a
+    seed-derived random transform from the menu.
+    """
+
+    def __init__(self, transforms: Sequence[Callable] = DEFAULT_TRANSFORMS, seed: int = 0) -> None:
+        if not transforms:
+            raise ValueError("transform menu is empty")
+        self.transforms = list(transforms)
+        self.seed = int(seed)
+
+    def augment_clip(self, clip: np.ndarray, index: int, copy: int) -> np.ndarray:
+        """Produce augmented copy ``copy`` of clip ``index`` (deterministic)."""
+        rng = make_rng(derive_seed(self.seed, "augment", index, copy))
+        transform = self.transforms[int(rng.integers(len(self.transforms)))]
+        return transform(clip, seed=derive_seed(self.seed, "params", index, copy))
+
+    def expand(self, clips: Sequence[np.ndarray], labels: Sequence[int], factor: int = 2):
+        """Return ``(clips, labels)`` expanded by ``factor``×."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if len(clips) != len(labels):
+            raise ValueError("clips and labels lengths differ")
+        out_clips: List[np.ndarray] = []
+        out_labels: List[int] = []
+        for i, (clip, label) in enumerate(zip(clips, labels)):
+            out_clips.append(np.asarray(clip))
+            out_labels.append(int(label))
+            for copy in range(factor - 1):
+                out_clips.append(self.augment_clip(clip, i, copy))
+                out_labels.append(int(label))
+        return out_clips, np.asarray(out_labels)

@@ -1,0 +1,84 @@
+"""Command-line entry point: ``repro-exp [ids...]`` runs experiments.
+
+Examples
+--------
+``repro-exp --list``            list experiment ids
+``repro-exp fig3 table1``       run two experiments
+``repro-exp --all``             run everything (fig5 uses the fast backend)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import experiment_ids, run_experiment
+
+#: Experiments that accept a ``seed`` keyword.
+_SEEDABLE = {"fig2", "fig5", "fig8", "fig9", "ext-adaptive", "ext-contention"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Reproduce tables and figures of the energy-aware precision-beekeeping paper.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--all", action="store_true", help="run every paper experiment")
+    parser.add_argument(
+        "--extensions", action="store_true",
+        help="with --list/--all: include the future-work extension experiments",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed where applicable")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--plot", action="store_true", help="also draw the figure's curves as an ASCII chart")
+    parser.add_argument(
+        "--no-series", action="store_true", help="with --json: omit the (large) series arrays"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for eid in experiment_ids(include_extensions=args.extensions):
+            print(eid)
+        return 0
+    ids = experiment_ids(include_extensions=args.extensions) if args.all else args.ids
+    if not ids:
+        build_parser().print_help()
+        return 2
+    known = set(experiment_ids(include_extensions=True))
+    unknown = [i for i in ids if i not in known]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    json_out = []
+    for eid in ids:
+        kwargs = {}
+        if args.seed is not None and eid in _SEEDABLE:
+            kwargs["seed"] = args.seed
+        result = run_experiment(eid, **kwargs)
+        if args.json:
+            json_out.append(result.to_dict(include_series=not args.no_series))
+        else:
+            print(result.render())
+            if args.plot:
+                from repro.util.asciiplot import plot_experiment
+
+                chart = plot_experiment(result)
+                if chart:
+                    print()
+                    print(chart)
+            print()
+    if args.json:
+        import json
+
+        print(json.dumps(json_out, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

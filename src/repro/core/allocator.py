@@ -1,0 +1,193 @@
+"""The allocator: distribute clients over servers and time slots.
+
+The paper's allocator "takes a list of clients, creates servers based on
+their features, allocates every client to one server, and links them to a
+wake-up time slot", with a single filling policy: "filling a server with
+clients by filling one slot up to its maximum after another" — our
+:class:`FirstFitPolicy`.  :class:`RoundRobinPolicy` and
+:class:`BalancedPolicy` are documented extensions used by the ablation
+benchmarks (they interact with loss model A, which penalizes saturated
+slots).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import LossConfig
+from repro.core.server import ServerProfile, SlotPlan
+
+
+@dataclass(frozen=True)
+class ServerAssignment:
+    """One server's slot occupancy: ``slots[i]`` lists client ids in slot i."""
+
+    server_index: int
+    slots: tuple  # tuple[tuple[int, ...], ...]
+
+    @property
+    def n_clients(self) -> int:
+        return sum(len(s) for s in self.slots)
+
+    @property
+    def occupancies(self) -> List[int]:
+        return [len(s) for s in self.slots]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Full fleet → servers/slots mapping."""
+
+    servers: tuple  # tuple[ServerAssignment, ...]
+    plan: SlotPlan
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def n_clients(self) -> int:
+        return sum(s.n_clients for s in self.servers)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        seen = set()
+        for srv in self.servers:
+            if len(srv.slots) > self.plan.slots_per_cycle:
+                raise ValueError(
+                    f"server {srv.server_index} uses {len(srv.slots)} slots "
+                    f"(> {self.plan.slots_per_cycle} per cycle)"
+                )
+            for slot in srv.slots:
+                if len(slot) > self.plan.max_parallel:
+                    raise ValueError(
+                        f"server {srv.server_index}: slot holds {len(slot)} clients "
+                        f"(> max_parallel {self.plan.max_parallel})"
+                    )
+                for cid in slot:
+                    if cid in seen:
+                        raise ValueError(f"client {cid} allocated twice")
+                    seen.add(cid)
+
+
+class FillingPolicy(Protocol):
+    """Strategy interface: distribute ``client_ids`` into servers/slots."""
+
+    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation: ...
+
+
+class FirstFitPolicy:
+    """The paper's policy: fill each slot to the cap, slot by slot, server by server."""
+
+    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
+        servers: List[ServerAssignment] = []
+        ids = list(client_ids)
+        pos = 0
+        server_index = 0
+        while pos < len(ids):
+            slots = []
+            for _slot in range(plan.slots_per_cycle):
+                if pos >= len(ids):
+                    break
+                take = min(plan.max_parallel, len(ids) - pos)
+                slots.append(tuple(ids[pos : pos + take]))
+                pos += take
+            servers.append(ServerAssignment(server_index, tuple(slots)))
+            server_index += 1
+        alloc = Allocation(tuple(servers), plan)
+        alloc.validate()
+        return alloc
+
+
+class RoundRobinPolicy:
+    """Deal clients one-by-one across all slots of the current server.
+
+    Spreads occupancy within a server (delaying loss-A saturation) while
+    still opening the minimum number of servers.
+    """
+
+    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
+        ids = list(client_ids)
+        capacity = plan.capacity
+        servers: List[ServerAssignment] = []
+        for server_index in range(max(1, math.ceil(len(ids) / capacity)) if ids else 0):
+            chunk = ids[server_index * capacity : (server_index + 1) * capacity]
+            slots: List[List[int]] = [[] for _ in range(plan.slots_per_cycle)]
+            for i, cid in enumerate(chunk):
+                slots[i % plan.slots_per_cycle].append(cid)
+            servers.append(ServerAssignment(server_index, tuple(tuple(s) for s in slots if s)))
+        alloc = Allocation(tuple(servers), plan)
+        alloc.validate()
+        return alloc
+
+
+class BalancedPolicy:
+    """Spread clients as evenly as possible over *all* slots of *all* servers.
+
+    Uses the same minimal server count as first-fit but flattens occupancy
+    globally — the gentlest layout under loss model A.
+    """
+
+    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
+        ids = list(client_ids)
+        if not ids:
+            return Allocation((), plan)
+        n_servers = math.ceil(len(ids) / plan.capacity)
+        n_slots_total = n_servers * plan.slots_per_cycle
+        base, extra = divmod(len(ids), n_slots_total)
+        servers: List[ServerAssignment] = []
+        pos = 0
+        slot_global = 0
+        for server_index in range(n_servers):
+            slots = []
+            for _ in range(plan.slots_per_cycle):
+                take = base + (1 if slot_global < extra else 0)
+                slot_global += 1
+                if take == 0:
+                    continue
+                slots.append(tuple(ids[pos : pos + take]))
+                pos += take
+            servers.append(ServerAssignment(server_index, tuple(slots)))
+        alloc = Allocation(tuple(servers), plan)
+        alloc.validate()
+        return alloc
+
+
+class Allocator:
+    """Front door: size slots for a server/loss combination and apply a policy."""
+
+    def __init__(
+        self,
+        server: ServerProfile,
+        period: float = CYCLE_SECONDS,
+        losses: Optional[LossConfig] = None,
+        policy: Optional[FillingPolicy] = None,
+    ) -> None:
+        self.server = server
+        self.period = period
+        self.losses = losses or LossConfig.none()
+        self.policy = policy or FirstFitPolicy()
+        extra = (
+            self.losses.transfer.sizing_extra_s(server.max_parallel)
+            if self.losses.transfer is not None
+            else 0.0
+        )
+        self.sizing_extra_s = extra
+        self.plan = SlotPlan.for_server(server, period, extra_transfer_s=extra)
+
+    def allocate(self, n_clients: int) -> Allocation:
+        """Allocate ``n_clients`` anonymous clients (ids 0..n-1)."""
+        if n_clients < 0:
+            raise ValueError("n_clients must be >= 0")
+        return self.policy.allocate(range(n_clients), self.plan)
+
+    def servers_required(self, n_clients: int) -> int:
+        """Minimum number of servers for ``n_clients``."""
+        if n_clients < 0:
+            raise ValueError("n_clients must be >= 0")
+        if n_clients == 0:
+            return 0
+        return math.ceil(n_clients / self.plan.capacity)

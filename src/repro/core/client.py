@@ -1,0 +1,112 @@
+"""Client (smart beehive) model.
+
+A client is described by its sleep power, its per-cycle active task sequence
+and its wake-up period.  §IV's Figure 3 (average power vs wake-up
+frequency) is :func:`average_power_for_period` evaluated across periods; the
+§VI simulation charges :func:`client_cycle_energy` per client per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.calibration import PAPER, PaperConstants
+from repro.core.tasks import TaskSequence
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """Energy profile of one edge client.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier.
+    active_tasks:
+        The tasks executed each wake-up (sleep excluded — it is the residual).
+    sleep_watts:
+        Draw while waiting for the next wake-up call.
+    period:
+        Seconds between consecutive wake-ups.
+    wake_surge_j:
+        Per-wake-up energy not captured inside the task windows (§IV boot
+        surge; see :class:`repro.core.calibration.PaperConstants`).
+    """
+
+    name: str
+    active_tasks: TaskSequence
+    sleep_watts: float
+    period: float
+    wake_surge_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.sleep_watts, "sleep_watts")
+        check_positive(self.period, "period")
+        check_non_negative(self.wake_surge_j, "wake_surge_j")
+        if self.active_tasks.total_duration > self.period:
+            raise ValueError(
+                f"client {self.name!r}: active tasks take {self.active_tasks.total_duration:.1f} s "
+                f"but the period is only {self.period:.1f} s"
+            )
+
+    @property
+    def active_duration(self) -> float:
+        return self.active_tasks.total_duration
+
+    @property
+    def sleep_duration(self) -> float:
+        """Residual sleep per cycle."""
+        return self.period - self.active_tasks.total_duration
+
+    @property
+    def sleep_energy(self) -> float:
+        return self.sleep_watts * self.sleep_duration
+
+    @property
+    def cycle_energy(self) -> float:
+        """Joules per full cycle (active + surge + residual sleep)."""
+        return self.active_tasks.total_energy + self.wake_surge_j + self.sleep_energy
+
+    @property
+    def average_power(self) -> float:
+        """Long-run average watts at this period."""
+        return self.cycle_energy / self.period
+
+    def with_period(self, period: float) -> "ClientProfile":
+        """Copy at a different wake-up period."""
+        return ClientProfile(self.name, self.active_tasks, self.sleep_watts, period, self.wake_surge_j)
+
+
+def client_cycle_energy(profile: ClientProfile) -> float:
+    """Energy of one client cycle (convenience alias)."""
+    return profile.cycle_energy
+
+
+def average_power_for_period(
+    period: float,
+    constants: PaperConstants = PAPER,
+) -> float:
+    """§IV model: average Pi 3b+ power for a wake-up ``period``.
+
+    One routine of ``constants.routine.energy_j`` (plus the boot surge) per
+    period, sleep for the remainder.  Converges to ``sleep_watts`` for long
+    periods and reaches Figure 3's 1.19 W at 5 minutes.
+    """
+    check_positive(period, "period")
+    routine = constants.routine
+    if period < routine.duration_s:
+        raise ValueError(
+            f"period {period:.0f} s is shorter than one routine ({routine.duration_s:.0f} s)"
+        )
+    active_e = routine.energy_j + constants.wake_surge_j
+    sleep_e = constants.sleep_watts * (period - routine.duration_s)
+    return (active_e + sleep_e) / period
+
+
+def fig3_curve(constants: PaperConstants = PAPER) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """(periods, average powers) across the paper's Figure 3 frequencies."""
+    periods = constants.wakeup_periods_s
+    powers = tuple(average_power_for_period(p, constants) for p in periods)
+    return periods, powers

@@ -1,0 +1,125 @@
+"""Crossover analysis between the edge and edge+cloud scenarios (Figure 7).
+
+Given two per-client cost curves over the same fleet sizes, finds
+
+* the **first crossover**: smallest fleet at which edge+cloud matches or
+  beats edge (paper: 406 clients at 35 clients/slot);
+* the **permanent crossover**: smallest fleet from which edge+cloud stays
+  at least as cheap for every larger evaluated fleet (paper: 803);
+* the **maximum gap** in favour of edge+cloud and where it occurs
+  (paper: 12.5 J at 630 clients);
+* the **tipping capacity**: the smallest per-slot cap for which a *full*
+  server makes edge+cloud competitive at all (paper: 26 clients/slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.routines import Scenario
+from repro.core.simulate import occupied_slot_energy
+from repro.util.tabulate import render_kv
+
+
+@dataclass(frozen=True)
+class CrossoverReport:
+    """Summary of an edge vs edge+cloud comparison over a fleet-size grid."""
+
+    first_crossover: Optional[int]  # fleet size, None if edge always wins
+    permanent_crossover: Optional[int]
+    max_gap_j: float  # positive = edge+cloud advantage
+    max_gap_at: Optional[int]
+    fraction_cloud_better: float
+
+    def render(self) -> str:
+        return render_kv(
+            [
+                ("first crossover (clients)", self.first_crossover),
+                ("permanent crossover (clients)", self.permanent_crossover),
+                ("max edge+cloud advantage (J/client)", f"{self.max_gap_j:.1f}"),
+                ("at fleet size", self.max_gap_at),
+                ("fraction of grid where edge+cloud wins", f"{self.fraction_cloud_better:.1%}"),
+            ],
+            title="Edge vs Edge+Cloud crossover",
+        )
+
+
+def find_crossover(
+    n_clients: np.ndarray,
+    edge_per_client: np.ndarray,
+    cloud_per_client: np.ndarray,
+) -> CrossoverReport:
+    """Analyse two aligned per-client cost curves."""
+    n = np.asarray(n_clients)
+    edge = np.asarray(edge_per_client, dtype=float)
+    cloud = np.asarray(cloud_per_client, dtype=float)
+    if not (n.shape == edge.shape == cloud.shape):
+        raise ValueError("n_clients, edge and cloud curves must be aligned")
+    if n.size == 0:
+        raise ValueError("empty curves")
+    better = cloud <= edge
+    first = int(n[np.argmax(better)]) if better.any() else None
+    # Permanent: last index where cloud is worse; permanent point is the next one.
+    if better.all():
+        permanent = int(n[0])
+    elif not better.any():
+        permanent = None
+    else:
+        last_worse = np.nonzero(~better)[0][-1]
+        permanent = int(n[last_worse + 1]) if last_worse + 1 < n.size else None
+    gap = edge - cloud
+    imax = int(np.argmax(gap))
+    max_gap = float(gap[imax])
+    return CrossoverReport(
+        first_crossover=first,
+        permanent_crossover=permanent,
+        max_gap_j=max_gap,
+        max_gap_at=int(n[imax]) if max_gap > 0 else None,
+        fraction_cloud_better=float(np.mean(better)),
+    )
+
+
+def tipping_max_parallel(
+    edge_scenario: Scenario,
+    cloud_scenario: Scenario,
+    period: float = CYCLE_SECONDS,
+    search_to: int = 200,
+) -> int:
+    """Smallest per-slot cap at which a *fully used* server makes edge+cloud
+    at least as energy-efficient as edge (paper: 26).
+
+    At full capacity ``N = slots × p`` the per-client cost is
+    ``client_cycle + (idle·T + slots·marginal(p)) / (slots·p)``.
+    """
+    if cloud_scenario.is_edge_only:
+        raise ValueError("cloud_scenario must have a server")
+    edge_cost = edge_scenario.client.cycle_energy
+    client_cost = cloud_scenario.client.cycle_energy
+    base_server = cloud_scenario.server
+    for p in range(1, search_to + 1):
+        server = base_server.with_max_parallel(p)
+        slots = server.slots_per_cycle(period)
+        slot_dur = server.slot_duration()
+        marginal = occupied_slot_energy(server, p) - server.idle_watts * slot_dur
+        per_client = client_cost + (server.idle_watts * period + slots * marginal) / (slots * p)
+        if per_client <= edge_cost:
+            return p
+    raise ValueError(f"no tipping point up to max_parallel={search_to}")
+
+
+def crossover_report(
+    edge_sweep,
+    cloud_sweep,
+) -> CrossoverReport:
+    """Convenience: analyse two :class:`~repro.core.sweep.SweepResult` objects."""
+    if not np.array_equal(edge_sweep.n_clients, cloud_sweep.n_clients):
+        raise ValueError("sweeps must share the same fleet-size grid")
+    return find_crossover(
+        edge_sweep.n_clients,
+        edge_sweep.total_energy_per_client,
+        cloud_sweep.total_energy_per_client,
+    )

@@ -1,0 +1,195 @@
+"""Discrete-event cross-validation of the cycle-level model.
+
+The analytic simulator (:mod:`repro.core.simulate`) collapses each cycle to
+closed-form energy sums.  This module replays the same scenario event by
+event on the :mod:`repro.des` kernel — wake-ups, slot-boundary uploads,
+sequential service executions — charging real device objects, and returns
+per-entity ledgers.  Tests assert that the two agree to numerical precision,
+which guards both implementations against modelling drift.
+
+Observation windows: each client is observed over ``n_cycles`` periods
+*phase-aligned to its own wake-up offset* (energy per cycle is phase
+invariant, so this makes the ledgers exactly comparable to the analytic
+per-cycle figures without boundary effects).  Servers are observed over
+``[0, n_cycles × period)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.allocator import Allocation, Allocator, FillingPolicy
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.des.engine import Engine
+from repro.devices.device import AlwaysOnDevice, DutyCycledDevice
+from repro.devices.specs import CLOUD_SERVER_I7_RTX2070, RASPBERRY_PI_3B_PLUS
+
+
+@dataclass(frozen=True)
+class DesFleetResult:
+    """Per-entity energy ledgers from an event-driven run."""
+
+    n_cycles: int
+    period: float
+    client_accounts: tuple
+    server_accounts: tuple
+
+    @property
+    def edge_energy_j(self) -> float:
+        return sum(acc.total for acc in self.client_accounts)
+
+    @property
+    def server_energy_j(self) -> float:
+        return sum(acc.total for acc in self.server_accounts)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.edge_energy_j + self.server_energy_j
+
+    @property
+    def edge_energy_per_client_cycle(self) -> float:
+        n = len(self.client_accounts)
+        return self.edge_energy_j / (n * self.n_cycles) if n else 0.0
+
+    @property
+    def server_energy_per_cycle(self) -> float:
+        return self.server_energy_j / self.n_cycles
+
+
+def run_des_fleet(
+    n_clients: int,
+    scenario: Scenario,
+    period: float = CYCLE_SECONDS,
+    n_cycles: int = 1,
+    losses: Optional[LossConfig] = None,
+    policy: Optional[FillingPolicy] = None,
+) -> DesFleetResult:
+    """Replay ``n_cycles`` of the scenario event by event.
+
+    Loss model C (random client dropout) is excluded here — the DES run is
+    a deterministic validator; stochastic losses are exercised at the
+    analytic level where their statistics are testable in bulk.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    losses = losses or LossConfig.none()
+    if losses.client_loss is not None:
+        raise ValueError("run_des_fleet does not support loss model C (client dropout)")
+
+    engine = Engine()
+    horizon = n_cycles * period
+    tasks = list(scenario.client.active_tasks)
+    if scenario.client.active_tasks.total_duration > period:
+        raise ValueError("client tasks exceed the period")
+
+    # --- allocation & client wake offsets -----------------------------------
+    allocation: Optional[Allocation] = None
+    sizing_extra = 0.0
+    if scenario.is_edge_only:
+        wake_offsets = {i: 0.0 for i in range(n_clients)}
+    else:
+        allocator = Allocator(scenario.server, period=period, losses=losses, policy=policy)
+        allocation = allocator.allocate(n_clients)
+        sizing_extra = allocator.sizing_extra_s
+        # A client wakes so its upload lands on its slot boundary: the tasks
+        # before 'send_audio' run first.
+        pre_send = 0.0
+        for t in tasks:
+            if t.name == "send_audio":
+                break
+            pre_send += t.duration
+        slot_dur = scenario.server.slot_duration(sizing_extra)
+        wake_offsets = {}
+        for srv in allocation.servers:
+            for slot_idx, slot in enumerate(srv.slots):
+                for cid in slot:
+                    wake_offsets[cid] = max(slot_idx * slot_dur - pre_send, 0.0)
+
+    # --- client processes -----------------------------------------------------
+    clients: List[DutyCycledDevice] = []
+    client_ends: List[float] = []
+
+    def client_proc(device: DutyCycledDevice, offset: float):
+        for cycle in range(n_cycles):
+            wake = cycle * period + offset
+            delay = wake - engine.now
+            if delay > 0:
+                yield engine.timeout(delay)
+            device.sleep_until(engine.now)
+            end = device.run_routine(engine.now, tasks)
+            yield engine.timeout(end - engine.now)
+
+    for cid in range(n_clients):
+        offset = wake_offsets[cid]
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
+        clients.append(dev)
+        client_ends.append(offset + horizon)
+        engine.process(client_proc(dev, offset))
+
+    # --- server processes -------------------------------------------------------
+    servers: List[AlwaysOnDevice] = []
+    if allocation is not None:
+        profile = scenario.server
+        slot_dur = profile.slot_duration(sizing_extra)
+
+        def server_proc(device: AlwaysOnDevice, occupancies: List[int]):
+            for cycle in range(n_cycles):
+                base = cycle * period
+                for slot_idx, k in enumerate(occupancies):
+                    if k == 0:
+                        continue
+                    start = base + slot_idx * slot_dur
+                    delay = start - engine.now
+                    if delay > 0:
+                        yield engine.timeout(delay)
+                    device.idle_until(engine.now)
+                    actual_extra = losses.transfer.actual_extra_s(k) if losses.transfer else 0.0
+                    t_rx = profile.transfer_s + actual_extra
+                    device.excursion(engine.now, "receive", t_rx,
+                                     override=("receive", profile.receive_watts))
+                    # Service inferences pipeline with the slot timeline
+                    # (see ServerProfile.slot_energy): the device keeps
+                    # charging idle for the wall-clock, and the inferences
+                    # add their marginal energy over idling.
+                    svc_marginal = k * (
+                        profile.service.energy - profile.idle_watts * profile.service.duration
+                    )
+                    device.account.charge("service", svc_marginal, time=engine.now)
+                    if losses.saturation is not None:
+                        mult = losses.saturation.multiplier(k, profile.max_parallel)
+                        if mult > 1.0:
+                            active = (
+                                (profile.receive_watts - profile.idle_watts) * t_rx + svc_marginal
+                            )
+                            pen_base = (
+                                profile.idle_watts * slot_dur + active
+                                if losses.saturation.base == "slot"
+                                else active
+                            )
+                            device.account.charge(
+                                "saturation_penalty", (mult - 1.0) * pen_base, time=engine.now
+                            )
+
+        for srv in allocation.servers:
+            dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{srv.server_index}")
+            servers.append(dev)
+            engine.process(server_proc(dev, list(srv.occupancies)))
+
+    engine.run()  # drain every scheduled event
+
+    for dev, end in zip(clients, client_ends):
+        dev.finish(end)
+    for dev in servers:
+        dev.finish(horizon)
+
+    return DesFleetResult(
+        n_cycles=n_cycles,
+        period=period,
+        client_accounts=tuple(d.account for d in clients),
+        server_accounts=tuple(d.account for d in servers),
+    )

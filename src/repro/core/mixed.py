@@ -1,0 +1,182 @@
+"""Heterogeneous fleets: client groups with different wake-up periods.
+
+§IV motivates per-service wake-up frequencies ("for a service tracking the
+temperature ... every 60 or 120 minutes suffices; ... collecting data every
+5 minutes becomes reasonable").  This module extends the §VI simulation to
+fleets mixing such groups behind shared servers: a group whose period is
+``k×`` the base cycle only needs upload slots every k-th cycle, so staggering
+its phases lets one server carry far more slow clients than fast ones.
+
+Model: every group's period must be an integer multiple of the base cycle.
+Clients of a ``k×`` group are striped uniformly over ``k`` phases; per base
+cycle the due clients (one phase per group) are allocated first-fit to the
+shared slot plan.  Energy is accounted over the hyperperiod (LCM of all
+periods) and reported per base cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.client import ClientProfile
+from repro.core.losses import LossConfig
+from repro.core.server import ServerProfile, SlotPlan
+from repro.core.simulate import server_cycle_energy
+from repro.util.tabulate import render_table
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClientGroup:
+    """A homogeneous sub-fleet: ``count`` clients sharing one profile.
+
+    ``uploads`` may be False for edge-only groups (they consume no slots).
+    """
+
+    name: str
+    client: ClientProfile
+    count: int
+    uploads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"group {self.name!r}: count must be >= 0")
+
+    def period_multiple(self, base_period: float) -> int:
+        """The group's period as an integer multiple of the base cycle."""
+        ratio = self.client.period / base_period
+        k = int(round(ratio))
+        if k < 1 or abs(ratio - k) > 1e-9:
+            raise ValueError(
+                f"group {self.name!r}: period {self.client.period} is not an integer "
+                f"multiple of the base cycle {base_period}"
+            )
+        return k
+
+
+@dataclass(frozen=True)
+class MixedFleetResult:
+    """Hyperperiod-averaged outcome of a mixed fleet."""
+
+    hyperperiod: float
+    base_period: float
+    n_servers: int
+    edge_energy_per_cycle: float  # whole fleet, per base cycle
+    server_energy_per_cycle: float
+    group_edge_energy_per_cycle: Tuple[Tuple[str, float], ...]
+    due_per_cycle: Tuple[int, ...]  # clients uploading in each base cycle of the hyperperiod
+
+    @property
+    def total_energy_per_cycle(self) -> float:
+        return self.edge_energy_per_cycle + self.server_energy_per_cycle
+
+    @property
+    def peak_due(self) -> int:
+        return max(self.due_per_cycle) if self.due_per_cycle else 0
+
+    def render(self) -> str:
+        rows = list(self.group_edge_energy_per_cycle)
+        rows.append(("server(s)", self.server_energy_per_cycle))
+        rows.append(("total", self.total_energy_per_cycle))
+        return render_table(
+            ["Component", "J per base cycle"],
+            rows,
+            formats=[None, ".1f"],
+            title=(
+                f"Mixed fleet: {self.n_servers} server(s), peak {self.peak_due} uploads/cycle, "
+                f"hyperperiod {self.hyperperiod:.0f} s"
+            ),
+        )
+
+
+def _phase_counts(count: int, k: int) -> List[int]:
+    """Stripe ``count`` clients uniformly over ``k`` phases."""
+    base, extra = divmod(count, k)
+    return [base + (1 if p < extra else 0) for p in range(k)]
+
+
+def simulate_mixed_fleet(
+    groups: Sequence[ClientGroup],
+    server: Optional[ServerProfile],
+    base_period: float = CYCLE_SECONDS,
+    losses: Optional[LossConfig] = None,
+) -> MixedFleetResult:
+    """Simulate a heterogeneous fleet over one hyperperiod.
+
+    ``server`` may be ``None`` only if no group uploads.  Loss model C is
+    not supported here (dropout over a hyperperiod needs per-cycle draws
+    that would make the closed-form accounting misleading); A and B apply
+    as in the homogeneous simulator.
+    """
+    check_positive(base_period, "base_period")
+    if not groups:
+        raise ValueError("no client groups")
+    losses = losses or LossConfig.none()
+    if losses.client_loss is not None:
+        raise ValueError("simulate_mixed_fleet does not support loss model C")
+    uploading = [g for g in groups if g.uploads and g.count > 0]
+    if uploading and server is None:
+        raise ValueError("uploading groups require a server profile")
+
+    multiples = {g.name: g.period_multiple(base_period) for g in groups}
+    hyper_k = 1
+    for g in groups:
+        hyper_k = math.lcm(hyper_k, multiples[g.name])
+
+    # Due uploads per base cycle of the hyperperiod.
+    due = np.zeros(hyper_k, dtype=np.int64)
+    for g in uploading:
+        k = multiples[g.name]
+        counts = _phase_counts(g.count, k)
+        for phase, c in enumerate(counts):
+            due[phase::k] += c
+
+    # Server provisioning: enough servers for the busiest cycle.
+    n_servers = 0
+    server_energy_total = 0.0
+    if uploading:
+        assert server is not None
+        sizing_extra = (
+            losses.transfer.sizing_extra_s(server.max_parallel) if losses.transfer else 0.0
+        )
+        plan = SlotPlan.for_server(server, base_period, extra_transfer_s=sizing_extra)
+        peak = int(due.max())
+        n_servers = max(1, math.ceil(peak / plan.capacity))
+        p = server.max_parallel
+        for cycle_due in due:
+            # First-fit occupancies for this cycle across the server pool.
+            full, rem = divmod(int(cycle_due), p)
+            occupancies = [p] * full + ([rem] if rem else [])
+            # Distribute slot usage over the pool: energy is additive, so we
+            # charge the pool's idle baseline once per server and the slot
+            # marginals regardless of which server hosts them.
+            server_energy_total += n_servers * server.idle_watts * base_period
+            for k_occ in occupancies:
+                server_energy_total += (
+                    server_cycle_energy(server, [k_occ], base_period, sizing_extra, losses)
+                    - server.idle_watts * base_period
+                )
+
+    # Edge energy per base cycle: each group's cycle energy amortized.
+    group_rows = []
+    edge_total_per_cycle = 0.0
+    for g in groups:
+        k = multiples[g.name]
+        per_cycle = g.count * g.client.cycle_energy / k
+        group_rows.append((g.name, per_cycle))
+        edge_total_per_cycle += per_cycle
+
+    return MixedFleetResult(
+        hyperperiod=hyper_k * base_period,
+        base_period=base_period,
+        n_servers=n_servers,
+        edge_energy_per_cycle=edge_total_per_cycle,
+        server_energy_per_cycle=server_energy_total / hyper_k,
+        group_edge_energy_per_cycle=tuple(group_rows),
+        due_per_cycle=tuple(int(d) for d in due),
+    )

@@ -1,0 +1,164 @@
+"""Placement planner: choose between scenarios for a given deployment.
+
+The paper's conclusion calls for intelligence that can "choose between a
+set of scenarios".  :func:`plan_placement` evaluates every candidate
+(edge vs edge+cloud × service model × admission cap) for a fleet under a
+loss configuration and ranks them by the deployment's objective:
+
+* ``"total"`` — minimize end-to-end joules per client (grid + solar alike);
+* ``"edge"`` — minimize the *solar-side* joules per client (the paper's
+  argument that a solar joule is worth more than a grid joule, §VI-B);
+* ``"weighted"`` — minimize ``edge + grid_weight × server`` joules, making
+  the solar-vs-grid exchange rate explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario, make_scenario
+from repro.core.simulate import FleetResult, simulate_fleet
+from repro.util.rng import SeedLike
+from repro.util.tabulate import render_table
+from repro.util.validation import check_non_negative
+
+#: Objectives understood by the planner.
+OBJECTIVES = ("total", "edge", "weighted")
+
+
+@dataclass(frozen=True)
+class PlacementOption:
+    """One evaluated candidate."""
+
+    scenario: Scenario
+    result: FleetResult
+    objective_value: float
+
+    @property
+    def label(self) -> str:
+        if self.scenario.is_edge_only:
+            return self.scenario.name
+        return f"{self.scenario.name} @{self.scenario.server.max_parallel}/slot"
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Ranked candidates; ``best`` is the recommendation."""
+
+    objective: str
+    n_clients: int
+    options: Tuple[PlacementOption, ...]
+
+    @property
+    def best(self) -> PlacementOption:
+        return self.options[0]
+
+    def render(self) -> str:
+        rows = []
+        for opt in self.options:
+            r = opt.result
+            rows.append((
+                opt.label,
+                r.n_servers,
+                r.edge_energy_per_client,
+                r.server_energy_per_client,
+                r.total_energy_per_client,
+                opt.objective_value,
+            ))
+        return render_table(
+            ["Placement", "Servers", "Edge J/cl", "Server J/cl", "Total J/cl", "Objective"],
+            rows,
+            formats=[None, "d", ".1f", ".1f", ".1f", ".2f"],
+            title=f"Placement plan for {self.n_clients} clients (objective: {self.objective})",
+        )
+
+
+def _objective(result: FleetResult, objective: str, grid_weight: float) -> float:
+    if objective == "total":
+        return result.total_energy_per_client
+    if objective == "edge":
+        return result.edge_energy_per_client
+    if objective == "weighted":
+        return result.edge_energy_per_client + grid_weight * result.server_energy_per_client
+    raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+
+
+def plan_placement(
+    n_clients: int,
+    objective: str = "total",
+    grid_weight: float = 0.25,
+    models: Sequence[str] = ("svm", "cnn"),
+    max_parallels: Sequence[int] = (10, 20, 35, 50),
+    losses: Optional[LossConfig] = None,
+    period: float = CYCLE_SECONDS,
+    seed: SeedLike = 0,
+    constants: PaperConstants = PAPER,
+) -> PlacementPlan:
+    """Evaluate all placements for a fleet and rank by the objective.
+
+    ``grid_weight`` (only used by the ``"weighted"`` objective) is the
+    exchange rate of a grid joule against a solar joule: 0 means server
+    energy is free, 1 recovers the ``"total"`` objective.
+
+    Ties break toward fewer servers, then toward the edge-only scenario
+    (no infrastructure to operate).
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if objective not in OBJECTIVES:
+        raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+    check_non_negative(grid_weight, "grid_weight")
+
+    candidates: List[Scenario] = []
+    for model in models:
+        candidates.append(make_scenario("edge", model, constants=constants))
+        for parallel in max_parallels:
+            candidates.append(
+                make_scenario("edge+cloud", model, max_parallel=parallel, constants=constants)
+            )
+
+    options = []
+    for scenario in candidates:
+        result = simulate_fleet(
+            n_clients, scenario, period=period, losses=losses, seed=seed
+        )
+        options.append(
+            PlacementOption(scenario, result, _objective(result, objective, grid_weight))
+        )
+    options.sort(
+        key=lambda o: (o.objective_value, o.result.n_servers, not o.scenario.is_edge_only)
+    )
+    return PlacementPlan(objective=objective, n_clients=n_clients, options=tuple(options))
+
+
+def breakeven_grid_weight(
+    n_clients: int,
+    model: str = "svm",
+    max_parallel: int = 35,
+    losses: Optional[LossConfig] = None,
+    seed: SeedLike = 0,
+    constants: PaperConstants = PAPER,
+) -> float:
+    """Grid-joule weight at which edge-only and edge+cloud tie.
+
+    Below the returned weight the weighted objective prefers edge+cloud
+    (solar joules are precious); above it, edge-only.  Returns ``inf`` when
+    edge+cloud never wins (its edge share alone exceeds edge-only).
+    """
+    edge = simulate_fleet(n_clients, make_scenario("edge", model, constants=constants),
+                          losses=losses, seed=seed)
+    cloud = simulate_fleet(
+        n_clients,
+        make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants),
+        losses=losses,
+        seed=seed,
+    )
+    edge_saving = edge.edge_energy_per_client - cloud.edge_energy_per_client
+    if edge_saving <= 0:
+        return 0.0
+    if cloud.server_energy_per_client == 0:
+        return float("inf")
+    return edge_saving / cloud.server_energy_per_client

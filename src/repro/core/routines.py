@@ -1,0 +1,121 @@
+"""Scenario definitions: edge vs edge+cloud, SVM vs CNN.
+
+A :class:`Scenario` bundles a client profile with (for edge+cloud) a server
+profile; the four paper scenarios (``EDGE_SVM``, ``EDGE_CNN``,
+``EDGE_CLOUD_SVM``, ``EDGE_CLOUD_CNN``) are built from the Table I/II
+calibration and exposed as module constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants, table1_rows, table2_rows
+from repro.core.client import ClientProfile
+from repro.core.server import ServerProfile, paper_server
+from repro.core.tasks import TaskSequence
+from repro.energy.power import TaskPower
+
+
+def edge_scenario_tasks(model: str = "svm", constants: PaperConstants = PAPER) -> TaskSequence:
+    """Active (non-sleep) task sequence of the edge scenario (Table I)."""
+    rows = [t for t in table1_rows(model, constants) if t.name != "sleep"]
+    return TaskSequence(f"Edge ({model.upper()})", rows)
+
+
+def edge_cloud_client_tasks(model: str = "svm", constants: PaperConstants = PAPER) -> TaskSequence:
+    """Active task sequence of the edge side of the edge+cloud scenario (Table II)."""
+    rows = [t for t in table2_rows(model, constants)["edge"] if t.name != "sleep"]
+    return TaskSequence(f"Edge+Cloud ({model.upper()}) / edge side", rows)
+
+
+def data_collection_routine(constants: PaperConstants = PAPER) -> TaskSequence:
+    """§IV's bare data-collection routine (no intelligent service).
+
+    One aggregate task matching the measured 89 s / 190.1 J routine, used by
+    the Figure 2/3 experiments.
+    """
+    r = constants.routine
+    return TaskSequence(
+        "Data collection routine",
+        [TaskPower("collect_and_transfer", r.duration_s, measured_energy=r.energy_j)],
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A placement choice: where the queen-detection service runs.
+
+    ``server is None`` denotes the pure-edge scenario.
+    """
+
+    name: str
+    client: ClientProfile
+    server: Optional[ServerProfile] = None
+
+    @property
+    def is_edge_only(self) -> bool:
+        return self.server is None
+
+    @property
+    def client_cycle_energy(self) -> float:
+        """Joules one client spends per cycle."""
+        return self.client.cycle_energy
+
+    def with_max_parallel(self, max_parallel: int) -> "Scenario":
+        """Copy with the server's per-slot cap changed (edge+cloud only)."""
+        if self.server is None:
+            raise ValueError(f"scenario {self.name!r} has no server")
+        return Scenario(self.name, self.client, self.server.with_max_parallel(max_parallel))
+
+
+def _edge_client(model: str, constants: PaperConstants) -> ClientProfile:
+    return ClientProfile(
+        name=f"edge-{model}",
+        active_tasks=edge_scenario_tasks(model, constants),
+        sleep_watts=constants.sleep_watts,
+        period=CYCLE_SECONDS,
+        wake_surge_j=0.0,  # Tables I/II account the full cycle explicitly
+    )
+
+
+def _edge_cloud_client(model: str, constants: PaperConstants) -> ClientProfile:
+    return ClientProfile(
+        name=f"edge-cloud-{model}",
+        active_tasks=edge_cloud_client_tasks(model, constants),
+        sleep_watts=constants.sleep_watts,
+        period=CYCLE_SECONDS,
+        wake_surge_j=0.0,
+    )
+
+
+def make_scenario(
+    placement: str,
+    model: str = "svm",
+    max_parallel: Optional[int] = None,
+    constants: PaperConstants = PAPER,
+) -> Scenario:
+    """Factory: ``placement`` in {'edge', 'edge+cloud'}, ``model`` in {'svm', 'cnn'}."""
+    placement = placement.lower()
+    if placement == "edge":
+        return Scenario(f"Edge ({model.upper()})", _edge_client(model, constants))
+    if placement in ("edge+cloud", "edge_cloud", "edgecloud"):
+        return Scenario(
+            f"Edge+Cloud ({model.upper()})",
+            _edge_cloud_client(model, constants),
+            paper_server(model, max_parallel=max_parallel, constants=constants),
+        )
+    raise ValueError(f"placement must be 'edge' or 'edge+cloud', got {placement!r}")
+
+
+#: The four scenarios of Tables I/II.
+EDGE_SVM = make_scenario("edge", "svm")
+EDGE_CNN = make_scenario("edge", "cnn")
+EDGE_CLOUD_SVM = make_scenario("edge+cloud", "svm")
+EDGE_CLOUD_CNN = make_scenario("edge+cloud", "cnn")
+
+
+def all_scenarios() -> List[Scenario]:
+    """The four paper scenarios."""
+    return [EDGE_SVM, EDGE_CNN, EDGE_CLOUD_SVM, EDGE_CLOUD_CNN]

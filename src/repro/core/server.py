@@ -1,0 +1,163 @@
+"""Server model and time-slot planning.
+
+A server tiles each cycle with synchronized **time slots** (§VI): every
+client assigned to a slot starts its upload at the slot boundary; the server
+receives for the transfer window, then executes one service inference per
+client, then idles until the next slot.  Slot duration is
+
+    ``transfer_s (+ loss-B stretch) + service_s + guard_s``
+
+and the number of slots per cycle is ``floor(period / slot_duration)``.
+With the paper's calibration (transfer 15 s, SVM service 0.1 s, guard 1.5 s)
+a 5-minute cycle holds 18 slots, so a server with 35 clients per slot
+saturates at 630 clients — the full-server point of Figure 7b.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
+from repro.energy.power import TaskPower
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Energy/capacity description of one cloud server."""
+
+    name: str
+    idle_watts: float
+    receive_watts: float
+    transfer_s: float
+    service: TaskPower
+    guard_s: float = PAPER.slot_guard_s
+    max_parallel: int = PAPER.default_max_parallel
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.idle_watts, "idle_watts")
+        check_non_negative(self.receive_watts, "receive_watts")
+        check_positive(self.transfer_s, "transfer_s")
+        check_non_negative(self.guard_s, "guard_s")
+        if self.max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {self.max_parallel}")
+
+    # -- slot geometry ------------------------------------------------------
+    def slot_duration(self, extra_transfer_s: float = 0.0) -> float:
+        """Slot length; ``extra_transfer_s`` is the loss-B stretch."""
+        check_non_negative(extra_transfer_s, "extra_transfer_s")
+        return self.transfer_s + extra_transfer_s + self.service.duration + self.guard_s
+
+    def slots_per_cycle(self, period: float = CYCLE_SECONDS, extra_transfer_s: float = 0.0) -> int:
+        """Number of slots tiling one cycle."""
+        check_positive(period, "period")
+        n = int(math.floor(period / self.slot_duration(extra_transfer_s)))
+        if n < 1:
+            raise ValueError(
+                f"server {self.name!r}: slot duration {self.slot_duration(extra_transfer_s):.1f} s "
+                f"does not fit in period {period:.1f} s"
+            )
+        return n
+
+    def capacity(self, period: float = CYCLE_SECONDS, extra_transfer_s: float = 0.0) -> int:
+        """Maximum clients one server admits per cycle."""
+        return self.slots_per_cycle(period, extra_transfer_s) * self.max_parallel
+
+    # -- slot energy ----------------------------------------------------------
+    def slot_energy(self, n_clients: int, extra_transfer_s: float = 0.0) -> float:
+        """Energy of one *occupied* slot over its own window (joules).
+
+        Receive at ``receive_watts`` for the transfer window; each client's
+        service inference adds its marginal energy over idling
+        (``E_service − idle·t_service``).  Inference runs on the compute
+        complex (6 CPU cores + GPU) *concurrently* with the slot timeline —
+        this is what makes the paper's slot packing consistent: 35 SVM
+        executions (3.5 s) fit a 16.6 s slot only if they pipeline with
+        reception/idle rather than serializing on it.
+        """
+        if not 0 <= n_clients <= self.max_parallel:
+            raise ValueError(f"slot occupancy {n_clients} outside [0, {self.max_parallel}]")
+        t_rx = self.transfer_s + extra_transfer_s
+        slot = self.slot_duration(extra_transfer_s)
+        if n_clients == 0:
+            return self.idle_watts * slot
+        return (
+            self.idle_watts * slot
+            + (self.receive_watts - self.idle_watts) * t_rx
+            + n_clients * (self.service.energy - self.idle_watts * self.service.duration)
+        )
+
+    def slot_marginal_energy(self, n_clients: int, extra_transfer_s: float = 0.0) -> float:
+        """Energy an occupied slot adds *over idling* for the same window."""
+        slot = self.slot_duration(extra_transfer_s)
+        return self.slot_energy(n_clients, extra_transfer_s) - self.idle_watts * slot
+
+    def cycle_energy(self, occupancies, period: float = CYCLE_SECONDS, extra_transfer_s: float = 0.0) -> float:
+        """Server energy over one cycle given per-slot client counts.
+
+        ``occupancies`` lists clients per slot (length ≤ slots_per_cycle).
+        Idle power covers all time not spent receiving or computing.
+        """
+        n_slots = self.slots_per_cycle(period, extra_transfer_s)
+        occupancies = list(occupancies)
+        if len(occupancies) > n_slots:
+            raise ValueError(f"{len(occupancies)} occupancies for {n_slots} slots")
+        total = self.idle_watts * period
+        for k in occupancies:
+            total += self.slot_marginal_energy(int(k), extra_transfer_s)
+        return total
+
+    def with_max_parallel(self, max_parallel: int) -> "ServerProfile":
+        """Copy with a different per-slot admission cap."""
+        return replace(self, max_parallel=max_parallel)
+
+
+@dataclass(frozen=True)
+class SlotPlan:
+    """Resolved slot geometry for a (server, period, loss) combination."""
+
+    slot_duration: float
+    slots_per_cycle: int
+    max_parallel: int
+
+    @property
+    def capacity(self) -> int:
+        return self.slots_per_cycle * self.max_parallel
+
+    @staticmethod
+    def for_server(
+        server: ServerProfile,
+        period: float = CYCLE_SECONDS,
+        extra_transfer_s: float = 0.0,
+    ) -> "SlotPlan":
+        return SlotPlan(
+            slot_duration=server.slot_duration(extra_transfer_s),
+            slots_per_cycle=server.slots_per_cycle(period, extra_transfer_s),
+            max_parallel=server.max_parallel,
+        )
+
+
+def paper_server(
+    model: str = "svm",
+    max_parallel: Optional[int] = None,
+    constants: PaperConstants = PAPER,
+) -> ServerProfile:
+    """The paper's cloud server (i7-8700K + RTX 2070) for a service model."""
+    model = model.lower()
+    if model == "svm":
+        service = TaskPower("queen_detection_svm", constants.svm_cloud_s, measured_energy=constants.svm_cloud_j)
+    elif model == "cnn":
+        service = TaskPower("queen_detection_cnn", constants.cnn_cloud_s, measured_energy=constants.cnn_cloud_j)
+    else:
+        raise ValueError(f"model must be 'svm' or 'cnn', got {model!r}")
+    return ServerProfile(
+        name=f"cloud-{model}",
+        idle_watts=constants.server_idle_w,
+        receive_watts=constants.server_receive_w,
+        transfer_s=constants.send_audio_s,
+        service=service,
+        guard_s=constants.slot_guard_s,
+        max_parallel=max_parallel if max_parallel is not None else constants.default_max_parallel,
+    )

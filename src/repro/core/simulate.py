@@ -1,0 +1,213 @@
+"""Cycle-level fleet simulation (§VI).
+
+:func:`simulate_fleet` evaluates one (scenario, fleet size, loss
+configuration) point: it applies client loss, allocates the surviving
+clients to servers/slots, and totals edge and server energy for one cycle.
+The per-slot energy math lives in :func:`server_cycle_energy` so the
+vectorized sweep (:mod:`repro.core.sweep`) and the DES cross-validator
+(:mod:`repro.core.dessim`) share exactly the same formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.allocator import Allocation, Allocator, FillingPolicy
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.core.server import ServerProfile
+from repro.util.rng import SeedLike, make_rng
+
+
+def occupied_slot_energy(
+    server: ServerProfile,
+    occupancy: int,
+    sizing_extra_s: float = 0.0,
+    losses: Optional[LossConfig] = None,
+) -> float:
+    """Energy of one occupied slot over its window, loss-aware (joules).
+
+    The slot *window* is sized for the worst case (loss B stretches it by
+    ``extra × max_parallel``); the receive phase actually lasts
+    ``transfer + extra × occupancy``.  Service inferences pipeline with the
+    slot timeline on the server's compute complex, contributing their
+    marginal energy over idle (see :meth:`ServerProfile.slot_energy`).
+    Loss A multiplies the whole slot energy once occupancy crosses the
+    saturation threshold.
+    """
+    losses = losses or LossConfig.none()
+    if not 0 < occupancy <= server.max_parallel:
+        raise ValueError(f"occupancy {occupancy} outside (0, {server.max_parallel}]")
+    slot_dur = server.slot_duration(sizing_extra_s)
+    actual_extra = losses.transfer.actual_extra_s(occupancy) if losses.transfer else 0.0
+    t_rx = server.transfer_s + actual_extra
+    active = (
+        (server.receive_watts - server.idle_watts) * t_rx
+        + occupancy * (server.service.energy - server.idle_watts * server.service.duration)
+    )
+    energy = server.idle_watts * slot_dur + active
+    if losses.saturation is not None:
+        mult = losses.saturation.multiplier(occupancy, server.max_parallel)
+        base = energy if losses.saturation.base == "slot" else active
+        energy += (mult - 1.0) * base
+    return energy
+
+
+def server_cycle_energy(
+    server: ServerProfile,
+    occupancies: Sequence[int],
+    period: float = CYCLE_SECONDS,
+    sizing_extra_s: float = 0.0,
+    losses: Optional[LossConfig] = None,
+) -> float:
+    """One server's energy over one cycle given per-slot occupancies."""
+    slot_dur = server.slot_duration(sizing_extra_s)
+    total = server.idle_watts * period
+    for k in occupancies:
+        k = int(k)
+        if k == 0:
+            continue
+        total += occupied_slot_energy(server, k, sizing_extra_s, losses) - server.idle_watts * slot_dur
+    return total
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one simulated cycle at fleet scale.
+
+    Per-client figures default to *initial* clients (the paper's Figure 8c
+    convention: the x-axis shows the initial fleet even when clients are
+    lost).
+    """
+
+    scenario_name: str
+    n_clients_initial: int
+    n_clients_active: int
+    n_servers: int
+    slots_per_server: int
+    max_parallel: int
+    period: float
+    edge_energy_j: float
+    server_energy_j: float
+    losses_description: str = "no loss"
+
+    @property
+    def n_clients_lost(self) -> int:
+        return self.n_clients_initial - self.n_clients_active
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.edge_energy_j + self.server_energy_j
+
+    @property
+    def edge_energy_per_client(self) -> float:
+        return self.edge_energy_j / self.n_clients_initial if self.n_clients_initial else 0.0
+
+    @property
+    def server_energy_per_client(self) -> float:
+        return self.server_energy_j / self.n_clients_initial if self.n_clients_initial else 0.0
+
+    @property
+    def total_energy_per_client(self) -> float:
+        return self.total_energy_j / self.n_clients_initial if self.n_clients_initial else 0.0
+
+    @property
+    def total_energy_per_active_client(self) -> float:
+        return self.total_energy_j / self.n_clients_active if self.n_clients_active else 0.0
+
+
+def simulate_fleet(
+    n_clients: int,
+    scenario: Scenario,
+    period: float = CYCLE_SECONDS,
+    losses: Optional[LossConfig] = None,
+    max_parallel: Optional[int] = None,
+    policy: Optional[FillingPolicy] = None,
+    seed: SeedLike = None,
+) -> FleetResult:
+    """Simulate one cycle of ``n_clients`` running ``scenario``.
+
+    Parameters
+    ----------
+    n_clients:
+        Initial fleet size.
+    scenario:
+        One of the :mod:`repro.core.routines` scenarios (edge or edge+cloud).
+    losses:
+        Loss configuration (default: ideal).
+    max_parallel:
+        Override the server's per-slot admission cap (Figure 7's parameter).
+    policy:
+        Slot-filling policy (default: the paper's first-fit).
+    seed:
+        RNG seed for loss model C.
+    """
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
+    losses = losses or LossConfig.none()
+    if max_parallel is not None and not scenario.is_edge_only:
+        scenario = scenario.with_max_parallel(max_parallel)
+
+    rng = make_rng(seed)
+    active = n_clients
+    if losses.client_loss is not None:
+        active = n_clients - losses.client_loss.draw_lost(n_clients, rng)
+
+    edge_energy = active * scenario.client.cycle_energy
+
+    if scenario.is_edge_only:
+        return FleetResult(
+            scenario_name=scenario.name,
+            n_clients_initial=n_clients,
+            n_clients_active=active,
+            n_servers=0,
+            slots_per_server=0,
+            max_parallel=0,
+            period=period,
+            edge_energy_j=edge_energy,
+            server_energy_j=0.0,
+            losses_description=losses.describe(),
+        )
+
+    server = scenario.server
+    assert server is not None
+    allocator = Allocator(server, period=period, losses=losses, policy=policy)
+    allocation = allocator.allocate(active)
+    server_energy = sum(
+        server_cycle_energy(
+            server,
+            assignment.occupancies,
+            period=period,
+            sizing_extra_s=allocator.sizing_extra_s,
+            losses=losses,
+        )
+        for assignment in allocation.servers
+    )
+    return FleetResult(
+        scenario_name=scenario.name,
+        n_clients_initial=n_clients,
+        n_clients_active=active,
+        n_servers=allocation.n_servers,
+        slots_per_server=allocator.plan.slots_per_cycle,
+        max_parallel=server.max_parallel,
+        period=period,
+        edge_energy_j=edge_energy,
+        server_energy_j=server_energy,
+        losses_description=losses.describe(),
+    )
+
+
+def simulate_allocation_energy(
+    allocation: Allocation,
+    server: ServerProfile,
+    period: float = CYCLE_SECONDS,
+    sizing_extra_s: float = 0.0,
+    losses: Optional[LossConfig] = None,
+) -> float:
+    """Server energy of an explicit :class:`Allocation` (used by ablations)."""
+    return sum(
+        server_cycle_energy(server, a.occupancies, period, sizing_extra_s, losses)
+        for a in allocation.servers
+    )

@@ -1,0 +1,143 @@
+"""Deployment sizing tools: batteries, panels and server counts.
+
+Answers the provisioning questions a deployment of the paper's system
+raises: how large must the power bank be for a zero-outage week at a given
+wake-up period and weather regime (bisection over the harvest simulation),
+how large a panel balances a load year-round, and how many servers a fleet
+needs under a loss configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.calibration import PAPER, PaperConstants
+from repro.core.client import average_power_for_period
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.core.simulate import simulate_fleet
+from repro.devices.specs import RASPBERRY_PI_ZERO_WH
+from repro.energy.battery import Battery
+from repro.energy.converter import DCDCConverter
+from repro.energy.harvest import EnergyNode, HarvestSimulation
+from repro.energy.solar import SolarPanel
+from repro.sensing.weather import WeatherModel
+from repro.util.rng import SeedLike
+from repro.util.units import DAY, joules_to_wh
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class BatterySizing:
+    """Result of :func:`minimum_battery_for_uptime`."""
+
+    capacity_joules: float
+    wakeup_period: float
+    cloudiness: float
+    target_uptime: float
+    achieved_uptime: float
+
+    @property
+    def capacity_wh(self) -> float:
+        return joules_to_wh(self.capacity_joules)
+
+    @property
+    def relative_to_paper_bank(self) -> float:
+        """Multiple of the deployed 20 000 mAh power bank."""
+        return self.capacity_joules / Battery.DEFAULT_CAPACITY
+
+
+def _uptime_for_capacity(
+    capacity: float,
+    wakeup_period: float,
+    cloudiness: float,
+    duration: float,
+    seed: SeedLike,
+    constants: PaperConstants,
+) -> float:
+    weather = WeatherModel(cloudiness=cloudiness).generate(duration=duration, step=300.0, seed=seed)
+    load = RASPBERRY_PI_ZERO_WH.power["idle"] + average_power_for_period(wakeup_period, constants)
+    node = EnergyNode(
+        panel=SolarPanel(),
+        converter=DCDCConverter(),
+        battery=Battery(capacity_joules=capacity, soc=0.8),
+    )
+    sim = HarvestSimulation(
+        node,
+        irradiance_fn=lambda t: float(weather.irradiance.at(t)),
+        load_fn=lambda t, available: load,
+        step=300.0,
+    )
+    return sim.run(duration).uptime_fraction
+
+
+def minimum_battery_for_uptime(
+    wakeup_period: float,
+    cloudiness: float = 0.5,
+    target_uptime: float = 1.0,
+    duration: float = 7 * DAY,
+    seed: SeedLike = 11,
+    max_capacity: float = 20 * Battery.DEFAULT_CAPACITY,
+    tolerance: float = 0.02,
+    constants: PaperConstants = PAPER,
+) -> BatterySizing:
+    """Smallest battery (bisection, ±``tolerance`` relative) that sustains
+    ``target_uptime`` over a simulated week of the given weather regime.
+
+    Raises ``ValueError`` if even ``max_capacity`` cannot reach the target
+    (the panel simply does not harvest enough for the load).
+    """
+    check_positive(wakeup_period, "wakeup_period")
+    check_in_range(target_uptime, "target_uptime", 0.0, 1.0)
+
+    def uptime(capacity: float) -> float:
+        return _uptime_for_capacity(capacity, wakeup_period, cloudiness, duration, seed, constants)
+
+    hi = max_capacity
+    hi_uptime = uptime(hi)
+    if hi_uptime < target_uptime:
+        raise ValueError(
+            f"even {joules_to_wh(hi):.0f} Wh cannot reach {target_uptime:.0%} uptime "
+            f"(got {hi_uptime:.1%}) — the panel cannot carry this load"
+        )
+    lo = hi / 1024.0
+    if uptime(lo) >= target_uptime:
+        hi = lo
+    else:
+        while hi / lo > 1 + tolerance:
+            mid = (lo * hi) ** 0.5  # geometric bisection over decades
+            if uptime(mid) >= target_uptime:
+                hi = mid
+            else:
+                lo = mid
+    return BatterySizing(
+        capacity_joules=hi,
+        wakeup_period=wakeup_period,
+        cloudiness=cloudiness,
+        target_uptime=target_uptime,
+        achieved_uptime=uptime(hi),
+    )
+
+
+def servers_for_fleet(
+    n_clients: int,
+    scenario: Scenario,
+    losses: Optional[LossConfig] = None,
+    seed: SeedLike = 0,
+    safety_margin: int = 0,
+) -> int:
+    """Servers to provision for ``n_clients`` (plus an optional margin).
+
+    With loss model C the requirement fluctuates wake-up by wake-up; this
+    sizes for the *initial* fleet (every registered client must have a slot
+    even on a zero-loss cycle), which upper-bounds the stochastic draws.
+    """
+    if scenario.is_edge_only:
+        return 0
+    no_dropout = None
+    if losses is not None:
+        # Size for the full fleet: strip the dropout component.
+        no_dropout = LossConfig(saturation=losses.saturation, transfer=losses.transfer)
+    result = simulate_fleet(n_clients, scenario, losses=no_dropout, seed=seed)
+    return result.n_servers + max(safety_margin, 0)

@@ -1,0 +1,150 @@
+"""Vectorized fleet-size sweeps.
+
+The figures of §VI evaluate hundreds of fleet sizes; doing that through
+:func:`repro.core.simulate.simulate_fleet` would rebuild an allocation per
+point.  For the paper's first-fit policy the occupancy profile of ``N``
+clients is closed-form (``N // p`` full slots plus one remainder slot), so
+the whole sweep reduces to NumPy array arithmetic with a ``p``-entry
+marginal-energy lookup table.  A regression test pins this against the
+object-level simulator point by point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.core.simulate import occupied_slot_energy
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Array-valued outcome of a fleet-size sweep (aligned on ``n_clients``)."""
+
+    scenario_name: str
+    n_clients: np.ndarray  # initial fleet sizes
+    n_active: np.ndarray
+    n_servers: np.ndarray
+    edge_energy_j: np.ndarray  # totals per cycle
+    server_energy_j: np.ndarray
+    slots_per_server: int
+    max_parallel: int
+    losses_description: str = "no loss"
+
+    @property
+    def n_lost(self) -> np.ndarray:
+        return self.n_clients - self.n_active
+
+    @property
+    def total_energy_j(self) -> np.ndarray:
+        return self.edge_energy_j + self.server_energy_j
+
+    @property
+    def edge_energy_per_client(self) -> np.ndarray:
+        return _safe_div(self.edge_energy_j, self.n_clients)
+
+    @property
+    def server_energy_per_client(self) -> np.ndarray:
+        return _safe_div(self.server_energy_j, self.n_clients)
+
+    @property
+    def total_energy_per_client(self) -> np.ndarray:
+        return _safe_div(self.total_energy_j, self.n_clients)
+
+    @property
+    def server_capacity(self) -> int:
+        return self.slots_per_server * self.max_parallel
+
+
+def _safe_div(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    den = np.asarray(den, dtype=float)
+    out = np.zeros_like(np.asarray(num, dtype=float))
+    mask = den > 0
+    out[mask] = np.asarray(num, dtype=float)[mask] / den[mask]
+    return out
+
+
+def sweep_clients(
+    n_clients,
+    scenario: Scenario,
+    period: float = CYCLE_SECONDS,
+    losses: Optional[LossConfig] = None,
+    max_parallel: Optional[int] = None,
+    seed: SeedLike = None,
+) -> SweepResult:
+    """Evaluate ``scenario`` for every fleet size in ``n_clients``.
+
+    Semantics match :func:`repro.core.simulate.simulate_fleet` with the
+    default first-fit policy; loss model C draws one loss per fleet size
+    from a single seeded stream.
+    """
+    n = np.asarray(n_clients, dtype=np.int64)
+    if n.ndim != 1:
+        raise ValueError(f"n_clients must be 1-D, got shape {np.shape(n_clients)}")
+    if np.any(n < 0):
+        raise ValueError("fleet sizes must be >= 0")
+    losses = losses or LossConfig.none()
+    if max_parallel is not None and not scenario.is_edge_only:
+        scenario = scenario.with_max_parallel(max_parallel)
+
+    # Client loss (C).
+    if losses.client_loss is not None:
+        rng = make_rng(seed)
+        active = n - losses.client_loss.draw_lost_array(n, rng)
+    else:
+        active = n.copy()
+
+    edge_energy = active.astype(float) * scenario.client.cycle_energy
+
+    if scenario.is_edge_only:
+        return SweepResult(
+            scenario_name=scenario.name,
+            n_clients=n,
+            n_active=active,
+            n_servers=np.zeros_like(n),
+            edge_energy_j=edge_energy,
+            server_energy_j=np.zeros(n.shape, dtype=float),
+            slots_per_server=0,
+            max_parallel=0,
+            losses_description=losses.describe(),
+        )
+
+    server = scenario.server
+    assert server is not None
+    p = server.max_parallel
+    sizing_extra = losses.transfer.sizing_extra_s(p) if losses.transfer is not None else 0.0
+    slots = server.slots_per_cycle(period, sizing_extra)
+    capacity = slots * p
+    slot_dur = server.slot_duration(sizing_extra)
+
+    # Marginal energy lookup: marg[k] for occupancy k (index 0 unused).
+    marg = np.zeros(p + 1)
+    for k in range(1, p + 1):
+        marg[k] = occupied_slot_energy(server, k, sizing_extra, losses) - server.idle_watts * slot_dur
+
+    full_slots = active // p
+    remainder = active % p
+    servers = np.where(active > 0, -(-active // capacity), 0)  # ceil division
+
+    server_energy = (
+        servers.astype(float) * server.idle_watts * period
+        + full_slots.astype(float) * marg[p]
+        + marg[remainder]  # marg[0] == 0 covers the no-remainder case
+    )
+    return SweepResult(
+        scenario_name=scenario.name,
+        n_clients=n,
+        n_active=active,
+        n_servers=servers,
+        edge_energy_j=edge_energy,
+        server_energy_j=server_energy,
+        slots_per_server=slots,
+        max_parallel=p,
+        losses_description=losses.describe(),
+    )

@@ -1,0 +1,86 @@
+"""Task sequences — ordered lists of (duration, power) steps.
+
+A :class:`TaskSequence` is how routines move through the system: the edge
+client's per-cycle actions, the server's per-slot actions.  It knows its
+total duration/energy and renders itself as a paper-style table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.energy.power import TaskPower
+from repro.util.tabulate import render_table
+
+# Re-export: a Task *is* a TaskPower; the alias keeps core-level call sites
+# readable without duplicating the class.
+Task = TaskPower
+
+
+@dataclass(frozen=True)
+class TaskSequence:
+    """Immutable ordered sequence of tasks."""
+
+    name: str
+    tasks: Tuple[TaskPower, ...]
+
+    def __init__(self, name: str, tasks: Iterable[TaskPower]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "tasks", tuple(tasks))
+        if not self.tasks:
+            raise ValueError(f"task sequence {name!r} is empty")
+
+    def __iter__(self) -> Iterator[TaskPower]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_duration(self) -> float:
+        """Seconds across all tasks."""
+        return sum(t.duration for t in self.tasks)
+
+    @property
+    def total_energy(self) -> float:
+        """Joules across all tasks."""
+        return sum(t.energy for t in self.tasks)
+
+    def without(self, *names: str) -> "TaskSequence":
+        """Copy omitting the named tasks."""
+        keep = [t for t in self.tasks if t.name not in names]
+        return TaskSequence(self.name, keep)
+
+    def replace_task(self, name: str, new: TaskPower) -> "TaskSequence":
+        """Copy with the named task swapped out."""
+        found = False
+        out: List[TaskPower] = []
+        for t in self.tasks:
+            if t.name == name:
+                out.append(new)
+                found = True
+            else:
+                out.append(t)
+        if not found:
+            known = ", ".join(t.name for t in self.tasks)
+            raise KeyError(f"no task {name!r} in sequence {self.name!r} (tasks: {known})")
+        return TaskSequence(self.name, out)
+
+    def get(self, name: str) -> TaskPower:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        known = ", ".join(t.name for t in self.tasks)
+        raise KeyError(f"no task {name!r} in sequence {self.name!r} (tasks: {known})")
+
+    def render(self) -> str:
+        """Paper-style table: task, energy, time."""
+        rows = [(t.name, t.energy, t.duration) for t in self.tasks]
+        rows.append(("Total", self.total_energy, self.total_duration))
+        return render_table(
+            ["Task", "Energy (J)", "Time (s)"],
+            rows,
+            formats=[None, ".1f", ".1f"],
+            title=f"Scenario: {self.name}",
+        )

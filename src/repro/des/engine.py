@@ -1,0 +1,201 @@
+"""Event loop for the discrete-event kernel.
+
+The :class:`Engine` owns simulated time and a heap of pending
+:class:`Event` objects.  Events carry callback lists; processes
+(:mod:`repro.des.process`) are built on top of events.  The loop is
+deterministic: events scheduled at the same time fire in ``(priority,
+insertion order)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+#: Priority constants — lower fires first at equal timestamps.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LATE = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling into the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.des.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, may be *scheduled* (given a fire time), and
+    finally *fires*, invoking its callbacks with itself as argument.  Events
+    can succeed with a value or fail with an exception; a failed event whose
+    failure is never consumed raises at fire time so errors do not pass
+    silently.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled", "_fired", "_defused")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._fired = False
+        self._defused = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (scheduled to fire)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        self._trigger(True, value, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(False, exception, delay, priority)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float, priority: int) -> None:
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._ok = ok
+        self._value = value
+        self.engine._schedule(self, delay, priority)
+        self._scheduled = True
+
+    def _fire(self) -> None:
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> seen = []
+    >>> def hello():
+    ...     yield eng.timeout(5.0)
+    ...     seen.append(eng.now)
+    >>> _ = eng.process(hello())
+    >>> eng.run()
+    >>> seen
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list = []
+        self._counter = itertools.count()
+        self._active = 0  # scheduled-but-unfired events
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        ev = Event(self)
+        ev.succeed(value, delay=delay)
+        return ev
+
+    def process(self, generator) -> "Process":
+        """Start a generator as a simulation process (see :class:`Process`)."""
+        from repro.des.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = PRIORITY_NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._counter), event))
+        self._active += 1
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _prio, _seq, event = heapq.heappop(self._queue)
+        self._active -= 1
+        if time < self._now:  # pragma: no cover - heap invariant guards this
+            raise SimulationError("event queue corrupted: time moved backwards")
+        self._now = time
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fires earlier, so monitors see a full window.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, float(until))

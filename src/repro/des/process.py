@@ -1,0 +1,159 @@
+"""Generator-based processes and composite wait conditions.
+
+A process is a Python generator that yields :class:`~repro.des.engine.Event`
+objects; the kernel resumes the generator with the event's value when it
+fires.  ``AllOf``/``AnyOf`` compose events; :class:`Wait` is an alias kept for
+readability at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.des.engine import Engine, Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """Wrap a generator as a process.
+
+    The process itself is an event that fires when the generator returns
+    (successfully, with its return value) or raises (as a failure), so
+    processes can wait on other processes.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, engine: Engine, generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {type(generator).__name__}")
+        super().__init__(engine)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume the generator at the current time.
+        boot = Event(engine)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on keeps running; the process may
+        re-wait on it or abandon it.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None:
+            # Detach from the event we were waiting for.
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        kick = Event(self.engine)
+        kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
+        kick.succeed(priority=0)
+
+    # -- kernel plumbing -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(send=event._value)
+        else:
+            event.defuse()
+            self._step(throw=event._value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded {type(target).__name__}, expected Event"))
+            return
+        if target.processed:
+            self._generator.close()
+            self.fail(SimulationError("process yielded an already-processed event"))
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+
+#: Alias so ``yield Wait(engine, 3.0)`` reads naturally.
+def Wait(engine: Engine, delay: float, value: Any = None) -> Event:
+    """Alias for :meth:`Engine.timeout`."""
+    return engine.timeout(delay, value)
+
+
+def Timeout(engine: Engine, delay: float, value: Any = None) -> Event:
+    """Alias for :meth:`Engine.timeout` (SimPy-style name)."""
+    return engine.timeout(delay, value)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composites."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, engine: Engine, events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        self._pending = len(self._events)
+        for ev in self._events:
+            if ev.processed:
+                self._on_fire(ev)
+            else:
+                ev.callbacks.append(self._on_fire)
+
+    def _values(self) -> dict:
+        return {i: ev._value for i, ev in enumerate(self._events) if ev.triggered and ev._ok}
+
+    def _on_fire(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; value is an index→value dict."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._values())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self.succeed(self._values())

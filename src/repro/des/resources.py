@@ -1,0 +1,143 @@
+"""Capacity-limited resources for the DES kernel.
+
+:class:`Resource` models a pool of identical capacity units (used for server
+time-slot admission), :class:`PriorityResource` serves lower priorities first,
+and :class:`Store` is an unbounded FIFO of Python objects (used for message
+queues between edge devices and servers).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.des.engine import Engine, Event, SimulationError
+
+
+class Resource:
+    """A pool with ``capacity`` units; requests beyond capacity queue FIFO.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield engine.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that fires when a unit is granted."""
+        ev = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self, request: Event) -> None:
+        """Return a granted unit to the pool."""
+        if not request.triggered:
+            # Cancel a queued request instead.
+            try:
+                self._waiting.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release() of a request that was never granted or queued")
+        if self._in_use <= 0:
+            raise SimulationError("release() with no units in use")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.succeed(self)  # unit transfers directly to the next requester
+        else:
+            self._in_use -= 1
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by ``priority`` (low first)."""
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        super().__init__(engine, capacity)
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def request(self, priority: int = 0) -> Event:  # type: ignore[override]
+        ev = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            heapq.heappush(self._heap, (priority, next(self._counter), ev))
+        return ev
+
+    def release(self, request: Event) -> None:  # type: ignore[override]
+        if not request.triggered:
+            for i, (_, _, ev) in enumerate(self._heap):
+                if ev is request:
+                    self._heap.pop(i)
+                    heapq.heapify(self._heap)
+                    return
+            raise SimulationError("release() of a request that was never granted or queued")
+        if self._in_use <= 0:
+            raise SimulationError("release() with no units in use")
+        if self._heap:
+            _, _, nxt = heapq.heappop(self._heap)
+            nxt.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO store of items; ``get`` blocks until an item exists."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = self.engine.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,46 @@
+"""Device substrate: hardware catalog, duty-cycled devices, sensors.
+
+Models the three machines of the paper's testbed:
+
+* **Raspberry Pi 3b+** — the beehive data recorder (duty-cycled; boots on a
+  GPIO wake-up signal, samples sensors, uploads, shuts down);
+* **Raspberry Pi Zero WH** — the always-on energy monitor that issues the
+  wake-up signals and records currents;
+* **Cloud server** — an i7-8700K + RTX 2070 machine that is always idle-on
+  and executes the queen-detection service in the edge+cloud scenario.
+"""
+
+from repro.devices.specs import (
+    DeviceSpec,
+    RASPBERRY_PI_3B_PLUS,
+    RASPBERRY_PI_ZERO_WH,
+    CLOUD_SERVER_I7_RTX2070,
+    catalog,
+)
+from repro.devices.device import DutyCycledDevice, AlwaysOnDevice, DeviceError
+from repro.devices.beehive import SmartBeehive, CyclePayload
+from repro.devices.sensors import (
+    Sensor,
+    TemperatureHumiditySensor,
+    Microphone,
+    Camera,
+    CurrentSensor,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "RASPBERRY_PI_3B_PLUS",
+    "RASPBERRY_PI_ZERO_WH",
+    "CLOUD_SERVER_I7_RTX2070",
+    "catalog",
+    "DutyCycledDevice",
+    "AlwaysOnDevice",
+    "DeviceError",
+    "SmartBeehive",
+    "CyclePayload",
+    "Sensor",
+    "TemperatureHumiditySensor",
+    "Microphone",
+    "Camera",
+    "CurrentSensor",
+]

@@ -1,0 +1,193 @@
+"""The composed smart beehive of §III.
+
+Glues the substrates into the deployed node: a Pi Zero WH (always on,
+current monitoring, wake-up signalling), a Pi 3b+ (duty-cycled recorder), an
+SHT31, three microphones on the queen excluder, the entrance camera, the
+Wi-Fi uplink and the solar energy node.  One :meth:`SmartBeehive.run_cycle`
+performs the full §IV routine — wake, sample every sensor, record audio,
+shoot the image burst, upload, shut down — returning the collected payload
+and charging every energy ledger.
+
+This is the object a downstream user instantiates; the §VI fleet simulators
+abstract it into calibrated :class:`~repro.core.client.ClientProfile`
+numbers, and an integration test checks the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.audio.synth import HiveSoundSynthesizer
+from repro.core.calibration import PAPER, PaperConstants
+from repro.devices.device import AlwaysOnDevice, DutyCycledDevice
+from repro.devices.sensors import Camera, CurrentSensor, Microphone, TemperatureHumiditySensor
+from repro.devices.specs import RASPBERRY_PI_3B_PLUS, RASPBERRY_PI_ZERO_WH
+from repro.energy.power import TaskPower
+from repro.network.link import LinkModel
+from repro.network.wifi import WIFI_80211N_2G4
+from repro.sensing.traces import Trace
+from repro.util.rng import SeedLike, derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class CyclePayload:
+    """Everything one wake-up collects."""
+
+    time: float
+    temperature_c: float
+    humidity_pct: float
+    audio_clips: Tuple[np.ndarray, ...]
+    n_images: int
+    payload_bytes: int
+    upload_duration_s: float
+    queen_detected: Optional[bool] = None
+
+    @property
+    def audio_seconds(self) -> float:
+        total = sum(clip.size for clip in self.audio_clips)
+        return total / 22050.0
+
+
+class SmartBeehive:
+    """One deployed smart beehive (hardware of §III, routine of §IV).
+
+    Parameters
+    ----------
+    hive_temperature / hive_humidity:
+        Environment traces the sensors sample (e.g. from
+        :class:`repro.sensing.hive.HiveMicroclimate`).
+    queen_present:
+        Ground truth for the synthesized audio.
+    link:
+        Uplink model (default: the deployed 2.4 GHz profile).
+    seed:
+        Base seed; every cycle derives its own stream.
+    """
+
+    N_MICROPHONES = 3  # on the queen excluder (§III)
+
+    def __init__(
+        self,
+        hive_temperature: Trace,
+        hive_humidity: Trace,
+        queen_present: bool = True,
+        link: LinkModel = WIFI_80211N_2G4,
+        synth: Optional[HiveSoundSynthesizer] = None,
+        constants: PaperConstants = PAPER,
+        seed: SeedLike = 0,
+        name: str = "hive",
+    ) -> None:
+        self.name = name
+        self.hive_temperature = hive_temperature
+        self.hive_humidity = hive_humidity
+        self.queen_present = bool(queen_present)
+        self.link = link
+        self.synth = synth or HiveSoundSynthesizer()
+        self.constants = constants
+        self.seed = 0 if seed is None else int(make_rng(seed).integers(2**31))
+
+        # Hardware.
+        self.recorder = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, name=f"{name}-pi3")
+        self.monitor = AlwaysOnDevice(RASPBERRY_PI_ZERO_WH, name=f"{name}-pizero")
+        self.sht31 = TemperatureHumiditySensor()
+        self.microphones = [Microphone(duration_s=10.0) for _ in range(self.N_MICROPHONES)]
+        self.camera = Camera()
+        self.current_sensors = [CurrentSensor() for _ in range(3)]  # two supplies + panel
+        self._payloads: List[CyclePayload] = []
+
+    @property
+    def payloads(self) -> List[CyclePayload]:
+        """All collected cycles, in order."""
+        return list(self._payloads)
+
+    def run_cycle(
+        self,
+        wake_time: float,
+        audio_duration: Optional[float] = None,
+        classifier=None,
+    ) -> CyclePayload:
+        """Execute one full §IV routine starting at ``wake_time``.
+
+        ``audio_duration`` shortens the microphone recordings for fast tests
+        (energy accounting still uses the calibrated task figures, which
+        assume the deployed 10-second clips).  ``classifier`` — optional
+        callable ``clip -> bool`` executed on the middle microphone's clip
+        (the §V queen-detection placement at the edge).
+        """
+        cycle_index = len(self._payloads)
+        rng_seed = derive_seed(self.seed, self.name, "cycle", cycle_index)
+        rng = make_rng(rng_seed)
+
+        # --- sensor sampling ------------------------------------------------
+        temp, hum = self.sht31.read(
+            self.hive_temperature, self.hive_humidity, wake_time, seed=derive_seed(rng_seed, "sht")
+        )
+        duration = audio_duration if audio_duration is not None else self.microphones[0].duration_s
+        clips = tuple(
+            self.synth.render(duration, self.queen_present, seed=derive_seed(rng_seed, "mic", i))
+            for i in range(self.N_MICROPHONES)
+        )
+        n_images = self.camera.n_images
+
+        # --- payload & upload -------------------------------------------------
+        payload_bytes = (
+            sum(m.payload_bytes for m in self.microphones)
+            + self.camera.payload_bytes
+            + self.sht31.payload_bytes
+        )
+        upload = self.link.transfer(payload_bytes, seed=derive_seed(rng_seed, "uplink"))
+
+        # --- optional on-device service ----------------------------------------
+        queen_detected = None
+        service_tasks: List[TaskPower] = []
+        if classifier is not None:
+            queen_detected = bool(classifier(clips[len(clips) // 2]))
+            c = self.constants
+            service_tasks = [
+                TaskPower("queen_detection_svm", c.svm_edge_s, measured_energy=c.svm_edge_j)
+            ]
+
+        # --- energy accounting (calibrated §IV/Table rows; the stochastic
+        # upload duration replaces the nominal transfer window) ---------------
+        c = self.constants
+        tasks = [
+            TaskPower("wake_collect", c.collect_s, measured_energy=c.collect_j),
+            *service_tasks,
+            TaskPower(
+                "send_audio",
+                upload.duration_s,
+                watts=c.send_audio_j / c.send_audio_s,  # transfer power, stochastic time
+            ),
+            TaskPower("shutdown", c.shutdown_s, measured_energy=c.shutdown_j),
+        ]
+        self.recorder.sleep_until(wake_time)
+        self.recorder.run_routine(wake_time, tasks)
+        # The monitor samples currents around the wake-up (cheap excursions).
+        self.monitor.idle_until(wake_time)
+        self.monitor.excursion(wake_time, "active", 0.5)
+
+        payload = CyclePayload(
+            time=wake_time,
+            temperature_c=temp,
+            humidity_pct=hum,
+            audio_clips=clips,
+            n_images=n_images,
+            payload_bytes=payload_bytes,
+            upload_duration_s=upload.duration_s,
+            queen_detected=queen_detected,
+        )
+        self._payloads.append(payload)
+        return payload
+
+    def finish(self, time: float) -> None:
+        """Close both devices' observation windows."""
+        self.recorder.finish(time)
+        self.monitor.finish(time)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Recorder + monitor ledger total so far."""
+        return self.recorder.account.total + self.monitor.account.total

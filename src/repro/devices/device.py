@@ -1,0 +1,198 @@
+"""Device state machines with energy accounting.
+
+:class:`DutyCycledDevice` models the Pi 3b+: it is normally in ``sleep``,
+boots on a wake-up call, executes a sequence of named tasks, and shuts down.
+Every residency is recorded on a :class:`~repro.des.monitor.StateTimeline`
+and charged to an :class:`~repro.energy.account.EnergyAccount`, so the same
+object yields both Figure 2b-style power traces and Table I-style ledgers.
+
+:class:`AlwaysOnDevice` models the Pi Zero WH and the cloud server: always
+powered, with transient excursions to higher-power states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.des.monitor import StateTimeline
+from repro.devices.specs import DeviceSpec
+from repro.energy.account import EnergyAccount
+from repro.energy.power import TaskPower
+from repro.util.validation import check_non_negative
+
+
+class DeviceError(RuntimeError):
+    """Raised on invalid device state transitions."""
+
+
+class _BaseDevice:
+    """Shared timeline/ledger plumbing.
+
+    The device is always *in* exactly one residency.  A residency is charged
+    when it ends (at the next transition), using either the spec's state
+    power or a per-residency override (how named tasks carry their own
+    measured power without polluting the spec's state table).
+    """
+
+    def __init__(self, spec: DeviceSpec, initial_state: str, start_time: float = 0.0, name: str = "") -> None:
+        if initial_state not in spec.power:
+            raise DeviceError(f"{spec.name!r} has no state {initial_state!r}")
+        self.spec = spec
+        self.name = name or spec.name
+        self.timeline = StateTimeline(initial_state, start_time)
+        self.account = EnergyAccount(owner=self.name)
+        self._time = float(start_time)
+        # (category, watts) override for the residency in progress, if any.
+        self._override: Optional[Tuple[str, float]] = None
+
+    @property
+    def state(self) -> str:
+        return self.timeline.state
+
+    @property
+    def time(self) -> float:
+        """Device-local clock (time of the last transition)."""
+        return self._time
+
+    def _charge_residency(self, until: float) -> None:
+        dt = until - self._time
+        if dt < 0:
+            raise DeviceError(f"time went backwards: {until} < {self._time}")
+        if dt == 0:
+            return
+        if self._override is not None:
+            category, watts = self._override
+        else:
+            category, watts = self.state, self.spec.watts(self.state)
+        self.account.charge_power(category, watts, dt, time=self._time)
+
+    def _enter(self, time: float, state: str, override: Optional[Tuple[str, float]] = None) -> None:
+        if state not in self.spec.power:
+            raise DeviceError(f"{self.spec.name!r} has no state {state!r}")
+        self._charge_residency(time)
+        self.timeline.transition(time, state)
+        self._time = time
+        self._override = override
+
+    def finish(self, time: float) -> None:
+        """Close the observation window, charging the final residency."""
+        self._charge_residency(time)
+        self._time = time
+        self.timeline.close(time)
+
+    def power_trace(self, step: float, end_time: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample instantaneous power on a fixed grid (Figure 2b style)."""
+        check_non_negative(step, "step")
+        segs = self.timeline.segments(end_time)
+        if not segs:
+            raise DeviceError("no recorded segments")
+        t0, t_end = segs[0][0], segs[-1][1]
+        n = max(int(np.floor((t_end - t0) / step)) + 1, 1)
+        times = t0 + np.arange(n) * step
+        watts = np.zeros(n)
+        for t_start, t_stop, state in segs:
+            mask = (times >= t_start) & (times < t_stop)
+            watts[mask] = self.spec.watts(state)
+        # A grid point landing exactly on the window end belongs to the
+        # final segment (segments are half-open on the right).
+        watts[times >= segs[-1][1]] = self.spec.watts(segs[-1][2])
+        return times, watts
+
+
+class DutyCycledDevice(_BaseDevice):
+    """Sleep → boot → tasks → shutdown → sleep duty cycle (the Pi 3b+)."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        start_time: float = 0.0,
+        name: str = "",
+        sleep_state: str = "sleep",
+        boot_state: str = "boot",
+        shutdown_state: str = "shutdown",
+    ) -> None:
+        for st in (sleep_state, boot_state, shutdown_state):
+            if st not in spec.power:
+                raise DeviceError(f"{spec.name!r} has no state {st!r}")
+        super().__init__(spec, sleep_state, start_time, name)
+        self.sleep_state = sleep_state
+        self.boot_state = boot_state
+        self.shutdown_state = shutdown_state
+        self._cycles = 0
+
+    @property
+    def cycles_completed(self) -> int:
+        return self._cycles
+
+    def run_routine(
+        self,
+        wake_time: float,
+        tasks: Iterable[TaskPower],
+        boot_duration: float = 0.0,
+        shutdown_duration: float = 0.0,
+    ) -> float:
+        """Execute one wake-up routine starting at ``wake_time``.
+
+        ``tasks`` run back-to-back, each charged at its own measured power
+        under its own ledger category.  Returns the time at which the device
+        is back asleep.
+        """
+        if wake_time < self._time:
+            raise DeviceError(f"wake_time {wake_time} precedes device clock {self._time}")
+        if self.state != self.sleep_state:
+            raise DeviceError(f"routine requested while in state {self.state!r}")
+        t = wake_time
+        if boot_duration > 0:
+            self._enter(t, self.boot_state)
+            t += boot_duration
+        for task in tasks:
+            # Timeline shows the task's name if the spec knows it, else 'active'.
+            state = task.name if task.name in self.spec.power else "active"
+            self._enter(t, state, override=(task.name, task.power))
+            t += task.duration
+        if shutdown_duration > 0:
+            self._enter(t, self.shutdown_state)
+            t += shutdown_duration
+        self._enter(t, self.sleep_state)
+        self._cycles += 1
+        return t
+
+    def sleep_until(self, time: float) -> None:
+        """Remain asleep until ``time`` (charges sleep power)."""
+        if self.state != self.sleep_state:
+            raise DeviceError(f"sleep_until while in state {self.state!r}")
+        self._enter(time, self.sleep_state)
+
+
+class AlwaysOnDevice(_BaseDevice):
+    """Always-powered device with transient state excursions (Pi Zero, server)."""
+
+    def __init__(self, spec: DeviceSpec, idle_state: str = "idle", start_time: float = 0.0, name: str = "") -> None:
+        super().__init__(spec, idle_state, start_time, name)
+        self.idle_state = idle_state
+
+    def excursion(
+        self,
+        start: float,
+        state: str,
+        duration: float,
+        override: Optional[Tuple[str, float]] = None,
+    ) -> float:
+        """Spend ``duration`` seconds in ``state`` and return to idle.
+
+        ``override=(category, watts)`` charges the excursion at a measured
+        power under a custom ledger category.
+        """
+        check_non_negative(duration, "duration")
+        self._enter(start, state, override=override)
+        end = start + duration
+        self._enter(end, self.idle_state)
+        return end
+
+    def idle_until(self, time: float) -> None:
+        """Hold idle until ``time``."""
+        if self.state != self.idle_state:
+            raise DeviceError(f"idle_until while in state {self.state!r}")
+        self._enter(time, self.idle_state)

@@ -1,0 +1,96 @@
+"""Sensor models.
+
+Each sensor knows its sampling cost (duration, power) and produces synthetic
+readings from the environment traces.  The catalog mirrors the deployed
+hardware (§III): an SHT31 temperature/humidity sensor, three USB microphones
+(20 Hz–16 kHz), a Raspberry Pi camera module 2, and ±5 A Grove current
+sensors on the Pi Zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensing.traces import Trace
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """Base sensor description: name, acquisition cost, payload size."""
+
+    name: str
+    acquisition_s: float
+    acquisition_w: float
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.acquisition_s, f"{self.name}.acquisition_s")
+        check_non_negative(self.acquisition_w, f"{self.name}.acquisition_w")
+        if self.payload_bytes < 0:
+            raise ValueError(f"{self.name}.payload_bytes must be >= 0")
+
+    @property
+    def acquisition_energy(self) -> float:
+        """Joules per acquisition."""
+        return self.acquisition_s * self.acquisition_w
+
+
+class TemperatureHumiditySensor(Sensor):
+    """SHT31 on the Grove hat, placed on the queen excluder."""
+
+    def __init__(self, noise_c: float = 0.2, noise_pct: float = 1.5) -> None:
+        super().__init__(name="sht31", acquisition_s=0.05, acquisition_w=0.005, payload_bytes=16)
+        object.__setattr__(self, "noise_c", noise_c)
+        object.__setattr__(self, "noise_pct", noise_pct)
+
+    def read(self, temp_trace: Trace, hum_trace: Trace, time: float, seed: SeedLike = None) -> tuple[float, float]:
+        """Sample (temperature °C, humidity %) at ``time`` with sensor noise."""
+        rng = make_rng(seed)
+        t = float(temp_trace.at(time)) + rng.normal(0.0, self.noise_c)
+        h = float(np.clip(hum_trace.at(time) + rng.normal(0.0, self.noise_pct), 0.0, 100.0))
+        return t, h
+
+
+class Microphone(Sensor):
+    """USB microphone, 20 Hz–16 kHz; records ``duration_s`` at ``sample_rate``."""
+
+    def __init__(self, duration_s: float = 10.0, sample_rate: int = 22050, bit_depth: int = 16) -> None:
+        payload = int(duration_s * sample_rate * bit_depth // 8)
+        super().__init__(name="usb-microphone", acquisition_s=duration_s, acquisition_w=0.15, payload_bytes=payload)
+        object.__setattr__(self, "sample_rate", int(sample_rate))
+        object.__setattr__(self, "duration_s", float(duration_s))
+
+    def record(self, synth, queen_present: bool, seed: SeedLike = None) -> np.ndarray:
+        """Record a clip from a :class:`repro.audio.synth.HiveSoundSynthesizer`."""
+        return synth.render(duration=self.duration_s, queen_present=queen_present, seed=seed)
+
+
+class Camera(Sensor):
+    """Raspberry Pi camera module 2 shooting 800×600 stills of the entrance."""
+
+    def __init__(self, width: int = 800, height: int = 600, n_images: int = 5, burst_s: float = 5.0) -> None:
+        payload = int(width * height * 3 * 0.15) * n_images  # ~JPEG 0.15 bpp-equivalent
+        super().__init__(name="pi-camera-v2", acquisition_s=burst_s, acquisition_w=0.25, payload_bytes=payload)
+        object.__setattr__(self, "width", int(width))
+        object.__setattr__(self, "height", int(height))
+        object.__setattr__(self, "n_images", int(n_images))
+
+
+class CurrentSensor(Sensor):
+    """±5 A DC/AC Grove current sensor (three per hive on the Pi Zero)."""
+
+    def __init__(self, full_scale_a: float = 5.0, noise_a: float = 0.01) -> None:
+        super().__init__(name="grove-current", acquisition_s=0.02, acquisition_w=0.003, payload_bytes=8)
+        object.__setattr__(self, "full_scale_a", float(full_scale_a))
+        object.__setattr__(self, "noise_a", float(noise_a))
+
+    def read_power(self, true_watts: float, volts: float = 5.0, seed: SeedLike = None) -> float:
+        """Measure a power draw through the 5 V rail, with clipping and noise."""
+        rng = make_rng(seed)
+        amps = true_watts / volts
+        measured = np.clip(amps + rng.normal(0.0, self.noise_a), -self.full_scale_a, self.full_scale_a)
+        return float(measured * volts)

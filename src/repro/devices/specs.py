@@ -1,0 +1,133 @@
+"""Hardware specification catalog.
+
+Power figures come from the paper where available (§IV/§V: Pi 3b+ sleep
+0.62 W, active ≈ 2.14 W; cloud idle ≈ 44.6 W and receive ≈ 68.8 W derived
+from Table II) and from vendor datasheets otherwise.  Compute throughput
+numbers (``effective_gflops``) are the calibration knob of the FLOP→energy
+model in :mod:`repro.ml.nn.flops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.energy.power import PowerModel, PowerState
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a device type.
+
+    Attributes
+    ----------
+    name:
+        Catalog identifier.
+    cpu:
+        Human-readable CPU description.
+    ram_bytes:
+        Installed memory.
+    power:
+        ``state -> watts`` map (becomes a :class:`PowerModel`).
+    effective_gflops:
+        Sustained throughput achieved by our NumPy-style inference workloads;
+        used by the FLOP→time→energy model.
+    network_mbps:
+        Nominal uplink throughput in Mbit/s.
+    """
+
+    name: str
+    cpu: str
+    ram_bytes: int
+    power: Dict[str, float]
+    effective_gflops: float
+    network_mbps: float = 0.0
+    description: str = ""
+
+    def power_model(self) -> PowerModel:
+        """Materialize the spec's power table as a :class:`PowerModel`."""
+        return PowerModel(
+            self.name,
+            [PowerState(state, watts, description=f"{self.name} {state}") for state, watts in self.power.items()],
+        )
+
+    def watts(self, state: str) -> float:
+        try:
+            return self.power[state]
+        except KeyError:
+            known = ", ".join(sorted(self.power))
+            raise KeyError(f"{self.name!r} has no state {state!r} (known: {known})") from None
+
+
+#: Beehive data recorder.  Sleep/active powers from §IV; boot/shutdown and
+#: transfer powers implied by Tables I/II (transfer ≈ 2.5 W: "the network
+#: components have a larger energy cost than the sensors").
+RASPBERRY_PI_3B_PLUS = DeviceSpec(
+    name="raspberry-pi-3b+",
+    cpu="quad-core 1.4 GHz 64-bit (BCM2837B0)",
+    ram_bytes=1 * 1024**3,
+    power={
+        "off": 0.0,
+        "sleep": 0.625,  # §IV quotes 0.62; Tables I/II imply 0.625 (111.6 J / 178.5 s)
+        "boot": 2.3,
+        "active": 2.14,  # §IV: average routine power
+        "collect": 2.06,  # Table I: 131.8 J / 64.0 s
+        "compute": 2.15,  # Table I: SVM row 98.9 J / 46.1 s
+        "transfer": 2.49,  # Table II: send audio 37.3 J / 15.0 s
+        "shutdown": 2.12,  # Table I: 21.0 J / 9.9 s
+    },
+    effective_gflops=0.9,
+    network_mbps=20.0,
+    description="Beehive data recorder (duty-cycled).",
+)
+
+#: Always-on energy monitor / wake-up signaller.
+RASPBERRY_PI_ZERO_WH = DeviceSpec(
+    name="raspberry-pi-zero-wh",
+    cpu="single-core 1 GHz (BCM2835)",
+    ram_bytes=512 * 1024**2,
+    power={
+        "off": 0.0,
+        "idle": 0.45,
+        "active": 0.85,
+        "transfer": 1.1,
+    },
+    effective_gflops=0.15,
+    network_mbps=10.0,
+    description="Always-on current monitor; raises the GPIO wake-up signal.",
+)
+
+#: Cloud server: idle/receive/compute powers derived from Table II
+#: (idle 9415 J / 211.1 s = 44.6 W; receive 1032 J / 15 s = 68.8 W;
+#: CNN inference 108 J / 1.0 s = 108 W on the GPU).
+CLOUD_SERVER_I7_RTX2070 = DeviceSpec(
+    name="cloud-i7-8700k-rtx2070",
+    cpu="Intel i7-8700K + Nvidia RTX 2070",
+    ram_bytes=32 * 1024**3,
+    power={
+        "off": 0.0,
+        "idle": 44.6,
+        "receive": 68.8,
+        "compute_cpu": 63.0,  # Table II SVM: 6.3 J / 0.1 s
+        "compute_gpu": 108.0,  # Table II CNN: 108 J / 1.0 s
+    },
+    effective_gflops=220.0,
+    network_mbps=1000.0,
+    description="Dedicated inference server, always on in the edge+cloud scenario.",
+)
+
+_CATALOG: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (RASPBERRY_PI_3B_PLUS, RASPBERRY_PI_ZERO_WH, CLOUD_SERVER_I7_RTX2070)
+}
+
+
+def catalog(name: str | None = None):
+    """Look up a spec by name, or return the full catalog dict."""
+    if name is None:
+        return dict(_CATALOG)
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise KeyError(f"unknown device {name!r} (known: {known})") from None

@@ -1,0 +1,26 @@
+"""Feature vectors for the classical-ML path.
+
+The paper passes mel "vector features ... as is" to the SVM.  We use the
+standard compaction for long clips: per-mel-band statistics over time (mean
+and standard deviation), giving a fixed-length ``2*n_mels`` vector
+irrespective of clip duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.spectrogram import MelSpectrogram
+
+
+def mel_statistics(spec_db: np.ndarray) -> np.ndarray:
+    """Per-band mean and std over time: ``(n_mels, T)`` → ``(2*n_mels,)``."""
+    spec_db = np.asarray(spec_db, dtype=np.float64)
+    if spec_db.ndim != 2:
+        raise ValueError(f"spectrogram must be 2-D, got shape {spec_db.shape}")
+    return np.concatenate([spec_db.mean(axis=1), spec_db.std(axis=1)])
+
+
+def svm_feature_vector(signal: np.ndarray, mel: MelSpectrogram) -> np.ndarray:
+    """Full audio → SVM feature path (mel dB stats)."""
+    return mel_statistics(mel.db(signal))

@@ -1,0 +1,51 @@
+"""Spectrogram → image conversion (bilinear resize + normalization).
+
+The paper converts mel spectrograms into N×N images as CNN input and sweeps
+N (Figure 5).  Bilinear resampling is implemented with separable 1-D
+interpolation (two vectorized ``np.interp``-style gathers), which is exact
+for axis-aligned bilinear and allocation-light.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _axis_coords(n_out: int, n_in: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Half-pixel-centered source coordinates and gather indices/weights."""
+    if n_out < 1 or n_in < 1:
+        raise ValueError("sizes must be >= 1")
+    # align: out pixel i center maps to ((i+0.5) * n_in/n_out - 0.5) in input.
+    src = (np.arange(n_out) + 0.5) * (n_in / n_out) - 0.5
+    src = np.clip(src, 0.0, n_in - 1.0)
+    lo = np.floor(src).astype(np.intp)
+    hi = np.minimum(lo + 1, n_in - 1)
+    w = src - lo
+    return lo, hi, w
+
+
+def resize_bilinear(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Resize a 2-D array to ``(height, width)`` with bilinear interpolation."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"image must be 2-D, got shape {image.shape}")
+    r_lo, r_hi, r_w = _axis_coords(height, image.shape[0])
+    c_lo, c_hi, c_w = _axis_coords(width, image.shape[1])
+    # Rows first (separable).
+    rows = image[r_lo, :] * (1.0 - r_w)[:, None] + image[r_hi, :] * r_w[:, None]
+    out = rows[:, c_lo] * (1.0 - c_w)[None, :] + rows[:, c_hi] * c_w[None, :]
+    return out
+
+
+def normalize_image(image: np.ndarray, eps: float = 1e-9) -> np.ndarray:
+    """Scale an image to zero mean / unit std (per-image standardization)."""
+    image = np.asarray(image, dtype=np.float64)
+    std = image.std()
+    return (image - image.mean()) / (std + eps)
+
+
+def spectrogram_to_image(spec_db: np.ndarray, size: int) -> np.ndarray:
+    """Paper pipeline: resize a dB mel spectrogram to ``size×size`` and standardize."""
+    if size < 2:
+        raise ValueError("size must be >= 2")
+    return normalize_image(resize_bilinear(spec_db, size, size))

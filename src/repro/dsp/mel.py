@@ -1,0 +1,68 @@
+"""Mel scale and triangular mel filterbank (Slaney-free, HTK mel formula)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hz_to_mel(hz):
+    """HTK mel scale: ``2595 * log10(1 + hz/700)``. Accepts scalars/arrays."""
+    hz = np.asarray(hz, dtype=np.float64)
+    if np.any(hz < 0):
+        raise ValueError("frequency must be >= 0")
+    out = 2595.0 * np.log10(1.0 + hz / 700.0)
+    return float(out) if out.ndim == 0 else out
+
+
+def mel_to_hz(mel):
+    """Inverse of :func:`hz_to_mel`."""
+    mel = np.asarray(mel, dtype=np.float64)
+    if np.any(mel < 0):
+        raise ValueError("mel value must be >= 0")
+    out = 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
+    return float(out) if out.ndim == 0 else out
+
+
+def mel_filterbank(
+    sample_rate: int,
+    n_fft: int,
+    n_mels: int = 128,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Triangular mel filterbank of shape ``(n_mels, n_fft//2 + 1)``.
+
+    With ``normalize=True`` each filter is area-normalized (Slaney style) so
+    white noise yields a flat mel spectrum; tests rely on the un-normalized
+    bank forming a partition of unity between the centre frequencies of the
+    first and last filters.
+    """
+    if n_mels < 1:
+        raise ValueError("n_mels must be >= 1")
+    if n_fft < 2:
+        raise ValueError("n_fft must be >= 2")
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be > 0")
+    fmax = sample_rate / 2.0 if fmax is None else float(fmax)
+    if not (0 <= fmin < fmax <= sample_rate / 2.0 + 1e-9):
+        raise ValueError(f"need 0 <= fmin < fmax <= nyquist, got fmin={fmin}, fmax={fmax}")
+
+    n_bins = n_fft // 2 + 1
+    fft_freqs = np.linspace(0.0, sample_rate / 2.0, n_bins)
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), n_mels + 2)
+    hz_points = mel_to_hz(mel_points)
+
+    bank = np.zeros((n_mels, n_bins))
+    for m in range(n_mels):
+        lo, center, hi = hz_points[m], hz_points[m + 1], hz_points[m + 2]
+        # Rising and falling ramps; guard zero-width edges.
+        up = (fft_freqs - lo) / max(center - lo, 1e-12)
+        down = (hi - fft_freqs) / max(hi - center, 1e-12)
+        bank[m] = np.clip(np.minimum(up, down), 0.0, None)
+
+    if normalize:
+        # Slaney area normalization: 2 / bandwidth.
+        enorm = 2.0 / (hz_points[2:] - hz_points[:-2])
+        bank *= enorm[:, None]
+    return bank

@@ -1,0 +1,83 @@
+"""Mel-frequency cepstral coefficients — the classical bioacoustics feature.
+
+The queen-detection literature the paper builds on (Nolasco et al.) uses
+MFCCs alongside mel spectrograms; we provide them as an alternative
+classical-ML feature for the ablation in ``examples``/tests.  Implemented
+from scratch: mel dB spectrogram → orthonormal DCT-II over the band axis →
+first ``n_mfcc`` coefficients, optionally with liftering and Δ features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.spectrogram import MelSpectrogram
+
+
+def dct_ii_matrix(n: int, k: int) -> np.ndarray:
+    """Orthonormal DCT-II basis: ``(k, n)`` matrix mapping n bands → k coefs."""
+    if n < 1 or k < 1 or k > n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    grid = np.pi * (np.arange(n) + 0.5) / n
+    basis = np.cos(np.outer(np.arange(k), grid))
+    basis *= np.sqrt(2.0 / n)
+    basis[0] *= 1.0 / np.sqrt(2.0)
+    return basis
+
+
+def mfcc(
+    spec_db: np.ndarray,
+    n_mfcc: int = 20,
+    lifter: float = 0.0,
+) -> np.ndarray:
+    """MFCCs from a dB mel spectrogram: ``(n_mels, T)`` → ``(n_mfcc, T)``.
+
+    ``lifter > 0`` applies sinusoidal liftering (emphasizes mid-order
+    coefficients, the HTK convention).
+    """
+    spec_db = np.asarray(spec_db, dtype=np.float64)
+    if spec_db.ndim != 2:
+        raise ValueError(f"spectrogram must be 2-D, got shape {spec_db.shape}")
+    basis = dct_ii_matrix(spec_db.shape[0], n_mfcc)
+    coefs = basis @ spec_db
+    if lifter > 0:
+        weights = 1.0 + (lifter / 2.0) * np.sin(np.pi * np.arange(n_mfcc) / lifter)
+        coefs = coefs * weights[:, None]
+    elif lifter < 0:
+        raise ValueError("lifter must be >= 0")
+    return coefs
+
+
+def delta(features: np.ndarray, width: int = 2) -> np.ndarray:
+    """Regression-based temporal derivative (Δ features), same shape."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D (coef, time)")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    t = features.shape[1]
+    padded = np.pad(features, ((0, 0), (width, width)), mode="edge")
+    num = np.zeros_like(features)
+    for d in range(1, width + 1):
+        num += d * (padded[:, width + d : width + d + t] - padded[:, width - d : width - d + t])
+    denom = 2.0 * sum(d * d for d in range(1, width + 1))
+    return num / denom
+
+
+def mfcc_feature_vector(
+    signal: np.ndarray,
+    mel: MelSpectrogram,
+    n_mfcc: int = 20,
+    include_delta: bool = True,
+) -> np.ndarray:
+    """Clip → fixed-length MFCC statistics vector for classical classifiers.
+
+    Mean and std per coefficient (and per Δ-coefficient when enabled):
+    ``2 * n_mfcc * (1 + include_delta)`` values.
+    """
+    coefs = mfcc(mel.db(signal), n_mfcc=n_mfcc)
+    parts = [coefs.mean(axis=1), coefs.std(axis=1)]
+    if include_delta:
+        d = delta(coefs)
+        parts += [d.mean(axis=1), d.std(axis=1)]
+    return np.concatenate(parts)

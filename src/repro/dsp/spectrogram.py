@@ -1,0 +1,92 @@
+"""Mel-spectrogram pipeline matching the paper's §V settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.mel import mel_filterbank
+from repro.dsp.stft import stft
+
+
+def power_to_db(power: np.ndarray, ref: float | None = None, top_db: float = 80.0) -> np.ndarray:
+    """Convert a power spectrogram to decibels.
+
+    ``ref`` defaults to the array maximum (librosa's ``ref=np.max``); the
+    dynamic range is clipped at ``top_db`` below the reference.
+    """
+    power = np.asarray(power, dtype=np.float64)
+    if np.any(power < 0):
+        raise ValueError("power values must be >= 0")
+    if ref is None:
+        ref = float(power.max()) if power.size else 1.0
+    ref = max(ref, 1e-20)
+    db = 10.0 * np.log10(np.maximum(power, 1e-20) / ref)
+    if top_db is not None:
+        if top_db <= 0:
+            raise ValueError("top_db must be > 0")
+        db = np.maximum(db, db.max() - top_db)
+    return db
+
+
+@dataclass(frozen=True)
+class SpectrogramConfig:
+    """Feature settings; defaults are the paper's (§V)."""
+
+    sample_rate: int = 22050
+    n_fft: int = 2048
+    hop: int = 512
+    n_mels: int = 128
+    fmin: float = 0.0
+    fmax: float | None = None
+    window: str = "hann"
+
+    def __post_init__(self) -> None:
+        if self.n_fft < 16:
+            raise ValueError("n_fft must be >= 16")
+        if self.hop < 1:
+            raise ValueError("hop must be >= 1")
+        if self.n_mels < 1:
+            raise ValueError("n_mels must be >= 1")
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be > 0")
+
+
+class MelSpectrogram:
+    """Callable audio → (n_mels, n_frames) mel power/dB spectrogram.
+
+    The filterbank is computed once at construction and reused across clips
+    (it is the dominant setup cost); the per-clip path is a strided STFT plus
+    one matmul.
+    """
+
+    def __init__(self, config: SpectrogramConfig = SpectrogramConfig()) -> None:
+        self.config = config
+        self._bank = mel_filterbank(
+            sample_rate=config.sample_rate,
+            n_fft=config.n_fft,
+            n_mels=config.n_mels,
+            fmin=config.fmin,
+            fmax=config.fmax,
+        )
+
+    @property
+    def filterbank(self) -> np.ndarray:
+        """The (n_mels, n_fft//2+1) filterbank (read-only view)."""
+        view = self._bank.view()
+        view.flags.writeable = False
+        return view
+
+    def power(self, signal: np.ndarray) -> np.ndarray:
+        """Mel *power* spectrogram, shape ``(n_mels, n_frames)``."""
+        spec = stft(signal, n_fft=self.config.n_fft, hop=self.config.hop, window=self.config.window)
+        power = np.abs(spec) ** 2
+        return self._bank @ power
+
+    def db(self, signal: np.ndarray, top_db: float = 80.0) -> np.ndarray:
+        """Mel spectrogram in dB relative to the clip maximum."""
+        return power_to_db(self.power(signal), top_db=top_db)
+
+    def __call__(self, signal: np.ndarray) -> np.ndarray:
+        return self.db(signal)

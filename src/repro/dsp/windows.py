@@ -1,0 +1,47 @@
+"""Analysis windows for the STFT."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hann(length: int) -> np.ndarray:
+    """Periodic Hann window (the STFT convention, not symmetric)."""
+    _check_length(length)
+    if length == 1:
+        return np.ones(1)
+    return 0.5 * (1.0 - np.cos(2.0 * np.pi * np.arange(length) / length))
+
+
+def hamming(length: int) -> np.ndarray:
+    """Periodic Hamming window."""
+    _check_length(length)
+    if length == 1:
+        return np.ones(1)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * np.arange(length) / length)
+
+
+def rectangular(length: int) -> np.ndarray:
+    """Rectangular (boxcar) window."""
+    _check_length(length)
+    return np.ones(length)
+
+
+_WINDOWS = {"hann": hann, "hamming": hamming, "rectangular": rectangular, "boxcar": rectangular}
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Look up a window by name."""
+    try:
+        fn = _WINDOWS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_WINDOWS))
+        raise ValueError(f"unknown window {name!r} (known: {known})") from None
+    return fn(length)
+
+
+def _check_length(length: int) -> None:
+    if not isinstance(length, (int, np.integer)) or isinstance(length, bool):
+        raise TypeError(f"window length must be an int, got {type(length).__name__}")
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")

@@ -1,0 +1,112 @@
+"""Per-entity energy ledger.
+
+Every simulated entity (edge device, cloud server, whole fleet) charges its
+consumption into an :class:`EnergyAccount`.  The ledger keeps per-category
+sub-totals (``sleep``, ``collect``, ``transfer`` …) so experiment reports can
+reproduce the paper's task-by-task tables, and it supports hierarchical
+roll-up via :meth:`merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One charge: ``energy`` joules attributed to ``category`` over ``duration`` s."""
+
+    category: str
+    energy: float
+    duration: float = 0.0
+    time: Optional[float] = None  # sim time of the charge, if known
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.energy, "LedgerEntry.energy")
+        check_non_negative(self.duration, "LedgerEntry.duration")
+
+
+class EnergyAccount:
+    """Additive energy ledger with per-category totals.
+
+    Invariants (property-tested): the grand total equals the sum of category
+    totals; merging accounts is associative and commutative on totals.
+    """
+
+    def __init__(self, owner: str = "", keep_entries: bool = False) -> None:
+        self.owner = owner
+        self._totals: Dict[str, float] = {}
+        self._durations: Dict[str, float] = {}
+        self._entries: Optional[List[LedgerEntry]] = [] if keep_entries else None
+
+    def charge(self, category: str, energy: float, duration: float = 0.0, time: Optional[float] = None) -> None:
+        """Record ``energy`` joules under ``category``."""
+        check_non_negative(energy, "energy")
+        check_non_negative(duration, "duration")
+        self._totals[category] = self._totals.get(category, 0.0) + energy
+        self._durations[category] = self._durations.get(category, 0.0) + duration
+        if self._entries is not None:
+            self._entries.append(LedgerEntry(category, energy, duration, time))
+
+    def charge_power(self, category: str, watts: float, duration: float, time: Optional[float] = None) -> None:
+        """Record a constant-power draw: ``watts × duration`` joules."""
+        check_non_negative(watts, "watts")
+        check_non_negative(duration, "duration")
+        self.charge(category, watts * duration, duration, time)
+
+    @property
+    def total(self) -> float:
+        """Grand total in joules."""
+        return sum(self._totals.values())
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of charged durations in seconds (categories may overlap in time)."""
+        return sum(self._durations.values())
+
+    def category_total(self, category: str) -> float:
+        return self._totals.get(category, 0.0)
+
+    def category_duration(self, category: str) -> float:
+        return self._durations.get(category, 0.0)
+
+    @property
+    def categories(self) -> List[str]:
+        return sorted(self._totals)
+
+    @property
+    def entries(self) -> List[LedgerEntry]:
+        if self._entries is None:
+            raise ValueError("account was created with keep_entries=False")
+        return list(self._entries)
+
+    def breakdown(self) -> Dict[str, float]:
+        """``category -> joules`` copy."""
+        return dict(self._totals)
+
+    def merge(self, other: "EnergyAccount") -> "EnergyAccount":
+        """Return a new account combining both ledgers' totals."""
+        out = EnergyAccount(owner=self.owner or other.owner)
+        for src in (self, other):
+            for cat, e in src._totals.items():
+                out._totals[cat] = out._totals.get(cat, 0.0) + e
+            for cat, d in src._durations.items():
+                out._durations[cat] = out._durations.get(cat, 0.0) + d
+        return out
+
+    @staticmethod
+    def sum(accounts: Iterable["EnergyAccount"], owner: str = "fleet") -> "EnergyAccount":
+        """Roll up many accounts into one."""
+        out = EnergyAccount(owner=owner)
+        for acc in accounts:
+            for cat, e in acc._totals.items():
+                out._totals[cat] = out._totals.get(cat, 0.0) + e
+            for cat, d in acc._durations.items():
+                out._durations[cat] = out._durations.get(cat, 0.0) + d
+        return out
+
+    def __repr__(self) -> str:
+        return f"EnergyAccount({self.owner!r}, total={self.total:.1f} J, categories={len(self._totals)})"

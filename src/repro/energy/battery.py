@@ -1,0 +1,108 @@
+"""Battery (power-bank) state-of-charge model.
+
+The deployed system uses a 20 000 mAh USB power bank charged from a solar
+panel through a 5 V DC/DC converter.  We model it as an energy reservoir with
+charge/discharge efficiencies, a low-voltage cutoff (the paper's night-time
+outages: "the system is not running due to the lack of light at night"), and
+a recovery hysteresis so the device does not flap around the cutoff.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import mah_to_joules
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+
+class Battery:
+    """Energy reservoir with efficiency losses and a cutoff/recovery band.
+
+    Parameters
+    ----------
+    capacity_joules:
+        Usable capacity in joules (default: 20 000 mAh at 3.7 V ≈ 266 kJ).
+    soc:
+        Initial state of charge in [0, 1].
+    charge_efficiency / discharge_efficiency:
+        Fractions of energy retained on the way in / delivered on the way out.
+    cutoff_soc:
+        Below this state of charge the battery refuses to supply load
+        (protection circuit).  The outage latches until ``recovery_soc``.
+    recovery_soc:
+        State of charge at which supply resumes after a cutoff.
+    """
+
+    DEFAULT_CAPACITY = mah_to_joules(20_000.0, volts=3.7)
+
+    def __init__(
+        self,
+        capacity_joules: float = DEFAULT_CAPACITY,
+        soc: float = 1.0,
+        charge_efficiency: float = 0.92,
+        discharge_efficiency: float = 0.92,
+        cutoff_soc: float = 0.02,
+        recovery_soc: float = 0.05,
+    ) -> None:
+        self.capacity = check_positive(capacity_joules, "capacity_joules")
+        check_in_range(soc, "soc", 0.0, 1.0)
+        self._stored = soc * self.capacity
+        self.charge_efficiency = check_in_range(charge_efficiency, "charge_efficiency", 0.0, 1.0, low_inclusive=False)
+        self.discharge_efficiency = check_in_range(
+            discharge_efficiency, "discharge_efficiency", 0.0, 1.0, low_inclusive=False
+        )
+        self.cutoff_soc = check_in_range(cutoff_soc, "cutoff_soc", 0.0, 1.0)
+        self.recovery_soc = check_in_range(recovery_soc, "recovery_soc", 0.0, 1.0)
+        if self.recovery_soc < self.cutoff_soc:
+            raise ValueError("recovery_soc must be >= cutoff_soc")
+        self._in_cutoff = self.soc <= self.cutoff_soc
+
+    @property
+    def stored(self) -> float:
+        """Stored energy in joules."""
+        return self._stored
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._stored / self.capacity
+
+    @property
+    def can_supply(self) -> bool:
+        """False while the protection cutoff is latched."""
+        return not self._in_cutoff
+
+    def charge(self, energy: float) -> float:
+        """Store ``energy`` joules (pre-loss); returns joules actually stored.
+
+        Overflow beyond capacity is discarded (the charge controller floats).
+        """
+        check_non_negative(energy, "energy")
+        stored = energy * self.charge_efficiency
+        accepted = min(stored, self.capacity - self._stored)
+        self._stored += accepted
+        if self._in_cutoff and self.soc >= self.recovery_soc:
+            self._in_cutoff = False
+        return accepted
+
+    def discharge(self, energy: float) -> float:
+        """Draw ``energy`` joules of *delivered* load; returns joules delivered.
+
+        If the battery cannot cover the full request (or is in cutoff), it
+        delivers what it can and latches the cutoff — modelling the brownout
+        that halts the beehive electronics at night.
+        """
+        check_non_negative(energy, "energy")
+        if self._in_cutoff:
+            return 0.0
+        needed = energy / self.discharge_efficiency
+        floor = self.cutoff_soc * self.capacity
+        available = max(0.0, self._stored - floor)
+        drawn = min(needed, available)
+        self._stored -= drawn
+        delivered = drawn * self.discharge_efficiency
+        if drawn < needed or self.soc <= self.cutoff_soc:
+            self._in_cutoff = True
+        return delivered
+
+    def __repr__(self) -> str:
+        flag = " CUTOFF" if self._in_cutoff else ""
+        return f"Battery(soc={self.soc:.3f}, stored={self._stored:.0f} J{flag})"

@@ -1,0 +1,140 @@
+"""Short-horizon solar-harvest forecasting.
+
+The paper's future work proposes "connected beehives' intelligence to tune
+its parameters": an adaptive duty cycle needs an estimate of the energy the
+panel will deliver before the battery runs dry.  This module provides two
+estimators:
+
+* :class:`DiurnalProfileForecaster` — learns an hour-of-day harvest profile
+  online (exponentially weighted over days) and predicts by replaying it, a
+  standard technique for energy-neutral sensor nodes (cf. Kansal et al.'s
+  EWMA scheme);
+* :class:`PersistenceForecaster` — "tomorrow ≈ today" baseline.
+
+Both consume ``observe(time, watts)`` samples and answer
+``predict_energy(t0, t1)`` in joules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.units import DAY
+from repro.util.validation import check_in_range, check_positive
+
+
+class DiurnalProfileForecaster:
+    """EWMA hour-of-day harvest profile.
+
+    Maintains ``n_bins`` time-of-day bins; each finished day's observed bin
+    averages are folded into the profile with weight ``alpha``.  Prediction
+    integrates the profile over the query window.
+    """
+
+    def __init__(self, n_bins: int = 48, alpha: float = 0.3) -> None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        self.n_bins = int(n_bins)
+        self.alpha = check_in_range(alpha, "alpha", 0.0, 1.0, low_inclusive=False)
+        self._profile = np.zeros(self.n_bins)  # watts per bin
+        self._have_profile = False
+        # Current-day accumulation.
+        self._day_sum = np.zeros(self.n_bins)
+        self._day_count = np.zeros(self.n_bins, dtype=np.int64)
+        self._current_day: int | None = None
+        self._last_time: float | None = None
+
+    @property
+    def bin_seconds(self) -> float:
+        return DAY / self.n_bins
+
+    def observe(self, time: float, watts: float) -> None:
+        """Feed one harvest-power sample (times must be non-decreasing)."""
+        if watts < 0:
+            raise ValueError("watts must be >= 0")
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self._last_time = time
+        day = int(time // DAY)
+        if self._current_day is None:
+            self._current_day = day
+        while day > self._current_day:
+            self._fold_day()
+            self._current_day += 1
+        b = int((time % DAY) / DAY * self.n_bins)
+        b = min(b, self.n_bins - 1)
+        self._day_sum[b] += watts
+        self._day_count[b] += 1
+
+    def _fold_day(self) -> None:
+        observed = self._day_count > 0
+        if not observed.any():
+            return
+        day_avg = np.zeros(self.n_bins)
+        day_avg[observed] = self._day_sum[observed] / self._day_count[observed]
+        if self._have_profile:
+            self._profile[observed] = (
+                (1 - self.alpha) * self._profile[observed] + self.alpha * day_avg[observed]
+            )
+        else:
+            self._profile[observed] = day_avg[observed]
+            self._have_profile = True
+        self._day_sum[:] = 0.0
+        self._day_count[:] = 0
+
+    def predict_power(self, time: float) -> float:
+        """Expected harvest power (W) at a future instant."""
+        b = int((time % DAY) / DAY * self.n_bins)
+        return float(self._profile[min(b, self.n_bins - 1)])
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        """Expected harvest (J) over [t0, t1] by integrating the profile."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t1 == t0:
+            return 0.0
+        # Integrate bin by bin (handles multi-day windows).
+        total = 0.0
+        t = t0
+        while t < t1:
+            b = int((t % DAY) / DAY * self.n_bins)
+            b = min(b, self.n_bins - 1)
+            bin_end = (t // self.bin_seconds + 1) * self.bin_seconds
+            seg_end = min(bin_end, t1)
+            total += self._profile[b] * (seg_end - t)
+            t = seg_end
+        return total
+
+    @property
+    def trained(self) -> bool:
+        """True once at least one full day has been folded in."""
+        return self._have_profile
+
+
+class PersistenceForecaster:
+    """Baseline: predicts the average power observed over the last day."""
+
+    def __init__(self, window: float = DAY) -> None:
+        self.window = check_positive(window, "window")
+        self._times: list[float] = []
+        self._watts: list[float] = []
+
+    def observe(self, time: float, watts: float) -> None:
+        if watts < 0:
+            raise ValueError("watts must be >= 0")
+        if self._times and time < self._times[-1]:
+            raise ValueError("time went backwards")
+        self._times.append(time)
+        self._watts.append(watts)
+        # Trim samples older than the window.
+        cutoff = time - self.window
+        while self._times and self._times[0] < cutoff:
+            self._times.pop(0)
+            self._watts.pop(0)
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if not self._watts:
+            return 0.0
+        return float(np.mean(self._watts)) * (t1 - t0)

@@ -1,0 +1,132 @@
+"""Power states and task power models.
+
+A device is described by a :class:`PowerModel`: a set of named
+:class:`PowerState` levels (``off``, ``sleep``, ``idle``, ``active`` …) plus
+optional per-task powers.  A :class:`TaskPower` couples a task name with a
+draw in watts and is the unit from which the paper's Table I/II rows are
+built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """A named steady-state power level.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"sleep"``, ``"idle"`` …).
+    watts:
+        Steady-state draw in watts.
+    description:
+        Free-text provenance (e.g. "measured, §IV: Pi 3b+ sleep").
+    """
+
+    name: str
+    watts: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.watts, f"PowerState({self.name!r}).watts")
+
+    def energy(self, duration: float) -> float:
+        """Joules consumed holding this state for ``duration`` seconds."""
+        check_non_negative(duration, "duration")
+        return self.watts * duration
+
+
+@dataclass(frozen=True)
+class TaskPower:
+    """Power and duration of one named task (a Table I/II row).
+
+    ``energy`` is derived (watts × seconds) unless an explicitly measured
+    value is supplied, in which case the implied power is ``energy/duration``.
+    """
+
+    name: str
+    duration: float
+    watts: Optional[float] = None
+    measured_energy: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration, f"TaskPower({self.name!r}).duration")
+        if self.watts is None and self.measured_energy is None:
+            raise ValueError(f"TaskPower({self.name!r}): provide watts or measured_energy")
+        if self.watts is not None:
+            check_non_negative(self.watts, f"TaskPower({self.name!r}).watts")
+        if self.measured_energy is not None:
+            check_non_negative(self.measured_energy, f"TaskPower({self.name!r}).measured_energy")
+
+    @property
+    def energy(self) -> float:
+        """Joules for one execution of the task."""
+        if self.measured_energy is not None:
+            return self.measured_energy
+        assert self.watts is not None
+        return self.watts * self.duration
+
+    @property
+    def power(self) -> float:
+        """Average watts over the task."""
+        if self.watts is not None:
+            return self.watts
+        assert self.measured_energy is not None
+        return self.measured_energy / self.duration
+
+    def scaled(self, duration_factor: float = 1.0, energy_factor: float = 1.0) -> "TaskPower":
+        """Return a copy with duration and energy scaled (loss models use this)."""
+        check_positive(duration_factor, "duration_factor")
+        check_positive(energy_factor, "energy_factor")
+        return TaskPower(
+            name=self.name,
+            duration=self.duration * duration_factor,
+            measured_energy=self.energy * energy_factor,
+            watts=None,
+        )
+
+
+class PowerModel:
+    """Named collection of power states for one device type."""
+
+    def __init__(self, name: str, states: Iterable[PowerState]) -> None:
+        self.name = name
+        self._states: Dict[str, PowerState] = {}
+        for st in states:
+            if st.name in self._states:
+                raise ValueError(f"duplicate power state {st.name!r} in model {name!r}")
+            self._states[st.name] = st
+        if not self._states:
+            raise ValueError(f"power model {name!r} has no states")
+
+    def __contains__(self, state_name: str) -> bool:
+        return state_name in self._states
+
+    def __getitem__(self, state_name: str) -> PowerState:
+        try:
+            return self._states[state_name]
+        except KeyError:
+            known = ", ".join(sorted(self._states))
+            raise KeyError(f"unknown power state {state_name!r} for {self.name!r} (known: {known})") from None
+
+    @property
+    def states(self) -> Dict[str, PowerState]:
+        return dict(self._states)
+
+    def watts(self, state_name: str) -> float:
+        """Draw of ``state_name`` in watts."""
+        return self[state_name].watts
+
+    def weights(self) -> Dict[str, float]:
+        """``state -> watts`` map, suitable for ``StateTimeline.integrate``."""
+        return {name: st.watts for name, st in self._states.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={s.watts:g}W" for n, s in sorted(self._states.items()))
+        return f"PowerModel({self.name!r}: {inner})"

@@ -1,0 +1,83 @@
+"""Figure 6: ideal large-scale simulation, 10–400 clients, 10 per slot.
+
+Reproduces the three headline numbers: edge energy per client is flat at
+~322 J (independent of fleet size), the server cost per client converges
+toward the full-server figure (~116 J in the paper), and the best total per
+client is their sum (~438 J) — 16 % above the edge-only scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import PAPER, PaperConstants
+from repro.core.routines import make_scenario
+from repro.core.sweep import sweep_clients
+from repro.experiments.report import ExperimentResult
+from repro.util.tabulate import render_table
+
+
+def run(
+    model: str = "svm",
+    n_min: int = 10,
+    n_max: int = 400,
+    max_parallel: int = 10,
+    constants: PaperConstants = PAPER,
+) -> ExperimentResult:
+    scenario = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
+    edge_scenario = make_scenario("edge", model, constants=constants)
+    n = np.arange(n_min, n_max + 1)
+    sweep = sweep_clients(n, scenario)
+    edge_sweep = sweep_clients(n, edge_scenario)
+
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="Ideal client-server simulation (no loss)",
+        description=f"{n_min}..{n_max} clients, {max_parallel} clients/slot, first-fit allocation.",
+    )
+    result.add_series("n_clients", n)
+    result.add_series("n_servers", sweep.n_servers)
+    result.add_series("edge_per_client_j", sweep.edge_energy_per_client)
+    result.add_series("server_per_client_j", sweep.server_energy_per_client)
+    result.add_series("total_per_client_j", sweep.total_energy_per_client)
+    result.add_series("edge_only_per_client_j", edge_sweep.total_energy_per_client)
+
+    # Full-server per-client cost: evaluate exactly at one full server.
+    capacity = sweep.server_capacity
+    full = sweep_clients(np.array([capacity]), scenario)
+    server_full = float(full.server_energy_per_client[0])
+    best_total = float(full.total_energy_per_client[0])
+    edge_cost = edge_scenario.client.cycle_energy
+
+    result.compare("edge J/client (flat)", constants.edge_cloud_client_j,
+                   float(sweep.edge_energy_per_client[0]), tolerance_pct=1.0)
+    result.compare("server J/client at full server", constants.server_full_per_client_j,
+                   server_full, tolerance_pct=8.0)
+    result.compare("best total J/client", constants.best_total_per_client_j,
+                   best_total, tolerance_pct=5.0)
+    result.compare("edge-only J/client", constants.edge_svm_total_j if model == "svm" else constants.edge_cnn_total_j,
+                   edge_cost, tolerance_pct=1.0)
+    overhead_pct = 100.0 * (best_total / edge_cost - 1.0)
+    result.compare("edge+cloud overhead vs edge (%)", 16.0, overhead_pct, tolerance_pct=25.0)
+
+    # Summary table at a few fleet sizes.
+    picks = [i for i, c in enumerate(n) if c in (n_min, 50, 100, 200, capacity, n_max) and c <= n_max]
+    result.tables.append(
+        render_table(
+            ["Clients", "Servers", "Edge J/client", "Server J/client", "Total J/client"],
+            [
+                (
+                    int(n[i]),
+                    int(sweep.n_servers[i]),
+                    sweep.edge_energy_per_client[i],
+                    sweep.server_energy_per_client[i],
+                    sweep.total_energy_per_client[i],
+                )
+                for i in sorted(set(picks))
+            ],
+            formats=["d", "d", ".1f", ".1f", ".1f"],
+            title=f"Figure 6 reproduction ({model.upper()}, {max_parallel}/slot, capacity {capacity}/server)",
+        )
+    )
+    result.notes.append(f"server capacity: {sweep.slots_per_server} slots × {max_parallel} = {capacity} clients")
+    return result

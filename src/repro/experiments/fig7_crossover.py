@@ -1,0 +1,88 @@
+"""Figure 7: end-to-end energy per client, edge vs edge+cloud, 100–2000 clients.
+
+Two server settings (10 and 35 clients per slot) plus the §VI-B headline
+statistics: the ≥26-clients/slot tipping capacity, the ~406-client first
+crossover at 35/slot, the maximal gap (~12.5 J near 630 clients) and the
+permanent crossover (~803 clients).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import PAPER, PaperConstants
+from repro.core.crossover import find_crossover, tipping_max_parallel
+from repro.core.routines import make_scenario
+from repro.core.sweep import sweep_clients
+from repro.experiments.report import ExperimentResult
+
+
+def run(
+    model: str = "svm",
+    n_min: int = 100,
+    n_max: int = 2000,
+    constants: PaperConstants = PAPER,
+) -> ExperimentResult:
+    edge = make_scenario("edge", model, constants=constants)
+    n = np.arange(n_min, n_max + 1)
+    edge_sweep = sweep_clients(n, edge)
+
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Edge vs Edge+Cloud end-to-end energy per client",
+        description=f"{n_min}..{n_max} clients; server settings: 10 and 35 clients/slot.",
+    )
+    result.add_series("n_clients", n)
+    result.add_series("edge_per_client_j", edge_sweep.total_energy_per_client)
+
+    reports = {}
+    for max_parallel in (10, 35):
+        cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
+        sweep = sweep_clients(n, cloud)
+        result.add_series(f"edge_cloud_per_client_j_p{max_parallel}", sweep.total_energy_per_client)
+        result.add_series(f"n_servers_p{max_parallel}", sweep.n_servers)
+        reports[max_parallel] = find_crossover(
+            n, edge_sweep.total_energy_per_client, sweep.total_energy_per_client
+        )
+        result.tables.append(reports[max_parallel].render() + f"   [max_parallel={max_parallel}]")
+
+    # Headline §VI-B statistics at 35 clients/slot.
+    rep35 = reports[35]
+    try:
+        tip = tipping_max_parallel(edge, make_scenario("edge+cloud", model, constants=constants))
+        result.compare("tipping clients/slot", constants.tipping_clients_per_slot, tip,
+                       tolerance_pct=10.0)
+    except ValueError:
+        # True for the CNN service: its 108 J cloud execution alone exceeds
+        # the ~45 J edge saving, so no admission cap makes edge+cloud win on
+        # total energy — the paper's §VI numbers are SVM-based.
+        result.notes.append(
+            f"no tipping capacity exists for the {model.upper()} service: the per-client cloud "
+            "execution energy alone exceeds the edge-side saving"
+        )
+    if rep35.first_crossover is not None:
+        result.compare("first crossover @35 (clients)", constants.crossover_clients_at_35,
+                       rep35.first_crossover, tolerance_pct=10.0)
+    if rep35.max_gap_at is not None:
+        result.compare("max gap location @35 (clients)", constants.max_gap_clients_at_35,
+                       rep35.max_gap_at, tolerance_pct=5.0)
+        result.compare("max gap @35 (J/client)", constants.max_gap_j_at_35,
+                       rep35.max_gap_j, tolerance_pct=25.0)
+    if rep35.permanent_crossover is not None:
+        # No tolerance band: the permanent crossover sits on a knife edge —
+        # at the 2-to-3-server boundary our curve passes within ~0.1 J/client
+        # of the threshold, so sub-percent calibration differences move this
+        # point by hundreds of clients (see EXPERIMENTS.md).
+        result.compare("permanent crossover @35 (clients)", constants.permanent_crossover_at_35,
+                       rep35.permanent_crossover)
+        result.notes.append(
+            "permanent crossover is knife-edge sensitive: near the 2-server/3-server boundary the "
+            "edge+cloud curve passes within ~0.1 J/client of the edge cost, so the paper's 803 and "
+            "our measurement differ despite matching curve shapes"
+        )
+    # At 10/slot edge+cloud should never win (full-server cost 112 J > 44 J headroom).
+    rep10 = reports[10]
+    result.notes.append(
+        f"at 10/slot, edge+cloud wins on {rep10.fraction_cloud_better:.1%} of the grid (paper: never)"
+    )
+    return result

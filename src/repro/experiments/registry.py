@@ -1,0 +1,65 @@
+"""Experiment registry: id → runner.
+
+``REGISTRY`` holds the paper's tables and figures; ``EXTENSIONS`` holds the
+future-work extensions (adaptive duty cycling, contention-derived loss B,
+heterogeneous fleets, training-phase pricing).  The CLI exposes both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ext_adaptive,
+    ext_contention,
+    ext_mixed,
+    ext_training,
+    fig2_trace,
+    fig3_frequency,
+    fig5_imagesize,
+    fig6_ideal,
+    fig7_crossover,
+    fig8_losses,
+    fig9_loss_crossover,
+    table1_edge,
+    table2_edgecloud,
+)
+from repro.experiments.report import ExperimentResult
+
+#: The paper's evaluation artifacts.
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": fig2_trace.run,
+    "fig3": fig3_frequency.run,
+    "fig5": fig5_imagesize.run,
+    "fig6": fig6_ideal.run,
+    "fig7": fig7_crossover.run,
+    "fig8": fig8_losses.run,
+    "fig9": fig9_loss_crossover.run,
+    "table1": table1_edge.run,
+    "table2": table2_edgecloud.run,
+}
+
+#: Future-work extensions (not paper artifacts).
+EXTENSIONS: Dict[str, Callable[..., ExperimentResult]] = {
+    "ext-adaptive": ext_adaptive.run,
+    "ext-contention": ext_contention.run,
+    "ext-mixed": ext_mixed.run,
+    "ext-training": ext_training.run,
+}
+
+
+def experiment_ids(include_extensions: bool = False) -> List[str]:
+    """Registered experiment ids, paper artifacts first."""
+    ids = list(REGISTRY)
+    if include_extensions:
+        ids += list(EXTENSIONS)
+    return ids
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment (paper artifact or extension) by id."""
+    runner = REGISTRY.get(experiment_id) or EXTENSIONS.get(experiment_id)
+    if runner is None:
+        known = ", ".join(experiment_ids(include_extensions=True))
+        raise KeyError(f"unknown experiment {experiment_id!r} (known: {known})")
+    return runner(**kwargs)

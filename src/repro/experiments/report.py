@@ -1,0 +1,104 @@
+"""Experiment result containers and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.util.tabulate import render_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured check."""
+
+    quantity: str
+    paper_value: float
+    measured_value: float
+    tolerance_pct: Optional[float] = None  # informational band, not an assert
+
+    @property
+    def deviation_pct(self) -> float:
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value else 0.0
+        return 100.0 * (self.measured_value - self.paper_value) / self.paper_value
+
+    @property
+    def within_tolerance(self) -> Optional[bool]:
+        if self.tolerance_pct is None:
+            return None
+        return abs(self.deviation_pct) <= self.tolerance_pct
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``series`` holds named arrays (the figure's curves); ``tables`` holds
+    pre-rendered ASCII tables; ``comparisons`` the paper-vs-measured pairs.
+    """
+
+    experiment_id: str
+    title: str
+    description: str = ""
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    tables: List[str] = field(default_factory=list)
+    comparisons: List[Comparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values) -> None:
+        self.series[name] = np.asarray(values)
+
+    def compare(self, quantity: str, paper: float, measured: float, tolerance_pct: Optional[float] = None) -> None:
+        self.comparisons.append(Comparison(quantity, float(paper), float(measured), tolerance_pct))
+
+    def comparison_table(self) -> str:
+        rows = []
+        for c in self.comparisons:
+            flag = ""
+            if c.within_tolerance is True:
+                flag = "ok"
+            elif c.within_tolerance is False:
+                flag = "DEVIATES"
+            rows.append((c.quantity, c.paper_value, c.measured_value, c.deviation_pct, flag))
+        return render_table(
+            ["Quantity", "Paper", "Measured", "Dev %", ""],
+            rows,
+            formats=[None, ".4g", ".4g", "+.1f", None],
+            title=f"{self.experiment_id}: paper vs measured",
+        )
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.description:
+            parts.append(self.description)
+        parts.extend(self.tables)
+        if self.comparisons:
+            parts.append(self.comparison_table())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def to_dict(self, include_series: bool = True) -> dict:
+        """JSON-serializable form (series as lists)."""
+        out = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "description": self.description,
+            "comparisons": [
+                {
+                    "quantity": c.quantity,
+                    "paper": c.paper_value,
+                    "measured": c.measured_value,
+                    "deviation_pct": c.deviation_pct,
+                    "within_tolerance": c.within_tolerance,
+                }
+                for c in self.comparisons
+            ],
+            "notes": list(self.notes),
+        }
+        if include_series:
+            out["series"] = {k: np.asarray(v).tolist() for k, v in self.series.items()}
+        return out

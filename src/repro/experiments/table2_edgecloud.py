@@ -1,0 +1,56 @@
+"""Table II: per-task breakdown of the edge+cloud scenario (SVM and CNN).
+
+Edge side and cloud side rendered separately; checks the published totals
+(edge 322.0 J; cloud 13 744.3 J for SVM / 13 806 J for CNN) and the §V
+claim that offloading saves ~12 % of edge energy.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants, table2_rows
+from repro.core.routines import make_scenario
+from repro.core.tasks import TaskSequence
+from repro.experiments.report import ExperimentResult
+
+
+def run(constants: PaperConstants = PAPER) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Edge+Cloud scenario task breakdown (per 5-minute cycle)",
+    )
+    cloud_totals = {"svm": constants.cloud_svm_total_j, "cnn": constants.cloud_cnn_total_j}
+    edge_totals = {"svm": constants.edge_svm_total_j, "cnn": constants.edge_cnn_total_j}
+    for model in ("svm", "cnn"):
+        rows = table2_rows(model, constants)
+        edge_seq = TaskSequence(f"Edge+Cloud ({model.upper()}) — edge side", rows["edge"])
+        cloud_seq = TaskSequence(f"Edge+Cloud ({model.upper()}) — cloud side", rows["cloud"])
+        result.tables.append(edge_seq.render())
+        result.tables.append(cloud_seq.render())
+        result.compare(
+            f"edge+cloud ({model}) edge total (J)",
+            constants.edge_cloud_client_j,
+            edge_seq.total_energy,
+            tolerance_pct=0.5,
+        )
+        result.compare(
+            f"edge+cloud ({model}) cloud total (J)",
+            cloud_totals[model],
+            cloud_seq.total_energy,
+            tolerance_pct=0.5,
+        )
+        result.compare(
+            f"edge+cloud ({model}) edge time (s)", CYCLE_SECONDS, edge_seq.total_duration, tolerance_pct=0.5
+        )
+        # §V: offloading reduces edge energy by 12.1 % (SVM) / 12.4 % (CNN).
+        paper_saving = {"svm": 12.1, "cnn": 12.4}[model]
+        saving_pct = 100.0 * (1.0 - edge_seq.total_energy / edge_totals[model])
+        result.compare(f"edge energy saving ({model}) (%)", paper_saving, saving_pct, tolerance_pct=5.0)
+        # Derived client profile agrees with the explicit rows.
+        scenario = make_scenario("edge+cloud", model, constants=constants)
+        result.compare(
+            f"edge+cloud ({model}) derived edge cycle energy (J)",
+            constants.edge_cloud_client_j,
+            scenario.client.cycle_energy,
+            tolerance_pct=0.5,
+        )
+    return result

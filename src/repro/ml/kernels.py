@@ -1,0 +1,63 @@
+"""Kernel functions for the SVM.
+
+All kernels are fully vectorized: ``k(X, Z)`` returns the ``(n, m)`` Gram
+matrix in one shot.  The RBF kernel uses the
+``|x-z|² = |x|² + |z|² − 2x·z`` expansion so the hot path is a single GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def _check_2d(X: np.ndarray, name: str) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_samples, n_features), got shape {X.shape}")
+    return X
+
+
+def linear_kernel(X, Z) -> np.ndarray:
+    """Gram matrix of dot products."""
+    X, Z = _check_2d(X, "X"), _check_2d(Z, "Z")
+    return X @ Z.T
+
+
+def polynomial_kernel(X, Z, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0) -> np.ndarray:
+    """``(gamma * X·Zᵀ + coef0) ** degree``."""
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    check_positive(gamma, "gamma")
+    X, Z = _check_2d(X, "X"), _check_2d(Z, "Z")
+    return (gamma * (X @ Z.T) + coef0) ** degree
+
+
+def rbf_kernel(X, Z, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma * |x - z|²)``."""
+    check_positive(gamma, "gamma")
+    X, Z = _check_2d(X, "X"), _check_2d(Z, "Z")
+    if X.shape[1] != Z.shape[1]:
+        raise ValueError(f"feature dims differ: {X.shape[1]} vs {Z.shape[1]}")
+    x2 = np.einsum("ij,ij->i", X, X)[:, None]
+    z2 = np.einsum("ij,ij->i", Z, Z)[None, :]
+    d2 = x2 + z2 - 2.0 * (X @ Z.T)
+    np.maximum(d2, 0.0, out=d2)  # numerical guard
+    return np.exp(-gamma * d2)
+
+
+def make_kernel(name: str, **params):
+    """Kernel factory: ``'rbf' | 'linear' | 'poly'`` → callable ``k(X, Z)``."""
+    name = name.lower()
+    if name == "rbf":
+        gamma = params.get("gamma", 1.0)
+        return lambda X, Z: rbf_kernel(X, Z, gamma=gamma)
+    if name == "linear":
+        return linear_kernel
+    if name in ("poly", "polynomial"):
+        degree = params.get("degree", 3)
+        gamma = params.get("gamma", 1.0)
+        coef0 = params.get("coef0", 1.0)
+        return lambda X, Z: polynomial_kernel(X, Z, degree=degree, gamma=gamma, coef0=coef0)
+    raise ValueError(f"unknown kernel {name!r} (known: rbf, linear, poly)")

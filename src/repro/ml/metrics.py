@@ -1,0 +1,48 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _check_pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count(true=labels[i], pred=labels[j])."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {lab: i for i, lab in enumerate(labels.tolist())}
+    M = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        M[index[t], index[p]] += 1
+    return M
+
+
+def precision_recall_f1(y_true, y_pred, positive=1) -> Dict[str, float]:
+    """Binary precision/recall/F1 for the ``positive`` label."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp = int(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = int(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = int(np.sum((y_true == positive) & (y_pred != positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,100 @@
+"""Functional kernels: im2col/col2im, softmax, cross-entropy.
+
+``im2col`` lowers convolution to one GEMM — the standard HPC approach for a
+pure-NumPy CNN: the patch-extraction is a strided view (no copy) reshaped
+once, so the arithmetic intensity lives in a single ``@``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output length of a 1-D convolution axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(f"non-positive conv output: size={size}, kernel={kernel}, stride={stride}, padding={padding}")
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Lower NCHW input to patch-matrix form.
+
+    Returns ``(cols, oh, ow)`` where ``cols`` has shape
+    ``(N*oh*ow, C*kh*kw)``; row ``n*oh*ow + i*ow + j`` is the receptive field
+    of output pixel (i, j) of sample n.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    sn, sc, sh, sw = x.strides
+    patches = as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW); transpose forces the copy.
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return cols, oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch gradients back to NCHW."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if cols.shape != (n * oh * ow, c * kh * kw):
+        raise ValueError(f"cols shape {cols.shape} inconsistent with x_shape {x_shape}")
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Scatter-add per kernel offset (kh*kw adds, each fully vectorized).
+    for di in range(kh):
+        for dj in range(kw):
+            out[:, :, di : di + stride * oh : stride, dj : dj + stride * ow : stride] += patches[:, :, :, :, di, dj]
+    if padding > 0:
+        out = out[:, :, padding : padding + h, padding : padding + w]
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. logits.
+
+    ``targets`` are integer class indices of shape ``(N,)``.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, classes), got shape {logits.shape}")
+    n = logits.shape[0]
+    targets = np.asarray(targets)
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} does not match batch {n}")
+    if targets.min() < 0 or targets.max() >= logits.shape[1]:
+        raise ValueError("target index out of range")
+    p = softmax(logits, axis=1)
+    eps = 1e-12
+    loss = float(-np.mean(np.log(p[np.arange(n), targets] + eps)))
+    grad = p.copy()
+    grad[np.arange(n), targets] -= 1.0
+    grad /= n
+    return loss, grad

@@ -1,0 +1,326 @@
+"""Neural-network layers with explicit forward/backward.
+
+Every layer implements
+
+* ``forward(x, training=False) -> y`` caching what backward needs,
+* ``backward(grad_y) -> grad_x`` accumulating parameter gradients,
+* ``parameters() -> list[Parameter]``.
+
+Arrays are NCHW float64 (double precision keeps the finite-difference
+gradient tests tight; the corpora are small enough that speed is not
+dominated by dtype).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.nn.functional import col2im, im2col
+from repro.util.rng import SeedLike, make_rng
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base layer."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col, with He initialization."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: SeedLike = 0,
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) < 1 or padding < 0:
+            raise ValueError("invalid Conv2d hyper-parameters")
+        rng = make_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        w = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel_size, kernel_size))
+        self.weight = Parameter(w, "conv.weight")
+        self.bias = Parameter(np.zeros(out_channels), "conv.bias") if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.kernel_size = kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+        cols, oh, ow = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)  # (O, C*K*K)
+        out = cols @ w_mat.T  # (N*OH*OW, O)
+        if self.bias is not None:
+            out += self.bias.data[None, :]
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        x_shape, cols = self._cache
+        n, _, oh, ow = grad.shape
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)  # (N*OH*OW, O)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (g.T @ cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=0)
+        grad_cols = g @ w_mat  # (N*OH*OW, C*K*K)
+        return col2im(grad_cols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.gamma = Parameter(np.ones(channels), "bn.gamma")
+        self.beta = Parameter(np.zeros(channels), "bn.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.channels = channels
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1] != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {x.shape[1]}")
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]
+        self._cache = (x_hat, inv_std, training, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        x_hat, inv_std, training, shape = self._cache
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+        g = self.gamma.data[None, :, None, None]
+        if not training:
+            return grad * g * inv_std[None, :, None, None]
+        n = shape[0] * shape[2] * shape[3]
+        dxhat = grad * g
+        # Standard batch-norm backward over (N, H, W) per channel.
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (dxhat - sum_dxhat / n - x_hat * sum_dxhat_xhat / n) * inv_std[None, :, None, None]
+        return dx
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        return grad * self._mask
+
+
+class MaxPool2d(Layer):
+    """Max pooling (kernel == stride, the common CNN configuration)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> None:
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else self.kernel_size
+        self.padding = int(padding)
+        if self.kernel_size < 1 or self.stride < 1 or self.padding < 0:
+            raise ValueError("invalid MaxPool2d hyper-parameters")
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        # Reuse im2col treating channels as batch so each patch is k*k values.
+        xr = x.reshape(n * c, 1, h, w)
+        if p > 0:
+            xr = np.pad(xr, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+        cols, oh, ow = im2col(xr, k, k, s, 0)
+        idx = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), idx]
+        self._cache = (x.shape, idx, oh, ow, xr.shape)
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        x_shape, idx, oh, ow, padded_shape = self._cache
+        n, c, h, w = x_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        g = grad.reshape(-1)
+        cols_grad = np.zeros((g.size, k * k))
+        cols_grad[np.arange(g.size), idx] = g
+        hp, wp = padded_shape[2], padded_shape[3]
+        dx = col2im(cols_grad, (n * c, 1, hp, wp), k, k, s, 0)
+        dx = dx.reshape(n, c, hp, wp)
+        if p > 0:
+            dx = dx[:, :, p : p + h, p : p + w]
+        return dx
+
+
+class GlobalAvgPool2d(Layer):
+    """Average over the spatial dimensions: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        n, c, h, w = self._shape
+        return np.broadcast_to(grad[:, :, None, None], self._shape) / (h * w)
+
+
+class Flatten(Layer):
+    """(N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        return grad.reshape(self._shape)
+
+
+class Linear(Layer):
+    """Fully connected layer with He initialization."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = 0) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("features must be >= 1")
+        rng = make_rng(seed)
+        w = rng.normal(0.0, np.sqrt(2.0 / in_features), size=(out_features, in_features))
+        self.weight = Parameter(w, "linear.weight")
+        self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+        self._x = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (N, {self.in_features}), got {x.shape}")
+        self._x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out += self.bias.data[None, :]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        self.weight.grad += grad.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.data
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class Sequential(Layer):
+    """Chain of layers."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+
+class Add(Layer):
+    """Elementwise sum of a main branch and a shortcut branch (residual join).
+
+    ``Add`` is a structural marker used by :class:`repro.ml.nn.resnet.BasicBlock`;
+    it simply passes gradients to both branches.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:  # pragma: no cover
+        raise RuntimeError("Add is applied by BasicBlock, not called directly")
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise RuntimeError("Add is applied by BasicBlock, not called directly")

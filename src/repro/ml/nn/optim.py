@@ -1,0 +1,46 @@
+"""Optimizers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ml.nn.layers import Parameter
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 0.001,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not parameters:
+            raise ValueError("no parameters to optimize")
+        self.parameters = list(parameters)
+        self.lr = check_positive(lr, "lr")
+        self.momentum = check_in_range(momentum, "momentum", 0.0, 1.0, high_inclusive=False)
+        self.weight_decay = check_non_negative(weight_decay, "weight_decay")
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update from accumulated gradients."""
+        for p, v in zip(self.parameters, self._velocity):
+            g = p.grad
+            if self.weight_decay > 0:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v -= self.lr * g
+            p.data += v
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = check_positive(lr, "lr")

@@ -1,0 +1,90 @@
+"""Model weight serialization (.npz).
+
+A released system needs to ship trained weights to the edge; this module
+saves/loads any of our layer stacks to a NumPy ``.npz`` archive.  The
+archive stores every :class:`~repro.ml.nn.layers.Parameter` plus batch-norm
+running statistics, keyed by a deterministic walk of the module tree, and a
+``__format__`` version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.ml.nn.layers import BatchNorm2d, Layer, Sequential
+from repro.ml.nn.resnet import BasicBlock, ResNet
+
+FORMAT_VERSION = 1
+
+
+def _walk(module, prefix: str):
+    """Yield ``(path, layer)`` pairs in deterministic order."""
+    if isinstance(module, Sequential):
+        for i, layer in enumerate(module.layers):
+            yield from _walk(layer, f"{prefix}.{i}")
+    elif isinstance(module, BasicBlock):
+        yield from _walk(module.conv1, f"{prefix}.conv1")
+        yield from _walk(module.bn1, f"{prefix}.bn1")
+        yield from _walk(module.conv2, f"{prefix}.conv2")
+        yield from _walk(module.bn2, f"{prefix}.bn2")
+        if module.shortcut is not None:
+            yield from _walk(module.shortcut, f"{prefix}.shortcut")
+    elif isinstance(module, ResNet):
+        yield from _walk(module.backbone, f"{prefix}.backbone")
+        yield from _walk(module.head, f"{prefix}.head")
+    else:
+        yield prefix, module
+
+
+def state_dict(model: Layer) -> Dict[str, np.ndarray]:
+    """Collect every parameter and running statistic into a flat dict."""
+    state: Dict[str, np.ndarray] = {}
+    for path, layer in _walk(model, "model"):
+        for p in layer.parameters():
+            state[f"{path}.{p.name}"] = p.data
+        if isinstance(layer, BatchNorm2d):
+            state[f"{path}.running_mean"] = layer.running_mean
+            state[f"{path}.running_var"] = layer.running_var
+    return state
+
+
+def load_state_dict(model: Layer, state: Dict[str, np.ndarray]) -> None:
+    """Copy a :func:`state_dict` back into ``model`` (strict matching)."""
+    expected = state_dict(model)
+    missing = set(expected) - set(state)
+    unexpected = set(state) - set(expected) - {"__format__"}
+    if missing or unexpected:
+        raise ValueError(
+            f"state mismatch: missing={sorted(missing)[:3]}..., unexpected={sorted(unexpected)[:3]}..."
+            if len(missing) + len(unexpected) > 6
+            else f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+        )
+    for path, layer in _walk(model, "model"):
+        for p in layer.parameters():
+            src = np.asarray(state[f"{path}.{p.name}"])
+            if src.shape != p.data.shape:
+                raise ValueError(f"{path}.{p.name}: shape {src.shape} != {p.data.shape}")
+            p.data[...] = src
+        if isinstance(layer, BatchNorm2d):
+            layer.running_mean[...] = np.asarray(state[f"{path}.running_mean"])
+            layer.running_var[...] = np.asarray(state[f"{path}.running_var"])
+
+
+def save_model(model: Layer, path: Union[str, io.IOBase]) -> None:
+    """Save a model's weights to ``path`` (``.npz``)."""
+    state = state_dict(model)
+    np.savez_compressed(path, __format__=np.array(FORMAT_VERSION), **state)
+
+
+def load_model(model: Layer, path: Union[str, io.IOBase]) -> Layer:
+    """Load weights saved by :func:`save_model` into ``model`` (in place)."""
+    with np.load(path) as archive:
+        fmt = int(archive["__format__"]) if "__format__" in archive else None
+        if fmt != FORMAT_VERSION:
+            raise ValueError(f"unsupported weight-archive format {fmt!r} (expected {FORMAT_VERSION})")
+        state = {k: archive[k] for k in archive.files if k != "__format__"}
+    load_state_dict(model, state)
+    return model

@@ -1,0 +1,44 @@
+"""Feature standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance standardization fit on training data.
+
+    Constant features (zero variance) are left centered but unscaled, so
+    transforming never divides by zero.
+    """
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = self._check(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler is not fitted")
+        X = self._check(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(f"feature dim {X.shape[1]} != fitted dim {self.mean_.shape[0]}")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler is not fitted")
+        X = self._check(X)
+        return X * self.scale_ + self.mean_
+
+    @staticmethod
+    def _check(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        return X

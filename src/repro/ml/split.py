@@ -1,0 +1,56 @@
+"""Dataset splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: SeedLike = 0,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train/test; stratified by label by default."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = make_rng(seed)
+    n = X.shape[0]
+    test_idx_parts = []
+    if stratify:
+        for lab in np.unique(y):
+            idx = np.nonzero(y == lab)[0]
+            idx = rng.permutation(idx)
+            n_test = max(1, int(round(idx.size * test_fraction)))
+            test_idx_parts.append(idx[:n_test])
+        test_idx = np.concatenate(test_idx_parts)
+    else:
+        perm = rng.permutation(n)
+        test_idx = perm[: max(1, int(round(n * test_fraction)))]
+    mask = np.zeros(n, dtype=bool)
+    mask[test_idx] = True
+    return X[~mask], X[mask], y[~mask], y[mask]
+
+
+def kfold_indices(n: int, k: int = 5, seed: SeedLike = 0) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` for k shuffled folds."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    rng = make_rng(seed)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test

@@ -1,0 +1,32 @@
+"""Network substrate: link models and transfer cost estimation.
+
+§IV attributes the 3.5 s standard deviation of routine durations to unstable
+Wi-Fi throughput; §V shows the data-transfer step dominating the edge power
+profile ("the network components have a larger energy cost than the
+sensors").  This package models both: a throughput distribution per link and
+a transfer-cost calculator producing (duration, energy) pairs for payloads.
+"""
+
+from repro.network.link import LinkModel, LinkSample
+from repro.network.wifi import WIFI_80211N_2G4, WIFI_80211N_5G, wifi_profile
+from repro.network.transfer import TransferCost, transfer_cost
+from repro.network.contention import (
+    ContentionResult,
+    fitted_loss_b_seconds_per_client,
+    simulate_slot_contention,
+    slot_transfer_time,
+)
+
+__all__ = [
+    "LinkModel",
+    "LinkSample",
+    "WIFI_80211N_2G4",
+    "WIFI_80211N_5G",
+    "wifi_profile",
+    "TransferCost",
+    "transfer_cost",
+    "ContentionResult",
+    "fitted_loss_b_seconds_per_client",
+    "simulate_slot_contention",
+    "slot_transfer_time",
+]

@@ -1,0 +1,47 @@
+"""Transfer cost calculation: payload × link × device power → (time, energy)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.link import LinkModel
+from repro.util.rng import SeedLike
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Realized cost of moving one payload over a link."""
+
+    payload_bytes: int
+    duration_s: float
+    sender_energy_j: float
+    receiver_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.sender_energy_j + self.receiver_energy_j
+
+
+def transfer_cost(
+    payload_bytes: int,
+    link: LinkModel,
+    sender_watts: float,
+    receiver_watts: float = 0.0,
+    seed: SeedLike = None,
+) -> TransferCost:
+    """Realize a transfer and charge both endpoints at their transfer powers.
+
+    Sender and receiver are active for the same wall-clock duration (the
+    synchronized time-slot model of §VI assumes the server's receive window
+    spans the whole transfer).
+    """
+    check_non_negative(sender_watts, "sender_watts")
+    check_non_negative(receiver_watts, "receiver_watts")
+    sample = link.transfer(payload_bytes, seed=seed)
+    return TransferCost(
+        payload_bytes=payload_bytes,
+        duration_s=sample.duration_s,
+        sender_energy_j=sender_watts * sample.duration_s,
+        receiver_energy_j=receiver_watts * sample.duration_s,
+    )

@@ -1,0 +1,77 @@
+"""Uniformly sampled time series container.
+
+A :class:`Trace` couples a start time, a fixed step, and a value array.  It
+is the exchange format between the weather generator, the harvest simulation
+and the experiment plots, and supports slicing by time and linear resampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Uniformly sampled series: ``values[i]`` holds at ``start + i*step``."""
+
+    name: str
+    start: float
+    step: float
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_positive(self.step, "step")
+        arr = np.asarray(self.values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(f"trace {self.name!r}: values must be 1-D, got shape {arr.shape}")
+        object.__setattr__(self, "values", arr)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps for every sample."""
+        return self.start + np.arange(len(self)) * self.step
+
+    @property
+    def end(self) -> float:
+        """Time of the last sample."""
+        return self.start + (len(self) - 1) * self.step if len(self) else self.start
+
+    def at(self, time) -> float | np.ndarray:
+        """Linear interpolation at ``time`` (clamped to the trace extent)."""
+        return np.interp(time, self.times, self.values)
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Sub-trace covering [t0, t1] (sample-aligned)."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        times = self.times
+        mask = (times >= t0 - 1e-9) & (times <= t1 + 1e-9)
+        idx = np.nonzero(mask)[0]
+        if idx.size == 0:
+            raise ValueError(f"window [{t0}, {t1}] does not intersect trace {self.name!r}")
+        return Trace(self.name, float(times[idx[0]]), self.step, self.values[idx])
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def map(self, fn, name: str | None = None) -> "Trace":
+        """Apply ``fn`` elementwise (vectorized) and return a new trace."""
+        return Trace(name or self.name, self.start, self.step, np.asarray(fn(self.values), dtype=float))
+
+
+def resample(trace: Trace, step: float) -> Trace:
+    """Linear resampling of ``trace`` onto a new fixed ``step``."""
+    check_positive(step, "step")
+    if len(trace) < 2:
+        raise ValueError("resampling requires at least 2 samples")
+    duration = trace.end - trace.start
+    n = int(np.floor(duration / step)) + 1
+    new_times = trace.start + np.arange(n) * step
+    return Trace(trace.name, trace.start, step, np.interp(new_times, trace.times, trace.values))

@@ -1,0 +1,131 @@
+"""Synthetic weather generation.
+
+Produces week-scale traces of outdoor temperature, relative humidity, cloud
+cover and irradiance with a realistic structure:
+
+* temperature = seasonal mean + diurnal cosine (coldest pre-dawn, warmest
+  mid-afternoon) + AR(1) weather noise;
+* cloud cover = per-day beta-distributed base + intra-day AR(1) wander;
+* irradiance = clear-sky arch × (1 − 0.75 × cloud cover);
+* humidity inversely coupled to the diurnal temperature swing.
+
+Defaults approximate spring in Lyon/Paris where the paper's hives sit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.solar import clear_sky_irradiance
+from repro.sensing.traces import Trace
+from repro.util.rng import SeedLike, make_rng
+from repro.util.units import DAY, HOUR
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class WeatherTrace:
+    """Bundle of aligned weather traces."""
+
+    temperature_c: Trace
+    humidity_pct: Trace
+    cloud_cover: Trace
+    irradiance: Trace
+
+    @property
+    def step(self) -> float:
+        return self.temperature_c.step
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.temperature_c.times
+
+
+class WeatherModel:
+    """Generator of synthetic weather weeks.
+
+    Parameters
+    ----------
+    mean_temperature_c:
+        Seasonal mean outdoor temperature.
+    diurnal_amplitude_c:
+        Half peak-to-peak of the daily temperature swing.
+    cloudiness:
+        Mean of the per-day cloud-cover distribution in [0, 1].
+    sunrise_s / sunset_s:
+        Daylight window (seconds after local midnight).
+    """
+
+    def __init__(
+        self,
+        mean_temperature_c: float = 14.0,
+        diurnal_amplitude_c: float = 5.0,
+        cloudiness: float = 0.35,
+        sunrise_s: float = 6.0 * HOUR,
+        sunset_s: float = 20.0 * HOUR,
+        peak_irradiance: float = 900.0,
+    ) -> None:
+        self.mean_temperature_c = float(mean_temperature_c)
+        self.diurnal_amplitude_c = check_positive(diurnal_amplitude_c, "diurnal_amplitude_c")
+        self.cloudiness = check_in_range(cloudiness, "cloudiness", 0.0, 1.0)
+        if sunset_s <= sunrise_s:
+            raise ValueError("sunset_s must be after sunrise_s")
+        self.sunrise_s = float(sunrise_s)
+        self.sunset_s = float(sunset_s)
+        self.peak_irradiance = check_positive(peak_irradiance, "peak_irradiance")
+
+    def generate(self, duration: float = 7 * DAY, step: float = 300.0, seed: SeedLike = None) -> WeatherTrace:
+        """Generate a :class:`WeatherTrace` of ``duration`` seconds."""
+        check_positive(duration, "duration")
+        check_positive(step, "step")
+        rng = make_rng(seed)
+        n = int(np.ceil(duration / step))
+        times = np.arange(n) * step
+        tod = times % DAY
+
+        # --- temperature: diurnal cosine, min ~05h, max ~15h -------------
+        phase = 2 * np.pi * (tod - 15.0 * HOUR) / DAY
+        diurnal = self.diurnal_amplitude_c * np.cos(phase)
+        # AR(1) noise with ~6 h correlation time.
+        rho = np.exp(-step / (6 * HOUR))
+        eps = rng.normal(0.0, 1.2 * np.sqrt(1 - rho**2), size=n)
+        noise = np.empty(n)
+        noise[0] = rng.normal(0.0, 1.2)
+        for i in range(1, n):
+            noise[i] = rho * noise[i - 1] + eps[i]
+        temperature = self.mean_temperature_c + diurnal + noise
+
+        # --- cloud cover: per-day beta base + intra-day wander ------------
+        n_days = int(np.ceil(duration / DAY)) + 1
+        # Beta with mean = cloudiness and moderate concentration.
+        conc = 4.0
+        a = max(self.cloudiness * conc, 1e-3)
+        b = max((1 - self.cloudiness) * conc, 1e-3)
+        day_base = rng.beta(a, b, size=n_days)
+        base = day_base[(times // DAY).astype(int)]
+        rho_c = np.exp(-step / (3 * HOUR))
+        wander = np.empty(n)
+        wander[0] = 0.0
+        eps_c = rng.normal(0.0, 0.12 * np.sqrt(1 - rho_c**2), size=n)
+        for i in range(1, n):
+            wander[i] = rho_c * wander[i - 1] + eps_c[i]
+        cloud = np.clip(base + wander, 0.0, 1.0)
+
+        # --- irradiance ----------------------------------------------------
+        clear = clear_sky_irradiance(
+            times, sunrise_s=self.sunrise_s, sunset_s=self.sunset_s, peak_irradiance=self.peak_irradiance
+        )
+        irradiance = clear * (1.0 - 0.75 * cloud)
+
+        # --- humidity: high at night / when cloudy, low mid-afternoon ------
+        humidity = 78.0 - 2.2 * (temperature - self.mean_temperature_c) + 12.0 * (cloud - self.cloudiness)
+        humidity = np.clip(humidity + rng.normal(0.0, 1.5, size=n), 20.0, 100.0)
+
+        return WeatherTrace(
+            temperature_c=Trace("outdoor_temperature_c", 0.0, step, temperature),
+            humidity_pct=Trace("outdoor_humidity_pct", 0.0, step, humidity),
+            cloud_cover=Trace("cloud_cover", 0.0, step, cloud),
+            irradiance=Trace("irradiance_wm2", 0.0, step, irradiance),
+        )

@@ -1,0 +1,130 @@
+"""Terminal line plots for the figure-reproduction CLI.
+
+No plotting backend is available offline, so ``repro-exp <fig> --plot``
+renders the reproduced curves as ASCII: multiple named series on a shared
+braille-free character grid, with axis labels and a legend.  Resolution is
+deliberately modest — the goal is seeing the *shape* (sawtooth, crossover,
+knee) in a terminal, not publication graphics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "*+ox#@%&"
+
+
+def line_plot(
+    x,
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series over a shared x axis as an ASCII chart.
+
+    Values are linearly binned onto a ``width × height`` grid; later series
+    overwrite earlier ones where they collide (legend order shows priority).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size < 2:
+        raise ValueError("x must be 1-D with at least 2 points")
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 4:
+        raise ValueError("grid too small (need width >= 16, height >= 4)")
+    arrays = {}
+    for name, ys in series.items():
+        ys = np.asarray(ys, dtype=float)
+        if ys.shape != x.shape:
+            raise ValueError(f"series {name!r} has shape {ys.shape}, x has {x.shape}")
+        arrays[name] = ys
+    if len(arrays) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported")
+
+    y_all = np.concatenate(list(arrays.values()))
+    y_min, y_max = float(np.min(y_all)), float(np.max(y_all))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(SERIES_GLYPHS, arrays.items()):
+        cols = np.clip(((x - x_min) / (x_max - x_min) * (width - 1)).round().astype(int), 0, width - 1)
+        rows = np.clip(((ys - y_min) / (y_max - y_min) * (height - 1)).round().astype(int), 0, height - 1)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+
+    y_labels = [f"{y_max:.4g}", f"{(y_min + y_max) / 2:.4g}", f"{y_min:.4g}"]
+    label_w = max(len(s) for s in y_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_labels[0]
+        elif i == height // 2:
+            label = y_labels[1]
+        elif i == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}|")
+    axis = f"{'':>{label_w}} +{'-' * width}+"
+    lines.append(axis)
+    x_lo, x_hi = f"{x_min:.4g}", f"{x_max:.4g}"
+    gap = max(width - len(x_lo) - len(x_hi), 1)
+    lines.append(f"{'':>{label_w}}  {x_lo}{' ' * gap}{x_hi}  {x_label}")
+    legend = "   ".join(
+        f"{glyph} {name}" for glyph, name in zip(SERIES_GLYPHS, arrays)
+    )
+    lines.append(f"{'':>{label_w}}  [{legend}]" + (f"  ({y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+#: Series that live on a different scale than the energy curves and would
+#: flatten them if co-plotted.
+_DEFAULT_EXCLUDE_PREFIXES = ("n_servers", "available", "soc", "accuracy", "fig2b")
+
+
+def plot_experiment(
+    result,
+    width: int = 72,
+    height: int = 18,
+    exclude_prefixes: Sequence[str] = _DEFAULT_EXCLUDE_PREFIXES,
+) -> str:
+    """Best-effort chart of an :class:`~repro.experiments.report.ExperimentResult`.
+
+    Picks the experiment's natural x series (``n_clients``, ``period_s``,
+    ``image_size_px`` or ``times_s``) and plots every same-length numeric
+    series against it, skipping series whose scale would flatten the rest
+    (server counts, fractions).  Returns '' when no plottable pairing
+    exists.
+    """
+    x_keys = ("n_clients", "period_s", "image_size_px", "occupancy", "times_s", "period_multiples")
+    x_key = next((k for k in x_keys if k in result.series), None)
+    if x_key is None:
+        return ""
+    x = np.asarray(result.series[x_key], dtype=float)
+    if x.size < 2:
+        return ""
+    series = {}
+    for name, values in result.series.items():
+        if name == x_key or any(name.startswith(p) for p in exclude_prefixes):
+            continue
+        arr = np.asarray(values)
+        if arr.shape == x.shape and np.issubdtype(arr.dtype, np.number):
+            series[name] = arr.astype(float)
+        if len(series) == len(SERIES_GLYPHS):
+            break
+    if not series:
+        return ""
+    return line_plot(
+        x, series, width=width, height=height,
+        title=f"{result.experiment_id}: {result.title}", x_label=x_key,
+    )

@@ -1,0 +1,128 @@
+"""Streaming statistics used by monitors and calibration code.
+
+:class:`RunningStats` implements Welford's online algorithm so long traces
+(e.g. per-routine powers over a week of simulated time) can be summarized
+without storing every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+class RunningStats:
+    """Numerically stable online mean/variance/min/max accumulator."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, value: float) -> None:
+        """Add one sample."""
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        for v in values:
+            self.push(v)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample (n-1) variance."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = RunningStats()
+        if self._n == 0:
+            merged.__dict__.update(other.__dict__)
+            return merged
+        if other._n == 0:
+            merged.__dict__.update(self.__dict__)
+            return merged
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def __repr__(self) -> str:
+        if self._n == 0:
+            return "RunningStats(empty)"
+        return (
+            f"RunningStats(n={self._n}, mean={self._mean:.4g}, "
+            f"std={self.std:.4g}, min={self._min:.4g}, max={self._max:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable summary of a sample array."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+
+def summarize(values) -> Summary:
+    """Summarize an array-like of samples into a :class:`Summary`."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+    )

@@ -1,0 +1,93 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+Experiments reproduce the paper's tables as text; this module renders them
+without third-party dependencies.  Numbers are formatted per column with a
+caller-supplied format spec.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def _format_cell(value, fmt: Optional[str]) -> str:
+    if value is None:
+        return ""
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    formats: Optional[Sequence[Optional[str]]] = None,
+    title: Optional[str] = None,
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row sequences (must match header arity).
+    formats:
+        Optional per-column format spec applied to numeric cells
+        (e.g. ``".1f"``); ``None`` entries use ``str``.
+    title:
+        Optional caption rendered above the table.
+    aligns:
+        Per-column ``'l'``/``'r'`` alignment; defaults to right for numeric
+        format columns and left otherwise.
+    """
+    headers = [str(h) for h in headers]
+    ncols = len(headers)
+    if formats is None:
+        formats = [None] * ncols
+    if len(formats) != ncols:
+        raise ValueError(f"formats has {len(formats)} entries for {ncols} columns")
+
+    str_rows: list[list[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != ncols:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {ncols}")
+        str_rows.append([_format_cell(v, f) for v, f in zip(row, formats)])
+
+    if aligns is None:
+        aligns = ["r" if f is not None else "l" for f in formats]
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for cell, width, align in zip(cells, widths, aligns):
+            out.append(cell.rjust(width) if align == "r" else cell.ljust(width))
+        return "| " + " | ".join(out) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple], title: Optional[str] = None, value_fmt: str = "") -> str:
+    """Render key/value pairs as an aligned two-column listing."""
+    pairs = [(str(k), _format_cell(v, value_fmt or None)) for k, v in pairs]
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs:
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Physical units and formatting helpers.
+
+The whole library works in SI base units: **seconds**, **watts**, **joules**.
+Type aliases (:data:`Seconds`, :data:`Watts`, :data:`Joules`) document intent
+in signatures; converters handle the watt-hour figures that the beekeeping
+literature quotes (e.g. the 2 Wh/day system of the related work).
+"""
+
+from __future__ import annotations
+
+# Type aliases for documentation purposes (plain floats at runtime).
+Seconds = float
+Watts = float
+Joules = float
+
+MINUTE: Seconds = 60.0
+HOUR: Seconds = 3600.0
+DAY: Seconds = 86400.0
+
+
+def wh_to_joules(wh: float) -> Joules:
+    """Convert watt-hours to joules (1 Wh = 3600 J)."""
+    return wh * 3600.0
+
+
+def joules_to_wh(joules: Joules) -> float:
+    """Convert joules to watt-hours."""
+    return joules / 3600.0
+
+
+def mah_to_joules(mah: float, volts: float = 3.7) -> Joules:
+    """Convert a battery capacity in mAh at ``volts`` nominal to joules.
+
+    The paper's power bank is quoted at 20 000 mAh, which for the customary
+    3.7 V cell rating is ~266 kJ (~74 Wh).
+    """
+    return mah / 1000.0 * volts * 3600.0
+
+
+def format_duration(seconds: Seconds) -> str:
+    """Human-readable duration: ``95.0`` -> ``'1m 35.0s'``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR:
+        m, s = divmod(seconds, MINUTE)
+        return f"{int(m)}m {s:.1f}s"
+    if seconds < DAY:
+        h, rem = divmod(seconds, HOUR)
+        m = rem / MINUTE
+        return f"{int(h)}h {m:.0f}m"
+    d, rem = divmod(seconds, DAY)
+    h = rem / HOUR
+    return f"{int(d)}d {h:.0f}h"
+
+
+def format_energy(joules: Joules) -> str:
+    """Human-readable energy: picks J, kJ, or Wh scale."""
+    if abs(joules) < 1000.0:
+        return f"{joules:.1f} J"
+    if abs(joules) < 100_000.0:
+        return f"{joules / 1000.0:.2f} kJ"
+    return f"{joules_to_wh(joules):.2f} Wh"
+
+
+def format_power(watts: Watts) -> str:
+    """Human-readable power: mW below 1 W, otherwise W."""
+    if abs(watts) < 1.0:
+        return f"{watts * 1000.0:.0f} mW"
+    return f"{watts:.2f} W"

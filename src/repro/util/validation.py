@@ -1,0 +1,88 @@
+"""Argument-validation helpers with consistent error messages.
+
+Validation failures raise ``ValueError``/``TypeError`` naming the offending
+parameter, so configuration errors surface at construction time rather than
+deep inside a simulation sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` and finite; return it."""
+    value = _check_finite_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0`` and finite; return it."""
+    value = _check_finite_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Require ``value`` within the given (possibly open) interval."""
+    value = _check_finite_number(value, name)
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``value`` in [0, 1]; return it."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_integer(value, name: str, minimum: Optional[int] = None) -> int:
+    """Require an integral value (bools rejected), optionally >= ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # Accept numpy integer types too.
+        try:
+            import numpy as np
+
+            if isinstance(value, np.integer):
+                value = int(value)
+            else:
+                raise TypeError
+        except TypeError:
+            raise TypeError(f"{name} must be an integer, got {type(value).__name__}") from None
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got bool")
+    if isinstance(value, (str, bytes)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from None
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

@@ -1,0 +1,107 @@
+"""Tests for waveform augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.audio.augment import Augmenter, add_noise, gain, polarity_invert, time_shift
+
+
+@pytest.fixture
+def clip(rng):
+    t = np.arange(4410) / 22050.0
+    return (0.5 * np.sin(2 * np.pi * 230.0 * t)).astype(np.float32)
+
+
+class TestTransforms:
+    def test_time_shift_preserves_content(self, clip):
+        out = time_shift(clip, max_fraction=0.2, seed=3)
+        assert out.shape == clip.shape
+        assert np.sort(out).tolist() == pytest.approx(np.sort(clip).tolist())
+
+    def test_time_shift_zero_fraction_identity(self, clip):
+        np.testing.assert_array_equal(time_shift(clip, max_fraction=0.0, seed=0), clip)
+
+    def test_add_noise_hits_target_snr(self, clip):
+        out = add_noise(clip, snr_db=10.0, seed=0)
+        noise = out.astype(np.float64) - clip
+        snr = 10 * np.log10(np.mean(clip.astype(np.float64) ** 2) / np.mean(noise**2))
+        assert snr == pytest.approx(10.0, abs=1.0)
+
+    def test_add_noise_keeps_range(self, clip):
+        out = add_noise(clip * 2.0, snr_db=0.0, seed=1)
+        assert np.abs(out).max() <= 1.0
+
+    def test_add_noise_silent_clip(self):
+        out = add_noise(np.zeros(100, dtype=np.float32), seed=0)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_gain_bounded(self, clip):
+        for seed in range(5):
+            out = gain(clip, max_db=12.0, seed=seed)
+            assert np.abs(out).max() <= 1.0
+
+    def test_polarity_spectrally_neutral(self, clip):
+        out = polarity_invert(clip)
+        np.testing.assert_allclose(np.abs(np.fft.rfft(out)), np.abs(np.fft.rfft(clip)), atol=1e-4)
+
+    def test_all_preserve_shape_and_dtype(self, clip):
+        for fn in (time_shift, add_noise, gain, polarity_invert):
+            out = fn(clip, seed=0)
+            assert out.shape == clip.shape
+            assert out.dtype == np.float32
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            time_shift(np.zeros((2, 2)))
+
+
+class TestAugmenter:
+    def test_expand_factor(self, clip):
+        aug = Augmenter(seed=0)
+        clips, labels = aug.expand([clip, clip], [0, 1], factor=3)
+        assert len(clips) == 6
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_deterministic(self, clip):
+        a = Augmenter(seed=5).augment_clip(clip, index=0, copy=0)
+        b = Augmenter(seed=5).augment_clip(clip, index=0, copy=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_copies_differ(self, clip):
+        aug = Augmenter(seed=5)
+        a = aug.augment_clip(clip, index=0, copy=0)
+        b = aug.augment_clip(clip, index=0, copy=1)
+        assert not np.array_equal(a, b)
+
+    def test_factor_one_is_identity(self, clip):
+        clips, labels = Augmenter(seed=0).expand([clip], [1], factor=1)
+        assert len(clips) == 1
+        np.testing.assert_array_equal(clips[0], clip)
+
+    def test_validation(self, clip):
+        with pytest.raises(ValueError):
+            Augmenter(transforms=())
+        with pytest.raises(ValueError):
+            Augmenter().expand([clip], [0, 1], factor=2)
+        with pytest.raises(ValueError):
+            Augmenter().expand([clip], [0], factor=0)
+
+    def test_augmentation_preserves_class_cue(self):
+        """Training on an augmented corpus must not hurt accuracy much —
+        transforms are label-preserving by construction."""
+        from repro.audio.dataset import DatasetSpec, QueenDataset
+        from repro.dsp.features import mel_statistics
+        from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+        from repro.ml.scaler import StandardScaler
+        from repro.ml.split import train_test_split
+        from repro.ml.svm import SVC
+
+        ds = QueenDataset(DatasetSpec.small(n_samples=60, clip_duration=1.0, seed=9))
+        mel = MelSpectrogram(SpectrogramConfig())
+        clips, labels = zip(*list(ds))
+        aug_clips, aug_labels = Augmenter(seed=1).expand(list(clips), list(labels), factor=2)
+        X = np.stack([mel_statistics(mel.db(c)) for c in aug_clips])
+        Xtr, Xte, ytr, yte = train_test_split(X, aug_labels, test_fraction=0.3, seed=2)
+        sc = StandardScaler()
+        clf = SVC(C=20.0, gamma="scale", seed=2).fit(sc.fit_transform(Xtr), ytr)
+        assert clf.score(sc.transform(Xte), yte) >= 0.7

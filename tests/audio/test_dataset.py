@@ -1,0 +1,83 @@
+"""Tests for the queen-detection corpus builder."""
+
+import numpy as np
+import pytest
+
+from repro.audio.dataset import DatasetSpec, QueenDataset
+
+
+class TestDatasetSpec:
+    def test_paper_scale(self):
+        spec = DatasetSpec.paper()
+        assert spec.n_samples == 1647
+        assert spec.clip_duration == 10.0
+        assert spec.sample_rate == 22050
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(n_samples=1)
+        with pytest.raises(ValueError):
+            DatasetSpec(clip_duration=0.0)
+        with pytest.raises(ValueError):
+            DatasetSpec(queen_fraction=1.5)
+
+
+class TestQueenDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return QueenDataset(DatasetSpec.small(n_samples=40, clip_duration=0.5, seed=1))
+
+    def test_length(self, ds):
+        assert len(ds) == 40
+
+    def test_balanced_labels(self, ds):
+        labels = ds.labels
+        assert labels.sum() == 20
+
+    def test_custom_balance(self):
+        ds = QueenDataset(DatasetSpec(n_samples=10, clip_duration=0.5, queen_fraction=0.3, seed=1))
+        assert ds.labels.sum() == 3
+
+    def test_clip_deterministic(self, ds):
+        a, la = ds.clip(5)
+        b, lb = ds.clip(5)
+        np.testing.assert_array_equal(a, b)
+        assert la == lb
+
+    def test_clips_differ(self, ds):
+        a, _ = ds.clip(0)
+        b, _ = ds.clip(1)
+        assert not np.array_equal(a, b)
+
+    def test_index_bounds(self, ds):
+        with pytest.raises(IndexError):
+            ds.clip(40)
+        with pytest.raises(IndexError):
+            ds.clip(-1)
+
+    def test_iteration_matches_clip(self, ds):
+        for i, (clip, label) in enumerate(ds):
+            if i >= 3:
+                break
+            expected_clip, expected_label = ds.clip(i)
+            np.testing.assert_array_equal(clip, expected_clip)
+            assert label == expected_label
+
+    def test_features_extraction(self, ds):
+        X, y = ds.features(lambda clip: np.array([clip.mean(), clip.std()]))
+        assert X.shape == (40, 2)
+        assert y.shape == (40,)
+        np.testing.assert_array_equal(y, ds.labels)
+
+    def test_labels_shuffled_not_blocked(self, ds):
+        # Classes interleave rather than sitting in contiguous halves.
+        labels = ds.labels
+        transitions = int(np.sum(labels[1:] != labels[:-1]))
+        assert transitions > 5
+
+    def test_seed_changes_labels_and_audio(self):
+        a = QueenDataset(DatasetSpec.small(n_samples=40, clip_duration=0.5, seed=1))
+        b = QueenDataset(DatasetSpec.small(n_samples=40, clip_duration=0.5, seed=2))
+        clip_a, _ = a.clip(0)
+        clip_b, _ = b.clip(0)
+        assert not np.array_equal(clip_a, clip_b)

@@ -1,0 +1,118 @@
+"""Tests for the hive-sound synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.audio.synth import (
+    QUEENLESS,
+    QUEENRIGHT,
+    HiveSoundSynthesizer,
+    SynthParams,
+    class_separation,
+    narrowed,
+)
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return HiveSoundSynthesizer()
+
+
+class TestRender:
+    def test_shape_and_dtype(self, synth):
+        clip = synth.render(1.0, queen_present=True, seed=0)
+        assert clip.shape == (22050,)
+        assert clip.dtype == np.float32
+
+    def test_amplitude_bounded(self, synth):
+        for seed in range(5):
+            clip = synth.render(0.5, queen_present=bool(seed % 2), seed=seed)
+            assert np.abs(clip).max() <= 1.0
+
+    def test_reproducible(self, synth):
+        a = synth.render(0.5, True, seed=42)
+        b = synth.render(0.5, True, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self, synth):
+        a = synth.render(0.5, True, seed=1)
+        b = synth.render(0.5, True, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_nonzero_signal(self, synth):
+        clip = synth.render(0.5, False, seed=0)
+        assert np.std(clip) > 0.01
+
+    def test_duration_validation(self, synth):
+        with pytest.raises(ValueError):
+            synth.render(0.0, True)
+
+    def test_min_sample_rate(self):
+        with pytest.raises(ValueError):
+            HiveSoundSynthesizer(sample_rate=1000)
+
+
+class TestSpectralStructure:
+    def _spectrum(self, clip, sr=22050):
+        spec = np.abs(np.fft.rfft(clip * np.hanning(len(clip)))) ** 2
+        freqs = np.fft.rfftfreq(len(clip), 1 / sr)
+        return freqs, spec
+
+    def test_hum_fundamental_present(self, synth):
+        clip = synth.render(2.0, True, seed=3)
+        freqs, spec = self._spectrum(clip)
+        # Energy near the wing-beat fundamental (~230 Hz ± jitter) should
+        # exceed energy in a quiet reference band (5-6 kHz).
+        f0_band = spec[(freqs > 180) & (freqs < 280)].mean()
+        quiet = spec[(freqs > 5000) & (freqs < 6000)].mean()
+        assert f0_band > 20 * quiet
+
+    def test_queenright_piping_single_peak(self, synth):
+        clip = synth.render(4.0, True, seed=5)
+        freqs, spec = self._spectrum(clip)
+        piping = spec[(freqs > 350) & (freqs < 460)]
+        assert piping.max() > 0
+
+    def test_split_changes_fine_structure_not_band_energy(self, synth):
+        """The queenless split relocates energy within the 400 Hz region but
+        keeps the total band power comparable — the cue is positional."""
+        qr_band, ql_band = [], []
+        for seed in range(6):
+            for present, store in ((True, qr_band), (False, ql_band)):
+                clip = synth.render(2.0, present, seed=seed)
+                freqs, spec = self._spectrum(clip)
+                store.append(spec[(freqs > 320) & (freqs < 480)].sum() / spec.sum())
+        assert np.mean(ql_band) == pytest.approx(np.mean(qr_band), rel=0.4)
+
+
+class TestHelpers:
+    def test_class_separation_default(self, synth):
+        assert class_separation(synth) == pytest.approx(70.0)
+
+    def test_narrowed_zero_makes_classes_identical(self, synth):
+        flat = narrowed(synth, 0.0)
+        assert class_separation(flat) == 0.0
+        a = flat.render(0.5, True, seed=7)
+        b = flat.render(0.5, False, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_narrowed_full_is_identity(self, synth):
+        same = narrowed(synth, 1.0)
+        assert class_separation(same) == class_separation(synth)
+
+    def test_narrowed_validates(self, synth):
+        with pytest.raises(ValueError):
+            narrowed(synth, 1.5)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SynthParams(f0_hz=-1.0)
+        with pytest.raises(ValueError):
+            SynthParams(harmonic_decay=1.5)
+        with pytest.raises(ValueError):
+            SynthParams(n_harmonics=0)
+
+    def test_presets_share_hum(self):
+        assert QUEENRIGHT.f0_hz == QUEENLESS.f0_hz
+        assert QUEENRIGHT.harmonic_decay == QUEENLESS.harmonic_decay
+        assert QUEENLESS.piping_split_hz > 0 and QUEENRIGHT.piping_split_hz == 0

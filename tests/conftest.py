@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audio.dataset import DatasetSpec, QueenDataset
+from repro.core.routines import make_scenario
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A tiny synthetic queen corpus shared across ML tests (session-cached)."""
+    return QueenDataset(DatasetSpec.small(n_samples=60, clip_duration=1.0, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_features(small_dataset):
+    """(mel-dB spectrograms, labels) for the tiny corpus."""
+    mel = MelSpectrogram(SpectrogramConfig())
+    return small_dataset.features(mel.db)
+
+
+@pytest.fixture(scope="session")
+def scenarios():
+    """The four paper scenarios, fresh instances."""
+    return {
+        "edge_svm": make_scenario("edge", "svm"),
+        "edge_cnn": make_scenario("edge", "cnn"),
+        "cloud_svm": make_scenario("edge+cloud", "svm"),
+        "cloud_cnn": make_scenario("edge+cloud", "cnn"),
+    }

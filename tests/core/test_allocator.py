@@ -1,0 +1,122 @@
+"""Tests for the allocator and filling policies, including invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocator import (
+    Allocator,
+    BalancedPolicy,
+    FirstFitPolicy,
+    RoundRobinPolicy,
+)
+from repro.core.losses import LossConfig, TransferTimePenalty
+from repro.core.server import SlotPlan, paper_server
+
+
+def plan(slots=18, parallel=10):
+    return SlotPlan(slot_duration=16.6, slots_per_cycle=slots, max_parallel=parallel)
+
+
+class TestFirstFit:
+    def test_fills_slot_by_slot(self):
+        alloc = FirstFitPolicy().allocate(range(25), plan())
+        srv = alloc.servers[0]
+        assert srv.occupancies == [10, 10, 5]
+
+    def test_opens_new_server_at_capacity(self):
+        alloc = FirstFitPolicy().allocate(range(181), plan())
+        assert alloc.n_servers == 2
+        assert alloc.servers[0].n_clients == 180
+        assert alloc.servers[1].n_clients == 1
+
+    def test_zero_clients(self):
+        alloc = FirstFitPolicy().allocate([], plan())
+        assert alloc.n_servers == 0 and alloc.n_clients == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=800))
+    def test_invariants(self, n):
+        alloc = FirstFitPolicy().allocate(range(n), plan())
+        alloc.validate()
+        assert alloc.n_clients == n
+        expected_servers = math.ceil(n / 180) if n else 0
+        assert alloc.n_servers == expected_servers
+
+
+class TestRoundRobin:
+    def test_spreads_within_server(self):
+        alloc = RoundRobinPolicy().allocate(range(36), plan())
+        occ = alloc.servers[0].occupancies
+        assert max(occ) - min(occ) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=500))
+    def test_invariants(self, n):
+        alloc = RoundRobinPolicy().allocate(range(n), plan())
+        alloc.validate()
+        assert alloc.n_clients == n
+        assert alloc.n_servers == math.ceil(n / 180)
+
+
+class TestBalanced:
+    def test_global_flatness(self):
+        alloc = BalancedPolicy().allocate(range(200), plan())
+        occ = [k for srv in alloc.servers for k in srv.occupancies]
+        assert max(occ) - min(occ) <= 1
+
+    def test_minimal_servers(self):
+        alloc = BalancedPolicy().allocate(range(181), plan())
+        assert alloc.n_servers == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=500))
+    def test_invariants(self, n):
+        alloc = BalancedPolicy().allocate(range(n), plan())
+        alloc.validate()
+        assert alloc.n_clients == n
+
+
+class TestAllocator:
+    def test_default_first_fit(self):
+        allocator = Allocator(paper_server("svm", max_parallel=10))
+        alloc = allocator.allocate(25)
+        assert alloc.servers[0].occupancies == [10, 10, 5]
+
+    def test_loss_b_changes_plan(self):
+        losses = LossConfig(transfer=TransferTimePenalty(1.5, cumulative=True))
+        allocator = Allocator(paper_server("svm", max_parallel=10), losses=losses)
+        assert allocator.plan.slots_per_cycle == 9
+        assert allocator.sizing_extra_s == 15.0
+
+    def test_servers_required(self):
+        allocator = Allocator(paper_server("svm", max_parallel=10))
+        assert allocator.servers_required(0) == 0
+        assert allocator.servers_required(180) == 1
+        assert allocator.servers_required(181) == 2
+
+    def test_negative_clients(self):
+        allocator = Allocator(paper_server("svm"))
+        with pytest.raises(ValueError):
+            allocator.allocate(-1)
+
+    def test_validation_catches_duplicates(self):
+        from repro.core.allocator import Allocation, ServerAssignment
+
+        bad = Allocation(
+            (ServerAssignment(0, ((1, 1),)),),
+            plan(),
+        )
+        with pytest.raises(ValueError, match="twice"):
+            bad.validate()
+
+    def test_validation_catches_overfull_slot(self):
+        from repro.core.allocator import Allocation, ServerAssignment
+
+        bad = Allocation(
+            (ServerAssignment(0, (tuple(range(11)),)),),
+            plan(parallel=10),
+        )
+        with pytest.raises(ValueError, match="max_parallel"):
+            bad.validate()

@@ -1,0 +1,92 @@
+"""Tests pinning the calibration constants to the published tables."""
+
+import pytest
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER, table1_rows, table2_rows
+
+
+class TestRoutineStats:
+    def test_energy_consistent_with_duration_and_power(self):
+        r = PAPER.routine
+        assert r.implied_energy_j == pytest.approx(r.energy_j, rel=0.005)
+
+    def test_published_values(self):
+        r = PAPER.routine
+        assert r.duration_s == 89.0  # 1 min 29 s
+        assert r.power_w == 2.14
+        assert r.energy_j == 190.1
+        assert r.duration_std_s == 3.5
+        assert r.power_std_w == 0.009
+
+
+class TestTable1:
+    @pytest.mark.parametrize("model,total", [("svm", 366.3), ("cnn", 367.5)])
+    def test_totals(self, model, total):
+        rows = table1_rows(model)
+        assert sum(t.energy for t in rows) == pytest.approx(total, abs=0.05)
+        assert sum(t.duration for t in rows) == pytest.approx(CYCLE_SECONDS, abs=0.05)
+
+    def test_svm_rows_verbatim(self):
+        rows = {t.name: t for t in table1_rows("svm")}
+        assert rows["sleep"].energy == 111.6 and rows["sleep"].duration == 178.5
+        assert rows["wake_collect"].energy == 131.8 and rows["wake_collect"].duration == 64.0
+        assert rows["queen_detection_svm"].energy == 98.9
+        assert rows["send_results"].energy == 3.0
+        assert rows["shutdown"].energy == 21.0
+
+    def test_sleep_power_implied(self):
+        rows = {t.name: t for t in table1_rows("svm")}
+        assert rows["sleep"].power == pytest.approx(PAPER.sleep_watts, rel=0.001)
+
+    def test_model_choice_small_difference(self):
+        """§V: only 1.2 J difference between SVM and CNN at the edge."""
+        svm = sum(t.energy for t in table1_rows("svm"))
+        cnn = sum(t.energy for t in table1_rows("cnn"))
+        assert abs(cnn - svm) == pytest.approx(1.2, abs=0.05)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            table1_rows("transformer")
+
+
+class TestTable2:
+    @pytest.mark.parametrize(
+        "model,edge_total,cloud_total",
+        [("svm", 322.0, 13744.3), ("cnn", 322.0, 13806.0)],
+    )
+    def test_totals(self, model, edge_total, cloud_total):
+        rows = table2_rows(model)
+        assert sum(t.energy for t in rows["edge"]) == pytest.approx(edge_total, abs=0.1)
+        assert sum(t.energy for t in rows["cloud"]) == pytest.approx(cloud_total, abs=0.5)
+
+    def test_both_sides_span_cycle(self):
+        for model in ("svm", "cnn"):
+            rows = table2_rows(model)
+            assert sum(t.duration for t in rows["edge"]) == pytest.approx(CYCLE_SECONDS, abs=0.05)
+            assert sum(t.duration for t in rows["cloud"]) == pytest.approx(CYCLE_SECONDS, abs=0.05)
+
+    def test_cloud_model_difference(self):
+        """§V: 61.7 J difference between models on the server."""
+        svm = sum(t.energy for t in table2_rows("svm")["cloud"])
+        cnn = sum(t.energy for t in table2_rows("cnn")["cloud"])
+        assert cnn - svm == pytest.approx(61.7, abs=0.5)
+
+    def test_server_powers_derived_correctly(self):
+        # Idle: 9415 J over 211.1 s; receive: 1032 J over 15 s.
+        assert PAPER.server_idle_w == pytest.approx(9415 / 211.1, rel=0.01)
+        assert PAPER.server_receive_w == pytest.approx(1032 / 15.0, rel=0.01)
+
+
+class TestSectionVIConstants:
+    def test_slot_guard_yields_18_svm_slots(self):
+        slot = PAPER.send_audio_s + PAPER.svm_cloud_s + PAPER.slot_guard_s
+        assert int(CYCLE_SECONDS // slot) == 18
+
+    def test_fig7b_full_server_is_630(self):
+        slot = PAPER.send_audio_s + PAPER.svm_cloud_s + PAPER.slot_guard_s
+        assert int(CYCLE_SECONDS // slot) * 35 == PAPER.max_gap_clients_at_35 == 630
+
+    def test_fig3_surge_reproduces_119(self):
+        avg5 = (PAPER.routine.energy_j + PAPER.wake_surge_j
+                + PAPER.sleep_watts * (300 - PAPER.routine.duration_s)) / 300.0
+        assert avg5 == pytest.approx(PAPER.fig3_power_at_5min_w, abs=0.01)

@@ -1,0 +1,70 @@
+"""Tests for the client profile and the Figure 3 model."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER
+from repro.core.client import ClientProfile, average_power_for_period, fig3_curve
+from repro.core.routines import edge_scenario_tasks
+from repro.util.units import MINUTE
+
+
+class TestClientProfile:
+    def make(self, period=CYCLE_SECONDS):
+        return ClientProfile(
+            name="test",
+            active_tasks=edge_scenario_tasks("svm"),
+            sleep_watts=PAPER.sleep_watts,
+            period=period,
+        )
+
+    def test_cycle_energy_matches_table1(self):
+        assert self.make().cycle_energy == pytest.approx(366.3, abs=0.2)
+
+    def test_sleep_is_residual(self):
+        c = self.make()
+        assert c.sleep_duration == pytest.approx(178.5, abs=0.1)
+        assert c.active_duration + c.sleep_duration == pytest.approx(CYCLE_SECONDS)
+
+    def test_average_power(self):
+        c = self.make()
+        assert c.average_power == pytest.approx(c.cycle_energy / CYCLE_SECONDS)
+
+    def test_longer_period_lowers_average_power(self):
+        assert self.make(600.0).average_power < self.make(300.0).average_power
+
+    def test_with_period(self):
+        c = self.make().with_period(600.0)
+        assert c.period == 600.0
+        assert c.sleep_duration == pytest.approx(478.5, abs=0.1)
+
+    def test_tasks_exceeding_period_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(period=100.0)
+
+    def test_surge_energy_added(self):
+        base = self.make()
+        surged = ClientProfile("s", base.active_tasks, base.sleep_watts, base.period, wake_surge_j=35.0)
+        assert surged.cycle_energy == pytest.approx(base.cycle_energy + 35.0)
+
+
+class TestFig3Model:
+    def test_peak_at_5_minutes(self):
+        assert average_power_for_period(5 * MINUTE) == pytest.approx(1.19, abs=0.01)
+
+    def test_converges_to_sleep_power(self):
+        p = average_power_for_period(24 * 60 * MINUTE)
+        assert p == pytest.approx(PAPER.sleep_watts, abs=0.01)
+
+    def test_monotone_decreasing(self):
+        periods, powers = fig3_curve()
+        assert list(periods) == [300, 600, 900, 1800, 3600, 7200]
+        assert np.all(np.diff(powers) < 0)
+
+    def test_bounded_below_by_sleep(self):
+        _, powers = fig3_curve()
+        assert all(p > PAPER.sleep_watts for p in powers)
+
+    def test_period_shorter_than_routine_rejected(self):
+        with pytest.raises(ValueError):
+            average_power_for_period(60.0)

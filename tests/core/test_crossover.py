@@ -1,0 +1,98 @@
+"""Tests for crossover analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import PAPER
+from repro.core.crossover import crossover_report, find_crossover, tipping_max_parallel
+from repro.core.routines import EDGE_SVM, make_scenario
+from repro.core.sweep import sweep_clients
+
+
+class TestFindCrossover:
+    def test_simple_crossover(self):
+        n = np.arange(1, 11)
+        edge = np.full(10, 5.0)
+        cloud = 10.0 - n.astype(float)  # crosses at n=5
+        report = find_crossover(n, edge, cloud)
+        assert report.first_crossover == 5
+        assert report.permanent_crossover == 5
+        assert report.max_gap_j == pytest.approx(5.0)  # at n=10: 5 - (10-10)
+        assert report.max_gap_at == 10
+
+    def test_edge_always_wins(self):
+        n = np.arange(1, 5)
+        report = find_crossover(n, np.full(4, 1.0), np.full(4, 2.0))
+        assert report.first_crossover is None
+        assert report.permanent_crossover is None
+        assert report.max_gap_at is None
+        assert report.fraction_cloud_better == 0.0
+
+    def test_cloud_always_wins(self):
+        n = np.arange(1, 5)
+        report = find_crossover(n, np.full(4, 2.0), np.full(4, 1.0))
+        assert report.first_crossover == 1
+        assert report.permanent_crossover == 1
+        assert report.fraction_cloud_better == 1.0
+
+    def test_intermittent_crossing(self):
+        n = np.arange(1, 6)
+        edge = np.full(5, 5.0)
+        cloud = np.array([6.0, 4.0, 6.0, 4.0, 4.0])
+        report = find_crossover(n, edge, cloud)
+        assert report.first_crossover == 2
+        assert report.permanent_crossover == 4
+
+    def test_last_point_worse_means_no_permanent(self):
+        n = np.arange(1, 4)
+        report = find_crossover(n, np.full(3, 5.0), np.array([4.0, 4.0, 6.0]))
+        assert report.permanent_crossover is None
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossover(np.arange(3), np.zeros(3), np.zeros(2))
+
+    def test_render(self):
+        report = find_crossover(np.arange(1, 4), np.full(3, 5.0), np.full(3, 4.0))
+        out = report.render()
+        assert "first crossover" in out
+
+
+class TestTipping:
+    def test_paper_value(self):
+        """§VI-B: 26 clients/slot is the tipping capacity (we measure 27)."""
+        tip = tipping_max_parallel(EDGE_SVM, make_scenario("edge+cloud", "svm"))
+        assert abs(tip - PAPER.tipping_clients_per_slot) <= 2
+
+    def test_requires_server(self):
+        with pytest.raises(ValueError):
+            tipping_max_parallel(EDGE_SVM, EDGE_SVM)
+
+    def test_search_limit(self):
+        # An edge scenario so cheap the cloud can never match it.
+        from repro.core.client import ClientProfile
+        from repro.core.routines import Scenario, edge_scenario_tasks
+
+        cheap_client = ClientProfile("cheap", edge_scenario_tasks("svm"), sleep_watts=0.0, period=300.0)
+        cheap = Scenario("cheap", cheap_client)
+        expensive_cloud = make_scenario("edge+cloud", "svm")
+        with pytest.raises(ValueError):
+            tipping_max_parallel(cheap, expensive_cloud, search_to=5)
+
+
+class TestCrossoverReport:
+    def test_from_sweeps(self):
+        n = np.arange(100, 1200)
+        edge = sweep_clients(n, EDGE_SVM)
+        cloud = sweep_clients(n, make_scenario("edge+cloud", "svm", max_parallel=35))
+        report = crossover_report(edge, cloud)
+        # Paper: first crossover ~406 (we measure ~419); max gap at 630.
+        assert report.first_crossover is not None
+        assert abs(report.first_crossover - PAPER.crossover_clients_at_35) < 50
+        assert report.max_gap_at == PAPER.max_gap_clients_at_35
+
+    def test_grid_mismatch_rejected(self):
+        a = sweep_clients(np.arange(10, 20), EDGE_SVM)
+        b = sweep_clients(np.arange(10, 21), make_scenario("edge+cloud", "svm"))
+        with pytest.raises(ValueError):
+            crossover_report(a, b)

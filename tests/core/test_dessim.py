@@ -1,0 +1,96 @@
+"""DES vs analytic cross-validation — the two simulators must agree exactly."""
+
+import pytest
+
+from repro.core.dessim import run_des_fleet
+from repro.core.losses import ClientLoss, LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM, make_scenario
+from repro.core.simulate import simulate_fleet
+
+
+class TestEdgeOnlyAgreement:
+    def test_per_client_cycle_energy(self):
+        des = run_des_fleet(5, EDGE_SVM, n_cycles=2)
+        assert des.edge_energy_per_client_cycle == pytest.approx(
+            EDGE_SVM.client.cycle_energy, rel=1e-9
+        )
+
+    def test_total_matches_analytic(self):
+        des = run_des_fleet(7, EDGE_SVM, n_cycles=3)
+        analytic = simulate_fleet(7, EDGE_SVM)
+        assert des.edge_energy_j == pytest.approx(3 * analytic.edge_energy_j, rel=1e-9)
+
+
+class TestEdgeCloudAgreement:
+    @pytest.mark.parametrize("n_clients", [1, 10, 25, 180, 200])
+    def test_no_loss(self, n_clients):
+        des = run_des_fleet(n_clients, EDGE_CLOUD_SVM, n_cycles=1)
+        analytic = simulate_fleet(n_clients, EDGE_CLOUD_SVM)
+        assert des.edge_energy_j == pytest.approx(analytic.edge_energy_j, rel=1e-9)
+        assert des.server_energy_j == pytest.approx(analytic.server_energy_j, rel=1e-9)
+        assert len(des.server_accounts) == analytic.n_servers
+
+    def test_multiple_cycles_scale_linearly(self):
+        one = run_des_fleet(30, EDGE_CLOUD_SVM, n_cycles=1)
+        three = run_des_fleet(30, EDGE_CLOUD_SVM, n_cycles=3)
+        assert three.total_energy_j == pytest.approx(3 * one.total_energy_j, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "losses",
+        [
+            LossConfig(saturation=SaturationPenalty()),
+            LossConfig(saturation=SaturationPenalty(base="active")),
+            LossConfig(transfer=TransferTimePenalty(cumulative=True)),
+            LossConfig(transfer=TransferTimePenalty(cumulative=False)),
+            LossConfig(saturation=SaturationPenalty(), transfer=TransferTimePenalty()),
+        ],
+    )
+    def test_deterministic_losses(self, losses):
+        des = run_des_fleet(35, EDGE_CLOUD_SVM, n_cycles=1, losses=losses)
+        analytic = simulate_fleet(35, EDGE_CLOUD_SVM, losses=losses)
+        assert des.server_energy_j == pytest.approx(analytic.server_energy_j, rel=1e-9)
+
+    def test_cnn_scenario(self):
+        scenario = make_scenario("edge+cloud", "cnn")
+        des = run_des_fleet(20, scenario, n_cycles=1)
+        analytic = simulate_fleet(20, scenario)
+        assert des.server_energy_j == pytest.approx(analytic.server_energy_j, rel=1e-9)
+        assert des.edge_energy_j == pytest.approx(analytic.edge_energy_j, rel=1e-9)
+
+    def test_max_parallel_35(self):
+        scenario = make_scenario("edge+cloud", "svm", max_parallel=35)
+        des = run_des_fleet(70, scenario, n_cycles=1)
+        analytic = simulate_fleet(70, scenario)
+        assert des.server_energy_j == pytest.approx(analytic.server_energy_j, rel=1e-9)
+
+
+class TestLedgerDetail:
+    def test_client_categories(self):
+        des = run_des_fleet(1, EDGE_CLOUD_SVM, n_cycles=1)
+        acc = des.client_accounts[0]
+        assert acc.category_total("send_audio") == pytest.approx(37.3)
+        assert acc.category_total("wake_collect") == pytest.approx(131.8)
+
+    def test_server_categories(self):
+        des = run_des_fleet(10, EDGE_CLOUD_SVM, n_cycles=1)
+        acc = des.server_accounts[0]
+        assert acc.category_total("receive") == pytest.approx(68.8 * 15.0)
+        assert acc.category_total("service") > 0
+
+    def test_saturation_penalty_category(self):
+        losses = LossConfig(saturation=SaturationPenalty())
+        des = run_des_fleet(10, EDGE_CLOUD_SVM, n_cycles=1, losses=losses)
+        acc = des.server_accounts[0]
+        assert acc.category_total("saturation_penalty") > 0
+
+
+class TestValidation:
+    def test_loss_c_unsupported(self):
+        with pytest.raises(ValueError, match="loss model C"):
+            run_des_fleet(5, EDGE_CLOUD_SVM, losses=LossConfig(client_loss=ClientLoss()))
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            run_des_fleet(0, EDGE_SVM)
+        with pytest.raises(ValueError):
+            run_des_fleet(1, EDGE_SVM, n_cycles=0)

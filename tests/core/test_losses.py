@@ -1,0 +1,103 @@
+"""Tests for the loss models."""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import ClientLoss, LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.util.rng import make_rng
+
+
+class TestSaturationPenalty:
+    def test_no_penalty_below_threshold(self):
+        pen = SaturationPenalty(margin=5, rate=0.1)
+        assert pen.multiplier(5, 10) == 1.0
+
+    def test_paper_example_full_slot(self):
+        """10/slot, margin 5: a full slot has 5 clients over -> x1.5."""
+        pen = SaturationPenalty(margin=5, rate=0.1)
+        assert pen.multiplier(10, 10) == pytest.approx(1.5)
+
+    def test_linear_in_overage(self):
+        pen = SaturationPenalty(margin=5, rate=0.1)
+        assert pen.multiplier(7, 10) == pytest.approx(1.2)
+
+    def test_margin_larger_than_capacity(self):
+        pen = SaturationPenalty(margin=20, rate=0.1)
+        assert pen.multiplier(3, 10) == pytest.approx(1.3)  # threshold clamps to 0
+
+    def test_occupancy_bounds(self):
+        pen = SaturationPenalty()
+        with pytest.raises(ValueError):
+            pen.multiplier(11, 10)
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            SaturationPenalty(base="idle")
+        SaturationPenalty(base="active")  # valid
+
+
+class TestTransferTimePenalty:
+    def test_cumulative_sizing(self):
+        pen = TransferTimePenalty(extra_s_per_client=1.5, cumulative=True)
+        assert pen.sizing_extra_s(10) == 15.0
+        assert pen.actual_extra_s(4) == 6.0
+
+    def test_constant_mode(self):
+        pen = TransferTimePenalty(extra_s_per_client=1.5, cumulative=False)
+        assert pen.sizing_extra_s(35) == 1.5
+        assert pen.actual_extra_s(20) == 1.5
+        assert pen.actual_extra_s(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferTimePenalty(extra_s_per_client=-1.0)
+        with pytest.raises(ValueError):
+            TransferTimePenalty().sizing_extra_s(0)
+
+
+class TestClientLoss:
+    def test_mean_matches_fraction(self):
+        loss = ClientLoss(mean_fraction=0.10, std=2.0)
+        rng = make_rng(0)
+        draws = [loss.draw_lost(200, rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(20.0, rel=0.05)
+
+    def test_clipped_to_bounds(self):
+        loss = ClientLoss(mean_fraction=0.5, std=100.0)
+        rng = make_rng(1)
+        for _ in range(100):
+            lost = loss.draw_lost(10, rng)
+            assert 0 <= lost <= 10
+
+    def test_zero_clients(self):
+        assert ClientLoss().draw_lost(0, make_rng(0)) == 0
+
+    def test_array_draw_matches_statistics(self):
+        loss = ClientLoss(mean_fraction=0.10, std=2.0)
+        n = np.full(5000, 300)
+        lost = loss.draw_lost_array(n, make_rng(2))
+        assert lost.mean() == pytest.approx(30.0, rel=0.05)
+        assert np.all(lost >= 0) and np.all(lost <= 300)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientLoss(mean_fraction=1.5)
+
+
+class TestLossConfig:
+    def test_none(self):
+        cfg = LossConfig.none()
+        assert not cfg.any_active
+        assert cfg.describe() == "no loss"
+
+    def test_all_paper(self):
+        cfg = LossConfig.all_paper()
+        assert cfg.any_active
+        assert cfg.saturation.base == "slot"
+        assert cfg.transfer.cumulative is True
+        assert "A(" in cfg.describe() and "B(" in cfg.describe() and "C(" in cfg.describe()
+
+    def test_fig9_variant(self):
+        cfg = LossConfig.fig9()
+        assert cfg.saturation.base == "active"
+        assert cfg.transfer.cumulative is False

@@ -1,0 +1,123 @@
+"""Tests for heterogeneous (mixed-period) fleets."""
+
+import pytest
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import ClientLoss, LossConfig
+from repro.core.mixed import ClientGroup, simulate_mixed_fleet
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM, make_scenario
+from repro.core.simulate import simulate_fleet
+from repro.util.units import MINUTE
+
+
+def cloud_group(name, count, period_mult=1):
+    client = EDGE_CLOUD_SVM.client.with_period(CYCLE_SECONDS * period_mult)
+    return ClientGroup(name, client, count)
+
+
+class TestClientGroup:
+    def test_period_multiple(self):
+        assert cloud_group("a", 5, 2).period_multiple(CYCLE_SECONDS) == 2
+
+    def test_non_integer_multiple_rejected(self):
+        client = EDGE_CLOUD_SVM.client.with_period(450.0)
+        with pytest.raises(ValueError, match="integer"):
+            ClientGroup("bad", client, 1).period_multiple(CYCLE_SECONDS)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClientGroup("x", EDGE_CLOUD_SVM.client, -1)
+
+
+class TestHomogeneousReduction:
+    def test_single_group_matches_simulate_fleet(self):
+        """One group at the base period must reproduce the homogeneous model."""
+        server = EDGE_CLOUD_SVM.server
+        for n in (10, 50, 180, 200):
+            mixed = simulate_mixed_fleet([cloud_group("g", n)], server)
+            homo = simulate_fleet(n, EDGE_CLOUD_SVM)
+            assert mixed.n_servers == homo.n_servers
+            assert mixed.server_energy_per_cycle == pytest.approx(homo.server_energy_j, rel=1e-12)
+            assert mixed.edge_energy_per_cycle == pytest.approx(homo.edge_energy_j, rel=1e-12)
+
+    def test_edge_only_group(self):
+        group = ClientGroup("edge", EDGE_SVM.client, 40, uploads=False)
+        result = simulate_mixed_fleet([group], server=None)
+        assert result.n_servers == 0
+        assert result.server_energy_per_cycle == 0.0
+        assert result.edge_energy_per_cycle == pytest.approx(40 * 366.26, rel=0.001)
+
+
+class TestMixedPeriods:
+    def test_slow_group_amortized(self):
+        """A 2x-period group uploads every other cycle: half the slot load."""
+        server = EDGE_CLOUD_SVM.server
+        result = simulate_mixed_fleet([cloud_group("slow", 100, period_mult=2)], server)
+        assert result.hyperperiod == 2 * CYCLE_SECONDS
+        assert result.due_per_cycle == (50, 50)  # phases striped evenly
+
+    def test_slow_clients_cost_less_per_cycle(self):
+        server = EDGE_CLOUD_SVM.server
+        fast = simulate_mixed_fleet([cloud_group("fast", 100, 1)], server)
+        slow = simulate_mixed_fleet([cloud_group("slow", 100, 2)], server)
+        assert slow.edge_energy_per_cycle < fast.edge_energy_per_cycle
+        assert slow.server_energy_per_cycle < fast.server_energy_per_cycle
+
+    def test_staggering_saves_servers(self):
+        """360 clients at 2x period fit one 180-capacity server; at 1x they
+        would need two — the headline benefit of phase striping."""
+        server = EDGE_CLOUD_SVM.server  # capacity 180 at 10/slot
+        slow = simulate_mixed_fleet([cloud_group("slow", 360, 2)], server)
+        fast = simulate_mixed_fleet([cloud_group("fast", 360, 1)], server)
+        assert slow.n_servers == 1
+        assert fast.n_servers == 2
+
+    def test_two_groups_share_servers(self):
+        server = EDGE_CLOUD_SVM.server
+        result = simulate_mixed_fleet(
+            [cloud_group("audio", 90, 1), cloud_group("temp", 180, 2)], server
+        )
+        # Per cycle: 90 + 90 due -> exactly one full server.
+        assert result.due_per_cycle == (180, 180)
+        assert result.n_servers == 1
+
+    def test_hyperperiod_lcm(self):
+        server = EDGE_CLOUD_SVM.server
+        result = simulate_mixed_fleet(
+            [cloud_group("a", 10, 2), cloud_group("b", 10, 3)], server
+        )
+        assert result.hyperperiod == 6 * CYCLE_SECONDS
+        assert len(result.due_per_cycle) == 6
+
+    def test_mixed_with_edge_only_group(self):
+        server = EDGE_CLOUD_SVM.server
+        groups = [
+            cloud_group("uploaders", 50, 1),
+            ClientGroup("edge-only", EDGE_SVM.client, 20, uploads=False),
+        ]
+        result = simulate_mixed_fleet(groups, server)
+        assert result.peak_due == 50
+        names = [name for name, _ in result.group_edge_energy_per_cycle]
+        assert names == ["uploaders", "edge-only"]
+
+    def test_render(self):
+        result = simulate_mixed_fleet([cloud_group("g", 30)], EDGE_CLOUD_SVM.server)
+        assert "Mixed fleet" in result.render()
+
+
+class TestValidation:
+    def test_no_groups(self):
+        with pytest.raises(ValueError):
+            simulate_mixed_fleet([], EDGE_CLOUD_SVM.server)
+
+    def test_uploaders_need_server(self):
+        with pytest.raises(ValueError, match="server"):
+            simulate_mixed_fleet([cloud_group("g", 10)], server=None)
+
+    def test_loss_c_unsupported(self):
+        with pytest.raises(ValueError, match="loss model C"):
+            simulate_mixed_fleet(
+                [cloud_group("g", 10)],
+                EDGE_CLOUD_SVM.server,
+                losses=LossConfig(client_loss=ClientLoss()),
+            )

@@ -1,0 +1,80 @@
+"""Tests for the placement planner."""
+
+import pytest
+
+from repro.core.losses import LossConfig
+from repro.core.planner import breakeven_grid_weight, plan_placement
+
+
+class TestPlanPlacement:
+    def test_small_fleet_prefers_edge(self):
+        """Below the crossover, edge-only wins on total energy."""
+        plan = plan_placement(100, objective="total", max_parallels=(10, 35))
+        assert plan.best.scenario.is_edge_only
+
+    def test_large_fleet_prefers_cloud_at_35(self):
+        """At 630 clients (one full 35-slot server) edge+cloud wins."""
+        plan = plan_placement(630, objective="total", models=("svm",), max_parallels=(10, 35))
+        assert not plan.best.scenario.is_edge_only
+        assert plan.best.scenario.server.max_parallel == 35
+
+    def test_edge_objective_always_prefers_offloading(self):
+        """Minimizing solar-side energy: the edge+cloud client (322 J) beats
+        the edge-only client (366 J) at any fleet size."""
+        for n in (10, 100, 1000):
+            plan = plan_placement(n, objective="edge", models=("svm",), max_parallels=(10,))
+            assert not plan.best.scenario.is_edge_only
+
+    def test_weighted_objective_interpolates(self):
+        free_grid = plan_placement(100, objective="weighted", grid_weight=0.0,
+                                   models=("svm",), max_parallels=(35,))
+        full_grid = plan_placement(100, objective="weighted", grid_weight=1.0,
+                                   models=("svm",), max_parallels=(35,))
+        assert not free_grid.best.scenario.is_edge_only
+        assert full_grid.best.scenario.is_edge_only  # same as 'total' at n=100
+
+    def test_options_sorted_by_objective(self):
+        plan = plan_placement(400, objective="total")
+        values = [o.objective_value for o in plan.options]
+        assert values == sorted(values)
+
+    def test_losses_change_the_answer(self):
+        ideal = plan_placement(630, objective="total", models=("svm",), max_parallels=(35,))
+        lossy = plan_placement(630, objective="total", models=("svm",), max_parallels=(35,),
+                               losses=LossConfig.all_paper(), seed=1)
+        assert not ideal.best.scenario.is_edge_only
+        assert lossy.best.scenario.is_edge_only  # cumulative loss B wrecks the cloud
+
+    def test_render(self):
+        plan = plan_placement(200, models=("svm",), max_parallels=(10,))
+        out = plan.render()
+        assert "Placement plan" in out and "Edge (SVM)" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_placement(0)
+        with pytest.raises(ValueError):
+            plan_placement(10, objective="latency")
+
+
+class TestBreakevenGridWeight:
+    def test_below_crossover_weight_below_one(self):
+        """At 100 clients edge+cloud loses on total energy, so the breakeven
+        weight must discount grid joules (< 1)."""
+        w = breakeven_grid_weight(100)
+        assert 0.0 < w < 1.0
+
+    def test_above_crossover_weight_above_one(self):
+        """At a full 35-slot server edge+cloud wins even at parity."""
+        w = breakeven_grid_weight(630, max_parallel=35)
+        assert w > 1.0
+
+    def test_weighted_planner_consistent_with_breakeven(self):
+        n = 400
+        w_star = breakeven_grid_weight(n, max_parallel=35)
+        below = plan_placement(n, objective="weighted", grid_weight=w_star * 0.9,
+                               models=("svm",), max_parallels=(35,))
+        above = plan_placement(n, objective="weighted", grid_weight=w_star * 1.1,
+                               models=("svm",), max_parallels=(35,))
+        assert not below.best.scenario.is_edge_only
+        assert above.best.scenario.is_edge_only

@@ -1,0 +1,108 @@
+"""Cross-cutting property tests on the core simulation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.core.mixed import ClientGroup, simulate_mixed_fleet
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM
+from repro.core.server import paper_server
+from repro.core.simulate import occupied_slot_energy, simulate_fleet
+from repro.core.sweep import sweep_clients
+
+fleet_sizes = st.integers(min_value=1, max_value=1500)
+parallels = st.integers(min_value=1, max_value=50)
+
+
+class TestEnergyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(fleet_sizes, parallels)
+    def test_total_energy_nonnegative_and_superadditive_parts(self, n, p):
+        result = simulate_fleet(n, EDGE_CLOUD_SVM, max_parallel=p)
+        assert result.edge_energy_j >= 0 and result.server_energy_j >= 0
+        # Server energy at least covers the idle baseline of every server.
+        assert result.server_energy_j >= result.n_servers * 44.6 * CYCLE_SECONDS - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(fleet_sizes)
+    def test_total_energy_monotone_in_fleet(self, n):
+        a = simulate_fleet(n, EDGE_CLOUD_SVM)
+        b = simulate_fleet(n + 1, EDGE_CLOUD_SVM)
+        assert b.total_energy_j > a.total_energy_j
+
+    @settings(max_examples=30, deadline=None)
+    @given(fleet_sizes, parallels)
+    def test_servers_match_capacity_formula(self, n, p):
+        result = simulate_fleet(n, EDGE_CLOUD_SVM, max_parallel=p)
+        capacity = result.slots_per_server * p
+        assert result.n_servers == -(-n // capacity)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=5))
+    def test_losses_never_reduce_energy(self, occupancy, margin):
+        """Any deterministic loss configuration only adds energy."""
+        server = paper_server("svm", max_parallel=10)
+        base = occupied_slot_energy(server, occupancy)
+        lossy = occupied_slot_energy(
+            server,
+            occupancy,
+            losses=LossConfig(saturation=SaturationPenalty(margin=margin)),
+        )
+        assert lossy >= base - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=10))
+    def test_transfer_stretch_energy_monotone_in_occupancy_gap(self, occupancy):
+        server = paper_server("svm", max_parallel=10)
+        losses = LossConfig(transfer=TransferTimePenalty(1.5, cumulative=True))
+        sizing = losses.transfer.sizing_extra_s(10)
+        stretched = occupied_slot_energy(server, occupancy, sizing_extra_s=sizing, losses=losses)
+        plain = occupied_slot_energy(server, occupancy)
+        assert stretched > plain
+
+
+class TestSweepConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(fleet_sizes, min_size=1, max_size=12, unique=True))
+    def test_sweep_order_independent(self, sizes):
+        """Sweep results depend only on the fleet size, not grid order."""
+        arr = np.asarray(sorted(sizes))
+        rev = arr[::-1].copy()
+        fwd = sweep_clients(arr, EDGE_CLOUD_SVM)
+        bwd = sweep_clients(rev, EDGE_CLOUD_SVM)
+        np.testing.assert_allclose(fwd.server_energy_j, bwd.server_energy_j[::-1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(fleet_sizes)
+    def test_edge_scenario_linear_in_fleet(self, n):
+        sweep = sweep_clients(np.array([n, 2 * n]), EDGE_SVM)
+        assert sweep.edge_energy_j[1] == pytest.approx(2 * sweep.edge_energy_j[0], rel=1e-12)
+
+
+class TestMixedFleetProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=1, max_value=6))
+    def test_due_clients_conserved(self, count, k):
+        """Every client uploads exactly once per its own period."""
+        client = EDGE_CLOUD_SVM.client.with_period(CYCLE_SECONDS * k)
+        result = simulate_mixed_fleet([ClientGroup("g", client, count)], EDGE_CLOUD_SVM.server)
+        assert sum(result.due_per_cycle) == count * (result.hyperperiod / client.period)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=1, max_value=6))
+    def test_phase_striping_balanced(self, count, k):
+        client = EDGE_CLOUD_SVM.client.with_period(CYCLE_SECONDS * k)
+        result = simulate_mixed_fleet([ClientGroup("g", client, count)], EDGE_CLOUD_SVM.server)
+        due = np.asarray(result.due_per_cycle)
+        assert due.max() - due.min() <= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=300))
+    def test_mixed_reduces_to_homogeneous(self, n):
+        mixed = simulate_mixed_fleet(
+            [ClientGroup("g", EDGE_CLOUD_SVM.client, n)], EDGE_CLOUD_SVM.server
+        )
+        homo = simulate_fleet(n, EDGE_CLOUD_SVM)
+        assert mixed.server_energy_per_cycle == pytest.approx(homo.server_energy_j, rel=1e-12)

@@ -1,0 +1,69 @@
+"""Tests for scenario construction."""
+
+import pytest
+
+from repro.core.calibration import PAPER
+from repro.core.routines import (
+    EDGE_CLOUD_CNN,
+    EDGE_CLOUD_SVM,
+    EDGE_CNN,
+    EDGE_SVM,
+    all_scenarios,
+    data_collection_routine,
+    edge_cloud_client_tasks,
+    edge_scenario_tasks,
+    make_scenario,
+)
+
+
+class TestTaskBuilders:
+    def test_edge_tasks_exclude_sleep(self):
+        names = [t.name for t in edge_scenario_tasks("svm")]
+        assert "sleep" not in names
+        assert "queen_detection_svm" in names
+
+    def test_edge_cloud_tasks_include_send_audio(self):
+        names = [t.name for t in edge_cloud_client_tasks("cnn")]
+        assert "send_audio" in names
+        assert "queen_detection_cnn" not in names  # the service runs in the cloud
+
+    def test_data_collection_routine_matches_section4(self):
+        routine = data_collection_routine()
+        assert routine.total_duration == PAPER.routine.duration_s
+        assert routine.total_energy == PAPER.routine.energy_j
+
+
+class TestScenarios:
+    def test_edge_scenarios_have_no_server(self):
+        assert EDGE_SVM.is_edge_only and EDGE_CNN.is_edge_only
+
+    def test_cloud_scenarios_have_server(self):
+        assert not EDGE_CLOUD_SVM.is_edge_only
+        assert EDGE_CLOUD_SVM.server.service.name == "queen_detection_svm"
+
+    def test_client_cycle_energies_match_tables(self):
+        assert EDGE_SVM.client_cycle_energy == pytest.approx(366.3, abs=0.2)
+        assert EDGE_CNN.client_cycle_energy == pytest.approx(367.5, abs=0.2)
+        assert EDGE_CLOUD_SVM.client_cycle_energy == pytest.approx(322.0, abs=0.2)
+        assert EDGE_CLOUD_CNN.client_cycle_energy == pytest.approx(322.0, abs=0.2)
+
+    def test_offloading_saves_roughly_12_percent(self):
+        saving = 1.0 - EDGE_CLOUD_SVM.client_cycle_energy / EDGE_SVM.client_cycle_energy
+        assert saving == pytest.approx(0.121, abs=0.005)
+
+    def test_factory(self):
+        s = make_scenario("edge+cloud", "cnn", max_parallel=35)
+        assert s.server.max_parallel == 35
+
+    def test_factory_validation(self):
+        with pytest.raises(ValueError):
+            make_scenario("fog", "svm")
+        with pytest.raises(ValueError):
+            make_scenario("edge", "rnn")
+
+    def test_with_max_parallel_requires_server(self):
+        with pytest.raises(ValueError):
+            EDGE_SVM.with_max_parallel(10)
+
+    def test_all_scenarios(self):
+        assert len(all_scenarios()) == 4

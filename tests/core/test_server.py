@@ -1,0 +1,118 @@
+"""Tests for the server profile and slot planning."""
+
+import pytest
+
+from repro.core.calibration import CYCLE_SECONDS, PAPER
+from repro.core.server import ServerProfile, SlotPlan, paper_server
+from repro.energy.power import TaskPower
+
+
+class TestSlotGeometry:
+    def test_svm_slot_count_is_18(self):
+        srv = paper_server("svm")
+        assert srv.slot_duration() == pytest.approx(16.6)
+        assert srv.slots_per_cycle() == 18
+
+    def test_cnn_slot_count_is_17(self):
+        srv = paper_server("cnn")
+        assert srv.slot_duration() == pytest.approx(17.5)
+        assert srv.slots_per_cycle() == 17
+
+    def test_capacity(self):
+        assert paper_server("svm", max_parallel=10).capacity() == 180
+        assert paper_server("svm", max_parallel=35).capacity() == 630  # Fig 7b full server
+
+    def test_loss_b_stretch_shrinks_slots(self):
+        srv = paper_server("svm", max_parallel=10)
+        assert srv.slots_per_cycle(extra_transfer_s=15.0) == 9  # Fig 8b geometry
+
+    def test_example_from_paper_text(self):
+        """'Given a data transfer and a model execution's duration of 1
+        minute, a server can allow 5 time slots' (in a 5-minute cycle)."""
+        srv = ServerProfile(
+            name="example",
+            idle_watts=40.0,
+            receive_watts=60.0,
+            transfer_s=55.0,
+            service=TaskPower("svc", 5.0, watts=60.0),
+            guard_s=0.0,
+        )
+        assert srv.slots_per_cycle(CYCLE_SECONDS) == 5
+
+    def test_slot_too_long_raises(self):
+        srv = ServerProfile(
+            name="x", idle_watts=1.0, receive_watts=2.0, transfer_s=400.0,
+            service=TaskPower("s", 1.0, watts=1.0),
+        )
+        with pytest.raises(ValueError):
+            srv.slots_per_cycle(CYCLE_SECONDS)
+
+
+class TestSlotEnergy:
+    def test_empty_slot_is_idle(self):
+        srv = paper_server("svm")
+        assert srv.slot_energy(0) == pytest.approx(srv.idle_watts * srv.slot_duration())
+
+    def test_full_slot_svm_value(self):
+        """Marginal energy of a full 10-client SVM slot: (68.8-44.6)*15 +
+        10*(6.3 - 44.6*0.1) = 381.4 J."""
+        srv = paper_server("svm", max_parallel=10)
+        marginal = srv.slot_marginal_energy(10)
+        assert marginal == pytest.approx(363.0 + 10 * 1.84, abs=0.5)
+
+    def test_occupancy_monotone(self):
+        srv = paper_server("svm", max_parallel=10)
+        energies = [srv.slot_energy(k) for k in range(11)]
+        assert all(b >= a for a, b in zip(energies, energies[1:]))
+
+    def test_occupancy_bounds(self):
+        srv = paper_server("svm", max_parallel=10)
+        with pytest.raises(ValueError):
+            srv.slot_energy(11)
+        with pytest.raises(ValueError):
+            srv.slot_energy(-1)
+
+    def test_cycle_energy_idle_server(self):
+        srv = paper_server("svm")
+        assert srv.cycle_energy([]) == pytest.approx(44.6 * 300.0)
+
+    def test_cycle_energy_full_server_reproduces_fig6(self):
+        """Full server at 10/slot: ~112.5 J per client (paper: 116 J)."""
+        srv = paper_server("svm", max_parallel=10)
+        energy = srv.cycle_energy([10] * 18)
+        per_client = energy / 180
+        assert per_client == pytest.approx(PAPER.server_full_per_client_j, rel=0.05)
+
+    def test_too_many_occupancies(self):
+        srv = paper_server("svm", max_parallel=10)
+        with pytest.raises(ValueError):
+            srv.cycle_energy([1] * 19)
+
+
+class TestPaperServer:
+    def test_powers(self):
+        srv = paper_server("svm")
+        assert srv.idle_watts == pytest.approx(44.6)
+        assert srv.receive_watts == pytest.approx(68.8)
+        assert srv.service.energy == 6.3
+
+    def test_cnn_service(self):
+        srv = paper_server("cnn")
+        assert srv.service.energy == 108.0
+        assert srv.service.duration == 1.0
+
+    def test_with_max_parallel(self):
+        srv = paper_server("svm").with_max_parallel(35)
+        assert srv.max_parallel == 35
+        assert srv.idle_watts == pytest.approx(44.6)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            paper_server("gbdt")
+
+
+class TestSlotPlan:
+    def test_for_server(self):
+        plan = SlotPlan.for_server(paper_server("svm", max_parallel=10))
+        assert plan.slots_per_cycle == 18
+        assert plan.capacity == 180

@@ -1,0 +1,112 @@
+"""Tests for the cycle-level fleet simulator."""
+
+import pytest
+
+from repro.core.calibration import PAPER
+from repro.core.losses import ClientLoss, LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM
+from repro.core.simulate import occupied_slot_energy, server_cycle_energy, simulate_fleet
+
+
+class TestOccupiedSlotEnergy:
+    def test_matches_server_profile(self):
+        srv = EDGE_CLOUD_SVM.server
+        for k in (1, 5, 10):
+            assert occupied_slot_energy(srv, k) == pytest.approx(srv.slot_energy(k))
+
+    def test_saturation_penalty_slot_base(self):
+        srv = EDGE_CLOUD_SVM.server
+        losses = LossConfig(saturation=SaturationPenalty(margin=5, rate=0.1))
+        plain = occupied_slot_energy(srv, 10)
+        penalized = occupied_slot_energy(srv, 10, losses=losses)
+        assert penalized == pytest.approx(1.5 * plain)
+
+    def test_saturation_penalty_active_base_smaller(self):
+        srv = EDGE_CLOUD_SVM.server
+        slot_pen = occupied_slot_energy(
+            srv, 10, losses=LossConfig(saturation=SaturationPenalty(base="slot"))
+        )
+        active_pen = occupied_slot_energy(
+            srv, 10, losses=LossConfig(saturation=SaturationPenalty(base="active"))
+        )
+        assert active_pen < slot_pen
+
+    def test_transfer_stretch_raises_energy(self):
+        srv = EDGE_CLOUD_SVM.server
+        losses = LossConfig(transfer=TransferTimePenalty(1.5, cumulative=True))
+        sizing = losses.transfer.sizing_extra_s(srv.max_parallel)
+        stretched = occupied_slot_energy(srv, 10, sizing_extra_s=sizing, losses=losses)
+        assert stretched > occupied_slot_energy(srv, 10)
+
+    def test_occupancy_bounds(self):
+        with pytest.raises(ValueError):
+            occupied_slot_energy(EDGE_CLOUD_SVM.server, 0)
+
+
+class TestServerCycleEnergy:
+    def test_idle_server(self):
+        srv = EDGE_CLOUD_SVM.server
+        assert server_cycle_energy(srv, []) == pytest.approx(44.6 * 300)
+
+    def test_additivity_over_slots(self):
+        srv = EDGE_CLOUD_SVM.server
+        one = server_cycle_energy(srv, [10]) - server_cycle_energy(srv, [])
+        two = server_cycle_energy(srv, [10, 10]) - server_cycle_energy(srv, [])
+        assert two == pytest.approx(2 * one)
+
+
+class TestSimulateFleet:
+    def test_edge_only(self):
+        result = simulate_fleet(100, EDGE_SVM)
+        assert result.n_servers == 0
+        assert result.server_energy_j == 0.0
+        assert result.total_energy_per_client == pytest.approx(366.3, abs=0.2)
+
+    def test_edge_cloud_flat_edge_cost(self):
+        """Figure 6: edge J/client is fleet-size independent (322 J)."""
+        for n in (10, 100, 400):
+            result = simulate_fleet(n, EDGE_CLOUD_SVM)
+            assert result.edge_energy_per_client == pytest.approx(322.0, abs=0.2)
+
+    def test_full_server_best_cost(self):
+        """Figure 6: best total per client ~438 J at one full server."""
+        result = simulate_fleet(180, EDGE_CLOUD_SVM, max_parallel=10)
+        assert result.n_servers == 1
+        assert result.server_energy_per_client == pytest.approx(
+            PAPER.server_full_per_client_j, rel=0.05
+        )
+        assert result.total_energy_per_client == pytest.approx(
+            PAPER.best_total_per_client_j, rel=0.03
+        )
+
+    def test_server_count_steps(self):
+        assert simulate_fleet(180, EDGE_CLOUD_SVM, max_parallel=10).n_servers == 1
+        assert simulate_fleet(181, EDGE_CLOUD_SVM, max_parallel=10).n_servers == 2
+
+    def test_max_parallel_override(self):
+        result = simulate_fleet(630, EDGE_CLOUD_SVM, max_parallel=35)
+        assert result.n_servers == 1
+        assert result.max_parallel == 35
+
+    def test_client_loss_reduces_active(self):
+        losses = LossConfig(client_loss=ClientLoss(mean_fraction=0.10, std=2.0))
+        result = simulate_fleet(300, EDGE_CLOUD_SVM, losses=losses, seed=1)
+        assert result.n_clients_active < 300
+        assert result.n_clients_lost == 300 - result.n_clients_active
+        # Edge energy charged only for reporting clients.
+        assert result.edge_energy_j == pytest.approx(result.n_clients_active * 322.0, rel=0.001)
+
+    def test_loss_seed_reproducible(self):
+        losses = LossConfig(client_loss=ClientLoss())
+        a = simulate_fleet(300, EDGE_CLOUD_SVM, losses=losses, seed=9)
+        b = simulate_fleet(300, EDGE_CLOUD_SVM, losses=losses, seed=9)
+        assert a.n_clients_active == b.n_clients_active
+
+    def test_zero_clients(self):
+        result = simulate_fleet(0, EDGE_CLOUD_SVM)
+        assert result.total_energy_j == 0.0
+        assert result.total_energy_per_client == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fleet(-1, EDGE_SVM)

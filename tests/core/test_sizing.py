@@ -1,0 +1,67 @@
+"""Tests for deployment sizing tools."""
+
+import pytest
+
+from repro.core.losses import ClientLoss, LossConfig, TransferTimePenalty
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM
+from repro.core.sizing import minimum_battery_for_uptime, servers_for_fleet
+from repro.energy.battery import Battery
+from repro.util.units import MINUTE
+
+
+class TestBatterySizing:
+    def test_faster_schedule_needs_bigger_battery(self):
+        slow = minimum_battery_for_uptime(120 * MINUTE, cloudiness=0.4, seed=11)
+        fast = minimum_battery_for_uptime(5 * MINUTE, cloudiness=0.4, seed=11)
+        assert fast.capacity_joules > slow.capacity_joules
+
+    def test_cloudier_weather_needs_bigger_battery(self):
+        sunny = minimum_battery_for_uptime(30 * MINUTE, cloudiness=0.2, seed=11)
+        gloomy = minimum_battery_for_uptime(30 * MINUTE, cloudiness=0.8, seed=11)
+        assert gloomy.capacity_joules > sunny.capacity_joules
+
+    def test_sized_battery_actually_reaches_target(self):
+        sizing = minimum_battery_for_uptime(30 * MINUTE, cloudiness=0.5, target_uptime=0.99, seed=11)
+        assert sizing.achieved_uptime >= 0.99
+
+    def test_paper_bank_comparison_field(self):
+        sizing = minimum_battery_for_uptime(60 * MINUTE, cloudiness=0.3, seed=11)
+        assert sizing.relative_to_paper_bank == pytest.approx(
+            sizing.capacity_joules / Battery.DEFAULT_CAPACITY
+        )
+        assert sizing.capacity_wh > 0
+
+    def test_impossible_load_raises(self):
+        # An absurdly overcast regime where the panel can't carry 5-min cycles.
+        with pytest.raises(ValueError, match="cannot"):
+            minimum_battery_for_uptime(
+                5 * MINUTE, cloudiness=1.0, seed=11, max_capacity=Battery.DEFAULT_CAPACITY * 0.01
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_battery_for_uptime(0.0)
+        with pytest.raises(ValueError):
+            minimum_battery_for_uptime(300.0, target_uptime=1.5)
+
+
+class TestServersForFleet:
+    def test_edge_scenario_needs_none(self):
+        assert servers_for_fleet(1000, EDGE_SVM) == 0
+
+    def test_ideal_counts(self):
+        assert servers_for_fleet(180, EDGE_CLOUD_SVM) == 1
+        assert servers_for_fleet(181, EDGE_CLOUD_SVM) == 2
+
+    def test_safety_margin(self):
+        assert servers_for_fleet(180, EDGE_CLOUD_SVM, safety_margin=1) == 2
+
+    def test_sizes_for_initial_fleet_under_dropout(self):
+        """Dropout must not shrink provisioning: sizing strips loss C."""
+        losses = LossConfig(client_loss=ClientLoss(mean_fraction=0.5, std=0.0))
+        assert servers_for_fleet(180, EDGE_CLOUD_SVM, losses=losses, seed=0) == 1
+        assert servers_for_fleet(181, EDGE_CLOUD_SVM, losses=losses, seed=0) == 2
+
+    def test_transfer_loss_raises_requirement(self):
+        losses = LossConfig(transfer=TransferTimePenalty(cumulative=True))
+        assert servers_for_fleet(350, EDGE_CLOUD_SVM, losses=losses) == 4  # Fig 8b

@@ -1,0 +1,86 @@
+"""Tests for the vectorized sweep, pinned against the object-level simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.losses import ClientLoss, LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM
+from repro.core.simulate import simulate_fleet
+from repro.core.sweep import sweep_clients
+
+DETERMINISTIC_LOSSES = [
+    LossConfig.none(),
+    LossConfig(saturation=SaturationPenalty()),
+    LossConfig(transfer=TransferTimePenalty(cumulative=True)),
+    LossConfig(transfer=TransferTimePenalty(cumulative=False)),
+    LossConfig(saturation=SaturationPenalty(base="active"), transfer=TransferTimePenalty()),
+]
+
+
+class TestAgreementWithSimulator:
+    @pytest.mark.parametrize("losses", DETERMINISTIC_LOSSES)
+    @pytest.mark.parametrize("max_parallel", [10, 35])
+    def test_pointwise_agreement(self, losses, max_parallel):
+        """For every deterministic loss combination, the closed-form sweep
+        equals the allocation-based simulator at every fleet size."""
+        n = np.array([1, 9, 10, 50, 179, 180, 181, 400, 631])
+        sweep = sweep_clients(n, EDGE_CLOUD_SVM, losses=losses, max_parallel=max_parallel)
+        for i, count in enumerate(n):
+            point = simulate_fleet(int(count), EDGE_CLOUD_SVM, losses=losses, max_parallel=max_parallel)
+            assert sweep.n_servers[i] == point.n_servers, f"n={count}"
+            assert sweep.server_energy_j[i] == pytest.approx(point.server_energy_j, rel=1e-12), f"n={count}"
+            assert sweep.edge_energy_j[i] == pytest.approx(point.edge_energy_j, rel=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_agreement_property(self, n):
+        sweep = sweep_clients(np.array([n]), EDGE_CLOUD_SVM)
+        point = simulate_fleet(n, EDGE_CLOUD_SVM)
+        assert sweep.server_energy_j[0] == pytest.approx(point.server_energy_j, rel=1e-12)
+
+
+class TestSweepSemantics:
+    def test_edge_scenario(self):
+        n = np.arange(1, 50)
+        sweep = sweep_clients(n, EDGE_SVM)
+        np.testing.assert_allclose(sweep.total_energy_per_client, 366.3, atol=0.2)
+        assert np.all(sweep.n_servers == 0)
+
+    def test_per_client_server_cost_sawtooth(self):
+        """Cost per client dips at full servers and jumps when a new one opens."""
+        n = np.arange(10, 400)
+        sweep = sweep_clients(n, EDGE_CLOUD_SVM, max_parallel=10)
+        cost = sweep.server_energy_per_client
+        i180 = 180 - 10
+        i181 = 181 - 10
+        assert cost[i181] > cost[i180]
+        # The full server is the cheapest point of its range (macro-sawtooth);
+        # micro-bumps at slot boundaries are expected.
+        assert cost[i180] == np.min(cost[: i180 + 1])
+        # Within a single slot's fill range the cost strictly decreases.
+        within_slot = cost[0:9]  # fleet 10..18 share the same 2-slot layout tail
+        assert np.all(np.diff(within_slot) < 0)
+
+    def test_zero_fleet_entry(self):
+        sweep = sweep_clients(np.array([0, 10]), EDGE_CLOUD_SVM)
+        assert sweep.n_servers[0] == 0
+        assert sweep.total_energy_per_client[0] == 0.0
+
+    def test_client_loss_statistics(self):
+        losses = LossConfig(client_loss=ClientLoss(mean_fraction=0.10, std=2.0))
+        n = np.full(3000, 500)
+        sweep = sweep_clients(n, EDGE_CLOUD_SVM, losses=losses, seed=3)
+        assert sweep.n_lost.mean() == pytest.approx(50.0, rel=0.05)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sweep_clients(np.zeros((2, 2), dtype=int), EDGE_SVM)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sweep_clients(np.array([-1]), EDGE_SVM)
+
+    def test_capacity_reported(self):
+        sweep = sweep_clients(np.array([10]), EDGE_CLOUD_SVM, max_parallel=35)
+        assert sweep.server_capacity == 630

@@ -1,0 +1,55 @@
+"""Tests for task sequences."""
+
+import pytest
+
+from repro.core.tasks import TaskSequence
+from repro.energy.power import TaskPower
+
+
+def seq():
+    return TaskSequence(
+        "demo",
+        [
+            TaskPower("a", 10.0, measured_energy=20.0),
+            TaskPower("b", 5.0, measured_energy=15.0),
+        ],
+    )
+
+
+class TestTaskSequence:
+    def test_totals(self):
+        s = seq()
+        assert s.total_duration == 15.0
+        assert s.total_energy == 35.0
+        assert len(s) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSequence("x", [])
+
+    def test_get(self):
+        assert seq().get("a").energy == 20.0
+        with pytest.raises(KeyError, match="demo"):
+            seq().get("zzz")
+
+    def test_without(self):
+        s = seq().without("a")
+        assert [t.name for t in s] == ["b"]
+
+    def test_replace_task(self):
+        s = seq().replace_task("b", TaskPower("b", 5.0, measured_energy=99.0))
+        assert s.get("b").energy == 99.0
+
+    def test_replace_unknown(self):
+        with pytest.raises(KeyError):
+            seq().replace_task("zzz", TaskPower("zzz", 1.0, watts=1.0))
+
+    def test_immutability(self):
+        s = seq()
+        with pytest.raises(Exception):
+            s.tasks = ()
+
+    def test_render_contains_rows_and_total(self):
+        out = seq().render()
+        assert "demo" in out and "Total" in out
+        assert "20.0" in out and "35.0" in out

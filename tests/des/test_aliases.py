@@ -1,0 +1,32 @@
+"""Tests for the Wait/Timeout aliases and misc kernel utilities."""
+
+from repro.des.engine import Engine
+from repro.des.process import Timeout, Wait
+
+
+class TestAliases:
+    def test_wait_is_timeout(self):
+        eng = Engine()
+        marks = []
+
+        def proc():
+            yield Wait(eng, 2.0)
+            marks.append(eng.now)
+            yield Timeout(eng, 3.0, value="v")
+            marks.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert marks == [2.0, 5.0]
+
+    def test_timeout_value_passthrough(self):
+        eng = Engine()
+        got = []
+
+        def proc():
+            value = yield Timeout(eng, 1.0, value="honey")
+            got.append(value)
+
+        eng.process(proc())
+        eng.run()
+        assert got == ["honey"]

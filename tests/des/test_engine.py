@@ -1,0 +1,130 @@
+"""Tests for the DES engine event loop."""
+
+import pytest
+
+from repro.des.engine import Engine, SimulationError
+
+
+class TestTimeAdvance:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start(self):
+        assert Engine(start_time=10.0).now == 10.0
+
+    def test_timeout_advances_clock(self):
+        eng = Engine()
+        eng.timeout(5.0)
+        eng.run()
+        assert eng.now == 5.0
+
+    def test_run_until_extends_clock(self):
+        eng = Engine()
+        eng.timeout(2.0)
+        eng.run(until=100.0)
+        assert eng.now == 100.0
+
+    def test_run_until_does_not_fire_later_events(self):
+        eng = Engine()
+        fired = []
+        ev = eng.timeout(50.0)
+        ev.callbacks.append(lambda e: fired.append(eng.now))
+        eng.run(until=10.0)
+        assert fired == []
+        eng.run(until=60.0)
+        assert fired == [50.0]
+
+    def test_run_until_past_raises(self):
+        eng = Engine()
+        eng.timeout(1.0)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.run(until=0.5)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().timeout(-1.0)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().step()
+
+    def test_peek(self):
+        eng = Engine()
+        assert eng.peek() == float("inf")
+        eng.timeout(3.0)
+        assert eng.peek() == 3.0
+
+
+class TestEventOrdering:
+    def test_fifo_at_equal_time(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            ev = eng.timeout(1.0)
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_time_ordering(self):
+        eng = Engine()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            ev = eng.timeout(delay)
+            ev.callbacks.append(lambda e, d=delay: order.append(d))
+        eng.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_priority_beats_insertion(self):
+        eng = Engine()
+        order = []
+        late = eng.event()
+        late.succeed("late", delay=1.0, priority=2)
+        urgent = eng.event()
+        urgent.succeed("urgent", delay=1.0, priority=0)
+        late.callbacks.append(lambda e: order.append(e.value))
+        urgent.callbacks.append(lambda e: order.append(e.value))
+        eng.run()
+        assert order == ["urgent", "late"]
+
+
+class TestEventLifecycle:
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_value_before_trigger_raises(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            _ = eng.event().value
+
+    def test_failed_event_raises_at_fire_if_not_defused(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            eng.run()
+
+    def test_defused_failure_does_not_raise(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defuse()
+        eng.run()  # no raise
+
+    def test_fail_requires_exception(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            eng.event().fail("not an exception")
+
+    def test_callbacks_receive_event(self):
+        eng = Engine()
+        got = []
+        ev = eng.timeout(1.0, value="payload")
+        ev.callbacks.append(lambda e: got.append(e.value))
+        eng.run()
+        assert got == ["payload"]
+        assert ev.processed and ev.ok

@@ -1,0 +1,100 @@
+"""Tests for DES monitors and state timelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des.monitor import Monitor, StateTimeline
+
+
+class TestMonitor:
+    def test_record_and_arrays(self):
+        m = Monitor("power")
+        m.record(0.0, 1.0)
+        m.record(1.0, 2.0)
+        t, v = m.arrays()
+        assert t.tolist() == [0.0, 1.0]
+        assert v.tolist() == [1.0, 2.0]
+
+    def test_time_must_not_go_backwards(self):
+        m = Monitor()
+        m.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            m.record(4.0, 1.0)
+
+    def test_mean(self):
+        m = Monitor()
+        m.record(0, 2.0)
+        m.record(1, 4.0)
+        assert m.mean() == 3.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            Monitor().mean()
+
+    def test_integrate_trapezoid(self):
+        m = Monitor()
+        m.record(0.0, 0.0)
+        m.record(2.0, 2.0)
+        assert m.integrate() == pytest.approx(2.0)
+
+    def test_integrate_single_sample_is_zero(self):
+        m = Monitor()
+        m.record(0.0, 5.0)
+        assert m.integrate() == 0.0
+
+
+class TestStateTimeline:
+    def test_durations(self):
+        tl = StateTimeline("sleep", 0.0)
+        tl.transition(10.0, "active")
+        tl.transition(15.0, "sleep")
+        d = tl.durations(end_time=20.0)
+        assert d == {"sleep": 15.0, "active": 5.0}
+
+    def test_same_state_transition_is_noop(self):
+        tl = StateTimeline("sleep")
+        tl.transition(5.0, "sleep")
+        assert tl.durations(end_time=10.0) == {"sleep": 10.0}
+
+    def test_integrate_with_weights(self):
+        tl = StateTimeline("sleep", 0.0)
+        tl.transition(178.5, "active")
+        tl.close(300.0)
+        # Table I-like numbers: sleep at 0.625 W, active at 2.14 W.
+        energy = tl.integrate({"sleep": 0.625, "active": 2.14})
+        assert energy == pytest.approx(0.625 * 178.5 + 2.14 * 121.5)
+
+    def test_integrate_missing_weight_raises(self):
+        tl = StateTimeline("sleep")
+        tl.transition(1.0, "boot")
+        with pytest.raises(KeyError):
+            tl.integrate({"sleep": 1.0}, end_time=2.0)
+
+    def test_backwards_transition_raises(self):
+        tl = StateTimeline("a", 5.0)
+        with pytest.raises(ValueError):
+            tl.transition(4.0, "b")
+
+    def test_closed_timeline_rejects_transitions(self):
+        tl = StateTimeline("a")
+        tl.close(10.0)
+        with pytest.raises(ValueError):
+            tl.transition(11.0, "b")
+
+    def test_segments(self):
+        tl = StateTimeline("a", 0.0)
+        tl.transition(2.0, "b")
+        segs = tl.segments(end_time=5.0)
+        assert segs == [(0.0, 2.0, "a"), (2.0, 5.0, "b")]
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100, allow_nan=False), min_size=1, max_size=20))
+    def test_durations_sum_to_window(self, gaps):
+        tl = StateTimeline("s0", 0.0)
+        t = 0.0
+        for i, gap in enumerate(gaps):
+            t += gap
+            tl.transition(t, f"s{i % 3}")
+        end = t + 1.0
+        total = sum(tl.durations(end_time=end).values())
+        assert total == pytest.approx(end)

@@ -1,0 +1,188 @@
+"""Tests for generator processes and composite conditions."""
+
+import pytest
+
+from repro.des.engine import Engine, Interrupt, SimulationError
+from repro.des.process import AllOf, AnyOf
+
+
+class TestProcess:
+    def test_sequential_timeouts(self):
+        eng = Engine()
+        marks = []
+
+        def proc():
+            yield eng.timeout(2.0)
+            marks.append(eng.now)
+            yield eng.timeout(3.0)
+            marks.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert marks == [2.0, 5.0]
+
+    def test_return_value_becomes_event_value(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            return 42
+
+        p = eng.process(proc())
+        eng.run()
+        assert p.value == 42
+
+    def test_process_waits_on_process(self):
+        eng = Engine()
+        results = []
+
+        def child():
+            yield eng.timeout(4.0)
+            return "done"
+
+        def parent():
+            value = yield eng.process(child())
+            results.append((eng.now, value))
+
+        eng.process(parent())
+        eng.run()
+        assert results == [(4.0, "done")]
+
+    def test_exception_propagates_as_failure(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(1.0)
+            raise ValueError("kaput")
+
+        p = eng.process(bad())
+        with pytest.raises(ValueError, match="kaput"):
+            eng.run()
+        assert p.triggered and not p.ok
+
+    def test_waiter_sees_child_failure(self):
+        eng = Engine()
+        caught = []
+
+        def bad():
+            yield eng.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield eng.process(bad())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        eng.process(parent())
+        eng.run()
+        assert caught == ["inner"]
+
+    def test_yield_non_event_fails_process(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        eng.process(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_requires_generator(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            eng.process(lambda: None)
+
+    def test_is_alive(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+
+        p = eng.process(proc())
+        assert p.is_alive
+        eng.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        eng = Engine()
+        caught = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as i:
+                caught.append((eng.now, i.cause))
+
+        p = eng.process(sleeper())
+
+        def interrupter():
+            yield eng.timeout(5.0)
+            p.interrupt("wake up")
+
+        eng.process(interrupter())
+        eng.run()
+        assert caught == [(5.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(1.0)
+
+        p = eng.process(quick())
+        eng.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            yield AllOf(eng, [eng.timeout(1.0), eng.timeout(5.0), eng.timeout(3.0)])
+            times.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert times == [5.0]
+
+    def test_anyof_fires_on_first(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            yield AnyOf(eng, [eng.timeout(1.0), eng.timeout(5.0)])
+            times.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert times == [1.0]
+
+    def test_allof_collects_values(self):
+        eng = Engine()
+        got = {}
+
+        def proc():
+            values = yield AllOf(eng, [eng.timeout(1.0, "a"), eng.timeout(2.0, "b")])
+            got.update(values)
+
+        eng.process(proc())
+        eng.run()
+        assert got == {0: "a", 1: "b"}
+
+    def test_empty_allof_fires_immediately(self):
+        eng = Engine()
+        fired = []
+
+        def proc():
+            yield AllOf(eng, [])
+            fired.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert fired == [0.0]

@@ -1,0 +1,145 @@
+"""Tests for DES resources and stores."""
+
+import pytest
+
+from repro.des.engine import Engine, SimulationError
+from repro.des.resources import PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_grant_within_capacity(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.in_use == 2 and res.available == 0
+
+    def test_queueing_and_handoff(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        timeline = []
+
+        def user(name, hold):
+            req = res.request()
+            yield req
+            timeline.append((eng.now, name, "in"))
+            yield eng.timeout(hold)
+            res.release(req)
+            timeline.append((eng.now, name, "out"))
+
+        eng.process(user("a", 5.0))
+        eng.process(user("b", 2.0))
+        eng.run()
+        assert timeline == [
+            (0.0, "a", "in"),
+            (5.0, "a", "out"),
+            (5.0, "b", "in"),
+            (7.0, "b", "out"),
+        ]
+
+    def test_fifo_queue_order(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def user(name):
+            req = res.request()
+            yield req
+            order.append(name)
+            yield eng.timeout(1.0)
+            res.release(req)
+
+        for n in ("first", "second", "third"):
+            eng.process(user(n))
+        eng.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_unqueued_raises(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        foreign = eng.event()
+        with pytest.raises(SimulationError):
+            res.release(foreign)
+
+    def test_cancel_queued_request(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        granted = res.request()
+        queued = res.request()
+        assert not queued.triggered
+        res.release(queued)  # cancels the queued request
+        assert res.queue_length == 0
+        res.release(granted)
+        assert res.in_use == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_low_priority_number_first(self):
+        eng = Engine()
+        res = PriorityResource(eng, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request(priority=0)
+            yield req
+            yield eng.timeout(10.0)
+            res.release(req)
+
+        def waiter(name, prio, delay):
+            yield eng.timeout(delay)
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            res.release(req)
+
+        eng.process(holder())
+        eng.process(waiter("low-prio", 5, 1.0))
+        eng.process(waiter("high-prio", 1, 2.0))
+        eng.run()
+        assert order == ["high-prio", "low-prio"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("x")
+        ev = store.get()
+        assert ev.triggered and ev.value == "x"
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((eng.now, item))
+
+        def producer():
+            yield eng.timeout(3.0)
+            store.put("honey")
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+        assert got == [(3.0, "honey")]
+
+    def test_fifo_items(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_len(self):
+        eng = Engine()
+        store = Store(eng)
+        assert len(store) == 0
+        store.put("a")
+        assert len(store) == 1

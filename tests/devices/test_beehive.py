@@ -1,0 +1,120 @@
+"""Tests for the composed SmartBeehive device."""
+
+import numpy as np
+import pytest
+
+from repro.devices.beehive import SmartBeehive
+from repro.network.link import LinkModel
+from repro.sensing.traces import Trace
+from repro.util.units import MINUTE
+
+
+@pytest.fixture
+def env():
+    n = 200
+    temp = Trace("t", 0.0, 60.0, np.full(n, 34.5))
+    hum = Trace("h", 0.0, 60.0, np.full(n, 60.0))
+    return temp, hum
+
+
+def make_hive(env, **kwargs):
+    temp, hum = env
+    kwargs.setdefault("link", LinkModel(nominal_bps=1.25e6, cv=0.0, handshake_s=1.5))
+    return SmartBeehive(temp, hum, seed=7, **kwargs)
+
+
+class TestRunCycle:
+    def test_payload_contents(self, env):
+        hive = make_hive(env)
+        payload = hive.run_cycle(0.0, audio_duration=0.5)
+        assert payload.temperature_c == pytest.approx(34.5, abs=1.0)
+        assert payload.humidity_pct == pytest.approx(60.0, abs=6.0)
+        assert len(payload.audio_clips) == 3
+        assert payload.n_images == 5
+        assert payload.audio_seconds == pytest.approx(1.5)
+
+    def test_payload_bytes_match_sensors(self, env):
+        hive = make_hive(env)
+        payload = hive.run_cycle(0.0, audio_duration=0.5)
+        expected = 3 * 441_000 + hive.camera.payload_bytes + 16
+        assert payload.payload_bytes == expected
+
+    def test_cycles_accumulate(self, env):
+        hive = make_hive(env)
+        hive.run_cycle(0.0, audio_duration=0.2)
+        hive.run_cycle(10 * MINUTE, audio_duration=0.2)
+        assert len(hive.payloads) == 2
+        assert hive.recorder.cycles_completed == 2
+
+    def test_cycle_energy_near_calibrated_profile(self, env):
+        """The composed device's per-cycle energy agrees with the Table II
+        edge+cloud client within the upload-time stochasticity."""
+        hive = make_hive(env)
+        hive.run_cycle(0.0, audio_duration=0.2)
+        hive.recorder.sleep_until(300.0)
+        hive.recorder.finish(300.0)
+        from repro.core.routines import EDGE_CLOUD_SVM
+
+        assert hive.recorder.account.total == pytest.approx(
+            EDGE_CLOUD_SVM.client.cycle_energy, rel=0.03
+        )
+
+    def test_deterministic_given_seed(self, env):
+        a = make_hive(env)
+        b = make_hive(env)
+        pa = a.run_cycle(0.0, audio_duration=0.3)
+        pb = b.run_cycle(0.0, audio_duration=0.3)
+        np.testing.assert_array_equal(pa.audio_clips[0], pb.audio_clips[0])
+        assert pa.upload_duration_s == pb.upload_duration_s
+
+    def test_cycles_differ(self, env):
+        hive = make_hive(env)
+        p0 = hive.run_cycle(0.0, audio_duration=0.3)
+        p1 = hive.run_cycle(600.0, audio_duration=0.3)
+        assert not np.array_equal(p0.audio_clips[0], p1.audio_clips[0])
+
+    def test_edge_classifier_runs_and_charges(self, env):
+        hive = make_hive(env, queen_present=True)
+        payload = hive.run_cycle(0.0, audio_duration=0.3, classifier=lambda clip: True)
+        assert payload.queen_detected is True
+        assert hive.recorder.account.category_total("queen_detection_svm") == pytest.approx(98.9)
+
+    def test_no_classifier_leaves_none(self, env):
+        hive = make_hive(env)
+        assert hive.run_cycle(0.0, audio_duration=0.2).queen_detected is None
+
+    def test_finish_and_total_energy(self, env):
+        hive = make_hive(env)
+        hive.run_cycle(0.0, audio_duration=0.2)
+        hive.finish(300.0)
+        # Monitor idles at 0.45 W for ~300 s plus its sampling excursion.
+        assert hive.monitor.account.total == pytest.approx(0.45 * 299.5 + 0.85 * 0.5, rel=0.02)
+        assert hive.total_energy_j > hive.recorder.account.total
+
+
+class TestEndToEndDetection:
+    def test_trained_svm_classifies_live_hive(self, env):
+        """Full-system loop: a classifier trained on the synthetic corpus
+        deployed onto a live SmartBeehive's microphone stream."""
+        from repro.audio.dataset import DatasetSpec, QueenDataset
+        from repro.dsp.features import mel_statistics
+        from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+        from repro.ml.scaler import StandardScaler
+        from repro.ml.svm import SVC
+
+        mel = MelSpectrogram(SpectrogramConfig())
+        ds = QueenDataset(DatasetSpec.small(n_samples=80, clip_duration=1.0, seed=3))
+        X, y = ds.features(lambda clip: mel_statistics(mel.db(clip)))
+        scaler = StandardScaler()
+        clf = SVC(C=20.0, gamma="scale", seed=3).fit(scaler.fit_transform(X), y)
+
+        def classify(clip):
+            feats = mel_statistics(mel.db(clip))[None, :]
+            return bool(clf.predict(scaler.transform(feats))[0] == 1)
+
+        detections = []
+        for present in (True, False):
+            hive = make_hive(env, queen_present=present)
+            payload = hive.run_cycle(0.0, audio_duration=1.0, classifier=classify)
+            detections.append(payload.queen_detected)
+        assert detections == [True, False]

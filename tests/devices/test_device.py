@@ -1,0 +1,107 @@
+"""Tests for device state machines and their ledgers."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import AlwaysOnDevice, DeviceError, DutyCycledDevice
+from repro.devices.specs import CLOUD_SERVER_I7_RTX2070, RASPBERRY_PI_3B_PLUS
+from repro.energy.power import TaskPower
+
+
+def table1_svm_tasks():
+    return [
+        TaskPower("wake_collect", 64.0, measured_energy=131.8),
+        TaskPower("queen_detection_svm", 46.1, measured_energy=98.9),
+        TaskPower("send_results", 1.5, measured_energy=3.0),
+        TaskPower("shutdown", 9.9, measured_energy=21.0),
+    ]
+
+
+class TestDutyCycledDevice:
+    def test_one_cycle_reproduces_table1(self):
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS)
+        dev.sleep_until(178.5)
+        end = dev.run_routine(178.5, table1_svm_tasks())
+        assert end == pytest.approx(300.0)
+        dev.finish(300.0)
+        # Table I total: 366.3 J.
+        assert dev.account.total == pytest.approx(366.3, rel=0.002)
+        assert dev.account.category_total("queen_detection_svm") == pytest.approx(98.9)
+        assert dev.account.category_total("sleep") == pytest.approx(111.6, rel=0.001)
+
+    def test_routine_while_awake_rejected(self):
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS)
+        tasks = [TaskPower("t", 500.0, watts=1.0)]
+        dev.run_routine(0.0, [TaskPower("wake_collect", 10.0, watts=2.0)])
+        # Device is asleep again; but a wake in the past must fail.
+        with pytest.raises(DeviceError):
+            dev.run_routine(5.0, tasks)
+
+    def test_cycles_counted(self):
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS)
+        t = 0.0
+        for _ in range(3):
+            t = dev.run_routine(t, [TaskPower("wake_collect", 10.0, watts=2.0)])
+            t += 50.0
+            dev.sleep_until(t)
+        assert dev.cycles_completed == 3
+
+    def test_power_trace_shows_spikes(self):
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS)
+        dev.run_routine(0.0, [TaskPower("wake_collect", 60.0, watts=2.1)])
+        dev.sleep_until(600.0)
+        dev.run_routine(600.0, [TaskPower("wake_collect", 60.0, watts=2.1)])
+        dev.finish(1200.0)
+        times, watts = dev.power_trace(step=10.0)
+        assert watts.max() > 2.0
+        assert watts.min() == pytest.approx(0.625)
+        # Two distinct high-power episodes.
+        above = watts > 1.0
+        rising = int(np.sum(above[1:] & ~above[:-1]) + above[0])
+        assert rising == 2
+
+    def test_boot_and_shutdown_phases(self):
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS)
+        end = dev.run_routine(0.0, [TaskPower("wake_collect", 10.0, watts=2.0)],
+                              boot_duration=5.0, shutdown_duration=3.0)
+        assert end == pytest.approx(18.0)
+        assert dev.account.category_total("boot") == pytest.approx(5.0 * RASPBERRY_PI_3B_PLUS.watts("boot"))
+
+    def test_unknown_task_maps_to_active_state(self):
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS)
+        dev.run_routine(0.0, [TaskPower("exotic_task", 10.0, watts=1.7)])
+        dev.finish(20.0)
+        # The ledger attributes the task's own power under its own name.
+        assert dev.account.category_total("exotic_task") == pytest.approx(17.0)
+
+
+class TestAlwaysOnDevice:
+    def test_idle_baseline(self):
+        dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070)
+        dev.finish(300.0)
+        assert dev.account.total == pytest.approx(44.6 * 300.0)
+
+    def test_excursion_charges_state_power(self):
+        dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070)
+        end = dev.excursion(100.0, "receive", 15.0)
+        assert end == 115.0
+        dev.finish(300.0)
+        expected = 44.6 * 285.0 + 68.8 * 15.0
+        assert dev.account.total == pytest.approx(expected)
+
+    def test_excursion_override_category(self):
+        dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070)
+        dev.excursion(0.0, "receive", 15.0, override=("receive_audio", 68.8))
+        dev.finish(20.0)
+        assert dev.account.category_total("receive_audio") == pytest.approx(1032.0)
+
+    def test_time_must_advance(self):
+        dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070)
+        dev.excursion(10.0, "receive", 5.0)
+        with pytest.raises(DeviceError):
+            dev.excursion(12.0, "receive", 1.0)
+
+    def test_unknown_state_rejected(self):
+        dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070)
+        with pytest.raises(DeviceError):
+            dev.excursion(0.0, "hyperdrive", 1.0)

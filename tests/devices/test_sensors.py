@@ -1,0 +1,65 @@
+"""Tests for sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.sensors import Camera, CurrentSensor, Microphone, TemperatureHumiditySensor
+from repro.sensing.traces import Trace
+
+
+class TestTemperatureHumidity:
+    def test_read_near_trace_value(self):
+        temp = Trace("t", 0.0, 60.0, np.full(10, 35.0))
+        hum = Trace("h", 0.0, 60.0, np.full(10, 60.0))
+        sensor = TemperatureHumiditySensor()
+        t, h = sensor.read(temp, hum, time=300.0, seed=1)
+        assert t == pytest.approx(35.0, abs=1.0)
+        assert h == pytest.approx(60.0, abs=6.0)
+
+    def test_humidity_clipped(self):
+        temp = Trace("t", 0.0, 60.0, np.full(5, 20.0))
+        hum = Trace("h", 0.0, 60.0, np.full(5, 100.0))
+        sensor = TemperatureHumiditySensor()
+        for seed in range(10):
+            _, h = sensor.read(temp, hum, 60.0, seed=seed)
+            assert h <= 100.0
+
+    def test_acquisition_energy_tiny(self):
+        assert TemperatureHumiditySensor().acquisition_energy < 0.01
+
+
+class TestMicrophone:
+    def test_payload_matches_paper_sample(self):
+        # 10 s at 22 050 Hz, 16-bit mono: 441 000 bytes.
+        mic = Microphone(duration_s=10.0, sample_rate=22050)
+        assert mic.payload_bytes == 441_000
+
+    def test_record_produces_audio(self):
+        from repro.audio.synth import HiveSoundSynthesizer
+
+        mic = Microphone(duration_s=0.5)
+        clip = mic.record(HiveSoundSynthesizer(), queen_present=True, seed=0)
+        assert clip.shape == (int(0.5 * 22050),)
+        assert np.abs(clip).max() <= 1.0
+
+
+class TestCamera:
+    def test_payload_scales_with_burst(self):
+        one = Camera(n_images=1)
+        five = Camera(n_images=5)
+        assert five.payload_bytes == 5 * one.payload_bytes
+
+    def test_paper_configuration(self):
+        cam = Camera()  # 800x600, 5 images over 5 s
+        assert cam.width == 800 and cam.height == 600 and cam.n_images == 5
+
+
+class TestCurrentSensor:
+    def test_measures_power(self):
+        sensor = CurrentSensor()
+        measured = sensor.read_power(2.14, seed=3)
+        assert measured == pytest.approx(2.14, abs=0.3)
+
+    def test_clips_at_full_scale(self):
+        sensor = CurrentSensor(full_scale_a=5.0, noise_a=0.0)
+        assert sensor.read_power(100.0, volts=5.0) == pytest.approx(25.0)

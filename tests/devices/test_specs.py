@@ -1,0 +1,51 @@
+"""Tests for the hardware spec catalog."""
+
+import pytest
+
+from repro.devices.specs import (
+    CLOUD_SERVER_I7_RTX2070,
+    RASPBERRY_PI_3B_PLUS,
+    RASPBERRY_PI_ZERO_WH,
+    catalog,
+)
+
+
+class TestCatalog:
+    def test_lookup_by_name(self):
+        assert catalog("raspberry-pi-3b+") is RASPBERRY_PI_3B_PLUS
+
+    def test_full_catalog(self):
+        all_specs = catalog()
+        assert len(all_specs) == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="raspberry-pi-3b"):
+            catalog("esp32")
+
+
+class TestCalibratedPowers:
+    def test_pi3_sleep_matches_tables(self):
+        # Tables I/II imply 0.625 W (111.6 J / 178.5 s).
+        assert RASPBERRY_PI_3B_PLUS.watts("sleep") == pytest.approx(0.625)
+
+    def test_pi3_active_matches_section4(self):
+        assert RASPBERRY_PI_3B_PLUS.watts("active") == pytest.approx(2.14)
+
+    def test_server_idle_from_table2(self):
+        # 9415 J over 211.1 s.
+        assert CLOUD_SERVER_I7_RTX2070.watts("idle") == pytest.approx(9415 / 211.1, rel=0.01)
+
+    def test_server_receive_from_table2(self):
+        # 1032 J over 15 s.
+        assert CLOUD_SERVER_I7_RTX2070.watts("receive") == pytest.approx(1032 / 15.0, rel=0.01)
+
+    def test_pi_zero_draws_less_than_pi3(self):
+        assert RASPBERRY_PI_ZERO_WH.watts("idle") < RASPBERRY_PI_3B_PLUS.watts("active")
+
+    def test_unknown_state_error_lists_known(self):
+        with pytest.raises(KeyError, match="sleep"):
+            RASPBERRY_PI_3B_PLUS.watts("warp")
+
+    def test_power_model_materialization(self):
+        pm = RASPBERRY_PI_3B_PLUS.power_model()
+        assert pm.watts("sleep") == RASPBERRY_PI_3B_PLUS.watts("sleep")

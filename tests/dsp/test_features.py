@@ -1,0 +1,38 @@
+"""Tests for SVM feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.features import mel_statistics, svm_feature_vector
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+
+
+class TestMelStatistics:
+    def test_output_length(self):
+        spec = np.random.default_rng(0).normal(size=(128, 431))
+        feats = mel_statistics(spec)
+        assert feats.shape == (256,)
+
+    def test_mean_then_std_layout(self):
+        spec = np.vstack([np.full(10, 2.0), np.zeros(10)])
+        feats = mel_statistics(spec)
+        assert feats[0] == 2.0 and feats[1] == 0.0  # means
+        assert feats[2] == 0.0 and feats[3] == 0.0  # stds
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            mel_statistics(np.zeros(10))
+
+    def test_duration_invariant_length(self):
+        short = mel_statistics(np.zeros((64, 40)))
+        long = mel_statistics(np.zeros((64, 400)))
+        assert short.shape == long.shape == (128,)
+
+
+class TestSvmFeatureVector:
+    def test_end_to_end(self):
+        mel = MelSpectrogram(SpectrogramConfig())
+        sig = np.random.default_rng(0).normal(size=22050).astype(np.float32)
+        feats = svm_feature_vector(sig, mel)
+        assert feats.shape == (256,)
+        assert np.all(np.isfinite(feats))

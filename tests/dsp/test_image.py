@@ -1,0 +1,84 @@
+"""Tests for bilinear resize and image normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.image import normalize_image, resize_bilinear, spectrogram_to_image
+
+
+class TestResizeBilinear:
+    def test_identity(self):
+        img = np.random.default_rng(0).normal(size=(16, 16))
+        np.testing.assert_allclose(resize_bilinear(img, 16, 16), img, atol=1e-12)
+
+    def test_constant_image_preserved(self):
+        img = np.full((10, 20), 3.7)
+        out = resize_bilinear(img, 7, 13)
+        np.testing.assert_allclose(out, 3.7)
+
+    def test_output_shape(self):
+        out = resize_bilinear(np.zeros((128, 431)), 100, 100)
+        assert out.shape == (100, 100)
+
+    def test_range_preserved(self):
+        """Bilinear interpolation never exceeds the input range."""
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=(32, 32))
+        out = resize_bilinear(img, 77, 13)
+        assert out.min() >= img.min() - 1e-12
+        assert out.max() <= img.max() + 1e-12
+
+    def test_upsample_linear_gradient_exact(self):
+        # A linear ramp resamples to a linear ramp.
+        img = np.outer(np.arange(8, dtype=float), np.ones(8))
+        out = resize_bilinear(img, 15, 8)
+        diffs = np.diff(out[:, 0])
+        interior = diffs[1:-1]
+        assert np.allclose(interior, interior[0], atol=1e-9)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros(10), 5, 5)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((4, 4)), 0, 4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_mean_roughly_preserved(self, h, w, oh, ow):
+        rng = np.random.default_rng(h * 1000 + w)
+        img = rng.normal(size=(h, w))
+        out = resize_bilinear(img, oh, ow)
+        assert out.mean() == pytest.approx(img.mean(), abs=3.0 * img.std() / np.sqrt(min(h * w, oh * ow)) + 0.5)
+
+
+class TestNormalize:
+    def test_zero_mean_unit_std(self):
+        img = np.random.default_rng(0).normal(5, 3, size=(20, 20))
+        out = normalize_image(img)
+        assert out.mean() == pytest.approx(0.0, abs=1e-9)
+        assert out.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_constant_image_no_blowup(self):
+        out = normalize_image(np.full((5, 5), 2.0))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestSpectrogramToImage:
+    def test_pipeline(self):
+        spec = np.random.default_rng(0).normal(size=(128, 431))
+        img = spectrogram_to_image(spec, 100)
+        assert img.shape == (100, 100)
+        assert img.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            spectrogram_to_image(np.zeros((128, 431)), 1)

@@ -1,0 +1,85 @@
+"""Tests for the mel scale and filterbank."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp.mel import hz_to_mel, mel_filterbank, mel_to_hz
+
+
+class TestMelScale:
+    def test_anchor_points(self):
+        assert hz_to_mel(0.0) == 0.0
+        # 1000 Hz is ~1000 mel in the HTK variant (within a few percent).
+        assert hz_to_mel(1000.0) == pytest.approx(999.99, rel=0.01)
+
+    @given(st.floats(min_value=0, max_value=20000, allow_nan=False))
+    def test_roundtrip(self, hz):
+        assert mel_to_hz(hz_to_mel(hz)) == pytest.approx(hz, rel=1e-9, abs=1e-6)
+
+    @given(st.floats(min_value=0, max_value=19000), st.floats(min_value=1, max_value=1000))
+    def test_monotone(self, hz, delta):
+        assert hz_to_mel(hz + delta) > hz_to_mel(hz)
+
+    def test_array_input(self):
+        out = hz_to_mel(np.array([0.0, 700.0]))
+        assert out.shape == (2,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hz_to_mel(-1.0)
+
+
+class TestFilterbank:
+    def test_shape(self):
+        bank = mel_filterbank(22050, 2048, n_mels=128)
+        assert bank.shape == (128, 1025)
+
+    def test_non_negative(self):
+        bank = mel_filterbank(22050, 2048, n_mels=64)
+        assert np.all(bank >= 0)
+
+    def test_partition_of_unity_unnormalized(self):
+        """Unnormalized triangular filters sum to ~1 between the first and
+        last filter centres (the classic filterbank invariant)."""
+        sr, n_fft = 22050, 2048
+        bank = mel_filterbank(sr, n_fft, n_mels=40, normalize=False)
+        col_sums = bank.sum(axis=0)
+        freqs = np.linspace(0, sr / 2, n_fft // 2 + 1)
+        mel_pts = np.linspace(hz_to_mel(0), hz_to_mel(sr / 2), 42)
+        lo, hi = mel_to_hz(mel_pts[1]), mel_to_hz(mel_pts[-2])
+        interior = (freqs > lo) & (freqs < hi)
+        assert np.all(col_sums[interior] > 0.98)
+        assert np.all(col_sums[interior] < 1.02)
+
+    def test_each_filter_has_support(self):
+        bank = mel_filterbank(22050, 2048, n_mels=128)
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_filters_ordered_by_frequency(self):
+        bank = mel_filterbank(22050, 2048, n_mels=32, normalize=False)
+        peaks = bank.argmax(axis=1)
+        assert np.all(np.diff(peaks) > 0)
+
+    def test_fmin_fmax_restrict_support(self):
+        bank = mel_filterbank(22050, 2048, n_mels=16, fmin=1000.0, fmax=4000.0)
+        freqs = np.linspace(0, 11025, 1025)
+        outside = (freqs < 990) | (freqs > 4010)
+        assert np.all(bank[:, outside] == 0)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            mel_filterbank(22050, 2048, fmin=5000.0, fmax=1000.0)
+        with pytest.raises(ValueError):
+            mel_filterbank(22050, 2048, fmax=20000.0)
+        with pytest.raises(ValueError):
+            mel_filterbank(22050, 2048, n_mels=0)
+
+    def test_slaney_normalization_flattens_noise(self):
+        """Area normalization makes white noise produce a flat mel spectrum."""
+        sr, n_fft = 22050, 2048
+        bank = mel_filterbank(sr, n_fft, n_mels=64)
+        flat_power = np.ones(n_fft // 2 + 1)
+        mel_spec = bank @ flat_power
+        interior = mel_spec[4:-4]
+        assert interior.std() / interior.mean() < 0.1

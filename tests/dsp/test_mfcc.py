@@ -1,0 +1,108 @@
+"""Tests for the MFCC implementation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mfcc import dct_ii_matrix, delta, mfcc, mfcc_feature_vector
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+
+
+class TestDctMatrix:
+    def test_orthonormal_rows(self):
+        basis = dct_ii_matrix(32, 32)
+        np.testing.assert_allclose(basis @ basis.T, np.eye(32), atol=1e-12)
+
+    def test_first_row_is_scaled_mean(self):
+        basis = dct_ii_matrix(16, 4)
+        np.testing.assert_allclose(basis[0], np.full(16, 1.0 / np.sqrt(16)), atol=1e-12)
+
+    def test_partial_basis(self):
+        basis = dct_ii_matrix(64, 13)
+        assert basis.shape == (13, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dct_ii_matrix(8, 9)
+        with pytest.raises(ValueError):
+            dct_ii_matrix(0, 0)
+
+
+class TestMfcc:
+    def test_shape(self):
+        spec = np.random.default_rng(0).normal(size=(128, 50))
+        out = mfcc(spec, n_mfcc=20)
+        assert out.shape == (20, 50)
+
+    def test_constant_spectrum_energy_in_c0(self):
+        spec = np.full((64, 10), -30.0)
+        out = mfcc(spec, n_mfcc=13)
+        assert np.abs(out[0]).min() > 0
+        np.testing.assert_allclose(out[1:], 0.0, atol=1e-9)
+
+    def test_full_dct_invertible(self):
+        spec = np.random.default_rng(1).normal(size=(32, 5))
+        coefs = mfcc(spec, n_mfcc=32)
+        basis = dct_ii_matrix(32, 32)
+        np.testing.assert_allclose(basis.T @ coefs, spec, atol=1e-10)
+
+    def test_liftering_changes_scale(self):
+        spec = np.random.default_rng(2).normal(size=(64, 8))
+        plain = mfcc(spec, n_mfcc=13, lifter=0.0)
+        liftered = mfcc(spec, n_mfcc=13, lifter=22.0)
+        assert not np.allclose(plain[1:], liftered[1:])
+        np.testing.assert_allclose(plain[0], liftered[0])  # c0 unweighted
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            mfcc(np.zeros(10))
+
+    def test_negative_lifter_rejected(self):
+        with pytest.raises(ValueError):
+            mfcc(np.zeros((16, 4)), n_mfcc=4, lifter=-1.0)
+
+
+class TestDelta:
+    def test_constant_signal_zero_delta(self):
+        np.testing.assert_allclose(delta(np.full((4, 20), 3.0)), 0.0, atol=1e-12)
+
+    def test_linear_ramp_constant_delta(self):
+        feats = np.tile(np.arange(20.0), (3, 1))
+        d = delta(feats, width=2)
+        np.testing.assert_allclose(d[:, 3:-3], 1.0, atol=1e-9)
+
+    def test_shape_preserved(self):
+        d = delta(np.random.default_rng(0).normal(size=(13, 40)))
+        assert d.shape == (13, 40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delta(np.zeros(10))
+        with pytest.raises(ValueError):
+            delta(np.zeros((3, 10)), width=0)
+
+
+class TestFeatureVector:
+    def test_length(self):
+        mel = MelSpectrogram(SpectrogramConfig())
+        sig = np.random.default_rng(0).normal(size=22050)
+        feats = mfcc_feature_vector(sig, mel, n_mfcc=20, include_delta=True)
+        assert feats.shape == (80,)  # 2*20 + 2*20
+        feats_no_delta = mfcc_feature_vector(sig, mel, n_mfcc=20, include_delta=False)
+        assert feats_no_delta.shape == (40,)
+
+    def test_separates_queen_classes(self, small_features):
+        """MFCC features carry the class cue too (feature ablation)."""
+        from repro.dsp.mfcc import mfcc as mfcc_fn
+        from repro.ml.scaler import StandardScaler
+        from repro.ml.split import train_test_split
+        from repro.ml.svm import SVC
+
+        specs, y = small_features
+        X = np.stack([
+            np.concatenate([mfcc_fn(s, 20).mean(axis=1), mfcc_fn(s, 20).std(axis=1)])
+            for s in specs
+        ])
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.3, seed=4)
+        sc = StandardScaler()
+        clf = SVC(C=20.0, gamma="scale", seed=4).fit(sc.fit_transform(Xtr), ytr)
+        assert clf.score(sc.transform(Xte), yte) >= 0.7

@@ -1,0 +1,78 @@
+"""Tests for the mel-spectrogram pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig, power_to_db
+
+
+class TestPowerToDb:
+    def test_reference_is_zero_db(self):
+        power = np.array([1.0, 10.0, 100.0])
+        db = power_to_db(power)
+        assert db.max() == pytest.approx(0.0)
+        assert db.min() == pytest.approx(-20.0)
+
+    def test_top_db_clipping(self):
+        power = np.array([1e-12, 1.0])
+        db = power_to_db(power, top_db=80.0)
+        assert db.min() == pytest.approx(-80.0)
+
+    def test_explicit_reference(self):
+        db = power_to_db(np.array([10.0]), ref=1.0, top_db=200.0)
+        assert db[0] == pytest.approx(10.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            power_to_db(np.array([-1.0]))
+
+    def test_invalid_top_db(self):
+        with pytest.raises(ValueError):
+            power_to_db(np.ones(3), top_db=0.0)
+
+
+class TestMelSpectrogram:
+    @pytest.fixture(scope="class")
+    def mel(self):
+        return MelSpectrogram(SpectrogramConfig())
+
+    def test_paper_shape(self, mel):
+        """10 s at 22 050 Hz -> (128, 431) with the paper's settings."""
+        sig = np.random.default_rng(0).normal(size=220500)
+        out = mel.power(sig)
+        assert out.shape == (128, 431)
+
+    def test_db_range(self, mel):
+        sig = np.random.default_rng(0).normal(size=22050)
+        db = mel.db(sig, top_db=80.0)
+        assert db.max() == pytest.approx(0.0)
+        assert db.min() >= -80.0
+
+    def test_tone_lands_in_correct_band(self, mel):
+        sr = 22050
+        t = np.arange(sr) / sr
+        tone = np.sin(2 * np.pi * 1000.0 * t)
+        power = mel.power(tone)
+        band = power.mean(axis=1).argmax()
+        # Find which filter is centred nearest 1 kHz.
+        bank = mel.filterbank
+        freqs = np.linspace(0, sr / 2, bank.shape[1])
+        centers = freqs[bank.argmax(axis=1)]
+        expected = int(np.argmin(np.abs(centers - 1000.0)))
+        assert abs(band - expected) <= 1
+
+    def test_filterbank_readonly(self, mel):
+        with pytest.raises(ValueError):
+            mel.filterbank[0, 0] = 1.0
+
+    def test_callable_interface(self, mel):
+        sig = np.random.default_rng(1).normal(size=22050)
+        np.testing.assert_array_equal(mel(sig), mel.db(sig))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SpectrogramConfig(n_fft=4)
+        with pytest.raises(ValueError):
+            SpectrogramConfig(hop=0)
+        with pytest.raises(ValueError):
+            SpectrogramConfig(sample_rate=0)

@@ -1,0 +1,81 @@
+"""Tests for framing and the STFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.stft import frame_signal, stft
+
+
+class TestFraming:
+    def test_frame_count(self):
+        frames = frame_signal(np.zeros(1000), frame_length=256, hop=128, center=False)
+        assert frames.shape == (1 + (1000 - 256) // 128, 256)
+
+    def test_centered_frame_count(self):
+        # librosa convention: with centering, n_frames = 1 + len//hop.
+        sig = np.zeros(22050 * 2)
+        frames = frame_signal(sig, 2048, 512, center=True)
+        assert frames.shape[0] == 1 + len(sig) // 512
+
+    def test_frames_are_views(self):
+        sig = np.arange(100, dtype=float)
+        frames = frame_signal(sig, 10, 5, center=False)
+        np.testing.assert_array_equal(frames[0], sig[:10])
+        np.testing.assert_array_equal(frames[1], sig[5:15])
+
+    def test_frames_not_writeable(self):
+        frames = frame_signal(np.zeros(100), 10, 5, center=False)
+        with pytest.raises(ValueError):
+            frames[0, 0] = 1.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.zeros(10), 100, 10, center=False)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.zeros((10, 10)), 4, 2)
+
+
+class TestStft:
+    def test_output_shape_paper_settings(self):
+        # 10 s at 22 050 Hz with n_fft 2048, hop 512: 1025 bins x 431 frames.
+        sig = np.random.default_rng(0).normal(size=220500)
+        spec = stft(sig, n_fft=2048, hop=512)
+        assert spec.shape == (1025, 431)
+
+    def test_pure_tone_peak_at_bin(self):
+        sr, f = 8192, 1024.0
+        t = np.arange(sr) / sr
+        sig = np.sin(2 * np.pi * f * t)
+        spec = np.abs(stft(sig, n_fft=1024, hop=256))
+        peak_bins = spec.argmax(axis=0)
+        expected_bin = int(round(f / sr * 1024))
+        # Every interior frame peaks at the tone's bin.
+        assert np.all(peak_bins[2:-2] == expected_bin)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=4096), rng.normal(size=4096)
+        sa = stft(a, n_fft=512, hop=128)
+        sb = stft(b, n_fft=512, hop=128)
+        sab = stft(a + b, n_fft=512, hop=128)
+        np.testing.assert_allclose(sab, sa + sb, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_parseval_style_ratio_constant(self, seed):
+        """STFT power over signal power is window/overlap-determined, so for
+        long stationary noise it is a constant independent of the signal."""
+        rng = np.random.default_rng(seed)
+        sig = rng.normal(size=16384)
+        spec = stft(sig, n_fft=1024, hop=256)
+        ratio = np.sum(np.abs(spec) ** 2) / np.sum(sig**2)
+        # rfft keeps ~half the bins: ratio ~ (n_fft/2) * overlap * mean(w^2)
+        # = 512 * 4 * 0.375 = 768 for a periodic Hann at 4x overlap.
+        assert ratio == pytest.approx(768.0, rel=0.1)
+
+    def test_zero_signal(self):
+        spec = stft(np.zeros(4096), n_fft=512, hop=128)
+        assert np.all(spec == 0)

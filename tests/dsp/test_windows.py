@@ -1,0 +1,59 @@
+"""Tests for window functions."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import get_window, hamming, hann, rectangular
+
+
+class TestHann:
+    def test_periodic_convention(self):
+        w = hann(8)
+        assert w[0] == pytest.approx(0.0)
+        # Periodic: w[n] != w[N-n] symmetry point is at N/2.
+        assert w[4] == pytest.approx(1.0)
+
+    def test_cola_at_half_overlap(self):
+        # Periodic Hann windows at 50% overlap sum to a constant.
+        n, hop = 256, 128
+        w = hann(n)
+        acc = np.zeros(n + 3 * hop)
+        for k in range(4):
+            acc[k * hop : k * hop + n] += w
+        middle = acc[n : 2 * hop + n - hop]
+        assert np.allclose(middle, middle[0])
+
+    def test_length_one(self):
+        assert hann(1).tolist() == [1.0]
+
+    def test_bounded(self):
+        w = hann(100)
+        assert np.all(w >= 0) and np.all(w <= 1)
+
+
+class TestHamming:
+    def test_endpoints_nonzero(self):
+        w = hamming(16)
+        assert w[0] == pytest.approx(0.08)
+
+    def test_peak(self):
+        assert hamming(16)[8] == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        np.testing.assert_array_equal(get_window("hann", 8), hann(8))
+        np.testing.assert_array_equal(get_window("boxcar", 4), rectangular(4))
+
+    def test_case_insensitive(self):
+        np.testing.assert_array_equal(get_window("HANN", 8), hann(8))
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="hann"):
+            get_window("kaiser", 8)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            hann(0)
+        with pytest.raises(TypeError):
+            hann(2.5)

@@ -1,0 +1,95 @@
+"""Tests for the energy ledger, including additivity properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.account import EnergyAccount
+
+charges = st.lists(
+    st.tuples(
+        st.sampled_from(["sleep", "collect", "transfer", "service"]),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+class TestCharging:
+    def test_total_accumulates(self):
+        acc = EnergyAccount("edge")
+        acc.charge("sleep", 111.6, 178.5)
+        acc.charge("collect", 131.8, 64.0)
+        assert acc.total == pytest.approx(243.4)
+        assert acc.category_total("sleep") == 111.6
+        assert acc.category_duration("collect") == 64.0
+
+    def test_charge_power(self):
+        acc = EnergyAccount()
+        acc.charge_power("sleep", 0.625, 178.5)
+        assert acc.total == pytest.approx(111.5625)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccount().charge("x", -1.0)
+
+    def test_categories_sorted(self):
+        acc = EnergyAccount()
+        acc.charge("b", 1.0)
+        acc.charge("a", 1.0)
+        assert acc.categories == ["a", "b"]
+
+    def test_entries_require_flag(self):
+        acc = EnergyAccount()
+        with pytest.raises(ValueError):
+            _ = acc.entries
+
+    def test_entries_recorded(self):
+        acc = EnergyAccount(keep_entries=True)
+        acc.charge("x", 1.0, 2.0, time=5.0)
+        (e,) = acc.entries
+        assert (e.category, e.energy, e.duration, e.time) == ("x", 1.0, 2.0, 5.0)
+
+    @given(charges)
+    def test_total_equals_sum_of_categories(self, items):
+        acc = EnergyAccount()
+        for cat, e in items:
+            acc.charge(cat, e)
+        assert acc.total == pytest.approx(sum(acc.breakdown().values()))
+
+
+class TestMerge:
+    @given(charges, charges)
+    def test_merge_totals_add(self, a_items, b_items):
+        a, b = EnergyAccount("a"), EnergyAccount("b")
+        for cat, e in a_items:
+            a.charge(cat, e)
+        for cat, e in b_items:
+            b.charge(cat, e)
+        merged = a.merge(b)
+        assert merged.total == pytest.approx(a.total + b.total)
+
+    @given(charges, charges)
+    def test_merge_commutes(self, a_items, b_items):
+        a, b = EnergyAccount(), EnergyAccount()
+        for cat, e in a_items:
+            a.charge(cat, e)
+        for cat, e in b_items:
+            b.charge(cat, e)
+        assert a.merge(b).breakdown() == pytest.approx(b.merge(a).breakdown())
+
+    def test_merge_does_not_mutate(self):
+        a, b = EnergyAccount(), EnergyAccount()
+        a.charge("x", 1.0)
+        b.charge("x", 2.0)
+        a.merge(b)
+        assert a.total == 1.0 and b.total == 2.0
+
+    def test_sum_rollup(self):
+        accounts = []
+        for i in range(5):
+            acc = EnergyAccount(f"client-{i}")
+            acc.charge("cycle", 322.0)
+            accounts.append(acc)
+        fleet = EnergyAccount.sum(accounts)
+        assert fleet.total == pytest.approx(5 * 322.0)
+        assert fleet.owner == "fleet"

@@ -1,0 +1,83 @@
+"""Tests for the battery state-of-charge model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.battery import Battery
+
+
+class TestCharge:
+    def test_charge_stores_with_efficiency(self):
+        b = Battery(capacity_joules=1000.0, soc=0.0, charge_efficiency=0.9,
+                    cutoff_soc=0.0, recovery_soc=0.0)
+        stored = b.charge(100.0)
+        assert stored == pytest.approx(90.0)
+        assert b.stored == pytest.approx(90.0)
+
+    def test_overflow_discarded(self):
+        b = Battery(capacity_joules=100.0, soc=0.95, charge_efficiency=1.0)
+        accepted = b.charge(50.0)
+        assert accepted == pytest.approx(5.0)
+        assert b.soc == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().charge(-1.0)
+
+
+class TestDischarge:
+    def test_delivers_with_efficiency(self):
+        b = Battery(capacity_joules=1000.0, soc=1.0, discharge_efficiency=0.9,
+                    cutoff_soc=0.0, recovery_soc=0.0)
+        delivered = b.discharge(90.0)
+        assert delivered == pytest.approx(90.0)
+        assert b.stored == pytest.approx(1000.0 - 100.0)
+
+    def test_cutoff_latches(self):
+        b = Battery(capacity_joules=1000.0, soc=0.05, cutoff_soc=0.02, recovery_soc=0.10,
+                    discharge_efficiency=1.0)
+        # Drain below the cutoff: partial delivery, then zero.
+        b.discharge(100.0)
+        assert not b.can_supply
+        assert b.discharge(1.0) == 0.0
+
+    def test_recovery_hysteresis(self):
+        b = Battery(capacity_joules=1000.0, soc=0.05, cutoff_soc=0.02, recovery_soc=0.10,
+                    charge_efficiency=1.0, discharge_efficiency=1.0)
+        b.discharge(100.0)  # trip cutoff
+        b.charge(30.0)  # soc ~0.05 < recovery: still latched
+        assert not b.can_supply
+        b.charge(100.0)  # above recovery
+        assert b.can_supply
+
+    def test_never_delivers_below_cutoff_floor(self):
+        b = Battery(capacity_joules=1000.0, soc=0.5, cutoff_soc=0.1, recovery_soc=0.2,
+                    discharge_efficiency=1.0)
+        b.discharge(10_000.0)
+        assert b.soc >= 0.1 - 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.lists(st.floats(min_value=0, max_value=500, allow_nan=False), max_size=20),
+    )
+    def test_soc_always_in_bounds(self, soc0, loads):
+        b = Battery(capacity_joules=1000.0, soc=soc0)
+        for load in loads:
+            b.discharge(load)
+            b.charge(load / 2)
+            assert 0.0 <= b.soc <= 1.0 + 1e-12
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_delivered_never_exceeds_request(self, request):
+        b = Battery(capacity_joules=1000.0, soc=0.5)
+        assert b.discharge(request) <= request + 1e-9
+
+
+class TestValidation:
+    def test_recovery_below_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(cutoff_soc=0.1, recovery_soc=0.05)
+
+    def test_default_capacity_is_paper_bank(self):
+        # 20 000 mAh at 3.7 V ≈ 266.4 kJ.
+        assert Battery.DEFAULT_CAPACITY == pytest.approx(266_400.0)

@@ -1,0 +1,49 @@
+"""Tests for the DC/DC converter model."""
+
+import numpy as np
+import pytest
+
+from repro.energy.converter import DCDCConverter
+
+
+class TestEfficiency:
+    def test_rises_with_load(self):
+        conv = DCDCConverter()
+        loads = np.array([0.1, 1.0, 5.0, 15.0])
+        eff = conv.efficiency(loads)
+        assert np.all(np.diff(eff) > 0)
+
+    def test_bounded_by_peak(self):
+        conv = DCDCConverter(peak_efficiency=0.92)
+        assert conv.efficiency(15.0) <= 0.92
+
+    def test_light_load_near_floor(self):
+        conv = DCDCConverter(peak_efficiency=0.92, light_load_efficiency=0.70)
+        assert conv.efficiency(0.0) == pytest.approx(0.70)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DCDCConverter().efficiency(-1.0)
+
+
+class TestConvert:
+    def test_output_below_input(self):
+        conv = DCDCConverter()
+        assert conv.convert(10.0) < 10.0
+
+    def test_clamped_at_rating(self):
+        conv = DCDCConverter(max_output_watts=15.0)
+        assert conv.convert(100.0) == pytest.approx(15.0)
+
+    def test_zero_in_zero_out(self):
+        assert DCDCConverter().convert(0.0) == 0.0
+
+    def test_monotone(self):
+        conv = DCDCConverter()
+        p = np.linspace(0, 40, 50)
+        out = conv.convert(p)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_array_and_scalar_agree(self):
+        conv = DCDCConverter()
+        assert conv.convert(np.array([7.0]))[0] == pytest.approx(conv.convert(7.0))

@@ -1,0 +1,88 @@
+"""Tests for the solar-harvest forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.energy.forecast import DiurnalProfileForecaster, PersistenceForecaster
+from repro.energy.solar import clear_sky_irradiance
+from repro.util.units import DAY, HOUR
+
+
+def feed_days(forecaster, n_days=3, step=600.0, scale=0.03):
+    """Feed a clear-sky power pattern (scaled irradiance) for n_days."""
+    times = np.arange(0, n_days * DAY, step)
+    for t in times:
+        forecaster.observe(float(t), scale * clear_sky_irradiance(float(t)))
+    return times
+
+
+class TestDiurnalProfile:
+    def test_untrained_predicts_zero(self):
+        f = DiurnalProfileForecaster()
+        assert not f.trained
+        assert f.predict_energy(0.0, DAY) == 0.0
+
+    def test_learns_diurnal_shape(self):
+        f = DiurnalProfileForecaster()
+        feed_days(f, n_days=3)
+        assert f.trained
+        assert f.predict_power(13 * HOUR) > 10.0  # midday
+        assert f.predict_power(2 * HOUR) == pytest.approx(0.0, abs=1e-9)  # night
+
+    def test_predicted_energy_matches_observed_day(self):
+        f = DiurnalProfileForecaster()
+        feed_days(f, n_days=4, step=600.0, scale=0.03)
+        predicted = f.predict_energy(4 * DAY, 5 * DAY)
+        # Ground truth for one clear day.
+        times = np.arange(0, DAY, 60.0)
+        actual = float(np.trapezoid(0.03 * clear_sky_irradiance(times), times))
+        assert predicted == pytest.approx(actual, rel=0.1)
+
+    def test_window_integration_additive(self):
+        f = DiurnalProfileForecaster()
+        feed_days(f, n_days=2)
+        whole = f.predict_energy(2 * DAY, 3 * DAY)
+        halves = f.predict_energy(2 * DAY, 2.5 * DAY) + f.predict_energy(2.5 * DAY, 3 * DAY)
+        assert whole == pytest.approx(halves, rel=1e-9)
+
+    def test_ewma_adapts_to_regime_change(self):
+        f = DiurnalProfileForecaster(alpha=0.5)
+        feed_days(f, n_days=3, scale=0.03)
+        sunny = f.predict_power(13 * HOUR)
+        # Three dark days halve (and halve again) the profile.
+        for t in np.arange(3 * DAY, 6 * DAY, 600.0):
+            f.observe(float(t), 0.0)
+        f.observe(6 * DAY + 1.0, 0.0)  # fold the last day
+        assert f.predict_power(13 * HOUR) < 0.2 * sunny
+
+    def test_time_must_not_go_backwards(self):
+        f = DiurnalProfileForecaster()
+        f.observe(100.0, 1.0)
+        with pytest.raises(ValueError):
+            f.observe(50.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalProfileForecaster().observe(0.0, -1.0)
+
+    def test_invalid_window(self):
+        f = DiurnalProfileForecaster()
+        with pytest.raises(ValueError):
+            f.predict_energy(10.0, 5.0)
+
+
+class TestPersistence:
+    def test_mean_of_window(self):
+        f = PersistenceForecaster(window=100.0)
+        f.observe(0.0, 2.0)
+        f.observe(50.0, 4.0)
+        assert f.predict_energy(50.0, 60.0) == pytest.approx(3.0 * 10.0)
+
+    def test_old_samples_trimmed(self):
+        f = PersistenceForecaster(window=10.0)
+        f.observe(0.0, 100.0)
+        f.observe(20.0, 2.0)
+        assert f.predict_energy(20.0, 21.0) == pytest.approx(2.0)
+
+    def test_empty_predicts_zero(self):
+        assert PersistenceForecaster().predict_energy(0.0, 10.0) == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the combined energy-node harvest simulation."""
+
+import numpy as np
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.converter import DCDCConverter
+from repro.energy.harvest import EnergyNode, HarvestSimulation
+from repro.energy.solar import SolarPanel, clear_sky_irradiance
+from repro.util.units import DAY, HOUR
+
+
+def small_node(soc=0.5, capacity=5000.0):
+    return EnergyNode(
+        panel=SolarPanel(),
+        converter=DCDCConverter(),
+        battery=Battery(capacity_joules=capacity, soc=soc),
+    )
+
+
+class TestHarvestSimulation:
+    def test_constant_daylight_keeps_load_up(self):
+        sim = HarvestSimulation(
+            small_node(soc=0.5),
+            irradiance_fn=lambda t: 800.0,
+            load_fn=lambda t, available: 1.0,
+            step=60.0,
+        )
+        result = sim.run(6 * HOUR)
+        assert result.uptime_fraction == 1.0
+        assert result.outages() == []
+
+    def test_night_drains_small_battery_to_outage(self):
+        sim = HarvestSimulation(
+            small_node(soc=0.3, capacity=3000.0),
+            irradiance_fn=lambda t: 0.0,
+            load_fn=lambda t, available: 1.5,
+            step=60.0,
+        )
+        result = sim.run(6 * HOUR)
+        assert result.uptime_fraction < 1.0
+        assert len(result.outages()) >= 1
+
+    def test_day_night_cycle_produces_night_outages(self):
+        # The Figure 2a pattern: dark periods align with night.
+        sim = HarvestSimulation(
+            small_node(soc=0.4, capacity=20_000.0),
+            irradiance_fn=clear_sky_irradiance,
+            load_fn=lambda t, available: 1.6,
+            step=300.0,
+        )
+        result = sim.run(3 * DAY)
+        outages = result.outages()
+        assert outages, "expected at least one night outage"
+        for start, end in outages:
+            mid = ((start + end) / 2) % DAY
+            assert mid < 9 * HOUR or mid > 18 * HOUR, f"outage centred at {mid/3600:.1f} h"
+
+    def test_soc_rises_during_day_with_no_load(self):
+        sim = HarvestSimulation(
+            small_node(soc=0.2, capacity=50_000.0),
+            irradiance_fn=lambda t: 700.0,
+            load_fn=lambda t, available: 0.0,
+            step=60.0,
+        )
+        result = sim.run(2 * HOUR)
+        assert result.soc[-1] > result.soc[0]
+
+    def test_energy_conservation_no_harvest(self):
+        # With zero harvest and perfect efficiencies, delivered energy equals
+        # the battery's usable stored-energy drop.
+        node = EnergyNode(
+            panel=SolarPanel(),
+            converter=DCDCConverter(),
+            battery=Battery(capacity_joules=10_000.0, soc=1.0,
+                            charge_efficiency=1.0, discharge_efficiency=1.0,
+                            cutoff_soc=0.0, recovery_soc=0.0),
+        )
+        sim = HarvestSimulation(node, irradiance_fn=lambda t: 0.0,
+                                load_fn=lambda t, available: 2.0, step=60.0)
+        before = node.battery.stored
+        result = sim.run(HOUR)
+        delivered = float(np.sum(result.supplied_watts) * sim.step)
+        assert delivered == pytest.approx(before - node.battery.stored, rel=1e-9)
+
+    def test_load_fn_sees_availability(self):
+        calls = []
+
+        def load(t, available):
+            calls.append(available)
+            return 1.0
+
+        sim = HarvestSimulation(small_node(), irradiance_fn=lambda t: 500.0, load_fn=load, step=60.0)
+        sim.run(10 * 60.0)
+        assert all(isinstance(a, (bool, np.bool_)) for a in calls)
+
+    def test_result_arrays_aligned(self):
+        sim = HarvestSimulation(small_node(), step=60.0)
+        result = sim.run(HOUR)
+        n = len(result.times)
+        for arr in (result.irradiance, result.harvest_watts, result.load_watts,
+                    result.supplied_watts, result.soc, result.available):
+            assert len(arr) == n

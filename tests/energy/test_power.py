@@ -1,0 +1,82 @@
+"""Tests for power states and task power models."""
+
+import pytest
+
+from repro.energy.power import PowerModel, PowerState, TaskPower
+
+
+class TestPowerState:
+    def test_energy(self):
+        st = PowerState("sleep", 0.625)
+        assert st.energy(178.5) == pytest.approx(111.5625)
+
+    def test_negative_watts_rejected(self):
+        with pytest.raises(ValueError):
+            PowerState("x", -1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PowerState("x", 1.0).energy(-1.0)
+
+    def test_frozen(self):
+        st = PowerState("x", 1.0)
+        with pytest.raises(Exception):
+            st.watts = 2.0
+
+
+class TestTaskPower:
+    def test_energy_from_watts(self):
+        t = TaskPower("collect", duration=64.0, watts=2.06)
+        assert t.energy == pytest.approx(131.84)
+        assert t.power == 2.06
+
+    def test_power_from_measured_energy(self):
+        # Table I queen-detection SVM row.
+        t = TaskPower("svm", duration=46.1, measured_energy=98.9)
+        assert t.power == pytest.approx(98.9 / 46.1)
+        assert t.energy == 98.9
+
+    def test_measured_energy_wins(self):
+        t = TaskPower("x", duration=10.0, watts=1.0, measured_energy=5.0)
+        assert t.energy == 5.0
+
+    def test_requires_some_power_info(self):
+        with pytest.raises(ValueError):
+            TaskPower("x", duration=1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TaskPower("x", duration=0.0, watts=1.0)
+
+    def test_scaled(self):
+        t = TaskPower("x", duration=10.0, measured_energy=20.0)
+        s = t.scaled(duration_factor=2.0, energy_factor=1.5)
+        assert s.duration == 20.0
+        assert s.energy == 30.0
+        assert s.name == "x"
+
+
+class TestPowerModel:
+    def make(self):
+        return PowerModel("pi", [PowerState("sleep", 0.625), PowerState("active", 2.14)])
+
+    def test_lookup(self):
+        pm = self.make()
+        assert pm.watts("sleep") == 0.625
+        assert "active" in pm
+        assert "boot" not in pm
+
+    def test_unknown_state_names_known_ones(self):
+        with pytest.raises(KeyError, match="sleep"):
+            self.make()["nope"]
+
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel("x", [PowerState("a", 1.0), PowerState("a", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel("x", [])
+
+    def test_weights_for_timeline_integration(self):
+        assert self.make().weights() == {"sleep": 0.625, "active": 2.14}

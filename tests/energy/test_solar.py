@@ -1,0 +1,93 @@
+"""Tests for irradiance and panel models."""
+
+import numpy as np
+import pytest
+
+from repro.energy.solar import SolarPanel, clear_sky_irradiance
+from repro.util.units import DAY, HOUR
+
+
+class TestClearSky:
+    def test_zero_at_night(self):
+        assert clear_sky_irradiance(0.0) == 0.0
+        assert clear_sky_irradiance(23 * HOUR) == 0.0
+
+    def test_peak_at_solar_noon(self):
+        noon = 13 * HOUR  # midpoint of 6h-20h window
+        irr = clear_sky_irradiance(noon)
+        assert irr == pytest.approx(900.0, rel=1e-6)
+
+    def test_sunrise_sunset_boundaries(self):
+        assert clear_sky_irradiance(6 * HOUR) == pytest.approx(0.0, abs=1e-9)
+        assert clear_sky_irradiance(20 * HOUR) == pytest.approx(0.0, abs=1e-6)
+
+    def test_wraps_around_days(self):
+        assert clear_sky_irradiance(13 * HOUR) == clear_sky_irradiance(13 * HOUR + 2 * DAY)
+
+    def test_array_input(self):
+        t = np.array([0.0, 13 * HOUR])
+        irr = clear_sky_irradiance(t)
+        assert irr.shape == (2,)
+        assert irr[0] == 0.0 and irr[1] > 0
+
+    def test_symmetry(self):
+        # Equal distance from solar noon -> equal irradiance.
+        a = clear_sky_irradiance(10 * HOUR)
+        b = clear_sky_irradiance(16 * HOUR)
+        assert a == pytest.approx(b)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            clear_sky_irradiance(0.0, sunrise_s=10.0, sunset_s=5.0)
+
+
+class TestSolarPanel:
+    def test_rated_output_at_stc(self):
+        panel = SolarPanel(rated_watts=30.0, derating=1.0)
+        assert panel.output_watts(1000.0) == pytest.approx(30.0)
+
+    def test_linear_in_irradiance(self):
+        panel = SolarPanel(rated_watts=30.0, derating=1.0, low_light_knee=0.0)
+        assert panel.output_watts(500.0) == pytest.approx(15.0)
+
+    def test_low_light_cutoff(self):
+        # "Low luminosity takes the panel's output voltage to uncontrolled
+        # values": below the knee the panel contributes nothing usable.
+        panel = SolarPanel(low_light_knee=60.0)
+        assert panel.output_watts(59.0) == 0.0
+        assert panel.output_watts(61.0) > 0.0
+
+    def test_derating(self):
+        full = SolarPanel(derating=1.0).output_watts(1000.0)
+        derated = SolarPanel(derating=0.85).output_watts(1000.0)
+        assert derated == pytest.approx(0.85 * full)
+
+    def test_array_output(self):
+        panel = SolarPanel()
+        out = panel.output_watts(np.array([0.0, 500.0, 1000.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_negative_irradiance_rejected(self):
+        with pytest.raises(ValueError):
+            SolarPanel().output_watts(-1.0)
+
+    def test_energy_integration(self):
+        panel = SolarPanel(rated_watts=30.0, derating=1.0, low_light_knee=0.0)
+        times = np.array([0.0, 3600.0])
+        irr = np.array([1000.0, 1000.0])
+        assert panel.energy(times, irr) == pytest.approx(30.0 * 3600.0)
+
+    def test_energy_requires_increasing_times(self):
+        panel = SolarPanel()
+        with pytest.raises(ValueError):
+            panel.energy(np.array([1.0, 1.0]), np.array([0.0, 0.0]))
+
+    def test_daily_energy_plausible(self):
+        # A 30 W panel on a clear day should harvest a few hundred Wh > the
+        # ~2 Wh/day systems in the related work.
+        panel = SolarPanel()
+        times = np.arange(0, DAY, 60.0)
+        irr = clear_sky_irradiance(times)
+        wh = panel.energy(times, irr) / 3600.0
+        assert 100.0 < wh < 300.0

@@ -1,0 +1,145 @@
+"""End-to-end experiment tests: every table/figure runs and hits the paper.
+
+The heavier experiments (fig5 at full sizes, fig2 at a week) run reduced
+configurations here; the benchmark suite exercises the full-scale variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import REGISTRY, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(experiment_ids()) == {
+            "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
+        }
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="fig3"):
+            run_experiment("fig99")
+
+
+def assert_all_within_tolerance(result):
+    failures = [
+        f"{c.quantity}: paper={c.paper_value} measured={c.measured_value} ({c.deviation_pct:+.1f}%)"
+        for c in result.comparisons
+        if c.within_tolerance is False
+    ]
+    assert not failures, f"{result.experiment_id} deviates:\n" + "\n".join(failures)
+
+
+class TestTables:
+    def test_table1(self):
+        result = run_experiment("table1")
+        assert_all_within_tolerance(result)
+        assert len(result.tables) == 2
+
+    def test_table2(self):
+        result = run_experiment("table2")
+        assert_all_within_tolerance(result)
+        assert len(result.tables) == 4
+
+
+class TestFig3:
+    def test_curve_and_anchors(self):
+        result = run_experiment("fig3")
+        assert_all_within_tolerance(result)
+        powers = result.series["average_power_w"]
+        assert np.all(np.diff(powers) < 0)
+        assert powers[0] == pytest.approx(1.19, abs=0.01)
+
+
+class TestFig2:
+    def test_reduced_trace(self):
+        result = run_experiment("fig2", days=2.0, seed=11)
+        assert_all_within_tolerance(result)
+        assert result.series["available"].mean() < 1.0  # outages exist
+        assert result.series["fig2b_watts"].max() > 2.0  # wake-up spikes
+
+
+class TestFig5:
+    def test_reduced_sweep(self):
+        from repro.audio.dataset import DatasetSpec
+
+        result = run_experiment(
+            "fig5",
+            sizes=(20, 60, 100),
+            dataset_spec=DatasetSpec.small(n_samples=120, clip_duration=2.0, seed=5),
+        )
+        assert_all_within_tolerance(result)
+        acc = result.series["accuracy"]
+        joules = result.series["inference_joules"]
+        assert acc[-1] > acc[0]  # accuracy improves with resolution
+        assert np.all(np.diff(joules) > 0)  # energy grows with size
+        # Energy anchor is exact by calibration.
+        assert joules[-1] == pytest.approx(94.8)
+
+
+class TestFig6:
+    def test_ideal_simulation(self):
+        result = run_experiment("fig6")
+        assert_all_within_tolerance(result)
+        edge = result.series["edge_per_client_j"]
+        assert np.allclose(edge, edge[0])  # flat edge cost (paper's red line)
+        # Server count is a non-decreasing staircase.
+        assert np.all(np.diff(result.series["n_servers"]) >= 0)
+
+
+class TestFig7:
+    def test_crossovers(self):
+        result = run_experiment("fig7")
+        assert_all_within_tolerance(result)
+        p10 = result.series["edge_cloud_per_client_j_p10"]
+        edge = result.series["edge_per_client_j"]
+        assert np.all(p10 > edge)  # 10/slot never wins (paper: blue area only)
+
+    def test_permanent_crossover_shape(self):
+        """The permanent-crossover location is knife-edge sensitive (see
+        EXPERIMENTS.md); assert the qualitative band rather than the value."""
+        from repro.core.crossover import find_crossover
+
+        result = run_experiment("fig7")
+        n = result.series["n_clients"]
+        rep = find_crossover(
+            n, result.series["edge_per_client_j"], result.series["edge_cloud_per_client_j_p35"]
+        )
+        assert rep.permanent_crossover is not None
+        assert 630 <= rep.permanent_crossover <= 1400
+
+
+class TestFig8:
+    def test_losses(self):
+        result = run_experiment("fig8")
+        assert_all_within_tolerance(result)
+        # Loss A raises server cost relative to ideal everywhere at scale.
+        ideal = result.series["server_per_client_j_no_loss"]
+        loss_a = result.series["server_per_client_j_loss_a"]
+        n = result.series["n_clients"]
+        at_scale = n >= 100
+        assert np.all(loss_a[at_scale] >= ideal[at_scale] - 1e-9)
+
+    def test_loss_b_needs_more_servers(self):
+        result = run_experiment("fig8")
+        assert np.all(
+            result.series["n_servers_loss_b"] >= result.series["n_servers_no_loss"]
+        )
+
+
+class TestFig9:
+    def test_loss_crossover(self):
+        result = run_experiment("fig9")
+        assert_all_within_tolerance(result)
+        # 3 servers across the 1600-1750 band (paper's operational claim).
+        n = result.series["n_clients"]
+        band = (n >= 1600) & (n <= 1750)
+        assert np.all(result.series["n_servers"][band] == 3)
+
+
+class TestRendering:
+    def test_render_produces_comparison_table(self):
+        result = run_experiment("table1")
+        out = result.render()
+        assert "paper vs measured" in out
+        assert "Scenario" in out

@@ -1,0 +1,63 @@
+"""Tests for the future-work extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXTENSIONS, REGISTRY, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert set(EXTENSIONS) == {"ext-adaptive", "ext-contention", "ext-mixed", "ext-training"}
+
+    def test_ids_include_extensions_on_request(self):
+        base = experiment_ids()
+        full = experiment_ids(include_extensions=True)
+        assert set(base) == set(REGISTRY)
+        assert set(full) == set(REGISTRY) | set(EXTENSIONS)
+
+    def test_run_by_id(self):
+        result = run_experiment("ext-training")
+        assert result.experiment_id == "ext-training"
+
+
+class TestExtAdaptive:
+    def test_full_uptime_and_yield(self):
+        result = run_experiment("ext-adaptive", cloudiness_levels=(0.5,))
+        for c in result.comparisons:
+            assert c.within_tolerance is not False
+        assert any("x the safe schedule" in n for n in result.notes)
+
+
+class TestExtContention:
+    def test_receive_time_grows_linearly(self):
+        result = run_experiment("ext-contention", max_clients=6, n_trials=10)
+        times = result.series["mean_receive_time_s"]
+        assert np.all(np.diff(times) > 0)
+        # Roughly linear: endpoint slope vs midpoint slope within 2x.
+        k = result.series["occupancy"]
+        slope_lo = (times[2] - times[0]) / (k[2] - k[0])
+        slope_hi = (times[-1] - times[-3]) / (k[-1] - k[-3])
+        assert 0.5 < slope_hi / slope_lo < 2.0
+
+    def test_slope_same_regime_as_paper(self):
+        result = run_experiment("ext-contention", max_clients=6, n_trials=10)
+        slope = result.comparisons[0].measured_value
+        assert 1.0 < slope < 5.0  # paper postulates 1.5 s/client
+
+
+class TestExtMixed:
+    def test_all_checks_pass(self):
+        result = run_experiment("ext-mixed")
+        for c in result.comparisons:
+            assert c.within_tolerance is not False
+        servers = result.series["servers_needed"]
+        assert np.all(np.diff(servers) <= 0)  # slower periods never need more
+
+
+class TestExtTraining:
+    def test_all_checks_pass(self):
+        result = run_experiment("ext-training")
+        for c in result.comparisons:
+            assert c.within_tolerance is not False
+        assert any("days" in n for n in result.notes)

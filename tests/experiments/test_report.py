@@ -1,0 +1,65 @@
+"""Tests for the experiment-result containers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import Comparison, ExperimentResult
+
+
+class TestComparison:
+    def test_deviation(self):
+        c = Comparison("x", paper_value=100.0, measured_value=110.0)
+        assert c.deviation_pct == pytest.approx(10.0)
+
+    def test_within_tolerance(self):
+        assert Comparison("x", 100.0, 105.0, tolerance_pct=10.0).within_tolerance is True
+        assert Comparison("x", 100.0, 120.0, tolerance_pct=10.0).within_tolerance is False
+        assert Comparison("x", 100.0, 120.0).within_tolerance is None
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", 0.0, 0.0).deviation_pct == 0.0
+        assert Comparison("x", 0.0, 1.0).deviation_pct == float("inf")
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("figX", "A title", description="desc")
+        r.add_series("xs", [1, 2, 3])
+        r.compare("quantity", 10.0, 10.5, tolerance_pct=10.0)
+        r.tables.append("| a table |")
+        r.notes.append("a note")
+        return r
+
+    def test_series_stored_as_arrays(self):
+        r = self.make()
+        assert isinstance(r.series["xs"], np.ndarray)
+
+    def test_render_sections(self):
+        out = self.make().render()
+        assert "figX" in out and "A title" in out
+        assert "a table" in out
+        assert "paper vs measured" in out
+        assert "note: a note" in out
+
+    def test_comparison_table_flags(self):
+        r = ExperimentResult("f", "t")
+        r.compare("good", 10.0, 10.1, tolerance_pct=5.0)
+        r.compare("bad", 10.0, 20.0, tolerance_pct=5.0)
+        table = r.comparison_table()
+        assert "ok" in table and "DEVIATES" in table
+
+    def test_to_dict(self):
+        d = self.make().to_dict()
+        assert d["experiment_id"] == "figX"
+        assert d["series"]["xs"] == [1, 2, 3]
+        assert d["comparisons"][0]["within_tolerance"] is True
+        assert d["notes"] == ["a note"]
+
+    def test_to_dict_without_series(self):
+        d = self.make().to_dict(include_series=False)
+        assert "series" not in d
+
+    def test_to_dict_json_serializable(self):
+        import json
+
+        json.dumps(self.make().to_dict())

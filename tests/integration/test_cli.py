@@ -1,0 +1,66 @@
+"""Tests for the repro-exp CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table1" in out
+
+    def test_run_one(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Average consumed power" in out
+        assert "paper vs measured" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("paper vs measured") == 2
+
+    def test_unknown_id(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-exp" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["--json", "fig3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "fig3"
+        assert payload[0]["comparisons"][0]["within_tolerance"] is True
+        assert "average_power_w" in payload[0]["series"]
+
+    def test_list_extensions(self, capsys):
+        assert main(["--list", "--extensions"]) == 0
+        out = capsys.readouterr().out
+        assert "ext-training" in out and "fig3" in out
+
+    def test_run_extension_by_id(self, capsys):
+        assert main(["ext-training"]) == 0
+        assert "Training-phase energy" in capsys.readouterr().out
+
+    def test_json_no_series(self, capsys):
+        import json
+
+        assert main(["--json", "--no-series", "table1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "series" not in payload[0]
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.CYCLE_SECONDS == 300.0
+        result = repro.simulate_fleet(100, repro.EDGE_CLOUD_SVM)
+        assert result.total_energy_j > 0
+        assert callable(repro.run_experiment)

@@ -1,0 +1,93 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.kernels import linear_kernel, make_kernel, polynomial_kernel, rbf_kernel
+
+
+@pytest.fixture
+def data(rng):
+    return rng.normal(size=(10, 4)), rng.normal(size=(7, 4))
+
+
+class TestLinear:
+    def test_matches_dot(self, data):
+        X, Z = data
+        np.testing.assert_allclose(linear_kernel(X, Z), X @ Z.T)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            linear_kernel(np.zeros(3), np.zeros((2, 3)))
+
+
+class TestPolynomial:
+    def test_degree_one_affine(self, data):
+        X, Z = data
+        K = polynomial_kernel(X, Z, degree=1, gamma=1.0, coef0=0.0)
+        np.testing.assert_allclose(K, X @ Z.T)
+
+    def test_invalid_degree(self, data):
+        X, Z = data
+        with pytest.raises(ValueError):
+            polynomial_kernel(X, Z, degree=0)
+
+
+class TestRbf:
+    def test_diagonal_is_one(self, rng):
+        X = rng.normal(size=(8, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetric(self, rng):
+        X = rng.normal(size=(8, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    def test_bounded(self, data):
+        X, Z = data
+        K = rbf_kernel(X, Z, gamma=0.1)
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+
+    def test_matches_naive(self, data):
+        X, Z = data
+        gamma = 0.3
+        K = rbf_kernel(X, Z, gamma=gamma)
+        naive = np.empty((10, 7))
+        for i in range(10):
+            for j in range(7):
+                naive[i, j] = np.exp(-gamma * np.sum((X[i] - Z[j]) ** 2))
+        np.testing.assert_allclose(K, naive, rtol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_positive_semidefinite(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(6, 3))
+        K = rbf_kernel(X, X, gamma=1.0)
+        eigvals = np.linalg.eigvalsh(K)
+        assert eigvals.min() > -1e-9
+
+    def test_feature_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            rbf_kernel(rng.normal(size=(3, 4)), rng.normal(size=(3, 5)))
+
+    def test_gamma_validation(self, data):
+        X, Z = data
+        with pytest.raises(ValueError):
+            rbf_kernel(X, Z, gamma=0.0)
+
+
+class TestFactory:
+    def test_known_kernels(self, data):
+        X, Z = data
+        np.testing.assert_allclose(make_kernel("rbf", gamma=0.2)(X, Z), rbf_kernel(X, Z, 0.2))
+        np.testing.assert_allclose(make_kernel("linear")(X, Z), linear_kernel(X, Z))
+        np.testing.assert_allclose(
+            make_kernel("poly", degree=2)(X, Z), polynomial_kernel(X, Z, degree=2)
+        )
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_kernel("sigmoid")

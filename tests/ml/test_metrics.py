@@ -1,0 +1,64 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy, confusion_matrix, precision_recall_f1
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 0], [1, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_binary(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 0, 1, 1]
+        M = confusion_matrix(y_true, y_pred, labels=[0, 1])
+        np.testing.assert_array_equal(M, [[1, 1], [1, 2]])
+
+    def test_trace_equals_correct_count(self):
+        y_true = np.array([0, 1, 2, 1, 0])
+        y_pred = np.array([0, 1, 1, 1, 2])
+        M = confusion_matrix(y_true, y_pred)
+        assert np.trace(M) == int(np.sum(y_true == y_pred))
+
+    def test_rows_sum_to_class_counts(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        M = confusion_matrix(y_true, y_pred, labels=[0, 1])
+        assert M.sum(axis=1).tolist() == [2, 3]
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        out = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert out == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_known_values(self):
+        # tp=2, fp=1, fn=1.
+        out = precision_recall_f1([1, 1, 1, 0], [1, 1, 0, 1])
+        assert out["precision"] == pytest.approx(2 / 3)
+        assert out["recall"] == pytest.approx(2 / 3)
+        assert out["f1"] == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        out = precision_recall_f1([1, 1], [0, 0])
+        assert out["precision"] == 0.0 and out["f1"] == 0.0
+
+    def test_custom_positive_label(self):
+        out = precision_recall_f1(["q", "n"], ["q", "q"], positive="q")
+        assert out["recall"] == 1.0
+        assert out["precision"] == 0.5

@@ -1,0 +1,41 @@
+"""Tests for StandardScaler."""
+
+import numpy as np
+import pytest
+
+from repro.ml.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_fit_transform_standardizes(self, rng):
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-9)
+
+    def test_transform_uses_training_statistics(self, rng):
+        Xtr = rng.normal(0, 1, size=(50, 3))
+        Xte = rng.normal(10, 1, size=(20, 3))
+        sc = StandardScaler().fit(Xtr)
+        Zte = sc.transform(Xte)
+        assert Zte.mean() > 5.0  # not re-centered on the test set
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(3, 2, size=(30, 5))
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X, rtol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_dim_mismatch(self, rng):
+        sc = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            sc.transform(rng.normal(size=(5, 4)))

@@ -1,0 +1,65 @@
+"""Tests for dataset splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.split import kfold_indices, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = (np.arange(100) % 2).astype(int)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=0)
+        # Per-class rounding: the test split lands within one sample per class.
+        assert 23 <= len(Xte) <= 27
+        assert len(Xtr) + len(Xte) == 100
+        assert len(ytr) == len(Xtr) and len(yte) == len(Xte)
+
+    def test_stratified_preserves_balance(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.array([0] * 80 + [1] * 20)
+        _, _, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=0)
+        assert yte.sum() == 5  # 25% of the 20 positives
+
+    def test_no_leakage(self, rng):
+        X = np.arange(50).reshape(-1, 1).astype(float)
+        y = (np.arange(50) % 2).astype(int)
+        Xtr, Xte, _, _ = train_test_split(X, y, seed=1)
+        assert set(Xtr.ravel()).isdisjoint(set(Xte.ravel()))
+        assert len(Xtr) + len(Xte) == 50
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = (np.arange(40) % 2).astype(int)
+        a = train_test_split(X, y, seed=7)
+        b = train_test_split(X, y, seed=7)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_invalid_fraction(self, rng):
+        X, y = rng.normal(size=(10, 2)), np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=1.0)
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(rng.normal(size=(10, 2)), np.zeros(9))
+
+
+class TestKfold:
+    def test_folds_partition(self):
+        seen = []
+        for train, test in kfold_indices(20, k=4, seed=0):
+            assert set(train).isdisjoint(set(test))
+            assert len(train) + len(test) == 20
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_fold_count(self):
+        assert len(list(kfold_indices(10, k=5))) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, k=1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, k=5))

@@ -1,0 +1,119 @@
+"""Tests for the SMO-based SVC."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import SVC
+
+
+def blobs(rng, n=60, gap=3.0):
+    """Two well-separated Gaussian blobs."""
+    a = rng.normal(loc=(-gap / 2, 0), scale=0.5, size=(n // 2, 2))
+    b = rng.normal(loc=(gap / 2, 0), scale=0.5, size=(n // 2, 2))
+    X = np.vstack([a, b])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    perm = rng.permutation(n)
+    return X[perm], y[perm]
+
+
+class TestFit:
+    def test_separable_blobs_perfect(self, rng):
+        X, y = blobs(rng)
+        clf = SVC(C=10.0, kernel="rbf", gamma=0.5, seed=0).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_linear_kernel_separable(self, rng):
+        X, y = blobs(rng)
+        clf = SVC(C=10.0, kernel="linear", seed=0).fit(X, y)
+        assert clf.score(X, y) >= 0.98
+
+    def test_xor_needs_rbf(self, rng):
+        """XOR is not linearly separable; the RBF kernel solves it."""
+        X = rng.normal(size=(80, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        rbf = SVC(C=10.0, kernel="rbf", gamma=1.0, seed=0).fit(X, y)
+        lin = SVC(C=10.0, kernel="linear", seed=0).fit(X, y)
+        assert rbf.score(X, y) > 0.9
+        assert lin.score(X, y) < 0.8
+
+    def test_generalizes(self, rng):
+        X, y = blobs(rng, n=100)
+        Xte, yte = blobs(np.random.default_rng(99), n=40)
+        clf = SVC(C=10.0, gamma=0.5, seed=0).fit(X, y)
+        assert clf.score(Xte, yte) >= 0.95
+
+    def test_arbitrary_label_values(self, rng):
+        X, y01 = blobs(rng)
+        y = np.where(y01 == 1, "queen", "no-queen")
+        clf = SVC(C=10.0, gamma=0.5, seed=0).fit(X, y)
+        preds = clf.predict(X)
+        assert set(preds) <= {"queen", "no-queen"}
+        assert np.mean(preds == y) == 1.0
+
+    def test_gamma_scale(self, rng):
+        X, y = blobs(rng)
+        clf = SVC(C=10.0, gamma="scale", seed=0).fit(X, y)
+        assert clf.score(X, y) >= 0.95
+
+    def test_margin_violations_bounded_by_C(self, rng):
+        """With overlapping classes all alphas stay within [0, C]."""
+        X, y = blobs(rng, gap=0.5)
+        clf = SVC(C=2.0, gamma=0.5, seed=0).fit(X, y)
+        assert np.all(np.abs(clf.dual_coef_) <= 2.0 + 1e-6)
+
+    def test_dual_constraint_satisfied(self, rng):
+        """KKT equality: sum of alpha_i * t_i = 0."""
+        X, y = blobs(rng, gap=1.0)
+        clf = SVC(C=5.0, gamma=0.5, seed=0).fit(X, y)
+        assert clf.dual_coef_.sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_callable_kernel(self, rng):
+        X, y = blobs(rng)
+        clf = SVC(C=10.0, kernel=lambda A, B: A @ B.T, seed=0).fit(X, y)
+        assert clf.score(X, y) >= 0.95
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.zeros((2, 2)))
+
+    def test_requires_two_classes(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            SVC().fit(X, np.zeros(10))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            SVC().fit(rng.normal(size=(10, 2)), np.zeros(9))
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros(10), np.zeros(10))
+
+    def test_unknown_gamma_string(self, rng):
+        X, y = blobs(rng)
+        with pytest.raises(ValueError):
+            SVC(gamma="auto").fit(X, y)
+
+    def test_decision_function_sign_matches_predict(self, rng):
+        X, y = blobs(rng)
+        clf = SVC(C=10.0, gamma=0.5, seed=0).fit(X, y)
+        scores = clf.decision_function(X)
+        preds = clf.predict(X)
+        np.testing.assert_array_equal(preds == clf.classes_[1], scores >= 0)
+
+
+class TestPaperSettings:
+    def test_paper_hyperparameters_are_defaults(self):
+        clf = SVC()
+        assert clf.C == 20.0
+        assert clf.gamma == 1e-5
+        assert clf.kernel == "rbf"
+
+    def test_paper_gamma_on_unscaled_features(self, rng):
+        """gamma=1e-5 suits large-magnitude raw features (like dB stats)."""
+        X, y = blobs(rng, gap=3.0)
+        X = X * 100.0  # large feature scale
+        clf = SVC(C=20.0, gamma=1e-5, seed=0).fit(X, y)
+        assert clf.score(X, y) >= 0.95

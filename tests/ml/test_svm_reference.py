@@ -1,0 +1,123 @@
+"""Cross-validation of the SMO solver against a reference QP solution.
+
+The SVM dual is a box-constrained QP with one equality constraint:
+
+    max_a  Σa_i − ½ ΣΣ a_i a_j t_i t_j K_ij
+    s.t.   0 ≤ a_i ≤ C,  Σ a_i t_i = 0
+
+We solve it with scipy's SLSQP on small problems and require the SMO
+solution to reach the same dual objective (the optimum is unique in the
+decision function even when alphas are not) and to agree on predictions.
+"""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.ml.kernels import rbf_kernel
+from repro.ml.svm import SVC
+
+
+def dual_objective(alpha, t, K):
+    return float(alpha.sum() - 0.5 * (alpha * t) @ K @ (alpha * t))
+
+
+def solve_reference(K, t, C):
+    """SLSQP solution of the SVM dual."""
+    n = t.size
+
+    def neg_obj(a):
+        return -dual_objective(a, t, K)
+
+    def neg_grad(a):
+        return -(np.ones(n) - (K @ (a * t)) * t)
+
+    constraints = {"type": "eq", "fun": lambda a: a @ t, "jac": lambda a: t}
+    bounds = [(0.0, C)] * n
+    best = None
+    for seed in (0, 1):
+        rng = np.random.default_rng(seed)
+        x0 = rng.uniform(0, C / 10, size=n)
+        x0 -= t * (x0 @ t) / n  # project toward the equality constraint
+        x0 = np.clip(x0, 0, C)
+        res = optimize.minimize(
+            neg_obj, x0, jac=neg_grad, bounds=bounds, constraints=constraints,
+            method="SLSQP", options={"maxiter": 500, "ftol": 1e-12},
+        )
+        if best is None or res.fun < best.fun:
+            best = res
+    return best.x
+
+
+def blobs(rng, n, gap):
+    a = rng.normal((-gap / 2, 0), 0.6, size=(n // 2, 2))
+    b = rng.normal((gap / 2, 0), 0.6, size=(n // 2, 2))
+    X = np.vstack([a, b])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    perm = rng.permutation(n)
+    return X[perm], y[perm]
+
+
+@pytest.mark.parametrize("gap,C", [(3.0, 5.0), (1.0, 5.0), (0.3, 2.0)])
+def test_smo_reaches_reference_dual_objective(gap, C):
+    rng = np.random.default_rng(7)
+    X, y = blobs(rng, n=24, gap=gap)
+    gamma = 0.5
+    K = rbf_kernel(X, X, gamma=gamma)
+    t = np.where(y == 1, 1.0, -1.0)
+
+    clf = SVC(C=C, kernel="rbf", gamma=gamma, tol=1e-4, max_passes=10, seed=0).fit(X, y)
+    alpha_smo = np.zeros(len(y))
+    alpha_smo[clf.support_] = clf.dual_coef_ * t[clf.support_]
+
+    alpha_ref = solve_reference(K, t, C)
+    obj_smo = dual_objective(alpha_smo, t, K)
+    obj_ref = dual_objective(alpha_ref, t, K)
+    # SMO must reach the reference optimum (within solver tolerances).
+    assert obj_smo >= obj_ref - max(1e-3 * abs(obj_ref), 1e-3)
+
+
+def test_smo_predictions_match_reference():
+    rng = np.random.default_rng(3)
+    X, y = blobs(rng, n=24, gap=1.0)
+    gamma, C = 0.5, 5.0
+    K = rbf_kernel(X, X, gamma=gamma)
+    t = np.where(y == 1, 1.0, -1.0)
+
+    clf = SVC(C=C, kernel="rbf", gamma=gamma, tol=1e-4, max_passes=10, seed=0).fit(X, y)
+
+    alpha_ref = solve_reference(K, t, C)
+    # Reference bias from free support vectors.
+    free = (alpha_ref > 1e-6) & (alpha_ref < C - 1e-6)
+    f_no_b = K @ (alpha_ref * t)
+    b_ref = float(np.mean(t[free] - f_no_b[free])) if free.any() else 0.0
+
+    Xte, yte = blobs(np.random.default_rng(11), n=30, gap=1.0)
+    Kte = rbf_kernel(Xte, X, gamma=gamma)
+    scores_ref = Kte @ (alpha_ref * t) + b_ref
+    preds_ref = np.where(scores_ref >= 0, 1, 0)
+    preds_smo = clf.predict(Xte)
+    # Allow disagreement only very near the boundary.
+    disagree = preds_ref != preds_smo
+    assert np.all(np.abs(scores_ref[disagree]) < 0.1)
+
+
+def test_kkt_conditions_hold():
+    """Spot-check the KKT system on the SMO solution directly."""
+    rng = np.random.default_rng(5)
+    X, y = blobs(rng, n=30, gap=0.8)
+    gamma, C = 0.5, 3.0
+    clf = SVC(C=C, kernel="rbf", gamma=gamma, tol=1e-4, max_passes=10, seed=0).fit(X, y)
+    K = rbf_kernel(X, X, gamma=gamma)
+    t = np.where(y == 1, 1.0, -1.0)
+    alpha = np.zeros(len(y))
+    alpha[clf.support_] = clf.dual_coef_ * t[clf.support_]
+    margins = t * (K @ (alpha * t) + clf.intercept_)
+    tol = 5e-3
+    for i in range(len(y)):
+        if alpha[i] < 1e-6:  # non-SV: margin >= 1
+            assert margins[i] >= 1.0 - tol
+        elif alpha[i] > C - 1e-6:  # bound SV: margin <= 1
+            assert margins[i] <= 1.0 + tol
+        else:  # free SV: margin == 1
+            assert margins[i] == pytest.approx(1.0, abs=tol)

@@ -1,0 +1,75 @@
+"""Tests for training-cost accounting."""
+
+import pytest
+
+from repro.core.calibration import PAPER
+from repro.ml.nn.flops import InferenceCostModel, count_flops
+from repro.ml.nn.resnet import resnet18, small_cnn
+from repro.ml.training_cost import (
+    retraining_amortization,
+    training_cost,
+    training_flops,
+)
+from repro.util.units import DAY
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return small_cnn(seed=0)
+
+
+class TestTrainingFlops:
+    def test_scales_with_samples_and_epochs(self, tiny_model):
+        base = training_flops(tiny_model, (1, 32, 32), n_samples=100, epochs=1)
+        assert training_flops(tiny_model, (1, 32, 32), 200, 1) == pytest.approx(2 * base)
+        assert training_flops(tiny_model, (1, 32, 32), 100, 4) == pytest.approx(4 * base)
+
+    def test_three_times_forward(self, tiny_model):
+        forward = count_flops(tiny_model, (1, 32, 32))
+        assert training_flops(tiny_model, (1, 32, 32), 1, 1) == pytest.approx(3 * forward)
+
+    def test_validation(self, tiny_model):
+        with pytest.raises(ValueError):
+            training_flops(tiny_model, (1, 32, 32), 0, 1)
+        with pytest.raises(ValueError):
+            training_flops(tiny_model, (1, 32, 32), 1, 1, multiplier=0.0)
+
+
+class TestPaperSetting:
+    def make_models(self):
+        from repro.ml.training_cost import paper_edge_training_model, paper_server_training_model
+
+        model = resnet18(in_channels=1)
+        shape = (1, PAPER.cnn_image_size, PAPER.cnn_image_size)
+        return model, shape, paper_edge_training_model(), paper_server_training_model()
+
+    def test_server_trains_in_minutes(self):
+        """§V: the RTX 2070 'allows to train the deep learning models
+        considered in this paper in few minutes'."""
+        model, shape, _pi, server = self.make_models()
+        cost = training_cost(model, shape, n_samples=1647, epochs=4, cost_model=server, device="rtx2070")
+        assert 60.0 < cost.seconds < 3600.0  # minutes, not hours
+
+    def test_edge_training_is_prohibitive(self):
+        """On the Pi the same run takes days of wall time — the quantitative
+        backing for the paper's train-in-the-cloud choice."""
+        model, shape, pi, server = self.make_models()
+        edge = training_cost(model, shape, 1647, 4, pi, device="pi3b+")
+        cloud = training_cost(model, shape, 1647, 4, server, device="rtx2070")
+        assert edge.seconds > 1.0 * DAY
+        assert edge.seconds > 50 * cloud.seconds
+
+    def test_amortization_negligible_at_weekly_cadence(self):
+        """Retraining weekly on the server adds ~tenths of a joule per
+        5-minute cycle — 'a less frequent task' indeed."""
+        model, shape, _pi, server = self.make_models()
+        cloud = training_cost(model, shape, 1647, 4, server)
+        report = retraining_amortization(cloud, retraining_interval_s=7 * DAY)
+        assert report.extra_joules_per_cycle < 20.0
+        assert report.cycles_between_retraining == pytest.approx(2016)
+
+    def test_render(self):
+        model, shape, _pi, server = self.make_models()
+        cloud = training_cost(model, shape, 100, 1, server)
+        out = retraining_amortization(cloud, 7 * DAY).render()
+        assert "amortized" in out

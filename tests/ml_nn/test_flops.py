@@ -1,0 +1,80 @@
+"""Tests for FLOP counting and the inference-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.flops import InferenceCostModel, count_flops
+from repro.ml.nn.layers import Conv2d, Linear, ReLU, Sequential
+from repro.ml.nn.resnet import resnet18, small_cnn
+
+
+class TestCountFlops:
+    def test_conv_formula(self):
+        conv = Conv2d(3, 8, 3, stride=1, padding=1, bias=False, seed=0)
+        flops = count_flops(conv, (3, 10, 10))
+        assert flops == 2 * 8 * 10 * 10 * 3 * 9
+
+    def test_conv_bias_adds(self):
+        with_bias = count_flops(Conv2d(1, 4, 3, padding=1, seed=0), (1, 8, 8))
+        without = count_flops(Conv2d(1, 4, 3, padding=1, bias=False, seed=0), (1, 8, 8))
+        assert with_bias == without + 4 * 64
+
+    def test_linear_formula(self):
+        assert count_flops(Linear(128, 10, bias=False, seed=0), (128, 1, 1)) == 2 * 128 * 10
+
+    def test_sequential_sums(self):
+        conv = Conv2d(1, 2, 3, padding=1, seed=0)
+        net = Sequential([conv, ReLU()])
+        assert count_flops(net, (1, 8, 8)) == count_flops(conv, (1, 8, 8)) + 2 * 64
+
+    def test_resnet18_scale(self):
+        """Full-width ResNet-18 at 100x100 grayscale is ~0.5-1.5 GFLOPs."""
+        model = resnet18(in_channels=1, width=1.0, seed=0)
+        flops = count_flops(model, (1, 100, 100))
+        assert 3e8 < flops < 2e9
+
+    def test_flops_scale_with_pixels(self):
+        """Convolution FLOPs grow ~linearly with pixel count (quadratic in
+        side length) — the mechanism behind Figure 5's energy curve."""
+        model = resnet18(in_channels=1, width=0.25, seed=0)
+        f100 = count_flops(model, (1, 100, 100))
+        f200 = count_flops(model, (1, 200, 200))
+        assert f200 / f100 == pytest.approx(4.0, rel=0.25)
+
+    def test_small_cnn_counts(self):
+        assert count_flops(small_cnn(seed=0), (1, 28, 28)) > 0
+
+    def test_unsupported_module(self):
+        with pytest.raises(TypeError):
+            count_flops(object(), (1, 8, 8))
+
+
+class TestInferenceCostModel:
+    def test_calibration_matches_anchor(self):
+        """Calibrated against the paper's 100x100 anchor: 37.6 s / 94.8 J."""
+        model = resnet18(in_channels=1, seed=0)
+        flops = count_flops(model, (1, 100, 100))
+        cost = InferenceCostModel.calibrate(
+            anchor_flops=flops, anchor_seconds=37.6, active_watts=94.8 / 37.6, fixed_overhead_s=5.0
+        )
+        t, e = cost.cost(flops)
+        assert t == pytest.approx(37.6)
+        assert e == pytest.approx(94.8)
+
+    def test_time_affine_in_flops(self):
+        cost = InferenceCostModel(active_watts=2.5, effective_flops_per_s=1e9, fixed_overhead_s=1.0)
+        assert cost.seconds(0) == 1.0
+        assert cost.seconds(2e9) == pytest.approx(3.0)
+
+    def test_energy_proportional_to_time(self):
+        cost = InferenceCostModel(active_watts=2.0, effective_flops_per_s=1e9)
+        assert cost.joules(1e9) == pytest.approx(2.0)
+
+    def test_overhead_must_be_below_anchor(self):
+        with pytest.raises(ValueError):
+            InferenceCostModel.calibrate(1e9, 10.0, 2.0, fixed_overhead_s=10.0)
+
+    def test_negative_flops_rejected(self):
+        cost = InferenceCostModel(active_watts=1.0, effective_flops_per_s=1e9)
+        with pytest.raises(ValueError):
+            cost.seconds(-1.0)

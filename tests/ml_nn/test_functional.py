@@ -1,0 +1,113 @@
+"""Tests for im2col/col2im, softmax and cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.functional import (
+    col2im,
+    conv_output_size,
+    cross_entropy_loss,
+    im2col,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(7, 7, 2, 3) == 4  # ResNet stem on 7px input
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.zeros((2, 3, 8, 8))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 3 * 9)
+
+    def test_patch_content(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols, oh, ow = im2col(x, 2, 2, 2, 0)
+        assert (oh, ow) == (2, 2)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_matches_direct_convolution(self, rng):
+        """im2col @ W.T equals a naive direct convolution."""
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        out = (cols @ w.reshape(3, -1).T).reshape(1, oh, ow, 3).transpose(0, 3, 1, 2)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((1, 3, 6, 6))
+        for o in range(3):
+            for i in range(6):
+                for j in range(6):
+                    naive[0, o, i, j] = np.sum(xp[0, :, i : i + 3, j : j + 3] * w[o])
+        np.testing.assert_allclose(out, naive, rtol=1e-10)
+
+    def test_col2im_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols, oh, ow = im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im(y, x.shape, 3, 3, 2, 1))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_shape_validation(self):
+        with pytest.raises(ValueError):
+            col2im(np.zeros((4, 9)), (1, 1, 8, 8), 3, 3, 1, 1)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(5, 4)), axis=1)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(p, [[0.5, 0.5]])
+
+    def test_shift_invariance(self, rng):
+        z = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0), atol=1e-12)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((4, 3))
+        loss, _ = cross_entropy_loss(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3.0))
+
+    def test_gradient_finite_difference(self, rng):
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([1, 0, 3])
+        _, grad = cross_entropy_loss(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                lp = logits.copy()
+                lp[i, j] += eps
+                lm = logits.copy()
+                lm[i, j] -= eps
+                num = (cross_entropy_loss(lp, targets)[0] - cross_entropy_loss(lm, targets)[0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, abs=1e-6)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_requires_2d_logits(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros(3), np.array([0]))

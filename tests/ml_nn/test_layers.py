@@ -1,0 +1,212 @@
+"""Layer tests: shapes plus finite-difference gradient checks.
+
+The gradient checker perturbs inputs and parameters and compares the
+numerical derivative of a scalar loss (sum of outputs weighted by a fixed
+random matrix) against the analytic backward pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+
+def check_input_gradient(layer, x, training=True, atol=1e-5):
+    """Finite-difference check of dLoss/dx for loss = sum(W ⊙ forward(x))."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=training)
+    w = rng.normal(size=out.shape)
+    grad_analytic = layer.backward(w)
+    eps = 1e-6
+    flat = x.ravel()
+    idx = rng.choice(flat.size, size=min(20, flat.size), replace=False)
+    for i in idx:
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = float(np.sum(layer.forward(x, training=training) * w))
+        flat[i] = orig - eps
+        fm = float(np.sum(layer.forward(x, training=training) * w))
+        flat[i] = orig
+        num = (fp - fm) / (2 * eps)
+        assert grad_analytic.ravel()[i] == pytest.approx(num, abs=atol), f"input grad at {i}"
+
+
+def check_param_gradient(layer, x, training=True, atol=1e-5):
+    """Finite-difference check of dLoss/dtheta for every parameter."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=training)
+    w = rng.normal(size=out.shape)
+    layer.zero_grad()
+    layer.forward(x, training=training)
+    layer.backward(w)
+    eps = 1e-6
+    for p in layer.parameters():
+        flat = p.data.ravel()
+        gflat = p.grad.ravel()
+        idx = rng.choice(flat.size, size=min(10, flat.size), replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + eps
+            fp = float(np.sum(layer.forward(x, training=training) * w))
+            flat[i] = orig - eps
+            fm = float(np.sum(layer.forward(x, training=training) * w))
+            flat[i] = orig
+            num = (fp - fm) / (2 * eps)
+            assert gflat[i] == pytest.approx(num, abs=atol), f"{p.name} grad at {i}"
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, seed=0)
+        out = conv.forward(rng.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_input_gradient(self, rng):
+        conv = Conv2d(2, 3, 3, stride=1, padding=1, seed=0)
+        check_input_gradient(conv, rng.normal(size=(2, 2, 5, 5)))
+
+    def test_param_gradient(self, rng):
+        conv = Conv2d(2, 3, 3, stride=2, padding=1, seed=0)
+        check_param_gradient(conv, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_no_bias(self, rng):
+        conv = Conv2d(1, 2, 3, bias=False, seed=0)
+        assert len(conv.parameters()) == 1
+
+    def test_channel_mismatch(self, rng):
+        conv = Conv2d(3, 8, 3)
+        with pytest.raises(ValueError):
+            conv.forward(rng.normal(size=(1, 2, 8, 8)))
+
+    def test_he_initialization_scale(self):
+        conv = Conv2d(16, 32, 3, seed=0)
+        fan_in = 16 * 9
+        assert conv.weight.data.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.1)
+
+
+class TestBatchNorm2d:
+    def test_training_normalizes_batch(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        out = bn.forward(x, training=True)
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx(np.zeros(4), abs=1e-9)
+        assert out.std(axis=(0, 2, 3)) == pytest.approx(np.ones(4), rel=1e-3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(5.0, 1.0, size=(16, 2, 4, 4))
+        for _ in range(20):
+            bn.forward(x, training=True)
+        out = bn.forward(x, training=False)
+        assert abs(out.mean()) < 0.2
+
+    def test_input_gradient_training(self, rng):
+        bn = BatchNorm2d(3)
+        check_input_gradient(bn, rng.normal(size=(4, 3, 3, 3)), training=True, atol=1e-4)
+
+    def test_param_gradient(self, rng):
+        bn = BatchNorm2d(3)
+        check_param_gradient(bn, rng.normal(size=(4, 3, 3, 3)), training=True, atol=1e-4)
+
+    def test_eval_gradient(self, rng):
+        bn = BatchNorm2d(2)
+        bn.forward(rng.normal(size=(8, 2, 4, 4)), training=True)  # seed running stats
+        check_input_gradient(bn, rng.normal(size=(4, 2, 3, 3)), training=False)
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(3, 4)) + 0.1  # keep away from the kink
+        check_input_gradient(ReLU(), x)
+
+
+class TestMaxPool2d:
+    def test_shape(self, rng):
+        pool = MaxPool2d(2)
+        out = pool.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_resnet_stem_pool(self, rng):
+        pool = MaxPool2d(3, stride=2, padding=1)
+        out = pool.forward(rng.normal(size=(1, 4, 50, 50)))
+        assert out.shape == (1, 4, 25, 25)
+
+    def test_gradient(self, rng):
+        pool = MaxPool2d(2)
+        check_input_gradient(pool, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_gradient_routes_to_argmax(self):
+        x = np.array([[[[1.0, 5.0], [2.0, 3.0]]]])
+        pool = MaxPool2d(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        np.testing.assert_array_equal(grad, [[[[0, 1], [0, 0]]]])
+
+
+class TestGlobalAvgPoolFlattenLinear:
+    def test_gap(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = GlobalAvgPool2d().forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+
+    def test_gap_gradient(self, rng):
+        check_input_gradient(GlobalAvgPool2d(), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_flatten_roundtrip(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        f = Flatten()
+        out = f.forward(x)
+        assert out.shape == (2, 48)
+        assert f.backward(out).shape == x.shape
+
+    def test_linear_shapes(self, rng):
+        lin = Linear(8, 3, seed=0)
+        assert lin.forward(rng.normal(size=(5, 8))).shape == (5, 3)
+
+    def test_linear_gradients(self, rng):
+        lin = Linear(6, 4, seed=0)
+        x = rng.normal(size=(3, 6))
+        check_input_gradient(lin, x)
+        check_param_gradient(lin, x)
+
+    def test_linear_dim_check(self, rng):
+        with pytest.raises(ValueError):
+            Linear(8, 3).forward(rng.normal(size=(2, 7)))
+
+
+class TestSequential:
+    def test_chains(self, rng):
+        net = Sequential([Conv2d(1, 2, 3, padding=1, seed=0), ReLU(), GlobalAvgPool2d(), ])
+        out = net.forward(rng.normal(size=(2, 1, 6, 6)))
+        assert out.shape == (2, 2)
+
+    def test_gradient_through_chain(self, rng):
+        net = Sequential([
+            Conv2d(1, 2, 3, padding=1, seed=0),
+            BatchNorm2d(2),
+            ReLU(),
+            GlobalAvgPool2d(),
+        ])
+        check_input_gradient(net, rng.normal(size=(2, 1, 5, 5)), atol=1e-4)
+
+    def test_parameters_aggregated(self):
+        net = Sequential([Conv2d(1, 2, 3, seed=0), BatchNorm2d(2), Linear(2, 2, seed=0)])
+        assert len(net.parameters()) == 2 + 2 + 2

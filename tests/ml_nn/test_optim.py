@@ -1,0 +1,63 @@
+"""Tests for SGD."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.layers import Parameter
+from repro.ml.nn.optim import SGD
+
+
+def quadratic_param(x0=5.0):
+    return Parameter(np.array([x0]), "x")
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad[:] = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_param()
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                p.grad[:] = 2 * p.data
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+        opt.zero_grad()  # zero loss gradient; only decay acts
+        opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        p.grad[:] = 3.0
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad[0] == 0.0
+
+    def test_set_lr(self):
+        opt = SGD([quadratic_param()], lr=0.1)
+        opt.set_lr(0.01)
+        assert opt.lr == 0.01
+        with pytest.raises(ValueError):
+            opt.set_lr(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], momentum=1.0)

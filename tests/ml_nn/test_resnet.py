@@ -1,0 +1,111 @@
+"""Tests for the ResNet builder and BasicBlock."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.resnet import BasicBlock, ResNet, resnet18, small_cnn
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_shape(self, rng):
+        block = BasicBlock(4, 4, stride=1, seed=0)
+        out = block.forward(rng.normal(size=(2, 4, 8, 8)))
+        assert out.shape == (2, 4, 8, 8)
+        assert block.shortcut is None
+
+    def test_projection_shortcut_on_stride(self, rng):
+        block = BasicBlock(4, 8, stride=2, seed=0)
+        out = block.forward(rng.normal(size=(2, 4, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+        assert block.shortcut is not None
+
+    def test_gradient_flows_through_both_branches(self, rng):
+        block = BasicBlock(2, 2, stride=1, seed=0)
+        x = rng.normal(size=(2, 2, 4, 4))
+        out = block.forward(x, training=True)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert np.any(grad != 0)
+
+    def test_finite_difference_gradient(self, rng):
+        block = BasicBlock(2, 3, stride=2, seed=0)
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = np.random.default_rng(0).normal(size=block.forward(x, training=True).shape)
+        block.forward(x, training=True)
+        grad = block.backward(w)
+        eps = 1e-6
+        flat = x.ravel()
+        for i in np.random.default_rng(1).choice(flat.size, size=8, replace=False):
+            orig = flat[i]
+            flat[i] = orig + eps
+            fp = float(np.sum(block.forward(x, training=True) * w))
+            flat[i] = orig - eps
+            fm = float(np.sum(block.forward(x, training=True) * w))
+            flat[i] = orig
+            assert grad.ravel()[i] == pytest.approx((fp - fm) / (2 * eps), abs=1e-4)
+
+
+class TestResNet18:
+    def test_output_shape(self, rng):
+        model = resnet18(num_classes=2, in_channels=1, width=0.125, seed=0)
+        logits = model.forward(rng.normal(size=(2, 1, 64, 64)))
+        assert logits.shape == (2, 2)
+
+    def test_layer_count_matches_resnet18(self):
+        """[2,2,2,2] BasicBlocks -> 8 blocks, 17 convs + 3 projections + head."""
+        model = resnet18(width=0.0625, seed=0)
+        from repro.ml.nn.layers import Conv2d
+
+        convs = [l for l in _walk_layers(model.backbone) if isinstance(l, Conv2d)]
+        # stem + 16 block convs + 3 projection convs = 20.
+        assert len(convs) == 20
+
+    def test_width_scales_channels(self):
+        assert resnet18(width=1.0).feature_channels == 512
+        assert resnet18(width=0.5).feature_channels == 256
+
+    def test_parameter_count_full_width(self):
+        """Full ResNet-18 has ~11.2 M parameters (2-class, 1-channel stem)."""
+        model = resnet18(num_classes=2, in_channels=1, width=1.0, seed=0)
+        n_params = sum(p.data.size for p in model.parameters())
+        assert 10_500_000 < n_params < 11_500_000
+
+    def test_predict_batched(self, rng):
+        model = resnet18(num_classes=2, in_channels=1, width=0.0625, seed=0)
+        preds = model.predict(rng.normal(size=(10, 1, 32, 32)), batch_size=4)
+        assert preds.shape == (10,)
+        assert set(preds.tolist()) <= {0, 1}
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(1, 1, 32, 32))
+        a = resnet18(width=0.0625, seed=3).forward(x)
+        b = resnet18(width=0.0625, seed=3).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSmallCnn:
+    def test_forward_and_backward(self, rng):
+        model = small_cnn(seed=0)
+        x = rng.normal(size=(4, 1, 28, 28))
+        logits = model.forward(x, training=True)
+        assert logits.shape == (4, 2)
+        grad = model.backward(np.ones_like(logits) / 4)
+        assert grad.shape == x.shape
+
+
+def _walk_layers(module):
+    from repro.ml.nn.layers import Sequential
+    from repro.ml.nn.resnet import BasicBlock
+
+    if isinstance(module, Sequential):
+        for layer in module.layers:
+            yield from _walk_layers(layer)
+    elif isinstance(module, BasicBlock):
+        yield module.conv1
+        yield module.bn1
+        yield module.conv2
+        yield module.bn2
+        if module.shortcut is not None:
+            yield from _walk_layers(module.shortcut)
+    else:
+        yield module

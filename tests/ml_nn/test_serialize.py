@@ -1,0 +1,92 @@
+"""Tests for model weight serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.layers import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.ml.nn.resnet import resnet18, small_cnn
+from repro.ml.nn.serialize import load_model, load_state_dict, save_model, state_dict
+
+
+def mutate(model, rng):
+    for p in model.parameters():
+        p.data += rng.normal(size=p.data.shape)
+
+
+class TestStateDict:
+    def test_collects_all_parameters(self):
+        model = small_cnn(seed=0)
+        state = state_dict(model)
+        n_state_params = sum(1 for k in state if not k.endswith(("running_mean", "running_var")))
+        assert n_state_params == len(model.parameters())
+
+    def test_includes_batchnorm_stats(self):
+        model = Sequential([Conv2d(1, 2, 3, seed=0), BatchNorm2d(2)])
+        state = state_dict(model)
+        assert any(k.endswith("running_mean") for k in state)
+
+    def test_keys_are_unique_paths(self):
+        model = resnet18(width=0.0625, seed=0)
+        state = state_dict(model)
+        assert len(state) == len(set(state))
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip_in_memory(self, rng):
+        model = small_cnn(seed=1)
+        x = rng.normal(size=(2, 1, 16, 16))
+        model.forward(x, training=True)  # move running stats off their init
+        expected = model.forward(x, training=False)
+
+        buf = io.BytesIO()
+        save_model(model, buf)
+        buf.seek(0)
+
+        fresh = small_cnn(seed=99)  # different init
+        assert not np.allclose(fresh.forward(x, training=False), expected)
+        load_model(fresh, buf)
+        np.testing.assert_allclose(fresh.forward(x, training=False), expected, atol=1e-12)
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        model = small_cnn(seed=2)
+        x = rng.normal(size=(1, 1, 12, 12))
+        expected = model.forward(x, training=False)
+        path = tmp_path / "weights.npz"
+        save_model(model, str(path))
+        fresh = small_cnn(seed=3)
+        load_model(fresh, str(path))
+        np.testing.assert_allclose(fresh.forward(x, training=False), expected, atol=1e-12)
+
+    def test_resnet_roundtrip(self, rng):
+        model = resnet18(width=0.0625, seed=4)
+        buf = io.BytesIO()
+        save_model(model, buf)
+        buf.seek(0)
+        fresh = resnet18(width=0.0625, seed=5)
+        mutate(fresh, rng)
+        load_model(fresh, buf)
+        for a, b in zip(model.parameters(), fresh.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestValidation:
+    def test_architecture_mismatch_rejected(self):
+        small = Sequential([Linear(4, 2, seed=0)])
+        big = Sequential([Linear(4, 2, seed=0), ReLU(), Linear(2, 2, seed=0)])
+        with pytest.raises(ValueError, match="state mismatch"):
+            load_state_dict(big, state_dict(small))
+
+    def test_shape_mismatch_rejected(self):
+        a = Sequential([Linear(4, 2, seed=0)])
+        b = Sequential([Linear(4, 3, seed=0)])
+        state = state_dict(a)
+        with pytest.raises(ValueError):
+            load_state_dict(b, state)
+
+    def test_format_version_checked(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, __format__=np.array(99), junk=np.zeros(3))
+        with pytest.raises(ValueError, match="format"):
+            load_model(small_cnn(seed=0), str(path))

@@ -1,0 +1,66 @@
+"""Tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.resnet import small_cnn
+from repro.ml.nn.train import TrainConfig, Trainer
+
+
+def easy_images(rng, n=40, size=12):
+    """Class 1 has a bright square top-left; class 0 bottom-right."""
+    X = rng.normal(0, 0.3, size=(n, 1, size, size))
+    y = (np.arange(n) % 2).astype(int)
+    half = size // 2
+    for i in range(n):
+        if y[i] == 1:
+            X[i, 0, :half, :half] += 2.0
+        else:
+            X[i, 0, half:, half:] += 2.0
+    return X, y
+
+
+class TestTrainer:
+    def test_learns_easy_task(self, rng):
+        X, y = easy_images(rng)
+        model = small_cnn(seed=0)
+        trainer = Trainer(model, TrainConfig(epochs=6, lr=0.02, batch_size=8, seed=0))
+        history = trainer.fit(X, y)
+        assert history.train_accuracies[-1] >= 0.9
+        assert history.losses[-1] < history.losses[0]
+
+    def test_paper_defaults(self):
+        cfg = TrainConfig()
+        assert cfg.epochs == 4
+        assert cfg.lr == 0.001
+
+    def test_validation_tracking(self, rng):
+        X, y = easy_images(rng, n=48)
+        trainer = Trainer(small_cnn(seed=0), TrainConfig(epochs=2, lr=0.02, batch_size=8, seed=0))
+        history = trainer.fit(X[:32], y[:32], X_val=X[32:], y_val=y[32:])
+        assert len(history.val_accuracies) == 2
+
+    def test_evaluate(self, rng):
+        X, y = easy_images(rng)
+        trainer = Trainer(small_cnn(seed=0), TrainConfig(epochs=5, lr=0.02, batch_size=8, seed=0))
+        trainer.fit(X, y)
+        assert trainer.evaluate(X, y) >= 0.85
+
+    def test_reproducible(self, rng):
+        X, y = easy_images(rng, n=24)
+        h1 = Trainer(small_cnn(seed=1), TrainConfig(epochs=2, lr=0.01, seed=5)).fit(X, y)
+        h2 = Trainer(small_cnn(seed=1), TrainConfig(epochs=2, lr=0.01, seed=5)).fit(X, y)
+        assert h1.losses == h2.losses
+
+    def test_input_validation(self, rng):
+        trainer = Trainer(small_cnn(seed=0), TrainConfig(epochs=1))
+        with pytest.raises(ValueError):
+            trainer.fit(rng.normal(size=(4, 12, 12)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            trainer.fit(rng.normal(size=(4, 1, 12, 12)), np.zeros(3, dtype=int))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(lr=0.0)

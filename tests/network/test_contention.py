@@ -1,0 +1,140 @@
+"""Tests for the slot-contention model (loss B from first principles)."""
+
+import numpy as np
+import pytest
+
+from repro.network.contention import (
+    fitted_loss_b_seconds_per_client,
+    simulate_slot_contention,
+    slot_transfer_time,
+)
+from repro.network.link import LinkModel
+
+
+def quiet_link(bps=10e6, cv=0.0, handshake=0.0):
+    return LinkModel(nominal_bps=bps, cv=cv, handshake_s=handshake)
+
+
+class TestAnalytic:
+    def test_linear_in_clients(self):
+        t1 = slot_transfer_time(1_000_000, 1, 10e6)
+        t5 = slot_transfer_time(1_000_000, 5, 10e6)
+        assert t5 == pytest.approx(5 * t1)
+
+    def test_single_client_baseline(self):
+        assert slot_transfer_time(1_250_000, 1, 10e6) == pytest.approx(1.0)
+
+    def test_overhead_term(self):
+        t = slot_transfer_time(0, 4, 10e6, per_client_overhead_s=0.5)
+        assert t == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_transfer_time(100, 0, 1e6)
+        with pytest.raises(ValueError):
+            slot_transfer_time(100, 1, 0.0)
+
+
+class TestSimulation:
+    def test_deterministic_matches_analytic(self):
+        """With cv=0 and own rates >= fair share, processor sharing finishes
+        everyone together at the analytic time."""
+        link = quiet_link()
+        for k in (1, 2, 5, 10):
+            result = simulate_slot_contention(1_000_000, k, link, seed=0)
+            expected = slot_transfer_time(1_000_000, k, link.nominal_bps)
+            assert result.slot_receive_time == pytest.approx(expected, rel=1e-9)
+
+    def test_handshake_added(self):
+        link = quiet_link(handshake=1.5)
+        result = simulate_slot_contention(1_000_000, 2, link, seed=0)
+        assert result.slot_receive_time == pytest.approx(1.5 + 2 * 0.8, rel=1e-9)
+
+    def test_slow_client_does_not_slow_others(self):
+        """A client capped by its own radio frees channel for the rest."""
+        link = LinkModel(nominal_bps=10e6, cv=1.0, handshake_s=0.0)
+        result = simulate_slot_contention(1_000_000, 6, link, seed=3)
+        # Completion times are not all equal under heterogeneous rates.
+        assert result.completion_times.std() > 0
+
+    def test_receive_time_monotone_in_occupancy(self):
+        link = quiet_link(cv=0.2)
+        times = [
+            np.mean([
+                simulate_slot_contention(500_000, k, link, seed=s).slot_receive_time
+                for s in range(10)
+            ])
+            for k in (1, 3, 6, 10)
+        ]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_zero_payload(self):
+        link = quiet_link(handshake=0.7)
+        result = simulate_slot_contention(0, 3, link, seed=0)
+        assert result.slot_receive_time == pytest.approx(0.7)
+
+
+class TestOverrunProbability:
+    def test_deterministic_link_step_function(self):
+        from repro.network.contention import overrun_probability
+
+        link = quiet_link(bps=10e6, handshake=0.0)  # 0.8 s for 1 MB
+        assert overrun_probability(1_000_000, link, window_s=1.0, n_trials=100) == 0.0
+        assert overrun_probability(1_000_000, link, window_s=0.5, n_trials=100) == 1.0
+
+    def test_wider_window_lowers_overrun(self):
+        from repro.network.contention import overrun_probability
+        from repro.network.wifi import WIFI_80211N_2G4
+
+        payload = 2_000_000
+        tight = overrun_probability(payload, WIFI_80211N_2G4, window_s=15.0, seed=1)
+        wide = overrun_probability(payload, WIFI_80211N_2G4, window_s=20.0, seed=1)
+        assert wide < tight
+
+    def test_guard_time_covers_most_of_the_tail(self):
+        """The 1.5 s guard cuts the overrun rate for the paper's audio
+        upload, but a long-tailed link still overruns sometimes — the
+        residual the paper's synchronized-slot design tolerates."""
+        from repro.network.contention import overrun_probability
+        from repro.network.wifi import PAPER_CYCLE_PAYLOAD_BYTES, WIFI_80211N_2G4
+
+        no_guard = overrun_probability(PAPER_CYCLE_PAYLOAD_BYTES, WIFI_80211N_2G4, 15.1, seed=2)
+        with_guard = overrun_probability(PAPER_CYCLE_PAYLOAD_BYTES, WIFI_80211N_2G4, 16.6, seed=2)
+        assert with_guard < no_guard
+        assert 0.0 < with_guard < 0.5
+
+    def test_validation(self):
+        from repro.network.contention import overrun_probability
+
+        with pytest.raises(ValueError):
+            overrun_probability(100, quiet_link(), window_s=0.0)
+        with pytest.raises(ValueError):
+            overrun_probability(100, quiet_link(), window_s=1.0, n_trials=0)
+
+
+class TestLossBDerivation:
+    def test_paper_parameter_magnitude(self):
+        """The paper's 1.5 s/client loss-B slope emerges from its own
+        payload (~2 MB) on the deployed link (~1.25 Mbit/s shared)."""
+        from repro.network.wifi import PAPER_CYCLE_PAYLOAD_BYTES, WIFI_80211N_2G4
+
+        # The per-cycle *audio* payload is what the edge+cloud scenario
+        # uploads in its 15 s window; sharing that upload among slot-mates
+        # stretches it by roughly payload*8/C per client.
+        audio_payload = 3 * 441_000 // 3  # one 10-s clip per hive
+        slope = fitted_loss_b_seconds_per_client(
+            audio_payload, WIFI_80211N_2G4, max_clients=8, n_trials=10, seed=0
+        )
+        # payload*8/C = 441000*8/1.25e6 ≈ 2.8 s; the paper's 1.5 s/client sits
+        # in the same regime (their channel is shared less than fully fairly).
+        assert 1.0 < slope < 5.0
+
+    def test_slope_scales_with_payload(self):
+        link = quiet_link(cv=0.1)
+        small = fitted_loss_b_seconds_per_client(100_000, link, max_clients=6, n_trials=5, seed=1)
+        large = fitted_loss_b_seconds_per_client(400_000, link, max_clients=6, n_trials=5, seed=1)
+        assert large == pytest.approx(4 * small, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fitted_loss_b_seconds_per_client(100, quiet_link(), max_clients=1)

@@ -1,0 +1,70 @@
+"""Tests for the in-hive microclimate model."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.hive import BROOD_SETPOINT_C, HiveMicroclimate
+from repro.sensing.traces import Trace
+from repro.util.units import DAY, HOUR
+
+
+def ambient(mean=12.0, amplitude=6.0, duration=2 * DAY, step=300.0):
+    n = int(duration / step)
+    t = np.arange(n) * step
+    vals = mean + amplitude * np.cos(2 * np.pi * (t - 15 * HOUR) / DAY)
+    return Trace("ambient", 0.0, step, vals)
+
+
+class TestHiveMicroclimate:
+    def test_strong_colony_regulates_to_setpoint(self):
+        hive = HiveMicroclimate(colony_strength=1.0)
+        inside = hive.simulate(ambient(), seed=0)
+        # After settling, the brood nest sits near 35 degC.
+        settled = inside.values[len(inside) // 2 :]
+        assert settled.mean() == pytest.approx(BROOD_SETPOINT_C, abs=1.5)
+        assert settled.std() < 1.0
+
+    def test_empty_hive_tracks_ambient(self):
+        # The paper's Figure 2a trace predates the colony: inside follows
+        # outside through the box's thermal lag.
+        hive = HiveMicroclimate(colony_strength=0.0)
+        amb = ambient()
+        inside = hive.simulate(amb, seed=0)
+        settled = slice(len(inside) // 2, None)
+        assert inside.values[settled].mean() == pytest.approx(amb.values[settled].mean(), abs=1.5)
+        # Lag damps the swing.
+        assert inside.values[settled].std() < amb.values[settled].std()
+
+    def test_partial_colony_between_regimes(self):
+        amb = ambient()
+        weak = HiveMicroclimate(colony_strength=0.3).simulate(amb, seed=0)
+        strong = HiveMicroclimate(colony_strength=1.0).simulate(amb, seed=0)
+        half = len(amb) // 2
+        assert amb.values[half:].mean() < weak.values[half:].mean() < strong.values[half:].mean()
+
+    def test_humidity_strong_colony_near_60(self):
+        hive = HiveMicroclimate(colony_strength=1.0)
+        amb = ambient()
+        inside_t = hive.simulate(amb, seed=0)
+        amb_h = Trace("h", 0.0, amb.step, np.full(len(amb), 85.0))
+        hum = hive.humidity(inside_t, amb_h, seed=0)
+        assert hum.values.mean() == pytest.approx(60.0, abs=3.0)
+
+    def test_humidity_empty_hive_tracks_ambient(self):
+        hive = HiveMicroclimate(colony_strength=0.0)
+        amb = ambient()
+        inside_t = hive.simulate(amb, seed=0)
+        amb_h = Trace("h", 0.0, amb.step, np.full(len(amb), 85.0))
+        hum = hive.humidity(inside_t, amb_h, seed=0)
+        assert hum.values.mean() == pytest.approx(85.0, abs=3.0)
+
+    def test_misaligned_traces_rejected(self):
+        hive = HiveMicroclimate()
+        amb = ambient()
+        short = Trace("h", 0.0, amb.step, np.full(3, 50.0))
+        with pytest.raises(ValueError):
+            hive.humidity(hive.simulate(amb, seed=0), short)
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            HiveMicroclimate().simulate(Trace("a", 0.0, 60.0, np.array([1.0])))

@@ -1,0 +1,72 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.traces import Trace, resample
+
+
+def make(values, step=60.0, start=0.0):
+    return Trace("x", start, step, np.asarray(values, dtype=float))
+
+
+class TestTrace:
+    def test_times(self):
+        tr = make([1, 2, 3], step=10.0, start=5.0)
+        assert tr.times.tolist() == [5.0, 15.0, 25.0]
+        assert tr.end == 25.0
+
+    def test_interpolation(self):
+        tr = make([0.0, 10.0], step=10.0)
+        assert tr.at(5.0) == pytest.approx(5.0)
+
+    def test_interpolation_clamps(self):
+        tr = make([1.0, 2.0], step=10.0)
+        assert tr.at(-100.0) == 1.0
+        assert tr.at(100.0) == 2.0
+
+    def test_window(self):
+        tr = make(range(10), step=1.0)
+        w = tr.window(3.0, 6.0)
+        assert w.values.tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert w.start == 3.0
+
+    def test_window_outside_raises(self):
+        tr = make([1, 2], step=1.0)
+        with pytest.raises(ValueError):
+            tr.window(100.0, 200.0)
+
+    def test_window_reversed_raises(self):
+        tr = make([1, 2], step=1.0)
+        with pytest.raises(ValueError):
+            tr.window(2.0, 1.0)
+
+    def test_map(self):
+        tr = make([1.0, 2.0])
+        doubled = tr.map(lambda v: v * 2, name="y")
+        assert doubled.values.tolist() == [2.0, 4.0]
+        assert doubled.name == "y"
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Trace("x", 0.0, 1.0, np.zeros((2, 2)))
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            Trace("x", 0.0, 0.0, np.zeros(3))
+
+
+class TestResample:
+    def test_downsample(self):
+        tr = make(range(11), step=1.0)
+        r = resample(tr, 2.0)
+        assert r.values.tolist() == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_upsample_interpolates(self):
+        tr = make([0.0, 10.0], step=10.0)
+        r = resample(tr, 5.0)
+        assert r.values.tolist() == [0.0, 5.0, 10.0]
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            resample(make([1.0]), 1.0)

@@ -1,0 +1,69 @@
+"""Tests for the synthetic weather generator."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.weather import WeatherModel
+from repro.util.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def week():
+    return WeatherModel().generate(duration=7 * DAY, step=300.0, seed=2)
+
+
+class TestWeatherTrace:
+    def test_aligned_traces(self, week):
+        n = len(week.temperature_c)
+        assert len(week.humidity_pct) == n
+        assert len(week.cloud_cover) == n
+        assert len(week.irradiance) == n
+
+    def test_reproducible(self):
+        a = WeatherModel().generate(duration=DAY, step=300.0, seed=9)
+        b = WeatherModel().generate(duration=DAY, step=300.0, seed=9)
+        np.testing.assert_array_equal(a.temperature_c.values, b.temperature_c.values)
+
+    def test_seeds_differ(self):
+        a = WeatherModel().generate(duration=DAY, step=300.0, seed=1)
+        b = WeatherModel().generate(duration=DAY, step=300.0, seed=2)
+        assert not np.array_equal(a.temperature_c.values, b.temperature_c.values)
+
+    def test_temperature_plausible(self, week):
+        vals = week.temperature_c.values
+        assert vals.mean() == pytest.approx(14.0, abs=3.0)
+        assert vals.std() > 1.0  # diurnal swing present
+        assert np.all(vals > -20) and np.all(vals < 50)
+
+    def test_diurnal_cycle_warmest_afternoon(self, week):
+        tod = week.times % DAY
+        afternoon = week.temperature_c.values[(tod > 13 * HOUR) & (tod < 17 * HOUR)]
+        predawn = week.temperature_c.values[(tod > 3 * HOUR) & (tod < 6 * HOUR)]
+        assert afternoon.mean() > predawn.mean() + 3.0
+
+    def test_cloud_cover_bounded(self, week):
+        c = week.cloud_cover.values
+        assert np.all(c >= 0.0) and np.all(c <= 1.0)
+
+    def test_irradiance_zero_at_night(self, week):
+        tod = week.times % DAY
+        night = week.irradiance.values[(tod < 5 * HOUR)]
+        assert np.all(night == 0.0)
+
+    def test_irradiance_positive_at_noon(self, week):
+        tod = week.times % DAY
+        noon = week.irradiance.values[(tod > 12 * HOUR) & (tod < 14 * HOUR)]
+        assert noon.mean() > 200.0
+
+    def test_cloud_reduces_irradiance(self):
+        sunny = WeatherModel(cloudiness=0.05).generate(duration=2 * DAY, step=300.0, seed=4)
+        overcast = WeatherModel(cloudiness=0.9).generate(duration=2 * DAY, step=300.0, seed=4)
+        assert overcast.irradiance.values.sum() < sunny.irradiance.values.sum()
+
+    def test_humidity_bounded(self, week):
+        h = week.humidity_pct.values
+        assert np.all(h >= 20.0) and np.all(h <= 100.0)
+
+    def test_invalid_daylight_window(self):
+        with pytest.raises(ValueError):
+            WeatherModel(sunrise_s=10 * HOUR, sunset_s=9 * HOUR)

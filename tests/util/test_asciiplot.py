@@ -1,0 +1,79 @@
+"""Tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiplot import line_plot, plot_experiment
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        x = np.arange(10)
+        out = line_plot(x, {"y": x * 2.0}, width=40, height=8, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert sum(1 for l in lines if "|" in l) == 8
+        assert "*" in out
+        assert "[* y]" in out
+
+    def test_extremes_on_borders(self):
+        x = np.array([0.0, 1.0])
+        out = line_plot(x, {"y": np.array([0.0, 10.0])}, width=20, height=5)
+        rows = [l for l in out.splitlines() if l.endswith("|")]
+        assert "*" in rows[0]  # max in the top row
+        assert "*" in rows[-1]  # min in the bottom row
+
+    def test_axis_labels(self):
+        x = np.array([5.0, 25.0])
+        out = line_plot(x, {"y": x}, width=30, height=5, x_label="clients")
+        assert "5" in out and "25" in out and "clients" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        x = np.arange(5, dtype=float)
+        out = line_plot(x, {"a": x, "b": 4 - x}, width=30, height=6)
+        assert "*" in out and "+" in out
+        assert "[* a   + b]" in out
+
+    def test_constant_series_no_crash(self):
+        x = np.arange(4, dtype=float)
+        out = line_plot(x, {"flat": np.ones(4)})
+        assert "*" in out
+
+    def test_validation(self):
+        x = np.arange(5, dtype=float)
+        with pytest.raises(ValueError):
+            line_plot(x, {})
+        with pytest.raises(ValueError):
+            line_plot(x, {"bad": np.ones(3)})
+        with pytest.raises(ValueError):
+            line_plot(np.ones(1), {"y": np.ones(1)})
+        with pytest.raises(ValueError):
+            line_plot(x, {"y": x}, width=5)
+
+
+class TestPlotExperiment:
+    def test_fig3_plots(self):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("fig3")
+        chart = plot_experiment(result)
+        assert "average_power_w" in chart
+        assert "period_s" in chart
+
+    def test_scale_polluters_excluded(self):
+        from repro.experiments.report import ExperimentResult
+
+        r = ExperimentResult("x", "t")
+        r.add_series("n_clients", np.arange(10))
+        r.add_series("energy", np.arange(10) * 100.0)
+        r.add_series("n_servers_p10", np.ones(10))
+        chart = plot_experiment(r)
+        assert "energy" in chart
+        assert "n_servers" not in chart
+
+    def test_no_x_series_returns_empty(self):
+        from repro.experiments.report import ExperimentResult
+
+        r = ExperimentResult("x", "t")
+        r.add_series("stuff", np.arange(5))
+        assert plot_experiment(r) == ""

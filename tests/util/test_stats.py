@@ -1,0 +1,72 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, summarize
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestRunningStats:
+    def test_empty_raises(self):
+        s = RunningStats()
+        with pytest.raises(ValueError):
+            _ = s.mean
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.push(3.0)
+        assert s.mean == 3.0
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == 3.0
+
+    def test_matches_numpy(self, rng):
+        data = rng.normal(5, 2, size=500)
+        s = RunningStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.std == pytest.approx(np.std(data, ddof=1))
+        assert s.minimum == data.min() and s.maximum == data.max()
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_welford_agrees_with_numpy(self, values):
+        s = RunningStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        assert s.variance == pytest.approx(np.var(values, ddof=1), rel=1e-6, abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30), st.lists(finite_floats, min_size=1, max_size=30))
+    def test_merge_equals_concatenation(self, a, b):
+        sa, sb, sc = RunningStats(), RunningStats(), RunningStats()
+        sa.extend(a)
+        sb.extend(b)
+        sc.extend(a + b)
+        merged = sa.merge(sb)
+        assert merged.count == sc.count
+        assert merged.mean == pytest.approx(sc.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(sc.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        s = RunningStats()
+        s.push(1.0)
+        merged = s.merge(RunningStats())
+        assert merged.count == 1 and merged.mean == 1.0
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single(self):
+        s = summarize([7.0])
+        assert s.std == 0.0 and s.p95 == 7.0

@@ -1,0 +1,64 @@
+"""Tests for repro.util.tabulate."""
+
+import pytest
+
+from repro.util.tabulate import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["A", "B"], [(1, 2), (3, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 6  # sep, header, sep, 2 rows, sep
+        assert "A" in lines[1] and "B" in lines[1]
+
+    def test_title(self):
+        out = render_table(["A"], [(1,)], title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_numeric_format(self):
+        out = render_table(["E"], [(190.123,)], formats=[".1f"])
+        assert "190.1" in out
+
+    def test_string_cells_untouched_by_format(self):
+        out = render_table(["E"], [("Total",)], formats=[".1f"])
+        assert "Total" in out
+
+    def test_none_cell_renders_empty(self):
+        out = render_table(["A"], [(None,)])
+        assert out  # no crash
+
+    def test_row_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [(1,)])
+
+    def test_format_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [(1, 2)], formats=[".1f"])
+
+    def test_alignment_right_for_numeric(self):
+        out = render_table(["Num"], [(7,), (100,)], formats=["d"])
+        rows = [l for l in out.splitlines() if l.startswith("|")][1:]
+        # Right-aligned: the short value is padded on the left to match "100".
+        assert rows[0] == "|   7 |"
+        assert rows[1] == "| 100 |"
+
+    def test_column_width_fits_longest(self):
+        out = render_table(["X"], [("short",), ("a much longer cell",)])
+        widths = {len(l) for l in out.splitlines() if l}
+        assert len(widths) == 1  # all lines equal width
+
+
+class TestRenderKv:
+    def test_basic(self):
+        out = render_kv([("key", "value"), ("longer key", 3)], title="T")
+        assert out.startswith("T")
+        assert "key" in out and "value" in out
+
+    def test_alignment(self):
+        out = render_kv([("a", 1), ("abc", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert render_kv([]) == ""

@@ -1,0 +1,69 @@
+"""Tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    format_duration,
+    format_energy,
+    format_power,
+    joules_to_wh,
+    mah_to_joules,
+    wh_to_joules,
+)
+
+
+class TestConversions:
+    def test_wh_to_joules(self):
+        assert wh_to_joules(1.0) == 3600.0
+
+    def test_roundtrip(self):
+        assert joules_to_wh(wh_to_joules(2.5)) == pytest.approx(2.5)
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_roundtrip_property(self, wh):
+        assert joules_to_wh(wh_to_joules(wh)) == pytest.approx(wh, rel=1e-12)
+
+    def test_mah_power_bank(self):
+        # The paper's 20 000 mAh bank at 3.7 V nominal ≈ 266 kJ ≈ 74 Wh.
+        joules = mah_to_joules(20_000)
+        assert joules == pytest.approx(266_400, rel=1e-6)
+        assert joules_to_wh(joules) == pytest.approx(74.0, rel=1e-6)
+
+    def test_time_constants(self):
+        assert MINUTE == 60 and HOUR == 3600 and DAY == 86400
+
+
+class TestFormatting:
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_duration(89.0) == "1m 29.0s"
+
+    def test_hours(self):
+        assert format_duration(2 * HOUR + 30 * MINUTE) == "2h 30m"
+
+    def test_days(self):
+        assert format_duration(DAY + 6 * HOUR) == "1d 6h"
+
+    def test_negative(self):
+        assert format_duration(-5.0).startswith("-")
+
+    def test_energy_joules(self):
+        assert format_energy(190.1) == "190.1 J"
+
+    def test_energy_kj(self):
+        assert format_energy(13744.3) == "13.74 kJ"
+
+    def test_energy_wh(self):
+        assert "Wh" in format_energy(1_000_000)
+
+    def test_power_milliwatts(self):
+        assert format_power(0.62) == "620 mW"
+
+    def test_power_watts(self):
+        assert format_power(2.14) == "2.14 W"

@@ -1,0 +1,107 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_positive(-1, "my_param")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.0, 1.0, high_inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 0.0, 1.0)
+
+    def test_open_ended(self):
+        assert check_in_range(1e9, "x", low=0.0) == 1e9
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "n") == 5
+
+    def test_accepts_numpy_int(self):
+        import numpy as np
+
+        assert check_integer(np.int32(5), "n") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(5.0, "n")
+
+    def test_minimum(self):
+        with pytest.raises(ValueError):
+            check_integer(0, "n", minimum=1)
