@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.experiments.registry import experiment_ids, run_experiment
 
 #: Experiments that accept a ``seed`` keyword.
-_SEEDABLE = {"fig2", "fig5", "fig8", "fig9", "ext-adaptive", "ext-contention"}
+_SEEDABLE = {"fig2", "fig5", "fig8", "fig9", "ext-adaptive", "ext-contention", "ext-faults"}
 
 
 def build_parser() -> argparse.ArgumentParser:

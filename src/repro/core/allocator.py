@@ -52,8 +52,26 @@ class Allocation:
     def n_clients(self) -> int:
         return sum(s.n_clients for s in self.servers)
 
+    @property
+    def client_ids(self) -> List[int]:
+        """Every allocated client id, in slot order."""
+        return [cid for srv in self.servers for slot in srv.slots for cid in slot]
+
+    def server_of(self, client_id: int) -> int:
+        """Index of the server serving ``client_id``."""
+        for srv in self.servers:
+            for slot in srv.slots:
+                if client_id in slot:
+                    return srv.server_index
+        raise KeyError(f"client {client_id} is not allocated")
+
     def validate(self) -> None:
-        """Check structural invariants; raises ``ValueError`` on violation."""
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        The ``seen`` set spans *all* servers, so a client id appearing on
+        two different servers (a failover-repack bug) is rejected, not just
+        duplicates within one server.
+        """
         seen = set()
         for srv in self.servers:
             if len(srv.slots) > self.plan.slots_per_cycle:
@@ -154,6 +172,56 @@ class BalancedPolicy:
         alloc = Allocation(tuple(servers), plan)
         alloc.validate()
         return alloc
+
+
+def repack_failed_server(
+    allocation: Allocation, failed_server_index: int
+) -> tuple:
+    """Re-pack a failed server's clients into surviving servers' free slots.
+
+    Surviving servers keep their existing assignments untouched (their
+    clients' wake-up offsets stay valid); orphaned clients fill the
+    survivors' residual capacity first-fit — topping up partially filled
+    slots to ``max_parallel``, then opening unused slots up to the plan's
+    ``slots_per_cycle``.  No new server is spun up: mid-cycle failover
+    cannot provision hardware, so clients that do not fit are returned for
+    the graceful-degradation path (local edge inference).
+
+    Returns ``(new_allocation, unplaced_client_ids)``; the new allocation
+    excludes the failed server and is re-validated, so a repack can never
+    silently duplicate a client or overfill a slot — saturating a slot to
+    the cap is allowed (and loss A then prices it accordingly).
+    """
+    failed = None
+    survivors: List[ServerAssignment] = []
+    for srv in allocation.servers:
+        if srv.server_index == failed_server_index:
+            failed = srv
+        else:
+            survivors.append(srv)
+    if failed is None:
+        known = ", ".join(str(s.server_index) for s in allocation.servers)
+        raise ValueError(f"no server {failed_server_index} in allocation (servers: {known})")
+
+    plan = allocation.plan
+    orphans = [cid for slot in failed.slots for cid in slot]
+    pos = 0
+    repacked: List[ServerAssignment] = []
+    for srv in survivors:
+        slots = [list(s) for s in srv.slots]
+        for slot in slots:
+            while pos < len(orphans) and len(slot) < plan.max_parallel:
+                slot.append(orphans[pos])
+                pos += 1
+        while pos < len(orphans) and len(slots) < plan.slots_per_cycle:
+            take = min(plan.max_parallel, len(orphans) - pos)
+            slots.append(list(orphans[pos : pos + take]))
+            pos += take
+        repacked.append(ServerAssignment(srv.server_index, tuple(tuple(s) for s in slots)))
+
+    new_alloc = Allocation(tuple(repacked), plan)
+    new_alloc.validate()
+    return new_alloc, tuple(orphans[pos:])
 
 
 class Allocator:

@@ -13,6 +13,7 @@ from typing import Tuple
 
 from repro.core.calibration import PAPER, PaperConstants
 from repro.core.tasks import TaskSequence
+from repro.energy.power import TaskPower
 from repro.util.validation import check_non_negative, check_positive
 
 
@@ -82,6 +83,40 @@ class ClientProfile:
 def client_cycle_energy(profile: ClientProfile) -> float:
     """Energy of one client cycle (convenience alias)."""
     return profile.cycle_energy
+
+
+def fallback_inference_task(model: str = "svm", constants: PaperConstants = PAPER) -> TaskPower:
+    """The local inference a client runs when the cloud is unreachable.
+
+    Graceful degradation for the edge+cloud scenario: after retries are
+    exhausted and no server survives, the client executes the queen
+    detection itself at the Table I edge cost (§V) instead of dropping the
+    cycle — the detection still happens, it just costs edge energy.
+    """
+    model = model.lower()
+    if model == "svm":
+        return TaskPower("fallback_infer_svm", constants.svm_edge_s, measured_energy=constants.svm_edge_j)
+    if model == "cnn":
+        return TaskPower("fallback_infer_cnn", constants.cnn_edge_s, measured_energy=constants.cnn_edge_j)
+    raise ValueError(f"model must be 'svm' or 'cnn', got {model!r}")
+
+
+def fallback_extra_energy(
+    profile: ClientProfile, model: str = "svm", constants: PaperConstants = PAPER
+) -> float:
+    """Marginal joules a fallback cycle adds over a normal one.
+
+    The local inference displaces sleep for its duration, so the marginal
+    cost is ``E_infer − P_sleep · t_infer``.  Raises if the inference no
+    longer fits in the client's residual sleep window.
+    """
+    task = fallback_inference_task(model, constants)
+    if task.duration > profile.sleep_duration:
+        raise ValueError(
+            f"client {profile.name!r}: fallback inference ({task.duration:.1f} s) "
+            f"exceeds the residual sleep window ({profile.sleep_duration:.1f} s)"
+        )
+    return task.energy - profile.sleep_watts * task.duration
 
 
 def average_power_for_period(

@@ -66,13 +66,35 @@ def run_des_fleet(
     n_cycles: int = 1,
     losses: Optional[LossConfig] = None,
     policy: Optional[FillingPolicy] = None,
-) -> DesFleetResult:
+    faults=None,
+    seed=None,
+):
     """Replay ``n_cycles`` of the scenario event by event.
 
     Loss model C (random client dropout) is excluded here — the DES run is
     a deterministic validator; stochastic losses are exercised at the
     analytic level where their statistics are testable in bulk.
+
+    When a :class:`repro.faults.config.FaultConfig` with active injectors is
+    passed via ``faults``, the run is delegated to
+    :func:`repro.faults.desfaults.run_des_faulty_fleet` (``seed`` drives the
+    fault timetable and retry jitter) and a
+    :class:`~repro.faults.desfaults.DesFaultyResult` is returned instead.
+    The ideal code path below stays byte-for-byte untouched.
     """
+    if faults is not None and faults.any_active:
+        from repro.faults.desfaults import run_des_faulty_fleet
+
+        return run_des_faulty_fleet(
+            n_clients,
+            scenario,
+            faults=faults,
+            n_cycles=n_cycles,
+            period=period,
+            losses=losses,
+            policy=policy,
+            seed=seed,
+        )
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
     if n_cycles < 1:

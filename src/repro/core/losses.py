@@ -99,7 +99,15 @@ class TransferTimePenalty:
 
 @dataclass(frozen=True)
 class ClientLoss:
-    """Loss C: Gaussian per-wake-up client dropout."""
+    """Loss C: Gaussian per-wake-up client dropout.
+
+    This is the *statistical* view of client unavailability: a count is
+    drawn per wake-up with no notion of which client failed or for how
+    long.  The explicit-process view lives in
+    :class:`repro.faults.spec.ClientCrash` — a zero-repair crash process
+    whose per-cycle miss probability matches ``mean_fraction`` reproduces
+    this loss in expectation (see ``ClientCrash.from_client_loss``).
+    """
 
     mean_fraction: float = PAPER.loss_c_mean_fraction
     std: float = PAPER.loss_c_std

@@ -126,6 +126,7 @@ def simulate_fleet(
     max_parallel: Optional[int] = None,
     policy: Optional[FillingPolicy] = None,
     seed: SeedLike = None,
+    n_active: Optional[int] = None,
 ) -> FleetResult:
     """Simulate one cycle of ``n_clients`` running ``scenario``.
 
@@ -143,6 +144,11 @@ def simulate_fleet(
         Slot-filling policy (default: the paper's first-fit).
     seed:
         RNG seed for loss model C.
+    n_active:
+        Explicit surviving-client count.  Overrides the loss-C draw — the
+        extension point through which the fault subsystem
+        (:mod:`repro.faults`) drives dropout from its own crash processes
+        while reusing the allocation and energy math unchanged.
     """
     if n_clients < 0:
         raise ValueError("n_clients must be >= 0")
@@ -151,9 +157,14 @@ def simulate_fleet(
         scenario = scenario.with_max_parallel(max_parallel)
 
     rng = make_rng(seed)
-    active = n_clients
-    if losses.client_loss is not None:
-        active = n_clients - losses.client_loss.draw_lost(n_clients, rng)
+    if n_active is not None:
+        if not 0 <= n_active <= n_clients:
+            raise ValueError(f"n_active {n_active} outside [0, {n_clients}]")
+        active = n_active
+    else:
+        active = n_clients
+        if losses.client_loss is not None:
+            active = n_clients - losses.client_loss.draw_lost(n_clients, rng)
 
     edge_energy = active * scenario.client.cycle_energy
 

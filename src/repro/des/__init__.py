@@ -15,9 +15,11 @@ time slots.
 from repro.des.engine import Engine, Event, Interrupt, SimulationError
 from repro.des.process import Process, Timeout, Wait, AllOf, AnyOf
 from repro.des.resources import Resource, Store, PriorityResource
-from repro.des.monitor import Monitor, StateTimeline
+from repro.des.monitor import EventLog, LoggedEvent, Monitor, StateTimeline
 
 __all__ = [
+    "EventLog",
+    "LoggedEvent",
     "Engine",
     "Event",
     "Interrupt",

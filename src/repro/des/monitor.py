@@ -3,11 +3,14 @@
 :class:`Monitor` records ``(time, value)`` samples; :class:`StateTimeline`
 records piecewise-constant state (e.g. a device's power state) and can
 integrate a per-state weight over time — which is exactly how per-device
-energy is computed from a power-state timeline.
+energy is computed from a power-state timeline.  :class:`EventLog` records
+discrete tagged events (fault onsets, retries, failovers) for post-run
+forensics.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -45,6 +48,59 @@ class Monitor:
         if t.size < 2:
             return 0.0
         return float(np.trapezoid(v, t))
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """One discrete occurrence: ``kind`` at ``time`` with free-form detail."""
+
+    time: float
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only log of tagged events in non-decreasing time order.
+
+    Used by the fault subsystem to record outage onsets/repairs, retries,
+    failovers and fallbacks; generic enough for any discrete annotation a
+    DES run wants to keep alongside its numeric monitors.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._events: List[LoggedEvent] = []
+
+    def record(self, time: float, kind: str, **detail: object) -> LoggedEvent:
+        if self._events and time < self._events[-1].time:
+            raise ValueError(
+                f"event log {self.name!r}: time went backwards "
+                f"({time} < {self._events[-1].time})"
+            )
+        ev = LoggedEvent(float(time), kind, dict(detail))
+        self._events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[LoggedEvent]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[LoggedEvent]:
+        """Events of one kind, in order."""
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def kinds(self) -> List[str]:
+        """Distinct kinds seen, sorted."""
+        return sorted({e.kind for e in self._events})
 
 
 class StateTimeline:

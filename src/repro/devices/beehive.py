@@ -138,7 +138,7 @@ class SmartBeehive:
             + self.camera.payload_bytes
             + self.sht31.payload_bytes
         )
-        upload = self.link.transfer(payload_bytes, seed=derive_seed(rng_seed, "uplink"))
+        upload = self.link.transfer(payload_bytes, rng=derive_seed(rng_seed, "uplink"))
 
         # --- optional on-device service ----------------------------------------
         queen_detected = None

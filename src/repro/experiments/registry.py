@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 from repro.experiments import (
     ext_adaptive,
     ext_contention,
+    ext_faults,
     ext_mixed,
     ext_training,
     fig2_trace,
@@ -43,6 +44,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
 EXTENSIONS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-adaptive": ext_adaptive.run,
     "ext-contention": ext_contention.run,
+    "ext-faults": ext_faults.run,
     "ext-mixed": ext_mixed.run,
     "ext-training": ext_training.run,
 }

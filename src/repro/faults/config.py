@@ -1,0 +1,97 @@
+"""Composition of fault injectors + resilience policy for one run.
+
+:class:`FaultConfig` is to the fault subsystem what
+:class:`repro.core.losses.LossConfig` is to the loss models: any subset of
+the four injectors may be active, plus the retry/fallback policy that
+governs how clients respond.  ``FaultConfig.none()`` is the ideal world —
+with it, every fault-aware code path reduces exactly to the §VI-B model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule, compile_schedule
+from repro.faults.spec import ClientCrash, LinkBlackout, LinkDegradation, ServerOutage
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Which failure processes run, and how clients cope.
+
+    Attributes
+    ----------
+    server_outage, link_blackout, link_degradation, client_crash:
+        The injectors (``None`` = that failure class never happens).
+    retry:
+        Timeout/backoff policy for failed uploads.
+    fallback:
+        When True, a client that exhausts retries and finds no surviving
+        server runs the queen-detection inference locally (edge energy cost,
+        Table I) instead of dropping the cycle.
+    """
+
+    server_outage: Optional[ServerOutage] = None
+    link_blackout: Optional[LinkBlackout] = None
+    link_degradation: Optional[LinkDegradation] = None
+    client_crash: Optional[ClientCrash] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fallback: bool = True
+
+    @staticmethod
+    def none() -> "FaultConfig":
+        """The ideal, fault-free configuration."""
+        return FaultConfig()
+
+    @property
+    def any_active(self) -> bool:
+        return any(
+            spec is not None
+            for spec in (
+                self.server_outage,
+                self.link_blackout,
+                self.link_degradation,
+                self.client_crash,
+            )
+        )
+
+    def specs(self) -> tuple:
+        """The active injector specs."""
+        return tuple(
+            spec
+            for spec in (
+                self.server_outage,
+                self.link_blackout,
+                self.link_degradation,
+                self.client_crash,
+            )
+            if spec is not None
+        )
+
+    def compile(
+        self,
+        horizon_s: float,
+        n_servers: int = 0,
+        n_clients: int = 0,
+        seed: SeedLike = None,
+    ) -> FaultSchedule:
+        """Realize all active injectors into one deterministic timetable."""
+        if not self.any_active:
+            return FaultSchedule.empty(horizon_s)
+        return compile_schedule(
+            self.specs(), horizon_s, n_servers=n_servers, n_clients=n_clients, seed=seed
+        )
+
+    def describe(self) -> str:
+        parts = [spec.describe() for spec in self.specs()]
+        if not parts:
+            return "no faults"
+        parts.append(self.retry.describe())
+        parts.append("fallback=edge" if self.fallback else "fallback=off")
+        return " + ".join(parts)
+
+
+__all__ = ["FaultConfig"]

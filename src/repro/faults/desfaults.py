@@ -1,0 +1,437 @@
+"""Event-driven fault injection on the DES kernel.
+
+:func:`run_des_faulty_fleet` replays the edge+cloud scenario event by event
+— like :func:`repro.core.dessim.run_des_fleet` — but with the fault
+timetable realized as live simulation behaviour:
+
+* an **outage injector process** per server walks that server's compiled
+  outage windows, flips the server down, and *interrupts* every client
+  process with an upload in flight (:class:`repro.des.engine.Interrupt`
+  thrown via :meth:`repro.des.process.Process.interrupt`);
+* **client processes** attempt their upload at the slot boundary and, on a
+  dead server / dark link / mid-flight interrupt, walk the
+  :class:`~repro.faults.retry.RetryPolicy` ladder with *jittered* backoff
+  (each client owns a derived RNG stream), keeping the radio on for the
+  timeout of every failed attempt; exhausted clients fail over to a
+  surviving server with spare capacity or degrade to local inference;
+* the :class:`~repro.faults.monitor.FaultMonitor` logs every fault event at
+  its simulation time and itemizes retry/failover/fallback/degradation
+  energy next to the per-entity ledgers.
+
+Server devices are charged from records after the event loop drains (the
+ledgers are analytic in the residency windows, so replaying them post-hoc
+in time order is exact and sidesteps same-timestamp ordering between client
+and server processes).  Known granularity compromises, mirrored from the
+analytic :mod:`~repro.faults.fleetsim` where possible: client crashes void
+whole cycles (the paper's loss-C convention) but the DES still charges the
+sleeping device's standby power during crashed cycles; late (retried or
+failed-over) uploads charge the server their marginal receive+service
+energy without re-deriving slot geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.allocator import Allocator, FillingPolicy
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
+from repro.core.client import fallback_extra_energy, fallback_inference_task
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.des.engine import Engine, Interrupt
+from repro.devices.device import AlwaysOnDevice, DutyCycledDevice
+from repro.devices.specs import CLOUD_SERVER_I7_RTX2070, RASPBERRY_PI_3B_PLUS
+from repro.energy.power import TaskPower
+from repro.faults.config import FaultConfig
+from repro.faults.monitor import (
+    OUTCOME_FAILOVER,
+    OUTCOME_FALLBACK,
+    OUTCOME_MISSED,
+    OUTCOME_OK,
+    OUTCOME_RETRIED,
+    FaultMonitor,
+    ResilienceReport,
+)
+from repro.faults.schedule import (
+    CLIENT_CRASH,
+    LINK_BLACKOUT,
+    LINK_DEGRADATION,
+    SERVER_OUTAGE,
+    FaultSchedule,
+)
+from repro.util.rng import SeedLike, make_rng, rng_for
+
+
+class _ServerState:
+    """Mutable run-time view of one server: up/down flag, in-flight uploads,
+    per-slot arrival counts and late-upload records for post-run charging."""
+
+    def __init__(self, index: int, nominal_clients: int, capacity: int) -> None:
+        self.index = index
+        self.up = True
+        self.inflight: Set[object] = set()  # Process handles mid-transfer
+        self.nominal_clients = nominal_clients
+        self.capacity = capacity
+        self.extra_admitted: Dict[int, int] = {}  # cycle -> failover admits
+        self.slot_starts: Dict[Tuple[int, int], int] = {}  # (cycle, slot) -> began
+        self.slot_done: Dict[Tuple[int, int], int] = {}    # (cycle, slot) -> completed
+        self.slot_time: Dict[Tuple[int, int], float] = {}  # (cycle, slot) -> actual start
+        self.late: List[Tuple[float, float]] = []          # (time, t_rx)
+
+    def spare(self, cycle: int) -> int:
+        return self.capacity - self.nominal_clients - self.extra_admitted.get(cycle, 0)
+
+    def admit_extra(self, cycle: int) -> None:
+        self.extra_admitted[cycle] = self.extra_admitted.get(cycle, 0) + 1
+
+
+@dataclass(frozen=True)
+class DesFaultyResult:
+    """Ledgers + resilience report from an event-driven faulty run."""
+
+    n_cycles: int
+    period: float
+    client_accounts: tuple
+    server_accounts: tuple
+    report: ResilienceReport
+    monitor: FaultMonitor
+    schedule: FaultSchedule
+
+    @property
+    def edge_energy_j(self) -> float:
+        return sum(acc.total for acc in self.client_accounts)
+
+    @property
+    def server_energy_j(self) -> float:
+        return sum(acc.total for acc in self.server_accounts)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.edge_energy_j + self.server_energy_j
+
+    @property
+    def availability(self) -> float:
+        return self.report.availability
+
+
+def run_des_faulty_fleet(
+    n_clients: int,
+    scenario: Scenario,
+    faults: Optional[FaultConfig] = None,
+    n_cycles: int = 1,
+    period: float = CYCLE_SECONDS,
+    losses: Optional[LossConfig] = None,
+    policy: Optional[FillingPolicy] = None,
+    seed: SeedLike = None,
+    constants: PaperConstants = PAPER,
+) -> DesFaultyResult:
+    """Replay ``n_cycles`` of the edge+cloud scenario with live faults."""
+    if scenario.is_edge_only:
+        raise ValueError(
+            "run_des_faulty_fleet needs a server to fail; "
+            "use repro.faults.fleetsim.run_faulty_fleet for edge-only fleets"
+        )
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    faults = faults or FaultConfig.none()
+    losses = losses or LossConfig.none()
+    if losses.client_loss is not None:
+        raise ValueError("express dropout as FaultConfig(client_crash=...), not loss C")
+
+    engine = Engine()
+    horizon = n_cycles * period
+    profile = scenario.server
+    retry = faults.retry
+    mon = FaultMonitor()
+
+    allocator = Allocator(profile, period=period, losses=losses, policy=policy)
+    allocation = allocator.allocate(n_clients)
+    sizing_extra = allocator.sizing_extra_s
+    slot_dur = profile.slot_duration(sizing_extra)
+    schedule = faults.compile(
+        horizon, n_servers=allocation.n_servers, n_clients=n_clients, seed=seed
+    )
+    base = int(make_rng(seed).integers(0, 2**62)) if not isinstance(seed, int) else seed
+
+    # -- task split around the upload ------------------------------------------
+    tasks = list(scenario.client.active_tasks)
+    send_idx = next(i for i, t in enumerate(tasks) if t.name == "send_audio")
+    pre_tasks, send_task, post_tasks = tasks[:send_idx], tasks[send_idx], tasks[send_idx + 1 :]
+    pre_send = sum(t.duration for t in pre_tasks)
+    send_w = send_task.power
+
+    # -- wake offsets (identical to the ideal DES path) -------------------------
+    wake_offsets: Dict[int, float] = {}
+    home_of: Dict[int, int] = {}
+    for srv in allocation.servers:
+        for slot_idx, slot in enumerate(srv.slots):
+            for cid in slot:
+                wake_offsets[cid] = max(slot_idx * slot_dur - pre_send, 0.0)
+                home_of[cid] = srv.server_index
+
+    states = {
+        srv.server_index: _ServerState(
+            srv.server_index, srv.n_clients, allocation.plan.capacity
+        )
+        for srv in allocation.servers
+    }
+    slot_of = {
+        cid: slot_idx
+        for srv in allocation.servers
+        for slot_idx, slot in enumerate(srv.slots)
+        for cid in slot
+    }
+
+    # -- outage injectors: flip servers down, interrupt in-flight uploads ------
+    def outage_injector(state: _ServerState):
+        for w in schedule.windows_for(SERVER_OUTAGE, state.index):
+            if w.start > engine.now:
+                yield engine.timeout(w.start - engine.now)
+            state.up = False
+            mon.record_fault(engine.now, "outage_begin", server=state.index)
+            for proc in list(state.inflight):
+                if proc.is_alive:
+                    proc.interrupt((SERVER_OUTAGE, state.index))
+            if w.end > engine.now:
+                yield engine.timeout(w.end - engine.now)
+            state.up = True
+            mon.record_fault(engine.now, "outage_end", server=state.index)
+
+    for state in states.values():
+        if schedule.windows_for(SERVER_OUTAGE, state.index):
+            engine.process(outage_injector(state))
+
+    # -- client processes -------------------------------------------------------
+    clients: List[DutyCycledDevice] = []
+    client_ends: List[float] = []
+
+    def attempt_transfer(device, state, holder, duration):
+        """Interruptible radio-on window; returns True when it completed.
+
+        The energy is charged *after* the window resolves (run_routine
+        charges on the device-local clock, which trails engine time), so an
+        interrupted upload only pays for its elapsed airtime.
+        """
+        start = engine.now
+        state.inflight.add(holder["proc"])
+        try:
+            yield engine.timeout(duration)
+            completed = True
+        except Interrupt:
+            completed = False
+        finally:
+            state.inflight.discard(holder["proc"])
+        elapsed = engine.now - start
+        if completed:
+            device.run_routine(start, [TaskPower("send_audio", duration, watts=send_w)])
+        elif elapsed > 0:
+            device.run_routine(start, [TaskPower("send_aborted", elapsed, watts=send_w)])
+            mon.charge_retry(send_w * elapsed)
+        return completed
+
+    def client_proc(cid: int, device: DutyCycledDevice, holder: dict):
+        offset = wake_offsets[cid]
+        home = states[home_of[cid]]
+        jitter_rng = rng_for(base, "retry-jitter", cid)
+        for cycle in range(n_cycles):
+            wake = cycle * period + offset
+            if wake > engine.now:
+                yield engine.timeout(wake - engine.now)
+            mon.expect_cycle()
+            if schedule.down_during(CLIENT_CRASH, cid, cycle * period, (cycle + 1) * period):
+                mon.record_fault(engine.now, CLIENT_CRASH, client=cid)
+                mon.record_outcome(OUTCOME_MISSED)
+                continue  # dead for this cycle; device stays asleep
+            device.sleep_until(engine.now)
+            if pre_tasks:
+                end = device.run_routine(engine.now, pre_tasks)
+                yield engine.timeout(end - engine.now)
+
+            # -- upload with retry ladder --------------------------------
+            slot_key = (cycle, slot_of[cid])
+            outcome = None
+            attempts = 0
+            while attempts <= retry.max_retries:
+                dark = schedule.is_down(LINK_BLACKOUT, cid, engine.now)
+                if home.up and not dark:
+                    deg = schedule.active_window(LINK_DEGRADATION, cid, engine.now)
+                    stretch = (1.0 / deg.severity) if deg is not None else 1.0
+                    dur = send_task.duration * stretch
+                    if attempts == 0:
+                        home.slot_starts[slot_key] = home.slot_starts.get(slot_key, 0) + 1
+                        home.slot_time.setdefault(slot_key, engine.now)
+                    done = yield from attempt_transfer(device, home, holder, dur)
+                    if done:
+                        if stretch > 1.0:
+                            mon.charge_degradation(send_w * (dur - send_task.duration))
+                        if attempts == 0:
+                            home.slot_done[slot_key] = home.slot_done.get(slot_key, 0) + 1
+                            outcome = OUTCOME_OK
+                        else:
+                            home.late.append((engine.now - dur, dur))
+                            outcome = OUTCOME_RETRIED
+                        break
+                else:
+                    # Dead server or dark link: radio on until timeout.
+                    if retry.timeout_s > 0:
+                        device.run_routine(
+                            engine.now,
+                            [TaskPower("send_retry_timeout", retry.timeout_s, watts=send_w)],
+                        )
+                        mon.charge_retry(retry.attempt_energy_j(send_w))
+                        yield engine.timeout(retry.timeout_s)
+                if attempts < retry.max_retries:
+                    delay = retry.delay_s(attempts, jitter_rng)
+                    if delay > 0:
+                        yield engine.timeout(delay)  # radio off, device asleep
+                attempts += 1
+
+            if outcome is None:
+                # Retries exhausted: fail over, else degrade locally.
+                target = None
+                if not schedule.is_down(LINK_BLACKOUT, cid, engine.now):
+                    for st in states.values():
+                        if st.up and st.spare(cycle) > 0:
+                            target = st
+                            break
+                if target is not None:
+                    done = yield from attempt_transfer(
+                        device, target, holder, send_task.duration
+                    )
+                    if done:
+                        target.admit_extra(cycle)
+                        target.late.append((engine.now - send_task.duration, send_task.duration))
+                        mon.charge_failover(send_task.energy)
+                        mon.record_fault(
+                            engine.now, "failover", client=cid, server=target.index
+                        )
+                        outcome = OUTCOME_FAILOVER
+                if outcome is None:
+                    if faults.fallback:
+                        task = fallback_inference_task(
+                            "cnn" if "cnn" in profile.service.name else "svm", constants
+                        )
+                        end = device.run_routine(engine.now, [task])
+                        mon.charge_fallback(
+                            fallback_extra_energy(
+                                scenario.client,
+                                "cnn" if "cnn" in profile.service.name else "svm",
+                                constants,
+                            )
+                        )
+                        mon.record_fault(engine.now, "fallback", client=cid)
+                        outcome = OUTCOME_FALLBACK
+                        yield engine.timeout(end - engine.now)
+                    else:
+                        outcome = OUTCOME_MISSED
+            mon.record_outcome(outcome)
+
+            if post_tasks and outcome not in (OUTCOME_MISSED,):
+                end = device.run_routine(engine.now, post_tasks)
+                yield engine.timeout(end - engine.now)
+
+    for cid in range(n_clients):
+        offset = wake_offsets[cid]
+        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
+        clients.append(dev)
+        client_ends.append(offset + horizon)
+        holder: dict = {}
+        holder["proc"] = engine.process(client_proc(cid, dev, holder))
+
+    engine.run()
+
+    for dev, end in zip(clients, client_ends):
+        if dev.time < end:
+            dev.finish(end)
+        else:
+            dev.finish(dev.time)
+
+    # -- post-run server charging (records replayed in time order) -------------
+    servers: List[AlwaysOnDevice] = []
+    svc_marginal_1 = profile.service.energy - profile.idle_watts * profile.service.duration
+    for srv in allocation.servers:
+        state = states[srv.server_index]
+        dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{srv.server_index}")
+        events: List[Tuple[float, int, tuple]] = []
+        down_windows = [
+            w for w in schedule.windows_for(SERVER_OUTAGE, srv.server_index) if w.duration > 0
+        ]
+        for w in down_windows:
+            events.append((w.start, 1, ("down", min(w.end, horizon))))
+        for key, k_started in sorted(state.slot_starts.items()):
+            start = state.slot_time[key]
+            k_done = state.slot_done.get(key, 0)
+            actual_extra = losses.transfer.actual_extra_s(k_done) if losses.transfer else 0.0
+            t_rx = profile.transfer_s + actual_extra
+            for w in down_windows:  # truncate receive at an outage onset
+                if start <= w.start < start + t_rx:
+                    t_rx = w.start - start
+                    break
+            events.append((start, 0, ("slot", t_rx, k_started, k_done)))
+        for t, t_rx in state.late:
+            events.append((t, 2, ("late", t_rx)))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        def charge_window(t: float, dur: float, state_name: str, watts: float, tag: str) -> None:
+            """Excursion that tolerates overlap with an earlier residency.
+
+            An overlapped prefix (delayed-slot cascades) is charged at the
+            state's marginal-over-idle rate without touching the timeline.
+            """
+            if dur <= 0:
+                return
+            if t < dev.time:
+                lost = min(dev.time - t, dur)
+                marginal = max(watts - profile.idle_watts, 0.0)
+                if marginal > 0:
+                    dev.account.charge(f"{tag}_overlap", marginal * lost, time=t)
+                t += lost
+                dur -= lost
+                if dur <= 0:
+                    return
+            dev.excursion(t, state_name, dur, override=(tag, watts))
+
+        for t, _prio, rec in events:
+            if rec[0] == "down":
+                charge_window(t, rec[1] - t, "idle", 0.0, "down")
+            elif rec[0] == "slot":
+                _, t_rx, k_started, k_done = rec
+                charge_window(t, t_rx, "receive", profile.receive_watts, "receive")
+                if k_done:
+                    dev.account.charge("service", k_done * svc_marginal_1, time=t)
+                    if losses.saturation is not None:
+                        mult = losses.saturation.multiplier(k_done, profile.max_parallel)
+                        if mult > 1.0:
+                            active = (profile.receive_watts - profile.idle_watts) * t_rx + (
+                                k_done * svc_marginal_1
+                            )
+                            pen = (
+                                profile.idle_watts * slot_dur + active
+                                if losses.saturation.base == "slot"
+                                else active
+                            )
+                            dev.account.charge("saturation_penalty", (mult - 1.0) * pen, time=t)
+            else:  # late upload: marginal receive + service on top of idle
+                _, t_rx = rec
+                dev.account.charge(
+                    "receive_retry", (profile.receive_watts - profile.idle_watts) * t_rx, time=t
+                )
+                dev.account.charge("service", svc_marginal_1, time=t)
+        dev.finish(max(horizon, dev.time))
+        servers.append(dev)
+
+    return DesFaultyResult(
+        n_cycles=n_cycles,
+        period=period,
+        client_accounts=tuple(d.account for d in clients),
+        server_accounts=tuple(d.account for d in servers),
+        report=mon.report(),
+        monitor=mon,
+        schedule=schedule,
+    )
+
+
+__all__ = ["DesFaultyResult", "run_des_faulty_fleet"]

@@ -1,0 +1,342 @@
+"""Cycle-level fleet simulation under explicit faults.
+
+:func:`run_faulty_fleet` is the failure-aware counterpart of
+:func:`repro.core.simulate.simulate_fleet`: it compiles the fault config
+into a deterministic timetable, then replays ``n_cycles`` of the scenario
+cycle by cycle.  Each cycle:
+
+1. clients whose crash window intersects the cycle miss it entirely;
+2. survivors are packed by the allocator's filling policy (identical maths
+   to the loss-C path, so zero-repair crashes reproduce loss C);
+3. servers whose outage window intersects the cycle serve nothing and draw
+   only the idle power of their surviving fraction of the cycle;
+4. clients of a downed server burn their full retry budget, then fail over
+   into surviving servers' free slots (:func:`repack_failed_server`) —
+   paying one extra upload — or degrade to local edge inference;
+5. clients with a link blackout at their slot retry on the backoff ladder
+   (nominal delays; jitter is exercised by the DES path) and recover if the
+   blackout ends inside the retry span, else degrade;
+6. link degradation stretches the radio-on window of otherwise-successful
+   uploads, charging the extra airtime.
+
+With ``FaultConfig.none()`` every step above is the identity, so the result
+is bit-for-bit the ideal §VI-B simulation.  All granularity compromises are
+per-cycle: a server is "down for the cycle" if its outage intersects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.allocator import Allocation, Allocator, FillingPolicy, repack_failed_server
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
+from repro.core.client import fallback_extra_energy
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.core.simulate import server_cycle_energy
+from repro.faults.config import FaultConfig
+from repro.faults.monitor import (
+    OUTCOME_FAILOVER,
+    OUTCOME_FALLBACK,
+    OUTCOME_MISSED,
+    OUTCOME_OK,
+    OUTCOME_RETRIED,
+    FaultMonitor,
+    ResilienceReport,
+)
+from repro.faults.schedule import (
+    CLIENT_CRASH,
+    LINK_BLACKOUT,
+    LINK_DEGRADATION,
+    SERVER_OUTAGE,
+    FaultSchedule,
+)
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class FaultyFleetResult:
+    """Per-cycle ledgers and resilience metrics of a faulty-fleet run."""
+
+    scenario_name: str
+    n_clients: int
+    n_cycles: int
+    period: float
+    edge_energy_j: np.ndarray       # per cycle, incl. resilience overheads
+    server_energy_j: np.ndarray     # per cycle
+    retry_energy_j: np.ndarray      # per cycle (itemized, already in edge)
+    failover_energy_j: np.ndarray
+    fallback_energy_j: np.ndarray
+    degradation_energy_j: np.ndarray
+    n_active: np.ndarray            # surviving clients per cycle
+    n_servers_down: np.ndarray
+    report: ResilienceReport
+    faults_description: str
+    schedule: FaultSchedule
+
+    @property
+    def total_energy_j(self) -> float:
+        return float(self.edge_energy_j.sum() + self.server_energy_j.sum())
+
+    @property
+    def mean_edge_energy_per_cycle(self) -> float:
+        return float(self.edge_energy_j.mean())
+
+    @property
+    def mean_server_energy_per_cycle(self) -> float:
+        return float(self.server_energy_j.mean())
+
+    @property
+    def mean_total_per_client_cycle(self) -> float:
+        """Joules per (initial) client per cycle, the Figure 6/7 y-axis."""
+        if self.n_clients == 0:
+            return 0.0
+        return self.total_energy_j / (self.n_clients * self.n_cycles)
+
+    @property
+    def availability(self) -> float:
+        return self.report.availability
+
+    @property
+    def resilience_energy_j(self) -> float:
+        return self.report.resilience_energy_j
+
+
+def _retries_until(up_at: float, attempt_times: List[float]) -> Optional[int]:
+    """First attempt index (0-based) at or after ``up_at``, if any."""
+    for i, t in enumerate(attempt_times):
+        if t >= up_at:
+            return i
+    return None
+
+
+def run_faulty_fleet(
+    n_clients: int,
+    scenario: Scenario,
+    faults: Optional[FaultConfig] = None,
+    n_cycles: int = 1,
+    period: float = CYCLE_SECONDS,
+    losses: Optional[LossConfig] = None,
+    policy: Optional[FillingPolicy] = None,
+    seed: SeedLike = None,
+    constants: PaperConstants = PAPER,
+) -> FaultyFleetResult:
+    """Replay ``n_cycles`` of the scenario under explicit fault processes.
+
+    ``losses`` may carry loss A/B (they price saturation and transfer
+    stretch exactly as in the ideal model — including on failover-repacked
+    slots); loss C must be expressed as a
+    :class:`~repro.faults.spec.ClientCrash` instead, so dropout has an
+    explicit failure process behind it.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    faults = faults or FaultConfig.none()
+    losses = losses or LossConfig.none()
+    if losses.client_loss is not None:
+        raise ValueError(
+            "run_faulty_fleet models dropout via ClientCrash; "
+            "pass FaultConfig(client_crash=ClientCrash.from_client_loss(...)) "
+            "instead of LossConfig(client_loss=...)"
+        )
+
+    horizon = n_cycles * period
+    client = scenario.client
+    fallback_model = "svm"
+    if scenario.server is not None and "cnn" in scenario.server.service.name:
+        fallback_model = "cnn"
+
+    # -- allocator & schedule -------------------------------------------------
+    allocator: Optional[Allocator] = None
+    n_server_targets = 0
+    if not scenario.is_edge_only:
+        allocator = Allocator(scenario.server, period=period, losses=losses, policy=policy)
+        n_server_targets = allocator.servers_required(n_clients)
+    schedule = faults.compile(
+        horizon, n_servers=n_server_targets, n_clients=n_clients, seed=seed
+    )
+
+    retry = faults.retry
+    send_task = None
+    if not scenario.is_edge_only:
+        send_task = client.active_tasks.get("send_audio")
+    mon = FaultMonitor()
+    for w in schedule.windows:
+        mon.record_fault(w.start, w.kind, target=w.target, duration=w.duration)
+
+    edge_e = np.zeros(n_cycles)
+    server_e = np.zeros(n_cycles)
+    retry_e = np.zeros(n_cycles)
+    failover_e = np.zeros(n_cycles)
+    fallback_e = np.zeros(n_cycles)
+    degradation_e = np.zeros(n_cycles)
+    active_arr = np.zeros(n_cycles, dtype=np.int64)
+    down_arr = np.zeros(n_cycles, dtype=np.int64)
+
+    for cycle in range(n_cycles):
+        t0, t1 = cycle * period, (cycle + 1) * period
+        mon.expect_cycle(n_clients)
+
+        crashed = [
+            cid
+            for cid in range(n_clients)
+            if schedule.down_during(CLIENT_CRASH, cid, t0, t1)
+        ]
+        active_ids = [cid for cid in range(n_clients) if cid not in set(crashed)]
+        n_active = len(active_ids)
+        active_arr[cycle] = n_active
+        mon.record_outcome(OUTCOME_MISSED, len(crashed))
+        edge_e[cycle] = n_active * client.cycle_energy
+
+        if scenario.is_edge_only:
+            mon.record_outcome(OUTCOME_OK, n_active)
+            continue
+
+        assert allocator is not None and send_task is not None
+        allocation: Allocation = allocator.policy.allocate(active_ids, allocator.plan)
+        slot_dur = allocator.plan.slot_duration
+        t_rx_base = scenario.server.transfer_s
+
+        down = [
+            srv.server_index
+            for srv in allocation.servers
+            if schedule.down_during(SERVER_OUTAGE, srv.server_index, t0, t1)
+        ]
+        down_arr[cycle] = len(down)
+
+        # Failover: repack each downed server's clients into survivors.
+        orphans_total: List[int] = []
+        unplaced: List[int] = []
+        placed: List[int] = []
+        for sidx in down:
+            if sidx not in {s.server_index for s in allocation.servers}:
+                continue
+            orphans = [
+                cid
+                for srv in allocation.servers
+                if srv.server_index == sidx
+                for slot in srv.slots
+                for cid in slot
+            ]
+            orphans_total.extend(orphans)
+            allocation, left = repack_failed_server(allocation, sidx)
+            unplaced.extend(left)
+            placed.extend(cid for cid in orphans if cid not in set(left))
+
+        # Every orphan burned its full retry budget against its dead server.
+        if orphans_total:
+            burn = retry.exhausted_energy_j(send_task.power)
+            retry_e[cycle] += burn * len(orphans_total)
+            mon.charge_retry(burn * len(orphans_total))
+        if placed:
+            extra = send_task.energy * len(placed)
+            failover_e[cycle] += extra
+            mon.charge_failover(extra)
+            mon.record_outcome(OUTCOME_FAILOVER, len(placed))
+        if unplaced:
+            if faults.fallback:
+                per = fallback_extra_energy(client, fallback_model, constants)
+                fallback_e[cycle] += per * len(unplaced)
+                mon.charge_fallback(per * len(unplaced))
+                mon.record_outcome(OUTCOME_FALLBACK, len(unplaced))
+            else:
+                mon.record_outcome(OUTCOME_MISSED, len(unplaced))
+
+        # Link faults for clients whose home server survived.
+        orphan_set = set(orphans_total)
+        n_retried = 0
+        n_link_fallback = 0
+        n_link_missed = 0
+        for srv in allocation.servers:
+            for slot_idx, slot in enumerate(srv.slots):
+                upload_t = t0 + slot_idx * slot_dur
+                for cid in slot:
+                    if cid in orphan_set:
+                        continue
+                    if schedule.is_down(LINK_BLACKOUT, cid, upload_t):
+                        window = schedule.active_window(LINK_BLACKOUT, cid, upload_t)
+                        attempt_times = [upload_t]
+                        t = upload_t
+                        for i in range(retry.max_retries):
+                            t += retry.timeout_s + retry.nominal_delay_s(i)
+                            attempt_times.append(t)
+                        rec = _retries_until(window.end, attempt_times)
+                        if rec is not None:
+                            burn = rec * retry.attempt_energy_j(send_task.power)
+                            retry_e[cycle] += burn
+                            mon.charge_retry(burn)
+                            n_retried += 1
+                        else:
+                            burn = retry.exhausted_energy_j(send_task.power)
+                            retry_e[cycle] += burn
+                            mon.charge_retry(burn)
+                            if faults.fallback:
+                                per = fallback_extra_energy(client, fallback_model, constants)
+                                fallback_e[cycle] += per
+                                mon.charge_fallback(per)
+                                n_link_fallback += 1
+                                mon.record_outcome(OUTCOME_FALLBACK)
+                            else:
+                                n_link_missed += 1
+                                mon.record_outcome(OUTCOME_MISSED)
+                    elif schedule.is_down(LINK_DEGRADATION, cid, upload_t):
+                        window = schedule.active_window(LINK_DEGRADATION, cid, upload_t)
+                        stretch = 1.0 / window.severity
+                        extra = send_task.power * t_rx_base * (stretch - 1.0)
+                        degradation_e[cycle] += extra
+                        mon.charge_degradation(extra)
+
+        # Remaining survivors uploaded first-try.
+        n_served = n_active - len(orphans_total) - n_retried - n_link_fallback - n_link_missed
+        mon.record_outcome(OUTCOME_RETRIED, n_retried)
+        mon.record_outcome(OUTCOME_OK, max(n_served, 0))
+
+        # Server-side energy: survivors serve their (possibly repacked)
+        # occupancies; downed servers draw idle only outside their windows.
+        surviving = {s.server_index for s in allocation.servers} - set(down)
+        energy = 0.0
+        for srv in allocation.servers:
+            if srv.server_index in surviving:
+                energy += server_cycle_energy(
+                    scenario.server,
+                    srv.occupancies,
+                    period=period,
+                    sizing_extra_s=allocator.sizing_extra_s,
+                    losses=losses,
+                )
+        for sidx in down:
+            overlap = sum(
+                max(0.0, min(w.end, t1) - max(w.start, t0))
+                for w in schedule.windows_for(SERVER_OUTAGE, sidx)
+            )
+            energy += scenario.server.idle_watts * max(period - overlap, 0.0)
+        server_e[cycle] = energy
+        edge_e[cycle] += (
+            retry_e[cycle] + failover_e[cycle] + fallback_e[cycle] + degradation_e[cycle]
+        )
+
+    return FaultyFleetResult(
+        scenario_name=scenario.name,
+        n_clients=n_clients,
+        n_cycles=n_cycles,
+        period=period,
+        edge_energy_j=edge_e,
+        server_energy_j=server_e,
+        retry_energy_j=retry_e,
+        failover_energy_j=failover_e,
+        fallback_energy_j=fallback_e,
+        degradation_energy_j=degradation_e,
+        n_active=active_arr,
+        n_servers_down=down_arr,
+        report=mon.report(),
+        faults_description=faults.describe(),
+        schedule=schedule,
+    )
+
+
+__all__ = ["FaultyFleetResult", "run_faulty_fleet"]

@@ -1,0 +1,148 @@
+"""Resilience metrics: availability, degradation and retry-energy overhead.
+
+:class:`FaultMonitor` aggregates what happened to every expected detection
+cycle — served normally, recovered by retry, failed over to another server,
+degraded to local edge inference, or missed entirely — plus the itemized
+energy overheads resilience cost.  It wraps a
+:class:`repro.des.monitor.EventLog` so DES runs keep a full per-fault event
+history next to the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.des.monitor import EventLog
+
+#: Cycle outcomes, ordered best → worst.
+OUTCOME_OK = "ok"                # upload landed in its slot, first try
+OUTCOME_RETRIED = "retried"      # upload succeeded after ≥1 retry
+OUTCOME_FAILOVER = "failover"    # served by a surviving server
+OUTCOME_FALLBACK = "fallback"    # degraded to local edge inference
+OUTCOME_MISSED = "missed"        # no detection this cycle
+
+_OUTCOMES = (OUTCOME_OK, OUTCOME_RETRIED, OUTCOME_FAILOVER, OUTCOME_FALLBACK, OUTCOME_MISSED)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Frozen snapshot of a :class:`FaultMonitor` at end of run."""
+
+    cycles_expected: int
+    cycles_ok: int
+    cycles_retried: int
+    cycles_failover: int
+    cycles_fallback: int
+    cycles_missed: int
+    retry_energy_j: float
+    failover_energy_j: float
+    fallback_energy_j: float
+    degradation_energy_j: float
+    n_fault_events: int
+
+    @property
+    def cycles_detected(self) -> int:
+        """Cycles that produced a queen-detection result by any path."""
+        return self.cycles_ok + self.cycles_retried + self.cycles_failover + self.cycles_fallback
+
+    @property
+    def availability(self) -> float:
+        """Detections delivered / detections expected (1.0 = ideal)."""
+        if self.cycles_expected == 0:
+            return 1.0
+        return self.cycles_detected / self.cycles_expected
+
+    @property
+    def cloud_availability(self) -> float:
+        """Fraction of expected cycles served by *a cloud server* (no fallback)."""
+        if self.cycles_expected == 0:
+            return 1.0
+        return (self.cycles_ok + self.cycles_retried + self.cycles_failover) / self.cycles_expected
+
+    @property
+    def resilience_energy_j(self) -> float:
+        """Total extra joules spent surviving (or limping through) faults."""
+        return (
+            self.retry_energy_j
+            + self.failover_energy_j
+            + self.fallback_energy_j
+            + self.degradation_energy_j
+        )
+
+
+class FaultMonitor:
+    """Mutable accumulator for fault events and per-cycle outcomes."""
+
+    def __init__(self, name: str = "faults") -> None:
+        self.log = EventLog(name)
+        self._outcomes = {k: 0 for k in _OUTCOMES}
+        self._expected = 0
+        self._retry_energy_j = 0.0
+        self._failover_energy_j = 0.0
+        self._fallback_energy_j = 0.0
+        self._degradation_energy_j = 0.0
+        self._fault_events = 0
+
+    # -- recording --------------------------------------------------------
+    def expect_cycle(self, n: int = 1) -> None:
+        """Register ``n`` expected detection cycles."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._expected += n
+
+    def record_outcome(self, outcome: str, n: int = 1) -> None:
+        if outcome not in self._outcomes:
+            raise ValueError(f"unknown outcome {outcome!r} (known: {_OUTCOMES})")
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._outcomes[outcome] += n
+
+    def charge_retry(self, energy_j: float) -> None:
+        self._retry_energy_j += self._check(energy_j)
+
+    def charge_failover(self, energy_j: float) -> None:
+        self._failover_energy_j += self._check(energy_j)
+
+    def charge_fallback(self, energy_j: float) -> None:
+        self._fallback_energy_j += self._check(energy_j)
+
+    def charge_degradation(self, energy_j: float) -> None:
+        self._degradation_energy_j += self._check(energy_j)
+
+    def record_fault(self, time: float, kind: str, **detail: object) -> None:
+        """Log one fault lifecycle event (onset, repair, interrupt …)."""
+        self.log.record(time, kind, **detail)
+        self._fault_events += 1
+
+    @staticmethod
+    def _check(energy_j: float) -> float:
+        if energy_j < 0:
+            raise ValueError("energy must be >= 0")
+        return energy_j
+
+    # -- reporting --------------------------------------------------------
+    def report(self) -> ResilienceReport:
+        return ResilienceReport(
+            cycles_expected=self._expected,
+            cycles_ok=self._outcomes[OUTCOME_OK],
+            cycles_retried=self._outcomes[OUTCOME_RETRIED],
+            cycles_failover=self._outcomes[OUTCOME_FAILOVER],
+            cycles_fallback=self._outcomes[OUTCOME_FALLBACK],
+            cycles_missed=self._outcomes[OUTCOME_MISSED],
+            retry_energy_j=self._retry_energy_j,
+            failover_energy_j=self._failover_energy_j,
+            fallback_energy_j=self._fallback_energy_j,
+            degradation_energy_j=self._degradation_energy_j,
+            n_fault_events=self._fault_events,
+        )
+
+
+__all__ = [
+    "FaultMonitor",
+    "ResilienceReport",
+    "OUTCOME_OK",
+    "OUTCOME_RETRIED",
+    "OUTCOME_FAILOVER",
+    "OUTCOME_FALLBACK",
+    "OUTCOME_MISSED",
+]

@@ -1,0 +1,139 @@
+"""Deterministic fault timetables.
+
+:func:`compile_schedule` realizes a set of fault specs into a
+:class:`FaultSchedule` — an immutable, queryable timetable of
+:class:`~repro.faults.spec.FaultWindow` objects over a simulation horizon.
+Every (spec kind, target) pair draws from its own derived RNG stream
+(:func:`repro.util.rng.derive_seed`), so adding a fault class or widening
+the fleet never perturbs the windows of the others — the same discipline
+the loss models follow.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.faults.spec import (
+    CLIENT_CRASH,
+    LINK_BLACKOUT,
+    LINK_DEGRADATION,
+    SERVER_OUTAGE,
+    FaultSpec,
+    FaultWindow,
+)
+from repro.util.rng import SeedLike, make_rng, rng_for
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Compiled fault timetable over ``[0, horizon_s)``.
+
+    Windows are grouped by ``(kind, target)`` and sorted by start time, so
+    point queries are ``O(log w)`` in the per-target window count.
+    """
+
+    horizon_s: float
+    windows: Tuple[FaultWindow, ...]
+
+    def __post_init__(self) -> None:
+        check_positive(self.horizon_s, "horizon_s")
+        index: Dict[Tuple[str, int], List[FaultWindow]] = {}
+        for w in self.windows:
+            index.setdefault((w.kind, w.target), []).append(w)
+        for ws in index.values():
+            ws.sort()
+        object.__setattr__(self, "_index", index)
+        object.__setattr__(
+            self, "_starts", {k: [w.start for w in ws] for k, ws in index.items()}
+        )
+
+    # -- queries ----------------------------------------------------------
+    def windows_for(self, kind: str, target: int) -> Tuple[FaultWindow, ...]:
+        """All windows of ``kind`` affecting ``target``, start-sorted."""
+        return tuple(self._index.get((kind, target), ()))
+
+    def active_window(self, kind: str, target: int, t: float) -> Optional[FaultWindow]:
+        """The window of ``kind`` covering instant ``t`` on ``target``, if any."""
+        ws = self._index.get((kind, target))
+        if not ws:
+            return None
+        i = bisect.bisect_right(self._starts[(kind, target)], t)
+        if i and ws[i - 1].covers(t):
+            return ws[i - 1]
+        return None
+
+    def is_down(self, kind: str, target: int, t: float) -> bool:
+        """True if ``target`` has an active ``kind`` fault at instant ``t``."""
+        return self.active_window(kind, target, t) is not None
+
+    def down_during(self, kind: str, target: int, t0: float, t1: float) -> bool:
+        """True if any ``kind`` window on ``target`` intersects ``[t0, t1)``."""
+        return any(w.overlaps(t0, t1) for w in self._index.get((kind, target), ()))
+
+    def downtime_s(self, kind: str, target: int) -> float:
+        """Total seconds ``target`` spends under ``kind`` faults."""
+        return sum(w.duration for w in self._index.get((kind, target), ()))
+
+    # -- summary ----------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.windows)
+
+    def count(self, kind: str) -> int:
+        """Number of windows of one kind across all targets."""
+        return sum(1 for w in self.windows if w.kind == kind)
+
+    def targets(self, kind: str) -> Tuple[int, ...]:
+        """Targets with at least one window of ``kind``."""
+        return tuple(sorted({w.target for w in self.windows if w.kind == kind}))
+
+    @staticmethod
+    def empty(horizon_s: float) -> "FaultSchedule":
+        return FaultSchedule(horizon_s, ())
+
+
+def compile_schedule(
+    specs: Iterable[FaultSpec],
+    horizon_s: float,
+    n_servers: int = 0,
+    n_clients: int = 0,
+    seed: SeedLike = None,
+) -> FaultSchedule:
+    """Realize ``specs`` into a :class:`FaultSchedule`.
+
+    Server-kind specs target server indices ``0..n_servers-1``; all other
+    kinds target client ids ``0..n_clients-1``.  Each (kind, target) stream
+    is seeded independently via :func:`~repro.util.rng.derive_seed`, keyed
+    on the base seed, the spec kind, and the target id.
+    """
+    check_positive(horizon_s, "horizon_s")
+    if n_servers < 0 or n_clients < 0:
+        raise ValueError("n_servers and n_clients must be >= 0")
+    base = int(make_rng(seed).integers(0, 2**62)) if not isinstance(seed, int) else seed
+    windows: List[FaultWindow] = []
+    for spec in specs:
+        if spec is None:
+            continue
+        n_targets = n_servers if spec.kind == SERVER_OUTAGE else n_clients
+        for target in range(n_targets):
+            rng = rng_for(base, spec.kind, target)
+            windows.extend(spec.compile_target(target, horizon_s, rng))
+    windows.sort()
+    return FaultSchedule(horizon_s, tuple(windows))
+
+
+__all__ = [
+    "FaultSchedule",
+    "compile_schedule",
+    "SERVER_OUTAGE",
+    "LINK_BLACKOUT",
+    "LINK_DEGRADATION",
+    "CLIENT_CRASH",
+]

@@ -8,12 +8,33 @@ routine-duration spread (σ ≈ 3.5 s on a ~15 s transfer).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+
+def resolve_rng(rng: SeedLike = None, seed: SeedLike = None) -> np.random.Generator:
+    """Normalise the ``rng``/legacy-``seed`` pair into one Generator.
+
+    ``seed`` is a deprecated alias kept so older call sites keep working;
+    passing it emits a :class:`DeprecationWarning`.  Passing both is an
+    error.  Long simulations should thread a single ``rng`` through every
+    transfer instead of re-creating a generator per call.
+    """
+    if seed is not None:
+        if rng is not None:
+            raise TypeError("pass either rng or seed, not both")
+        warnings.warn(
+            "the 'seed' parameter is deprecated; pass 'rng' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return make_rng(seed)
+    return make_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -54,12 +75,17 @@ class LinkModel:
         draw = rng.lognormal(mean=np.log(self.nominal_bps), sigma=self._sigma, size=size)
         return float(draw) if size is None else draw
 
-    def transfer(self, payload_bytes: int, seed: SeedLike = None) -> LinkSample:
-        """Realize one transfer of ``payload_bytes``."""
+    def transfer(self, payload_bytes: int, rng: SeedLike = None, seed: SeedLike = None) -> LinkSample:
+        """Realize one transfer of ``payload_bytes``.
+
+        ``rng`` accepts anything :func:`repro.util.rng.make_rng` does — pass
+        a live Generator to draw from an ongoing stream.  ``seed`` is a
+        deprecated alias (see :func:`resolve_rng`).
+        """
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be >= 0")
-        rng = make_rng(seed)
-        bps = self.sample_throughput(rng)
+        generator = resolve_rng(rng, seed)
+        bps = self.sample_throughput(generator)
         duration = self.handshake_s + (payload_bytes * 8.0) / bps
         return LinkSample(throughput_bps=bps, duration_s=duration)
 

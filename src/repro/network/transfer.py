@@ -1,12 +1,20 @@
-"""Transfer cost calculation: payload × link × device power → (time, energy)."""
+"""Transfer cost calculation: payload × link × device power → (time, energy).
+
+Beyond the single-shot :func:`transfer_cost`, :func:`transfer_with_retries`
+models the failure-aware upload path: attempts that time out burn radio-on
+energy, retries wait out exponential backoff with jitter, and the returned
+:class:`RetriedTransfer` itemizes exactly what resilience cost.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
-from repro.network.link import LinkModel
+from repro.faults.retry import RetryPolicy
+from repro.network.link import LinkModel, resolve_rng
 from repro.util.rng import SeedLike
-from repro.util.validation import check_non_negative
+from repro.util.validation import check_in_range, check_non_negative
 
 
 @dataclass(frozen=True)
@@ -28,20 +36,116 @@ def transfer_cost(
     link: LinkModel,
     sender_watts: float,
     receiver_watts: float = 0.0,
+    rng: SeedLike = None,
     seed: SeedLike = None,
 ) -> TransferCost:
     """Realize a transfer and charge both endpoints at their transfer powers.
 
     Sender and receiver are active for the same wall-clock duration (the
     synchronized time-slot model of §VI assumes the server's receive window
-    spans the whole transfer).
+    spans the whole transfer).  ``seed`` is a deprecated alias for ``rng``
+    (see :func:`repro.network.link.resolve_rng`).
     """
     check_non_negative(sender_watts, "sender_watts")
     check_non_negative(receiver_watts, "receiver_watts")
-    sample = link.transfer(payload_bytes, seed=seed)
+    sample = link.transfer(payload_bytes, rng=resolve_rng(rng, seed))
     return TransferCost(
         payload_bytes=payload_bytes,
         duration_s=sample.duration_s,
         sender_energy_j=sender_watts * sample.duration_s,
         receiver_energy_j=receiver_watts * sample.duration_s,
+    )
+
+
+@dataclass(frozen=True)
+class RetriedTransfer:
+    """Outcome of an upload under a retry policy.
+
+    ``cost`` is the successful transfer's cost (``None`` when every attempt
+    failed); the overhead fields itemize what the failed attempts and the
+    backoff waits added on top.
+    """
+
+    success: bool
+    attempts: int
+    cost: Optional[TransferCost]
+    retry_energy_j: float
+    backoff_s: float
+    elapsed_s: float
+
+    @property
+    def sender_energy_j(self) -> float:
+        """Total sender-side joules including failed attempts."""
+        base = self.cost.sender_energy_j if self.cost is not None else 0.0
+        return base + self.retry_energy_j
+
+
+def transfer_with_retries(
+    payload_bytes: int,
+    link: LinkModel,
+    sender_watts: float,
+    receiver_watts: float = 0.0,
+    retry: Optional[RetryPolicy] = None,
+    attempt_fails: Optional[Callable[[int], bool]] = None,
+    p_fail: float = 0.0,
+    rng: SeedLike = None,
+) -> RetriedTransfer:
+    """Attempt an upload, retrying with exponential backoff + jitter.
+
+    Parameters
+    ----------
+    retry:
+        Policy governing attempts and waits (default: :class:`RetryPolicy`).
+    attempt_fails:
+        Predicate ``attempt_index -> bool`` deciding whether an attempt
+        fails — how callers wire in fault schedules (e.g. "the server is
+        down until attempt 2").  When ``None``, attempts fail independently
+        with probability ``p_fail``.
+    rng:
+        Single stream used for failure draws, backoff jitter and the
+        successful transfer's throughput draw.
+
+    Every failed attempt charges ``sender_watts × retry.timeout_s`` to the
+    sender (radio on, nobody listening); backoff waits cost no transfer
+    energy here — the caller charges sleep power for them.
+    """
+    check_non_negative(sender_watts, "sender_watts")
+    check_in_range(p_fail, "p_fail", 0.0, 1.0)
+    retry = retry or RetryPolicy()
+    generator = resolve_rng(rng)
+
+    def fails(i: int) -> bool:
+        if attempt_fails is not None:
+            return bool(attempt_fails(i))
+        return bool(generator.uniform() < p_fail)
+
+    retry_energy = 0.0
+    backoff_total = 0.0
+    elapsed = 0.0
+    for attempt in range(1 + retry.max_retries):
+        if not fails(attempt):
+            cost = transfer_cost(
+                payload_bytes, link, sender_watts, receiver_watts, rng=generator
+            )
+            return RetriedTransfer(
+                success=True,
+                attempts=attempt + 1,
+                cost=cost,
+                retry_energy_j=retry_energy,
+                backoff_s=backoff_total,
+                elapsed_s=elapsed + cost.duration_s,
+            )
+        retry_energy += retry.attempt_energy_j(sender_watts)
+        elapsed += retry.timeout_s
+        if attempt < retry.max_retries:
+            delay = retry.delay_s(attempt, generator)
+            backoff_total += delay
+            elapsed += delay
+    return RetriedTransfer(
+        success=False,
+        attempts=1 + retry.max_retries,
+        cost=None,
+        retry_energy_j=retry_energy,
+        backoff_s=backoff_total,
+        elapsed_s=elapsed,
     )

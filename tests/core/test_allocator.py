@@ -120,3 +120,109 @@ class TestAllocator:
         )
         with pytest.raises(ValueError, match="max_parallel"):
             bad.validate()
+
+
+class TestValidateCrossServer:
+    def test_duplicate_across_servers_rejected(self):
+        from repro.core.allocator import Allocation, ServerAssignment
+
+        # Client 7 appears on two different servers — exactly the corruption
+        # a buggy failover repack would produce.
+        bad = Allocation(
+            (
+                ServerAssignment(0, ((1, 7),)),
+                ServerAssignment(1, ((7, 9),)),
+            ),
+            plan(),
+        )
+        with pytest.raises(ValueError, match="client 7 allocated twice"):
+            bad.validate()
+
+    def test_disjoint_servers_pass(self):
+        from repro.core.allocator import Allocation, ServerAssignment
+
+        good = Allocation(
+            (
+                ServerAssignment(0, ((1, 2),)),
+                ServerAssignment(1, ((3, 4),)),
+            ),
+            plan(),
+        )
+        good.validate()  # must not raise
+
+
+class TestRepackFailedServer:
+    def test_orphans_fill_survivor_spare_capacity(self):
+        from repro.core.allocator import Allocation, ServerAssignment, repack_failed_server
+
+        alloc = Allocation(
+            (
+                ServerAssignment(0, ((0, 1),)),
+                ServerAssignment(1, ((2, 3),)),
+            ),
+            plan(),
+        )
+        repacked, unplaced = repack_failed_server(alloc, 1)
+        assert tuple(unplaced) == ()
+        assert repacked.n_servers == 1
+        assert repacked.n_clients == 4
+        assert set(repacked.client_ids) == {0, 1, 2, 3}
+
+    def test_unplaced_returned_when_survivors_full(self):
+        from repro.core.allocator import repack_failed_server
+
+        alloc = FirstFitPolicy().allocate(range(190), plan())
+        orphans = [cid for slot in alloc.servers[1].slots for cid in slot]
+        repacked, unplaced = repack_failed_server(alloc, 1)
+        assert sorted(unplaced) == sorted(orphans)
+        assert repacked.n_clients == 180
+
+    def test_repack_with_room_places_everyone(self):
+        from repro.core.allocator import repack_failed_server
+
+        # 30 clients over two half-empty servers via round-robin spreading.
+        alloc = RoundRobinPolicy().allocate(range(200), plan())
+        failed = alloc.servers[0].server_index
+        orphans = alloc.servers[0].n_clients
+        survivors_before = alloc.n_clients - orphans
+        repacked, unplaced = repack_failed_server(alloc, failed)
+        assert repacked.n_clients + len(unplaced) == alloc.n_clients
+        assert repacked.n_clients >= survivors_before
+        repacked.validate()  # never duplicates or overfills
+        assert all(s.server_index != failed for s in repacked.servers)
+
+    def test_survivor_assignments_untouched(self):
+        from repro.core.allocator import repack_failed_server
+
+        alloc = FirstFitPolicy().allocate(range(190), plan())
+        before = {
+            s.server_index: tuple(tuple(slot) for slot in s.slots) for s in alloc.servers
+        }
+        repacked, _ = repack_failed_server(alloc, 1)
+        for srv in repacked.servers:
+            kept = before[srv.server_index]
+            for old_slot, new_slot in zip(kept, srv.slots):
+                # Existing clients keep their slot prefix (wake offsets valid).
+                assert tuple(new_slot)[: len(old_slot)] == old_slot
+
+    def test_unknown_server_rejected(self):
+        from repro.core.allocator import repack_failed_server
+
+        alloc = FirstFitPolicy().allocate(range(20), plan())
+        with pytest.raises(ValueError, match="no server 5"):
+            repack_failed_server(alloc, 5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=600))
+    def test_repack_invariants(self, n):
+        from repro.core.allocator import repack_failed_server
+
+        alloc = BalancedPolicy().allocate(range(n), plan())
+        if alloc.n_servers == 0:
+            return
+        failed = alloc.servers[-1].server_index
+        repacked, unplaced = repack_failed_server(alloc, failed)
+        repacked.validate()
+        placed_ids = set(repacked.client_ids)
+        assert placed_ids.isdisjoint(unplaced)
+        assert placed_ids | set(unplaced) == set(range(n))

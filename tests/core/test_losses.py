@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.losses import ClientLoss, LossConfig, SaturationPenalty, TransferTimePenalty
 from repro.util.rng import make_rng
@@ -101,3 +102,78 @@ class TestLossConfig:
         cfg = LossConfig.fig9()
         assert cfg.saturation.base == "active"
         assert cfg.transfer.cumulative is False
+
+
+class TestSaturationEdgeCases:
+    def test_margin_equal_to_capacity_penalizes_every_client(self):
+        # threshold = max(max_parallel - margin, 0) = 0: each admitted
+        # client is "over" and contributes one rate step.
+        pen = SaturationPenalty(margin=10, rate=0.1)
+        for k in range(11):
+            assert pen.multiplier(k, 10) == pytest.approx(1.0 + 0.1 * k)
+
+    def test_margin_beyond_capacity_behaves_identically(self):
+        at_cap = SaturationPenalty(margin=10, rate=0.1)
+        beyond = SaturationPenalty(margin=50, rate=0.1)
+        for k in range(11):
+            assert beyond.multiplier(k, 10) == at_cap.multiplier(k, 10)
+
+    def test_empty_slot_is_never_penalized(self):
+        assert SaturationPenalty(margin=50, rate=0.1).multiplier(0, 10) == 1.0
+
+
+class TestTransferPenaltyEdgeCases:
+    def test_empty_slot_has_no_stretch(self):
+        assert TransferTimePenalty(1.5, cumulative=True).actual_extra_s(0) == 0.0
+        assert TransferTimePenalty(1.5, cumulative=False).actual_extra_s(0) == 0.0
+
+    def test_constant_mode_is_flat_for_any_occupancy(self):
+        pen = TransferTimePenalty(1.5, cumulative=False)
+        assert pen.actual_extra_s(1) == pen.actual_extra_s(35) == 1.5
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            TransferTimePenalty(1.5).actual_extra_s(-1)
+
+
+class TestClientLossProperties:
+    @given(
+        n=st.integers(min_value=0, max_value=2000),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        std=st.floats(min_value=0.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scalar_and_array_draws_agree_on_same_stream(self, n, frac, std, seed):
+        loss = ClientLoss(mean_fraction=frac, std=std)
+        scalar = loss.draw_lost(n, make_rng(seed))
+        array = loss.draw_lost_array(np.array([n]), make_rng(seed))
+        if n > 0:
+            assert int(array[0]) == scalar
+        else:
+            # n = 0 short-circuits before consuming the stream; both
+            # readings must still report zero lost clients.
+            assert scalar == 0 and int(array[0]) == 0
+
+    @given(
+        n=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_draw_is_clipped_to_fleet(self, n, seed):
+        loss = ClientLoss(mean_fraction=0.9, std=40.0)  # wild draws
+        lost = loss.draw_lost(n, make_rng(seed))
+        assert 0 <= lost <= n
+
+    def test_array_draw_clips_elementwise(self):
+        loss = ClientLoss(mean_fraction=0.5, std=100.0)
+        fleets = np.array([0, 1, 2, 5, 300])
+        lost = loss.draw_lost_array(fleets, make_rng(0))
+        assert np.all(lost >= 0) and np.all(lost <= fleets)
+
+    def test_negative_fleet_rejected(self):
+        loss = ClientLoss()
+        with pytest.raises(ValueError):
+            loss.draw_lost(-1, make_rng(0))
+        with pytest.raises(ValueError):
+            loss.draw_lost_array(np.array([3, -1]), make_rng(0))

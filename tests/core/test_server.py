@@ -116,3 +116,27 @@ class TestSlotPlan:
         plan = SlotPlan.for_server(paper_server("svm", max_parallel=10))
         assert plan.slots_per_cycle == 18
         assert plan.capacity == 180
+
+
+class TestSlotEnergyMonotonicity:
+    @pytest.mark.parametrize("model", ["svm", "cnn"])
+    @pytest.mark.parametrize("extra", [0.0, 1.5, 52.5])
+    def test_non_decreasing_in_occupancy(self, model, extra):
+        srv = paper_server(model, max_parallel=35)
+        energies = [srv.slot_energy(k, extra) for k in range(36)]
+        for lo, hi in zip(energies, energies[1:]):
+            assert hi >= lo
+
+    @pytest.mark.parametrize("model", ["svm", "cnn"])
+    def test_never_below_idle_baseline(self, model):
+        srv = paper_server(model, max_parallel=35)
+        for extra in (0.0, 1.5, 52.5):
+            baseline = srv.idle_watts * srv.slot_duration(extra)
+            for k in range(36):
+                assert srv.slot_energy(k, extra) >= baseline
+            assert srv.slot_energy(0, extra) == pytest.approx(baseline)
+
+    def test_marginal_energy_of_empty_slot_is_zero(self):
+        srv = paper_server("svm", max_parallel=35)
+        assert srv.slot_marginal_energy(0) == pytest.approx(0.0)
+        assert srv.slot_marginal_energy(1) > 0.0

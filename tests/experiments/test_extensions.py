@@ -8,7 +8,13 @@ from repro.experiments.registry import EXTENSIONS, REGISTRY, experiment_ids, run
 
 class TestRegistry:
     def test_extensions_registered(self):
-        assert set(EXTENSIONS) == {"ext-adaptive", "ext-contention", "ext-mixed", "ext-training"}
+        assert set(EXTENSIONS) == {
+            "ext-adaptive",
+            "ext-contention",
+            "ext-faults",
+            "ext-mixed",
+            "ext-training",
+        }
 
     def test_ids_include_extensions_on_request(self):
         base = experiment_ids()
@@ -53,6 +59,44 @@ class TestExtMixed:
             assert c.within_tolerance is not False
         servers = result.series["servers_needed"]
         assert np.all(np.diff(servers) <= 0)  # slower periods never need more
+
+
+class TestExtFaults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small but complete run: 2 servers' worth of clients, a coarse
+        # crossover grid, and 12 cycles per point (loss-C equivalence
+        # section then uses 4x that).
+        return run_experiment(
+            "ext-faults",
+            n_clients=70,
+            n_cycles=48,
+            crossover_sizes=(350, 650, 150),
+        )
+
+    def test_faults_off_reproduces_ideal_bit_for_bit(self, result):
+        ideal = next(c for c in result.comparisons if "faults off" in c.quantity)
+        assert ideal.measured_value == 0.0
+
+    def test_availability_degrades_with_outage_rate(self, result):
+        avail = result.series["availability"]
+        cloud = result.series["cloud_availability"]
+        # Fallback counts as served, so fleet availability never drops below
+        # cloud availability; the latter degrades once servers go down.
+        assert np.all(avail >= cloud)
+        assert cloud[0] == 1.0  # no faults -> every upload lands
+        assert cloud[-1] < 1.0  # 3 h MTBF -> some cycles served locally
+        resil = result.series["resilience_j_per_client_cycle"]
+        assert resil[0] == 0.0
+        assert np.all(resil >= 0.0)
+        assert resil[-1] > 0.0  # faults burn retry/failover/fallback joules
+
+    def test_loss_c_matches_zero_repair_crash(self, result):
+        c = next(c for c in result.comparisons if "zero-repair" in c.quantity)
+        assert c.within_tolerance is not False
+
+    def test_des_demo_table_rendered(self, result):
+        assert any("mid-cycle server outage" in t for t in result.tables)
 
 
 class TestExtTraining:

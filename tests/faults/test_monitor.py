@@ -1,0 +1,69 @@
+"""Tests for the fault monitor and resilience report."""
+
+import pytest
+
+from repro.faults.monitor import (
+    OUTCOME_FALLBACK,
+    OUTCOME_MISSED,
+    OUTCOME_OK,
+    OUTCOME_RETRIED,
+    FaultMonitor,
+)
+
+
+class TestCounters:
+    def test_outcomes_accumulate_into_report(self):
+        mon = FaultMonitor()
+        mon.expect_cycle(10)
+        mon.record_outcome(OUTCOME_OK, 6)
+        mon.record_outcome(OUTCOME_RETRIED, 2)
+        mon.record_outcome(OUTCOME_FALLBACK)
+        mon.record_outcome(OUTCOME_MISSED)
+        rep = mon.report()
+        assert rep.cycles_expected == 10
+        assert rep.cycles_detected == 9
+        assert rep.availability == pytest.approx(0.9)
+        assert rep.cloud_availability == pytest.approx(0.8)
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMonitor().record_outcome("exploded")
+
+    def test_empty_monitor_reports_ideal_availability(self):
+        rep = FaultMonitor().report()
+        assert rep.availability == 1.0
+        assert rep.cloud_availability == 1.0
+        assert rep.resilience_energy_j == 0.0
+
+
+class TestEnergy:
+    def test_itemized_charges_sum_to_resilience_energy(self):
+        mon = FaultMonitor()
+        mon.charge_retry(10.0)
+        mon.charge_failover(5.0)
+        mon.charge_fallback(2.5)
+        mon.charge_degradation(1.5)
+        rep = mon.report()
+        assert rep.retry_energy_j == 10.0
+        assert rep.failover_energy_j == 5.0
+        assert rep.fallback_energy_j == 2.5
+        assert rep.degradation_energy_j == 1.5
+        assert rep.resilience_energy_j == pytest.approx(19.0)
+
+    def test_negative_energy_rejected(self):
+        mon = FaultMonitor()
+        for charge in (mon.charge_retry, mon.charge_failover,
+                       mon.charge_fallback, mon.charge_degradation):
+            with pytest.raises(ValueError):
+                charge(-1.0)
+
+
+class TestEventLog:
+    def test_fault_events_are_logged_and_counted(self):
+        mon = FaultMonitor()
+        mon.record_fault(10.0, "outage_begin", server=0)
+        mon.record_fault(70.0, "outage_end", server=0)
+        rep = mon.report()
+        assert rep.n_fault_events == 2
+        assert mon.log.count("outage_begin") == 1
+        assert [e.kind for e in mon.log] == ["outage_begin", "outage_end"]

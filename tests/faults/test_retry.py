@@ -1,0 +1,74 @@
+"""Tests for the retry/backoff policy and its energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.faults.retry import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_none_fails_immediately(self):
+        p = RetryPolicy.none()
+        assert p.max_retries == 0
+        assert p.exhausted_energy_j(2.5) == 0.0
+        assert p.worst_case_duration_s() == 0.0
+
+
+class TestBackoff:
+    def test_nominal_delays_are_geometric(self):
+        p = RetryPolicy(max_retries=4, backoff_base_s=2.0, backoff_factor=3.0)
+        assert [p.nominal_delay_s(i) for i in range(4)] == [2.0, 6.0, 18.0, 54.0]
+
+    def test_jittered_delay_stays_in_band(self):
+        p = RetryPolicy(backoff_base_s=10.0, backoff_factor=2.0, jitter=0.25)
+        rng = np.random.default_rng(0)
+        for i in range(3):
+            nominal = p.nominal_delay_s(i)
+            for _ in range(50):
+                d = p.delay_s(i, rng)
+                assert nominal * 0.75 <= d <= nominal * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        p = RetryPolicy(backoff_base_s=4.0, jitter=0.0)
+        assert p.delay_s(1, np.random.default_rng(0)) == p.nominal_delay_s(1)
+
+    def test_delays_s_covers_full_budget_and_is_seeded(self):
+        p = RetryPolicy(max_retries=3)
+        assert p.delays_s(7) == p.delays_s(7)
+        assert len(p.delays_s(7)) == 3
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().nominal_delay_s(-1)
+
+
+class TestEnergy:
+    def test_attempt_energy_is_radio_on_for_timeout(self):
+        p = RetryPolicy(timeout_s=5.0)
+        assert p.attempt_energy_j(2.487) == pytest.approx(2.487 * 5.0)
+
+    def test_exhausted_energy_counts_first_try_plus_retries(self):
+        p = RetryPolicy(max_retries=3, timeout_s=5.0)
+        assert p.exhausted_energy_j(2.0) == pytest.approx(4 * 2.0 * 5.0)
+
+    def test_worst_case_duration_bounds_the_ladder(self):
+        p = RetryPolicy(max_retries=2, timeout_s=5.0, backoff_base_s=2.0,
+                        backoff_factor=2.0, jitter=0.25)
+        # 3 timeouts + (2 + 4) s backoff at +25 % jitter.
+        assert p.worst_case_duration_s() == pytest.approx(15.0 + 6.0 * 1.25)
+        realized = sum(p.delays_s(3)) + 3 * p.timeout_s
+        assert realized <= p.worst_case_duration_s()
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().attempt_energy_j(-1.0)

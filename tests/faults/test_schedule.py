@@ -1,0 +1,119 @@
+"""Tests for compiled fault timetables."""
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule, compile_schedule
+from repro.faults.spec import (
+    LINK_BLACKOUT,
+    SERVER_OUTAGE,
+    FaultWindow,
+    LinkBlackout,
+    ServerOutage,
+    never,
+)
+
+
+def _manual_schedule():
+    return FaultSchedule(
+        horizon_s=600.0,
+        windows=(
+            FaultWindow(start=50.0, end=150.0, kind=SERVER_OUTAGE, target=0),
+            FaultWindow(start=400.0, end=500.0, kind=SERVER_OUTAGE, target=0),
+            FaultWindow(start=100.0, end=200.0, kind=LINK_BLACKOUT, target=7),
+        ),
+    )
+
+
+class TestQueries:
+    def test_windows_for_filters_kind_and_target(self):
+        s = _manual_schedule()
+        assert len(s.windows_for(SERVER_OUTAGE, 0)) == 2
+        assert s.windows_for(SERVER_OUTAGE, 1) == ()
+        assert len(s.windows_for(LINK_BLACKOUT, 7)) == 1
+
+    def test_active_window_point_query(self):
+        s = _manual_schedule()
+        w = s.active_window(SERVER_OUTAGE, 0, 75.0)
+        assert w is not None and w.start == 50.0
+        assert s.active_window(SERVER_OUTAGE, 0, 150.0) is None  # half-open
+        assert s.active_window(SERVER_OUTAGE, 0, 300.0) is None
+        assert s.is_down(LINK_BLACKOUT, 7, 100.0)
+        assert not s.is_down(LINK_BLACKOUT, 7, 99.9)
+
+    def test_down_during_interval_query(self):
+        s = _manual_schedule()
+        assert s.down_during(SERVER_OUTAGE, 0, 0.0, 60.0)
+        assert not s.down_during(SERVER_OUTAGE, 0, 150.0, 400.0)
+        assert s.down_during(SERVER_OUTAGE, 0, 499.0, 600.0)
+
+    def test_downtime_and_counts(self):
+        s = _manual_schedule()
+        assert s.downtime_s(SERVER_OUTAGE, 0) == pytest.approx(200.0)
+        assert s.count(SERVER_OUTAGE) == 2
+        assert s.count(LINK_BLACKOUT) == 1
+        assert s.targets(SERVER_OUTAGE) == (0,)
+        assert s.targets(LINK_BLACKOUT) == (7,)
+        assert s.n_windows == 3
+        assert s.any_active
+
+    def test_empty_schedule(self):
+        s = FaultSchedule.empty(600.0)
+        assert not s.any_active
+        assert s.active_window(SERVER_OUTAGE, 0, 10.0) is None
+        assert not s.down_during(SERVER_OUTAGE, 0, 0.0, 600.0)
+
+
+class TestCompile:
+    def test_integer_seed_is_deterministic(self):
+        specs = [ServerOutage(mtbf_s=1800.0, repair_s=300.0)]
+        a = compile_schedule(specs, 86400.0, n_servers=3, seed=123)
+        b = compile_schedule(specs, 86400.0, n_servers=3, seed=123)
+        assert a.windows == b.windows
+        assert a.n_windows > 0
+
+    def test_per_kind_streams_are_independent(self):
+        # Adding a second fault class must not perturb the first one's draws.
+        outage = ServerOutage(mtbf_s=1800.0, repair_s=300.0)
+        alone = compile_schedule([outage], 86400.0, n_servers=2, seed=9)
+        both = compile_schedule(
+            [outage, LinkBlackout(mtbf_s=3600.0, repair_s=60.0)],
+            86400.0,
+            n_servers=2,
+            n_clients=5,
+            seed=9,
+        )
+        for target in range(2):
+            assert both.windows_for(SERVER_OUTAGE, target) == alone.windows_for(
+                SERVER_OUTAGE, target
+            )
+
+    def test_per_target_streams_differ(self):
+        s = compile_schedule(
+            [ServerOutage(mtbf_s=600.0, repair_s=60.0)], 86400.0, n_servers=2, seed=4
+        )
+        assert s.windows_for(SERVER_OUTAGE, 0) != s.windows_for(SERVER_OUTAGE, 1)
+
+    def test_server_specs_ignore_client_count(self):
+        s = compile_schedule(
+            [ServerOutage(mtbf_s=600.0, repair_s=60.0)],
+            3600.0,
+            n_servers=0,
+            n_clients=50,
+            seed=1,
+        )
+        assert s.n_windows == 0
+
+    def test_never_spec_compiles_empty(self):
+        s = compile_schedule([never()], 3600.0, n_servers=4, seed=0)
+        assert s.n_windows == 0
+        assert not s.any_active
+
+    def test_none_specs_are_skipped(self):
+        s = compile_schedule([None, never()], 3600.0, n_servers=1, seed=0)
+        assert s.n_windows == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            compile_schedule([never()], 3600.0, n_servers=-1)
+        with pytest.raises(ValueError):
+            compile_schedule([never()], 0.0, n_servers=1)

@@ -1,0 +1,148 @@
+"""Tests for fault windows and fault specifications."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.losses import ClientLoss
+from repro.faults.spec import (
+    CLIENT_CRASH,
+    LINK_DEGRADATION,
+    SERVER_OUTAGE,
+    ClientCrash,
+    FaultWindow,
+    LinkBlackout,
+    LinkDegradation,
+    ServerOutage,
+    never,
+)
+
+
+class TestFaultWindow:
+    def test_covers_is_half_open(self):
+        w = FaultWindow(start=10.0, end=20.0, kind=SERVER_OUTAGE, target=0)
+        assert w.covers(10.0)
+        assert w.covers(19.999)
+        assert not w.covers(20.0)
+        assert not w.covers(9.999)
+
+    def test_overlaps_half_open_interval(self):
+        w = FaultWindow(start=10.0, end=20.0, kind=SERVER_OUTAGE, target=0)
+        assert w.overlaps(0.0, 10.1)
+        assert w.overlaps(19.9, 30.0)
+        assert not w.overlaps(20.0, 30.0)
+        assert not w.overlaps(0.0, 10.0)
+
+    def test_zero_width_window_still_voids_its_cycle(self):
+        w = FaultWindow(start=150.0, end=150.0, kind=CLIENT_CRASH, target=3)
+        assert w.duration == 0.0
+        assert w.overlaps(0.0, 300.0)
+        assert not w.overlaps(300.0, 600.0)
+        # ... and the instant itself is included on the left edge.
+        assert w.overlaps(150.0, 300.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            FaultWindow(start=10.0, end=5.0, kind=SERVER_OUTAGE, target=0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            FaultWindow(start=-1.0, end=5.0, kind=SERVER_OUTAGE, target=0)
+
+
+class TestCompileTarget:
+    def test_same_rng_stream_is_deterministic(self):
+        spec = ServerOutage(mtbf_s=600.0, repair_s=120.0)
+        a = spec.compile_target(0, 7200.0, np.random.default_rng(42))
+        b = spec.compile_target(0, 7200.0, np.random.default_rng(42))
+        assert a == b
+        assert len(a) > 0
+
+    def test_windows_clipped_to_horizon(self):
+        spec = ServerOutage(mtbf_s=300.0, repair_s=600.0)
+        windows = spec.compile_target(0, 3600.0, np.random.default_rng(7))
+        for w in windows:
+            assert 0.0 <= w.start < 3600.0
+            assert w.end <= 3600.0
+
+    def test_windows_are_disjoint_and_ordered(self):
+        spec = ServerOutage(mtbf_s=200.0, repair_s=100.0)
+        windows = spec.compile_target(0, 7200.0, np.random.default_rng(3))
+        for prev, cur in zip(windows, windows[1:]):
+            assert prev.end <= cur.start
+
+    def test_infinite_mtbf_never_fires(self):
+        spec = ServerOutage(mtbf_s=math.inf, repair_s=60.0)
+        assert spec.compile_target(0, 1e9, np.random.default_rng(0)) == ()
+        assert never().compile_target(0, 1e9, np.random.default_rng(0)) == ()
+
+    def test_mtbf_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ServerOutage(mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            LinkBlackout(mtbf_s=-10.0)
+
+
+class TestLinkDegradation:
+    def test_throughput_factor_bounds(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(throughput_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(throughput_factor=1.5)
+        LinkDegradation(throughput_factor=1.0)  # full speed is allowed
+
+    def test_stretch_is_inverse_throughput(self):
+        spec = LinkDegradation(throughput_factor=0.25)
+        assert spec.stretch_factor() == pytest.approx(4.0)
+
+    def test_compiled_windows_carry_severity(self):
+        spec = LinkDegradation(mtbf_s=600.0, repair_s=300.0, throughput_factor=0.5)
+        windows = spec.compile_target(0, 7200.0, np.random.default_rng(1))
+        assert len(windows) > 0
+        for w in windows:
+            assert w.kind == LINK_DEGRADATION
+            assert w.severity == 0.5
+
+
+class TestClientCrash:
+    def test_zero_repair_windows_are_instantaneous(self):
+        spec = ClientCrash(mtbf_s=500.0, repair_s=0.0)
+        windows = spec.compile_target(0, 7200.0, np.random.default_rng(5))
+        assert len(windows) > 0
+        for w in windows:
+            assert w.duration == 0.0
+
+    def test_from_client_loss_matches_mean_dropout(self):
+        loss = ClientLoss(mean_fraction=0.1, std=0.02)
+        crash = ClientCrash.from_client_loss(loss, period=CYCLE_SECONDS)
+        assert crash.repair_s == 0.0
+        assert crash.miss_probability(CYCLE_SECONDS) == pytest.approx(0.1)
+
+    def test_from_client_loss_zero_fraction_never_fires(self):
+        crash = ClientCrash.from_client_loss(ClientLoss(mean_fraction=0.0, std=0.0))
+        assert math.isinf(crash.mtbf_s)
+        assert crash.miss_probability() == 0.0
+
+    def test_from_client_loss_full_dropout_rejected(self):
+        with pytest.raises(ValueError):
+            ClientCrash.from_client_loss(ClientLoss(mean_fraction=1.0, std=0.0))
+
+    def test_empirical_miss_rate_matches_probability(self):
+        crash = ClientCrash(mtbf_s=-CYCLE_SECONDS / math.log1p(-0.2), repair_s=0.0)
+        rng = np.random.default_rng(11)
+        n_cycles = 4000
+        windows = crash.compile_target(0, n_cycles * CYCLE_SECONDS, rng)
+        missed = sum(
+            1
+            for c in range(n_cycles)
+            if any(w.overlaps(c * CYCLE_SECONDS, (c + 1) * CYCLE_SECONDS) for w in windows)
+        )
+        assert missed / n_cycles == pytest.approx(0.2, abs=0.02)
+
+
+class TestDescribe:
+    def test_describe_mentions_process_parameters(self):
+        assert "mtbf=600" in ServerOutage(mtbf_s=600.0, repair_s=60.0).describe()
+        assert "off" in never().describe()

@@ -10,7 +10,7 @@ from repro.network.wifi import WIFI_80211N_2G4, WIFI_80211N_5G, wifi_profile
 class TestLinkModel:
     def test_deterministic_when_cv_zero(self, rng):
         link = LinkModel(nominal_bps=10e6, cv=0.0, handshake_s=1.0)
-        sample = link.transfer(10_000_000, seed=0)
+        sample = link.transfer(10_000_000, rng=0)
         assert sample.duration_s == pytest.approx(1.0 + 8.0)
         assert sample.throughput_bps == 10e6
 
@@ -35,7 +35,7 @@ class TestLinkModel:
         from repro.network.wifi import PAPER_CYCLE_PAYLOAD_BYTES
 
         durations = [
-            WIFI_80211N_2G4.transfer(PAPER_CYCLE_PAYLOAD_BYTES, seed=s).duration_s for s in range(400)
+            WIFI_80211N_2G4.transfer(PAPER_CYCLE_PAYLOAD_BYTES, rng=s).duration_s for s in range(400)
         ]
         assert float(np.median(durations)) == pytest.approx(15.0, rel=0.15)
         std = float(np.std(durations))
@@ -43,7 +43,7 @@ class TestLinkModel:
 
     def test_expected_duration_above_median(self):
         link = LinkModel(nominal_bps=10e6, cv=0.5, handshake_s=0.0)
-        med = link.transfer(10_000_000, seed=0)
+        med = link.transfer(10_000_000, rng=0)
         assert link.expected_duration(10_000_000) < 8.0 / 1.0  # sanity: finite
         # Log-normal mean > median throughput -> expected duration < median-based.
         assert link.expected_duration(10_000_000) < 0.0 + 10_000_000 * 8 / 10e6
@@ -68,3 +68,41 @@ class TestWifiProfiles:
     def test_unknown_band(self):
         with pytest.raises(ValueError):
             wifi_profile("60GHz")
+
+
+class TestResolveRng:
+    def test_rng_param_accepts_generator_and_seed(self):
+        from repro.network.link import resolve_rng
+
+        gen = np.random.default_rng(3)
+        assert resolve_rng(rng=gen) is gen
+        a = resolve_rng(rng=7).normal()
+        b = resolve_rng(rng=7).normal()
+        assert a == b
+
+    def test_seed_alias_warns_but_works(self):
+        from repro.network.link import resolve_rng
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            gen = resolve_rng(seed=7)
+        assert gen.normal() == resolve_rng(rng=7).normal()
+
+    def test_both_params_rejected(self):
+        from repro.network.link import resolve_rng
+
+        with pytest.raises(TypeError, match="not both"):
+            resolve_rng(rng=1, seed=2)
+
+    def test_transfer_seed_alias_matches_rng(self):
+        link = LinkModel(nominal_bps=10e6, cv=0.25)
+        with_rng = link.transfer(1_000_000, rng=11)
+        with pytest.warns(DeprecationWarning):
+            with_seed = link.transfer(1_000_000, seed=11)
+        assert with_seed.duration_s == with_rng.duration_s
+
+    def test_transfer_threads_live_generator(self):
+        link = LinkModel(nominal_bps=10e6, cv=0.25)
+        gen = np.random.default_rng(0)
+        first = link.transfer(1_000_000, rng=gen)
+        second = link.transfer(1_000_000, rng=gen)  # stream advances
+        assert first.throughput_bps != second.throughput_bps

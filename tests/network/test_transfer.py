@@ -9,7 +9,7 @@ from repro.network.transfer import transfer_cost
 class TestTransferCost:
     def test_both_endpoints_charged_same_duration(self):
         link = LinkModel(nominal_bps=10e6, cv=0.0, handshake_s=1.0)
-        cost = transfer_cost(10_000_000, link, sender_watts=2.49, receiver_watts=68.8, seed=0)
+        cost = transfer_cost(10_000_000, link, sender_watts=2.49, receiver_watts=68.8, rng=0)
         assert cost.duration_s == pytest.approx(9.0)
         assert cost.sender_energy_j == pytest.approx(2.49 * 9.0)
         assert cost.receiver_energy_j == pytest.approx(68.8 * 9.0)
@@ -19,13 +19,13 @@ class TestTransferCost:
         """Table II: sending the audio takes 15 s at ~2.5 W -> ~37 J."""
         link = LinkModel(nominal_bps=20e6, cv=0.0, handshake_s=1.5)
         payload = int((15.0 - 1.5) * 20e6 / 8)  # payload that takes 15 s
-        cost = transfer_cost(payload, link, sender_watts=37.3 / 15.0, seed=0)
+        cost = transfer_cost(payload, link, sender_watts=37.3 / 15.0, rng=0)
         assert cost.duration_s == pytest.approx(15.0)
         assert cost.sender_energy_j == pytest.approx(37.3, rel=0.01)
 
     def test_zero_payload(self):
         link = LinkModel(nominal_bps=1e6, cv=0.0, handshake_s=0.5)
-        cost = transfer_cost(0, link, sender_watts=1.0, seed=0)
+        cost = transfer_cost(0, link, sender_watts=1.0, rng=0)
         assert cost.duration_s == pytest.approx(0.5)
 
     def test_negative_power_rejected(self):
