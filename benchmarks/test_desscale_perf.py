@@ -1,0 +1,47 @@
+"""Performance benchmarks for the DES fleet-scaling fast path.
+
+Companions to ``bench-desscale`` (:mod:`repro.benchdes`): these guard the
+engine fast path and the cohort aggregation against performance
+regressions under pytest-benchmark, while the committed
+``BENCH_desscale.json`` records the headline per-client-vs-cohort speedup.
+"""
+
+from repro.core.dessim import run_des_fleet
+from repro.core.routines import EDGE_CLOUD_SVM
+from repro.des.engine import Engine
+
+
+def test_des_per_client_1k(benchmark):
+    """Per-client replay, 1000 clients x 5 cycles (the slow baseline)."""
+    result = benchmark(run_des_fleet, 1000, EDGE_CLOUD_SVM, n_cycles=5)
+    assert result.n_clients == 1000
+
+
+def test_des_cohort_10k(benchmark):
+    """Cohort fast path, 10 000 clients x 5 cycles."""
+    result = benchmark(run_des_fleet, 10_000, EDGE_CLOUD_SVM, n_cycles=5, cohort=True)
+    assert result.n_clients == 10_000
+    assert len(result.client_accounts) < 100  # collapsed to O(slots) cohorts
+
+
+def test_des_cohort_100k(benchmark):
+    """Cohort fast path, 100 000 clients x 5 cycles (interactive scale)."""
+    result = benchmark(run_des_fleet, 100_000, EDGE_CLOUD_SVM, n_cycles=5, cohort=True)
+    assert result.n_clients == 100_000
+
+
+def test_engine_timeout_churn(benchmark):
+    """Raw kernel throughput: 100k pooled timeouts through one process."""
+
+    def churn():
+        eng = Engine(pool_timeouts=True)
+
+        def proc():
+            for _ in range(100_000):
+                yield eng.timeout(1.0)
+
+        eng.process(proc())
+        eng.run()
+        return eng.now
+
+    assert benchmark(churn) == 100_000.0

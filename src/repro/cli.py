@@ -18,6 +18,10 @@ from repro.experiments.registry import experiment_ids, run_experiment
 #: Experiments that accept a ``seed`` keyword.
 _SEEDABLE = {"fig2", "fig5", "fig8", "fig9", "ext-adaptive", "ext-contention", "ext-faults"}
 
+#: Experiments whose sweeps route through the chunked parallel runner
+#: (:mod:`repro.core.parallel`) and accept a ``workers`` keyword.
+_PARALLEL = {"fig7", "ext-contention", "ext-faults"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -32,6 +36,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --list/--all: include the future-work extension experiments",
     )
     parser.add_argument("--seed", type=int, default=None, help="override the RNG seed where applicable")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for parallelizable sweeps (default: serial; "
+        "results are seed-stable — identical for any worker count)",
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
     parser.add_argument("--plot", action="store_true", help="also draw the figure's curves as an ASCII chart")
     parser.add_argument(
@@ -60,6 +69,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = {}
         if args.seed is not None and eid in _SEEDABLE:
             kwargs["seed"] = args.seed
+        if args.workers is not None and eid in _PARALLEL:
+            kwargs["workers"] = args.workers
         result = run_experiment(eid, **kwargs)
         if args.json:
             json_out.append(result.to_dict(include_series=not args.no_series))

@@ -1,0 +1,128 @@
+"""Exact cohort aggregation for the event-driven fleet simulators.
+
+The per-client DES spawns one Python generator per client, which caps
+interactive runs at a few thousand clients.  But a fleet is massively
+redundant: two clients with identical deterministic context — the same
+scenario, the same wake offset, the same (empty) fault timetable, and no
+consumption of per-client randomness — execute *bit-for-bit identical*
+trajectories on their own devices.  Their ledgers are therefore equal
+float by float, and simulating one representative while carrying a
+multiplicity count is exact, not an approximation.
+
+This module holds the grouping/expansion plumbing shared by
+:mod:`repro.core.dessim` (ideal path: cohorts keyed on the wake offset)
+and :mod:`repro.faults.desfaults` (faulty path: cohorts additionally
+require a statically quiet context — no fault window can touch the client
+or its home server, hence no retry-jitter draw can ever occur).
+
+Exactness argument, in two parts (see also ``docs/PERFORMANCE.md``):
+
+1. *Ledger level* — every charge a member device records is a function of
+   (scenario constants, wake offset, event times), all identical within a
+   cohort, so each member's per-category totals equal the representative's
+   exactly.  This is what the property tests assert with ``==``.
+2. *Aggregate level* — fleet totals are reported as
+   ``sum(multiplicity * representative_total)``; each product is a single
+   correctly-rounded float operation.  An expansion view
+   (:func:`expand_accounts`) reproduces the per-client summation order
+   when bit-identical aggregate sums are needed (e.g. cross-validation on
+   small fleets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.energy.account import EnergyAccount
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """A set of entity ids sharing one deterministic execution context."""
+
+    key: tuple
+    member_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.member_ids:
+            raise ValueError("a cohort must have at least one member")
+        if list(self.member_ids) != sorted(set(self.member_ids)):
+            raise ValueError("member_ids must be strictly increasing")
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.member_ids)
+
+    @property
+    def representative(self) -> int:
+        """The member whose trajectory is actually simulated (lowest id)."""
+        return self.member_ids[0]
+
+
+def group_cohorts(key_of: Mapping[int, Hashable]) -> List[Cohort]:
+    """Group entity ids by equal keys; cohorts ordered by first member id.
+
+    Keys are compared with ``==`` on the exact values (for float keys this
+    means bit-equality for normal numbers), so members are grouped only
+    when their contexts are literally identical.
+    """
+    groups: Dict[Hashable, List[int]] = {}
+    for eid in sorted(key_of):
+        groups.setdefault(key_of[eid], []).append(eid)
+    cohorts = [
+        Cohort(key=(key,) if not isinstance(key, tuple) else key, member_ids=tuple(ids))
+        for key, ids in groups.items()
+    ]
+    cohorts.sort(key=lambda c: c.member_ids[0])
+    return cohorts
+
+
+def scale_account(account: EnergyAccount, multiplicity: int) -> EnergyAccount:
+    """A new ledger with every category total/duration scaled ``×multiplicity``.
+
+    Each scaled total is one correctly-rounded multiplication of the
+    representative's total (exact for power-of-two multiplicities).
+    """
+    if multiplicity < 1:
+        raise ValueError("multiplicity must be >= 1")
+    out = EnergyAccount(owner=account.owner)
+    for category, energy in account.breakdown().items():
+        out.charge(category, energy * multiplicity, account.category_duration(category) * multiplicity)
+    return out
+
+
+def expand_accounts(
+    accounts: Sequence[EnergyAccount],
+    cohorts: Sequence[Cohort],
+    n_entities: int,
+) -> Tuple[EnergyAccount, ...]:
+    """Per-entity view of cohort ledgers: entity ``i`` → its cohort's account.
+
+    The returned tuple shares the representative account objects (no
+    copies), so iterating it in id order reproduces the per-client run's
+    summation order exactly — the keystone of the bit-for-bit
+    cross-validation tests.
+    """
+    if len(accounts) != len(cohorts):
+        raise ValueError("accounts and cohorts must be parallel sequences")
+    out: List[EnergyAccount] = [None] * n_entities  # type: ignore[list-item]
+    for account, cohort in zip(accounts, cohorts):
+        for eid in cohort.member_ids:
+            if eid < 0 or eid >= n_entities:
+                raise ValueError(f"member id {eid} outside 0..{n_entities - 1}")
+            if out[eid] is not None:
+                raise ValueError(f"entity {eid} appears in two cohorts")
+            out[eid] = account
+    missing = [i for i, acc in enumerate(out) if acc is None]
+    if missing:
+        raise ValueError(f"entities without a cohort: {missing[:5]}{'...' if len(missing) > 5 else ''}")
+    return tuple(out)
+
+
+def weighted_total(accounts: Sequence[EnergyAccount], multiplicities: Sequence[int]) -> float:
+    """``sum(m × account.total)`` — the fast aggregate over cohort ledgers."""
+    return sum(m * acc.total for m, acc in zip(multiplicities, accounts))
+
+
+__all__ = ["Cohort", "group_cohorts", "scale_account", "expand_accounts", "weighted_total"]

@@ -12,15 +12,23 @@ Observation windows: each client is observed over ``n_cycles`` periods
 invariant, so this makes the ledgers exactly comparable to the analytic
 per-cycle figures without boundary effects).  Servers are observed over
 ``[0, n_cycles × period)``.
+
+Scaling: with ``cohort=True`` clients that share a wake offset (and servers
+that share an occupancy profile) collapse into one simulated representative
+carrying a multiplicity count (:mod:`repro.core.cohort`).  The collapse is
+exact — member trajectories are bit-for-bit identical — and takes the DES
+from O(clients) to O(slots + occupancy profiles) processes, which is what
+makes 100k–1M-client fleets interactive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocator import Allocation, Allocator, FillingPolicy
 from repro.core.calibration import CYCLE_SECONDS
+from repro.core.cohort import Cohort, expand_accounts, group_cohorts, weighted_total
 from repro.core.losses import LossConfig
 from repro.core.routines import Scenario
 from repro.des.engine import Engine
@@ -30,19 +38,47 @@ from repro.devices.specs import CLOUD_SERVER_I7_RTX2070, RASPBERRY_PI_3B_PLUS
 
 @dataclass(frozen=True)
 class DesFleetResult:
-    """Per-entity energy ledgers from an event-driven run."""
+    """Per-entity energy ledgers from an event-driven run.
+
+    For per-client runs ``client_accounts`` holds one ledger per client and
+    the multiplicity/cohort fields are empty.  For cohort runs each entry is
+    the *representative* (per-member, unscaled) ledger of one cohort, with
+    ``client_multiplicities``/``client_cohorts`` parallel to it; aggregate
+    properties weight by multiplicity, and per-client properties divide by
+    ``n_clients`` — the true fleet size, not ``len(client_accounts)``.
+    """
 
     n_cycles: int
     period: float
     client_accounts: tuple
     server_accounts: tuple
+    n_clients: int = -1
+    client_multiplicities: tuple = ()
+    server_multiplicities: tuple = ()
+    client_cohorts: tuple = ()  # tuple[tuple[int, ...]] parallel to client_accounts
+    server_cohorts: tuple = ()  # tuple[tuple[int, ...]] parallel to server_accounts
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 0:
+            object.__setattr__(self, "n_clients", len(self.client_accounts))
+
+    @property
+    def n_servers(self) -> int:
+        """True server count (cohort multiplicities included)."""
+        if self.server_multiplicities:
+            return sum(self.server_multiplicities)
+        return len(self.server_accounts)
 
     @property
     def edge_energy_j(self) -> float:
+        if self.client_multiplicities:
+            return weighted_total(self.client_accounts, self.client_multiplicities)
         return sum(acc.total for acc in self.client_accounts)
 
     @property
     def server_energy_j(self) -> float:
+        if self.server_multiplicities:
+            return weighted_total(self.server_accounts, self.server_multiplicities)
         return sum(acc.total for acc in self.server_accounts)
 
     @property
@@ -51,12 +87,59 @@ class DesFleetResult:
 
     @property
     def edge_energy_per_client_cycle(self) -> float:
-        n = len(self.client_accounts)
+        n = self.n_clients
         return self.edge_energy_j / (n * self.n_cycles) if n else 0.0
 
     @property
     def server_energy_per_cycle(self) -> float:
         return self.server_energy_j / self.n_cycles
+
+    def expand_client_accounts(self) -> tuple:
+        """Per-client ledger view (shared representative objects, id order)."""
+        if not self.client_cohorts:
+            return self.client_accounts
+        cohorts = [Cohort(key=("client", ids[0]), member_ids=ids) for ids in self.client_cohorts]
+        return expand_accounts(self.client_accounts, cohorts, self.n_clients)
+
+    def expand_server_accounts(self) -> tuple:
+        """Per-server ledger view (shared representative objects, index order)."""
+        if not self.server_cohorts:
+            return self.server_accounts
+        cohorts = [Cohort(key=("server", ids[0]), member_ids=ids) for ids in self.server_cohorts]
+        return expand_accounts(self.server_accounts, cohorts, self.n_servers)
+
+
+def fleet_wake_offsets(
+    n_clients: int,
+    scenario: Scenario,
+    period: float,
+    losses: LossConfig,
+    policy: Optional[FillingPolicy],
+) -> Tuple[Optional[Allocation], float, Dict[int, float]]:
+    """Allocate the fleet and derive each client's wake-up offset.
+
+    Shared by the per-client and cohort paths so both see identical floats:
+    a client wakes so its upload lands on its slot boundary (the tasks
+    before ``send_audio`` run first).
+    """
+    tasks = list(scenario.client.active_tasks)
+    if scenario.is_edge_only:
+        return None, 0.0, {i: 0.0 for i in range(n_clients)}
+    allocator = Allocator(scenario.server, period=period, losses=losses, policy=policy)
+    allocation = allocator.allocate(n_clients)
+    sizing_extra = allocator.sizing_extra_s
+    pre_send = 0.0
+    for t in tasks:
+        if t.name == "send_audio":
+            break
+        pre_send += t.duration
+    slot_dur = scenario.server.slot_duration(sizing_extra)
+    wake_offsets: Dict[int, float] = {}
+    for srv in allocation.servers:
+        for slot_idx, slot in enumerate(srv.slots):
+            for cid in slot:
+                wake_offsets[cid] = max(slot_idx * slot_dur - pre_send, 0.0)
+    return allocation, sizing_extra, wake_offsets
 
 
 def run_des_fleet(
@@ -68,6 +151,7 @@ def run_des_fleet(
     policy: Optional[FillingPolicy] = None,
     faults=None,
     seed=None,
+    cohort: bool = False,
 ):
     """Replay ``n_cycles`` of the scenario event by event.
 
@@ -80,7 +164,12 @@ def run_des_fleet(
     :func:`repro.faults.desfaults.run_des_faulty_fleet` (``seed`` drives the
     fault timetable and retry jitter) and a
     :class:`~repro.faults.desfaults.DesFaultyResult` is returned instead.
-    The ideal code path below stays byte-for-byte untouched.
+
+    ``cohort=True`` enables the exact aggregation fast path: one process per
+    distinct wake offset (clients) and per distinct occupancy profile
+    (servers), with multiplicity-scaled ledgers.  Member trajectories are
+    bit-for-bit identical, so the collapse changes no floats at the ledger
+    level — property-tested against the per-client path on small fleets.
     """
     if faults is not None and faults.any_active:
         from repro.faults.desfaults import run_des_faulty_fleet
@@ -94,6 +183,7 @@ def run_des_fleet(
             losses=losses,
             policy=policy,
             seed=seed,
+            cohort=cohort,
         )
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
@@ -103,39 +193,17 @@ def run_des_fleet(
     if losses.client_loss is not None:
         raise ValueError("run_des_fleet does not support loss model C (client dropout)")
 
-    engine = Engine()
+    engine = Engine(pool_timeouts=True)
     horizon = n_cycles * period
     tasks = list(scenario.client.active_tasks)
     if scenario.client.active_tasks.total_duration > period:
         raise ValueError("client tasks exceed the period")
 
-    # --- allocation & client wake offsets -----------------------------------
-    allocation: Optional[Allocation] = None
-    sizing_extra = 0.0
-    if scenario.is_edge_only:
-        wake_offsets = {i: 0.0 for i in range(n_clients)}
-    else:
-        allocator = Allocator(scenario.server, period=period, losses=losses, policy=policy)
-        allocation = allocator.allocate(n_clients)
-        sizing_extra = allocator.sizing_extra_s
-        # A client wakes so its upload lands on its slot boundary: the tasks
-        # before 'send_audio' run first.
-        pre_send = 0.0
-        for t in tasks:
-            if t.name == "send_audio":
-                break
-            pre_send += t.duration
-        slot_dur = scenario.server.slot_duration(sizing_extra)
-        wake_offsets = {}
-        for srv in allocation.servers:
-            for slot_idx, slot in enumerate(srv.slots):
-                for cid in slot:
-                    wake_offsets[cid] = max(slot_idx * slot_dur - pre_send, 0.0)
+    allocation, sizing_extra, wake_offsets = fleet_wake_offsets(
+        n_clients, scenario, period, losses, policy
+    )
 
     # --- client processes -----------------------------------------------------
-    clients: List[DutyCycledDevice] = []
-    client_ends: List[float] = []
-
     def client_proc(device: DutyCycledDevice, offset: float):
         for cycle in range(n_cycles):
             wake = cycle * period + offset
@@ -146,15 +214,30 @@ def run_des_fleet(
             end = device.run_routine(engine.now, tasks)
             yield engine.timeout(end - engine.now)
 
-    for cid in range(n_clients):
-        offset = wake_offsets[cid]
-        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
-        clients.append(dev)
-        client_ends.append(offset + horizon)
-        engine.process(client_proc(dev, offset))
+    clients: List[DutyCycledDevice] = []
+    client_ends: List[float] = []
+    client_cohorts: List[Cohort] = []
+    if cohort:
+        client_cohorts = group_cohorts(wake_offsets)
+        for co in client_cohorts:
+            offset = wake_offsets[co.representative]
+            dev = DutyCycledDevice(
+                RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{co.representative}"
+            )
+            clients.append(dev)
+            client_ends.append(offset + horizon)
+            engine.process(client_proc(dev, offset))
+    else:
+        for cid in range(n_clients):
+            offset = wake_offsets[cid]
+            dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
+            clients.append(dev)
+            client_ends.append(offset + horizon)
+            engine.process(client_proc(dev, offset))
 
     # --- server processes -------------------------------------------------------
     servers: List[AlwaysOnDevice] = []
+    server_cohorts: List[Cohort] = []
     if allocation is not None:
         profile = scenario.server
         slot_dur = profile.slot_duration(sizing_extra)
@@ -197,10 +280,20 @@ def run_des_fleet(
                                 "saturation_penalty", (mult - 1.0) * pen_base, time=engine.now
                             )
 
-        for srv in allocation.servers:
-            dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{srv.server_index}")
-            servers.append(dev)
-            engine.process(server_proc(dev, list(srv.occupancies)))
+        if cohort:
+            occupancy_of = {
+                srv.server_index: tuple(srv.occupancies) for srv in allocation.servers
+            }
+            server_cohorts = group_cohorts(occupancy_of)
+            for co in server_cohorts:
+                dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{co.representative}")
+                servers.append(dev)
+                engine.process(server_proc(dev, list(occupancy_of[co.representative])))
+        else:
+            for srv in allocation.servers:
+                dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{srv.server_index}")
+                servers.append(dev)
+                engine.process(server_proc(dev, list(srv.occupancies)))
 
     engine.run()  # drain every scheduled event
 
@@ -214,4 +307,9 @@ def run_des_fleet(
         period=period,
         client_accounts=tuple(d.account for d in clients),
         server_accounts=tuple(d.account for d in servers),
+        n_clients=n_clients,
+        client_multiplicities=tuple(c.multiplicity for c in client_cohorts),
+        server_multiplicities=tuple(c.multiplicity for c in server_cohorts),
+        client_cohorts=tuple(c.member_ids for c in client_cohorts),
+        server_cohorts=tuple(c.member_ids for c in server_cohorts),
     )

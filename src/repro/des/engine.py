@@ -5,6 +5,25 @@ The :class:`Engine` owns simulated time and a heap of pending
 (:mod:`repro.des.process`) are built on top of events.  The loop is
 deterministic: events scheduled at the same time fire in ``(priority,
 insertion order)``.
+
+Fast path (million-client fleets)
+---------------------------------
+Three mechanisms keep the per-event constant factor down without changing
+any observable semantics:
+
+* **Batched run loop** — :meth:`Engine.run` pops and fires events in one
+  tight loop with the heap and bound methods held in locals, instead of
+  paying a ``peek()``/``step()`` method-dispatch round trip per event.
+* **Lazy cancellation** — :meth:`Event.cancel` marks a scheduled event
+  dead; the run loop discards it on pop.  This replaces O(n) removal from
+  the heap (or from long callback lists) for abandoned timeouts.
+* **Timeout slab/pool** — with ``Engine(pool_timeouts=True)``, fired
+  :class:`Timeout` objects with no remaining listeners are recycled
+  through a free list, so a fleet simulation allocates O(live processes)
+  timeout objects rather than O(total events).  Pooling is opt-in because
+  code that holds a reference to a fired timeout and inspects it later
+  would observe the recycled (re-armed) state; the fleet simulators never
+  do (timeouts are always ``yield``-ed and dropped).
 """
 
 from __future__ import annotations
@@ -45,7 +64,7 @@ class Event:
     silently.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled", "_fired", "_defused")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled", "_fired", "_defused", "_cancelled")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -55,6 +74,7 @@ class Event:
         self._scheduled = False
         self._fired = False
         self._defused = False
+        self._cancelled = False
 
     # -- state -----------------------------------------------------------
     @property
@@ -82,6 +102,22 @@ class Event:
     def defuse(self) -> None:
         """Mark a failure as handled so the kernel will not re-raise it."""
         self._defused = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been lazily cancelled."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Lazily cancel a scheduled event: it will never fire.
+
+        The heap entry stays in place and is discarded when popped — O(1)
+        instead of an O(n) heap removal.  Cancelling an already-fired event
+        is a kernel misuse error; cancelling twice is a no-op.
+        """
+        if self._fired:
+            raise SimulationError("cannot cancel an event that already fired")
+        self._cancelled = True
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -119,6 +155,42 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class Timeout(Event):
+    """A pre-triggered delay event (the kernel's hottest allocation).
+
+    Construction bypasses the generic :meth:`Event._trigger` guard chain —
+    a fresh timeout cannot already be triggered — and schedules directly.
+    Instances may be recycled through the engine's slab when pooling is on
+    (see :meth:`Engine.timeout`).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        # Deliberately does not call Event.__init__/succeed: one attribute
+        # sweep plus one heap push is the whole construction.
+        self.engine = engine
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._scheduled = True
+        self._fired = False
+        self._defused = False
+        self._cancelled = False
+        engine._schedule(self, delay)
+
+    def _rearm(self, delay: float, value: Any) -> None:
+        """Reset a recycled instance and schedule it again (pool path)."""
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._scheduled = True
+        self._fired = False
+        self._defused = False
+        self._cancelled = False
+        self.engine._schedule(self, delay)
+
+
 class Engine:
     """Discrete-event simulation engine.
 
@@ -135,11 +207,16 @@ class Engine:
     [5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    __slots__ = ("_now", "_queue", "_counter", "_active", "_pool", "_pool_timeouts", "_pool_cap")
+
+    def __init__(self, start_time: float = 0.0, pool_timeouts: bool = False, pool_cap: int = 4096) -> None:
         self._now = float(start_time)
         self._queue: list = []
         self._counter = itertools.count()
         self._active = 0  # scheduled-but-unfired events
+        self._pool: list = []  # recycled Timeout slab (pool_timeouts=True)
+        self._pool_timeouts = bool(pool_timeouts)
+        self._pool_cap = int(pool_cap)
 
     @property
     def now(self) -> float:
@@ -152,12 +229,18 @@ class Engine:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that fires after ``delay`` simulated seconds."""
+        """An event that fires after ``delay`` simulated seconds.
+
+        With ``pool_timeouts=True`` the instance may come from the recycle
+        slab instead of a fresh allocation.
+        """
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
-        ev = Event(self)
-        ev.succeed(value, delay=delay)
-        return ev
+        if self._pool:
+            ev = self._pool.pop()
+            ev._rearm(delay, value)
+            return ev
+        return Timeout(self, delay, value)
 
     def process(self, generator) -> "Process":
         """Start a generator as a simulation process (see :class:`Process`)."""
@@ -171,31 +254,66 @@ class Engine:
         self._active += 1
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` when the queue is empty."""
+        """Time of the next event, or ``inf`` when the queue is empty.
+
+        May name a lazily-cancelled event: cancellations are only resolved
+        when the entry is popped.
+        """
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Fire the single next event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        time, _prio, _seq, event = heapq.heappop(self._queue)
-        self._active -= 1
-        if time < self._now:  # pragma: no cover - heap invariant guards this
-            raise SimulationError("event queue corrupted: time moved backwards")
-        self._now = time
-        event._fire()
+        """Fire the single next (non-cancelled) event."""
+        while True:
+            if not self._queue:
+                raise SimulationError("step() on an empty event queue")
+            time, _prio, _seq, event = heapq.heappop(self._queue)
+            self._active -= 1
+            if event._cancelled:
+                continue
+            if time < self._now:  # pragma: no cover - heap invariant guards this
+                raise SimulationError("event queue corrupted: time moved backwards")
+            self._now = time
+            event._fire()
+            return
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``.
 
         When ``until`` is given, the clock is advanced exactly to ``until``
         even if the last event fires earlier, so monitors see a full window.
+
+        This is the batched fast path: the heap, the pop, and the recycle
+        slab are bound to locals so each event costs one tuple unpack and
+        one ``_fire`` call, with no per-event property or method dispatch.
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self.peek() > until:
-                break
-            self.step()
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._pool if self._pool_timeouts else None
+        pool_cap = self._pool_cap
+        bound = float("inf") if until is None else until
+        fired = 0
+        try:
+            while queue:
+                if queue[0][0] > bound:
+                    break
+                time, _prio, _seq, event = pop(queue)
+                fired += 1
+                if event._cancelled:
+                    if pool is not None and type(event) is Timeout and len(pool) < pool_cap:
+                        pool.append(event)
+                    continue
+                self._now = time
+                event._fire()
+                if (
+                    pool is not None
+                    and type(event) is Timeout
+                    and not event.callbacks
+                    and len(pool) < pool_cap
+                ):
+                    pool.append(event)
+        finally:
+            self._active -= fired
         if until is not None:
             self._now = max(self._now, float(until))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Generator, Iterable
 
 from repro.des.engine import Engine, Event, Interrupt, SimulationError
+from repro.des.engine import Timeout as _PooledTimeout
 
 
 class Process(Event):
@@ -49,10 +50,23 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         if self._waiting_on is not None:
             # Detach from the event we were waiting for.
+            target = self._waiting_on
             try:
-                self._waiting_on.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            # Fast path: on a pooling engine, an orphaned timeout (no other
+            # listener) is lazily cancelled so the run loop can discard and
+            # recycle it instead of firing into the void.  Only done when
+            # pooling is on — default engines keep the documented "the event
+            # keeps running; the process may re-wait on it" contract.
+            if (
+                self.engine._pool_timeouts
+                and not target.callbacks
+                and type(target) is _PooledTimeout
+                and not target._fired
+            ):
+                target._cancelled = True
             self._waiting_on = None
         kick = Event(self.engine)
         kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
@@ -83,9 +97,10 @@ class Process(Event):
             self._generator.close()
             self.fail(SimulationError(f"process yielded {type(target).__name__}, expected Event"))
             return
-        if target.processed:
+        if target.processed or target._cancelled:
             self._generator.close()
-            self.fail(SimulationError("process yielded an already-processed event"))
+            kind = "cancelled" if target._cancelled else "already-processed"
+            self.fail(SimulationError(f"process yielded a {kind} event"))
             return
         self._waiting_on = target
         target.callbacks.append(self._resume)

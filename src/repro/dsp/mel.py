@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 
@@ -65,4 +67,26 @@ def mel_filterbank(
         # Slaney area normalization: 2 / bandwidth.
         enorm = 2.0 / (hz_points[2:] - hz_points[:-2])
         bank *= enorm[:, None]
+    return bank
+
+
+@lru_cache(maxsize=32)
+def cached_mel_filterbank(
+    sample_rate: int,
+    n_fft: int,
+    n_mels: int = 128,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Memoized :func:`mel_filterbank`, shared across pipeline instances.
+
+    The bank is the dominant setup cost of a mel pipeline, and every
+    :class:`~repro.dsp.spectrogram.MelSpectrogram` built from the same
+    config needs the identical matrix — so it is computed once per distinct
+    parameter tuple and returned **read-only** (all callers share one
+    array; mutate a copy if you need to).
+    """
+    bank = mel_filterbank(sample_rate, n_fft, n_mels, fmin, fmax, normalize)
+    bank.flags.writeable = False
     return bank

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.mel import mel_filterbank
+from repro.dsp.mel import cached_mel_filterbank
 from repro.dsp.stft import stft
 
 
@@ -56,14 +56,16 @@ class SpectrogramConfig:
 class MelSpectrogram:
     """Callable audio → (n_mels, n_frames) mel power/dB spectrogram.
 
-    The filterbank is computed once at construction and reused across clips
-    (it is the dominant setup cost); the per-clip path is a strided STFT plus
-    one matmul.
+    The filterbank comes from the module-level memo keyed on the config
+    (:func:`repro.dsp.mel.cached_mel_filterbank`), so instances built with
+    equal settings share one immutable matrix instead of each paying the
+    dominant setup cost; the per-clip path is a strided STFT (with a
+    likewise-cached analysis window) plus one matmul.
     """
 
     def __init__(self, config: SpectrogramConfig = SpectrogramConfig()) -> None:
         self.config = config
-        self._bank = mel_filterbank(
+        self._bank = cached_mel_filterbank(
             sample_rate=config.sample_rate,
             n_fft=config.n_fft,
             n_mels=config.n_mels,
@@ -73,10 +75,8 @@ class MelSpectrogram:
 
     @property
     def filterbank(self) -> np.ndarray:
-        """The (n_mels, n_fft//2+1) filterbank (read-only view)."""
-        view = self._bank.view()
-        view.flags.writeable = False
-        return view
+        """The (n_mels, n_fft//2+1) filterbank (read-only, shared)."""
+        return self._bank
 
     def power(self, signal: np.ndarray) -> np.ndarray:
         """Mel *power* spectrogram, shape ``(n_mels, n_frames)``."""

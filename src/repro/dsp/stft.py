@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from repro.dsp.windows import get_window
+from repro.dsp.windows import cached_window
 
 
 def frame_signal(signal: np.ndarray, frame_length: int, hop: int, center: bool = True) -> np.ndarray:
@@ -53,7 +53,7 @@ def stft(
     Matches the paper's feature settings by default (n_fft 2048, hop 512).
     """
     frames = frame_signal(signal, n_fft, hop, center=center)
-    win = get_window(window, n_fft)
+    win = cached_window(window, n_fft)
     # Windowing copies; the rfft is applied across the frame axis in one call.
     spectra = np.fft.rfft(frames * win[None, :], axis=1)
     return spectra.T

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 
@@ -38,6 +40,24 @@ def get_window(name: str, length: int) -> np.ndarray:
         known = ", ".join(sorted(_WINDOWS))
         raise ValueError(f"unknown window {name!r} (known: {known})") from None
     return fn(length)
+
+
+def cached_window(name: str, length: int) -> np.ndarray:
+    """Memoized :func:`get_window`, returned **read-only**.
+
+    The STFT recomputed its analysis window on every call; with the paper
+    settings that is one 2048-point cosine table per clip.  All callers of
+    the same (name, length) pair — case-insensitively — share one
+    immutable array instead.
+    """
+    return _cached_window(name.lower(), length)
+
+
+@lru_cache(maxsize=64)
+def _cached_window(name: str, length: int) -> np.ndarray:
+    window = get_window(name, length)
+    window.flags.writeable = False
+    return window
 
 
 def _check_length(length: int) -> None:

@@ -8,8 +8,11 @@ client.
 
 from __future__ import annotations
 
+from typing import List, Optional, Tuple
+
 import numpy as np
 
+from repro.core.parallel import parallel_map
 from repro.experiments.report import ExperimentResult
 from repro.network.contention import fitted_loss_b_seconds_per_client, simulate_slot_contention
 from repro.network.wifi import WIFI_80211N_2G4
@@ -19,7 +22,29 @@ from repro.util.tabulate import render_table
 AUDIO_PAYLOAD_BYTES = 441_000
 
 
-def run(max_clients: int = 10, n_trials: int = 30, seed: int = 0) -> ExperimentResult:
+def _occupancy_trials(args) -> Tuple[float, float]:
+    """Worker: (mean, std) slot receive time for one occupancy level.
+
+    The per-trial seeds arrive pre-drawn (sequentially, from the single
+    experiment stream) so fanning occupancies out over processes cannot
+    change any draw — parallel results match serial bit-for-bit.
+    """
+    k, trial_seeds = args
+    times = [
+        simulate_slot_contention(
+            AUDIO_PAYLOAD_BYTES, k, WIFI_80211N_2G4, seed=s
+        ).slot_receive_time
+        for s in trial_seeds
+    ]
+    return float(np.mean(times)), float(np.std(times))
+
+
+def run(
+    max_clients: int = 10,
+    n_trials: int = 30,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ext-contention",
         title="Loss model B from first principles (slot contention)",
@@ -30,16 +55,14 @@ def run(max_clients: int = 10, n_trials: int = 30, seed: int = 0) -> ExperimentR
     )
     rows = []
     occupancies = list(range(1, max_clients + 1))
-    means = []
     rng = np.random.default_rng(seed)
-    for k in occupancies:
-        times = [
-            simulate_slot_contention(AUDIO_PAYLOAD_BYTES, k, WIFI_80211N_2G4,
-                                     seed=int(rng.integers(2**62))).slot_receive_time
-            for _ in range(n_trials)
-        ]
-        means.append(float(np.mean(times)))
-        rows.append((k, means[-1], float(np.std(times))))
+    work: List[tuple] = [
+        (k, [int(rng.integers(2**62)) for _ in range(n_trials)]) for k in occupancies
+    ]
+    stats = parallel_map(_occupancy_trials, work, workers=workers)
+    means = [m for m, _ in stats]
+    for k, (mean, std) in zip(occupancies, stats):
+        rows.append((k, mean, std))
     result.add_series("occupancy", np.asarray(occupancies))
     result.add_series("mean_receive_time_s", np.asarray(means))
     result.tables.append(render_table(

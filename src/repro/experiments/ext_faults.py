@@ -22,11 +22,13 @@ bit-for-bit (same allocator, same closed-form slot energy as ``fig6``).
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
 from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
 from repro.core.losses import ClientLoss, LossConfig
+from repro.core.parallel import parallel_map
 from repro.core.routines import make_scenario
 from repro.core.simulate import simulate_fleet
 from repro.experiments.report import ExperimentResult
@@ -50,6 +52,57 @@ def _faults_at(mtbf_h: float) -> FaultConfig:
     )
 
 
+def _rate_point(args) -> tuple:
+    """Worker: one MTBF point of the availability/energy sweep.
+
+    Seed-stable: the point's seed is ``derive_seed(seed, "rate-sweep", i)``
+    — a function of the point index only, so serial and parallel runs are
+    bit-identical.
+    """
+    i, mtbf_h, model, max_parallel, n_clients, n_cycles, seed, constants = args
+    cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
+    r = run_faulty_fleet(
+        n_clients,
+        cloud,
+        _faults_at(mtbf_h),
+        n_cycles=n_cycles,
+        seed=derive_seed(seed, "rate-sweep", i),
+        constants=constants,
+    )
+    return (
+        r.availability,
+        r.report.cloud_availability,
+        r.mean_total_per_client_cycle,
+        r.resilience_energy_j / (n_clients * n_cycles),
+        int(r.n_servers_down.sum()),
+    )
+
+
+def _crossover_point(args) -> float:
+    """Worker: mean total J/client/cycle at one (setting, fleet-size) point.
+
+    The per-repetition seeds are derived from ``(label, n, rep)`` inside
+    the worker, so splitting the grid across processes cannot change them.
+    """
+    label, mtbf_h, n, n_rep, n_cycles, model, max_parallel, seed, constants = args
+    cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
+    return float(
+        np.mean(
+            [
+                run_faulty_fleet(
+                    int(n),
+                    cloud,
+                    _faults_at(mtbf_h),
+                    n_cycles=n_cycles,
+                    seed=derive_seed(seed, "crossover", label, int(n), rep),
+                    constants=constants,
+                ).mean_total_per_client_cycle
+                for rep in range(n_rep)
+            ]
+        )
+    )
+
+
 def run(
     model: str = "svm",
     max_parallel: int = 35,
@@ -58,6 +111,7 @@ def run(
     seed: int = 0,
     crossover_sizes: tuple = (350, 1000, 50),  # (min, max, step) client grid
     constants: PaperConstants = PAPER,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
     edge = make_scenario("edge", model, constants=constants)
@@ -90,28 +144,19 @@ def run(
     cloud_avail = []
     total_per_cc = []
     resilience = []
-    for i, mtbf_h in enumerate(OUTAGE_MTBF_HOURS):
-        r = run_faulty_fleet(
-            n_clients,
-            cloud,
-            _faults_at(mtbf_h),
-            n_cycles=n_cycles,
-            seed=derive_seed(seed, "rate-sweep", i),
-            constants=constants,
-        )
-        availability.append(r.availability)
-        cloud_avail.append(r.report.cloud_availability)
-        total_per_cc.append(r.mean_total_per_client_cycle)
-        resilience.append(r.resilience_energy_j / (n_clients * n_cycles))
+    rate_args = [
+        (i, mtbf_h, model, max_parallel, n_clients, n_cycles, seed, constants)
+        for i, mtbf_h in enumerate(OUTAGE_MTBF_HOURS)
+    ]
+    for mtbf_h, (avail, c_avail, total_cc, resil, down) in zip(
+        OUTAGE_MTBF_HOURS, parallel_map(_rate_point, rate_args, workers=workers)
+    ):
+        availability.append(avail)
+        cloud_avail.append(c_avail)
+        total_per_cc.append(total_cc)
+        resilience.append(resil)
         rows.append(
-            (
-                "inf" if math.isinf(mtbf_h) else f"{mtbf_h:g}",
-                r.availability,
-                r.report.cloud_availability,
-                r.mean_total_per_client_cycle,
-                resilience[-1],
-                int(r.n_servers_down.sum()),
-            )
+            ("inf" if math.isinf(mtbf_h) else f"{mtbf_h:g}", avail, c_avail, total_cc, resil, down)
         )
     result.add_series("outage_mtbf_h", np.array([h if math.isfinite(h) else 0.0 for h in OUTAGE_MTBF_HOURS]))
     result.add_series("availability", np.array(availability))
@@ -132,28 +177,25 @@ def run(
     sizes = np.arange(lo, hi + 1, step)
     cross_rows = []
     crossovers = {}
-    for label, mtbf_h in (("ideal", math.inf), ("moderate", 12.0), ("harsh", 3.0)):
-        totals = []
-        n_rep = 1 if math.isinf(mtbf_h) else 6  # fault runs avg over schedules
-        for n in sizes:
-            totals.append(
-                float(
-                    np.mean(
-                        [
-                            run_faulty_fleet(
-                                int(n),
-                                cloud,
-                                _faults_at(mtbf_h),
-                                n_cycles=max(n_cycles // 2, 16),
-                                seed=derive_seed(seed, "crossover", label, int(n), rep),
-                                constants=constants,
-                            ).mean_total_per_client_cycle
-                            for rep in range(n_rep)
-                        ]
-                    )
-                )
-            )
-        totals = np.asarray(totals)
+    settings = (("ideal", math.inf), ("moderate", 12.0), ("harsh", 3.0))
+    grid = [
+        (
+            label,
+            mtbf_h,
+            int(n),
+            1 if math.isinf(mtbf_h) else 6,  # fault runs avg over schedules
+            max(n_cycles // 2, 16),
+            model,
+            max_parallel,
+            seed,
+            constants,
+        )
+        for label, mtbf_h in settings
+        for n in sizes
+    ]
+    grid_totals = parallel_map(_crossover_point, grid, workers=workers)
+    for j, (label, _mtbf_h) in enumerate(settings):
+        totals = np.asarray(grid_totals[j * len(sizes):(j + 1) * len(sizes)])
         below = np.nonzero(totals < edge_per_client)[0]
         crossovers[label] = int(sizes[below[0]]) if below.size else None
         result.add_series(f"crossover_total_j_{label}", totals)

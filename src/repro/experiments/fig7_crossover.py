@@ -8,13 +8,30 @@ permanent crossover (~803 clients).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.calibration import PAPER, PaperConstants
 from repro.core.crossover import find_crossover, tipping_max_parallel
+from repro.core.parallel import parallel_map
 from repro.core.routines import make_scenario
 from repro.core.sweep import sweep_clients
 from repro.experiments.report import ExperimentResult
+
+
+def _cloud_setting(args) -> tuple:
+    """Worker: sweep one server setting over the full client grid.
+
+    Module-level (picklable) so :func:`repro.core.parallel.parallel_map`
+    can fan the two settings out to processes; deterministic, so parallel
+    and serial runs are bit-identical.
+    """
+    model, max_parallel, n_min, n_max, constants = args
+    n = np.arange(n_min, n_max + 1)
+    cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
+    sweep = sweep_clients(n, cloud)
+    return max_parallel, sweep.total_energy_per_client, sweep.n_servers
 
 
 def run(
@@ -22,6 +39,7 @@ def run(
     n_min: int = 100,
     n_max: int = 2000,
     constants: PaperConstants = PAPER,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     edge = make_scenario("edge", model, constants=constants)
     n = np.arange(n_min, n_max + 1)
@@ -36,14 +54,11 @@ def run(
     result.add_series("edge_per_client_j", edge_sweep.total_energy_per_client)
 
     reports = {}
-    for max_parallel in (10, 35):
-        cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
-        sweep = sweep_clients(n, cloud)
-        result.add_series(f"edge_cloud_per_client_j_p{max_parallel}", sweep.total_energy_per_client)
-        result.add_series(f"n_servers_p{max_parallel}", sweep.n_servers)
-        reports[max_parallel] = find_crossover(
-            n, edge_sweep.total_energy_per_client, sweep.total_energy_per_client
-        )
+    settings = [(model, mp, n_min, n_max, constants) for mp in (10, 35)]
+    for max_parallel, totals, n_servers in parallel_map(_cloud_setting, settings, workers=workers):
+        result.add_series(f"edge_cloud_per_client_j_p{max_parallel}", totals)
+        result.add_series(f"n_servers_p{max_parallel}", n_servers)
+        reports[max_parallel] = find_crossover(n, edge_sweep.total_energy_per_client, totals)
         result.tables.append(reports[max_parallel].render() + f"   [max_parallel={max_parallel}]")
 
     # Headline §VI-B statistics at 35 clients/slot.

@@ -32,11 +32,12 @@ energy without re-deriving slot geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocator import Allocator, FillingPolicy
 from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
 from repro.core.client import fallback_extra_energy, fallback_inference_task
+from repro.core.cohort import Cohort, expand_accounts, group_cohorts, weighted_total
 from repro.core.losses import LossConfig
 from repro.core.routines import Scenario
 from repro.des.engine import Engine, Interrupt
@@ -70,7 +71,9 @@ class _ServerState:
     def __init__(self, index: int, nominal_clients: int, capacity: int) -> None:
         self.index = index
         self.up = True
-        self.inflight: Set[object] = set()  # Process handles mid-transfer
+        # Process handles mid-transfer; a dict (not a set) so interrupt
+        # order at an outage onset is insertion order, deterministically.
+        self.inflight: Dict[object, None] = {}
         self.nominal_clients = nominal_clients
         self.capacity = capacity
         self.extra_admitted: Dict[int, int] = {}  # cycle -> failover admits
@@ -88,7 +91,13 @@ class _ServerState:
 
 @dataclass(frozen=True)
 class DesFaultyResult:
-    """Ledgers + resilience report from an event-driven faulty run."""
+    """Ledgers + resilience report from an event-driven faulty run.
+
+    ``cohort=True`` runs store one representative (unscaled) ledger per
+    cohort in ``client_accounts``, with ``client_multiplicities`` and
+    ``client_cohorts`` parallel to it; per-client properties divide by the
+    true fleet size ``n_clients``, never ``len(client_accounts)``.
+    """
 
     n_cycles: int
     period: float
@@ -97,9 +106,18 @@ class DesFaultyResult:
     report: ResilienceReport
     monitor: FaultMonitor
     schedule: FaultSchedule
+    n_clients: int = -1
+    client_multiplicities: tuple = ()
+    client_cohorts: tuple = ()  # tuple[tuple[int, ...]] parallel to client_accounts
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 0:
+            object.__setattr__(self, "n_clients", len(self.client_accounts))
 
     @property
     def edge_energy_j(self) -> float:
+        if self.client_multiplicities:
+            return weighted_total(self.client_accounts, self.client_multiplicities)
         return sum(acc.total for acc in self.client_accounts)
 
     @property
@@ -111,8 +129,20 @@ class DesFaultyResult:
         return self.edge_energy_j + self.server_energy_j
 
     @property
+    def edge_energy_per_client_cycle(self) -> float:
+        n = self.n_clients
+        return self.edge_energy_j / (n * self.n_cycles) if n else 0.0
+
+    @property
     def availability(self) -> float:
         return self.report.availability
+
+    def expand_client_accounts(self) -> tuple:
+        """Per-client ledger view (shared representative objects, id order)."""
+        if not self.client_cohorts:
+            return self.client_accounts
+        cohorts = [Cohort(key=("client", ids[0]), member_ids=ids) for ids in self.client_cohorts]
+        return expand_accounts(self.client_accounts, cohorts, self.n_clients)
 
 
 def run_des_faulty_fleet(
@@ -125,8 +155,19 @@ def run_des_faulty_fleet(
     policy: Optional[FillingPolicy] = None,
     seed: SeedLike = None,
     constants: PaperConstants = PAPER,
+    cohort: bool = False,
 ) -> DesFaultyResult:
-    """Replay ``n_cycles`` of the edge+cloud scenario with live faults."""
+    """Replay ``n_cycles`` of the edge+cloud scenario with live faults.
+
+    ``cohort=True`` enables exact cohort aggregation for *statically quiet*
+    clients: a client whose home server has no outage window and who has no
+    blackout/degradation/crash window of its own can never retry, fail over
+    or draw from its jitter stream, so its trajectory is the deterministic
+    ideal one — clients sharing a (server, slot) then collapse into one
+    multiplicity-weighted representative.  Every client touched by a fault
+    window (even an unexercised one) stays a singleton, so the collapse is
+    bit-for-bit exact, faults on or off.
+    """
     if scenario.is_edge_only:
         raise ValueError(
             "run_des_faulty_fleet needs a server to fail; "
@@ -141,7 +182,7 @@ def run_des_faulty_fleet(
     if losses.client_loss is not None:
         raise ValueError("express dropout as FaultConfig(client_crash=...), not loss C")
 
-    engine = Engine()
+    engine = Engine(pool_timeouts=True)
     horizon = n_cycles * period
     profile = scenario.server
     retry = faults.retry
@@ -216,14 +257,14 @@ def run_des_faulty_fleet(
         interrupted upload only pays for its elapsed airtime.
         """
         start = engine.now
-        state.inflight.add(holder["proc"])
+        state.inflight[holder["proc"]] = None
         try:
             yield engine.timeout(duration)
             completed = True
         except Interrupt:
             completed = False
         finally:
-            state.inflight.discard(holder["proc"])
+            state.inflight.pop(holder["proc"], None)
         elapsed = engine.now - start
         if completed:
             device.run_routine(start, [TaskPower("send_audio", duration, watts=send_w)])
@@ -333,13 +374,79 @@ def run_des_faulty_fleet(
                 end = device.run_routine(engine.now, post_tasks)
                 yield engine.timeout(end - engine.now)
 
-    for cid in range(n_clients):
-        offset = wake_offsets[cid]
-        dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
-        clients.append(dev)
-        client_ends.append(offset + horizon)
-        holder: dict = {}
-        holder["proc"] = engine.process(client_proc(cid, dev, holder))
+    def quiet_cohort_proc(device: DutyCycledDevice, home: _ServerState, slot_idx: int,
+                          offset: float, m: int):
+        """The retry ladder collapsed to its only reachable branch.
+
+        Valid only for statically quiet clients (see ``cohort=True`` above):
+        the home server is always up, the link never darkens or degrades,
+        and the client never crashes, so every cycle is a first-try OK
+        upload — identical, event for event, to what ``client_proc`` does
+        for each member.  Shared slot counters advance by ``m``.
+        """
+        for cycle in range(n_cycles):
+            wake = cycle * period + offset
+            if wake > engine.now:
+                yield engine.timeout(wake - engine.now)
+            mon.expect_cycle(m)
+            device.sleep_until(engine.now)
+            if pre_tasks:
+                end = device.run_routine(engine.now, pre_tasks)
+                yield engine.timeout(end - engine.now)
+            slot_key = (cycle, slot_idx)
+            home.slot_starts[slot_key] = home.slot_starts.get(slot_key, 0) + m
+            home.slot_time.setdefault(slot_key, engine.now)
+            start = engine.now
+            yield engine.timeout(send_task.duration)
+            device.run_routine(start, [TaskPower("send_audio", send_task.duration, watts=send_w)])
+            home.slot_done[slot_key] = home.slot_done.get(slot_key, 0) + m
+            mon.record_outcome(OUTCOME_OK, m)
+            if post_tasks:
+                end = device.run_routine(engine.now, post_tasks)
+                yield engine.timeout(end - engine.now)
+
+    client_cohorts: List[Cohort] = []
+    if cohort:
+        quiet_server = {idx: not schedule.windows_for(SERVER_OUTAGE, idx) for idx in states}
+
+        def statically_quiet(cid: int) -> bool:
+            return (
+                quiet_server[home_of[cid]]
+                and not schedule.windows_for(CLIENT_CRASH, cid)
+                and not schedule.windows_for(LINK_BLACKOUT, cid)
+                and not schedule.windows_for(LINK_DEGRADATION, cid)
+            )
+
+        key_of = {
+            cid: ("quiet", home_of[cid], slot_of[cid])
+            if statically_quiet(cid)
+            else ("solo", cid)
+            for cid in range(n_clients)
+        }
+        client_cohorts = group_cohorts(key_of)
+        for co in client_cohorts:
+            cid = co.representative
+            offset = wake_offsets[cid]
+            dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
+            clients.append(dev)
+            client_ends.append(offset + horizon)
+            if co.key[0] == "quiet":
+                engine.process(
+                    quiet_cohort_proc(
+                        dev, states[home_of[cid]], slot_of[cid], offset, co.multiplicity
+                    )
+                )
+            else:
+                holder: dict = {}
+                holder["proc"] = engine.process(client_proc(cid, dev, holder))
+    else:
+        for cid in range(n_clients):
+            offset = wake_offsets[cid]
+            dev = DutyCycledDevice(RASPBERRY_PI_3B_PLUS, start_time=offset, name=f"client-{cid}")
+            clients.append(dev)
+            client_ends.append(offset + horizon)
+            holder = {}
+            holder["proc"] = engine.process(client_proc(cid, dev, holder))
 
     engine.run()
 
@@ -431,6 +538,9 @@ def run_des_faulty_fleet(
         report=mon.report(),
         monitor=mon,
         schedule=schedule,
+        n_clients=n_clients,
+        client_multiplicities=tuple(c.multiplicity for c in client_cohorts),
+        client_cohorts=tuple(c.member_ids for c in client_cohorts),
     )
 
 

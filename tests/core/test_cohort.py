@@ -1,0 +1,202 @@
+"""Cohort aggregation: exactness against the per-client DES, plumbing units.
+
+The headline property: on randomized small fleets — with and without
+faults — the cohort-aggregated run equals the per-client run *ledger for
+ledger with ``==``*, not within a tolerance.  That is the claim that makes
+the fast path a validator rather than an approximation.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cohort import (
+    Cohort,
+    expand_accounts,
+    group_cohorts,
+    scale_account,
+    weighted_total,
+)
+from repro.core.dessim import run_des_fleet
+from repro.core.routines import EDGE_CLOUD_SVM, EDGE_SVM
+from repro.core.simulate import simulate_fleet
+from repro.energy.account import EnergyAccount
+from repro.faults.config import FaultConfig
+from repro.faults.desfaults import run_des_faulty_fleet
+from repro.faults.spec import ClientCrash, LinkBlackout, LinkDegradation, ServerOutage
+
+
+def assert_ledgers_equal(a: EnergyAccount, b: EnergyAccount) -> None:
+    """Exact (float ``==``) equality of two ledgers, totals and durations."""
+    assert a.breakdown() == b.breakdown()
+    for category in a.breakdown():
+        assert a.category_duration(category) == b.category_duration(category)
+
+
+class TestPlumbing:
+    def test_group_cohorts_by_exact_key(self):
+        cohorts = group_cohorts({0: 1.5, 1: 2.5, 2: 1.5, 3: 2.5, 4: 9.0})
+        assert [c.member_ids for c in cohorts] == [(0, 2), (1, 3), (4,)]
+        assert [c.representative for c in cohorts] == [0, 1, 4]
+        assert [c.multiplicity for c in cohorts] == [2, 2, 1]
+
+    def test_group_cohorts_float_keys_not_fuzzy(self):
+        cohorts = group_cohorts({0: 1.0, 1: 1.0 + 1e-12})
+        assert len(cohorts) == 2
+
+    def test_cohort_validates_member_ids(self):
+        with pytest.raises(ValueError):
+            Cohort(key=("k",), member_ids=())
+        with pytest.raises(ValueError):
+            Cohort(key=("k",), member_ids=(3, 1))
+        with pytest.raises(ValueError):
+            Cohort(key=("k",), member_ids=(1, 1))
+
+    def test_scale_account(self):
+        acc = EnergyAccount(owner="rep")
+        acc.charge("sleep", 2.5, 100.0)
+        acc.charge("send_audio", 1.25, 3.0)
+        scaled = scale_account(acc, 4)
+        assert scaled.breakdown() == {"sleep": 10.0, "send_audio": 5.0}
+        assert scaled.category_duration("sleep") == 400.0
+        with pytest.raises(ValueError):
+            scale_account(acc, 0)
+
+    def test_expand_accounts_shares_objects_and_validates(self):
+        a, b = EnergyAccount(owner="a"), EnergyAccount(owner="b")
+        cohorts = [
+            Cohort(key=("x",), member_ids=(0, 2)),
+            Cohort(key=("y",), member_ids=(1,)),
+        ]
+        expanded = expand_accounts([a, b], cohorts, 3)
+        assert expanded == (a, b, a)
+        assert expanded[0] is expanded[2]
+        with pytest.raises(ValueError):
+            expand_accounts([a], cohorts, 3)  # not parallel
+        with pytest.raises(ValueError):
+            expand_accounts([a, b], cohorts, 2)  # id 2 out of range
+        with pytest.raises(ValueError):  # overlap
+            expand_accounts(
+                [a, b],
+                [Cohort(key=("x",), member_ids=(0, 1)), Cohort(key=("y",), member_ids=(1,))],
+                2,
+            )
+        with pytest.raises(ValueError):  # uncovered entity
+            expand_accounts([a], [Cohort(key=("x",), member_ids=(0,))], 2)
+
+    def test_weighted_total(self):
+        a, b = EnergyAccount(owner="a"), EnergyAccount(owner="b")
+        a.charge("x", 3.0)
+        b.charge("x", 5.0)
+        assert weighted_total([a, b], [10, 1]) == 10 * 3.0 + 5.0
+
+
+class TestIdealPathExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=3))
+    def test_cohort_equals_per_client_edge_cloud(self, n, n_cycles):
+        per = run_des_fleet(n, EDGE_CLOUD_SVM, n_cycles=n_cycles)
+        coh = run_des_fleet(n, EDGE_CLOUD_SVM, n_cycles=n_cycles, cohort=True)
+        assert coh.n_clients == per.n_clients == n
+        expanded = coh.expand_client_accounts()
+        assert len(expanded) == n
+        for a, b in zip(per.client_accounts, expanded):
+            assert_ledgers_equal(a, b)
+        for a, b in zip(per.server_accounts, coh.expand_server_accounts()):
+            assert_ledgers_equal(a, b)
+        # Summing the expansion in id order reproduces the per-client
+        # aggregate bit-for-bit.
+        assert sum(acc.total for acc in expanded) == per.edge_energy_j
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=64))
+    def test_cohort_equals_per_client_edge_only(self, n):
+        per = run_des_fleet(n, EDGE_SVM, n_cycles=2)
+        coh = run_des_fleet(n, EDGE_SVM, n_cycles=2, cohort=True)
+        # Every edge-only client has offset 0.0: one cohort carries all.
+        assert len(coh.client_accounts) == 1
+        assert coh.client_multiplicities == (n,)
+        for a, b in zip(per.client_accounts, coh.expand_client_accounts()):
+            assert_ledgers_equal(a, b)
+
+    def test_cohort_collapses_to_slot_count(self):
+        coh = run_des_fleet(700, EDGE_CLOUD_SVM, n_cycles=1, cohort=True)
+        assert coh.n_clients == 700
+        assert sum(coh.client_multiplicities) == 700
+        # One cohort per distinct wake offset = per slot index in use.
+        assert len(coh.client_accounts) <= 20
+        assert len(coh.server_accounts) <= 2
+
+
+HEAVY_FAULTS = FaultConfig(
+    server_outage=ServerOutage(mtbf_s=1800.0, repair_s=40.0),
+    link_blackout=LinkBlackout(mtbf_s=2400.0, repair_s=25.0),
+    client_crash=ClientCrash(mtbf_s=3600.0, repair_s=60.0),
+    link_degradation=LinkDegradation(mtbf_s=2000.0, repair_s=30.0, throughput_factor=0.5),
+)
+RARE_FAULTS = FaultConfig(server_outage=ServerOutage(mtbf_s=1e12, repair_s=1.0))
+
+
+class TestFaultyPathExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    @pytest.mark.parametrize("n", [5, 37, 64])
+    def test_cohort_equals_per_client_under_faults(self, seed, n):
+        per = run_des_faulty_fleet(
+            n, EDGE_CLOUD_SVM, faults=HEAVY_FAULTS, n_cycles=3, seed=seed
+        )
+        coh = run_des_faulty_fleet(
+            n, EDGE_CLOUD_SVM, faults=HEAVY_FAULTS, n_cycles=3, seed=seed, cohort=True
+        )
+        assert coh.n_clients == n
+        for a, b in zip(per.client_accounts, coh.expand_client_accounts()):
+            assert_ledgers_equal(a, b)
+        for a, b in zip(per.server_accounts, coh.server_accounts):
+            assert_ledgers_equal(a, b)
+        assert per.report == coh.report
+
+    @pytest.mark.parametrize("seed", [0, 42])
+    def test_quiet_fleet_collapses_under_rare_faults(self, seed):
+        n = 64
+        per = run_des_faulty_fleet(
+            n, EDGE_CLOUD_SVM, faults=RARE_FAULTS, n_cycles=3, seed=seed
+        )
+        coh = run_des_faulty_fleet(
+            n, EDGE_CLOUD_SVM, faults=RARE_FAULTS, n_cycles=3, seed=seed, cohort=True
+        )
+        # No fault window fires, so every client is statically quiet and
+        # cohorts collapse to the slot structure.
+        assert len(coh.client_accounts) < n / 4
+        for a, b in zip(per.client_accounts, coh.expand_client_accounts()):
+            assert_ledgers_equal(a, b)
+        assert per.report == coh.report
+
+    def test_des_fleet_delegates_cohort_flag(self):
+        res = run_des_fleet(
+            24, EDGE_CLOUD_SVM, n_cycles=2, faults=HEAVY_FAULTS, seed=3, cohort=True
+        )
+        assert res.n_clients == 24
+        assert len(res.expand_client_accounts()) == 24
+
+
+class TestAnalyticAgreementOnFastPath:
+    @pytest.mark.parametrize("n", [37, 700, 5000])
+    def test_cohort_des_matches_analytic(self, n):
+        analytic = simulate_fleet(n, EDGE_CLOUD_SVM)
+        des = run_des_fleet(n, EDGE_CLOUD_SVM, n_cycles=3, cohort=True)
+        assert des.edge_energy_j / 3 == pytest.approx(analytic.edge_energy_j, rel=1e-9)
+        assert des.server_energy_j / 3 == pytest.approx(analytic.server_energy_j, rel=1e-9)
+        assert des.edge_energy_per_client_cycle == pytest.approx(
+            analytic.edge_energy_j / n, rel=1e-9
+        )
+
+    def test_per_client_properties_use_true_fleet_size(self):
+        des = run_des_fleet(700, EDGE_CLOUD_SVM, n_cycles=2, cohort=True)
+        # Regression: with ~15 cohort ledgers for 700 clients, dividing by
+        # len(client_accounts) would overstate per-client energy ~47x.
+        assert des.n_clients == 700
+        assert len(des.client_accounts) < 50
+        per_cc = des.edge_energy_per_client_cycle
+        analytic = simulate_fleet(700, EDGE_CLOUD_SVM)
+        assert per_cc == pytest.approx(analytic.edge_energy_j / 700, rel=1e-9)
+        assert math.isfinite(per_cc)

@@ -1,0 +1,68 @@
+"""Memoized DSP tables: shared filterbanks and analysis windows."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mel import cached_mel_filterbank, mel_filterbank
+from repro.dsp.spectrogram import MelSpectrogram, SpectrogramConfig
+from repro.dsp.stft import stft
+from repro.dsp.windows import cached_window, get_window
+
+
+class TestCachedFilterbank:
+    def test_same_config_shares_one_array(self):
+        a = cached_mel_filterbank(22050, 2048, 128)
+        b = cached_mel_filterbank(22050, 2048, 128)
+        assert a is b
+
+    def test_values_match_uncached(self):
+        np.testing.assert_array_equal(
+            cached_mel_filterbank(22050, 1024, 64), mel_filterbank(22050, 1024, 64)
+        )
+
+    def test_cached_bank_is_read_only(self):
+        bank = cached_mel_filterbank(22050, 2048, 128)
+        with pytest.raises(ValueError):
+            bank[0, 0] = 1.0
+
+    def test_distinct_configs_distinct_arrays(self):
+        assert cached_mel_filterbank(22050, 2048, 128) is not cached_mel_filterbank(
+            22050, 2048, 64
+        )
+
+    def test_melspectrogram_instances_share_bank(self):
+        cfg = SpectrogramConfig()
+        a, b = MelSpectrogram(cfg), MelSpectrogram(cfg)
+        assert a.filterbank is b.filterbank
+        with pytest.raises(ValueError):
+            a.filterbank[0, 0] = 1.0
+
+    def test_melspectrogram_output_unchanged(self):
+        clip = np.random.default_rng(0).normal(size=22050)
+        mel = MelSpectrogram(SpectrogramConfig())
+        manual_bank = mel_filterbank(22050, 2048, 128)
+        spec = stft(clip, n_fft=2048, hop=512)
+        expected = manual_bank @ (np.abs(spec) ** 2)
+        np.testing.assert_allclose(mel.power(clip), expected, rtol=1e-12)
+
+
+class TestCachedWindow:
+    def test_same_window_shared_and_read_only(self):
+        a = cached_window("hann", 2048)
+        assert a is cached_window("hann", 2048)
+        assert a is cached_window("HANN", 2048)  # case-normalized key
+        with pytest.raises(ValueError):
+            a[0] = 1.0
+
+    def test_values_match_uncached(self):
+        for name in ("hann", "hamming", "rectangular"):
+            np.testing.assert_array_equal(cached_window(name, 512), get_window(name, 512))
+
+    def test_unknown_window_still_raises(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            cached_window("kaiser", 512)
+
+    def test_get_window_stays_writable(self):
+        win = get_window("hann", 128)
+        win[0] = 5.0  # fresh, caller-owned array
+        assert win[0] == 5.0
