@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-series", action="store_true", help="with --json: omit the (large) series arrays"
     )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="run every simulation invariant checker during the experiments "
+        "and validate the output schema (see docs/TESTING.md); "
+        "reports the number of checks that ran",
+    )
     return parser
 
 
@@ -64,6 +70,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.validate:
+        from contextlib import ExitStack
+
+        from repro.validate import (
+            check_experiment_result,
+            checks_run,
+            reset_check_count,
+            validation,
+        )
+
+        stack = ExitStack()
+        stack.enter_context(validation(True))
+        reset_check_count()
     json_out = []
     for eid in ids:
         kwargs = {}
@@ -72,6 +91,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.workers is not None and eid in _PARALLEL:
             kwargs["workers"] = args.workers
         result = run_experiment(eid, **kwargs)
+        if args.validate:
+            check_experiment_result(result, include_series=not args.no_series)
         if args.json:
             json_out.append(result.to_dict(include_series=not args.no_series))
         else:
@@ -88,6 +109,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         import json
 
         print(json.dumps(json_out, indent=2))
+    if args.validate:
+        stack.close()
+        n = checks_run()
+        # Parallel worker processes run their own checkers but cannot report
+        # into this process's counter (documented in docs/TESTING.md).
+        print(f"validation: {n} invariant check(s) ran, 0 violations", file=sys.stderr)
+        if n == 0:
+            print("validation: WARNING — no checkers ran", file=sys.stderr)
     return 0
 
 

@@ -19,6 +19,7 @@ from typing import List, Optional, Protocol, Sequence
 from repro.core.calibration import CYCLE_SECONDS
 from repro.core.losses import LossConfig
 from repro.core.server import ServerProfile, SlotPlan
+from repro.validate.errors import InvariantViolation
 
 
 @dataclass(frozen=True)
@@ -66,7 +67,8 @@ class Allocation:
         raise KeyError(f"client {client_id} is not allocated")
 
     def validate(self) -> None:
-        """Check structural invariants; raises ``ValueError`` on violation.
+        """Check structural invariants; raises :class:`InvariantViolation`
+        (a ``ValueError`` subclass, so pre-existing handlers keep working).
 
         The ``seen`` set spans *all* servers, so a client id appearing on
         two different servers (a failover-repack bug) is rejected, not just
@@ -75,19 +77,27 @@ class Allocation:
         seen = set()
         for srv in self.servers:
             if len(srv.slots) > self.plan.slots_per_cycle:
-                raise ValueError(
+                raise InvariantViolation(
+                    "slot-occupancy",
                     f"server {srv.server_index} uses {len(srv.slots)} slots "
-                    f"(> {self.plan.slots_per_cycle} per cycle)"
+                    f"(> {self.plan.slots_per_cycle} per cycle)",
+                    {"server_index": srv.server_index},
                 )
             for slot in srv.slots:
                 if len(slot) > self.plan.max_parallel:
-                    raise ValueError(
+                    raise InvariantViolation(
+                        "slot-occupancy",
                         f"server {srv.server_index}: slot holds {len(slot)} clients "
-                        f"(> max_parallel {self.plan.max_parallel})"
+                        f"(> max_parallel {self.plan.max_parallel})",
+                        {"server_index": srv.server_index},
                     )
                 for cid in slot:
                     if cid in seen:
-                        raise ValueError(f"client {cid} allocated twice")
+                        raise InvariantViolation(
+                            "slot-occupancy",
+                            f"client {cid} allocated twice",
+                            {"client_id": cid},
+                        )
                     seen.add(cid)
 
 

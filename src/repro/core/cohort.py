@@ -125,4 +125,33 @@ def weighted_total(accounts: Sequence[EnergyAccount], multiplicities: Sequence[i
     return sum(m * acc.total for m, acc in zip(multiplicities, accounts))
 
 
-__all__ = ["Cohort", "group_cohorts", "scale_account", "expand_accounts", "weighted_total"]
+def check_partition(member_id_groups: Sequence[Sequence[int]], n_entities: int) -> None:
+    """Raise ``ValueError`` unless the id groups partition ``range(n_entities)``.
+
+    Pure structural check (no account objects needed) — the invariant layer
+    uses it to assert cohort exactness preconditions on any result that
+    carries ``client_cohorts``/``server_cohorts``.
+    """
+    seen = set()
+    for group in member_id_groups:
+        for eid in group:
+            if eid < 0 or eid >= n_entities:
+                raise ValueError(f"member id {eid} outside 0..{n_entities - 1}")
+            if eid in seen:
+                raise ValueError(f"entity {eid} appears in two cohorts")
+            seen.add(eid)
+    if len(seen) != n_entities:
+        missing = [i for i in range(n_entities) if i not in seen]
+        raise ValueError(
+            f"entities without a cohort: {missing[:5]}{'...' if len(missing) > 5 else ''}"
+        )
+
+
+__all__ = [
+    "Cohort",
+    "group_cohorts",
+    "scale_account",
+    "expand_accounts",
+    "weighted_total",
+    "check_partition",
+]

@@ -152,6 +152,7 @@ def run_des_fleet(
     faults=None,
     seed=None,
     cohort: bool = False,
+    validate: Optional[bool] = None,
 ):
     """Replay ``n_cycles`` of the scenario event by event.
 
@@ -170,6 +171,11 @@ def run_des_fleet(
     (servers), with multiplicity-scaled ledgers.  Member trajectories are
     bit-for-bit identical, so the collapse changes no floats at the ledger
     level — property-tested against the per-client path on small fleets.
+
+    ``validate=True`` (or the global ``--validate`` switch when left at
+    ``None``) runs the full invariant suite on the finished run: ledger
+    conservation, cohort partition, slot occupancy, clock monotonicity, and
+    DES-vs-analytic energy reconciliation (see :mod:`repro.validate`).
     """
     if faults is not None and faults.any_active:
         from repro.faults.desfaults import run_des_faulty_fleet
@@ -184,6 +190,7 @@ def run_des_fleet(
             policy=policy,
             seed=seed,
             cohort=cohort,
+            validate=validate,
         )
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
@@ -302,7 +309,7 @@ def run_des_fleet(
     for dev in servers:
         dev.finish(horizon)
 
-    return DesFleetResult(
+    result = DesFleetResult(
         n_cycles=n_cycles,
         period=period,
         client_accounts=tuple(d.account for d in clients),
@@ -313,3 +320,20 @@ def run_des_fleet(
         client_cohorts=tuple(c.member_ids for c in client_cohorts),
         server_cohorts=tuple(c.member_ids for c in server_cohorts),
     )
+
+    from repro.validate.state import resolve
+
+    if resolve(validate):
+        from repro.validate.invariants import validate_des_run
+
+        validate_des_run(
+            result,
+            scenario=scenario,
+            engine=engine,
+            allocation=allocation,
+            devices=tuple(clients) + tuple(servers),
+            losses=losses,
+            sizing_extra_s=sizing_extra,
+            context={"scenario_name": scenario.name, "cohort": cohort},
+        )
+    return result

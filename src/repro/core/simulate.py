@@ -19,6 +19,7 @@ from repro.core.losses import LossConfig
 from repro.core.routines import Scenario
 from repro.core.server import ServerProfile
 from repro.util.rng import SeedLike, make_rng
+from repro.validate.state import resolve as _resolve_validate
 
 
 def occupied_slot_energy(
@@ -127,6 +128,7 @@ def simulate_fleet(
     policy: Optional[FillingPolicy] = None,
     seed: SeedLike = None,
     n_active: Optional[int] = None,
+    validate: Optional[bool] = None,
 ) -> FleetResult:
     """Simulate one cycle of ``n_clients`` running ``scenario``.
 
@@ -149,6 +151,10 @@ def simulate_fleet(
         extension point through which the fault subsystem
         (:mod:`repro.faults`) drives dropout from its own crash processes
         while reusing the allocation and energy math unchanged.
+    validate:
+        Run the invariant checkers on the result (``None`` defers to the
+        global switch flipped by ``repro-exp --validate``; see
+        :mod:`repro.validate`).
     """
     if n_clients < 0:
         raise ValueError("n_clients must be >= 0")
@@ -169,7 +175,7 @@ def simulate_fleet(
     edge_energy = active * scenario.client.cycle_energy
 
     if scenario.is_edge_only:
-        return FleetResult(
+        result = FleetResult(
             scenario_name=scenario.name,
             n_clients_initial=n_clients,
             n_clients_active=active,
@@ -181,33 +187,45 @@ def simulate_fleet(
             server_energy_j=0.0,
             losses_description=losses.describe(),
         )
-
-    server = scenario.server
-    assert server is not None
-    allocator = Allocator(server, period=period, losses=losses, policy=policy)
-    allocation = allocator.allocate(active)
-    server_energy = sum(
-        server_cycle_energy(
-            server,
-            assignment.occupancies,
-            period=period,
-            sizing_extra_s=allocator.sizing_extra_s,
-            losses=losses,
+        allocation = None
+    else:
+        server = scenario.server
+        assert server is not None
+        allocator = Allocator(server, period=period, losses=losses, policy=policy)
+        allocation = allocator.allocate(active)
+        server_energy = sum(
+            server_cycle_energy(
+                server,
+                assignment.occupancies,
+                period=period,
+                sizing_extra_s=allocator.sizing_extra_s,
+                losses=losses,
+            )
+            for assignment in allocation.servers
         )
-        for assignment in allocation.servers
-    )
-    return FleetResult(
-        scenario_name=scenario.name,
-        n_clients_initial=n_clients,
-        n_clients_active=active,
-        n_servers=allocation.n_servers,
-        slots_per_server=allocator.plan.slots_per_cycle,
-        max_parallel=server.max_parallel,
-        period=period,
-        edge_energy_j=edge_energy,
-        server_energy_j=server_energy,
-        losses_description=losses.describe(),
-    )
+        result = FleetResult(
+            scenario_name=scenario.name,
+            n_clients_initial=n_clients,
+            n_clients_active=active,
+            n_servers=allocation.n_servers,
+            slots_per_server=allocator.plan.slots_per_cycle,
+            max_parallel=server.max_parallel,
+            period=period,
+            edge_energy_j=edge_energy,
+            server_energy_j=server_energy,
+            losses_description=losses.describe(),
+        )
+
+    if _resolve_validate(validate):
+        from repro.validate.invariants import validate_fleet_result
+
+        validate_fleet_result(
+            result,
+            scenario=scenario,
+            allocation=allocation,
+            context={"scenario_name": scenario.name, "seed": seed},
+        )
+    return result
 
 
 def simulate_allocation_energy(

@@ -77,12 +77,19 @@ def sweep_clients(
     losses: Optional[LossConfig] = None,
     max_parallel: Optional[int] = None,
     seed: SeedLike = None,
+    validate: Optional[bool] = None,
 ) -> SweepResult:
     """Evaluate ``scenario`` for every fleet size in ``n_clients``.
 
     Semantics match :func:`repro.core.simulate.simulate_fleet` with the
     default first-fit policy; loss model C draws one loss per fleet size
     from a single seeded stream.
+
+    ``validate=True`` (or the global ``--validate`` switch when left at
+    ``None``) checks array sanity and, for deterministic sweeps, replays
+    sampled grid points through the object-level simulator and reconciles
+    the energies exactly — the vectorized fast path may never drift from
+    :func:`~repro.core.simulate.simulate_fleet`.
     """
     n = np.asarray(n_clients, dtype=np.int64)
     if n.ndim != 1:
@@ -103,7 +110,7 @@ def sweep_clients(
     edge_energy = active.astype(float) * scenario.client.cycle_energy
 
     if scenario.is_edge_only:
-        return SweepResult(
+        result = SweepResult(
             scenario_name=scenario.name,
             n_clients=n,
             n_active=active,
@@ -114,37 +121,52 @@ def sweep_clients(
             max_parallel=0,
             losses_description=losses.describe(),
         )
+    else:
+        server = scenario.server
+        assert server is not None
+        p = server.max_parallel
+        sizing_extra = losses.transfer.sizing_extra_s(p) if losses.transfer is not None else 0.0
+        slots = server.slots_per_cycle(period, sizing_extra)
+        capacity = slots * p
+        slot_dur = server.slot_duration(sizing_extra)
 
-    server = scenario.server
-    assert server is not None
-    p = server.max_parallel
-    sizing_extra = losses.transfer.sizing_extra_s(p) if losses.transfer is not None else 0.0
-    slots = server.slots_per_cycle(period, sizing_extra)
-    capacity = slots * p
-    slot_dur = server.slot_duration(sizing_extra)
+        # Marginal energy lookup: marg[k] for occupancy k (index 0 unused).
+        marg = np.zeros(p + 1)
+        for k in range(1, p + 1):
+            marg[k] = occupied_slot_energy(server, k, sizing_extra, losses) - server.idle_watts * slot_dur
 
-    # Marginal energy lookup: marg[k] for occupancy k (index 0 unused).
-    marg = np.zeros(p + 1)
-    for k in range(1, p + 1):
-        marg[k] = occupied_slot_energy(server, k, sizing_extra, losses) - server.idle_watts * slot_dur
+        full_slots = active // p
+        remainder = active % p
+        servers = np.where(active > 0, -(-active // capacity), 0)  # ceil division
 
-    full_slots = active // p
-    remainder = active % p
-    servers = np.where(active > 0, -(-active // capacity), 0)  # ceil division
+        server_energy = (
+            servers.astype(float) * server.idle_watts * period
+            + full_slots.astype(float) * marg[p]
+            + marg[remainder]  # marg[0] == 0 covers the no-remainder case
+        )
+        result = SweepResult(
+            scenario_name=scenario.name,
+            n_clients=n,
+            n_active=active,
+            n_servers=servers,
+            edge_energy_j=edge_energy,
+            server_energy_j=server_energy,
+            slots_per_server=slots,
+            max_parallel=p,
+            losses_description=losses.describe(),
+        )
 
-    server_energy = (
-        servers.astype(float) * server.idle_watts * period
-        + full_slots.astype(float) * marg[p]
-        + marg[remainder]  # marg[0] == 0 covers the no-remainder case
-    )
-    return SweepResult(
-        scenario_name=scenario.name,
-        n_clients=n,
-        n_active=active,
-        n_servers=servers,
-        edge_energy_j=edge_energy,
-        server_energy_j=server_energy,
-        slots_per_server=slots,
-        max_parallel=p,
-        losses_description=losses.describe(),
-    )
+    from repro.validate.state import resolve
+
+    if resolve(validate):
+        from repro.validate.invariants import validate_sweep_result
+
+        validate_sweep_result(
+            result,
+            scenario,
+            period,
+            losses=losses,
+            max_parallel=max_parallel,
+            context={"seed": seed},
+        )
+    return result

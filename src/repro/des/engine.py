@@ -207,9 +207,24 @@ class Engine:
     [5.0]
     """
 
-    __slots__ = ("_now", "_queue", "_counter", "_active", "_pool", "_pool_timeouts", "_pool_cap")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_counter",
+        "_active",
+        "_pool",
+        "_pool_timeouts",
+        "_pool_cap",
+        "_check_clock",
+    )
 
-    def __init__(self, start_time: float = 0.0, pool_timeouts: bool = False, pool_cap: int = 4096) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        pool_timeouts: bool = False,
+        pool_cap: int = 4096,
+        check_clock: bool = False,
+    ) -> None:
         self._now = float(start_time)
         self._queue: list = []
         self._counter = itertools.count()
@@ -217,11 +232,22 @@ class Engine:
         self._pool: list = []  # recycled Timeout slab (pool_timeouts=True)
         self._pool_timeouts = bool(pool_timeouts)
         self._pool_cap = int(pool_cap)
+        self._check_clock = bool(check_clock)
 
     @property
     def now(self) -> float:
         """Current simulated time (seconds)."""
         return self._now
+
+    @property
+    def drained(self) -> bool:
+        """True when no events remain (cancelled entries count as present).
+
+        The invariant layer uses this after a run: a fleet simulation that
+        leaves live events behind terminated early, which would silently
+        truncate every ledger.
+        """
+        return not self._queue
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
@@ -285,6 +311,9 @@ class Engine:
         This is the batched fast path: the heap, the pop, and the recycle
         slab are bound to locals so each event costs one tuple unpack and
         one ``_fire`` call, with no per-event property or method dispatch.
+        With ``check_clock=True`` every pop additionally asserts the fire
+        time never precedes the clock (paranoid mode for the validation
+        subsystem; one float compare per event).
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
@@ -292,6 +321,7 @@ class Engine:
         pop = heapq.heappop
         pool = self._pool if self._pool_timeouts else None
         pool_cap = self._pool_cap
+        check_clock = self._check_clock
         bound = float("inf") if until is None else until
         fired = 0
         try:
@@ -300,6 +330,10 @@ class Engine:
                     break
                 time, _prio, _seq, event = pop(queue)
                 fired += 1
+                if check_clock and time < self._now:
+                    raise SimulationError(
+                        f"event queue corrupted: time moved backwards ({time} < {self._now})"
+                    )
                 if event._cancelled:
                     if pool is not None and type(event) is Timeout and len(pool) < pool_cap:
                         pool.append(event)

@@ -102,3 +102,42 @@ class ExperimentResult:
         if include_series:
             out["series"] = {k: np.asarray(v).tolist() for k, v in self.series.items()}
         return out
+
+    def fingerprint(self) -> dict:
+        """Canonical golden-trace form (see :mod:`repro.validate.golden`).
+
+        Measured scalars are rounded to 10 significant digits; each series
+        collapses to a length/endpoint/extrema summary plus a SHA-256 hash
+        of its 6-significant-digit rendering.  Deliberately self-contained
+        (no repro.validate import) so the registry can stay a leaf of the
+        validation layer.
+        """
+        import hashlib
+
+        def sig(value: float, digits: int = 10) -> float:
+            value = float(value)
+            return float(f"{value:.{digits}g}") if np.isfinite(value) else value
+
+        comparisons = {
+            c.quantity: {"paper": sig(c.paper_value), "measured": sig(c.measured_value)}
+            for c in self.comparisons
+        }
+        series = {}
+        for name, values in sorted(self.series.items()):
+            arr = np.asarray(values, dtype=float).ravel()
+            rendered = ",".join(f"{v:.6g}" for v in arr)
+            series[name] = {
+                "n": int(arr.size),
+                "first": sig(arr[0]) if arr.size else None,
+                "last": sig(arr[-1]) if arr.size else None,
+                "min": sig(arr.min()) if arr.size else None,
+                "max": sig(arr.max()) if arr.size else None,
+                "mean": sig(arr.mean()) if arr.size else None,
+                "sha256": hashlib.sha256(rendered.encode()).hexdigest(),
+            }
+        return {
+            "experiment_id": self.experiment_id,
+            "comparisons": comparisons,
+            "series": series,
+            "n_notes": len(self.notes),
+        }

@@ -156,6 +156,7 @@ def run_des_faulty_fleet(
     seed: SeedLike = None,
     constants: PaperConstants = PAPER,
     cohort: bool = False,
+    validate: Optional[bool] = None,
 ) -> DesFaultyResult:
     """Replay ``n_cycles`` of the edge+cloud scenario with live faults.
 
@@ -530,7 +531,7 @@ def run_des_faulty_fleet(
         dev.finish(max(horizon, dev.time))
         servers.append(dev)
 
-    return DesFaultyResult(
+    result = DesFaultyResult(
         n_cycles=n_cycles,
         period=period,
         client_accounts=tuple(d.account for d in clients),
@@ -542,6 +543,25 @@ def run_des_faulty_fleet(
         client_multiplicities=tuple(c.multiplicity for c in client_cohorts),
         client_cohorts=tuple(c.member_ids for c in client_cohorts),
     )
+
+    from repro.validate.state import resolve
+
+    if resolve(validate):
+        from repro.validate.invariants import validate_des_faulty_run
+
+        validate_des_faulty_run(
+            result,
+            engine=engine,
+            allocation=allocation,
+            devices=tuple(clients) + tuple(servers),
+            context={
+                "scenario_name": scenario.name,
+                "faults": faults.describe(),
+                "seed": seed,
+                "cohort": cohort,
+            },
+        )
+    return result
 
 
 __all__ = ["DesFaultyResult", "run_des_faulty_fleet"]

@@ -123,6 +123,7 @@ def run_faulty_fleet(
     policy: Optional[FillingPolicy] = None,
     seed: SeedLike = None,
     constants: PaperConstants = PAPER,
+    validate: Optional[bool] = None,
 ) -> FaultyFleetResult:
     """Replay ``n_cycles`` of the scenario under explicit fault processes.
 
@@ -320,7 +321,7 @@ def run_faulty_fleet(
             retry_e[cycle] + failover_e[cycle] + fallback_e[cycle] + degradation_e[cycle]
         )
 
-    return FaultyFleetResult(
+    result = FaultyFleetResult(
         scenario_name=scenario.name,
         n_clients=n_clients,
         n_cycles=n_cycles,
@@ -337,6 +338,21 @@ def run_faulty_fleet(
         faults_description=faults.describe(),
         schedule=schedule,
     )
+
+    from repro.validate.state import resolve
+
+    if resolve(validate):
+        from repro.validate.invariants import validate_faulty_fleet_result
+
+        validate_faulty_fleet_result(
+            result,
+            context={
+                "scenario_name": scenario.name,
+                "faults": faults.describe(),
+                "seed": seed,
+            },
+        )
+    return result
 
 
 __all__ = ["FaultyFleetResult", "run_faulty_fleet"]

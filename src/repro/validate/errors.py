@@ -1,0 +1,53 @@
+"""Structured invariant-violation errors.
+
+This module is a dependency leaf: it imports nothing from the rest of the
+package, so low-level modules (:mod:`repro.core.allocator`, the DES kernel)
+can raise :class:`InvariantViolation` without creating import cycles with
+the checker layer in :mod:`repro.validate.invariants`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+
+class InvariantViolation(ValueError):
+    """A simulation invariant did not hold.
+
+    Subclasses :class:`ValueError` so call sites that predate the validation
+    subsystem (e.g. ``Allocation.validate`` callers catching ``ValueError``)
+    keep working unchanged.
+
+    Attributes
+    ----------
+    invariant:
+        Short kebab-case name of the violated invariant (e.g.
+        ``"energy-conservation"``, ``"slot-occupancy"``).
+    context:
+        Structured run context — fleet size, scenario name, seed, the
+        offending values — for post-mortem without re-running.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.invariant = str(invariant)
+        self.context: Dict[str, Any] = dict(context or {})
+        detail = ""
+        if self.context:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+            detail = f" [{pairs}]"
+        super().__init__(f"invariant {self.invariant!r} violated: {message}{detail}")
+        self.message = message
+
+    def with_context(self, **extra: Any) -> "InvariantViolation":
+        """A copy of this violation with additional context merged in."""
+        merged = dict(self.context)
+        merged.update(extra)
+        return InvariantViolation(self.invariant, self.message, merged)
+
+
+__all__ = ["InvariantViolation"]

@@ -1,0 +1,143 @@
+"""Schema validation for experiment ``--json`` output.
+
+Every experiment's :meth:`~repro.experiments.report.ExperimentResult.to_dict`
+payload must survive a JSON round trip and satisfy one shared shape
+contract: known keys, correct types, finite numbers.  The contract lives
+here — next to the invariant layer, raising the same structured
+:class:`~repro.validate.errors.InvariantViolation` — so both the CLI's
+``--validate`` path and the round-trip test suite enforce the exact same
+rules.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from repro.validate.errors import InvariantViolation
+from repro.validate.state import note_check
+
+#: Top-level keys of an experiment dict and their required types.
+TOP_LEVEL_KEYS: Dict[str, type] = {
+    "experiment_id": str,
+    "title": str,
+    "description": str,
+    "comparisons": list,
+    "notes": list,
+}
+
+#: Keys of one comparison entry.
+COMPARISON_KEYS = ("quantity", "paper", "measured", "deviation_pct", "within_tolerance")
+
+
+def _fail(message: str, experiment_id: str, **context: Any) -> InvariantViolation:
+    ctx = {"experiment_id": experiment_id}
+    ctx.update(context)
+    return InvariantViolation("json-schema", message, ctx)
+
+
+def check_experiment_dict(payload: Dict[str, Any], experiment_id: str = "?") -> None:
+    """Validate one ``ExperimentResult.to_dict`` payload; raise on violation.
+
+    ``deviation_pct`` may be infinite only when the paper value is zero (the
+    comparison is then a pure regression pin, not a relative check); every
+    other number in the payload must be finite.
+    """
+    note_check()
+    for key, expected_type in TOP_LEVEL_KEYS.items():
+        if key not in payload:
+            raise _fail(f"missing top-level key {key!r}", experiment_id)
+        if not isinstance(payload[key], expected_type):
+            raise _fail(
+                f"key {key!r} is {type(payload[key]).__name__}, expected {expected_type.__name__}",
+                experiment_id,
+            )
+    known = set(TOP_LEVEL_KEYS) | {"series"}
+    unknown = set(payload) - known
+    if unknown:
+        raise _fail(f"unknown top-level keys {sorted(unknown)}", experiment_id)
+
+    for i, comparison in enumerate(payload["comparisons"]):
+        if not isinstance(comparison, dict):
+            raise _fail(f"comparison #{i} is not an object", experiment_id)
+        if set(comparison) != set(COMPARISON_KEYS):
+            raise _fail(
+                f"comparison #{i} keys {sorted(comparison)} != {sorted(COMPARISON_KEYS)}",
+                experiment_id,
+            )
+        if not isinstance(comparison["quantity"], str):
+            raise _fail(f"comparison #{i} quantity is not a string", experiment_id)
+        for field in ("paper", "measured"):
+            value = comparison[field]
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or not math.isfinite(value):
+                raise _fail(
+                    f"comparison {comparison['quantity']!r}: {field} is {value!r}", experiment_id
+                )
+        deviation = comparison["deviation_pct"]
+        if not isinstance(deviation, (int, float)) or isinstance(deviation, bool):
+            raise _fail(
+                f"comparison {comparison['quantity']!r}: deviation_pct is {deviation!r}",
+                experiment_id,
+            )
+        if not math.isfinite(deviation) and comparison["paper"] != 0:
+            raise _fail(
+                f"comparison {comparison['quantity']!r}: non-finite deviation with paper != 0",
+                experiment_id,
+            )
+        if comparison["within_tolerance"] not in (True, False, None):
+            raise _fail(
+                f"comparison {comparison['quantity']!r}: within_tolerance is "
+                f"{comparison['within_tolerance']!r}",
+                experiment_id,
+            )
+
+    for i, note in enumerate(payload["notes"]):
+        if not isinstance(note, str):
+            raise _fail(f"note #{i} is not a string", experiment_id)
+
+    if "series" in payload:
+        series = payload["series"]
+        if not isinstance(series, dict):
+            raise _fail("series is not an object", experiment_id)
+        for name, values in series.items():
+            if not isinstance(name, str):
+                raise _fail(f"series name {name!r} is not a string", experiment_id)
+            if not isinstance(values, list):
+                raise _fail(f"series {name!r} is not a list", experiment_id)
+            _check_series_values(values, name, experiment_id)
+
+
+def _check_series_values(values: Any, name: str, experiment_id: str, depth: int = 0) -> None:
+    if depth > 2:
+        raise _fail(f"series {name!r} nests deeper than 2 levels", experiment_id)
+    for value in values:
+        if isinstance(value, list):
+            _check_series_values(value, name, experiment_id, depth + 1)
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _fail(f"series {name!r} holds non-numeric value {value!r}", experiment_id)
+        elif not math.isfinite(value):
+            raise _fail(f"series {name!r} holds non-finite value {value!r}", experiment_id)
+
+
+def check_experiment_result(result, include_series: bool = True) -> Dict[str, Any]:
+    """Round-trip ``result`` through JSON and validate the decoded payload.
+
+    Returns the decoded dict so callers can reuse it (e.g. for golden
+    fingerprints) without serializing twice.
+    """
+    payload = result.to_dict(include_series=include_series)
+    try:
+        decoded = json.loads(json.dumps(payload))
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"payload is not JSON-serializable: {exc}", result.experiment_id) from exc
+    check_experiment_dict(decoded, result.experiment_id)
+    return decoded
+
+
+__all__ = [
+    "check_experiment_dict",
+    "check_experiment_result",
+    "TOP_LEVEL_KEYS",
+    "COMPARISON_KEYS",
+]

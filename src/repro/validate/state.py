@@ -1,0 +1,75 @@
+"""Process-wide validation switch and check counters.
+
+A dependency leaf (imports nothing from the package), so the simulation
+modules can consult :func:`validation_enabled` at module-import time without
+touching the checker layer.  The switch is what ``repro-exp --validate``
+flips: every simulation path whose ``validate=`` argument is left at its
+``None`` default then runs its invariant checkers.
+
+The counters exist so a validated run can *prove* it checked something:
+``repro-exp fig7 --validate`` reports how many checker invocations ran and
+that zero violations were raised, instead of silently doing nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_enabled: bool = False
+_checks_run: int = 0
+
+
+def validation_enabled() -> bool:
+    """True while global invariant checking is switched on."""
+    return _enabled
+
+
+def set_validation(enabled: bool) -> None:
+    """Switch global invariant checking on or off."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextmanager
+def validation(enabled: bool = True) -> Iterator[None]:
+    """Scoped switch: enable (or disable) validation inside a ``with`` block."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def resolve(validate: Optional[bool]) -> bool:
+    """Effective setting for a ``validate=`` keyword: explicit wins, else global."""
+    return _enabled if validate is None else bool(validate)
+
+
+def note_check(n: int = 1) -> None:
+    """Record that ``n`` checker invocations ran (telemetry for --validate)."""
+    global _checks_run
+    _checks_run += n
+
+
+def checks_run() -> int:
+    """Total checker invocations since the last :func:`reset_check_count`."""
+    return _checks_run
+
+
+def reset_check_count() -> None:
+    global _checks_run
+    _checks_run = 0
+
+
+__all__ = [
+    "validation_enabled",
+    "set_validation",
+    "validation",
+    "resolve",
+    "note_check",
+    "checks_run",
+    "reset_check_count",
+]

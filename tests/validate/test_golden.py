@@ -1,0 +1,161 @@
+"""Tests for the golden-trace harness: differ units + a fast fixture subset.
+
+Only the cheap golden cases are re-run here (tier-1 must stay fast); the
+full ``repro-golden --check`` sweep runs in CI's golden-diff job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.validate.golden import (
+    GOLDEN_DIR,
+    case_ids,
+    check_cases,
+    compute_fingerprint,
+    diff_fingerprints,
+    golden_path,
+    hash_floats,
+    load_golden,
+    main,
+    render_drift_report,
+    round_sig,
+    save_golden,
+)
+
+#: Cases cheap enough for tier-1 (each < ~2 s).
+FAST_CASES = ["table1", "table2", "fig3", "des-ideal", "des-faulty", "faulty-analytic"]
+
+
+class TestCanonicalization:
+    def test_round_sig(self):
+        assert round_sig(1.23456789012345e-7) == pytest.approx(1.234567890e-7)
+        assert round_sig(float("inf")) == float("inf")
+        assert round_sig(0.0) == 0.0
+
+    def test_hash_floats_stable_under_last_ulp(self):
+        a = [1.0 / 3.0, 2.0 / 3.0]
+        b = [round(1.0 / 3.0, 15), round(2.0 / 3.0, 15)]
+        assert hash_floats(a) == hash_floats(b)
+
+    def test_hash_floats_changes_on_perturbation(self):
+        assert hash_floats([1.0, 2.0]) != hash_floats([1.0, 2.0001])
+
+
+class TestDiffer:
+    def test_identical_is_clean(self):
+        fp = {"a": 1.0, "b": {"c": [1, 2, 3]}, "h": "deadbeef"}
+        assert diff_fingerprints(fp, fp) == []
+
+    def test_tolerates_relative_noise(self):
+        assert diff_fingerprints({"x": 1.0}, {"x": 1.0 + 1e-8}) == []
+
+    def test_flags_scalar_drift(self):
+        drifts = diff_fingerprints({"x": 1.0}, {"x": 1.0001})
+        assert len(drifts) == 1
+        assert drifts[0]["kind"] == "value-drift"
+        assert drifts[0]["field"] == "x"
+        assert drifts[0]["rel_err"] == pytest.approx(1e-4, rel=1e-2)
+
+    def test_flags_hash_drift_exactly(self):
+        drifts = diff_fingerprints({"h": "abc"}, {"h": "abd"})
+        assert len(drifts) == 1 and drifts[0]["kind"] == "value-drift"
+
+    def test_flags_missing_and_extra_keys(self):
+        drifts = diff_fingerprints({"a": 1, "b": 2}, {"a": 1, "c": 3})
+        kinds = sorted(d["kind"] for d in drifts)
+        assert kinds == ["extra", "missing"]
+
+    def test_flags_length_change(self):
+        drifts = diff_fingerprints({"s": [1, 2]}, {"s": [1, 2, 3]})
+        assert drifts[0]["kind"] == "length"
+
+    def test_nested_paths(self):
+        drifts = diff_fingerprints({"a": {"b": [1.0, 2.0]}}, {"a": {"b": [1.0, 9.0]}})
+        assert drifts[0]["field"] == "a.b[1]"
+
+    def test_bool_not_coerced_to_number(self):
+        drifts = diff_fingerprints({"flag": True}, {"flag": 1})
+        assert len(drifts) == 1
+
+    def test_render_report(self):
+        report = {"case1": diff_fingerprints({"x": 1.0}, {"x": 2.0}), "case2": []}
+        text = render_drift_report(report)
+        assert "case1" in text and "x" in text
+        assert "case2" not in text
+        assert render_drift_report({"ok": []}) == "all golden fingerprints match"
+
+
+class TestFixtures:
+    def test_every_case_has_a_committed_golden(self):
+        for case_id in case_ids():
+            path = golden_path(case_id)
+            assert path.is_file(), f"missing golden fixture {path}"
+            payload = json.loads(path.read_text())
+            assert payload["case"] == case_id
+            assert "fingerprint" in payload and payload["fingerprint"]
+
+    @pytest.mark.parametrize("case_id", FAST_CASES)
+    def test_fast_cases_match_committed_goldens(self, case_id):
+        stored = load_golden(case_id)
+        fresh = compute_fingerprint(case_id)
+        drifts = diff_fingerprints(stored["fingerprint"], fresh)
+        assert drifts == [], render_drift_report({case_id: drifts})
+
+    def test_perturbed_golden_fails_check(self, tmp_path):
+        """Acceptance check: a perturbed golden scalar must be caught."""
+        stored = load_golden("table1")
+        fp = json.loads(json.dumps(stored["fingerprint"]))
+        quantity = next(iter(fp["comparisons"]))
+        fp["comparisons"][quantity]["measured"] *= 1.0001
+        save_golden("table1", fp, tmp_path)
+        report = check_cases(["table1"], tmp_path)
+        assert report["table1"], "perturbation was not detected"
+        assert report["table1"][0]["kind"] == "value-drift"
+
+    def test_missing_golden_reported(self, tmp_path):
+        report = check_cases(["fig3"], tmp_path)
+        assert report["fig3"][0]["kind"] == "missing-golden"
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = golden_path("table1", tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"case": "table1", "version": 0, "fingerprint": {}}))
+        with pytest.raises(ValueError, match="fingerprint version"):
+            load_golden("table1", tmp_path)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for case_id in case_ids():
+            assert case_id in out
+
+    def test_unknown_only_rejected(self, capsys):
+        assert main(["--check", "--only", "nope"]) == 2
+
+    def test_check_only_fast_case(self, capsys, tmp_path):
+        report_path = tmp_path / "drift.json"
+        assert main(["--check", "--only", "table1", "--report", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["drifted"] == []
+        assert "table1" in payload["cases"]
+
+    def test_update_then_check_round_trip(self, tmp_path):
+        assert main(["--update", "--only", "fig3", "--dir", str(tmp_path)]) == 0
+        assert main(["--check", "--only", "fig3", "--dir", str(tmp_path)]) == 0
+
+    def test_check_fails_on_drift(self, tmp_path, capsys):
+        stored = load_golden("fig3")
+        fp = json.loads(json.dumps(stored["fingerprint"]))
+        fp["comparisons"][next(iter(fp["comparisons"]))]["measured"] += 0.01
+        save_golden("fig3", fp, tmp_path)
+        assert main(["--check", "--only", "fig3", "--dir", str(tmp_path)]) == 1
+        assert "value-drift" in capsys.readouterr().out
+
+    def test_default_dir_points_at_committed_fixtures(self):
+        assert GOLDEN_DIR.name == "golden"
+        assert (GOLDEN_DIR / "table1.json").is_file()

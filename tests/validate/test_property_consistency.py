@@ -1,0 +1,111 @@
+"""Property tests: the three simulation paths agree on energy.
+
+Randomized fleet configurations drive the analytic cycle model
+(:func:`simulate_fleet`), the per-client DES (:func:`run_des_fleet`) and
+the cohort-aggregated DES (``cohort=True``) and assert they agree:
+
+* analytic vs DES — relative 1e-9 on edge/server/total energy (both derive
+  the same closed-form slot math, one event-driven, one algebraic);
+* per-client DES vs cohort DES — *bit-for-bit* equality of every member
+  ledger (the cohort collapse is exact, not approximate), faults on or off.
+
+Under active faults the analytic per-cycle path and the event-driven path
+make documented granularity compromises, so cross-path equality is only
+asserted with faults off; with faults on the per-client/cohort pair must
+still match exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dessim import run_des_fleet
+from repro.core.routines import make_scenario
+from repro.core.simulate import simulate_fleet
+from repro.faults.config import FaultConfig
+from repro.faults.desfaults import run_des_faulty_fleet
+from repro.faults.spec import ClientCrash, ServerOutage
+
+REL = 1e-9
+
+fleet_configs = st.fixed_dictionaries(
+    {
+        "n_clients": st.integers(min_value=1, max_value=60),
+        "model": st.sampled_from(["svm", "cnn"]),
+        "max_parallel": st.integers(min_value=2, max_value=12),
+        "n_cycles": st.integers(min_value=1, max_value=3),
+    }
+)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=fleet_configs)
+def test_analytic_vs_des_vs_cohort_ideal(cfg):
+    scenario = make_scenario("edge+cloud", cfg["model"], max_parallel=cfg["max_parallel"])
+    analytic = simulate_fleet(cfg["n_clients"], scenario)
+    des = run_des_fleet(cfg["n_clients"], scenario, n_cycles=cfg["n_cycles"], validate=True)
+    cohort = run_des_fleet(
+        cfg["n_clients"], scenario, n_cycles=cfg["n_cycles"], cohort=True, validate=True
+    )
+
+    # Analytic vs per-client DES: per-cycle energies agree to numerics.
+    assert des.edge_energy_j / cfg["n_cycles"] == pytest.approx(
+        analytic.edge_energy_j, rel=REL
+    )
+    assert des.server_energy_j / cfg["n_cycles"] == pytest.approx(
+        analytic.server_energy_j, rel=REL
+    )
+
+    # Per-client vs cohort DES: every member ledger is bit-for-bit identical.
+    assert cohort.n_clients == des.n_clients
+    expanded = cohort.expand_client_accounts()
+    assert len(expanded) == len(des.client_accounts)
+    for per_client, member in zip(des.client_accounts, expanded):
+        assert per_client.breakdown() == member.breakdown()
+    assert cohort.server_energy_j == pytest.approx(des.server_energy_j, rel=REL)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    cfg=fleet_configs,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mtbf=st.floats(min_value=600.0, max_value=7200.0),
+)
+def test_per_client_vs_cohort_des_with_faults(cfg, seed, mtbf):
+    scenario = make_scenario("edge+cloud", cfg["model"], max_parallel=cfg["max_parallel"])
+    faults = FaultConfig(
+        server_outage=ServerOutage(mtbf_s=mtbf, repair_s=240.0),
+        client_crash=ClientCrash(mtbf_s=4.0 * mtbf, repair_s=0.0),
+    )
+    per_client = run_des_faulty_fleet(
+        cfg["n_clients"], scenario, faults=faults, n_cycles=cfg["n_cycles"], seed=seed,
+        validate=True,
+    )
+    cohort = run_des_faulty_fleet(
+        cfg["n_clients"], scenario, faults=faults, n_cycles=cfg["n_cycles"], seed=seed,
+        cohort=True, validate=True,
+    )
+
+    # Same fault timetable, same outcomes, bit-identical member ledgers.
+    assert cohort.report == per_client.report
+    expanded = cohort.expand_client_accounts()
+    assert len(expanded) == len(per_client.client_accounts)
+    for a, b in zip(per_client.client_accounts, expanded):
+        assert a.breakdown() == b.breakdown()
+    assert cohort.server_energy_j == per_client.server_energy_j
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_clients=st.integers(min_value=1, max_value=40),
+    max_parallel=st.integers(min_value=2, max_value=10),
+)
+def test_faults_off_faulty_path_equals_ideal(n_clients, max_parallel):
+    """A faulty run with no active injectors reproduces the ideal energies."""
+    scenario = make_scenario("edge+cloud", "svm", max_parallel=max_parallel)
+    ideal = run_des_fleet(n_clients, scenario, n_cycles=2, validate=True)
+    analytic = simulate_fleet(n_clients, scenario)
+    assert ideal.edge_energy_j / 2 == pytest.approx(analytic.edge_energy_j, rel=REL)
+    assert ideal.server_energy_j / 2 == pytest.approx(analytic.server_energy_j, rel=REL)
