@@ -1,0 +1,112 @@
+"""Observability overhead guard (PR 4).
+
+The ``obs=`` hooks are nullable and default off; this file proves both
+halves of that contract at fleet scale:
+
+* **off-path costs nothing** — with no collector, an instrumented run never
+  even imports the attribution/ledger/trace machinery (structural proof in
+  a subprocess), and the resolve hook is a single module-global read;
+* **on-path is cheap** — attaching a collector to the 10k-client cohort
+  run adds only a few percent of wall time (the attribution work is
+  O(cohorts), not O(clients)).
+
+The timing assertion uses best-of-N ``perf_counter`` ratios rather than
+pytest-benchmark so it can compare the two modes inside one test; the
+plain pytest-benchmark cases alongside record absolute numbers for the CI
+artifact.  Run with ``pytest benchmarks/test_obs_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+from repro.core.dessim import run_des_fleet
+from repro.core.routines import EDGE_CLOUD_SVM
+from repro.obs import Obs
+
+N_CLIENTS = 10_000
+N_CYCLES = 5
+
+#: Acceptance says "under a few percent"; 5% leaves headroom for CI noise
+#: on a run whose true overhead measures well under 1% locally.
+MAX_OVERHEAD = 0.05
+
+
+def _run(obs=None, n_cycles=N_CYCLES):
+    return run_des_fleet(N_CLIENTS, EDGE_CLOUD_SVM, n_cycles=n_cycles, cohort=True, obs=obs)
+
+
+def _time_once(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_off_path_imports_nothing():
+    """An obs-off run must not pull in the obs machinery at all.
+
+    ``repro.obs.state`` (the resolve hook) is the only allowed import; the
+    ledger/trace/attribution modules load lazily and only when a collector
+    is actually attached.
+    """
+    script = (
+        "import sys\n"
+        "from repro.core.dessim import run_des_fleet\n"
+        "from repro.core.routines import EDGE_CLOUD_SVM\n"
+        "from repro.core.simulate import simulate_fleet\n"
+        "run_des_fleet(100, EDGE_CLOUD_SVM, n_cycles=2, cohort=True)\n"
+        "simulate_fleet(100, EDGE_CLOUD_SVM)\n"
+        "heavy = [m for m in sys.modules if m.startswith('repro.obs.') and m != 'repro.obs.state']\n"
+        "assert not heavy, heavy\n"
+        "print('clean')\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert out.stdout.strip() == "clean"
+
+
+def test_on_path_overhead_under_budget():
+    """Collector attached: 10k-client cohort run slows by < MAX_OVERHEAD.
+
+    The off/on timings are interleaved and best-of-N so ambient machine
+    load drifts both sides equally; the runs use a longer horizon than the
+    headline benchmark to push the signal well above timer noise.
+    """
+    cycles = 20  # ~4x the headline run: ratio noise shrinks with run length
+    _run(Obs(), n_cycles=cycles)  # warm both paths before timing either
+    off = on = float("inf")
+    for _ in range(7):
+        off = min(off, _time_once(lambda: _run(n_cycles=cycles)))
+        on = min(on, _time_once(lambda: _run(Obs(), n_cycles=cycles)))
+    overhead = on / off - 1.0
+    print(f"\nobs overhead at {N_CLIENTS} clients x {cycles} cycles: "
+          f"off={off * 1e3:.1f}ms on={on * 1e3:.1f}ms ({overhead:+.2%})")
+    assert overhead < MAX_OVERHEAD, (
+        f"obs on-path overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%}"
+    )
+
+
+def test_on_path_still_reconciles_at_scale():
+    obs = Obs()
+    r = _run(obs)
+    assert obs.ledger.reconciles(rtol=1e-6, atol=1e-9)
+    assert obs.ledger.total_energy_j > 0
+    assert obs.metrics.counter("des.clients").value == N_CLIENTS
+    assert r.n_clients == N_CLIENTS
+
+
+def test_des_cohort_10k_obs_off(benchmark):
+    """Absolute baseline for the CI artifact (mirrors test_des_cohort_10k)."""
+    result = benchmark(_run)
+    assert result.n_clients == N_CLIENTS
+
+
+def test_des_cohort_10k_obs_on(benchmark):
+    """Same run with a live collector — compare against the obs-off case."""
+    result = benchmark(lambda: _run(Obs()))
+    assert result.n_clients == N_CLIENTS

@@ -41,8 +41,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for parallelizable sweeps (default: serial; "
         "results are seed-stable — identical for any worker count)",
     )
-    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of tables; stdout carries "
+        "only the JSON document (charts and diagnostics go to stderr)",
+    )
     parser.add_argument("--plot", action="store_true", help="also draw the figure's curves as an ASCII chart")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect observability metrics and the per-phase energy ledger "
+        "during the runs (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect sim-clock spans during the runs (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--obs-out", metavar="FILE", default=None,
+        help="write the versioned observability snapshot to FILE "
+        "(default: stderr); implies --metrics --trace",
+    )
     parser.add_argument(
         "--no-series", action="store_true", help="with --json: omit the (large) series arrays"
     )
@@ -70,9 +88,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    if args.validate:
-        from contextlib import ExitStack
+    from contextlib import ExitStack
 
+    stack = ExitStack()
+    if args.validate:
         from repro.validate import (
             check_experiment_result,
             checks_run,
@@ -80,9 +99,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             validation,
         )
 
-        stack = ExitStack()
         stack.enter_context(validation(True))
         reset_check_count()
+    obs = None
+    if args.metrics or args.trace or args.obs_out is not None:
+        from repro.obs import Obs, dump_snapshot, observing
+
+        obs = Obs()
+        stack.enter_context(observing(obs))
     json_out = []
     for eid in ids:
         kwargs = {}
@@ -93,24 +117,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_experiment(eid, **kwargs)
         if args.validate:
             check_experiment_result(result, include_series=not args.no_series)
+        chart = None
+        if args.plot:
+            from repro.util.asciiplot import plot_experiment
+
+            chart = plot_experiment(result)
         if args.json:
             json_out.append(result.to_dict(include_series=not args.no_series))
+            # --json wins: stdout stays a single parseable JSON document,
+            # so the chart goes to stderr instead of interleaving.
+            if chart:
+                print(chart, file=sys.stderr)
+                print(file=sys.stderr)
         else:
             print(result.render())
-            if args.plot:
-                from repro.util.asciiplot import plot_experiment
-
-                chart = plot_experiment(result)
-                if chart:
-                    print()
-                    print(chart)
+            if chart:
+                print()
+                print(chart)
             print()
     if args.json:
         import json
 
         print(json.dumps(json_out, indent=2))
+    stack.close()
+    if obs is not None:
+        extra = {"ids": list(ids)}
+        if args.seed is not None:
+            extra["seed"] = args.seed
+        if args.obs_out is not None:
+            with open(args.obs_out, "w", encoding="utf-8") as fh:
+                dump_snapshot(obs, fh, extra)
+            print(f"observability snapshot written to {args.obs_out}", file=sys.stderr)
+        else:
+            dump_snapshot(obs, sys.stderr, extra)
     if args.validate:
-        stack.close()
         n = checks_run()
         # Parallel worker processes run their own checkers but cannot report
         # into this process's counter (documented in docs/TESTING.md).

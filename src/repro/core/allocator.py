@@ -189,6 +189,17 @@ def repack_failed_server(
 ) -> tuple:
     """Re-pack a failed server's clients into surviving servers' free slots.
 
+    Single-failure shorthand for :func:`repack_failed_servers`; see there
+    for the packing rules.
+    """
+    return repack_failed_servers(allocation, (failed_server_index,))
+
+
+def repack_failed_servers(
+    allocation: Allocation, failed_server_indices: Sequence[int]
+) -> tuple:
+    """Re-pack every failed server's clients into surviving servers' free slots.
+
     Surviving servers keep their existing assignments untouched (their
     clients' wake-up offsets stay valid); orphaned clients fill the
     survivors' residual capacity first-fit — topping up partially filled
@@ -197,24 +208,36 @@ def repack_failed_server(
     cannot provision hardware, so clients that do not fit are returned for
     the graceful-degradation path (local edge inference).
 
+    All failures are removed *before* any orphan is placed, so a client can
+    never fail over onto another server that is itself down (one-at-a-time
+    repacking had exactly that cascade, double-counting the client's cycle).
+    Orphans are gathered in the order the failed indices are given.
+
     Returns ``(new_allocation, unplaced_client_ids)``; the new allocation
-    excludes the failed server and is re-validated, so a repack can never
+    excludes the failed servers and is re-validated, so a repack can never
     silently duplicate a client or overfill a slot — saturating a slot to
     the cap is allowed (and loss A then prices it accordingly).
     """
-    failed = None
-    survivors: List[ServerAssignment] = []
-    for srv in allocation.servers:
-        if srv.server_index == failed_server_index:
-            failed = srv
-        else:
-            survivors.append(srv)
-    if failed is None:
-        known = ", ".join(str(s.server_index) for s in allocation.servers)
-        raise ValueError(f"no server {failed_server_index} in allocation (servers: {known})")
+    failed_set = set(failed_server_indices)
+    known_set = {srv.server_index for srv in allocation.servers}
+    missing = failed_set - known_set
+    if missing:
+        known = ", ".join(str(i) for i in sorted(known_set))
+        bad = ", ".join(str(i) for i in sorted(missing))
+        raise ValueError(f"no server {bad} in allocation (servers: {known})")
+
+    by_index = {srv.server_index: srv for srv in allocation.servers}
+    survivors: List[ServerAssignment] = [
+        srv for srv in allocation.servers if srv.server_index not in failed_set
+    ]
 
     plan = allocation.plan
-    orphans = [cid for slot in failed.slots for cid in slot]
+    orphans = [
+        cid
+        for sidx in dict.fromkeys(failed_server_indices)
+        for slot in by_index[sidx].slots
+        for cid in slot
+    ]
     pos = 0
     repacked: List[ServerAssignment] = []
     for srv in survivors:

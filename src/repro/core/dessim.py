@@ -153,6 +153,7 @@ def run_des_fleet(
     seed=None,
     cohort: bool = False,
     validate: Optional[bool] = None,
+    obs=None,
 ):
     """Replay ``n_cycles`` of the scenario event by event.
 
@@ -176,6 +177,16 @@ def run_des_fleet(
     ``None``) runs the full invariant suite on the finished run: ledger
     conservation, cohort partition, slot occupancy, clock monotonicity, and
     DES-vs-analytic energy reconciliation (see :mod:`repro.validate`).
+
+    ``obs=`` (or the ambient collector; see :mod:`repro.obs`) attributes the
+    run's energy per phase from the event-driven ledgers themselves —
+    category totals folded through :func:`repro.obs.ledger.phase_of`, cohort
+    multiplicities applied — so the phase sum equals the run total by
+    construction, and records a ``des_fleet`` span with per-phase children
+    plus the kernel's cumulative event count.
+
+    ``n_clients=0`` is well-defined: an empty fleet drains instantly and
+    returns empty ledgers with zero energy.
     """
     if faults is not None and faults.any_active:
         from repro.faults.desfaults import run_des_faulty_fleet
@@ -191,9 +202,10 @@ def run_des_fleet(
             seed=seed,
             cohort=cohort,
             validate=validate,
+            obs=obs,
         )
-    if n_clients < 1:
-        raise ValueError("n_clients must be >= 1")
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
     if n_cycles < 1:
         raise ValueError("n_cycles must be >= 1")
     losses = losses or LossConfig.none()
@@ -320,6 +332,33 @@ def run_des_fleet(
         client_cohorts=tuple(c.member_ids for c in client_cohorts),
         server_cohorts=tuple(c.member_ids for c in server_cohorts),
     )
+
+    from repro.obs.state import resolve as _resolve_obs
+
+    obs_c = _resolve_obs(obs)
+    if obs_c is not None:
+        from repro.obs.attribution import attribute_accounts, record_run
+        from repro.obs.ledger import PhaseLedger
+
+        obs_c.metrics.counter("des.runs").inc()
+        obs_c.metrics.counter("des.clients").inc(n_clients)
+        obs_c.metrics.counter("des.cycles").inc(n_cycles)
+        obs_c.metrics.counter("des.events_fired").inc(engine.events_fired)
+        obs_c.metrics.histogram("des.events_per_run").record(engine.events_fired)
+        local = PhaseLedger()
+        attribute_accounts(
+            local, result.client_accounts, result.client_multiplicities or None
+        )
+        attribute_accounts(
+            local, result.server_accounts, result.server_multiplicities or None
+        )
+        local.note_total(result.total_energy_j)
+        record_run(
+            obs_c, "des_fleet", 0.0, horizon, local,
+            scenario=scenario.name, n_clients=n_clients,
+            n_cycles=n_cycles, cohort=cohort,
+            events_fired=engine.events_fired,
+        )
 
     from repro.validate.state import resolve
 

@@ -18,6 +18,7 @@ from repro.core.calibration import CYCLE_SECONDS
 from repro.core.losses import LossConfig
 from repro.core.routines import Scenario
 from repro.core.server import ServerProfile
+from repro.obs.state import resolve as _resolve_obs
 from repro.util.rng import SeedLike, make_rng
 from repro.validate.state import resolve as _resolve_validate
 
@@ -129,6 +130,7 @@ def simulate_fleet(
     seed: SeedLike = None,
     n_active: Optional[int] = None,
     validate: Optional[bool] = None,
+    obs=None,
 ) -> FleetResult:
     """Simulate one cycle of ``n_clients`` running ``scenario``.
 
@@ -155,6 +157,12 @@ def simulate_fleet(
         Run the invariant checkers on the result (``None`` defers to the
         global switch flipped by ``repro-exp --validate``; see
         :mod:`repro.validate`).
+    obs:
+        Observability collector (``None`` defers to the ambient collector
+        installed by ``repro-exp --metrics/--trace``; see :mod:`repro.obs`).
+        When resolved to a collector, the run's energy is attributed per
+        phase and a span tree is recorded; when not, instrumentation costs
+        one identity check.
     """
     if n_clients < 0:
         raise ValueError("n_clients must be >= 0")
@@ -188,6 +196,7 @@ def simulate_fleet(
             losses_description=losses.describe(),
         )
         allocation = None
+        sizing_extra = 0.0
     else:
         server = scenario.server
         assert server is not None
@@ -214,6 +223,38 @@ def simulate_fleet(
             edge_energy_j=edge_energy,
             server_energy_j=server_energy,
             losses_description=losses.describe(),
+        )
+        sizing_extra = allocator.sizing_extra_s
+
+    obs = _resolve_obs(obs)
+    if obs is not None:
+        from repro.obs.attribution import (
+            attribute_client_cycle,
+            attribute_server_cycle,
+            record_run,
+        )
+        from repro.obs.ledger import PhaseLedger
+
+        obs.metrics.counter("fleet.runs").inc()
+        obs.metrics.counter("fleet.clients_active").inc(active)
+        obs.metrics.counter("fleet.clients_lost").inc(n_clients - active)
+        obs.metrics.gauge("fleet.n_servers").set(result.n_servers)
+        local = PhaseLedger()
+        attribute_client_cycle(local, scenario.client, weight=active)
+        if allocation is not None:
+            for assignment in allocation.servers:
+                attribute_server_cycle(
+                    local,
+                    scenario.server,
+                    assignment.occupancies,
+                    period=period,
+                    sizing_extra_s=sizing_extra,
+                    losses=losses,
+                )
+        local.note_total(result.total_energy_j)
+        record_run(
+            obs, "fleet_cycle", 0.0, period, local,
+            scenario=scenario.name, n_clients=n_clients, n_active=active,
         )
 
     if _resolve_validate(validate):

@@ -78,6 +78,7 @@ def sweep_clients(
     max_parallel: Optional[int] = None,
     seed: SeedLike = None,
     validate: Optional[bool] = None,
+    obs=None,
 ) -> SweepResult:
     """Evaluate ``scenario`` for every fleet size in ``n_clients``.
 
@@ -90,6 +91,10 @@ def sweep_clients(
     sampled grid points through the object-level simulator and reconciles
     the energies exactly — the vectorized fast path may never drift from
     :func:`~repro.core.simulate.simulate_fleet`.
+
+    ``obs=`` (or the ambient collector; see :mod:`repro.obs`) attributes the
+    whole sweep's energy per phase — vectorized, via occupancy counts rather
+    than per-point replay — and records one span with per-phase children.
     """
     n = np.asarray(n_clients, dtype=np.int64)
     if n.ndim != 1:
@@ -154,6 +159,48 @@ def sweep_clients(
             slots_per_server=slots,
             max_parallel=p,
             losses_description=losses.describe(),
+        )
+
+    from repro.obs.state import resolve as _resolve_obs
+
+    obs_c = _resolve_obs(obs)
+    if obs_c is not None:
+        from repro.obs.attribution import (
+            attribute_client_cycle,
+            attribute_server_cycle,
+            record_run,
+        )
+        from repro.obs.ledger import PhaseLedger
+
+        obs_c.metrics.counter("sweep.points").inc(int(n.size))
+        obs_c.metrics.counter("sweep.clients_active").inc(int(active.sum()))
+        local = PhaseLedger()
+        attribute_client_cycle(local, scenario.client, weight=float(active.sum()))
+        if not scenario.is_edge_only:
+            # Vectorized attribution: every occupied slot at occupancy k
+            # contributes the same marginal split, so counting slots per
+            # occupancy reproduces the sweep's server energy term by term.
+            local.add(
+                "idle",
+                float(result.n_servers.sum()) * server.idle_watts * period,
+                float(result.n_servers.sum()) * period,
+            )
+            occupancy_counts = np.bincount(remainder, minlength=p + 1).astype(float)
+            occupancy_counts[p] += float(full_slots.sum())
+            single = PhaseLedger()
+            for k in range(1, p + 1):
+                if occupancy_counts[k]:
+                    attribute_server_cycle(
+                        single, server, [k], period=0.0,
+                        sizing_extra_s=sizing_extra, losses=losses,
+                        weight=occupancy_counts[k],
+                    )
+            local.absorb(single)
+        local.note_total(float(result.total_energy_j.sum()))
+        record_run(
+            obs_c, "sweep", 0.0, period, local,
+            scenario=scenario.name, n_points=int(n.size),
+            max_clients=int(n.max()) if n.size else 0,
         )
 
     from repro.validate.state import resolve

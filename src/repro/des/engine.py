@@ -216,6 +216,7 @@ class Engine:
         "_pool_timeouts",
         "_pool_cap",
         "_check_clock",
+        "events_fired",
     )
 
     def __init__(
@@ -233,6 +234,9 @@ class Engine:
         self._pool_timeouts = bool(pool_timeouts)
         self._pool_cap = int(pool_cap)
         self._check_clock = bool(check_clock)
+        #: Cumulative heap pops across run()/step() calls (observability;
+        #: updated once per run() call, not per event).
+        self.events_fired = 0
 
     @property
     def now(self) -> float:
@@ -294,6 +298,7 @@ class Engine:
                 raise SimulationError("step() on an empty event queue")
             time, _prio, _seq, event = heapq.heappop(self._queue)
             self._active -= 1
+            self.events_fired += 1
             if event._cancelled:
                 continue
             if time < self._now:  # pragma: no cover - heap invariant guards this
@@ -349,5 +354,6 @@ class Engine:
                     pool.append(event)
         finally:
             self._active -= fired
+            self.events_fired += fired
         if until is not None:
             self._now = max(self._now, float(until))

@@ -157,6 +157,7 @@ def run_des_faulty_fleet(
     constants: PaperConstants = PAPER,
     cohort: bool = False,
     validate: Optional[bool] = None,
+    obs=None,
 ) -> DesFaultyResult:
     """Replay ``n_cycles`` of the edge+cloud scenario with live faults.
 
@@ -174,8 +175,8 @@ def run_des_faulty_fleet(
             "run_des_faulty_fleet needs a server to fail; "
             "use repro.faults.fleetsim.run_faulty_fleet for edge-only fleets"
         )
-    if n_clients < 1:
-        raise ValueError("n_clients must be >= 1")
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
     if n_cycles < 1:
         raise ValueError("n_cycles must be >= 1")
     faults = faults or FaultConfig.none()
@@ -297,6 +298,7 @@ def run_des_faulty_fleet(
             outcome = None
             attempts = 0
             while attempts <= retry.max_retries:
+                mon.record_attempts()
                 dark = schedule.is_down(LINK_BLACKOUT, cid, engine.now)
                 if home.up and not dark:
                     deg = schedule.active_window(LINK_DEGRADATION, cid, engine.now)
@@ -318,12 +320,16 @@ def run_des_faulty_fleet(
                         break
                 else:
                     # Dead server or dark link: radio on until timeout.
+                    # With timeout_s == 0 (RetryPolicy.none()) the attempt
+                    # fails instantly and charges nothing — it is still
+                    # counted above.
                     if retry.timeout_s > 0:
                         device.run_routine(
                             engine.now,
                             [TaskPower("send_retry_timeout", retry.timeout_s, watts=send_w)],
                         )
                         mon.charge_retry(retry.attempt_energy_j(send_w))
+                        mon.record_timeout_attempts()
                         yield engine.timeout(retry.timeout_s)
                 if attempts < retry.max_retries:
                     delay = retry.delay_s(attempts, jitter_rng)
@@ -340,6 +346,7 @@ def run_des_faulty_fleet(
                             target = st
                             break
                 if target is not None:
+                    mon.record_attempts()
                     done = yield from attempt_transfer(
                         device, target, holder, send_task.duration
                     )
@@ -397,6 +404,7 @@ def run_des_faulty_fleet(
             slot_key = (cycle, slot_idx)
             home.slot_starts[slot_key] = home.slot_starts.get(slot_key, 0) + m
             home.slot_time.setdefault(slot_key, engine.now)
+            mon.record_attempts(m)
             start = engine.now
             yield engine.timeout(send_task.duration)
             device.run_routine(start, [TaskPower("send_audio", send_task.duration, watts=send_w)])
@@ -543,6 +551,46 @@ def run_des_faulty_fleet(
         client_multiplicities=tuple(c.multiplicity for c in client_cohorts),
         client_cohorts=tuple(c.member_ids for c in client_cohorts),
     )
+
+    from repro.obs.state import resolve as _resolve_obs
+
+    obs_c = _resolve_obs(obs)
+    if obs_c is not None:
+        from repro.obs.attribution import attribute_accounts, record_run
+        from repro.obs.ledger import PhaseLedger
+
+        report = result.report
+        obs_c.metrics.counter("des.runs").inc()
+        obs_c.metrics.counter("des.clients").inc(n_clients)
+        obs_c.metrics.counter("des.cycles").inc(n_cycles)
+        obs_c.metrics.counter("des.events_fired").inc(engine.events_fired)
+        obs_c.metrics.histogram("des.events_per_run").record(engine.events_fired)
+        for label, count in (
+            ("faults.cycles_expected", report.cycles_expected),
+            ("faults.cycles_ok", report.cycles_ok),
+            ("faults.cycles_retried", report.cycles_retried),
+            ("faults.cycles_failover", report.cycles_failover),
+            ("faults.cycles_fallback", report.cycles_fallback),
+            ("faults.cycles_missed", report.cycles_missed),
+            ("faults.events", report.n_fault_events),
+            ("faults.send_attempts", mon.send_attempts),
+            ("faults.timeout_attempts", mon.timeout_attempts),
+        ):
+            obs_c.metrics.counter(label).inc(count)
+        obs_c.metrics.gauge("faults.availability").set(report.availability)
+        local = PhaseLedger()
+        attribute_accounts(
+            local, result.client_accounts, result.client_multiplicities or None
+        )
+        attribute_accounts(local, result.server_accounts)
+        local.note_total(result.total_energy_j)
+        record_run(
+            obs_c, "des_faulty_fleet", 0.0, horizon, local,
+            scenario=scenario.name, n_clients=n_clients,
+            n_cycles=n_cycles, cohort=cohort,
+            availability=report.availability,
+            events_fired=engine.events_fired,
+        )
 
     from repro.validate.state import resolve
 

@@ -11,7 +11,7 @@ cycle by cycle.  Each cycle:
 3. servers whose outage window intersects the cycle serve nothing and draw
    only the idle power of their surviving fraction of the cycle;
 4. clients of a downed server burn their full retry budget, then fail over
-   into surviving servers' free slots (:func:`repack_failed_server`) —
+   into surviving servers' free slots (:func:`repack_failed_servers`) —
    paying one extra upload — or degrade to local edge inference;
 5. clients with a link blackout at their slot retry on the backoff ladder
    (nominal delays; jitter is exercised by the DES path) and recover if the
@@ -31,7 +31,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.allocator import Allocation, Allocator, FillingPolicy, repack_failed_server
+from repro.core.allocator import Allocation, Allocator, FillingPolicy, repack_failed_servers
 from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
 from repro.core.client import fallback_extra_energy
 from repro.core.losses import LossConfig
@@ -74,6 +74,7 @@ class FaultyFleetResult:
     n_active: np.ndarray            # surviving clients per cycle
     n_servers_down: np.ndarray
     report: ResilienceReport
+    monitor: FaultMonitor
     faults_description: str
     schedule: FaultSchedule
 
@@ -124,6 +125,7 @@ def run_faulty_fleet(
     seed: SeedLike = None,
     constants: PaperConstants = PAPER,
     validate: Optional[bool] = None,
+    obs=None,
 ) -> FaultyFleetResult:
     """Replay ``n_cycles`` of the scenario under explicit fault processes.
 
@@ -132,9 +134,18 @@ def run_faulty_fleet(
     slots); loss C must be expressed as a
     :class:`~repro.faults.spec.ClientCrash` instead, so dropout has an
     explicit failure process behind it.
+
+    ``obs=`` (or the ambient collector; see :mod:`repro.obs`) attributes
+    each cycle's energy per phase as it is computed — retry burn → ``retry``,
+    failover re-uploads and degradation airtime → ``transfer``, fallback
+    inference → ``infer``, downed-server up-fraction → ``idle`` — so the
+    phase sum reconciles exactly with ``total_energy_j``.
+
+    ``n_clients=0`` is well-defined: every cycle is empty and all ledgers
+    are zero.
     """
-    if n_clients < 1:
-        raise ValueError("n_clients must be >= 1")
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
     if n_cycles < 1:
         raise ValueError("n_cycles must be >= 1")
     faults = faults or FaultConfig.none()
@@ -170,6 +181,20 @@ def run_faulty_fleet(
     for w in schedule.windows:
         mon.record_fault(w.start, w.kind, target=w.target, duration=w.duration)
 
+    from repro.obs.state import resolve as _resolve_obs
+
+    obs_c = _resolve_obs(obs)
+    local = None
+    if obs_c is not None:
+        from repro.obs.attribution import (
+            attribute_client_cycle,
+            attribute_server_cycle,
+            record_run,
+        )
+        from repro.obs.ledger import PhaseLedger
+
+        local = PhaseLedger()
+
     edge_e = np.zeros(n_cycles)
     server_e = np.zeros(n_cycles)
     retry_e = np.zeros(n_cycles)
@@ -193,6 +218,8 @@ def run_faulty_fleet(
         active_arr[cycle] = n_active
         mon.record_outcome(OUTCOME_MISSED, len(crashed))
         edge_e[cycle] = n_active * client.cycle_energy
+        if local is not None:
+            attribute_client_cycle(local, client, weight=n_active)
 
         if scenario.is_edge_only:
             mon.record_outcome(OUTCOME_OK, n_active)
@@ -210,34 +237,42 @@ def run_faulty_fleet(
         ]
         down_arr[cycle] = len(down)
 
-        # Failover: repack each downed server's clients into survivors.
+        # Failover: strip *all* downed servers first, then repack their
+        # clients into the true survivors.  (Repacking one failure at a
+        # time could land an orphan on another server that is itself down,
+        # double-counting that client's cycle and pushing availability
+        # above 1.0.)
         orphans_total: List[int] = []
         unplaced: List[int] = []
         placed: List[int] = []
-        for sidx in down:
-            if sidx not in {s.server_index for s in allocation.servers}:
-                continue
-            orphans = [
+        down_present = [
+            sidx for sidx in down if sidx in {s.server_index for s in allocation.servers}
+        ]
+        if down_present:
+            orphans_total = [
                 cid
                 for srv in allocation.servers
-                if srv.server_index == sidx
+                if srv.server_index in set(down_present)
                 for slot in srv.slots
                 for cid in slot
             ]
-            orphans_total.extend(orphans)
-            allocation, left = repack_failed_server(allocation, sidx)
-            unplaced.extend(left)
-            placed.extend(cid for cid in orphans if cid not in set(left))
+            allocation, left = repack_failed_servers(allocation, down_present)
+            unplaced = list(left)
+            placed = [cid for cid in orphans_total if cid not in set(left)]
 
         # Every orphan burned its full retry budget against its dead server.
         if orphans_total:
             burn = retry.exhausted_energy_j(send_task.power)
             retry_e[cycle] += burn * len(orphans_total)
             mon.charge_retry(burn * len(orphans_total))
+            mon.record_attempts((1 + retry.max_retries) * len(orphans_total))
+            if retry.timeout_s > 0:
+                mon.record_timeout_attempts((1 + retry.max_retries) * len(orphans_total))
         if placed:
             extra = send_task.energy * len(placed)
             failover_e[cycle] += extra
             mon.charge_failover(extra)
+            mon.record_attempts(len(placed))
             mon.record_outcome(OUTCOME_FAILOVER, len(placed))
         if unplaced:
             if faults.fallback:
@@ -271,11 +306,17 @@ def run_faulty_fleet(
                             burn = rec * retry.attempt_energy_j(send_task.power)
                             retry_e[cycle] += burn
                             mon.charge_retry(burn)
+                            mon.record_attempts(rec + 1)  # rec timeouts + the success
+                            if retry.timeout_s > 0:
+                                mon.record_timeout_attempts(rec)
                             n_retried += 1
                         else:
                             burn = retry.exhausted_energy_j(send_task.power)
                             retry_e[cycle] += burn
                             mon.charge_retry(burn)
+                            mon.record_attempts(1 + retry.max_retries)
+                            if retry.timeout_s > 0:
+                                mon.record_timeout_attempts(1 + retry.max_retries)
                             if faults.fallback:
                                 per = fallback_extra_energy(client, fallback_model, constants)
                                 fallback_e[cycle] += per
@@ -294,6 +335,7 @@ def run_faulty_fleet(
 
         # Remaining survivors uploaded first-try.
         n_served = n_active - len(orphans_total) - n_retried - n_link_fallback - n_link_missed
+        mon.record_attempts(max(n_served, 0))  # first-try uploads
         mon.record_outcome(OUTCOME_RETRIED, n_retried)
         mon.record_outcome(OUTCOME_OK, max(n_served, 0))
 
@@ -310,16 +352,42 @@ def run_faulty_fleet(
                     sizing_extra_s=allocator.sizing_extra_s,
                     losses=losses,
                 )
+                if local is not None:
+                    attribute_server_cycle(
+                        local,
+                        scenario.server,
+                        srv.occupancies,
+                        period=period,
+                        sizing_extra_s=allocator.sizing_extra_s,
+                        losses=losses,
+                    )
         for sidx in down:
             overlap = sum(
                 max(0.0, min(w.end, t1) - max(w.start, t0))
                 for w in schedule.windows_for(SERVER_OUTAGE, sidx)
             )
-            energy += scenario.server.idle_watts * max(period - overlap, 0.0)
+            up_s = max(period - overlap, 0.0)
+            energy += scenario.server.idle_watts * up_s
+            if local is not None:
+                local.add("idle", scenario.server.idle_watts * up_s, up_s)
         server_e[cycle] = energy
         edge_e[cycle] += (
             retry_e[cycle] + failover_e[cycle] + fallback_e[cycle] + degradation_e[cycle]
         )
+        if local is not None:
+            # Resilience overheads, same per-cycle floats the ledgers carry:
+            # retry burn is radio-on at the send power, failover re-uploads
+            # and degradation stretch are extra airtime, fallback is local
+            # inference.
+            send_w = send_task.power
+            if retry_e[cycle]:
+                local.add("retry", retry_e[cycle], retry_e[cycle] / send_w)
+            if failover_e[cycle]:
+                local.add("transfer", failover_e[cycle], failover_e[cycle] / send_w)
+            if degradation_e[cycle]:
+                local.add("transfer", degradation_e[cycle], degradation_e[cycle] / send_w)
+            if fallback_e[cycle]:
+                local.add("infer", fallback_e[cycle])
 
     result = FaultyFleetResult(
         scenario_name=scenario.name,
@@ -335,9 +403,34 @@ def run_faulty_fleet(
         n_active=active_arr,
         n_servers_down=down_arr,
         report=mon.report(),
+        monitor=mon,
         faults_description=faults.describe(),
         schedule=schedule,
     )
+
+    if obs_c is not None:
+        report = result.report
+        obs_c.metrics.counter("fleet.runs").inc()
+        obs_c.metrics.counter("fleet.clients_active").inc(int(active_arr.sum()))
+        for label, count in (
+            ("faults.cycles_expected", report.cycles_expected),
+            ("faults.cycles_ok", report.cycles_ok),
+            ("faults.cycles_retried", report.cycles_retried),
+            ("faults.cycles_failover", report.cycles_failover),
+            ("faults.cycles_fallback", report.cycles_fallback),
+            ("faults.cycles_missed", report.cycles_missed),
+            ("faults.events", report.n_fault_events),
+            ("faults.send_attempts", mon.send_attempts),
+            ("faults.timeout_attempts", mon.timeout_attempts),
+        ):
+            obs_c.metrics.counter(label).inc(count)
+        obs_c.metrics.gauge("faults.availability").set(report.availability)
+        local.note_total(result.total_energy_j)
+        record_run(
+            obs_c, "faulty_fleet", 0.0, horizon, local,
+            scenario=scenario.name, n_clients=n_clients,
+            n_cycles=n_cycles, availability=report.availability,
+        )
 
     from repro.validate.state import resolve
 

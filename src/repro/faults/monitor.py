@@ -82,6 +82,8 @@ class FaultMonitor:
         self._fallback_energy_j = 0.0
         self._degradation_energy_j = 0.0
         self._fault_events = 0
+        self._send_attempts = 0
+        self._timeout_attempts = 0
 
     # -- recording --------------------------------------------------------
     def expect_cycle(self, n: int = 1) -> None:
@@ -113,6 +115,33 @@ class FaultMonitor:
         """Log one fault lifecycle event (onset, repair, interrupt …)."""
         self.log.record(time, kind, **detail)
         self._fault_events += 1
+
+    def record_attempts(self, n: int = 1) -> None:
+        """Count ``n`` upload attempts (successful, aborted, or timed out).
+
+        A zero-timeout first-attempt failure is still exactly one attempt —
+        the retry-accounting regression tests pin this.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._send_attempts += n
+
+    def record_timeout_attempts(self, n: int = 1) -> None:
+        """Count ``n`` attempts that burned a full radio-on timeout window."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._timeout_attempts += n
+
+    @property
+    def send_attempts(self) -> int:
+        """Total upload attempts made (not part of the frozen report)."""
+        return self._send_attempts
+
+    @property
+    def timeout_attempts(self) -> int:
+        """Attempts that burned ``timeout_s`` of radio-on time each, so the
+        charged retry airtime is exactly ``timeout_attempts × timeout_s``."""
+        return self._timeout_attempts
 
     @staticmethod
     def _check(energy_j: float) -> float:

@@ -1,0 +1,111 @@
+"""Observability for the simulators: metrics, tracing, phase attribution.
+
+The paper's argument is an *attribution* argument — which task of the
+5-minute cycle the joules go to (Tables I/II) and how that scales to a fleet
+(§VI) — so the reproduction needs to see inside a run, not just its
+end-of-run aggregates.  :class:`Obs` bundles the three views:
+
+``obs.metrics``
+    A :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+    histograms (cycles simulated, retries, DES events fired, span widths).
+``obs.trace``
+    A :class:`~repro.obs.trace.Tracer` of sim-clock spans
+    (``with obs.trace.span("slot", i): ...``) forming the run's phase tree.
+``obs.ledger``
+    A :class:`~repro.obs.ledger.PhaseLedger` attributing every joule to one
+    canonical phase (boot, sense, infer, transfer, retry, sleep, idle) and
+    reconciling the phase sum against the run total, mirroring the
+    ``repro.validate`` energy-conservation invariant.
+
+Instrumentation is off by default and *nullable at the call site*: every
+simulation entry point takes ``obs=None``, resolves it against the ambient
+collector (``with observing(obs): ...`` — same tri-state idiom as
+``repro.validate``), and skips all recording when the result is ``None``.
+An un-observed run therefore pays one ``is None`` check per entry point —
+and, because this package lazy-loads everything but the tiny ambient-state
+module (PEP 562), it never even imports the metrics/trace/ledger machinery
+(``benchmarks/test_obs_overhead.py`` asserts this structurally).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.state import current, observing, resolve, set_current
+
+#: Lazily exported name → defining submodule (resolved in __getattr__ so an
+#: obs-off run that merely touches the resolve hook stays import-free).
+_LAZY = {
+    "PHASES": "ledger",
+    "PhaseLedger": "ledger",
+    "phase_of": "ledger",
+    "Counter": "metrics",
+    "Gauge": "metrics",
+    "Histogram": "metrics",
+    "MetricsRegistry": "metrics",
+    "SCHEMA_VERSION": "snapshot",
+    "build_snapshot": "snapshot",
+    "dump_snapshot": "snapshot",
+    "DEFAULT_MAX_SPANS": "trace",
+    "Span": "trace",
+    "Tracer": "trace",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"{__name__}.{submodule}"), name)
+
+
+class Obs:
+    """One run's observability collector (metrics + trace + phase ledger)."""
+
+    __slots__ = ("metrics", "trace", "ledger")
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_spans: Optional[int] = None,
+    ) -> None:
+        from repro.obs.ledger import PhaseLedger
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import DEFAULT_MAX_SPANS, Tracer
+
+        self.metrics = MetricsRegistry()
+        self.trace = Tracer(
+            clock=clock,
+            max_spans=DEFAULT_MAX_SPANS if max_spans is None else max_spans,
+        )
+        self.ledger = PhaseLedger()
+
+    def snapshot(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Versioned dict snapshot (see :mod:`repro.obs.snapshot`)."""
+        from repro.obs.snapshot import build_snapshot
+
+        return build_snapshot(self, extra)
+
+
+__all__ = [
+    "Obs",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "DEFAULT_MAX_SPANS",
+    "PhaseLedger",
+    "PHASES",
+    "phase_of",
+    "SCHEMA_VERSION",
+    "build_snapshot",
+    "dump_snapshot",
+    "observing",
+    "resolve",
+    "current",
+    "set_current",
+]

@@ -1,0 +1,137 @@
+"""Exact phase attribution for the *analytic* simulation paths.
+
+The DES paths attribute from their :class:`~repro.energy.account.EnergyAccount`
+ledgers (category totals → :func:`~repro.obs.ledger.phase_of`), so their
+phase sum equals the run total by construction.  The analytic paths
+(:func:`~repro.core.simulate.simulate_fleet`, :mod:`repro.core.sweep`,
+:func:`~repro.faults.fleetsim.run_faulty_fleet`) never build accounts —
+these helpers re-derive the same splits the energy formulas use, term by
+term, so the attributed phases again sum *exactly* to the reported totals:
+
+* client cycle = per-task energies (+ wake surge → boot) + residual sleep;
+* server cycle = idle floor over the period (→ idle) + per-occupied-slot
+  receive marginal (→ transfer) + service marginal and saturation penalty
+  (→ infer), mirroring :func:`repro.core.simulate.occupied_slot_energy`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.ledger import PhaseLedger, phase_of
+
+
+def attribute_client_cycle(ledger: PhaseLedger, client, weight: float = 1.0) -> float:
+    """Attribute one client cycle (``client.cycle_energy`` joules) per phase.
+
+    Returns the attributed total so callers can sanity-check against the
+    analytic ``cycle_energy`` they charged.
+    """
+    total = 0.0
+    for task in client.active_tasks:
+        ledger.charge_category(task.name, task.energy, task.duration, weight)
+        total += task.energy
+    if client.wake_surge_j:
+        ledger.add("boot", client.wake_surge_j * weight)
+        total += client.wake_surge_j
+    ledger.add("sleep", client.sleep_energy * weight, client.sleep_duration * weight)
+    total += client.sleep_energy
+    return total * weight
+
+
+def attribute_server_cycle(
+    ledger: PhaseLedger,
+    server,
+    occupancies: Sequence[int],
+    period: float,
+    sizing_extra_s: float = 0.0,
+    losses=None,
+    weight: float = 1.0,
+) -> float:
+    """Attribute one server cycle, splitting the terms of
+    :func:`~repro.core.simulate.server_cycle_energy` exactly.
+
+    idle floor → ``idle``; receive marginal → ``transfer``; service marginal
+    → ``infer``; saturation penalty → ``infer`` (it prices compute
+    contention).  Returns the attributed total, equal to
+    ``server_cycle_energy(...)`` to the last bit because the identical terms
+    are summed in the identical order per slot.
+    """
+    idle = server.idle_watts * period
+    ledger.add("idle", idle * weight, period * weight)
+    total = idle
+    slot_dur = server.slot_duration(sizing_extra_s)
+    for k in occupancies:
+        k = int(k)
+        if k == 0:
+            continue
+        actual_extra = (
+            losses.transfer.actual_extra_s(k) if losses is not None and losses.transfer else 0.0
+        )
+        t_rx = server.transfer_s + actual_extra
+        receive = (server.receive_watts - server.idle_watts) * t_rx
+        service = k * (server.service.energy - server.idle_watts * server.service.duration)
+        ledger.add("transfer", receive * weight, t_rx * weight)
+        ledger.add("infer", service * weight, k * server.service.duration * weight)
+        total += receive + service
+        if losses is not None and losses.saturation is not None:
+            mult = losses.saturation.multiplier(k, server.max_parallel)
+            active = receive + service
+            base = (
+                server.idle_watts * slot_dur + active
+                if losses.saturation.base == "slot"
+                else active
+            )
+            penalty = (mult - 1.0) * base
+            if penalty:
+                ledger.add("infer", penalty * weight)
+                total += penalty
+    return total * weight
+
+
+def attribute_accounts(
+    ledger: PhaseLedger,
+    accounts: Sequence,
+    multiplicities: Optional[Sequence[float]] = None,
+) -> None:
+    """Attribute DES :class:`~repro.energy.account.EnergyAccount` ledgers.
+
+    ``multiplicities`` carries cohort weights (one representative account
+    standing for N identical clients/servers); omitted means weight 1 each.
+    """
+    ledger.charge_accounts(accounts, multiplicities)
+
+
+def record_run(obs, name: str, start: float, end: float, ledger: PhaseLedger, **attrs):
+    """Fold a run-local phase ledger into the collector and emit its spans.
+
+    Every instrumented entry point builds its contribution in a *local*
+    :class:`PhaseLedger`, then hands it here: the collector's ledger absorbs
+    the phase totals (so a sweep-wide collector still reconciles), one
+    parent span covers the run window, and each phase with any energy or
+    time gets a child span carrying its share — the snapshot's span tree
+    therefore covers every phase the run exercised.
+
+    Returns the parent span index (or ``None`` if the span store is full).
+    """
+    from repro.obs.ledger import PHASES
+
+    obs.ledger.absorb(ledger)
+    parent = obs.trace.record(name, start, end, **attrs)
+    for phase in PHASES:
+        energy, time_s = ledger.energy_j(phase), ledger.time_s(phase)
+        if energy or time_s:
+            obs.trace.record(
+                f"phase:{phase}", start, end, parent=parent,
+                energy_j=energy, time_s=time_s,
+            )
+    return parent
+
+
+__all__ = [
+    "attribute_client_cycle",
+    "attribute_server_cycle",
+    "attribute_accounts",
+    "record_run",
+    "phase_of",
+]

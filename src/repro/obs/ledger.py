@@ -1,0 +1,201 @@
+"""Per-phase energy/time attribution.
+
+The paper argues entirely in terms of *where* a cycle's joules go (Tables
+I/II); this module folds the simulator's fine-grained ledger categories
+(``wake_collect``, ``send_audio``, ``receive_retry`` …) into the six
+canonical cycle phases plus server idle:
+
+========  ===========================================================
+phase     meaning
+========  ===========================================================
+boot      power-state transitions (wake surge, shutdown sequences)
+sense     audio/sensor collection windows
+infer     model execution (SVM/CNN, edge fallback, server service)
+transfer  radio/network on-time for successful uploads & receives
+retry     radio on-time burned on timeouts, aborted and re-sent uploads
+sleep     client deep-sleep draw
+idle      server idle floor (incl. downed-server up-fraction)
+other     anything unmapped (kept explicit so the sum stays total)
+========  ===========================================================
+
+:func:`phase_of` is the single mapping point; :class:`PhaseLedger`
+accumulates joules/seconds per phase and *reconciles*: fed from the same
+:class:`~repro.energy.account.EnergyAccount` totals the run reports, the
+phase sum equals the run total by construction, and
+:meth:`PhaseLedger.reconciles` re-checks it against the independently
+computed total the same way ``repro.validate`` checks energy conservation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+#: Canonical attribution phases, in cycle order.
+PHASES: Tuple[str, ...] = (
+    "boot",
+    "sense",
+    "infer",
+    "transfer",
+    "retry",
+    "sleep",
+    "idle",
+    "other",
+)
+
+#: Exact category → phase matches (consulted before the prefix rules, so a
+#: bundled category like ``collect_and_transfer`` — one §IV routine covering
+#: collection *and* upload — can pin its dominant phase explicitly).
+_EXACT: Dict[str, str] = {
+    "collect_and_transfer": "sense",
+    "wake_collect": "sense",
+    "idle_collectwin": "idle",
+    "sleep": "sleep",
+    "idle": "idle",
+    "down": "idle",
+    "service": "infer",
+    "saturation_penalty": "infer",
+}
+
+#: Ordered prefix rules — first match wins, so ``send_retry_timeout`` and
+#: ``receive_retry`` land in ``retry`` before the plain send/receive rules
+#: claim them for ``transfer``.
+_PREFIX: Tuple[Tuple[str, str], ...] = (
+    ("send_retry", "retry"),
+    ("send_aborted", "retry"),
+    ("receive_retry", "retry"),
+    ("send", "transfer"),
+    ("receive", "transfer"),
+    ("fallback_infer", "infer"),
+    ("queen_detection", "infer"),
+    ("svm", "infer"),
+    ("cnn", "infer"),
+    ("service", "infer"),
+    ("saturation", "infer"),
+    ("shutdown", "boot"),
+    ("wake", "boot"),
+    ("boot", "boot"),
+    ("collect", "sense"),
+    ("sleep", "sleep"),
+    ("idle", "idle"),
+)
+
+
+def phase_of(category: str) -> str:
+    """Canonical phase for a ledger category (``"other"`` if unmapped)."""
+    phase = _EXACT.get(category)
+    if phase is not None:
+        return phase
+    for prefix, phase in _PREFIX:
+        if category.startswith(prefix):
+            return phase
+    return "other"
+
+
+class PhaseLedger:
+    """Additive joules/seconds totals per canonical phase."""
+
+    __slots__ = ("_energy", "_time", "_expected_total")
+
+    def __init__(self) -> None:
+        self._energy: Dict[str, float] = {p: 0.0 for p in PHASES}
+        self._time: Dict[str, float] = {p: 0.0 for p in PHASES}
+        self._expected_total: Optional[float] = None
+
+    # -- recording --------------------------------------------------------
+    def add(self, phase: str, energy_j: float, duration_s: float = 0.0) -> None:
+        """Attribute ``energy_j`` joules (and ``duration_s`` seconds) to a phase.
+
+        Values are normalized to plain ``float`` so NumPy scalars fed by the
+        vectorized paths never leak into the JSON snapshot.
+        """
+        if phase not in self._energy:
+            raise ValueError(f"unknown phase {phase!r} (known: {', '.join(PHASES)})")
+        if energy_j < 0 or duration_s < 0:
+            raise ValueError("attributed energy/time must be >= 0")
+        self._energy[phase] += float(energy_j)
+        self._time[phase] += float(duration_s)
+
+    def charge_category(
+        self, category: str, energy_j: float, duration_s: float = 0.0, weight: float = 1.0
+    ) -> None:
+        """Attribute one ledger category's totals (``weight`` = multiplicity)."""
+        self.add(phase_of(category), energy_j * weight, duration_s * weight)
+
+    def charge_account(self, account: Any, weight: float = 1.0) -> None:
+        """Fold a whole :class:`~repro.energy.account.EnergyAccount` in."""
+        for category, energy in account.breakdown().items():
+            self.charge_category(
+                category, energy, account.category_duration(category), weight
+            )
+
+    def charge_accounts(self, accounts: Iterable[Any], weights: Optional[Iterable[float]] = None) -> None:
+        """Fold many accounts in, optionally multiplicity-weighted (cohorts)."""
+        if weights is None:
+            for account in accounts:
+                self.charge_account(account)
+        else:
+            for account, weight in zip(accounts, weights):
+                self.charge_account(account, weight)
+
+    def note_total(self, total_j: float) -> None:
+        """Accumulate a run's independently computed total for reconciliation.
+
+        Additive so one collector can observe a whole sweep: each point adds
+        its own total, and the ledger still reconciles phase-sum vs sum of
+        totals at the end.
+        """
+        self._expected_total = (self._expected_total or 0.0) + float(total_j)
+
+    # -- reporting --------------------------------------------------------
+    def energy_j(self, phase: str) -> float:
+        return self._energy[phase]
+
+    def time_s(self, phase: str) -> float:
+        return self._time[phase]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self._energy.values())
+
+    @property
+    def expected_total_j(self) -> Optional[float]:
+        return self._expected_total
+
+    def reconciles(self, rtol: float = 1e-6, atol: float = 1e-9) -> bool:
+        """Does the phase sum match the run total the ledger was told about?
+
+        ``True`` when no total was recorded (nothing to reconcile against).
+        """
+        if self._expected_total is None:
+            return True
+        err = abs(self.total_energy_j - self._expected_total)
+        scale = max(abs(self.total_energy_j), abs(self._expected_total))
+        return bool(err <= atol + rtol * scale)
+
+    def merge(self, other: "PhaseLedger") -> "PhaseLedger":
+        out = PhaseLedger()
+        out.absorb(self)
+        out.absorb(other)
+        return out
+
+    def absorb(self, other: "PhaseLedger") -> None:
+        """Fold ``other`` into this ledger in place (run-local → collector)."""
+        for phase in PHASES:
+            self._energy[phase] += other._energy[phase]
+            self._time[phase] += other._time[phase]
+        if other._expected_total is not None:
+            self.note_total(other._expected_total)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phases": {
+                p: {"energy_j": self._energy[p], "time_s": self._time[p]}
+                for p in PHASES
+            },
+            "total_energy_j": self.total_energy_j,
+            "expected_total_j": self._expected_total,
+            "reconciles": self.reconciles(),
+        }
+
+
+__all__ = ["PHASES", "phase_of", "PhaseLedger"]

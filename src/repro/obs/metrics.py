@@ -1,0 +1,134 @@
+"""Dependency-free counters, gauges and histograms.
+
+The registry is deliberately tiny: named instruments created on first use,
+plain-float arithmetic on the hot path, and a canonical ``to_dict`` form for
+the versioned snapshot.  Histograms keep summary statistics plus fixed
+power-of-two buckets instead of raw samples, so recording a million values
+costs O(1) memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count (events, cycles, retries …)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (fleet size, queue depth, battery level …)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary with power-of-two buckets.
+
+    Bucket ``i`` counts values in ``(2**(i-1), 2**i]`` (bucket 0 holds
+    everything ``<= 1``), which spans sub-second slot durations up to
+    multi-day horizons in ~40 buckets without configuration.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = 0 if value <= 1.0 else math.ceil(math.log2(value))
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): v for k, v in sorted(self._buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and snapshotted together."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}, "
+                f"requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: self._instruments[name].to_dict() for name in self.names()}
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,36 @@
+"""Versioned JSON snapshot of one observed run.
+
+The snapshot is the contract between the library and downstream tooling
+(CI artifacts, notebooks): ``schema_version`` gates structural changes the
+same way ``FINGERPRINT_VERSION`` gates the golden files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Bump on any structural change to the snapshot layout.
+SCHEMA_VERSION = 1
+
+
+def build_snapshot(obs: Any, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Canonical dict form of an :class:`~repro.obs.Obs` collector."""
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "metrics": obs.metrics.to_dict(),
+        "trace": obs.trace.to_dict(),
+        "ledger": obs.ledger.to_dict(),
+    }
+    if extra:
+        payload["run"] = dict(extra)
+    return payload
+
+
+def dump_snapshot(obs: Any, fh: Any, extra: Optional[Dict[str, Any]] = None) -> None:
+    """Write the snapshot as stable, indented JSON to an open file object."""
+    json.dump(build_snapshot(obs, extra), fh, indent=2, sort_keys=True)
+    fh.write("\n")
+
+
+__all__ = ["SCHEMA_VERSION", "build_snapshot", "dump_snapshot"]

@@ -1,0 +1,52 @@
+"""Process-wide observability switch (mirror of :mod:`repro.validate.state`).
+
+A dependency leaf: the simulation modules consult :func:`resolve` on their
+``obs=`` keyword without importing the collector layer.  Default off — every
+hot path then sees ``None`` and skips instrumentation with a single identity
+check, so an un-observed run costs nothing.
+
+``repro-exp --metrics/--trace`` installs a session-wide collector via
+:func:`observing`; library callers can also pass an
+:class:`~repro.obs.Obs` explicitly (explicit wins over ambient).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Obs
+
+_current: Optional["Obs"] = None
+
+
+def current() -> Optional["Obs"]:
+    """The ambient collector, or ``None`` when observation is off."""
+    return _current
+
+
+def set_current(obs: Optional["Obs"]) -> None:
+    """Install (or clear, with ``None``) the ambient collector."""
+    global _current
+    _current = obs
+
+
+@contextmanager
+def observing(obs: Optional["Obs"]) -> Iterator[Optional["Obs"]]:
+    """Scoped ambient collector: ``with observing(obs): run_des_fleet(...)``."""
+    global _current
+    previous = _current
+    _current = obs
+    try:
+        yield obs
+    finally:
+        _current = previous
+
+
+def resolve(obs: Optional["Obs"]) -> Optional["Obs"]:
+    """Effective collector for an ``obs=`` keyword: explicit wins, else ambient."""
+    return _current if obs is None else obs
+
+
+__all__ = ["current", "set_current", "observing", "resolve"]

@@ -1,0 +1,145 @@
+"""Span-based tracing on the simulation clock.
+
+Spans are closed intervals ``[start, end]`` of *sim* time — the tracer takes
+a ``clock`` callable (``lambda: engine.now`` for DES runs; analytic paths
+record spans post-hoc with explicit times via :meth:`Tracer.record`).  Open
+spans nest: a span entered while another is active becomes its child, so the
+snapshot can render the phase tree of a run.
+
+The span store is bounded (``max_spans``).  Overflow never raises — extra
+spans are counted in :attr:`Tracer.dropped` and surfaced by the snapshot, so
+a truncated trace is visibly truncated rather than silently complete.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Default span-store bound: ~10 M-client cohort runs stay well under this;
+#: per-client tracing of huge fleets truncates (and says so) instead of OOMing.
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass
+class Span:
+    """One traced interval of sim time."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None  # index into the tracer's span list
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "start": self.start, "end": self.end}
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Tracer:
+    """Bounded span recorder with a pluggable sim clock."""
+
+    __slots__ = ("_clock", "_spans", "_stack", "_max_spans", "dropped")
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self._clock = clock or (lambda: 0.0)
+        self._spans: List[Span] = []
+        self._stack: List[int] = []
+        self._max_spans = max_spans
+        self.dropped = 0
+
+    # -- clock ------------------------------------------------------------
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Swap the sim clock (e.g. onto a freshly built DES engine)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- recording --------------------------------------------------------
+    def _push(self, span: Span) -> Optional[int]:
+        if len(self._spans) >= self._max_spans:
+            self.dropped += 1
+            return None
+        self._spans.append(span)
+        return len(self._spans) - 1
+
+    @contextmanager
+    def span(self, name: str, *labels: Any, **attrs: Any) -> Iterator[Span]:
+        """Open a span on the sim clock: ``with trace.span("slot", i): ...``.
+
+        Positional ``labels`` are joined onto the name (``slot:3``); keyword
+        ``attrs`` are stored on the span.  The span closes at the clock's
+        value on exit — even when the body raises.
+        """
+        if labels:
+            name = ":".join([name, *map(str, labels)])
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, start=self._clock(), parent=parent, attrs=dict(attrs))
+        idx = self._push(span)
+        if idx is not None:
+            self._stack.append(idx)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            if idx is not None:
+                self._stack.pop()
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> Optional[int]:
+        """Append a closed span with explicit times (analytic/post-hoc paths).
+
+        Returns the span's index (usable as ``parent`` for children), or
+        ``None`` if the store is full.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({end} < {start})")
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        return self._push(Span(name, start=start, end=end, parent=parent, attrs=dict(attrs)))
+
+    # -- reporting --------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def phase_names(self) -> List[str]:
+        """Sorted unique span names (prefix before the first ``:`` label)."""
+        return sorted({s.name.split(":", 1)[0] for s in self._spans})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_spans": len(self._spans),
+            "dropped": self.dropped,
+            "spans": [s.to_dict() for s in self._spans],
+        }
+
+
+__all__ = ["Span", "Tracer", "DEFAULT_MAX_SPANS"]

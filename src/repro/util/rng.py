@@ -58,14 +58,21 @@ def derive_seed(base: int, *labels: Union[str, int]) -> int:
     """Derive a stable 63-bit seed from a base seed and a label path.
 
     Used so that e.g. ``derive_seed(seed, "fig8", "loss_c")`` always names the
-    same stream regardless of execution order.  Hash-based so labels with
-    different structure never collide by accident.
+    same stream regardless of execution order.  Each label component is
+    length-prefixed before hashing, so label *structure* is part of the
+    stream name: ``("a/b",)`` and ``("a", "b")`` derive different seeds (a
+    plain separator join would collide whenever a label contains the
+    separator).  Labels are stringified, so ``1`` and ``"1"`` are the same
+    component by design.
     """
     h = hashlib.sha256()
-    h.update(str(int(base)).encode())
+    base_repr = str(int(base)).encode()
+    h.update(len(base_repr).to_bytes(4, "little"))
+    h.update(base_repr)
     for label in labels:
-        h.update(b"/")
-        h.update(str(label).encode())
+        data = str(label).encode()
+        h.update(len(data).to_bytes(4, "little"))
+        h.update(data)
     return int.from_bytes(h.digest()[:8], "little") & (2**63 - 1)
 
 

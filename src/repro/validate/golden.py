@@ -362,14 +362,34 @@ def diff_fingerprints(
     return drifts
 
 
+def _drift_severity(drift: Dict[str, Any]) -> float:
+    """Ordering key for drift records: numeric drifts rank by relative error;
+    structural drifts (missing/extra/length/type) always outrank them."""
+    if drift["kind"] != "value-drift":
+        return math.inf
+    return drift.get("rel_err", math.inf)
+
+
+def worst_offender(drifts: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The most severe drift record of a case, or ``None`` if it is clean."""
+    if not drifts:
+        return None
+    return max(drifts, key=_drift_severity)
+
+
 def render_drift_report(report: Dict[str, List[Dict[str, Any]]]) -> str:
-    """Human-readable drift report: one block per drifted case."""
+    """Human-readable drift report: one block per drifted case, fields
+    ordered worst-first, with the worst offender named up front."""
     lines: List[str] = []
     for case_id, drifts in report.items():
         if not drifts:
             continue
-        lines.append(f"case {case_id}: {len(drifts)} drifted field(s)")
-        for d in drifts:
+        worst = worst_offender(drifts)
+        lines.append(
+            f"case {case_id}: {len(drifts)} drifted field(s), "
+            f"worst: {worst['field']}"
+        )
+        for d in sorted(drifts, key=_drift_severity, reverse=True):
             rel = f"  rel_err={d['rel_err']:.3g}" if "rel_err" in d else ""
             lines.append(
                 f"  [{d['kind']}] {d['field']}: expected={d['expected']!r} "
@@ -482,7 +502,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.report:
         with open(args.report, "w") as fh:
             json.dump(
-                {"version": FINGERPRINT_VERSION, "cases": report, "drifted": sorted(drifted)},
+                {
+                    "version": FINGERPRINT_VERSION,
+                    "cases": report,
+                    "drifted": sorted(drifted),
+                    "worst_offenders": {
+                        k: worst_offender(v)["field"] for k, v in drifted.items()
+                    },
+                },
                 fh, indent=2, sort_keys=True,
             )
             fh.write("\n")

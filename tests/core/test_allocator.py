@@ -226,3 +226,58 @@ class TestRepackFailedServer:
         placed_ids = set(repacked.client_ids)
         assert placed_ids.isdisjoint(unplaced)
         assert placed_ids | set(unplaced) == set(range(n))
+
+
+class TestRepackFailedServers:
+    def test_orphans_never_land_on_another_failed_server(self):
+        from repro.core.allocator import repack_failed_servers
+
+        # Three servers, the first two down: every orphan must end up on
+        # server 2 or be unplaced — never on the other downed server.
+        alloc = FirstFitPolicy().allocate(range(400), plan())
+        assert alloc.n_servers == 3
+        repacked, unplaced = repack_failed_servers(alloc, (0, 1))
+        repacked.validate()
+        assert {s.server_index for s in repacked.servers} == {2}
+        placed_ids = set(repacked.client_ids)
+        assert placed_ids.isdisjoint(unplaced)
+        assert placed_ids | set(unplaced) == set(range(400))
+
+    def test_single_failure_matches_shorthand(self):
+        from repro.core.allocator import repack_failed_server, repack_failed_servers
+
+        alloc = FirstFitPolicy().allocate(range(190), plan())
+        a1, u1 = repack_failed_server(alloc, 1)
+        a2, u2 = repack_failed_servers(alloc, (1,))
+        assert u1 == u2
+        assert [(s.server_index, s.slots) for s in a1.servers] == [
+            (s.server_index, s.slots) for s in a2.servers
+        ]
+
+    def test_all_servers_failed_everyone_unplaced(self):
+        from repro.core.allocator import repack_failed_servers
+
+        alloc = FirstFitPolicy().allocate(range(100), plan())
+        indices = tuple(s.server_index for s in alloc.servers)
+        repacked, unplaced = repack_failed_servers(alloc, indices)
+        assert repacked.n_servers == 0
+        assert sorted(unplaced) == list(range(100))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=600),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_multi_repack_invariants(self, n, k):
+        from repro.core.allocator import repack_failed_servers
+
+        alloc = BalancedPolicy().allocate(range(n), plan())
+        if alloc.n_servers == 0:
+            return
+        failed = [s.server_index for s in alloc.servers[: min(k, alloc.n_servers)]]
+        repacked, unplaced = repack_failed_servers(alloc, failed)
+        repacked.validate()
+        placed_ids = set(repacked.client_ids)
+        assert placed_ids.isdisjoint(unplaced)
+        assert placed_ids | set(unplaced) == set(range(n))
+        assert {s.server_index for s in repacked.servers}.isdisjoint(failed)

@@ -90,7 +90,9 @@ class TestValidation:
             run_des_fleet(5, EDGE_CLOUD_SVM, losses=LossConfig(client_loss=ClientLoss()))
 
     def test_bad_counts(self):
+        # n_clients=0 is valid since PR 4 (tests/core/test_zero_fleet.py);
+        # only negative fleets and empty horizons are rejected.
         with pytest.raises(ValueError):
-            run_des_fleet(0, EDGE_SVM)
+            run_des_fleet(-1, EDGE_SVM)
         with pytest.raises(ValueError):
             run_des_fleet(1, EDGE_SVM, n_cycles=0)

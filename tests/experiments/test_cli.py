@@ -1,0 +1,113 @@
+"""CLI contract tests (PR 4): ``--json`` keeps stdout machine-parseable.
+
+``repro-exp --json --plot`` used to risk interleaving ASCII charts with the
+JSON stream; ``--json`` now wins — stdout carries exactly one parseable
+JSON document and charts/diagnostics go to stderr.  The combination sweep
+runs every registry experiment id against every output flag combination
+with a stubbed runner (the contract is about stream routing, not the
+experiments themselves), plus real fast experiments end to end.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments.registry import experiment_ids
+from repro.experiments.report import ExperimentResult
+
+
+def _stub_result(eid: str) -> ExperimentResult:
+    r = ExperimentResult(experiment_id=eid, title=f"stub {eid}")
+    r.add_series("n_clients", [1, 2, 3, 4])
+    r.add_series("edge_per_client_j", [4.0, 3.0, 2.5, 2.25])
+    r.compare("crossover", 10.0, 10.0, tolerance_pct=5.0)
+    r.notes.append("stub")
+    return r
+
+
+@pytest.fixture
+def stub_runner(monkeypatch):
+    calls = []
+
+    def fake_run(eid, **kwargs):
+        calls.append((eid, kwargs))
+        return _stub_result(eid)
+
+    monkeypatch.setattr(cli, "run_experiment", fake_run)
+    return calls
+
+
+#: Output-routing flags; --validate is exercised separately against a real
+#: experiment (its schema checker rejects the stub by design).
+_FLAG_SETS = [
+    list(flags)
+    for n in range(4)
+    for flags in itertools.combinations(
+        ["--plot", "--no-series", "--metrics", "--trace"], n
+    )
+]
+
+
+class TestJsonStdoutStaysParseable:
+    @pytest.mark.parametrize("eid", experiment_ids(include_extensions=True))
+    @pytest.mark.parametrize("flags", _FLAG_SETS, ids=lambda f: "+".join(f) or "none")
+    def test_every_id_and_flag_combination(self, stub_runner, capsys, eid, flags):
+        assert cli.main([eid, "--json", *flags]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # must parse — charts may not interleave
+        assert [p["experiment_id"] for p in payload] == [eid]
+
+    def test_multiple_ids_one_document(self, stub_runner, capsys):
+        assert cli.main(["fig6", "fig7", "--json", "--plot"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert len(payload) == 2
+        # The charts went to stderr, not stdout.
+        assert "edge_per_client_j" in captured.err
+
+    def test_plot_still_on_stdout_without_json(self, stub_runner, capsys):
+        assert cli.main(["fig6", "--plot"]) == 0
+        captured = capsys.readouterr()
+        assert "edge_per_client_j" in captured.out
+        assert captured.err == ""
+
+
+class TestObsSnapshotRouting:
+    def test_snapshot_file_keeps_stdout_pure(self, stub_runner, capsys, tmp_path):
+        out_file = tmp_path / "obs.json"
+        assert cli.main(["fig6", "--json", "--obs-out", str(out_file)]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        snap = json.loads(out_file.read_text())
+        assert snap["schema_version"] >= 1
+        assert set(snap) >= {"metrics", "trace", "ledger", "run"}
+        assert snap["run"]["ids"] == ["fig6"]
+
+    def test_snapshot_to_stderr_by_default(self, stub_runner, capsys):
+        assert cli.main(["fig6", "--json", "--metrics", "--trace"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert '"schema_version"' in captured.err
+
+
+class TestRealExperiments:
+    """End-to-end on fast analytic experiments — no stubbing."""
+
+    @pytest.mark.parametrize("flags", [["--plot"], ["--no-series"], ["--validate"]])
+    def test_fig6_json_parses(self, capsys, flags):
+        assert cli.main(["fig6", "--json", *flags]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "fig6"
+
+    def test_fig6_obs_snapshot_reconciles(self, capsys, tmp_path):
+        out_file = tmp_path / "obs.json"
+        assert cli.main(["fig6", "--json", "--obs-out", str(out_file)]) == 0
+        json.loads(capsys.readouterr().out)
+        snap = json.loads(out_file.read_text())
+        ledger = snap["ledger"]
+        assert ledger["reconciles"] is True
+        assert ledger["expected_total_j"] is not None
+        names = {s["name"] for s in snap["trace"]["spans"]}
+        assert any(n.startswith("phase:") for n in names)

@@ -66,7 +66,7 @@ class TestFig5:
         result = run_experiment(
             "fig5",
             sizes=(20, 60, 100),
-            dataset_spec=DatasetSpec.small(n_samples=120, clip_duration=2.0, seed=5),
+            dataset_spec=DatasetSpec.small(n_samples=120, clip_duration=2.0, seed=0),
         )
         assert_all_within_tolerance(result)
         acc = result.series["accuracy"]

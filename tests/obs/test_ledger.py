@@ -1,0 +1,152 @@
+"""Tests for repro.obs.ledger (phase mapping + attribution + reconciliation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.account import EnergyAccount
+from repro.obs.ledger import PHASES, PhaseLedger, phase_of
+
+
+class TestPhaseOf:
+    @pytest.mark.parametrize(
+        "category,phase",
+        [
+            # client cycle tasks
+            ("wake_collect", "sense"),
+            ("collect_and_transfer", "sense"),  # bundled §IV routine, exact match
+            ("queen_detection_svm", "infer"),
+            ("fallback_infer_svm", "infer"),
+            ("fallback_infer_cnn", "infer"),
+            ("send_audio", "transfer"),
+            ("send_results", "transfer"),
+            ("send_retry_timeout", "retry"),
+            ("send_aborted", "retry"),
+            ("shutdown", "boot"),
+            ("shutdown_a", "boot"),
+            ("shutdown_b", "boot"),
+            ("sleep", "sleep"),
+            # server categories
+            ("idle", "idle"),
+            ("idle_collectwin", "idle"),
+            ("down", "idle"),
+            ("receive", "transfer"),
+            ("receive_overlap", "transfer"),
+            ("receive_retry", "retry"),
+            ("service", "infer"),
+            ("saturation_penalty", "infer"),
+            # unmapped stays visible
+            ("mystery_widget", "other"),
+        ],
+    )
+    def test_known_categories(self, category, phase):
+        assert phase_of(category) == phase
+
+    def test_retry_prefixes_beat_plain_send_receive(self):
+        # Ordering regression: "send_retry_timeout" startswith "send" too.
+        assert phase_of("send_retry_timeout") == "retry"
+        assert phase_of("receive_retry") == "retry"
+
+
+class TestPhaseLedger:
+    def test_add_and_totals(self):
+        led = PhaseLedger()
+        led.add("sense", 10.0, 64.0)
+        led.add("sense", 5.0, 32.0)
+        led.add("sleep", 1.0)
+        assert led.energy_j("sense") == 15.0
+        assert led.time_s("sense") == 96.0
+        assert led.total_energy_j == 16.0
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            PhaseLedger().add("naps", 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseLedger().add("sense", -1.0)
+
+    def test_charge_category_maps_and_weights(self):
+        led = PhaseLedger()
+        led.charge_category("send_audio", 2.0, 1.5, weight=3.0)
+        assert led.energy_j("transfer") == 6.0
+        assert led.time_s("transfer") == 4.5
+
+    def test_charge_account_sums_to_account_total(self):
+        acc = EnergyAccount("client")
+        acc.charge("wake_collect", 131.8, 64.0)
+        acc.charge("send_audio", 14.9, 10.0)
+        acc.charge("sleep", 3.0, 200.0)
+        led = PhaseLedger()
+        led.charge_account(acc)
+        assert led.total_energy_j == pytest.approx(acc.total)
+        assert led.energy_j("sense") == pytest.approx(131.8)
+
+    def test_charge_accounts_with_multiplicities(self):
+        acc = EnergyAccount("rep")
+        acc.charge("sleep", 1.0, 10.0)
+        led = PhaseLedger()
+        led.charge_accounts([acc, acc], weights=[3.0, 2.0])
+        assert led.energy_j("sleep") == pytest.approx(5.0)
+        assert led.time_s("sleep") == pytest.approx(50.0)
+
+    def test_reconciles_default_true_without_total(self):
+        assert PhaseLedger().reconciles()
+
+    def test_reconciles_within_band(self):
+        led = PhaseLedger()
+        led.add("sense", 100.0)
+        led.note_total(100.0 + 1e-7)
+        assert led.reconciles()
+        drifted = PhaseLedger()
+        drifted.add("sense", 100.0)
+        drifted.note_total(100.1)
+        assert not drifted.reconciles()
+
+    def test_note_total_accumulates_across_sweep_points(self):
+        led = PhaseLedger()
+        for _ in range(3):
+            led.add("sense", 10.0)
+            led.note_total(10.0)
+        assert led.expected_total_j == 30.0
+        assert led.reconciles()
+
+    def test_reconciles_near_zero_uses_atol(self):
+        led = PhaseLedger()
+        led.note_total(5e-10)  # empty run: phase sum 0.0 vs epsilon total
+        assert led.reconciles()
+
+    def test_merge(self):
+        a, b = PhaseLedger(), PhaseLedger()
+        a.add("sense", 1.0, 2.0)
+        b.add("sense", 3.0, 4.0)
+        b.add("retry", 5.0)
+        a.note_total(1.0)
+        b.note_total(8.0)
+        m = a.merge(b)
+        assert m.energy_j("sense") == 4.0 and m.time_s("sense") == 6.0
+        assert m.energy_j("retry") == 5.0
+        assert m.expected_total_j == 9.0
+        assert m.reconciles()
+
+    def test_to_dict_covers_all_phases(self):
+        d = PhaseLedger().to_dict()
+        assert set(d["phases"]) == set(PHASES)
+        assert d["reconciles"] is True
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["wake_collect", "send_audio", "service", "idle", "zzz"]),
+                st.floats(min_value=0.0, max_value=1e6),
+            ),
+            max_size=20,
+        )
+    )
+    def test_phase_sum_equals_charged_sum(self, charges):
+        led = PhaseLedger()
+        total = 0.0
+        for category, energy in charges:
+            led.charge_category(category, energy)
+            total += energy
+        led.note_total(total)
+        assert led.reconciles()

@@ -1,0 +1,92 @@
+"""Tests for repro.obs.metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("cycles")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+    def test_to_dict(self):
+        c = Counter("x")
+        c.inc(2)
+        assert c.to_dict() == {"type": "counter", "value": 2.0}
+
+
+class TestGauge:
+    def test_unset_is_none(self):
+        assert Gauge("depth").value is None
+
+    def test_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert g.to_dict() == {"type": "gauge", "value": 1.5}
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("dur")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.min == 1.0 and h.max == 3.0
+
+    def test_empty_histogram(self):
+        h = Histogram("dur")
+        assert h.mean == 0.0
+        d = h.to_dict()
+        assert d["count"] == 0 and d["min"] is None and d["max"] is None
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("dur")
+        h.record(0.5)   # bucket 0: <= 1
+        h.record(1.0)   # bucket 0
+        h.record(1.5)   # bucket 1: (1, 2]
+        h.record(300.0)  # bucket 9: (256, 512]
+        assert h.to_dict()["buckets"] == {"0": 2, "1": 1, "9": 1}
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=50))
+    def test_count_conserved_across_buckets(self, values):
+        h = Histogram("x")
+        for v in values:
+            h.record(v)
+        assert sum(h.to_dict()["buckets"].values()) == len(values)
+        assert h.min == min(values) and h.max == max(values)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_to_dict_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        reg.histogram("c").record(2.0)
+        d = reg.to_dict()
+        assert list(d) == ["a", "b", "c"]
+        assert d["b"]["type"] == "counter"
+        assert reg.names() == ["a", "b", "c"]

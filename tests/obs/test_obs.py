@@ -1,0 +1,80 @@
+"""Tests for the Obs facade, ambient switch and snapshot schema."""
+
+import json
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    Obs,
+    build_snapshot,
+    current,
+    dump_snapshot,
+    observing,
+    resolve,
+    set_current,
+)
+
+
+class TestAmbientSwitch:
+    def test_off_by_default(self):
+        assert current() is None
+        assert resolve(None) is None
+
+    def test_explicit_wins_over_ambient(self):
+        ambient, explicit = Obs(), Obs()
+        with observing(ambient):
+            assert resolve(None) is ambient
+            assert resolve(explicit) is explicit
+        assert resolve(None) is None
+
+    def test_observing_restores_previous(self):
+        outer, inner = Obs(), Obs()
+        with observing(outer):
+            with observing(inner):
+                assert current() is inner
+            assert current() is outer
+
+    def test_set_current_roundtrip(self):
+        obs = Obs()
+        set_current(obs)
+        try:
+            assert current() is obs
+        finally:
+            set_current(None)
+        assert current() is None
+
+
+class TestSnapshot:
+    def _populated(self):
+        obs = Obs()
+        obs.metrics.counter("cycles").inc(3)
+        with obs.trace.span("run"):
+            pass
+        obs.ledger.add("sense", 10.0, 64.0)
+        obs.ledger.note_total(10.0)
+        return obs
+
+    def test_schema_version_present(self):
+        snap = self._populated().snapshot()
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert set(snap) == {"schema_version", "metrics", "trace", "ledger"}
+
+    def test_extra_run_metadata(self):
+        snap = build_snapshot(self._populated(), extra={"experiment": "fig7"})
+        assert snap["run"] == {"experiment": "fig7"}
+
+    def test_snapshot_is_json_serializable(self, tmp_path):
+        path = tmp_path / "obs.json"
+        with open(path, "w") as fh:
+            dump_snapshot(self._populated(), fh, extra={"seed": 0})
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["metrics"]["cycles"]["value"] == 3
+        assert payload["ledger"]["reconciles"] is True
+        assert payload["trace"]["n_spans"] == 1
+
+    def test_obs_clock_flows_to_tracer(self):
+        t = [0.0]
+        obs = Obs(clock=lambda: t[0])
+        with obs.trace.span("x"):
+            t[0] = 9.0
+        assert obs.trace.spans[0].end == 9.0

@@ -1,0 +1,111 @@
+"""Tests for repro.obs.trace."""
+
+import pytest
+
+from repro.obs.trace import Span, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("x", start=1.0, end=3.5).duration == 2.5
+
+    def test_open_span_has_no_duration(self):
+        with pytest.raises(ValueError, match="still open"):
+            Span("x", start=1.0).duration
+
+    def test_to_dict_omits_empty_fields(self):
+        assert Span("x", 0.0, 1.0).to_dict() == {"name": "x", "start": 0.0, "end": 1.0}
+        d = Span("x", 0.0, 1.0, parent=2, attrs={"k": 1}).to_dict()
+        assert d["parent"] == 2 and d["attrs"] == {"k": 1}
+
+
+class TestTracer:
+    def test_span_records_clock_times(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("cycle"):
+            clock.t = 5.0
+        (span,) = tr.spans
+        assert span.start == 0.0 and span.end == 5.0
+
+    def test_labels_join_onto_name(self):
+        tr = Tracer()
+        with tr.span("slot", 3):
+            pass
+        assert tr.spans[0].name == "slot:3"
+
+    def test_nesting_sets_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, inner = tr.spans
+        assert outer.parent is None
+        assert inner.parent == 0
+
+    def test_span_closes_on_exception(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tr.span("x"):
+                clock.t = 2.0
+                raise RuntimeError("boom")
+        assert tr.spans[0].end == 2.0
+
+    def test_record_posthoc_span(self):
+        tr = Tracer()
+        idx = tr.record("cycle", 0.0, 300.0, n=40)
+        child = tr.record("slot", 0.0, 30.0, parent=idx)
+        assert tr.spans[idx].attrs == {"n": 40}
+        assert tr.spans[child].parent == idx
+
+    def test_record_rejects_negative_interval(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Tracer().record("x", 2.0, 1.0)
+
+    def test_record_inherits_open_span_as_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            idx = tr.record("inner", 0.0, 1.0)
+        assert tr.spans[idx].parent == 0
+
+    def test_overflow_drops_and_counts(self):
+        tr = Tracer(max_spans=2)
+        for i in range(5):
+            tr.record("s", 0.0, 1.0)
+        assert len(tr) == 2
+        assert tr.dropped == 3
+        assert tr.to_dict()["dropped"] == 3
+
+    def test_overflow_inside_context_is_safe(self):
+        tr = Tracer(max_spans=1)
+        with tr.span("a"):
+            with tr.span("b"):  # dropped
+                pass
+        assert len(tr) == 1 and tr.dropped == 1
+
+    def test_set_clock_swaps_mid_run(self):
+        tr = Tracer()
+        clock = FakeClock()
+        clock.t = 7.0
+        tr.set_clock(clock)
+        assert tr.now() == 7.0
+
+    def test_phase_names_strip_labels(self):
+        tr = Tracer()
+        tr.record("slot:1", 0, 1)
+        tr.record("slot:2", 1, 2)
+        tr.record("cycle", 0, 2)
+        assert tr.phase_names() == ["cycle", "slot"]
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)

@@ -91,6 +91,26 @@ class TestDeriveSeed:
     def test_rng_for_shorthand(self):
         assert rng_for(3, "x").random() == make_rng(derive_seed(3, "x")).random()
 
+    def test_separator_in_label_does_not_collide(self):
+        # Regression: a plain "/"-join made ("a/b",) and ("a", "b") collide.
+        assert derive_seed(0, "a/b") != derive_seed(0, "a", "b")
+        assert derive_seed(0, "a", "b/c") != derive_seed(0, "a/b", "c")
+
+    def test_label_boundary_shifts_do_not_collide(self):
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+        assert derive_seed(0, "", "x") != derive_seed(0, "x", "")
+        assert derive_seed(0, "x") != derive_seed(0, "x", "")
+
+    @given(
+        st.lists(st.text(alphabet="ab/", max_size=4), max_size=4),
+        st.lists(st.text(alphabet="ab/", max_size=4), max_size=4),
+    )
+    def test_distinct_label_paths_distinct_seeds(self, left, right):
+        # Structure is part of the stream name: different label tuples must
+        # name different streams (SHA-256 collisions aside).
+        if tuple(left) != tuple(right):
+            assert derive_seed(7, *left) != derive_seed(7, *right)
+
 
 class TestChoiceWithoutReplacement:
     def test_distinct_items(self):

@@ -87,6 +87,46 @@ class TestDiffer:
         assert "case2" not in text
         assert render_drift_report({"ok": []}) == "all golden fingerprints match"
 
+    def test_flags_upward_drift(self):
+        drifts = diff_fingerprints({"x": 1.0}, {"x": 1.01})
+        assert len(drifts) == 1
+        assert drifts[0]["expected"] == 1.0 and drifts[0]["actual"] == 1.01
+
+    def test_flags_downward_drift(self):
+        drifts = diff_fingerprints({"x": 1.0}, {"x": 0.99})
+        assert len(drifts) == 1
+        assert drifts[0]["expected"] == 1.0 and drifts[0]["actual"] == 0.99
+        assert drifts[0]["rel_err"] == pytest.approx(0.01, rel=1e-2)
+
+    def test_near_zero_expected_uses_atol(self):
+        # A stored 0.0 vs sub-atol noise must NOT drift: rtol alone would
+        # make the band degenerate (rtol * 0 == 0) and flag any epsilon.
+        assert diff_fingerprints({"x": 0.0}, {"x": 5e-10}) == []
+        assert diff_fingerprints({"x": 5e-10}, {"x": 0.0}) == []
+        # ... while anything above the absolute band still drifts, both ways.
+        assert len(diff_fingerprints({"x": 0.0}, {"x": 1e-6})) == 1
+        assert len(diff_fingerprints({"x": 1e-6}, {"x": 0.0})) == 1
+
+    def test_worst_offender_named_and_sorted_first(self):
+        from repro.validate.golden import worst_offender
+
+        drifts = diff_fingerprints(
+            {"small": 1.0, "huge": 1.0, "mid": 1.0},
+            {"small": 1.001, "huge": 2.0, "mid": 1.1},
+        )
+        assert worst_offender(drifts)["field"] == "huge"
+        text = render_drift_report({"case": drifts})
+        assert "worst: huge" in text.splitlines()[0]
+        fields = [ln.split(" ")[3].rstrip(":") for ln in text.splitlines()[1:]]
+        assert fields == ["huge", "mid", "small"]
+
+    def test_worst_offender_prefers_structural_drift(self):
+        from repro.validate.golden import worst_offender
+
+        drifts = diff_fingerprints({"x": 1.0, "gone": 1}, {"x": 2.0})
+        assert worst_offender(drifts)["kind"] == "missing"
+        assert worst_offender([]) is None
+
 
 class TestFixtures:
     def test_every_case_has_a_committed_golden(self):
@@ -153,8 +193,14 @@ class TestCli:
         fp = json.loads(json.dumps(stored["fingerprint"]))
         fp["comparisons"][next(iter(fp["comparisons"]))]["measured"] += 0.01
         save_golden("fig3", fp, tmp_path)
-        assert main(["--check", "--only", "fig3", "--dir", str(tmp_path)]) == 1
+        report_path = tmp_path / "drift.json"
+        assert main(
+            ["--check", "--only", "fig3", "--dir", str(tmp_path), "--report", str(report_path)]
+        ) == 1
         assert "value-drift" in capsys.readouterr().out
+        payload = json.loads(report_path.read_text())
+        assert payload["drifted"] == ["fig3"]
+        assert payload["worst_offenders"]["fig3"]  # names the worst field
 
     def test_default_dir_points_at_committed_fixtures(self):
         assert GOLDEN_DIR.name == "golden"
