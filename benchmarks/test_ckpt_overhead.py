@@ -1,0 +1,135 @@
+"""Checkpoint overhead guard (PR 5).
+
+Durability must be effectively free at the granularity we checkpoint:
+whole simulation chunks.  This file proves it at fleet scale — a sweep
+totalling 10k simulated clients, checkpointed after *every* chunk (the
+default, maximally durable cadence), must cost less than a few percent of
+wall time over the identical uncheckpointed sweep.
+
+The timing assertion measures the overhead *directly*: it times every
+``record`` call inside a real checkpointed sweep and asserts that the
+summed save time is a small fraction of the sweep's wall clock.  (The
+obvious alternative — differencing the wall time of a checkpointed sweep
+against an uncheckpointed one — is hopeless against a 5% budget on a
+shared machine, where two identical 2s sweeps routinely differ by more
+than 5% from ambient load alone.  A ratio taken within one run drifts
+with the load on both sides.)  The pytest-benchmark cases alongside
+record absolute numbers for the CI artifact.  Run with
+``pytest benchmarks/test_ckpt_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.dessim import run_des_fleet
+from repro.core.routines import EDGE_CLOUD_SVM
+from repro.resilience.checkpoint import RunCheckpoint
+from repro.resilience.supervisor import supervised_map
+
+#: 20 chunks x 500 clients = 10k simulated clients per sweep.
+N_ITEMS = 20
+CLIENTS_PER_ITEM = 500
+N_CYCLES = 10
+
+#: Acceptance says "< 5% wall-time at 10k clients"; the true cost measures
+#: well under 1% locally (one fsync per ~100ms simulation chunk).
+MAX_OVERHEAD = 0.05
+
+
+def _simulate(i: int) -> tuple:
+    # Per-client DES (cohort=False): each chunk costs what a real sweep
+    # grid point costs.  The cohort-collapsed run is so fast (~3ms) that a
+    # per-chunk fsync would dominate it — which is exactly why experiments
+    # checkpoint at chunk granularity, not finer.
+    r = run_des_fleet(CLIENTS_PER_ITEM, EDGE_CLOUD_SVM, n_cycles=N_CYCLES, cohort=False)
+    return (float(r.total_energy_j), int(r.n_servers))
+
+
+class _TimedStage:
+    """Forwarding proxy that accounts every second spent persisting.
+
+    ``supervised_map`` only touches ``completed()``, ``record()``,
+    ``flush()`` and (via getattr) ``path`` — forward those and clock the
+    two that write.
+    """
+
+    def __init__(self, stage):
+        self._stage = stage
+        self.save_s = 0.0
+
+    @property
+    def path(self):
+        return self._stage.path
+
+    def completed(self):
+        return self._stage.completed()
+
+    def record(self, idx, result, units=1):
+        t0 = time.perf_counter()
+        self._stage.record(idx, result, units=units)
+        self.save_s += time.perf_counter() - t0
+
+    def flush(self):
+        t0 = time.perf_counter()
+        self._stage.flush()
+        self.save_s += time.perf_counter() - t0
+
+
+def _sweep(checkpoint_dir=None):
+    if checkpoint_dir is None:
+        return supervised_map(_simulate, list(range(N_ITEMS)), chunksize=1)
+    rc = RunCheckpoint(Path(checkpoint_dir) / "bench.ckpt.json", run_key="bench")
+    return supervised_map(
+        _simulate, list(range(N_ITEMS)), chunksize=1, checkpoint=rc.stage("sweep")
+    )
+
+
+def test_checkpoint_overhead_under_budget(tmp_path):
+    """Every-chunk checkpointing on a 10k-client sweep costs < MAX_OVERHEAD.
+
+    ``save_s / wall`` from a single real run: ambient load slows the saves
+    and the simulation chunks together, so the fraction is stable where a
+    two-run wall-clock difference is not.  Median of 3 runs shields the
+    verdict from one unlucky fsync burst.
+    """
+    import statistics
+
+    _sweep(tmp_path)  # warm both paths (imports, allocator) before timing
+    fractions = []
+    for _ in range(3):
+        rc = RunCheckpoint(tmp_path / "bench.ckpt.json", run_key="bench")
+        stage = _TimedStage(rc.stage("sweep"))
+        t0 = time.perf_counter()
+        supervised_map(_simulate, list(range(N_ITEMS)), chunksize=1, checkpoint=stage)
+        wall = time.perf_counter() - t0
+        fractions.append(stage.save_s / wall)
+        print(
+            f"\ncheckpoint overhead at {N_ITEMS * CLIENTS_PER_ITEM} clients "
+            f"({N_ITEMS} saves/sweep): wall={wall * 1e3:.1f}ms "
+            f"saves={stage.save_s * 1e3:.1f}ms ({fractions[-1]:+.2%})"
+        )
+    overhead = statistics.median(fractions)
+    assert overhead < MAX_OVERHEAD, (
+        f"checkpoint overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%}"
+    )
+
+
+def test_checkpointed_sweep_matches_plain(tmp_path):
+    """Durability must not change a single bit of the results."""
+    assert _sweep(tmp_path) == _sweep()
+
+
+def test_sweep_10k_ckpt_off(benchmark):
+    """Absolute baseline for the CI artifact."""
+    results = benchmark(_sweep)
+    assert len(results) == N_ITEMS
+
+
+def test_sweep_10k_ckpt_on(benchmark):
+    """Same sweep checkpointing after every chunk — compare with ckpt-off."""
+    with tempfile.TemporaryDirectory() as tmp:
+        results = benchmark(lambda: _sweep(tmp))
+    assert len(results) == N_ITEMS

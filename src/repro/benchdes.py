@@ -20,7 +20,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import sys
 import time
@@ -116,9 +115,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "per_client_cap": PER_CLIENT_CAP,
         "results": results,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    from repro.util.atomic import atomic_write_json
+
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
     return 0
 

@@ -22,6 +22,11 @@ _SEEDABLE = {"fig2", "fig5", "fig8", "fig9", "ext-adaptive", "ext-contention", "
 #: (:mod:`repro.core.parallel`) and accept a ``workers`` keyword.
 _PARALLEL = {"fig7", "ext-contention", "ext-faults"}
 
+#: Experiments that accept a ``checkpoint`` keyword (a
+#: :class:`repro.resilience.checkpoint.RunCheckpoint`): their sweeps record
+#: completed chunks durably and ``--resume`` skips them bit-identically.
+_CHECKPOINTABLE = {"fig7", "ext-contention", "ext-faults"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -46,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of tables; stdout carries "
         "only the JSON document (charts and diagnostics go to stderr)",
     )
+    parser.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="write the JSON document to FILE via a crash-safe atomic "
+        "replace (tmp + fsync + rename) instead of stdout; implies --json",
+    )
     parser.add_argument("--plot", action="store_true", help="also draw the figure's curves as an ASCII chart")
     parser.add_argument(
         "--metrics", action="store_true",
@@ -65,6 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-series", action="store_true", help="with --json: omit the (large) series arrays"
     )
     parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="persist sweep progress to FILE (atomic, digest-protected; see "
+        "docs/RESILIENCE.md); requires exactly one checkpointable experiment "
+        f"id ({', '.join(sorted(_CHECKPOINTABLE))})",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, metavar="N", default=1,
+        help="persist after every N completed sweep chunks (default: 1)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: load FILE and skip every chunk already "
+        "recorded there; the resumed run is bit-identical to an "
+        "uninterrupted one (stale schema or foreign run_key is refused)",
+    )
+    parser.add_argument(
+        "--chaos-abort-after-saves", type=int, metavar="N", default=None,
+        help="chaos hook: simulate a crash immediately after the N-th "
+        "checkpoint save (used by repro-chaos and the resume golden case)",
+    )
+    parser.add_argument(
         "--validate", action="store_true",
         help="run every simulation invariant checker during the experiments "
         "and validate the output schema (see docs/TESTING.md); "
@@ -75,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.json_out is not None:
+        args.json = True
     if args.list:
         for eid in experiment_ids(include_extensions=args.extensions):
             print(eid)
@@ -88,6 +121,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint FILE", file=sys.stderr)
+        return 2
+    if args.checkpoint is not None:
+        ckpt_ids = [i for i in ids if i in _CHECKPOINTABLE]
+        if len(ids) != 1 or not ckpt_ids:
+            print(
+                "--checkpoint requires exactly one checkpointable experiment id "
+                f"({', '.join(sorted(_CHECKPOINTABLE))}); got: {', '.join(ids)}",
+                file=sys.stderr,
+            )
+            return 2
     from contextlib import ExitStack
 
     stack = ExitStack()
@@ -107,6 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         obs = Obs()
         stack.enter_context(observing(obs))
+    from repro.resilience.errors import CheckpointError, InterruptedRun
+
     json_out = []
     for eid in ids:
         kwargs = {}
@@ -114,7 +161,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["seed"] = args.seed
         if args.workers is not None and eid in _PARALLEL:
             kwargs["workers"] = args.workers
-        result = run_experiment(eid, **kwargs)
+        if args.checkpoint is not None and eid in _CHECKPOINTABLE:
+            from repro.resilience.checkpoint import (
+                CheckpointPolicy,
+                RunCheckpoint,
+                run_key,
+            )
+
+            # The run key binds the checkpoint to the experiment identity:
+            # id + seed (never worker count — results are seed-stable, so a
+            # resume may legally use a different --workers).
+            key = run_key(eid, kwargs.get("seed"))
+            try:
+                kwargs["checkpoint"] = RunCheckpoint(
+                    args.checkpoint,
+                    run_key=key,
+                    policy=CheckpointPolicy(every_units=args.checkpoint_every),
+                    resume=args.resume,
+                    abort_after_saves=args.chaos_abort_after_saves,
+                )
+            except CheckpointError as exc:
+                print(f"checkpoint error: {exc}", file=sys.stderr)
+                return 3
+            if args.resume and kwargs["checkpoint"].resumed:
+                print(f"resuming from checkpoint {args.checkpoint}", file=sys.stderr)
+        try:
+            result = run_experiment(eid, **kwargs)
+        except InterruptedRun as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            print(exc.resume_hint(), file=sys.stderr)
+            return 130
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 3
         if args.validate:
             check_experiment_result(result, include_series=not args.no_series)
         chart = None
@@ -138,14 +217,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json:
         import json
 
-        print(json.dumps(json_out, indent=2))
+        if args.json_out is not None:
+            from repro.util.atomic import atomic_write_json
+
+            atomic_write_json(args.json_out, json_out)
+            print(f"JSON results written to {args.json_out}", file=sys.stderr)
+        else:
+            print(json.dumps(json_out, indent=2))
     stack.close()
     if obs is not None:
         extra = {"ids": list(ids)}
         if args.seed is not None:
             extra["seed"] = args.seed
         if args.obs_out is not None:
-            with open(args.obs_out, "w", encoding="utf-8") as fh:
+            from repro.util.atomic import atomic_writer
+
+            with atomic_writer(args.obs_out) as fh:
                 dump_snapshot(obs, fh, extra)
             print(f"observability snapshot written to {args.obs_out}", file=sys.stderr)
         else:

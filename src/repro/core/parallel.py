@@ -17,6 +17,21 @@ serial fallback when no pool can be spawned (restricted environments) or
 ``workers`` requests serial execution.  Exceptions raised by the function
 itself are *not* swallowed — they propagate, exactly as in a list
 comprehension.
+
+Two execution engines share this front door:
+
+* the **plain pool** (default): one ``ProcessPoolExecutor.map`` pass,
+  minimal overhead, serial fallback on pool failure;
+* the **supervised engine** (``supervise=True``, or implied by passing
+  ``checkpoint``/``deadline_s``): :func:`repro.resilience.supervisor.
+  supervised_map`, which adds crash/hang detection with bounded retries
+  and durable per-chunk checkpointing.  Seed stability makes the two
+  engines bit-identical.
+
+Both engines handle Ctrl-C the same way: the pool is torn down cleanly
+(terminate + join + kill — no orphaned workers) and a structured
+:class:`repro.resilience.errors.InterruptedRun` is raised carrying the
+last checkpoint path (``None`` without a checkpoint).
 """
 
 from __future__ import annotations
@@ -52,6 +67,10 @@ def parallel_map(
     items: Iterable[_T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    supervise: bool = False,
+    deadline_s: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    checkpoint=None,
 ) -> List[_R]:
     """``[fn(x) for x in items]``, optionally fanned out over processes.
 
@@ -67,25 +86,85 @@ def parallel_map(
         workers.
     chunksize:
         Items per dispatch unit; default :func:`auto_chunksize`.
+    supervise:
+        Route through :func:`repro.resilience.supervisor.supervised_map`:
+        crashed/hung workers are detected and their chunks retried on a
+        fresh pool (same derived seeds → bit-identical), bounded by
+        ``max_retries``.  Implied by ``checkpoint`` or ``deadline_s``.
+    deadline_s:
+        Wall-clock budget per chunk; a chunk past it is treated as hung
+        (supervised engine only).
+    max_retries:
+        Per-chunk retry budget after crashes/hangs (supervised engine only;
+        default :data:`repro.resilience.supervisor.DEFAULT_MAX_RETRIES`).
+    checkpoint:
+        A :class:`repro.resilience.checkpoint.StageCheckpoint`; completed
+        chunks become durable and are skipped on resume.
 
     Falls back to the serial path if the pool cannot be spawned or dies
     before completing (sandboxed environments without ``fork``/semaphores) —
     correctness never depends on the pool, only wall-clock does.
     """
+    if supervise or checkpoint is not None or deadline_s is not None:
+        from repro.resilience.supervisor import DEFAULT_MAX_RETRIES, supervised_map
+
+        return supervised_map(
+            fn,
+            items,
+            workers=workers,
+            chunksize=chunksize,
+            deadline_s=deadline_s,
+            max_retries=DEFAULT_MAX_RETRIES if max_retries is None else max_retries,
+            checkpoint=checkpoint,
+        )
+
     work = list(items)
     if workers is None or workers <= 1 or len(work) <= 1:
-        return [fn(x) for x in work]
+        try:
+            return [fn(x) for x in work]
+        except KeyboardInterrupt:
+            from repro.resilience.errors import InterruptedRun
+
+            raise InterruptedRun(
+                "interrupted by user", completed=0, total=len(work)
+            ) from None
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     if chunksize is None:
         chunksize = auto_chunksize(len(work), workers)
     try:
-        with ProcessPoolExecutor(max_workers=workers) as ex:
-            return list(ex.map(fn, work, chunksize=chunksize))
+        ex = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, PermissionError):
+        return [fn(x) for x in work]
+    try:
+        out = list(ex.map(fn, work, chunksize=chunksize))
+        ex.shutdown(wait=True)
+        return out
     except (OSError, PermissionError, BrokenProcessPool):
         # No usable multiprocessing here — same answer, one process.
+        from repro.resilience.supervisor import _kill_pool
+
+        _kill_pool(ex)
         return [fn(x) for x in work]
+    except KeyboardInterrupt:
+        # Ctrl-C: a bare `with` block would hang waiting on running futures
+        # and could strand workers.  Tear the pool down hard and surface a
+        # structured interrupt instead of a raw KeyboardInterrupt.
+        from repro.resilience.errors import InterruptedRun
+        from repro.resilience.supervisor import _kill_pool
+
+        _kill_pool(ex)
+        raise InterruptedRun(
+            "interrupted by user: workers terminated cleanly",
+            completed=0,
+            total=len(work),
+        ) from None
+    except BaseException:
+        from repro.resilience.supervisor import _kill_pool
+
+        _kill_pool(ex)
+        raise
 
 
 __all__ = ["auto_chunksize", "parallel_map", "seed_table"]

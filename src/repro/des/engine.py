@@ -29,7 +29,6 @@ any observable semantics:
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional
 
 #: Priority constants — lower fires first at equal timestamps.
@@ -228,7 +227,11 @@ class Engine:
     ) -> None:
         self._now = float(start_time)
         self._queue: list = []
-        self._counter = itertools.count()
+        # Monotonic insertion counter (tie-break at equal time+priority).  A
+        # plain int rather than itertools.count so the full scheduling state
+        # is a value: repro.resilience.snapshot serializes and restores it
+        # exactly, keeping resumed tie-breaks identical to uninterrupted ones.
+        self._counter = 0
         self._active = 0  # scheduled-but-unfired events
         self._pool: list = []  # recycled Timeout slab (pool_timeouts=True)
         self._pool_timeouts = bool(pool_timeouts)
@@ -280,7 +283,9 @@ class Engine:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = PRIORITY_NORMAL) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._counter), event))
+        seq = self._counter
+        self._counter = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
         self._active += 1
 
     def peek(self) -> float:
@@ -290,6 +295,17 @@ class Engine:
         when the entry is popped.
         """
         return self._queue[0][0] if self._queue else float("inf")
+
+    def pending_entries(self) -> tuple:
+        """Heap-ordered snapshot view of the scheduled entries.
+
+        Each entry is ``(time, priority, seq, event)`` in the internal heap
+        order (a valid binary heap, *not* fire order); lazily-cancelled
+        events are still present.  This is the read side of the
+        checkpoint/restore protocol in :mod:`repro.resilience.snapshot` —
+        restoring the tuple list verbatim reproduces pop order exactly.
+        """
+        return tuple(self._queue)
 
     def step(self) -> None:
         """Fire the single next (non-cancelled) event."""

@@ -44,7 +44,12 @@ def run(
     n_trials: int = 30,
     seed: int = 0,
     workers: Optional[int] = None,
+    checkpoint=None,
 ) -> ExperimentResult:
+    """``checkpoint`` is an optional :class:`repro.resilience.checkpoint.
+    RunCheckpoint`: the occupancy sweep records per-chunk results durably;
+    the pre-drawn per-trial seeds ride inside the work items, so resumed
+    chunks are bit-identical to fresh ones."""
     result = ExperimentResult(
         experiment_id="ext-contention",
         title="Loss model B from first principles (slot contention)",
@@ -59,7 +64,8 @@ def run(
     work: List[tuple] = [
         (k, [int(rng.integers(2**62)) for _ in range(n_trials)]) for k in occupancies
     ]
-    stats = parallel_map(_occupancy_trials, work, workers=workers)
+    stage = checkpoint.stage("occupancy") if checkpoint is not None else None
+    stats = parallel_map(_occupancy_trials, work, workers=workers, checkpoint=stage)
     means = [m for m, _ in stats]
     for k, (mean, std) in zip(occupancies, stats):
         rows.append((k, mean, std))

@@ -112,7 +112,13 @@ def run(
     crossover_sizes: tuple = (350, 1000, 50),  # (min, max, step) client grid
     constants: PaperConstants = PAPER,
     workers: Optional[int] = None,
+    checkpoint=None,
 ) -> ExperimentResult:
+    """``checkpoint`` is an optional :class:`repro.resilience.checkpoint.
+    RunCheckpoint`: both parallel sweeps (the MTBF rate sweep and the
+    crossover grid) record per-chunk results durably; a resumed run skips
+    every chunk already in the file and is bit-identical to a fresh one
+    (chunk results are pure functions of their seed-carrying items)."""
     cloud = make_scenario("edge+cloud", model, max_parallel=max_parallel, constants=constants)
     edge = make_scenario("edge", model, constants=constants)
     edge_per_client = edge.client.cycle_energy
@@ -148,8 +154,10 @@ def run(
         (i, mtbf_h, model, max_parallel, n_clients, n_cycles, seed, constants)
         for i, mtbf_h in enumerate(OUTAGE_MTBF_HOURS)
     ]
+    rate_stage = checkpoint.stage("rate-sweep") if checkpoint is not None else None
     for mtbf_h, (avail, c_avail, total_cc, resil, down) in zip(
-        OUTAGE_MTBF_HOURS, parallel_map(_rate_point, rate_args, workers=workers)
+        OUTAGE_MTBF_HOURS,
+        parallel_map(_rate_point, rate_args, workers=workers, checkpoint=rate_stage),
     ):
         availability.append(avail)
         cloud_avail.append(c_avail)
@@ -193,7 +201,10 @@ def run(
         for label, mtbf_h in settings
         for n in sizes
     ]
-    grid_totals = parallel_map(_crossover_point, grid, workers=workers)
+    cross_stage = checkpoint.stage("crossover") if checkpoint is not None else None
+    grid_totals = parallel_map(
+        _crossover_point, grid, workers=workers, checkpoint=cross_stage
+    )
     for j, (label, _mtbf_h) in enumerate(settings):
         totals = np.asarray(grid_totals[j * len(sizes):(j + 1) * len(sizes)])
         below = np.nonzero(totals < edge_per_client)[0]

@@ -40,7 +40,11 @@ def run(
     n_max: int = 2000,
     constants: PaperConstants = PAPER,
     workers: Optional[int] = None,
+    checkpoint=None,
 ) -> ExperimentResult:
+    """``checkpoint`` is an optional :class:`repro.resilience.checkpoint.
+    RunCheckpoint`: the cloud-settings sweep records per-chunk results
+    durably and a resumed run serves completed chunks from the file."""
     edge = make_scenario("edge", model, constants=constants)
     n = np.arange(n_min, n_max + 1)
     edge_sweep = sweep_clients(n, edge)
@@ -55,7 +59,10 @@ def run(
 
     reports = {}
     settings = [(model, mp, n_min, n_max, constants) for mp in (10, 35)]
-    for max_parallel, totals, n_servers in parallel_map(_cloud_setting, settings, workers=workers):
+    stage = checkpoint.stage("cloud-settings") if checkpoint is not None else None
+    for max_parallel, totals, n_servers in parallel_map(
+        _cloud_setting, settings, workers=workers, checkpoint=stage
+    ):
         result.add_series(f"edge_cloud_per_client_j_p{max_parallel}", totals)
         result.add_series(f"n_servers_p{max_parallel}", n_servers)
         reports[max_parallel] = find_crossover(n, edge_sweep.total_energy_per_client, totals)

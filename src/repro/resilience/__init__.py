@@ -1,0 +1,77 @@
+"""Crash-safe execution: checkpoints, supervision, chaos (PR 5).
+
+The north-star "production-scale system" must survive interruption: a
+week-long sweep that is preempted, OOM-killed, or loses a worker must
+resume from durable state and finish **bit-identical** to an
+uninterrupted run — the orchestration-resilience concern the paper raises
+for duty-cycled edge nodes (§IV night outages), lifted to the simulation
+infrastructure itself.  Three layers:
+
+:mod:`repro.resilience.snapshot`
+    Versioned, schema-checked snapshot/restore of live state: the DES
+    engine's full scheduling state, numpy RNG streams, realized fault
+    schedules (re-armed on restore), and observability collectors.
+:mod:`repro.resilience.checkpoint`
+    Crash-only checkpoint files (atomic replace + payload digest +
+    schema gate), cadence policies (every N units / N wall-seconds), and
+    the multi-stage :class:`RunCheckpoint` the experiments resume from.
+:mod:`repro.resilience.supervisor`
+    :func:`supervised_map` — chunked parallel execution with heartbeats,
+    per-chunk deadlines, crash/hang retries on fresh workers (same
+    derived seeds, so retried == serial bit for bit), bounded retries
+    then structured failure, and clean Ctrl-C teardown surfacing
+    :class:`InterruptedRun`.
+
+``repro-chaos`` (:mod:`repro.resilience.chaos`) turns the guarantees into
+executable scenarios: SIGKILLed workers, truncated checkpoints, stale
+schemas, kill-and-resume fingerprint equality.  ``docs/RESILIENCE.md``
+is the prose contract.
+
+Like :mod:`repro.obs`, the package lazy-loads: importing it costs nothing
+until a symbol is touched, so the unresilient fast path stays unchanged.
+"""
+
+from __future__ import annotations
+
+#: name → defining submodule (PEP 562 lazy resolution).
+_LAZY = {
+    "ResilienceError": "errors",
+    "SnapshotError": "errors",
+    "CheckpointError": "errors",
+    "CheckpointCorrupt": "errors",
+    "CheckpointSchemaMismatch": "errors",
+    "CheckpointMismatch": "errors",
+    "InterruptedRun": "errors",
+    "SupervisionError": "errors",
+    "register_callback": "registry",
+    "SNAPSHOT_VERSION": "snapshot",
+    "snapshot_engine": "snapshot",
+    "restore_engine": "snapshot",
+    "snapshot_rng": "snapshot",
+    "restore_rng": "snapshot",
+    "snapshot_schedule": "snapshot",
+    "restore_schedule": "snapshot",
+    "snapshot_obs": "snapshot",
+    "restore_obs": "snapshot",
+    "CHECKPOINT_SCHEMA": "checkpoint",
+    "run_key": "checkpoint",
+    "write_checkpoint": "checkpoint",
+    "load_checkpoint": "checkpoint",
+    "CheckpointPolicy": "checkpoint",
+    "Checkpointer": "checkpoint",
+    "RunCheckpoint": "checkpoint",
+    "StageCheckpoint": "checkpoint",
+    "supervised_map": "supervisor",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"{__name__}.{submodule}"), name)
+
+
+__all__ = list(_LAZY)

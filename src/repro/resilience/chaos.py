@@ -1,0 +1,302 @@
+"""``repro-chaos`` — executable crash-safety scenarios.
+
+Each scenario *injects* a real failure (SIGKILL, an infinite hang, file
+truncation, a stale schema) and asserts the structured recovery the
+resilience layer promises.  They run as a CLI (``repro-chaos --list``)
+and are also driven by ``tests/chaos/`` in CI, so the guarantees in
+``docs/RESILIENCE.md`` stay executable rather than aspirational:
+
+``kill-worker``
+    A worker SIGKILLs itself mid-chunk; :func:`~repro.resilience.
+    supervisor.supervised_map` must detect the broken pool, retry the
+    chunk on a fresh worker, and still return the exact serial result.
+``hang-worker``
+    A worker sleeps far past the chunk deadline; the supervisor must tear
+    the pool down, retry, and return the exact serial result.
+``truncate-checkpoint``
+    Every prefix of a checkpoint file must either load the complete
+    payload (when only trailing whitespace was lost) or raise
+    :class:`~repro.resilience.errors.CheckpointCorrupt` — never garbage.
+``stale-schema``
+    A checkpoint from another schema generation must be refused with a
+    :class:`~repro.resilience.errors.CheckpointSchemaMismatch` naming
+    both versions.
+``kill-resume``
+    A checkpointing run in a subprocess is SIGKILLed mid-run (no cleanup
+    of any kind runs); resuming from its checkpoint must produce results
+    bit-identical to an uninterrupted run.
+
+Workers communicate "I already crashed once" through marker files in a
+scratch directory, so every injected failure happens exactly once and the
+retry path is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.util.rng import derive_seed
+
+#: Wall-clock ceiling for the hang scenario's stuck worker (far above the
+#: deadline handed to the supervisor, far below any CI timeout).
+_HANG_SLEEP_S = 60.0
+
+
+# ---------------------------------------------------------------------------
+# chaotic work functions (module-level: picklable by qualified name)
+# ---------------------------------------------------------------------------
+
+
+def _value(item: int) -> int:
+    """The deterministic ground truth every scenario compares against."""
+    return derive_seed(item, "chaos") % 1_000_003
+
+
+def _kill_once(args: Tuple[int, str]) -> int:
+    """SIGKILL the worker process on first contact with item 5."""
+    item, scratch = args
+    marker = Path(scratch) / "killed"
+    if item == 5 and not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _value(item)
+
+
+def _hang_once(args: Tuple[int, str]) -> int:
+    """Sleep far past the chunk deadline on first contact with item 5."""
+    item, scratch = args
+    marker = Path(scratch) / "hung"
+    if item == 5 and not marker.exists():
+        marker.touch()
+        time.sleep(_HANG_SLEEP_S)
+    return _value(item)
+
+
+def _slow_value(item: int) -> int:
+    """Ground-truth value, paced so a run spans many checkpoint saves."""
+    time.sleep(0.05)
+    return _value(item)
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+def scenario_kill_worker() -> str:
+    """SIGKILLed worker → chunk retried on a fresh pool, results exact."""
+    from repro.resilience.supervisor import supervised_map
+
+    items = list(range(12))
+    expected = [_value(i) for i in items]
+    with tempfile.TemporaryDirectory() as scratch:
+        got = supervised_map(
+            _kill_once, [(i, scratch) for i in items], workers=2, chunksize=2
+        )
+        if not (Path(scratch) / "killed").exists():
+            raise AssertionError("kill marker missing: the fault was never injected")
+    if got != expected:
+        raise AssertionError(f"retried results diverged: {got} != {expected}")
+    return "worker SIGKILLed mid-chunk; chunk retried on a fresh pool, results exact"
+
+
+def scenario_hang_worker() -> str:
+    """Hung worker → deadline fires, pool torn down, retried, results exact."""
+    from repro.resilience.supervisor import supervised_map
+
+    items = list(range(12))
+    expected = [_value(i) for i in items]
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory() as scratch:
+        got = supervised_map(
+            _hang_once,
+            [(i, scratch) for i in items],
+            workers=2,
+            chunksize=2,
+            deadline_s=2.0,
+        )
+        if not (Path(scratch) / "hung").exists():
+            raise AssertionError("hang marker missing: the fault was never injected")
+    elapsed = time.monotonic() - t0
+    if elapsed >= _HANG_SLEEP_S:
+        raise AssertionError(f"deadline never fired ({elapsed:.0f}s elapsed)")
+    if got != expected:
+        raise AssertionError(f"retried results diverged: {got} != {expected}")
+    return f"hung worker reaped after the 2s deadline ({elapsed:.1f}s total), results exact"
+
+
+def scenario_truncate_checkpoint() -> str:
+    """Every truncation → full payload or CheckpointCorrupt, never garbage."""
+    from repro.resilience.checkpoint import load_checkpoint, write_checkpoint
+    from repro.resilience.errors import CheckpointCorrupt
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ck.json"
+        payload = {"stages": {"s": {str(i): [i * i] for i in range(8)}}}
+        write_checkpoint(path, payload, kind="run")
+        data = path.read_bytes()
+        good = load_checkpoint(path)
+        cut_path = Path(tmp) / "cut.json"
+        corrupt = 0
+        for cut in range(len(data) + 1):
+            cut_path.write_bytes(data[:cut])
+            try:
+                loaded = load_checkpoint(cut_path)
+            except CheckpointCorrupt:
+                corrupt += 1
+            else:
+                if loaded != good:
+                    raise AssertionError(f"cut at {cut} loaded garbage")
+        if corrupt < len(data) - 2:
+            raise AssertionError(f"only {corrupt}/{len(data) + 1} cuts were rejected")
+    return (
+        f"{corrupt} content-removing truncations all raised CheckpointCorrupt; "
+        "whitespace-only cuts loaded the intact payload"
+    )
+
+
+def scenario_stale_schema() -> str:
+    """Foreign schema generation → refused with both versions named."""
+    from repro.resilience.checkpoint import (
+        CHECKPOINT_SCHEMA,
+        load_checkpoint,
+        write_checkpoint,
+    )
+    from repro.resilience.errors import CheckpointSchemaMismatch
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ck.json"
+        write_checkpoint(path, {"x": 1}, kind="run")
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = CHECKPOINT_SCHEMA + 1
+        path.write_text(json.dumps(envelope))
+        try:
+            load_checkpoint(path)
+        except CheckpointSchemaMismatch as exc:
+            if exc.found != CHECKPOINT_SCHEMA + 1 or exc.expected != CHECKPOINT_SCHEMA:
+                raise AssertionError(f"schema versions not carried: {exc.found}/{exc.expected}")
+            return f"stale schema refused: found {exc.found}, expected {exc.expected}"
+        raise AssertionError("stale schema was accepted")
+
+
+def _driver(ckpt: str, out: str, n_items: int) -> int:
+    """Subprocess body for ``kill-resume``: a slow checkpointing run."""
+    from repro.resilience.checkpoint import RunCheckpoint, run_key
+    from repro.resilience.supervisor import supervised_map
+
+    rc = RunCheckpoint(ckpt, run_key=run_key("chaos-driver", n_items), resume=True)
+    results = supervised_map(
+        _slow_value, list(range(n_items)), chunksize=1, checkpoint=rc.stage("main")
+    )
+    Path(out).write_text(json.dumps(results))
+    return 0
+
+
+def scenario_kill_resume() -> str:
+    """SIGKILL a checkpointing run mid-flight; resume must be bit-identical."""
+    expected = [_value(i) for i in range(40)]
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = str(Path(tmp) / "ck.json")
+        out = str(Path(tmp) / "out.json")
+        cmd = [sys.executable, "-m", "repro.resilience.chaos", "--_driver", ckpt, out, "40"]
+        env = dict(os.environ)
+        # The child must import repro from wherever *this* process did,
+        # regardless of the caller's cwd or (relative) PYTHONPATH.
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(cmd, env=env)
+        # SIGKILL the run once its checkpoint holds some (but not all) chunks:
+        # no atexit, no finally, no flush runs — the crash-only protocol alone
+        # must leave a loadable file behind.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise AssertionError("driver finished before it could be killed")
+            if Path(ckpt).exists() and Path(ckpt).stat().st_size > 0:
+                time.sleep(0.3)  # let a few more chunks land mid-file
+                break
+            time.sleep(0.01)
+        proc.kill()
+        proc.wait()
+        if Path(out).exists():
+            raise AssertionError("driver wrote its output despite the SIGKILL")
+
+        from repro.resilience.checkpoint import RunCheckpoint, run_key
+
+        rc = RunCheckpoint(ckpt, run_key=run_key("chaos-driver", 40), resume=True)
+        durable = len(rc.completed("main"))
+        if not rc.resumed or durable == 0:
+            raise AssertionError("no durable chunks survived the SIGKILL")
+        rerun = subprocess.run(cmd, env=env, timeout=60)
+        if rerun.returncode != 0:
+            raise AssertionError(f"resumed driver failed (exit {rerun.returncode})")
+        results = json.loads(Path(out).read_text())
+    if results != expected:
+        raise AssertionError("resumed results diverged from the uninterrupted ground truth")
+    return (
+        f"run SIGKILLed with {durable}/40 chunks durable; resume completed "
+        "bit-identical to the uninterrupted ground truth"
+    )
+
+
+SCENARIOS: Dict[str, Tuple[Callable[[], str], str]] = {
+    "kill-worker": (scenario_kill_worker, "SIGKILL a pool worker mid-chunk"),
+    "hang-worker": (scenario_hang_worker, "hang a worker past its chunk deadline"),
+    "truncate-checkpoint": (scenario_truncate_checkpoint, "truncate a checkpoint at every offset"),
+    "stale-schema": (scenario_stale_schema, "age a checkpoint's schema version"),
+    "kill-resume": (scenario_kill_resume, "SIGKILL a checkpointing run, then resume it"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Inject real failures and assert the documented structured recovery.",
+    )
+    parser.add_argument("scenarios", nargs="*", help="scenario ids (default: all; see --list)")
+    parser.add_argument("--list", action="store_true", help="list scenarios")
+    parser.add_argument("--_driver", nargs=3, metavar=("CKPT", "OUT", "N"),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args._driver:
+        ckpt, out, n = args._driver
+        return _driver(ckpt, out, int(n))
+    if args.list:
+        for name, (_fn, desc) in SCENARIOS.items():
+            print(f"{name:22s} {desc}")
+        return 0
+    ids = args.scenarios or list(SCENARIOS)
+    unknown = [i for i in ids if i not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    failed = 0
+    for name in ids:
+        fn, _desc = SCENARIOS[name]
+        try:
+            detail = fn()
+        except Exception as exc:
+            failed += 1
+            print(f"FAIL {name}: {exc}")
+        else:
+            print(f"ok   {name}: {detail}")
+    if failed:
+        print(f"{failed}/{len(ids)} scenario(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(ids)} chaos scenario(s) survived")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

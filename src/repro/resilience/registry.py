@@ -1,0 +1,88 @@
+"""Named-callback registry: the serialization boundary for event callbacks.
+
+An :class:`~repro.des.engine.Event` carries arbitrary Python callables, so
+a snapshot of the event heap is only deterministic if every callback can
+be *named* and later *resolved* back to the same function.  The registry
+holds that mapping: module-level functions register under a stable string
+name, and a scheduled callback serializes as ``{"ref": name, "args":
+[...]}`` — either the bare registered function or a
+:func:`functools.partial` of one over JSON-able arguments.
+
+Anything else (lambdas, bound methods of live processes, closures) raises
+:class:`~repro.resilience.errors.SnapshotError`: an engine that still has
+generator processes attached is **not** snapshot-safe, by design — fleet
+runs checkpoint at quiescent boundaries where the heap holds only
+callback-free timeouts (see ``docs/RESILIENCE.md``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Optional
+
+from repro.resilience.errors import SnapshotError
+
+_CALLBACKS: Dict[str, Callable] = {}
+_NAMES: Dict[Callable, str] = {}
+
+
+def register_callback(name: Optional[str] = None) -> Callable:
+    """Decorator registering a module-level function as a named callback.
+
+    ``name`` defaults to ``module:qualname``.  Registering two different
+    functions under one name is an error (the mapping must be stable
+    across process restarts for restore to be deterministic).
+    """
+
+    def deco(fn: Callable) -> Callable:
+        key = name or f"{fn.__module__}:{fn.__qualname__}"
+        existing = _CALLBACKS.get(key)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"callback name {key!r} already registered to {existing!r}")
+        _CALLBACKS[key] = fn
+        _NAMES[fn] = key
+        return fn
+
+    return deco
+
+
+def registered_name(fn: Callable) -> Optional[str]:
+    """The registry name of ``fn``, or ``None`` if it is unregistered."""
+    return _NAMES.get(fn)
+
+
+def encode_callback(cb: Callable) -> Dict[str, Any]:
+    """Serialize one event callback to a ``{"ref", "args"}`` record."""
+    if isinstance(cb, functools.partial):
+        name = _NAMES.get(cb.func)
+        if name is None:
+            raise SnapshotError(
+                f"partial over unregistered callback {cb.func!r}; "
+                "register it with @register_callback() to make it snapshot-safe"
+            )
+        if cb.keywords:
+            raise SnapshotError("partial callbacks with keyword arguments are not snapshot-safe")
+        return {"ref": name, "args": list(cb.args)}
+    name = _NAMES.get(cb)
+    if name is None:
+        raise SnapshotError(
+            f"unregistered event callback {cb!r}: the engine is not snapshot-safe "
+            "at this point (live processes / ad-hoc callbacks on the heap)"
+        )
+    return {"ref": name, "args": []}
+
+
+def resolve_callback(record: Dict[str, Any]) -> Callable:
+    """Inverse of :func:`encode_callback`."""
+    name = record.get("ref")
+    fn = _CALLBACKS.get(name)
+    if fn is None:
+        raise SnapshotError(
+            f"snapshot names callback {name!r} but nothing is registered under "
+            "that name in this process; import the module that registers it first"
+        )
+    args = record.get("args") or []
+    return functools.partial(fn, *args) if args else fn
+
+
+__all__ = ["register_callback", "registered_name", "encode_callback", "resolve_callback"]

@@ -1,0 +1,284 @@
+"""Supervised, checkpointed parallel execution.
+
+:func:`supervised_map` is ``[fn(x) for x in items]`` fanned out over
+worker processes with a supervisor watching every chunk:
+
+* **Crash detection.**  A worker that dies (SIGKILL, OOM) breaks the
+  whole ``ProcessPoolExecutor``; the supervisor samples which chunks were
+  *running* at each heartbeat tick, rebuilds a fresh pool, and resubmits
+  the unfinished chunks — charging a retry only to the chunks that were
+  actually in flight when the pool broke.
+* **Hang detection.**  A chunk that exceeds its wall-clock deadline is
+  treated as hung: the pool is torn down (a running future cannot be
+  cancelled), the overdue chunk is charged a retry, and everything
+  unfinished is resubmitted on a fresh pool.
+* **Determinism.**  A retried chunk re-runs the *identical* item slice,
+  and every stochastic item carries its own derived seed
+  (:func:`repro.util.rng.derive_seed`), so serial == parallel == resumed
+  == retried, bit for bit.
+* **Bounded failure.**  A chunk that exhausts ``max_retries`` raises a
+  structured :class:`~repro.resilience.errors.SupervisionError` naming
+  every failed chunk, its attempt count and last error — never a silent
+  hang, never a bare ``BrokenProcessPool``.
+* **Durability.**  With a checkpoint attached, each completed chunk is
+  recorded (and persisted per the cadence policy); on resume, durable
+  chunks are served from the checkpoint without re-execution.
+* **Interruptibility.**  Ctrl-C tears the pool down cleanly (terminate,
+  join, kill-if-stubborn — no orphaned workers), flushes the checkpoint,
+  and raises :class:`~repro.resilience.errors.InterruptedRun` carrying
+  the last checkpoint path.
+
+Exceptions raised by ``fn`` itself are *not* retried — they are
+deterministic under the seed-stability contract, so a retry would fail
+identically; they propagate exactly as in a list comprehension.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.errors import InterruptedRun, SupervisionError
+
+#: Supervisor liveness tick: how often (seconds) running chunks are sampled
+#: for the crash-attribution set and checked against their deadlines.
+HEARTBEAT_S = 0.2
+
+#: Per-chunk retry budget after crashes/hangs before structured failure.
+DEFAULT_MAX_RETRIES = 2
+
+
+def _run_chunk(fn: Callable, chunk: Sequence) -> List:
+    """Worker-side chunk body (module-level: picklable by qualified name)."""
+    return [fn(x) for x in chunk]
+
+
+def _kill_pool(ex) -> None:
+    """Tear an executor down without leaving orphaned workers behind.
+
+    ``shutdown(wait=False, cancel_futures=True)`` stops new dispatch, then
+    the worker processes are terminated, joined briefly, and killed if
+    they ignore SIGTERM.  Safe on an already-broken pool.
+    """
+    procs = list((getattr(ex, "_processes", None) or {}).values())
+    try:
+        ex.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for p in procs:
+        try:
+            p.terminate()
+        except Exception:
+            pass
+    for p in procs:
+        try:
+            p.join(timeout=2.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+def make_chunks(n_items: int, chunksize: int) -> List[Tuple[int, int]]:
+    """Half-open ``(start, stop)`` chunk bounds covering ``range(n_items)``."""
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    return [(lo, min(lo + chunksize, n_items)) for lo in range(0, n_items, chunksize)]
+
+
+def supervised_map(
+    fn: Callable,
+    items: Sequence,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    heartbeat_s: float = HEARTBEAT_S,
+    checkpoint=None,
+) -> List:
+    """Order-preserving supervised map (see module docstring).
+
+    ``checkpoint`` is a :class:`~repro.resilience.checkpoint.StageCheckpoint`
+    (or anything with ``completed() -> {chunk_index: results}``,
+    ``record(chunk_index, results, units)``, ``flush()`` and ``path``);
+    ``None`` disables durability but keeps supervision.
+    """
+    work = list(items)
+    n = len(work)
+    if chunksize is None:
+        from repro.core.parallel import auto_chunksize
+
+        chunksize = auto_chunksize(n, workers or 1)
+    bounds = make_chunks(n, chunksize) if n else []
+    results: Dict[int, List] = {}
+
+    ckpt_path = getattr(checkpoint, "path", None)
+    if checkpoint is not None:
+        for idx, res in checkpoint.completed().items():
+            if 0 <= idx < len(bounds) and len(res) == bounds[idx][1] - bounds[idx][0]:
+                results[idx] = list(res)
+
+    pending = [i for i in range(len(bounds)) if i not in results]
+
+    def _items_done() -> int:
+        return sum(bounds[i][1] - bounds[i][0] for i in results)
+
+    def _interrupted(ex=None) -> InterruptedRun:
+        if ex is not None:
+            _kill_pool(ex)
+        if checkpoint is not None:
+            try:
+                checkpoint.flush()
+            except InterruptedRun:
+                pass  # chaos abort hook fired during the interrupt flush
+        return InterruptedRun(
+            "interrupted by user: workers terminated cleanly, completed chunks are durable",
+            checkpoint_path=ckpt_path,
+            completed=_items_done(),
+            total=n,
+        )
+
+    def _record(idx: int, chunk_res: List, lo: int, hi: int) -> None:
+        """Record one durable chunk; enrich a chaos-hook interrupt with the
+        real progress counts before it propagates."""
+        if checkpoint is None:
+            return
+        try:
+            checkpoint.record(idx, chunk_res, units=hi - lo)
+        except InterruptedRun as exc:
+            raise InterruptedRun(
+                str(exc),
+                checkpoint_path=exc.checkpoint_path or ckpt_path,
+                completed=_items_done(),
+                total=n,
+            ) from None
+
+    # -- serial path (no pool; still chunked for checkpoint granularity) ----
+    if workers is None or workers <= 1 or n <= 1:
+        try:
+            for idx in pending:
+                lo, hi = bounds[idx]
+                chunk_res = _run_chunk(fn, work[lo:hi])
+                results[idx] = chunk_res
+                _record(idx, chunk_res, lo, hi)
+        except KeyboardInterrupt:
+            raise _interrupted() from None
+        return [r for idx in range(len(bounds)) for r in results[idx]]
+
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    failures: List[Dict[str, Any]] = []
+
+    def _fail(idx: int, kind: str, error: str) -> None:
+        failures.append(
+            {"chunk": idx, "attempts": attempts[idx] + 1, "kind": kind, "error": error}
+        )
+
+    ex = None
+    try:
+        while pending:
+            try:
+                ex = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, PermissionError):
+                # No usable multiprocessing here — same answer, one process.
+                ex = None
+                for idx in list(pending):
+                    lo, hi = bounds[idx]
+                    results[idx] = _run_chunk(fn, work[lo:hi])
+                    _record(idx, results[idx], lo, hi)
+                    pending.remove(idx)
+                break
+
+            futures = {}
+            submitted_at = {}
+            for idx in pending:
+                lo, hi = bounds[idx]
+                futures[ex.submit(_run_chunk, fn, work[lo:hi])] = idx
+                submitted_at[idx] = time.monotonic()
+            last_running: set = set()
+            rebuild = False
+
+            while futures and not rebuild:
+                done, _ = wait(set(futures), timeout=heartbeat_s, return_when=FIRST_COMPLETED)
+                # Heartbeat: sample which chunks are in flight right now, so a
+                # pool breakage can be attributed to them and not to chunks
+                # still sitting in the queue.
+                running_now = {idx for fut, idx in futures.items() if fut.running()}
+                if running_now:
+                    last_running = running_now
+                for fut in done:
+                    idx = futures.pop(fut)
+                    try:
+                        chunk_res = fut.result()
+                    except BrokenProcessPool:
+                        # A worker died (SIGKILL/OOM): the whole pool is
+                        # poisoned and every unfinished future fails.  Charge a
+                        # retry to the chunks the heartbeat saw in flight (the
+                        # queued ones were innocent) and rebuild.
+                        victims = ((last_running or {idx}) | {idx}) & set(pending)
+                        futures.clear()
+                        for v in victims:
+                            if attempts[v] + 1 > max_retries:
+                                _fail(v, "crash", "worker process died (broken pool)")
+                            attempts[v] += 1
+                        if failures:
+                            raise SupervisionError(
+                                f"{len(failures)} chunk(s) exhausted their retry budget "
+                                f"({max_retries}) after worker crashes",
+                                failures=failures,
+                            )
+                        rebuild = True
+                        break
+                    except Exception:
+                        # The work function itself raised: deterministic under
+                        # seed stability, so a retry would fail identically —
+                        # propagate exactly like a list comprehension.
+                        _kill_pool(ex)
+                        ex = None
+                        raise
+                    else:
+                        results[idx] = chunk_res
+                        pending.remove(idx)
+                        lo, hi = bounds[idx]
+                        _record(idx, chunk_res, lo, hi)
+                if rebuild:
+                    break
+                # Deadline sweep: any running chunk past its wall budget is
+                # hung; a running future cannot be cancelled, so the pool is
+                # torn down and everything unfinished is retried afresh.
+                if deadline_s is not None:
+                    now = time.monotonic()
+                    overdue = [
+                        idx
+                        for fut, idx in futures.items()
+                        if fut.running() and now - submitted_at[idx] > deadline_s
+                    ]
+                    if overdue:
+                        for idx in overdue:
+                            if attempts[idx] + 1 > max_retries:
+                                _fail(idx, "deadline", f"chunk exceeded deadline of {deadline_s}s")
+                            attempts[idx] += 1
+                        if failures:
+                            _kill_pool(ex)
+                            ex = None
+                            raise SupervisionError(
+                                f"{len(failures)} chunk(s) exhausted their retry budget "
+                                f"({max_retries}) after deadline overruns",
+                                failures=failures,
+                            )
+                        rebuild = True
+
+            _kill_pool(ex)
+            ex = None
+        return [r for idx in range(len(bounds)) for r in results[idx]]
+    except KeyboardInterrupt:
+        raise _interrupted(ex) from None
+    finally:
+        if ex is not None:
+            _kill_pool(ex)
+
+
+__all__ = ["supervised_map", "make_chunks", "HEARTBEAT_S", "DEFAULT_MAX_RETRIES"]

@@ -1,0 +1,104 @@
+"""Crash-only atomic file writes (tmp + fsync + rename).
+
+Every JSON artifact the project emits — golden fingerprints, drift
+reports, observability snapshots, benchmark reports, checkpoints — goes
+through this module, so a crash (SIGKILL, OOM, power loss) mid-write can
+never leave a truncated or interleaved file at the destination path.  The
+protocol is the classic crash-only one:
+
+1. write the full payload to a uniquely-named temporary file *in the same
+   directory* as the destination (same filesystem, so the final rename is
+   atomic);
+2. flush and ``fsync`` the temporary file so the bytes are durable before
+   the name is;
+3. ``os.replace`` the temporary file onto the destination — an atomic
+   POSIX rename that either fully installs the new content or leaves the
+   previous file untouched.
+
+A reader therefore observes either the old complete file or the new
+complete file, never a prefix of the new one.  On any failure the
+temporary file is removed and the destination is left exactly as it was.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+@contextmanager
+def atomic_writer(
+    path: PathLike, mode: str = "w", encoding: str = "utf-8", fsync: bool = True
+) -> Iterator[io.IOBase]:
+    """Context manager yielding a handle whose content is installed atomically.
+
+    The handle writes to a temporary file next to ``path``; on clean exit
+    the temporary is fsynced and renamed over ``path``, on exception it is
+    deleted and ``path`` is untouched.  ``mode`` must be a write mode
+    (``"w"`` or ``"wb"``).
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer requires mode 'w' or 'wb', got {mode!r}")
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    binary = mode == "wb"
+    fh = os.fdopen(fd, mode, encoding=None if binary else encoding)
+    try:
+        yield fh
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            fh.close()
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        raise
+
+
+def atomic_write(
+    path: PathLike,
+    data: Union[str, bytes],
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``data`` (str or bytes)."""
+    mode = "wb" if isinstance(data, (bytes, bytearray)) else "w"
+    with atomic_writer(path, mode=mode, encoding=encoding, fsync=fsync) as fh:
+        fh.write(data)
+
+
+def atomic_write_json(
+    path: PathLike,
+    obj: Any,
+    indent: int = 2,
+    sort_keys: bool = False,
+    fsync: bool = True,
+) -> None:
+    """Atomically write ``obj`` as an indented JSON document ending in a newline.
+
+    The document is fully serialized *before* the temporary file is opened,
+    so a ``TypeError`` from an unserializable object cannot leave a partial
+    artifact behind either.
+    """
+    import json
+
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write(path, text, fsync=fsync)
+
+
+__all__ = ["atomic_write", "atomic_write_json", "atomic_writer"]

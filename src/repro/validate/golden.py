@@ -251,6 +251,48 @@ def _case_parallel_crossover() -> Dict[str, Any]:
     return serial
 
 
+def _case_checkpoint_resume() -> Dict[str, Any]:
+    """An interrupted-then-resumed run must be bit-identical to a fresh one.
+
+    The run is interrupted *deterministically* — the checkpointer's chaos
+    hook raises :class:`~repro.resilience.errors.InterruptedRun` right
+    after the second durable save — then resumed from the checkpoint file.
+    The resumed fingerprint must equal the uninterrupted fingerprint, which
+    is the whole crash-safety contract (docs/RESILIENCE.md).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.registry import run_experiment
+    from repro.resilience.checkpoint import RunCheckpoint, run_key
+    from repro.resilience.errors import InterruptedRun
+
+    kwargs = dict(n_clients=70, n_cycles=12, crossover_sizes=(350, 650, 150), seed=0)
+    fresh = run_experiment("ext-faults", **kwargs).fingerprint()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ext-faults.ckpt.json"
+        key = run_key("ext-faults", kwargs["seed"])
+        try:
+            run_experiment(
+                "ext-faults",
+                checkpoint=RunCheckpoint(path, run_key=key, abort_after_saves=2),
+                **kwargs,
+            )
+        except InterruptedRun:
+            pass
+        else:
+            raise RuntimeError("chaos hook did not interrupt the checkpointed run")
+        resumed = run_experiment(
+            "ext-faults",
+            checkpoint=RunCheckpoint(path, run_key=key, resume=True),
+            **kwargs,
+        ).fingerprint()
+    if fresh != resumed:
+        raise RuntimeError("resumed ext-faults fingerprint diverged from fresh run")
+    return fresh
+
+
 def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
     def fig5_case() -> Dict[str, Any]:
         from repro.audio.dataset import DatasetSpec
@@ -280,6 +322,10 @@ def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
         "parallel-crossover": (
             _case_parallel_crossover,
             "ext-faults via the chunked parallel runner (serial == parallel)",
+        ),
+        "checkpoint-resume": (
+            _case_checkpoint_resume,
+            "ext-faults interrupted at a checkpoint and resumed (resume == fresh)",
         ),
     }
 
@@ -420,6 +466,8 @@ def load_golden(case_id: str, directory: Optional[Path] = None) -> Dict[str, Any
 
 
 def save_golden(case_id: str, fingerprint: Dict[str, Any], directory: Optional[Path] = None) -> Path:
+    from repro.util.atomic import atomic_write_json
+
     cases = _build_cases()
     path = golden_path(case_id, directory)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -429,9 +477,7 @@ def save_golden(case_id: str, fingerprint: Dict[str, Any], directory: Optional[P
         "description": cases[case_id][1],
         "fingerprint": fingerprint,
     }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, payload, sort_keys=True)
     return path
 
 
@@ -500,19 +546,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if clean:
         print(f"ok: {', '.join(clean)}")
     if args.report:
-        with open(args.report, "w") as fh:
-            json.dump(
-                {
-                    "version": FINGERPRINT_VERSION,
-                    "cases": report,
-                    "drifted": sorted(drifted),
-                    "worst_offenders": {
-                        k: worst_offender(v)["field"] for k, v in drifted.items()
-                    },
+        from repro.util.atomic import atomic_write_json
+
+        atomic_write_json(
+            args.report,
+            {
+                "version": FINGERPRINT_VERSION,
+                "cases": report,
+                "drifted": sorted(drifted),
+                "worst_offenders": {
+                    k: worst_offender(v)["field"] for k, v in drifted.items()
                 },
-                fh, indent=2, sort_keys=True,
-            )
-            fh.write("\n")
+            },
+            sort_keys=True,
+        )
         print(f"drift report written to {args.report}")
     return 1 if drifted else 0
 

@@ -64,3 +64,94 @@ class TestAutoChunksize:
         assert auto_chunksize(3, 4) == 1
         assert auto_chunksize(0, 4) == 1
         assert auto_chunksize(100, 0) == 1
+
+
+class TestSupervisedEngine:
+    def test_supervise_kwarg_matches_plain_pool(self):
+        items = list(range(25))
+        plain = parallel_map(square, items, workers=2)
+        assert parallel_map(square, items, workers=2, supervise=True) == plain
+        assert parallel_map(square, items, workers=2, supervise=True, chunksize=4) == plain
+
+    def test_checkpoint_kwarg_implies_supervision(self, tmp_path):
+        from repro.resilience.checkpoint import RunCheckpoint
+
+        rc = RunCheckpoint(tmp_path / "ck.json", run_key="k")
+        items = list(range(10))
+        got = parallel_map(square, items, chunksize=2, checkpoint=rc.stage("s"))
+        assert got == [x * x for x in items]
+        assert rc.completed("s")  # chunks were recorded durably
+
+    def test_supervised_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(boom, [1, 2, 3, 4], workers=2, supervise=True)
+
+
+class TestKeyboardInterrupt:
+    """Ctrl-C must terminate the pool cleanly: no orphaned workers, and a
+    structured InterruptedRun instead of a raw KeyboardInterrupt."""
+
+    def test_sigint_kills_workers_and_raises_structured(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        pid_dir = tmp_path / "pids"
+        pid_dir.mkdir()
+        script = tmp_path / "victim.py"
+        script.write_text(
+            f"""
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.core.parallel import parallel_map
+from repro.resilience.errors import InterruptedRun
+
+PID_DIR = {str(pid_dir)!r}
+
+def slow(x):
+    open(os.path.join(PID_DIR, str(os.getpid())), "w").close()
+    time.sleep(60)
+    return x
+
+if __name__ == "__main__":
+    print("READY", flush=True)
+    try:
+        parallel_map(slow, list(range(8)), workers=2)
+    except InterruptedRun as exc:
+        print(f"INTERRUPTED {{exc.completed}}/{{exc.total}}", flush=True)
+        raise SystemExit(130)
+    raise SystemExit(1)
+"""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # Wait until both workers are inside slow() (pids on disk).
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if len(list(pid_dir.iterdir())) >= 2:
+                    break
+                time.sleep(0.05)
+            worker_pids = [int(p.name) for p in pid_dir.iterdir()]
+            assert worker_pids, "workers never started"
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 130, f"stdout={out!r} stderr={err!r}"
+        assert "INTERRUPTED 0/8" in out
+        # No orphans: every worker that wrote a pid must be gone.
+        time.sleep(0.5)
+        for pid in worker_pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

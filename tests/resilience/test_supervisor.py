@@ -1,0 +1,156 @@
+"""Supervised parallel map: parity, crash/hang retries, structured failure."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.checkpoint import RunCheckpoint
+from repro.resilience.errors import InterruptedRun, SupervisionError
+from repro.resilience.supervisor import make_chunks, supervised_map
+from repro.util.rng import derive_seed
+
+
+def _value(x: int) -> int:
+    """Seed-stable ground truth shared by every scenario."""
+    return derive_seed(x, "supervised") % 997
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raises_on_seven(x: int) -> int:
+    if x == 7:
+        raise ValueError("deterministic failure")
+    return x
+
+
+def _kill_self(args) -> int:
+    """SIGKILL this worker the first time it sees item 3."""
+    x, scratch = args
+    marker = Path(scratch) / f"seen-{x}"
+    if x == 3 and not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _value(x)
+
+
+def _always_kill(args) -> int:
+    """SIGKILL unconditionally on item 3 — retries can never succeed."""
+    x, _scratch = args
+    if x == 3:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _value(x)
+
+
+def _hang_once(args) -> int:
+    x, scratch = args
+    marker = Path(scratch) / f"hung-{x}"
+    if x == 3 and not marker.exists():
+        marker.touch()
+        time.sleep(60.0)
+    return _value(x)
+
+
+class TestMakeChunks:
+    def test_covers_range_exactly(self):
+        assert make_chunks(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert make_chunks(0, 4) == []
+        assert make_chunks(3, 10) == [(0, 3)]
+
+    def test_rejects_bad_chunksize(self):
+        with pytest.raises(ValueError):
+            make_chunks(5, 0)
+
+
+class TestParity:
+    def test_serial_equals_parallel(self):
+        items = list(range(23))
+        expected = [_square(x) for x in items]
+        assert supervised_map(_square, items, workers=None) == expected
+        assert supervised_map(_square, items, workers=3, chunksize=4) == expected
+
+    def test_empty_items(self):
+        assert supervised_map(_square, [], workers=3) == []
+
+    def test_work_fn_exception_propagates_unretried(self):
+        with pytest.raises(ValueError, match="deterministic failure"):
+            supervised_map(_raises_on_seven, list(range(12)), workers=2, chunksize=3)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_chunk_retried_bit_identical(self, tmp_path):
+        items = [(x, str(tmp_path)) for x in range(14)]
+        got = supervised_map(_kill_self, items, workers=2, chunksize=2)
+        assert got == [_value(x) for x in range(14)]
+        assert (tmp_path / "seen-3").exists()
+
+    def test_unrecoverable_crash_is_structured(self, tmp_path):
+        items = [(x, str(tmp_path)) for x in range(8)]
+        with pytest.raises(SupervisionError) as exc_info:
+            supervised_map(_always_kill, items, workers=2, chunksize=2, max_retries=1)
+        err = exc_info.value
+        assert err.failures
+        assert all(f["kind"] == "crash" for f in err.failures)
+        assert "chunk" in err.describe()
+
+    def test_hung_worker_reaped_and_retried(self, tmp_path):
+        items = [(x, str(tmp_path)) for x in range(8)]
+        t0 = time.monotonic()
+        got = supervised_map(_hang_once, items, workers=2, chunksize=2, deadline_s=1.5)
+        assert time.monotonic() - t0 < 30.0
+        assert got == [_value(x) for x in range(8)]
+
+
+class TestCheckpointIntegration:
+    def test_completed_chunks_skipped_on_resume(self, tmp_path):
+        path = tmp_path / "run.json"
+        rc = RunCheckpoint(path, run_key="k")
+        items = list(range(10))
+        first = supervised_map(_square, items, chunksize=2, checkpoint=rc.stage("s"))
+        rc.flush()
+
+        rc2 = RunCheckpoint(path, run_key="k", resume=True)
+        # A work function that would poison any re-executed chunk proves
+        # every chunk came from the checkpoint.
+        resumed = supervised_map(
+            _raises_on_seven, items, chunksize=2, checkpoint=rc2.stage("s")
+        )
+        assert resumed == first
+
+    def test_stale_chunk_geometry_is_recomputed_not_misused(self, tmp_path):
+        path = tmp_path / "run.json"
+        rc = RunCheckpoint(path, run_key="k")
+        supervised_map(_square, list(range(10)), chunksize=2, checkpoint=rc.stage("s"))
+        rc.flush()
+        # Resuming with a different chunk size invalidates the recorded
+        # geometry; results must still be exact (chunks silently re-run).
+        rc2 = RunCheckpoint(path, run_key="k", resume=True)
+        got = supervised_map(_square, list(range(10)), chunksize=3, checkpoint=rc2.stage("s"))
+        assert got == [_square(x) for x in range(10)]
+
+    def test_chaos_abort_carries_progress_counts(self, tmp_path):
+        path = tmp_path / "run.json"
+        rc = RunCheckpoint(path, run_key="k", abort_after_saves=2)
+        with pytest.raises(InterruptedRun) as exc_info:
+            supervised_map(_square, list(range(10)), chunksize=1, checkpoint=rc.stage("s"))
+        err = exc_info.value
+        assert err.checkpoint_path == str(path)
+        assert 0 < err.completed < 10
+        assert err.total == 10
+        assert "--resume" in err.resume_hint() or "durable" in err.resume_hint()
+
+    def test_interrupted_then_resumed_equals_fresh(self, tmp_path):
+        path = tmp_path / "run.json"
+        items = list(range(10))
+        fresh = [_square(x) for x in items]
+        rc = RunCheckpoint(path, run_key="k", abort_after_saves=3)
+        with pytest.raises(InterruptedRun):
+            supervised_map(_square, items, chunksize=1, checkpoint=rc.stage("s"))
+        rc2 = RunCheckpoint(path, run_key="k", resume=True)
+        assert supervised_map(_square, items, chunksize=1, checkpoint=rc2.stage("s")) == fresh

@@ -1,0 +1,93 @@
+"""Crash-safety contract of :mod:`repro.util.atomic`.
+
+A simulated crash mid-write (an exception raised while the payload is
+being produced, or a writer that dies between bytes) must never leave a
+truncated or corrupt file at the destination — the previous content stays
+installed byte for byte, and no temporary litter survives.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomic import atomic_write, atomic_write_json, atomic_writer
+
+
+def _no_tmp_litter(directory):
+    return [p for p in os.listdir(directory) if p.endswith(".tmp")] == []
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write(path, "hello\n")
+        assert path.read_text() == "hello\n"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write(path, "new")
+        assert path.read_text() == "new"
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": [1, 2], "b": "x"})
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": "x"}
+        assert path.read_text().endswith("\n")
+
+
+class TestCrashMidWrite:
+    def test_crash_leaves_previous_content_intact(self, tmp_path):
+        """An exception mid-write must not touch the installed file."""
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"generation": 1})
+        before = path.read_bytes()
+
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            with atomic_writer(path) as fh:
+                fh.write('{"generation": 2, "partial": ')
+                raise RuntimeError("simulated crash mid-write")
+
+        assert path.read_bytes() == before  # old artifact byte-identical
+        assert _no_tmp_litter(tmp_path)  # and the temp file is gone
+
+    def test_crash_on_first_write_leaves_no_file(self, tmp_path):
+        path = tmp_path / "fresh.json"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as fh:
+                fh.write("{")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert _no_tmp_litter(tmp_path)
+
+    def test_unserializable_object_leaves_no_partial_json(self, tmp_path):
+        """atomic_write_json serializes before opening: no partial artifact."""
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"ok": True})
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert path.read_bytes() == before
+        assert _no_tmp_litter(tmp_path)
+
+    def test_reader_never_sees_prefix(self, tmp_path):
+        """While a write is in flight the destination still shows old bytes."""
+        path = tmp_path / "artifact.json"
+        atomic_write(path, "old-complete-document\n")
+        with atomic_writer(path) as fh:
+            fh.write("new-docu")  # half-written payload in the temp file
+            assert path.read_text() == "old-complete-document\n"
+            fh.write("ment\n")
+        assert path.read_text() == "new-document\n"
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            with atomic_writer(tmp_path / "x", mode="r"):
+                pass
