@@ -124,6 +124,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint FILE", file=sys.stderr)
         return 2
+    if args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
     if args.checkpoint is not None:
         ckpt_ids = [i for i in ids if i in _CHECKPOINTABLE]
         if len(ids) != 1 or not ckpt_ids:

@@ -5,7 +5,7 @@ A checkpoint is a single JSON *envelope* written atomically
 digest-protected payload::
 
     {
-      "schema":  1,                 # CHECKPOINT_SCHEMA — refused if stale
+      "schema":  2,                 # CHECKPOINT_SCHEMA — refused if stale
       "kind":    "run",             # what the payload is
       "run_key": "<sha256>",        # identity of the producing run
       "sha256":  "<hex>",           # digest of the payload field
@@ -50,7 +50,9 @@ from repro.resilience.errors import (
 from repro.util.atomic import atomic_write_json
 
 #: Bump on any structural change to the envelope or payload layout.
-CHECKPOINT_SCHEMA = 1
+#: 2 — supervised chunk entries carry their (lo, hi) item bounds so resume
+#:     can refuse a same-index chunk recorded under a different chunking.
+CHECKPOINT_SCHEMA = 2
 
 _REQUIRED_KEYS = ("schema", "kind", "sha256", "payload")
 

@@ -8,10 +8,12 @@ worker processes with a supervisor watching every chunk:
   *running* at each heartbeat tick, rebuilds a fresh pool, and resubmits
   the unfinished chunks — charging a retry only to the chunks that were
   actually in flight when the pool broke.
-* **Hang detection.**  A chunk that exceeds its wall-clock deadline is
-  treated as hung: the pool is torn down (a running future cannot be
-  cancelled), the overdue chunk is charged a retry, and everything
-  unfinished is resubmitted on a fresh pool.
+* **Hang detection.**  A chunk whose *running* time exceeds its
+  wall-clock deadline is treated as hung: the pool is torn down (a
+  running future cannot be cancelled), the overdue chunk is charged a
+  retry, and everything unfinished is resubmitted on a fresh pool.  The
+  deadline clock starts when the heartbeat first observes the chunk
+  running — time spent queued behind other chunks is never charged.
 * **Determinism.**  A retried chunk re-runs the *identical* item slice,
   and every stochastic item carries its own derived seed
   (:func:`repro.util.rng.derive_seed`), so serial == parallel == resumed
@@ -21,8 +23,12 @@ worker processes with a supervisor watching every chunk:
   every failed chunk, its attempt count and last error — never a silent
   hang, never a bare ``BrokenProcessPool``.
 * **Durability.**  With a checkpoint attached, each completed chunk is
-  recorded (and persisted per the cadence policy); on resume, durable
-  chunks are served from the checkpoint without re-execution.
+  recorded together with its ``(lo, hi)`` item bounds (and persisted per
+  the cadence policy); on resume, a durable chunk is served without
+  re-execution only if its bounds match the current chunking exactly —
+  a checkpoint written under a different chunksize (resuming with a
+  different ``--workers`` is legal) re-executes instead of splicing a
+  same-index, same-length chunk that covers different items.
 * **Interruptibility.**  Ctrl-C tears the pool down cleanly (terminate,
   join, kill-if-stubborn — no orphaned workers), flushes the checkpoint,
   and raises :class:`~repro.resilience.errors.InterruptedRun` carrying
@@ -100,9 +106,11 @@ def supervised_map(
     """Order-preserving supervised map (see module docstring).
 
     ``checkpoint`` is a :class:`~repro.resilience.checkpoint.StageCheckpoint`
-    (or anything with ``completed() -> {chunk_index: results}``,
-    ``record(chunk_index, results, units)``, ``flush()`` and ``path``);
-    ``None`` disables durability but keeps supervision.
+    (or anything with ``completed() -> {chunk_index: entry}``,
+    ``record(chunk_index, entry, units)``, ``flush()`` and ``path``);
+    ``None`` disables durability but keeps supervision.  Each stored entry
+    is ``{"lo": lo, "hi": hi, "results": [...]}`` so resume can verify the
+    chunk covers the same item slice under the current chunking.
     """
     work = list(items)
     n = len(work)
@@ -115,8 +123,22 @@ def supervised_map(
 
     ckpt_path = getattr(checkpoint, "path", None)
     if checkpoint is not None:
-        for idx, res in checkpoint.completed().items():
-            if 0 <= idx < len(bounds) and len(res) == bounds[idx][1] - bounds[idx][0]:
+        # A stored entry is served only if its (lo, hi) bounds match the
+        # current chunking exactly.  Chunk boundaries depend on chunksize,
+        # and a resume may legally use a different --workers: without the
+        # bounds check, a same-index, same-length chunk from a different
+        # chunking would be silently spliced over the wrong items.
+        for idx, entry in checkpoint.completed().items():
+            if not isinstance(entry, dict) or not (0 <= idx < len(bounds)):
+                continue
+            lo, hi = bounds[idx]
+            res = entry.get("results")
+            if (
+                entry.get("lo") == lo
+                and entry.get("hi") == hi
+                and isinstance(res, list)
+                and len(res) == hi - lo
+            ):
                 results[idx] = list(res)
 
     pending = [i for i in range(len(bounds)) if i not in results]
@@ -145,7 +167,9 @@ def supervised_map(
         if checkpoint is None:
             return
         try:
-            checkpoint.record(idx, chunk_res, units=hi - lo)
+            checkpoint.record(
+                idx, {"lo": lo, "hi": hi, "results": chunk_res}, units=hi - lo
+            )
         except InterruptedRun as exc:
             raise InterruptedRun(
                 str(exc),
@@ -193,22 +217,26 @@ def supervised_map(
                 break
 
             futures = {}
-            submitted_at = {}
+            started_at: Dict[int, float] = {}
             for idx in pending:
                 lo, hi = bounds[idx]
                 futures[ex.submit(_run_chunk, fn, work[lo:hi])] = idx
-                submitted_at[idx] = time.monotonic()
             last_running: set = set()
             rebuild = False
 
             while futures and not rebuild:
                 done, _ = wait(set(futures), timeout=heartbeat_s, return_when=FIRST_COMPLETED)
+                now = time.monotonic()
                 # Heartbeat: sample which chunks are in flight right now, so a
                 # pool breakage can be attributed to them and not to chunks
-                # still sitting in the queue.
+                # still sitting in the queue.  This is also where a chunk's
+                # deadline clock starts: with more chunks than workers, time
+                # spent queued in the executor must not count against it.
                 running_now = {idx for fut, idx in futures.items() if fut.running()}
                 if running_now:
                     last_running = running_now
+                    for idx in running_now:
+                        started_at.setdefault(idx, now)
                 for fut in done:
                     idx = futures.pop(fut)
                     try:
@@ -246,15 +274,17 @@ def supervised_map(
                         _record(idx, chunk_res, lo, hi)
                 if rebuild:
                     break
-                # Deadline sweep: any running chunk past its wall budget is
-                # hung; a running future cannot be cancelled, so the pool is
-                # torn down and everything unfinished is retried afresh.
+                # Deadline sweep: any chunk whose observed running time is
+                # past its wall budget is hung; a running future cannot be
+                # cancelled, so the pool is torn down and everything
+                # unfinished is retried afresh.
                 if deadline_s is not None:
-                    now = time.monotonic()
                     overdue = [
                         idx
                         for fut, idx in futures.items()
-                        if fut.running() and now - submitted_at[idx] > deadline_s
+                        if fut.running()
+                        and idx in started_at
+                        and now - started_at[idx] > deadline_s
                     ]
                     if overdue:
                         for idx in overdue:

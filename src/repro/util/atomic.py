@@ -13,7 +13,11 @@ protocol is the classic crash-only one:
    the name is;
 3. ``os.replace`` the temporary file onto the destination — an atomic
    POSIX rename that either fully installs the new content or leaves the
-   previous file untouched.
+   previous file untouched;
+4. ``fsync`` the parent directory so the rename *itself* is durable — on
+   power loss a synced rename cannot revert to the old name (best-effort
+   on platforms where a directory cannot be opened or fsynced; atomicity
+   never depends on this step, only durability of the install).
 
 A reader therefore observes either the old complete file or the new
 complete file, never a prefix of the new one.  On any failure the
@@ -30,6 +34,20 @@ from pathlib import Path
 from typing import Any, Iterator, Union
 
 PathLike = Union[str, os.PathLike]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync making a completed rename power-loss durable."""
+    try:
+        dfd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
 
 
 @contextmanager
@@ -59,6 +77,8 @@ def atomic_writer(
             os.fsync(fh.fileno())
         fh.close()
         os.replace(tmp_name, path)
+        if fsync:
+            _fsync_dir(directory)
     except BaseException:
         try:
             fh.close()

@@ -49,8 +49,11 @@ def test_truncate_checkpoint_never_garbage():
 
 
 def test_stale_schema_refused_with_versions():
+    from repro.resilience.checkpoint import CHECKPOINT_SCHEMA
+
     detail = chaos.scenario_stale_schema()
-    assert "found 2" in detail and "expected 1" in detail
+    assert f"found {CHECKPOINT_SCHEMA + 1}" in detail
+    assert f"expected {CHECKPOINT_SCHEMA}" in detail
 
 
 def test_kill_resume_bit_identical():
@@ -165,3 +168,9 @@ def test_exp_cli_checkpoint_argument_validation():
     bare_resume = _run_cli("repro.cli", "ext-contention", "--resume")
     assert bare_resume.returncode == 2
     assert "--resume requires --checkpoint" in bare_resume.stderr
+    bad_cadence = _run_cli(
+        "repro.cli", "ext-contention", "--checkpoint", "x.json",
+        "--checkpoint-every", "0",
+    )
+    assert bad_cadence.returncode == 2
+    assert "--checkpoint-every must be >= 1" in bad_cadence.stderr

@@ -48,6 +48,11 @@ def _always_kill(args) -> int:
     return _value(x)
 
 
+def _sleep_briefly(x: int) -> int:
+    time.sleep(0.25)
+    return _value(x)
+
+
 def _hang_once(args) -> int:
     x, scratch = args
     marker = Path(scratch) / f"hung-{x}"
@@ -106,6 +111,19 @@ class TestCrashRecovery:
         assert time.monotonic() - t0 < 30.0
         assert got == [_value(x) for x in range(8)]
 
+    def test_queue_wait_not_charged_against_deadline(self):
+        # 8 one-item chunks on 2 workers: the tail chunks sit in the
+        # executor queue well past the deadline before they ever run.  The
+        # deadline clock must start at observed-running, not at submit —
+        # with max_retries=0 a submit-time clock would spuriously fail this
+        # healthy run with SupervisionError.
+        items = list(range(8))
+        got = supervised_map(
+            _sleep_briefly, items, workers=2, chunksize=1,
+            deadline_s=0.8, max_retries=0,
+        )
+        assert got == [_value(x) for x in items]
+
 
 class TestCheckpointIntegration:
     def test_completed_chunks_skipped_on_resume(self, tmp_path):
@@ -133,6 +151,26 @@ class TestCheckpointIntegration:
         rc2 = RunCheckpoint(path, run_key="k", resume=True)
         got = supervised_map(_square, list(range(10)), chunksize=3, checkpoint=rc2.stage("s"))
         assert got == [_square(x) for x in range(10)]
+
+    def test_same_length_chunk_from_other_geometry_not_spliced(self, tmp_path):
+        # n=39: chunksize 3 makes chunk 9 = items[27:30]; chunksize 4 makes
+        # chunk 9 = items[36:39] — same index, same length, different items.
+        # Resuming across that chunking change must re-execute the chunk,
+        # not serve the stored one (a length-only check would splice it).
+        path = tmp_path / "run.json"
+        items = list(range(39))
+        rc = RunCheckpoint(path, run_key="k")
+        supervised_map(_square, items, chunksize=3, checkpoint=rc.stage("s"))
+        rc.flush()
+        rc2 = RunCheckpoint(path, run_key="k", resume=True)
+        got = supervised_map(_square, items, chunksize=4, checkpoint=rc2.stage("s"))
+        assert got == [_square(x) for x in items]
+
+    def test_recorded_entries_carry_chunk_bounds(self, tmp_path):
+        rc = RunCheckpoint(tmp_path / "run.json", run_key="k")
+        supervised_map(_square, list(range(10)), chunksize=4, checkpoint=rc.stage("s"))
+        entries = rc.completed("s")
+        assert {(e["lo"], e["hi"]) for e in entries.values()} == set(make_chunks(10, 4))
 
     def test_chaos_abort_carries_progress_counts(self, tmp_path):
         path = tmp_path / "run.json"

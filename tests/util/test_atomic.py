@@ -91,3 +91,26 @@ class TestCrashMidWrite:
         with pytest.raises(ValueError, match="mode"):
             with atomic_writer(tmp_path / "x", mode="r"):
                 pass
+
+
+class TestDurability:
+    def test_parent_directory_fsynced_after_replace(self, tmp_path, monkeypatch):
+        """The rename itself must be durable: after ``os.replace`` the
+        parent directory is fsynced, not just the temporary file."""
+        synced_inodes = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced_inodes.append(os.fstat(fd).st_ino)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write(tmp_path / "out.txt", "payload\n")
+        assert os.stat(tmp_path).st_ino in synced_inodes
+
+    def test_fsync_false_skips_all_syncs(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        atomic_write(tmp_path / "out.txt", "payload\n", fsync=False)
+        assert calls == []
+        assert (tmp_path / "out.txt").read_text() == "payload\n"
