@@ -16,16 +16,19 @@ from typing import List, Optional
 from repro.experiments.registry import experiment_ids, run_experiment
 
 #: Experiments that accept a ``seed`` keyword.
-_SEEDABLE = {"fig2", "fig5", "fig8", "fig9", "ext-adaptive", "ext-contention", "ext-faults"}
+_SEEDABLE = {
+    "fig2", "fig5", "fig8", "fig9",
+    "ext-adaptive", "ext-contention", "ext-faults", "ext-outage",
+}
 
 #: Experiments whose sweeps route through the chunked parallel runner
 #: (:mod:`repro.core.parallel`) and accept a ``workers`` keyword.
-_PARALLEL = {"fig7", "ext-contention", "ext-faults"}
+_PARALLEL = {"fig7", "ext-contention", "ext-faults", "ext-outage"}
 
 #: Experiments that accept a ``checkpoint`` keyword (a
 #: :class:`repro.resilience.checkpoint.RunCheckpoint`): their sweeps record
 #: completed chunks durably and ``--resume`` skips them bit-identically.
-_CHECKPOINTABLE = {"fig7", "ext-contention", "ext-faults"}
+_CHECKPOINTABLE = {"fig7", "ext-contention", "ext-faults", "ext-outage"}
 
 
 def build_parser() -> argparse.ArgumentParser:

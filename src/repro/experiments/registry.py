@@ -14,6 +14,7 @@ from repro.experiments import (
     ext_contention,
     ext_faults,
     ext_mixed,
+    ext_outage,
     ext_training,
     fig2_trace,
     fig3_frequency,
@@ -46,6 +47,7 @@ EXTENSIONS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-contention": ext_contention.run,
     "ext-faults": ext_faults.run,
     "ext-mixed": ext_mixed.run,
+    "ext-outage": ext_outage.run,
     "ext-training": ext_training.run,
 }
 

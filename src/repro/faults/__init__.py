@@ -20,6 +20,7 @@ from repro.faults.config import FaultConfig
 from repro.faults.desfaults import DesFaultyResult, run_des_faulty_fleet
 from repro.faults.fleetsim import FaultyFleetResult, run_faulty_fleet
 from repro.faults.monitor import (
+    OUTCOME_BUFFERED,
     OUTCOME_FAILOVER,
     OUTCOME_FALLBACK,
     OUTCOME_MISSED,
@@ -67,6 +68,7 @@ __all__ = [
     "OUTCOME_RETRIED",
     "OUTCOME_FAILOVER",
     "OUTCOME_FALLBACK",
+    "OUTCOME_BUFFERED",
     "OUTCOME_MISSED",
     "SERVER_OUTAGE",
     "LINK_BLACKOUT",

@@ -15,6 +15,8 @@ from typing import Optional
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule, compile_schedule
 from repro.faults.spec import ClientCrash, LinkBlackout, LinkDegradation, ServerOutage
+from repro.network.buffer import BufferSpec
+from repro.network.outage import OutagePattern
 from repro.util.rng import SeedLike
 
 
@@ -26,6 +28,16 @@ class FaultConfig:
     ----------
     server_outage, link_blackout, link_degradation, client_crash:
         The injectors (``None`` = that failure class never happens).
+    link_outage:
+        Long-horizon up/down connectivity renewal process per client
+        (:class:`~repro.network.outage.OutagePattern`).  Unlike the
+        transient blackout, a client *knows* its modem is dark: it skips
+        the upload, stores the payload in its edge buffer and degrades to
+        local inference instead of walking the retry ladder.
+    buffer:
+        Store-and-forward buffer sizing/policy used while ``link_outage``
+        has the uplink down (defaults to :class:`BufferSpec` defaults when
+        outages are active and no spec is given).
     retry:
         Timeout/backoff policy for failed uploads.
     fallback:
@@ -40,6 +52,8 @@ class FaultConfig:
     client_crash: Optional[ClientCrash] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fallback: bool = True
+    link_outage: Optional[OutagePattern] = None
+    buffer: Optional[BufferSpec] = None
 
     @staticmethod
     def none() -> "FaultConfig":
@@ -55,8 +69,13 @@ class FaultConfig:
                 self.link_blackout,
                 self.link_degradation,
                 self.client_crash,
+                self.link_outage,
             )
         )
+
+    def buffer_spec(self) -> BufferSpec:
+        """The effective buffer sizing (defaults apply when unset)."""
+        return self.buffer if self.buffer is not None else BufferSpec()
 
     def specs(self) -> tuple:
         """The active injector specs."""
@@ -67,6 +86,7 @@ class FaultConfig:
                 self.link_blackout,
                 self.link_degradation,
                 self.client_crash,
+                self.link_outage,
             )
             if spec is not None
         )
@@ -89,6 +109,8 @@ class FaultConfig:
         parts = [spec.describe() for spec in self.specs()]
         if not parts:
             return "no faults"
+        if self.link_outage is not None:
+            parts.append(self.buffer_spec().describe())
         parts.append(self.retry.describe())
         parts.append("fallback=edge" if self.fallback else "fallback=off")
         return " + ".join(parts)

@@ -14,9 +14,16 @@ timetable realized as live simulation behaviour:
   (each client owns a derived RNG stream), keeping the radio on for the
   timeout of every failed attempt; exhausted clients fail over to a
   surviving server with spare capacity or degrade to local inference;
+* **scheduled connectivity outages** (:class:`~repro.network.outage.
+  OutagePattern`) are *known* to the client: at a dark send moment it never
+  keys the radio — the payload goes to its store-and-forward
+  :class:`~repro.network.buffer.EdgeBuffer`, the detection degrades to a
+  local ``buffered_infer_*`` task, and reconnected cycles burst-drain the
+  backlog as interruptible ``send_drain`` windows whose airtime stretches
+  with the number of concurrent drainers (shared AP);
 * the :class:`~repro.faults.monitor.FaultMonitor` logs every fault event at
-  its simulation time and itemizes retry/failover/fallback/degradation
-  energy next to the per-entity ledgers.
+  its simulation time and itemizes retry/failover/fallback/degradation/
+  buffered/drain energy next to the per-entity ledgers.
 
 Server devices are charged from records after the event loop drains (the
 ledgers are analytic in the residency windows, so replaying them post-hoc
@@ -46,6 +53,7 @@ from repro.devices.specs import CLOUD_SERVER_I7_RTX2070, RASPBERRY_PI_3B_PLUS
 from repro.energy.power import TaskPower
 from repro.faults.config import FaultConfig
 from repro.faults.monitor import (
+    OUTCOME_BUFFERED,
     OUTCOME_FAILOVER,
     OUTCOME_FALLBACK,
     OUTCOME_MISSED,
@@ -61,6 +69,8 @@ from repro.faults.schedule import (
     SERVER_OUTAGE,
     FaultSchedule,
 )
+from repro.network.buffer import BLOCKED, BufferReport, EdgeBuffer
+from repro.network.outage import LINK_OUTAGE
 from repro.util.rng import SeedLike, make_rng, rng_for
 
 
@@ -81,6 +91,7 @@ class _ServerState:
         self.slot_done: Dict[Tuple[int, int], int] = {}    # (cycle, slot) -> completed
         self.slot_time: Dict[Tuple[int, int], float] = {}  # (cycle, slot) -> actual start
         self.late: List[Tuple[float, float]] = []          # (time, t_rx)
+        self.drained: List[Tuple[float, float]] = []       # (time, t_rx) backlog drains
 
     def spare(self, cycle: int) -> int:
         return self.capacity - self.nominal_clients - self.extra_admitted.get(cycle, 0)
@@ -109,6 +120,7 @@ class DesFaultyResult:
     n_clients: int = -1
     client_multiplicities: tuple = ()
     client_cohorts: tuple = ()  # tuple[tuple[int, ...]] parallel to client_accounts
+    buffer_report: Optional[BufferReport] = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 0:
@@ -188,6 +200,14 @@ def run_des_faulty_fleet(
     horizon = n_cycles * period
     profile = scenario.server
     retry = faults.retry
+    outage_on = faults.link_outage is not None
+    buf_spec = faults.buffer_spec()
+    buffers: Dict[int, EdgeBuffer] = {}
+    # Shared AP contention counter for reconnect bursts: each active drainer
+    # sees its per-payload airtime stretched by the number of concurrent
+    # drainers at the moment it starts that payload (processor sharing,
+    # sampled per payload — the DES analogue of the analytic ×k stretch).
+    drain_state = {"active": 0}
     mon = FaultMonitor()
 
     allocator = Allocator(profile, period=period, losses=losses, policy=policy)
@@ -196,6 +216,16 @@ def run_des_faulty_fleet(
     slot_dur = profile.slot_duration(sizing_extra)
     schedule = faults.compile(
         horizon, n_servers=allocation.n_servers, n_clients=n_clients, seed=seed
+    )
+    # Clients with at least one compiled outage window (always_up compiles
+    # none): only they probe the schedule each cycle, so an armed-but-idle
+    # outage layer costs (almost) nothing on the event-driven path too.
+    outage_clients = (
+        frozenset(
+            cid for cid in range(n_clients) if schedule.windows_for(LINK_OUTAGE, cid)
+        )
+        if outage_on
+        else frozenset()
     )
     base = int(make_rng(seed).integers(0, 2**62)) if not isinstance(seed, int) else seed
 
@@ -251,12 +281,13 @@ def run_des_faulty_fleet(
     clients: List[DutyCycledDevice] = []
     client_ends: List[float] = []
 
-    def attempt_transfer(device, state, holder, duration):
+    def attempt_transfer(device, state, holder, duration, label="send_audio"):
         """Interruptible radio-on window; returns True when it completed.
 
         The energy is charged *after* the window resolves (run_routine
         charges on the device-local clock, which trails engine time), so an
-        interrupted upload only pays for its elapsed airtime.
+        interrupted upload only pays for its elapsed airtime.  ``label``
+        names the charged task — ``"send_drain"`` for backlog drains.
         """
         start = engine.now
         state.inflight[holder["proc"]] = None
@@ -269,7 +300,7 @@ def run_des_faulty_fleet(
             state.inflight.pop(holder["proc"], None)
         elapsed = engine.now - start
         if completed:
-            device.run_routine(start, [TaskPower("send_audio", duration, watts=send_w)])
+            device.run_routine(start, [TaskPower(label, duration, watts=send_w)])
         elif elapsed > 0:
             device.run_routine(start, [TaskPower("send_aborted", elapsed, watts=send_w)])
             mon.charge_retry(send_w * elapsed)
@@ -292,6 +323,41 @@ def run_des_faulty_fleet(
             if pre_tasks:
                 end = device.run_routine(engine.now, pre_tasks)
                 yield engine.timeout(end - engine.now)
+
+            # -- scheduled connectivity outage: never key the radio ------
+            # Unlike a transient blackout, the client *knows* the modem is
+            # dark (planned duty cycle / provider schedule), so it skips
+            # the send entirely: payload to the store-and-forward buffer,
+            # detection degraded to local inference (outcome "buffered"),
+            # or — under the BLOCK policy with a full buffer — the whole
+            # cycle is skipped (outcome "missed").
+            if cid in outage_clients and schedule.is_down(LINK_OUTAGE, cid, engine.now):
+                buf = buffers.setdefault(cid, EdgeBuffer(buf_spec))
+                verdict = buf.offer(engine.now)
+                if verdict == BLOCKED:
+                    mon.record_fault(engine.now, "buffer_blocked", client=cid)
+                    mon.record_outcome(OUTCOME_MISSED)
+                    continue
+                model = "cnn" if "cnn" in profile.service.name else "svm"
+                fb = fallback_inference_task(model, constants)
+                infer_task = TaskPower(
+                    f"buffered_infer_{model}", fb.duration,
+                    measured_energy=fb.energy,
+                )
+                end = device.run_routine(engine.now, [infer_task])
+                mon.charge_buffered(
+                    fallback_extra_energy(scenario.client, model, constants)
+                )
+                mon.record_fault(
+                    engine.now, "buffered", client=cid,
+                    resident=buf.resident_payloads,
+                )
+                yield engine.timeout(end - engine.now)
+                mon.record_outcome(OUTCOME_BUFFERED)
+                if post_tasks:
+                    end = device.run_routine(engine.now, post_tasks)
+                    yield engine.timeout(end - engine.now)
+                continue
 
             # -- upload with retry ladder --------------------------------
             slot_key = (cycle, slot_of[cid])
@@ -378,6 +444,46 @@ def run_des_faulty_fleet(
                         outcome = OUTCOME_MISSED
             mon.record_outcome(outcome)
 
+            # -- burst drain of the store-and-forward backlog ------------
+            # Reconnected after a successful upload: push buffered payloads
+            # to the home server inside the drain window.  Each payload's
+            # airtime is stretched by the number of concurrent drainers
+            # (shared AP); the server's per-payload receive marginal stays
+            # at the base transfer time (it receives the streams in
+            # parallel).  An interrupt or a newly-dark link leaves the
+            # remaining backlog resident for a later cycle.
+            if (
+                outage_on
+                and outcome in (OUTCOME_OK, OUTCOME_RETRIED, OUTCOME_FAILOVER)
+                and cid in buffers
+                and buffers[cid].resident_payloads > 0
+            ):
+                buf = buffers[cid]
+                deadline = engine.now + buf_spec.drain_window_s
+                drain_state["active"] += 1
+                try:
+                    while (
+                        buf.resident_payloads > 0
+                        and home.up
+                        and not schedule.is_down(LINK_OUTAGE, cid, engine.now)
+                        and not schedule.is_down(LINK_BLACKOUT, cid, engine.now)
+                    ):
+                        k = max(drain_state["active"], 1)
+                        dur = send_task.duration * k
+                        if engine.now + dur > deadline:
+                            break
+                        mon.record_attempts()
+                        done = yield from attempt_transfer(
+                            device, home, holder, dur, label="send_drain"
+                        )
+                        if not done:
+                            break  # interrupted: payload stays resident
+                        buf.take(engine.now)
+                        home.drained.append((engine.now - dur, profile.transfer_s))
+                        mon.charge_drain(send_w * dur)
+                finally:
+                    drain_state["active"] -= 1
+
             if post_tasks and outcome not in (OUTCOME_MISSED,):
                 end = device.run_routine(engine.now, post_tasks)
                 yield engine.timeout(end - engine.now)
@@ -424,6 +530,7 @@ def run_des_faulty_fleet(
                 and not schedule.windows_for(CLIENT_CRASH, cid)
                 and not schedule.windows_for(LINK_BLACKOUT, cid)
                 and not schedule.windows_for(LINK_DEGRADATION, cid)
+                and not schedule.windows_for(LINK_OUTAGE, cid)
             )
 
         key_of = {
@@ -489,6 +596,8 @@ def run_des_faulty_fleet(
             events.append((start, 0, ("slot", t_rx, k_started, k_done)))
         for t, t_rx in state.late:
             events.append((t, 2, ("late", t_rx)))
+        for t, t_rx in state.drained:
+            events.append((t, 3, ("drained", t_rx)))
         events.sort(key=lambda e: (e[0], e[1]))
 
         def charge_window(t: float, dur: float, state_name: str, watts: float, tag: str) -> None:
@@ -530,10 +639,16 @@ def run_des_faulty_fleet(
                                 else active
                             )
                             dev.account.charge("saturation_penalty", (mult - 1.0) * pen, time=t)
-            else:  # late upload: marginal receive + service on top of idle
+            elif rec[0] == "late":  # marginal receive + service on top of idle
                 _, t_rx = rec
                 dev.account.charge(
                     "receive_retry", (profile.receive_watts - profile.idle_watts) * t_rx, time=t
+                )
+                dev.account.charge("service", svc_marginal_1, time=t)
+            else:  # drained backlog payload: same marginals, base t_rx
+                _, t_rx = rec
+                dev.account.charge(
+                    "receive_drain", (profile.receive_watts - profile.idle_watts) * t_rx, time=t
                 )
                 dev.account.charge("service", svc_marginal_1, time=t)
         dev.finish(max(horizon, dev.time))
@@ -550,6 +665,9 @@ def run_des_faulty_fleet(
         n_clients=n_clients,
         client_multiplicities=tuple(c.multiplicity for c in client_cohorts),
         client_cohorts=tuple(c.member_ids for c in client_cohorts),
+        buffer_report=(
+            BufferReport.from_buffers(list(buffers.values())) if outage_on else None
+        ),
     )
 
     from repro.obs.state import resolve as _resolve_obs
@@ -571,6 +689,7 @@ def run_des_faulty_fleet(
             ("faults.cycles_retried", report.cycles_retried),
             ("faults.cycles_failover", report.cycles_failover),
             ("faults.cycles_fallback", report.cycles_fallback),
+            ("faults.cycles_buffered", report.cycles_buffered),
             ("faults.cycles_missed", report.cycles_missed),
             ("faults.events", report.n_fault_events),
             ("faults.send_attempts", mon.send_attempts),

@@ -17,7 +17,15 @@ cycle by cycle.  Each cycle:
    (nominal delays; jitter is exercised by the DES path) and recover if the
    blackout ends inside the retry span, else degrade;
 6. link degradation stretches the radio-on window of otherwise-successful
-   uploads, charging the extra airtime.
+   uploads, charging the extra airtime;
+7. clients inside a *scheduled* connectivity outage
+   (:class:`~repro.network.outage.OutagePattern`) never key the radio:
+   the payload is stored in the per-client
+   :class:`~repro.network.buffer.EdgeBuffer`, the detection degrades to
+   local edge inference (outcome ``buffered``), the allocator releases the
+   client's slot by re-packing the *connected* cohort, and reconnected
+   clients burst-drain their backlog — contention-stretched airtime on the
+   client, base receive + service marginals on the server.
 
 With ``FaultConfig.none()`` every step above is the identity, so the result
 is bit-for-bit the ideal §VI-B simulation.  All granularity compromises are
@@ -27,7 +35,7 @@ per-cycle: a server is "down for the cycle" if its outage intersects it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +47,7 @@ from repro.core.routines import Scenario
 from repro.core.simulate import server_cycle_energy
 from repro.faults.config import FaultConfig
 from repro.faults.monitor import (
+    OUTCOME_BUFFERED,
     OUTCOME_FAILOVER,
     OUTCOME_FALLBACK,
     OUTCOME_MISSED,
@@ -54,6 +63,8 @@ from repro.faults.schedule import (
     SERVER_OUTAGE,
     FaultSchedule,
 )
+from repro.network.buffer import BLOCKED, BufferReport, EdgeBuffer
+from repro.network.outage import LINK_OUTAGE
 from repro.util.rng import SeedLike
 
 
@@ -77,10 +88,24 @@ class FaultyFleetResult:
     monitor: FaultMonitor
     faults_description: str
     schedule: FaultSchedule
+    buffered_energy_j: Optional[np.ndarray] = None   # per cycle, in edge
+    drain_energy_j: Optional[np.ndarray] = None      # per cycle, in edge
+    buffer_report: Optional[BufferReport] = None
 
     @property
     def total_energy_j(self) -> float:
         return float(self.edge_energy_j.sum() + self.server_energy_j.sum())
+
+    @property
+    def delivered_data_fraction(self) -> float:
+        """Fraction of expected cycle payloads that reached the cloud —
+        directly (ok/retried/failover) or via a later buffer drain."""
+        r = self.report
+        if r.cycles_expected == 0:
+            return 1.0
+        direct = r.cycles_ok + r.cycles_retried + r.cycles_failover
+        drained = self.buffer_report.delivered_payloads if self.buffer_report else 0
+        return (direct + drained) / r.cycles_expected
 
     @property
     def mean_edge_energy_per_cycle(self) -> float:
@@ -175,8 +200,29 @@ def run_faulty_fleet(
 
     retry = faults.retry
     send_task = None
+    svc_marginal_1 = 0.0
     if not scenario.is_edge_only:
         send_task = client.active_tasks.get("send_audio")
+        svc_marginal_1 = (
+            scenario.server.service.energy
+            - scenario.server.idle_watts * scenario.server.service.duration
+        )
+    outage_on = faults.link_outage is not None and not scenario.is_edge_only
+    buf_spec = faults.buffer_spec()
+    buffers: Dict[int, EdgeBuffer] = {}
+    # Clients with at least one compiled outage window: an always_up pattern
+    # compiles none, and the per-slot probing below is skipped outright —
+    # an armed-but-idle schedule must cost (almost) nothing.
+    outage_clients = (
+        frozenset(
+            cid for cid in range(n_clients) if schedule.windows_for(LINK_OUTAGE, cid)
+        )
+        if outage_on
+        else frozenset()
+    )
+    buffered_infer_j = (
+        fallback_extra_energy(client, fallback_model, constants) if outage_on else 0.0
+    )
     mon = FaultMonitor()
     for w in schedule.windows:
         mon.record_fault(w.start, w.kind, target=w.target, duration=w.duration)
@@ -201,6 +247,8 @@ def run_faulty_fleet(
     failover_e = np.zeros(n_cycles)
     fallback_e = np.zeros(n_cycles)
     degradation_e = np.zeros(n_cycles)
+    buffered_e = np.zeros(n_cycles)
+    drain_e = np.zeros(n_cycles)
     active_arr = np.zeros(n_cycles, dtype=np.int64)
     down_arr = np.zeros(n_cycles, dtype=np.int64)
 
@@ -217,11 +265,11 @@ def run_faulty_fleet(
         n_active = len(active_ids)
         active_arr[cycle] = n_active
         mon.record_outcome(OUTCOME_MISSED, len(crashed))
-        edge_e[cycle] = n_active * client.cycle_energy
-        if local is not None:
-            attribute_client_cycle(local, client, weight=n_active)
 
         if scenario.is_edge_only:
+            edge_e[cycle] = n_active * client.cycle_energy
+            if local is not None:
+                attribute_client_cycle(local, client, weight=n_active)
             mon.record_outcome(OUTCOME_OK, n_active)
             continue
 
@@ -229,6 +277,47 @@ def run_faulty_fleet(
         allocation: Allocation = allocator.policy.allocate(active_ids, allocator.plan)
         slot_dur = allocator.plan.slot_duration
         t_rx_base = scenario.server.transfer_s
+
+        # Scheduled connectivity outages: the client *knows* the modem is
+        # dark at its nominal upload time (unlike a transient blackout), so
+        # it never keys the radio — the send energy is refunded, the payload
+        # goes to the store-and-forward buffer, and the detection degrades
+        # to local edge inference.  The allocator then releases those slots
+        # by re-packing only the connected cohort (automatic re-admission
+        # next cycle, since allocation is per-cycle).
+        out_pairs: List[Tuple[int, float]] = []
+        if outage_clients:
+            for srv in allocation.servers:
+                for slot_idx, slot in enumerate(srv.slots):
+                    upload_t = t0 + slot_idx * slot_dur
+                    for cid in slot:
+                        if cid in outage_clients and schedule.is_down(
+                            LINK_OUTAGE, cid, upload_t
+                        ):
+                            out_pairs.append((cid, upload_t))
+        n_out = len(out_pairs)
+        if n_out:
+            out_set = {cid for cid, _ in out_pairs}
+            connected = [cid for cid in active_ids if cid not in out_set]
+            allocation = allocator.policy.allocate(connected, allocator.plan)
+            for cid, up_t in out_pairs:
+                outcome = buffers.setdefault(cid, EdgeBuffer(buf_spec)).offer(up_t)
+                if outcome == BLOCKED:
+                    # BLOCK policy: the cycle is skipped outright — no
+                    # local inference, no detection.
+                    mon.record_outcome(OUTCOME_MISSED)
+                else:
+                    buffered_e[cycle] += buffered_infer_j
+                    mon.charge_buffered(buffered_infer_j)
+                    mon.record_outcome(OUTCOME_BUFFERED)
+
+        edge_e[cycle] = n_active * client.cycle_energy - n_out * send_task.energy
+        if local is not None:
+            attribute_client_cycle(local, client, weight=n_active - n_out)
+            if n_out:
+                attribute_client_cycle(
+                    local, client, weight=n_out, skip_tasks=("send_audio",)
+                )
 
         down = [
             srv.server_index
@@ -288,10 +377,13 @@ def run_faulty_fleet(
         n_retried = 0
         n_link_fallback = 0
         n_link_missed = 0
+        upload_at: Dict[int, float] = {}
+        link_failed: set = set()
         for srv in allocation.servers:
             for slot_idx, slot in enumerate(srv.slots):
                 upload_t = t0 + slot_idx * slot_dur
                 for cid in slot:
+                    upload_at[cid] = upload_t
                     if cid in orphan_set:
                         continue
                     if schedule.is_down(LINK_BLACKOUT, cid, upload_t):
@@ -317,6 +409,7 @@ def run_faulty_fleet(
                             mon.record_attempts(1 + retry.max_retries)
                             if retry.timeout_s > 0:
                                 mon.record_timeout_attempts(1 + retry.max_retries)
+                            link_failed.add(cid)
                             if faults.fallback:
                                 per = fallback_extra_energy(client, fallback_model, constants)
                                 fallback_e[cycle] += per
@@ -334,10 +427,51 @@ def run_faulty_fleet(
                         mon.charge_degradation(extra)
 
         # Remaining survivors uploaded first-try.
-        n_served = n_active - len(orphans_total) - n_retried - n_link_fallback - n_link_missed
+        n_served = (
+            n_active - n_out - len(orphans_total)
+            - n_retried - n_link_fallback - n_link_missed
+        )
         mon.record_attempts(max(n_served, 0))  # first-try uploads
         mon.record_outcome(OUTCOME_RETRIED, n_retried)
         mon.record_outcome(OUTCOME_OK, max(n_served, 0))
+
+        # Burst drain: reconnected clients with backlog push it to their
+        # allocated server inside ``drain_window_s``.  With ``k`` clients
+        # draining through the shared AP, processor sharing stretches each
+        # payload's airtime ×k on the client side while the server receives
+        # the k streams in parallel — its per-payload receive marginal stays
+        # at the base transfer time.
+        drain_server_j = 0.0
+        n_drained = 0
+        if outage_on and buffers:
+            alive_servers = {s.server_index for s in allocation.servers} - set(down)
+            drainers = [
+                cid
+                for cid in sorted(upload_at)
+                if cid not in link_failed
+                and cid not in set(unplaced)
+                and cid in buffers
+                and buffers[cid].resident_payloads > 0
+            ]
+            if alive_servers and drainers:
+                k = len(drainers)
+                quota = buf_spec.drain_quota_for(send_task.duration, contenders=k)
+                for cid in drainers:
+                    done_t = upload_at[cid] + send_task.duration
+                    payloads = buffers[cid].drain(done_t, quota)
+                    if not payloads:
+                        continue
+                    n = len(payloads)
+                    n_drained += n
+                    client_j = send_task.energy * k * n
+                    drain_e[cycle] += client_j
+                    mon.charge_drain(client_j)
+                    mon.record_attempts(n)
+                    drain_server_j += n * (
+                        (scenario.server.receive_watts - scenario.server.idle_watts)
+                        * t_rx_base
+                        + svc_marginal_1
+                    )
 
         # Server-side energy: survivors serve their (possibly repacked)
         # occupancies; downed servers draw idle only outside their windows.
@@ -370,15 +504,16 @@ def run_faulty_fleet(
             energy += scenario.server.idle_watts * up_s
             if local is not None:
                 local.add("idle", scenario.server.idle_watts * up_s, up_s)
-        server_e[cycle] = energy
+        server_e[cycle] = energy + drain_server_j
         edge_e[cycle] += (
-            retry_e[cycle] + failover_e[cycle] + fallback_e[cycle] + degradation_e[cycle]
+            retry_e[cycle] + failover_e[cycle] + fallback_e[cycle]
+            + degradation_e[cycle] + buffered_e[cycle] + drain_e[cycle]
         )
         if local is not None:
             # Resilience overheads, same per-cycle floats the ledgers carry:
-            # retry burn is radio-on at the send power, failover re-uploads
-            # and degradation stretch are extra airtime, fallback is local
-            # inference.
+            # retry burn is radio-on at the send power, failover re-uploads,
+            # degradation stretch and backlog drains are extra airtime,
+            # fallback and buffered-cycle inference are local compute.
             send_w = send_task.power
             if retry_e[cycle]:
                 local.add("retry", retry_e[cycle], retry_e[cycle] / send_w)
@@ -388,6 +523,22 @@ def run_faulty_fleet(
                 local.add("transfer", degradation_e[cycle], degradation_e[cycle] / send_w)
             if fallback_e[cycle]:
                 local.add("infer", fallback_e[cycle])
+            if buffered_e[cycle]:
+                local.add("infer", buffered_e[cycle])
+            if drain_e[cycle]:
+                local.add("transfer", drain_e[cycle], drain_e[cycle] / send_w)
+            if n_drained:
+                # Server-side drain marginals, split like attribute_server_cycle.
+                rx_j = n_drained * (
+                    (scenario.server.receive_watts - scenario.server.idle_watts)
+                    * t_rx_base
+                )
+                local.add("transfer", rx_j, n_drained * t_rx_base)
+                local.add(
+                    "infer",
+                    n_drained * svc_marginal_1,
+                    n_drained * scenario.server.service.duration,
+                )
 
     result = FaultyFleetResult(
         scenario_name=scenario.name,
@@ -406,6 +557,11 @@ def run_faulty_fleet(
         monitor=mon,
         faults_description=faults.describe(),
         schedule=schedule,
+        buffered_energy_j=buffered_e,
+        drain_energy_j=drain_e,
+        buffer_report=(
+            BufferReport.from_buffers(list(buffers.values())) if outage_on else None
+        ),
     )
 
     if obs_c is not None:
@@ -418,6 +574,7 @@ def run_faulty_fleet(
             ("faults.cycles_retried", report.cycles_retried),
             ("faults.cycles_failover", report.cycles_failover),
             ("faults.cycles_fallback", report.cycles_fallback),
+            ("faults.cycles_buffered", report.cycles_buffered),
             ("faults.cycles_missed", report.cycles_missed),
             ("faults.events", report.n_fault_events),
             ("faults.send_attempts", mon.send_attempts),

@@ -19,9 +19,17 @@ OUTCOME_OK = "ok"                # upload landed in its slot, first try
 OUTCOME_RETRIED = "retried"      # upload succeeded after ≥1 retry
 OUTCOME_FAILOVER = "failover"    # served by a surviving server
 OUTCOME_FALLBACK = "fallback"    # degraded to local edge inference
+OUTCOME_BUFFERED = "buffered"    # link dark: payload buffered, edge inference
 OUTCOME_MISSED = "missed"        # no detection this cycle
 
-_OUTCOMES = (OUTCOME_OK, OUTCOME_RETRIED, OUTCOME_FAILOVER, OUTCOME_FALLBACK, OUTCOME_MISSED)
+_OUTCOMES = (
+    OUTCOME_OK,
+    OUTCOME_RETRIED,
+    OUTCOME_FAILOVER,
+    OUTCOME_FALLBACK,
+    OUTCOME_BUFFERED,
+    OUTCOME_MISSED,
+)
 
 
 @dataclass(frozen=True)
@@ -39,11 +47,24 @@ class ResilienceReport:
     fallback_energy_j: float
     degradation_energy_j: float
     n_fault_events: int
+    cycles_buffered: int = 0
+    buffered_energy_j: float = 0.0
+    drain_energy_j: float = 0.0
 
     @property
     def cycles_detected(self) -> int:
-        """Cycles that produced a queen-detection result by any path."""
-        return self.cycles_ok + self.cycles_retried + self.cycles_failover + self.cycles_fallback
+        """Cycles that produced a queen-detection result by any path.
+
+        Buffered cycles count: the payload waits for connectivity, but the
+        local edge inference still delivered this cycle's detection.
+        """
+        return (
+            self.cycles_ok
+            + self.cycles_retried
+            + self.cycles_failover
+            + self.cycles_fallback
+            + self.cycles_buffered
+        )
 
     @property
     def availability(self) -> float:
@@ -67,6 +88,8 @@ class ResilienceReport:
             + self.failover_energy_j
             + self.fallback_energy_j
             + self.degradation_energy_j
+            + self.buffered_energy_j
+            + self.drain_energy_j
         )
 
 
@@ -81,6 +104,8 @@ class FaultMonitor:
         self._failover_energy_j = 0.0
         self._fallback_energy_j = 0.0
         self._degradation_energy_j = 0.0
+        self._buffered_energy_j = 0.0
+        self._drain_energy_j = 0.0
         self._fault_events = 0
         self._send_attempts = 0
         self._timeout_attempts = 0
@@ -110,6 +135,14 @@ class FaultMonitor:
 
     def charge_degradation(self, energy_j: float) -> None:
         self._degradation_energy_j += self._check(energy_j)
+
+    def charge_buffered(self, energy_j: float) -> None:
+        """Local-inference marginal while the payload sits in the buffer."""
+        self._buffered_energy_j += self._check(energy_j)
+
+    def charge_drain(self, energy_j: float) -> None:
+        """Extra radio airtime spent burst-draining buffered payloads."""
+        self._drain_energy_j += self._check(energy_j)
 
     def record_fault(self, time: float, kind: str, **detail: object) -> None:
         """Log one fault lifecycle event (onset, repair, interrupt …)."""
@@ -163,6 +196,9 @@ class FaultMonitor:
             fallback_energy_j=self._fallback_energy_j,
             degradation_energy_j=self._degradation_energy_j,
             n_fault_events=self._fault_events,
+            cycles_buffered=self._outcomes[OUTCOME_BUFFERED],
+            buffered_energy_j=self._buffered_energy_j,
+            drain_energy_j=self._drain_energy_j,
         )
 
 
@@ -173,5 +209,6 @@ __all__ = [
     "OUTCOME_RETRIED",
     "OUTCOME_FAILOVER",
     "OUTCOME_FALLBACK",
+    "OUTCOME_BUFFERED",
     "OUTCOME_MISSED",
 ]

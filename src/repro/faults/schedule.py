@@ -121,6 +121,12 @@ def compile_schedule(
     for spec in specs:
         if spec is None:
             continue
+        if getattr(spec, "never_fires", False):
+            # A spec that compiles no windows for any target (e.g. an
+            # always-up outage pattern) skips its per-target RNG streams
+            # entirely — the streams would never be drawn from, and other
+            # specs' streams are keyed independently, so nothing shifts.
+            continue
         n_targets = n_servers if spec.kind == SERVER_OUTAGE else n_clients
         for target in range(n_targets):
             rng = rng_for(base, spec.kind, target)

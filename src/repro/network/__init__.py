@@ -13,8 +13,16 @@ from repro.network.transfer import TransferCost, transfer_cost
 from repro.network.contention import (
     ContentionResult,
     fitted_loss_b_seconds_per_client,
+    overrun_probability,
     simulate_slot_contention,
     slot_transfer_time,
+)
+from repro.network.outage import LINK_OUTAGE, IntervalDist, OutagePattern
+from repro.network.buffer import (
+    BUFFER_POLICIES,
+    BufferReport,
+    BufferSpec,
+    EdgeBuffer,
 )
 
 __all__ = [
@@ -27,6 +35,14 @@ __all__ = [
     "transfer_cost",
     "ContentionResult",
     "fitted_loss_b_seconds_per_client",
+    "overrun_probability",
     "simulate_slot_contention",
     "slot_transfer_time",
+    "LINK_OUTAGE",
+    "IntervalDist",
+    "OutagePattern",
+    "BUFFER_POLICIES",
+    "BufferReport",
+    "BufferSpec",
+    "EdgeBuffer",
 ]

@@ -8,33 +8,22 @@ routine-duration spread (σ ≈ 3.5 s on a ~15 s transfer).
 
 from __future__ import annotations
 
-import warnings
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.rng import SeedLike, make_rng
+from repro.util.rng import SeedLike, resolve_rng  # noqa: F401  (re-export)
 from repro.util.validation import check_in_range, check_non_negative, check_positive
 
 
-def resolve_rng(rng: SeedLike = None, seed: SeedLike = None) -> np.random.Generator:
-    """Normalise the ``rng``/legacy-``seed`` pair into one Generator.
-
-    ``seed`` is a deprecated alias kept so older call sites keep working;
-    passing it emits a :class:`DeprecationWarning`.  Passing both is an
-    error.  Long simulations should thread a single ``rng`` through every
-    transfer instead of re-creating a generator per call.
-    """
-    if seed is not None:
-        if rng is not None:
-            raise TypeError("pass either rng or seed, not both")
-        warnings.warn(
-            "the 'seed' parameter is deprecated; pass 'rng' instead",
-            DeprecationWarning,
-            stacklevel=3,
+def _check_payload(payload_bytes) -> float:
+    """Reject NaN/inf/negative payloads before they poison transfer times."""
+    if not math.isfinite(payload_bytes) or payload_bytes < 0:
+        raise ValueError(
+            f"payload_bytes must be a finite number >= 0, got {payload_bytes!r}"
         )
-        return make_rng(seed)
-    return make_rng(rng)
+    return payload_bytes
 
 
 @dataclass(frozen=True)
@@ -82,8 +71,7 @@ class LinkModel:
         a live Generator to draw from an ongoing stream.  ``seed`` is a
         deprecated alias (see :func:`resolve_rng`).
         """
-        if payload_bytes < 0:
-            raise ValueError("payload_bytes must be >= 0")
+        _check_payload(payload_bytes)
         generator = resolve_rng(rng, seed)
         bps = self.sample_throughput(generator)
         duration = self.handshake_s + (payload_bytes * 8.0) / bps
@@ -91,7 +79,6 @@ class LinkModel:
 
     def expected_duration(self, payload_bytes: int) -> float:
         """Duration at the *mean* throughput (log-normal mean > median)."""
-        if payload_bytes < 0:
-            raise ValueError("payload_bytes must be >= 0")
+        _check_payload(payload_bytes)
         mean_bps = self.nominal_bps * np.exp(self._sigma**2 / 2)
         return self.handshake_s + payload_bytes * 8.0 / mean_bps

@@ -9,12 +9,15 @@ energy, retries wait out exponential backoff with jitter, and the returned
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.faults.retry import RetryPolicy
 from repro.network.link import LinkModel, resolve_rng
 from repro.util.rng import SeedLike
 from repro.util.validation import check_in_range, check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.monitor import FaultMonitor
 
 
 @dataclass(frozen=True)
@@ -89,6 +92,7 @@ def transfer_with_retries(
     attempt_fails: Optional[Callable[[int], bool]] = None,
     p_fail: float = 0.0,
     rng: SeedLike = None,
+    monitor: Optional["FaultMonitor"] = None,
 ) -> RetriedTransfer:
     """Attempt an upload, retrying with exponential backoff + jitter.
 
@@ -104,6 +108,14 @@ def transfer_with_retries(
     rng:
         Single stream used for failure draws, backoff jitter and the
         successful transfer's throughput draw.
+    monitor:
+        Optional :class:`~repro.faults.monitor.FaultMonitor`.  When given,
+        every attempt (including the final failed one) is recorded via
+        ``record_attempts``, every timed-out attempt via
+        ``record_timeout_attempts``, and the burned airtime is charged with
+        ``charge_retry`` — so ``timeout_attempts × timeout_s × watts``
+        equals the charged retry energy exactly, the same ledger identity
+        the DES path maintains.
 
     Every failed attempt charges ``sender_watts × retry.timeout_s`` to the
     sender (radio on, nobody listening); backoff waits cost no transfer
@@ -119,6 +131,14 @@ def transfer_with_retries(
             return bool(attempt_fails(i))
         return bool(generator.uniform() < p_fail)
 
+    def account(result: RetriedTransfer, timed_out: int) -> RetriedTransfer:
+        if monitor is not None:
+            monitor.record_attempts(result.attempts)
+            monitor.record_timeout_attempts(timed_out)
+            if result.retry_energy_j > 0.0:
+                monitor.charge_retry(result.retry_energy_j)
+        return result
+
     retry_energy = 0.0
     backoff_total = 0.0
     elapsed = 0.0
@@ -127,13 +147,16 @@ def transfer_with_retries(
             cost = transfer_cost(
                 payload_bytes, link, sender_watts, receiver_watts, rng=generator
             )
-            return RetriedTransfer(
-                success=True,
-                attempts=attempt + 1,
-                cost=cost,
-                retry_energy_j=retry_energy,
-                backoff_s=backoff_total,
-                elapsed_s=elapsed + cost.duration_s,
+            return account(
+                RetriedTransfer(
+                    success=True,
+                    attempts=attempt + 1,
+                    cost=cost,
+                    retry_energy_j=retry_energy,
+                    backoff_s=backoff_total,
+                    elapsed_s=elapsed + cost.duration_s,
+                ),
+                timed_out=attempt,
             )
         retry_energy += retry.attempt_energy_j(sender_watts)
         elapsed += retry.timeout_s
@@ -141,11 +164,17 @@ def transfer_with_retries(
             delay = retry.delay_s(attempt, generator)
             backoff_total += delay
             elapsed += delay
-    return RetriedTransfer(
-        success=False,
-        attempts=1 + retry.max_retries,
-        cost=None,
-        retry_energy_j=retry_energy,
-        backoff_s=backoff_total,
-        elapsed_s=elapsed,
+    # The final failed attempt burned a full timeout window too: it is
+    # charged above like every other failure and counted below, keeping
+    # attempts == timeout_attempts on total exhaustion.
+    return account(
+        RetriedTransfer(
+            success=False,
+            attempts=1 + retry.max_retries,
+            cost=None,
+            retry_energy_j=retry_energy,
+            backoff_s=backoff_total,
+            elapsed_s=elapsed,
+        ),
+        timed_out=1 + retry.max_retries,
     )

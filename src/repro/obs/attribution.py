@@ -21,14 +21,21 @@ from typing import Optional, Sequence
 from repro.obs.ledger import PhaseLedger, phase_of
 
 
-def attribute_client_cycle(ledger: PhaseLedger, client, weight: float = 1.0) -> float:
+def attribute_client_cycle(
+    ledger: PhaseLedger, client, weight: float = 1.0, skip_tasks: Sequence[str] = ()
+) -> float:
     """Attribute one client cycle (``client.cycle_energy`` joules) per phase.
 
-    Returns the attributed total so callers can sanity-check against the
-    analytic ``cycle_energy`` they charged.
+    ``skip_tasks`` omits named tasks from the attribution — how the
+    faulty-fleet path accounts buffered cycles, whose radio send never
+    happens (the ledger charge is refunded the same way).  Returns the
+    attributed total so callers can sanity-check against the analytic
+    ``cycle_energy`` they charged.
     """
     total = 0.0
     for task in client.active_tasks:
+        if task.name in skip_tasks:
+            continue
         ledger.charge_category(task.name, task.energy, task.duration, weight)
         total += task.energy
     if client.wake_surge_j:

@@ -66,6 +66,7 @@ _PREFIX: Tuple[Tuple[str, str], ...] = (
     ("send", "transfer"),
     ("receive", "transfer"),
     ("fallback_infer", "infer"),
+    ("buffered_infer", "infer"),
     ("queen_detection", "infer"),
     ("svm", "infer"),
     ("cnn", "infer"),

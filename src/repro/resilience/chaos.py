@@ -25,6 +25,12 @@ and are also driven by ``tests/chaos/`` in CI, so the guarantees in
     A checkpointing run in a subprocess is SIGKILLed mid-run (no cleanup
     of any kind runs); resuming from its checkpoint must produce results
     bit-identical to an uninterrupted run.
+``link-outage-resume``
+    A checkpointed ``ext-outage`` sweep (link-outage schedules, buffered
+    degraded-mode fleets) is SIGKILLed mid-grid in a subprocess; the
+    resumed run's fingerprint must match the committed golden pin in
+    ``tests/golden/ext-outage.json`` — crash-safety composed with the
+    intermittent-connectivity subsystem.
 
 Workers communicate "I already crashed once" through marker files in a
 scratch directory, so every injected failure happens exactly once and the
@@ -201,6 +207,51 @@ def _driver(ckpt: str, out: str, n_items: int) -> int:
     return 0
 
 
+#: The reduced ext-outage configuration shared with the golden case — the
+#: resumed fingerprint is diffed against ``tests/golden/ext-outage.json``.
+_OUTAGE_KWARGS = dict(
+    n_clients=70, n_cycles=12, crossover_sizes=(350, 650, 150), seed=0
+)
+
+
+def _outage_driver(ckpt: str, out: str, mode: str) -> int:
+    """Subprocess body for ``link-outage-resume``.
+
+    ``mode='crash'`` arms the checkpointer's deterministic chaos hook and
+    escalates the interrupt into a real SIGKILL of this process, so no
+    atexit/finally/flush path runs — the durable saves alone must carry
+    the run.  ``mode='resume'`` completes from the checkpoint and writes
+    the result fingerprint.
+    """
+    from repro.experiments.registry import run_experiment
+    from repro.resilience.checkpoint import RunCheckpoint, run_key
+    from repro.resilience.errors import InterruptedRun
+
+    rc = RunCheckpoint(
+        ckpt,
+        run_key=run_key("ext-outage", _OUTAGE_KWARGS["seed"]),
+        resume=(mode == "resume"),
+        abort_after_saves=2 if mode == "crash" else None,
+    )
+    try:
+        fp = run_experiment("ext-outage", checkpoint=rc, **_OUTAGE_KWARGS).fingerprint()
+    except InterruptedRun:
+        os.kill(os.getpid(), signal.SIGKILL)
+    Path(out).write_text(json.dumps(fp, sort_keys=True))
+    return 0
+
+
+def _child_env() -> Dict[str, str]:
+    """Subprocess env importing repro from wherever *this* process did,
+    regardless of the caller's cwd or (relative) PYTHONPATH."""
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
 def scenario_kill_resume() -> str:
     """SIGKILL a checkpointing run mid-flight; resume must be bit-identical."""
     expected = [_value(i) for i in range(40)]
@@ -208,13 +259,7 @@ def scenario_kill_resume() -> str:
         ckpt = str(Path(tmp) / "ck.json")
         out = str(Path(tmp) / "out.json")
         cmd = [sys.executable, "-m", "repro.resilience.chaos", "--_driver", ckpt, out, "40"]
-        env = dict(os.environ)
-        # The child must import repro from wherever *this* process did,
-        # regardless of the caller's cwd or (relative) PYTHONPATH.
-        src_dir = str(Path(__file__).resolve().parents[2])
-        env["PYTHONPATH"] = os.pathsep.join(
-            p for p in (src_dir, env.get("PYTHONPATH")) if p
-        )
+        env = _child_env()
         proc = subprocess.Popen(cmd, env=env)
         # SIGKILL the run once its checkpoint holds some (but not all) chunks:
         # no atexit, no finally, no flush runs — the crash-only protocol alone
@@ -250,12 +295,59 @@ def scenario_kill_resume() -> str:
     )
 
 
+def scenario_link_outage_resume() -> str:
+    """SIGKILL a checkpointed outage sweep mid-grid; resume matches golden."""
+    from repro.resilience.checkpoint import RunCheckpoint, run_key
+    from repro.validate.golden import diff_fingerprints, load_golden
+
+    try:
+        golden = load_golden("ext-outage")
+    except FileNotFoundError:
+        raise AssertionError(
+            "tests/golden/ext-outage.json is missing — regenerate with "
+            "repro-golden --update --only ext-outage"
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = str(Path(tmp) / "ck.json")
+        out = str(Path(tmp) / "fingerprint.json")
+        base = [sys.executable, "-m", "repro.resilience.chaos", "--_outage_driver", ckpt, out]
+        env = _child_env()
+        crashed = subprocess.run(base + ["crash"], env=env, timeout=300)
+        if crashed.returncode != -signal.SIGKILL:
+            raise AssertionError(
+                f"crash driver exited {crashed.returncode}, expected SIGKILL"
+            )
+        if Path(out).exists():
+            raise AssertionError("driver wrote its fingerprint despite the SIGKILL")
+        rc = RunCheckpoint(ckpt, run_key=run_key("ext-outage", 0), resume=True)
+        durable = len(rc.completed("outage-grid"))
+        if not rc.resumed or durable == 0:
+            raise AssertionError("no durable outage-grid chunks survived the SIGKILL")
+        resumed = subprocess.run(base + ["resume"], env=env, timeout=300)
+        if resumed.returncode != 0:
+            raise AssertionError(f"resumed driver failed (exit {resumed.returncode})")
+        fingerprint = json.loads(Path(out).read_text())
+    drifts = diff_fingerprints(golden["fingerprint"], fingerprint)
+    if drifts:
+        raise AssertionError(
+            f"resumed outage sweep drifted from the golden pin: {drifts[:3]}"
+        )
+    return (
+        f"outage sweep SIGKILLed with {durable} grid chunk(s) durable; "
+        "resume matched the committed golden fingerprint"
+    )
+
+
 SCENARIOS: Dict[str, Tuple[Callable[[], str], str]] = {
     "kill-worker": (scenario_kill_worker, "SIGKILL a pool worker mid-chunk"),
     "hang-worker": (scenario_hang_worker, "hang a worker past its chunk deadline"),
     "truncate-checkpoint": (scenario_truncate_checkpoint, "truncate a checkpoint at every offset"),
     "stale-schema": (scenario_stale_schema, "age a checkpoint's schema version"),
     "kill-resume": (scenario_kill_resume, "SIGKILL a checkpointing run, then resume it"),
+    "link-outage-resume": (
+        scenario_link_outage_resume,
+        "SIGKILL a checkpointed link-outage sweep, resume against the golden",
+    ),
 }
 
 
@@ -268,10 +360,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--list", action="store_true", help="list scenarios")
     parser.add_argument("--_driver", nargs=3, metavar=("CKPT", "OUT", "N"),
                         help=argparse.SUPPRESS)
+    parser.add_argument("--_outage_driver", nargs=3, metavar=("CKPT", "OUT", "MODE"),
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     if args._driver:
         ckpt, out, n = args._driver
         return _driver(ckpt, out, int(n))
+    if args._outage_driver:
+        return _outage_driver(*args._outage_driver)
     if args.list:
         for name, (_fn, desc) in SCENARIOS.items():
             print(f"{name:22s} {desc}")

@@ -10,6 +10,7 @@ when comparing loss-model runs side by side).
 from __future__ import annotations
 
 import hashlib
+import warnings
 from typing import Sequence, Union
 
 import numpy as np
@@ -38,6 +39,26 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     if not isinstance(seed, (int, np.integer)):
         raise TypeError(f"seed must be int/Generator/SeedSequence/None, got {type(seed)!r}")
     return np.random.default_rng(int(seed))
+
+
+def resolve_rng(rng: SeedLike = None, seed: SeedLike = None) -> np.random.Generator:
+    """Normalise the ``rng``/legacy-``seed`` pair into one Generator.
+
+    ``seed`` is a deprecated alias kept so older call sites keep working;
+    passing it emits a :class:`DeprecationWarning`.  Passing both is an
+    error.  Long simulations should thread a single ``rng`` through every
+    transfer instead of re-creating a generator per call.
+    """
+    if seed is not None:
+        if rng is not None:
+            raise TypeError("pass either rng or seed, not both")
+        warnings.warn(
+            "the 'seed' parameter is deprecated; pass 'rng' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return make_rng(seed)
+    return make_rng(rng)
 
 
 def spawn(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:

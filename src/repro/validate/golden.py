@@ -319,6 +319,17 @@ def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
             "Cohort-aggregated faulty DES (statically-quiet collapse)",
         ),
         "faulty-analytic": (_case_faulty_analytic, "Cycle-level faulty fleet arrays"),
+        "ext-outage": (
+            lambda: _experiment_fingerprint(
+                "ext-outage",
+                n_clients=70,
+                n_cycles=12,
+                crossover_sizes=(350, 650, 150),
+                seed=0,
+            ),
+            "Intermittent-connectivity sweep (reduced grid): outage schedules, "
+            "store-and-forward buffering, crossover shift",
+        ),
         "parallel-crossover": (
             _case_parallel_crossover,
             "ext-faults via the chunked parallel runner (serial == parallel)",

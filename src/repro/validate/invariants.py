@@ -311,6 +311,8 @@ class AvailabilityBounds(Checker):
             + report.failover_energy_j
             + report.fallback_energy_j
             + report.degradation_energy_j
+            + report.buffered_energy_j
+            + report.drain_energy_j
         )
         if not _close(itemized, report.resilience_energy_j):
             raise self.violation(
@@ -335,6 +337,10 @@ class FaultyArraysConsistent(Checker):
             "fallback_energy_j": subject.fallback_energy_j,
             "degradation_energy_j": subject.degradation_energy_j,
         }
+        if subject.buffered_energy_j is not None:
+            arrays["buffered_energy_j"] = subject.buffered_energy_j
+        if subject.drain_energy_j is not None:
+            arrays["drain_energy_j"] = subject.drain_energy_j
         for label, arr in arrays.items():
             arr = np.asarray(arr)
             if arr.shape != (subject.n_cycles,):
@@ -349,17 +355,28 @@ class FaultyArraysConsistent(Checker):
             + subject.fallback_energy_j
             + subject.degradation_energy_j
         )
+        if subject.buffered_energy_j is not None:
+            overheads = overheads + subject.buffered_energy_j
+        if subject.drain_energy_j is not None:
+            overheads = overheads + subject.drain_energy_j
         if np.any(subject.edge_energy_j + 1e-9 < overheads):
             raise self.violation(
                 "a cycle's edge energy is below its itemized resilience overhead", context
             )
         report = subject.report
-        for label, arr, total in (
+        itemized_pairs = [
             ("retry", subject.retry_energy_j, report.retry_energy_j),
             ("failover", subject.failover_energy_j, report.failover_energy_j),
             ("fallback", subject.fallback_energy_j, report.fallback_energy_j),
             ("degradation", subject.degradation_energy_j, report.degradation_energy_j),
-        ):
+        ]
+        if subject.buffered_energy_j is not None:
+            itemized_pairs.append(
+                ("buffered", subject.buffered_energy_j, report.buffered_energy_j)
+            )
+        if subject.drain_energy_j is not None:
+            itemized_pairs.append(("drain", subject.drain_energy_j, report.drain_energy_j))
+        for label, arr, total in itemized_pairs:
             if not _close(float(arr.sum()), total):
                 raise self.violation(
                     f"{label} array sums to {float(arr.sum())!r} J, monitor charged {total!r} J",
@@ -369,6 +386,75 @@ class FaultyArraysConsistent(Checker):
             raise self.violation("n_active outside [0, n_clients]", context)
         if np.any(subject.n_servers_down < 0):
             raise self.violation("n_servers_down is negative", context)
+
+
+class BufferConservation(Checker):
+    """Store-and-forward buffers never create or lose bytes.
+
+    The tentpole invariant of the intermittent-connectivity subsystem: every
+    byte ever offered to an edge buffer is delivered, dropped, or still
+    resident — checked with exact integer arithmetic, never a tolerance.
+    Runs pass trivially when the result carries no ``buffer_report`` (no
+    outage schedule configured).
+    """
+
+    name = "buffer-conservation"
+    contract = "offered bytes == delivered + dropped + resident (exact integers)"
+
+    _COUNTERS = (
+        "offered_bytes",
+        "delivered_bytes",
+        "dropped_bytes",
+        "resident_bytes",
+        "offered_payloads",
+        "delivered_payloads",
+        "dropped_payloads",
+        "resident_payloads",
+        "blocked_payloads",
+    )
+
+    def check(self, subject: Any, context: Dict[str, Any]) -> None:
+        report = getattr(subject, "buffer_report", None)
+        if report is None:
+            return
+        for label in self._COUNTERS:
+            value = getattr(report, label)
+            if value < 0:
+                raise self.violation(f"{label} is negative ({value})", context)
+        if not report.conserves:
+            raise self.violation(
+                f"offered {report.offered_bytes} B != delivered {report.delivered_bytes}"
+                f" + dropped {report.dropped_bytes}"
+                f" + resident {report.resident_bytes} B",
+                context,
+            )
+        partition = (
+            report.delivered_payloads + report.dropped_payloads + report.resident_payloads
+        )
+        if report.offered_payloads != partition:
+            raise self.violation(
+                f"payload counters partition to {partition}, "
+                f"{report.offered_payloads} offered",
+                context,
+            )
+        if report.blocked_payloads > report.dropped_payloads:
+            raise self.violation(
+                f"blocked payloads ({report.blocked_payloads}) exceed dropped "
+                f"({report.dropped_payloads}) — blocked must count as dropped",
+                context,
+            )
+        if len(report.delays_s) != report.delivered_payloads:
+            raise self.violation(
+                f"{len(report.delays_s)} recorded delays for "
+                f"{report.delivered_payloads} delivered payloads",
+                context,
+            )
+        for delay in report.delays_s:
+            if not math.isfinite(delay) or delay < 0:
+                raise self.violation(
+                    f"store-and-forward delay {delay!r} is negative or non-finite",
+                    context,
+                )
 
 
 class FleetCountsConsistent(Checker):
@@ -411,6 +497,7 @@ def default_checkers() -> Dict[str, Checker]:
         ClockMonotonicity(),
         AvailabilityBounds(),
         FaultyArraysConsistent(),
+        BufferConservation(),
         FleetCountsConsistent(),
     ]
     return {c.name: c for c in checkers}
@@ -472,7 +559,9 @@ def validate_faulty_fleet_result(result, context=None) -> None:
         "expected_cycles": result.n_clients * result.n_cycles,
     }
     ctx.update(context or {})
-    run_checkers(result, [FaultyArraysConsistent(), AvailabilityBounds()], ctx)
+    run_checkers(
+        result, [FaultyArraysConsistent(), AvailabilityBounds(), BufferConservation()], ctx
+    )
 
 
 def validate_des_faulty_run(result, engine=None, allocation=None, devices=(), context=None) -> None:
@@ -495,6 +584,7 @@ def validate_des_faulty_run(result, engine=None, allocation=None, devices=(), co
         CohortPartition(),
         SlotOccupancyBound(),
         AvailabilityBounds(),
+        BufferConservation(),
     ]
     run_checkers(result, checkers, ctx)
 

@@ -60,6 +60,10 @@ def test_kill_resume_bit_identical():
     assert "bit-identical" in chaos.scenario_kill_resume()
 
 
+def test_link_outage_resume_matches_golden():
+    assert "matched the committed golden" in chaos.scenario_link_outage_resume()
+
+
 # -- CLI surface --------------------------------------------------------------
 
 

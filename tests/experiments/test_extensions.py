@@ -13,6 +13,7 @@ class TestRegistry:
             "ext-contention",
             "ext-faults",
             "ext-mixed",
+            "ext-outage",
             "ext-training",
         }
 
@@ -97,6 +98,58 @@ class TestExtFaults:
 
     def test_des_demo_table_rendered(self, result):
         assert any("mid-cycle server outage" in t for t in result.tables)
+
+
+class TestExtOutage:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Same reduced configuration as the golden case and the JSON-schema
+        # sweep: 2 servers' worth of clients, a coarse crossover grid.
+        return run_experiment(
+            "ext-outage",
+            n_clients=70,
+            n_cycles=12,
+            crossover_sizes=(350, 650, 150),
+        )
+
+    def test_zero_outage_schedule_is_the_identity(self, result):
+        for quantity in (
+            "ideal-path max |Δ| (J, zero-outage schedule)",
+            "fig7 curve max |Δ| (J/client, zero-outage)",
+        ):
+            c = next(c for c in result.comparisons if c.quantity == quantity)
+            assert c.measured_value == 0.0
+        cross = next(c for c in result.comparisons if "ideal vs zero-outage" in c.quantity)
+        assert cross.measured_value == cross.paper_value
+
+    def test_delivered_fraction_degrades_with_harshness(self, result):
+        # Grid rows are (pattern x capacity); "none" rows deliver everything.
+        frac = result.series["grid_delivered_fraction"]
+        none_rows, harsh_rows = frac[0:3], frac[9:12]
+        assert np.all(none_rows == 1.0)
+        assert np.all(harsh_rows < 1.0)
+
+    def test_availability_survives_outages(self, result):
+        avail = result.series["grid_availability"]
+        assert np.all(avail > 0.8)  # buffered cycles still detect locally
+
+    def test_resilience_joules_appear_under_outages(self, result):
+        resil = result.series["grid_resilience_j_per_client_cycle"]
+        assert np.all(resil[0:3] == 0.0)  # "none" pattern: strictly additive
+        assert np.all(resil[3:] > 0.0)
+
+    def test_policy_rows_cover_all_policies(self, result):
+        assert len(result.series["policy_availability"]) == 3
+        assert any("Overflow policy" in t for t in result.tables)
+
+    def test_crossover_series_present(self, result):
+        for kind in ("none", "daily", "harsh"):
+            assert f"crossover_total_j_{kind}" in result.series
+        assert any("crossover" in t.lower() for t in result.tables)
+
+    def test_des_demo_conserves(self, result):
+        c = next(c for c in result.comparisons if "conservation" in c.quantity)
+        assert c.measured_value == 0.0
 
 
 class TestExtTraining:

@@ -28,6 +28,7 @@ REDUCED_KWARGS = {
     "ext-adaptive": {"cloudiness_levels": (0.5,)},
     "ext-contention": {"max_clients": 6, "n_trials": 10},
     "ext-faults": {"n_clients": 70, "n_cycles": 12, "crossover_sizes": (350, 650, 150)},
+    "ext-outage": {"n_clients": 70, "n_cycles": 12, "crossover_sizes": (350, 650, 150)},
 }
 
 ALL_IDS = sorted(set(REGISTRY) | set(EXTENSIONS))

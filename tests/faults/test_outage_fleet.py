@@ -1,0 +1,234 @@
+"""Integration: scheduled link outages + buffering on both fleet simulators.
+
+Covers the orchestration contract of the intermittent-connectivity
+subsystem (docs/MODEL.md §11):
+
+* a zero-outage (``always_up``) schedule is the exact identity on both the
+  analytic and the event-driven path;
+* during an outage the cycle degrades gracefully — payload buffered, local
+  inference, send energy refunded, outcome ``buffered`` (still a
+  detection) — instead of failing;
+* the BLOCK overflow policy converts a full buffer into a skipped cycle;
+* burst drains on reconnect deliver the backlog and record delays;
+* the per-cycle overhead arrays, the monitor channels and the buffer
+  ledger all reconcile (also enforced by ``validate=True``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.routines import make_scenario
+from repro.core.simulate import simulate_fleet
+from repro.faults.config import FaultConfig
+from repro.faults.desfaults import run_des_faulty_fleet
+from repro.faults.fleetsim import run_faulty_fleet
+from repro.network.buffer import BLOCK, BufferSpec
+from repro.network.outage import IntervalDist, OutagePattern
+
+
+def cloud(max_parallel=10, model="svm"):
+    return make_scenario("edge+cloud", model, max_parallel=max_parallel)
+
+
+def outage_faults(pattern=None, cap_cycles=4, policy=None, **kw):
+    pattern = pattern or OutagePattern.duty_cycle(4 * 3600.0, 2 * 3600.0)
+    buf_kw = {"policy": policy} if policy else {}
+    return FaultConfig(
+        link_outage=pattern, buffer=BufferSpec.for_cycles(cap_cycles, **buf_kw), **kw
+    )
+
+
+class TestAnalyticPath:
+    def test_always_up_is_bit_identical_to_ideal(self):
+        scenario = cloud()
+        ideal = simulate_fleet(40, scenario)
+        res = run_faulty_fleet(
+            40,
+            scenario,
+            faults=outage_faults(OutagePattern.always_up()),
+            n_cycles=3,
+            seed=0,
+            validate=True,
+        )
+        assert float(res.edge_energy_j[0]) == ideal.edge_energy_j
+        assert float(res.server_energy_j[0]) == ideal.server_energy_j
+        assert res.report.availability == 1.0
+        assert res.buffer_report is not None
+        assert res.buffer_report.offered_payloads == 0
+        assert res.delivered_data_fraction == 1.0
+
+    @pytest.fixture(scope="class")
+    def outage_run(self):
+        return run_faulty_fleet(
+            60, cloud(), faults=outage_faults(), n_cycles=48, seed=3, validate=True
+        )
+
+    def test_buffered_cycles_still_detect(self, outage_run):
+        report = outage_run.report
+        assert report.cycles_buffered > 0
+        assert report.cycles_detected >= report.cycles_buffered
+        assert report.cycles_detected + report.cycles_missed == report.cycles_expected
+        assert report.availability > 0.9  # degraded, not failed
+
+    def test_buffer_ledger_reconciles_with_outcomes(self, outage_run):
+        br = outage_run.buffer_report
+        assert br.conserves
+        assert outage_run.report.cycles_buffered == (
+            br.offered_payloads - br.blocked_payloads
+        )
+        assert len(br.delays_s) == br.delivered_payloads
+        assert br.delivered_payloads > 0  # reconnect bursts actually drained
+
+    def test_overhead_arrays_match_monitor_channels(self, outage_run):
+        report = outage_run.report
+        assert float(outage_run.buffered_energy_j.sum()) == pytest.approx(
+            report.buffered_energy_j, rel=1e-9
+        )
+        assert float(outage_run.drain_energy_j.sum()) == pytest.approx(
+            report.drain_energy_j, rel=1e-9
+        )
+        assert report.buffered_energy_j > 0
+        assert report.drain_energy_j > 0
+
+    def test_delivered_data_fraction_degrades(self, outage_run):
+        frac = outage_run.delivered_data_fraction
+        assert 0.0 < frac < 1.0
+
+    def test_block_policy_converts_overflow_to_missed(self):
+        res = run_faulty_fleet(
+            30,
+            cloud(),
+            faults=outage_faults(
+                OutagePattern.duty_cycle(2 * 3600.0, 6 * 3600.0),
+                cap_cycles=1,
+                policy=BLOCK,
+            ),
+            n_cycles=48,
+            seed=5,
+            validate=True,
+        )
+        assert res.buffer_report.blocked_payloads > 0
+        assert res.report.cycles_missed >= res.buffer_report.blocked_payloads
+        assert res.buffer_report.conserves
+
+    def test_send_energy_refunded_during_outages(self):
+        """A buffered cycle refunds the radio: the edge energy of an
+        outage-heavy run is below active-clients x nominal cycle energy
+        (net of the local-inference surcharge tracked separately)."""
+        scenario = cloud()
+        res = run_faulty_fleet(
+            30, scenario, faults=outage_faults(), n_cycles=48, seed=3, validate=True
+        )
+        nominal = res.n_active * scenario.client.cycle_energy
+        base_edge = res.edge_energy_j - res.buffered_energy_j - res.drain_energy_j
+        assert np.all(base_edge <= nominal + 1e-9)
+        assert base_edge.sum() < nominal.sum()  # some sends were refunded
+
+    def test_obs_phase_ledger_reconciles(self):
+        from repro.obs import Obs
+
+        obs = Obs()
+        run_faulty_fleet(
+            30, cloud(), faults=outage_faults(), n_cycles=24, seed=3, obs=obs
+        )
+        assert obs.ledger.reconciles(rtol=1e-6, atol=1e-9)
+        assert obs.ledger.energy_j("infer") > 0.0  # buffered_infer lands in infer
+        assert obs.metrics.counter("faults.cycles_buffered").value > 0
+
+
+class TestDesPath:
+    def test_always_up_matches_no_outage_run(self):
+        scenario = cloud()
+        base = run_des_faulty_fleet(
+            20, scenario, faults=FaultConfig(), n_cycles=3, seed=7, validate=True
+        )
+        idle = run_des_faulty_fleet(
+            20,
+            scenario,
+            faults=outage_faults(OutagePattern.always_up()),
+            n_cycles=3,
+            seed=7,
+            validate=True,
+        )
+        assert idle.total_energy_j == base.total_energy_j
+        assert idle.report.availability == base.report.availability
+        assert idle.buffer_report.offered_payloads == 0
+
+    @pytest.fixture(scope="class")
+    def des_run(self):
+        return run_des_faulty_fleet(
+            20,
+            cloud(),
+            faults=outage_faults(OutagePattern.duty_cycle(3 * 3600.0, 2 * 3600.0)),
+            n_cycles=16,
+            seed=11,
+            validate=True,
+        )
+
+    def test_buffered_outcomes_and_conservation(self, des_run):
+        report = des_run.report
+        assert report.cycles_buffered > 0
+        assert report.cycles_detected + report.cycles_missed == report.cycles_expected
+        br = des_run.buffer_report
+        assert br.conserves
+        assert len(br.delays_s) == br.delivered_payloads
+
+    def test_drain_and_inference_hit_the_ledgers(self, des_run):
+        from repro.energy.account import EnergyAccount
+
+        fleet = EnergyAccount.sum(des_run.client_accounts, owner="clients")
+        cats = set(fleet.categories)
+        assert any(c.startswith("buffered_infer") for c in cats)
+        if des_run.buffer_report.delivered_payloads > 0:
+            assert "send_drain" in cats
+            servers = EnergyAccount.sum(des_run.server_accounts, owner="servers")
+            assert "receive_drain" in set(servers.categories)
+
+    def test_cohort_collapse_stays_exact_under_outages(self):
+        scenario = cloud()
+        faults = outage_faults(OutagePattern.duty_cycle(3 * 3600.0, 2 * 3600.0))
+        solo = run_des_faulty_fleet(
+            24, scenario, faults=faults, n_cycles=8, seed=2, validate=True
+        )
+        grouped = run_des_faulty_fleet(
+            24, scenario, faults=faults, n_cycles=8, seed=2, cohort=True, validate=True
+        )
+        assert grouped.total_energy_j == pytest.approx(solo.total_energy_j, rel=1e-12)
+        assert grouped.report.cycles_buffered == solo.report.cycles_buffered
+
+    def test_block_policy_skips_cycles(self):
+        res = run_des_faulty_fleet(
+            12,
+            cloud(),
+            faults=outage_faults(
+                OutagePattern(
+                    up=IntervalDist.fixed(1800.0),
+                    down=IntervalDist.fixed(8 * 3600.0),
+                    start_up=True,
+                ),
+                cap_cycles=1,
+                policy=BLOCK,
+            ),
+            n_cycles=16,
+            seed=0,
+            validate=True,
+        )
+        assert res.buffer_report.blocked_payloads > 0
+        assert res.report.cycles_missed > 0
+
+    def test_obs_phase_ledger_reconciles(self):
+        from repro.obs import Obs
+
+        obs = Obs()
+        run_des_faulty_fleet(
+            16,
+            cloud(),
+            faults=outage_faults(OutagePattern.duty_cycle(3 * 3600.0, 2 * 3600.0)),
+            n_cycles=12,
+            seed=11,
+            obs=obs,
+        )
+        assert obs.ledger.reconciles(rtol=1e-6, atol=1e-9)
+        assert obs.ledger.energy_j("other") == 0.0

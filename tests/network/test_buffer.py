@@ -1,0 +1,170 @@
+"""Units for the store-and-forward edge buffer (`repro.network.buffer`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.buffer import (
+    BLOCK,
+    BLOCKED,
+    DROP_NEWEST,
+    DROP_OLDEST,
+    DROPPED,
+    STORED,
+    BufferReport,
+    BufferSpec,
+    EdgeBuffer,
+)
+from repro.network.link import LinkModel
+from repro.network.wifi import PAPER_CYCLE_PAYLOAD_BYTES
+
+
+def spec(capacity=3, policy=DROP_OLDEST, payload=100):
+    return BufferSpec(
+        capacity_bytes=capacity * payload, policy=policy, payload_bytes=payload
+    )
+
+
+class TestBufferSpec:
+    def test_for_cycles_sizes_in_whole_payloads(self):
+        s = BufferSpec.for_cycles(4)
+        assert s.capacity_bytes == 4 * PAPER_CYCLE_PAYLOAD_BYTES
+        assert s.capacity_payloads == 4
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ValueError):
+            BufferSpec(policy="fifo")
+        with pytest.raises(ValueError):
+            BufferSpec(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            BufferSpec(capacity_bytes=1.5)  # non-integer bytes
+        with pytest.raises(ValueError):
+            BufferSpec(drain_window_s=0.0)
+        with pytest.raises(ValueError):
+            BufferSpec.for_cycles(0)
+
+    def test_drain_quota_shrinks_with_contention(self):
+        link = LinkModel(nominal_bps=1e6, handshake_s=1.0)
+        s = BufferSpec(
+            capacity_bytes=10 * 12500, payload_bytes=12500, drain_window_s=10.0
+        )
+        solo = s.drain_quota(link, contenders=1)
+        shared = s.drain_quota(link, contenders=4)
+        assert solo > shared >= 0
+
+    def test_drain_quota_for_known_airtime(self):
+        s = BufferSpec(capacity_bytes=1000, payload_bytes=100, drain_window_s=60.0)
+        assert s.drain_quota_for(10.0) == 6
+        assert s.drain_quota_for(10.0, contenders=3) == 2
+        assert s.drain_quota_for(100.0) == 0
+        with pytest.raises(ValueError):
+            s.drain_quota_for(0.0)
+        with pytest.raises(ValueError):
+            s.drain_quota_for(10.0, contenders=0)
+
+    def test_describe(self):
+        assert "drop-oldest" in spec().describe()
+
+
+class TestEdgeBufferPolicies:
+    def test_store_then_fifo_drain(self):
+        buf = EdgeBuffer(spec(capacity=2))
+        assert buf.offer(0.0) == STORED
+        assert buf.offer(10.0) == STORED
+        first = buf.take(25.0)
+        assert first.enqueue_t == 0.0
+        assert buf.delays_s == [25.0]
+        assert buf.resident_payloads == 1
+
+    def test_drop_oldest_evicts_head(self):
+        buf = EdgeBuffer(spec(capacity=2, policy=DROP_OLDEST))
+        buf.offer(0.0)
+        buf.offer(1.0)
+        assert buf.offer(2.0) == STORED
+        assert buf.dropped_payloads == 1
+        # The oldest payload (t=0) was evicted; t=1 is now the head.
+        assert buf.take(3.0).enqueue_t == 1.0
+
+    def test_drop_newest_refuses_incoming(self):
+        buf = EdgeBuffer(spec(capacity=2, policy=DROP_NEWEST))
+        buf.offer(0.0)
+        buf.offer(1.0)
+        assert buf.offer(2.0) == DROPPED
+        assert buf.take(3.0).enqueue_t == 0.0
+
+    def test_block_refuses_and_counts(self):
+        buf = EdgeBuffer(spec(capacity=1, policy=BLOCK))
+        buf.offer(0.0)
+        assert buf.offer(1.0) == BLOCKED
+        assert buf.blocked_payloads == 1
+        assert buf.dropped_payloads == 1  # blocked bytes count as dropped
+        assert buf.conserves
+
+    def test_oversized_payload_always_drops(self):
+        buf = EdgeBuffer(spec(capacity=2, payload=100))
+        assert buf.offer(0.0, nbytes=500) == DROPPED
+        assert buf.conserves
+
+    def test_take_on_empty_returns_none(self):
+        assert EdgeBuffer(spec()).take(0.0) is None
+
+    def test_drain_respects_quota(self):
+        buf = EdgeBuffer(spec(capacity=3))
+        for t in (0.0, 1.0, 2.0):
+            buf.offer(t)
+        out = buf.drain(10.0, 2)
+        assert [p.enqueue_t for p in out] == [0.0, 1.0]
+        assert buf.resident_payloads == 1
+        assert buf.drain(11.0, 0) == []
+
+    def test_conservation_through_mixed_traffic(self):
+        buf = EdgeBuffer(spec(capacity=2))
+        for t in range(5):
+            buf.offer(float(t))
+            assert buf.conserves
+        buf.drain(10.0, 10)
+        assert buf.conserves
+        assert buf.offered_payloads == 5
+        assert buf.delivered_payloads == 2
+        assert buf.dropped_payloads == 3
+        assert buf.resident_payloads == 0
+
+    def test_rejects_bad_offers(self):
+        buf = EdgeBuffer(spec())
+        with pytest.raises(ValueError):
+            buf.offer(-1.0)
+        with pytest.raises(ValueError):
+            buf.offer(0.0, nbytes=0)
+
+
+class TestBufferReport:
+    def test_aggregates_across_buffers(self):
+        a, b = EdgeBuffer(spec(capacity=1)), EdgeBuffer(spec(capacity=2))
+        a.offer(0.0)
+        b.offer(0.0)
+        b.offer(5.0)
+        b.take(15.0)
+        report = BufferReport.from_buffers([a, b])
+        assert report.offered_payloads == 3
+        assert report.delivered_payloads == 1
+        assert report.resident_payloads == 2
+        assert report.conserves
+        assert report.delays_s == (15.0,)
+
+    def test_delivered_fraction_empty_is_one(self):
+        assert BufferReport().delivered_fraction == 1.0
+        assert BufferReport().delay_quantile(0.95) == 0.0
+
+    def test_delay_quantile(self):
+        buf = EdgeBuffer(spec(capacity=3))
+        for t in (0.0, 0.0, 0.0):
+            buf.offer(t)
+        for t in (10.0, 20.0, 30.0):
+            buf.take(t)
+        assert buf.report().delay_quantile(0.5) == 20.0
+
+    def test_describe_mentions_percent(self):
+        buf = EdgeBuffer(spec())
+        buf.offer(0.0)
+        buf.take(1.0)
+        assert "100.0%" in buf.report().describe()

@@ -1,0 +1,162 @@
+"""Units for the renewal outage schedules (`repro.network.outage`)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults.schedule import compile_schedule
+from repro.network.outage import (
+    LINK_OUTAGE,
+    IntervalDist,
+    OutagePattern,
+)
+from repro.util.rng import make_rng
+
+
+class TestIntervalDist:
+    def test_fixed_samples_exactly(self):
+        d = IntervalDist.fixed(42.0)
+        assert d.sample(make_rng(0)) == 42.0
+        assert d.mean_s == 42.0
+
+    def test_exponential_mean(self):
+        d = IntervalDist.exponential(100.0)
+        rng = make_rng(1)
+        draws = [d.sample(rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.1)
+        assert d.mean_s == 100.0
+
+    def test_uniform_bounds_and_mean(self):
+        d = IntervalDist.uniform(10.0, 30.0)
+        rng = make_rng(2)
+        draws = [d.sample(rng) for _ in range(200)]
+        assert all(10.0 <= x <= 30.0 for x in draws)
+        assert d.mean_s == 20.0
+
+    def test_lognormal_median_and_mean(self):
+        d = IntervalDist.lognormal(3600.0, cv=0.5)
+        rng = make_rng(3)
+        draws = np.array([d.sample(rng) for _ in range(4000)])
+        assert float(np.median(draws)) == pytest.approx(3600.0, rel=0.1)
+        # mean = median * exp(sigma^2/2) with sigma^2 = log(1 + cv^2)
+        assert d.mean_s == pytest.approx(3600.0 * math.sqrt(1.25), rel=1e-12)
+
+    def test_lognormal_zero_cv_degenerates_to_median(self):
+        d = IntervalDist.lognormal(50.0, cv=0.0)
+        assert d.sample(make_rng(0)) == 50.0
+
+    def test_infinite_sentinel(self):
+        d = IntervalDist.infinite()
+        assert d.sample(make_rng(0)) == math.inf
+        assert d.mean_s == math.inf
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            IntervalDist.fixed(0.0)
+        with pytest.raises(ValueError):
+            IntervalDist.exponential(-1.0)
+        with pytest.raises(ValueError):
+            IntervalDist.uniform(30.0, 10.0)
+        with pytest.raises(ValueError):
+            IntervalDist.lognormal(10.0, cv=-0.5)
+        with pytest.raises(ValueError):
+            IntervalDist("weibull", 1.0)
+
+    def test_describe(self):
+        assert IntervalDist.fixed(60.0).describe() == "60s"
+        assert IntervalDist.exponential(30.0).describe() == "exp(30s)"
+        assert "U[1,2]" in IntervalDist.uniform(1.0, 2.0).describe()
+        assert "cv=0.8" in IntervalDist.lognormal(10.0, cv=0.8).describe()
+        assert IntervalDist.infinite().describe() == "inf"
+
+
+class TestOutagePattern:
+    def test_always_up_compiles_no_windows(self):
+        p = OutagePattern.always_up()
+        assert p.never_fires
+        for seed in (0, 1, 99):
+            assert p.compile_target(0, 86400.0, make_rng(seed)) == ()
+
+    def test_fixed_duty_cycle_is_periodic(self):
+        p = OutagePattern.duty_cycle(600.0, 200.0, jitter=False)
+        windows = p.compile_target(0, 2400.0, make_rng(0))
+        assert [(w.start, w.end) for w in windows] == [
+            (600.0, 800.0),
+            (1400.0, 1600.0),
+            (2200.0, 2400.0),  # final window clamped at the horizon
+        ]
+        assert all(w.kind == LINK_OUTAGE for w in windows)
+
+    def test_start_down_leads_with_a_window(self):
+        p = OutagePattern(
+            up=IntervalDist.fixed(600.0), down=IntervalDist.fixed(200.0), start_up=False
+        )
+        windows = p.compile_target(0, 1000.0, make_rng(0))
+        assert windows[0].start == 0.0
+        assert windows[0].end == 200.0
+
+    def test_segments_tile_horizon_exactly(self):
+        p = OutagePattern.duty_cycle(3600.0, 1200.0)
+        segments = p.compile_segments(7 * 86400.0, make_rng(5))
+        assert segments[0][1] == 0.0
+        assert segments[-1][2] == 7 * 86400.0
+        for (_, _, prev_end), (_, start, _) in zip(segments, segments[1:]):
+            assert start == prev_end
+
+    def test_same_rng_state_means_same_windows(self):
+        p = OutagePattern.duty_cycle(3600.0, 1200.0)
+        a = p.compile_target(3, 86400.0, make_rng(7))
+        b = p.compile_target(3, 86400.0, make_rng(7))
+        assert a == b
+
+    def test_rejects_double_infinite(self):
+        with pytest.raises(ValueError):
+            OutagePattern(up=IntervalDist.infinite(), down=IntervalDist.infinite())
+
+    def test_expected_uptime_fraction(self):
+        assert OutagePattern.always_up().expected_uptime_fraction == 1.0
+        p = OutagePattern.duty_cycle(1800.0, 600.0)
+        assert p.expected_uptime_fraction == pytest.approx(0.75)
+
+    def test_describe_names_the_kind(self):
+        assert OutagePattern.always_up().describe() == "link_outage(off)"
+        assert "starts down" in OutagePattern(
+            up=IntervalDist.fixed(10.0), down=IntervalDist.fixed(5.0), start_up=False
+        ).describe()
+
+
+class TestScheduleIntegration:
+    def test_compiles_through_the_fault_schedule(self):
+        p = OutagePattern.duty_cycle(600.0, 200.0, jitter=False)
+        schedule = compile_schedule([p], 2400.0, n_clients=3, seed=0)
+        for cid in range(3):
+            windows = schedule.windows_for(LINK_OUTAGE, cid)
+            assert [(w.start, w.end) for w in windows] == [
+                (600.0, 800.0),
+                (1400.0, 1600.0),
+                (2200.0, 2400.0),
+            ]
+            assert schedule.is_down(LINK_OUTAGE, cid, 700.0)
+            assert not schedule.is_down(LINK_OUTAGE, cid, 100.0)
+
+    def test_always_up_skips_rng_streams_but_changes_nothing(self):
+        """The never-fires fast path in compile_schedule must not shift any
+        other spec's windows (streams are keyed independently)."""
+        from repro.faults.spec import ServerOutage
+
+        srv = ServerOutage(mtbf_s=900.0, repair_s=240.0)
+        with_idle = compile_schedule(
+            [srv, OutagePattern.always_up()], 7200.0, n_servers=2, n_clients=40, seed=3
+        )
+        without = compile_schedule([srv], 7200.0, n_servers=2, n_clients=40, seed=3)
+        assert with_idle.windows == without.windows
+
+    def test_per_target_streams_differ_under_jitter(self):
+        p = OutagePattern.duty_cycle(600.0, 200.0, jitter=True)
+        schedule = compile_schedule([p], 86400.0, n_clients=2, seed=0)
+        a = [(w.start, w.end) for w in schedule.windows_for(LINK_OUTAGE, 0)]
+        b = [(w.start, w.end) for w in schedule.windows_for(LINK_OUTAGE, 1)]
+        assert a != b

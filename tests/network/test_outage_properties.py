@@ -1,0 +1,134 @@
+"""Property tests for the intermittent-connectivity subsystem.
+
+* outage renewal schedules tile the horizon exactly and are seed-stable:
+  a client's windows depend only on (seed, kind, client id), never on the
+  fleet size it was compiled alongside — the invariant that makes chunked
+  parallel sweeps bit-identical to serial ones;
+* the edge buffer conserves bytes exactly under arbitrary offer/drain
+  interleavings for every overflow policy;
+* :func:`overrun_probability` is monotone non-decreasing in the number of
+  clients sharing the channel (fixed seed: the same throughput draws are
+  split ``1/k`` ways).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.schedule import compile_schedule
+from repro.network.buffer import (
+    BLOCKED,
+    BUFFER_POLICIES,
+    BufferSpec,
+    EdgeBuffer,
+)
+from repro.network.contention import overrun_probability
+from repro.network.link import LinkModel
+from repro.network.outage import LINK_OUTAGE, IntervalDist, OutagePattern
+from repro.util.rng import make_rng
+
+interval_dists = st.one_of(
+    st.floats(min_value=10.0, max_value=7200.0).map(IntervalDist.fixed),
+    st.floats(min_value=10.0, max_value=7200.0).map(IntervalDist.exponential),
+    st.tuples(
+        st.floats(min_value=10.0, max_value=3600.0),
+        st.floats(min_value=0.0, max_value=3600.0),
+    ).map(lambda ab: IntervalDist.uniform(ab[0], ab[0] + ab[1])),
+    st.tuples(
+        st.floats(min_value=10.0, max_value=3600.0),
+        st.floats(min_value=0.0, max_value=2.0),
+    ).map(lambda mc: IntervalDist.lognormal(mc[0], cv=mc[1])),
+)
+
+patterns = st.builds(
+    OutagePattern, up=interval_dists, down=interval_dists, start_up=st.booleans()
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=patterns, seed=st.integers(0, 2**31), horizon=st.floats(100.0, 1e6))
+def test_segments_tile_horizon_exactly(pattern, seed, horizon):
+    segments = pattern.compile_segments(horizon, make_rng(seed))
+    assert segments[0][1] == 0.0
+    assert segments[-1][2] == horizon
+    state = "up" if pattern.start_up else "down"
+    for kind, t0, t1 in segments:
+        assert kind == state
+        assert t1 > t0 or t1 == horizon  # only the final tile may clamp to zero width
+        state = "down" if state == "up" else "up"
+    for (_, _, prev_end), (_, start, _) in zip(segments, segments[1:]):
+        assert start == prev_end
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    small=st.integers(1, 8),
+    extra=st.integers(1, 40),
+)
+def test_windows_are_fleet_size_independent(seed, small, extra):
+    """Client c's windows must be identical whether it was compiled in a
+    fleet of `small` or `small + extra` clients (per-target seed streams)."""
+    pattern = OutagePattern.duty_cycle(3600.0, 1200.0)
+    a = compile_schedule([pattern], 86400.0, n_clients=small, seed=seed)
+    b = compile_schedule([pattern], 86400.0, n_clients=small + extra, seed=seed)
+    for cid in range(small):
+        assert a.windows_for(LINK_OUTAGE, cid) == b.windows_for(LINK_OUTAGE, cid)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), st.integers(1, 400)),
+        st.tuples(st.just("drain"), st.integers(0, 5)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    policy=st.sampled_from(BUFFER_POLICIES),
+    capacity=st.integers(1, 6),
+    sequence=ops,
+)
+def test_buffer_conserves_under_any_interleaving(policy, capacity, sequence):
+    buf = EdgeBuffer(
+        BufferSpec(capacity_bytes=capacity * 100, policy=policy, payload_bytes=100)
+    )
+    t = 0.0
+    blocked = 0
+    for op, arg in sequence:
+        t += 1.0
+        if op == "offer":
+            if buf.offer(t, nbytes=arg) == BLOCKED:
+                blocked += 1
+        else:
+            buf.drain(t, arg)
+        assert buf.conserves
+        assert buf.resident_bytes <= buf.spec.capacity_bytes
+    assert buf.offered_payloads == (
+        buf.delivered_payloads + buf.dropped_payloads + buf.resident_payloads
+    )
+    assert buf.blocked_payloads == blocked
+    assert buf.blocked_payloads <= buf.dropped_payloads
+    assert len(buf.delays_s) == buf.delivered_payloads
+    assert all(d >= 0.0 for d in buf.delays_s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    window=st.floats(5.0, 30.0),
+    counts=st.lists(st.integers(1, 12), min_size=2, max_size=5),
+)
+def test_overrun_probability_monotone_in_client_count(seed, window, counts):
+    link = LinkModel(nominal_bps=1e6, cv=0.5, handshake_s=1.5)
+    probs = [
+        overrun_probability(
+            1_000_000, link, window, n_trials=300, seed=seed, n_clients=k
+        )
+        for k in sorted(counts)
+    ]
+    assert all(b >= a for a, b in zip(probs, probs[1:]))
