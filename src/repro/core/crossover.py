@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.core.calibration import CYCLE_SECONDS
 from repro.core.routines import Scenario
-from repro.core.simulate import occupied_slot_energy
 from repro.util.tabulate import render_kv
 
 
@@ -99,16 +98,24 @@ def tipping_max_parallel(
         raise ValueError("cloud_scenario must have a server")
     edge_cost = edge_scenario.client.cycle_energy
     client_cost = cloud_scenario.client.cycle_energy
-    base_server = cloud_scenario.server
-    for p in range(1, search_to + 1):
-        server = base_server.with_max_parallel(p)
-        slots = server.slots_per_cycle(period)
-        slot_dur = server.slot_duration()
-        marginal = occupied_slot_energy(server, p) - server.idle_watts * slot_dur
-        per_client = client_cost + (server.idle_watts * period + slots * marginal) / (slots * p)
-        if per_client <= edge_cost:
-            return p
-    raise ValueError(f"no tipping point up to max_parallel={search_to}")
+    server = cloud_scenario.server
+    # The slot geometry does not depend on the per-slot cap, so the whole
+    # grid prices in one vector pass.  The expression replays the loop's
+    # floats elementwise — ``marginal(p) = occupied_slot_energy(p, cap=p)
+    # − idle·slot_dur`` expanded per :func:`occupied_slot_energy` with no
+    # losses — so the selected cap is identical to the scalar scan's.
+    slots = server.slots_per_cycle(period)
+    slot_dur = server.slot_duration()
+    p = np.arange(1, search_to + 1, dtype=np.float64)
+    active = (server.receive_watts - server.idle_watts) * server.transfer_s + p * (
+        server.service.energy - server.idle_watts * server.service.duration
+    )
+    marginal = (server.idle_watts * slot_dur + active) - server.idle_watts * slot_dur
+    per_client = client_cost + (server.idle_watts * period + slots * marginal) / (slots * p)
+    hits = np.nonzero(per_client <= edge_cost)[0]
+    if not hits.size:
+        raise ValueError(f"no tipping point up to max_parallel={search_to}")
+    return int(hits[0]) + 1
 
 
 def crossover_report(

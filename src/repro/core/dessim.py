@@ -142,6 +142,53 @@ def fleet_wake_offsets(
     return allocation, sizing_extra, wake_offsets
 
 
+def server_process(engine, device, occupancies, profile, slot_dur, losses, n_cycles, period):
+    """Generator driving one always-on server through its slot timeline.
+
+    Shared by the per-client, cohort, and SoA-array kernels: a server only
+    ever waits on its own timeouts, so its charge sequence is independent of
+    which client kernel runs alongside it — the ledgers come out
+    float-identical on a dedicated engine (:mod:`repro.core.dessim_array`
+    relies on this).
+    """
+    for cycle in range(n_cycles):
+        base = cycle * period
+        for slot_idx, k in enumerate(occupancies):
+            if k == 0:
+                continue
+            start = base + slot_idx * slot_dur
+            delay = start - engine.now
+            if delay > 0:
+                yield engine.timeout(delay)
+            device.idle_until(engine.now)
+            actual_extra = losses.transfer.actual_extra_s(k) if losses.transfer else 0.0
+            t_rx = profile.transfer_s + actual_extra
+            device.excursion(engine.now, "receive", t_rx,
+                             override=("receive", profile.receive_watts))
+            # Service inferences pipeline with the slot timeline
+            # (see ServerProfile.slot_energy): the device keeps
+            # charging idle for the wall-clock, and the inferences
+            # add their marginal energy over idling.
+            svc_marginal = k * (
+                profile.service.energy - profile.idle_watts * profile.service.duration
+            )
+            device.account.charge("service", svc_marginal, time=engine.now)
+            if losses.saturation is not None:
+                mult = losses.saturation.multiplier(k, profile.max_parallel)
+                if mult > 1.0:
+                    active = (
+                        (profile.receive_watts - profile.idle_watts) * t_rx + svc_marginal
+                    )
+                    pen_base = (
+                        profile.idle_watts * slot_dur + active
+                        if losses.saturation.base == "slot"
+                        else active
+                    )
+                    device.account.charge(
+                        "saturation_penalty", (mult - 1.0) * pen_base, time=engine.now
+                    )
+
+
 def run_des_fleet(
     n_clients: int,
     scenario: Scenario,
@@ -154,6 +201,7 @@ def run_des_fleet(
     cohort: bool = False,
     validate: Optional[bool] = None,
     obs=None,
+    engine_queue: str = "heap",
 ):
     """Replay ``n_cycles`` of the scenario event by event.
 
@@ -187,6 +235,10 @@ def run_des_fleet(
 
     ``n_clients=0`` is well-defined: an empty fleet drains instantly and
     returns empty ledgers with zero energy.
+
+    ``engine_queue`` selects the event-list backend (``"heap"`` or
+    ``"wheel"``); the two produce identical event orders and therefore
+    identical ledgers (see :mod:`repro.des.wheel`).
     """
     if faults is not None and faults.any_active:
         from repro.faults.desfaults import run_des_faulty_fleet
@@ -212,7 +264,7 @@ def run_des_fleet(
     if losses.client_loss is not None:
         raise ValueError("run_des_fleet does not support loss model C (client dropout)")
 
-    engine = Engine(pool_timeouts=True)
+    engine = Engine(pool_timeouts=True, queue=engine_queue)
     horizon = n_cycles * period
     tasks = list(scenario.client.active_tasks)
     if scenario.client.active_tasks.total_duration > period:
@@ -261,44 +313,6 @@ def run_des_fleet(
         profile = scenario.server
         slot_dur = profile.slot_duration(sizing_extra)
 
-        def server_proc(device: AlwaysOnDevice, occupancies: List[int]):
-            for cycle in range(n_cycles):
-                base = cycle * period
-                for slot_idx, k in enumerate(occupancies):
-                    if k == 0:
-                        continue
-                    start = base + slot_idx * slot_dur
-                    delay = start - engine.now
-                    if delay > 0:
-                        yield engine.timeout(delay)
-                    device.idle_until(engine.now)
-                    actual_extra = losses.transfer.actual_extra_s(k) if losses.transfer else 0.0
-                    t_rx = profile.transfer_s + actual_extra
-                    device.excursion(engine.now, "receive", t_rx,
-                                     override=("receive", profile.receive_watts))
-                    # Service inferences pipeline with the slot timeline
-                    # (see ServerProfile.slot_energy): the device keeps
-                    # charging idle for the wall-clock, and the inferences
-                    # add their marginal energy over idling.
-                    svc_marginal = k * (
-                        profile.service.energy - profile.idle_watts * profile.service.duration
-                    )
-                    device.account.charge("service", svc_marginal, time=engine.now)
-                    if losses.saturation is not None:
-                        mult = losses.saturation.multiplier(k, profile.max_parallel)
-                        if mult > 1.0:
-                            active = (
-                                (profile.receive_watts - profile.idle_watts) * t_rx + svc_marginal
-                            )
-                            pen_base = (
-                                profile.idle_watts * slot_dur + active
-                                if losses.saturation.base == "slot"
-                                else active
-                            )
-                            device.account.charge(
-                                "saturation_penalty", (mult - 1.0) * pen_base, time=engine.now
-                            )
-
         if cohort:
             occupancy_of = {
                 srv.server_index: tuple(srv.occupancies) for srv in allocation.servers
@@ -307,12 +321,18 @@ def run_des_fleet(
             for co in server_cohorts:
                 dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{co.representative}")
                 servers.append(dev)
-                engine.process(server_proc(dev, list(occupancy_of[co.representative])))
+                engine.process(server_process(
+                    engine, dev, list(occupancy_of[co.representative]),
+                    profile, slot_dur, losses, n_cycles, period,
+                ))
         else:
             for srv in allocation.servers:
                 dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name=f"server-{srv.server_index}")
                 servers.append(dev)
-                engine.process(server_proc(dev, list(srv.occupancies)))
+                engine.process(server_process(
+                    engine, dev, list(srv.occupancies),
+                    profile, slot_dur, losses, n_cycles, period,
+                ))
 
     engine.run()  # drain every scheduled event
 

@@ -1,0 +1,296 @@
+"""Structure-of-arrays per-client DES kernel (bit-identical fast path).
+
+:func:`repro.core.dessim.run_des_fleet` advances one generator per client;
+at 100k clients the interpreter overhead of those processes dominates the
+run.  This module replays the *same float operations in the same order* with
+the fleet laid out as parallel NumPy arrays — one entry per client for the
+engine-local clock, the device clock, and each ledger category — advancing
+the whole wake cohort one cycle at a time.  IEEE-754 arithmetic is
+elementwise identical between ``numpy.float64`` and Python floats, so the
+resulting ledgers are **bit-identical** to the scalar kernel's, not merely
+close (golden-pinned and hypothesis-tested).
+
+The exact op replay, per client and cycle (matching ``client_proc`` +
+:class:`repro.devices.device.DutyCycledDevice`):
+
+1. ``wake = fl(cycle·period) + offset``; if ``delay = wake − t_eng > 0`` the
+   engine clock advances to ``fl(t_eng + delay)`` (a timeout fires — *not*
+   ``wake`` itself, which can differ in the last ulp).
+2. ``sleep_until`` charges ``sleep_watts · (t_eng − t_dev)``; a zero
+   residency charges nothing (and never creates the ledger key).
+3. Each task ``i`` charges ``power_i · (fl(t + dur_i) − t)`` — the
+   offset-dependent rounded interval, not ``power_i · dur_i``.
+4. The end-of-routine timeout advances the engine clock to
+   ``fl(t_eng + fl(t_end − t_eng))``.
+5. ``finish`` charges the final sleep residency up to ``offset + horizon``.
+
+Adding a masked-out zero charge is exact (``x + 0.0 == x`` for the
+non-negative accumulators), so the kernel accumulates unconditionally and
+tracks a per-category "ever charged" mask purely to reproduce which keys
+exist in each ledger.
+
+Servers re-run the shared :func:`repro.core.dessim.server_process` on a
+dedicated engine: a server only waits on its own timeouts, so its ledger is
+float-identical whether or not client processes share the engine.  That
+leaves the kernel O(n_clients · n_cycles · n_tasks) array ops + O(servers)
+simulated processes.
+
+When cohort aggregation applies (it usually does — offsets repeat per
+slot), prefer ``run_des_fleet(cohort=True)``: it is exact *and* O(slots).
+This kernel wins when per-client state diverges (jittered outages,
+heterogeneous routines) and cohorts collapse to singletons — the regime
+ROADMAP item 2 targets.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.core.dessim import DesFleetResult, fleet_wake_offsets, server_process
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.des.engine import Engine
+from repro.devices.device import AlwaysOnDevice, DeviceError
+from repro.devices.specs import CLOUD_SERVER_I7_RTX2070, RASPBERRY_PI_3B_PLUS
+from repro.energy.account import EnergyAccount
+
+
+def _build_accounts(names, tot, dur, present, owner_ids, prefix):
+    """Materialize :class:`EnergyAccount` ledgers from SoA columns.
+
+    ``names`` fixes the key insertion order (chronological first charge:
+    tasks in routine order, then sleep — a category whose first-cycle
+    residency rounds to zero stays zero forever, so this order is exact).
+    ``owner_ids`` supplies the entity id behind each column row.  The
+    common all-keys-present case builds each ledger from pre-exported row
+    tuples at C speed; the rare sparse case filters per entity.
+    """
+    tot_cols = [tot[nm].tolist() for nm in names]
+    dur_cols = [dur[nm].tolist() for nm in names]
+    accounts = []
+    append = accounts.append
+    new = EnergyAccount.__new__
+    if all(bool(present[nm].all()) for nm in names):
+        for i, trow, drow in zip(owner_ids, zip(*tot_cols), zip(*dur_cols)):
+            acc = new(EnergyAccount)
+            acc.owner = "%s%d" % (prefix, i)
+            acc._totals = dict(zip(names, trow))
+            acc._durations = dict(zip(names, drow))
+            acc._entries = None
+            append(acc)
+    else:
+        pres_cols = [present[nm].tolist() for nm in names]
+        for row, i in enumerate(owner_ids):
+            acc = new(EnergyAccount)
+            acc.owner = "%s%d" % (prefix, i)
+            acc._totals = {
+                nm: tot_cols[j][row] for j, nm in enumerate(names) if pres_cols[j][row]
+            }
+            acc._durations = {
+                nm: dur_cols[j][row] for j, nm in enumerate(names) if pres_cols[j][row]
+            }
+            acc._entries = None
+            append(acc)
+    return accounts
+
+
+def run_des_fleet_array(
+    n_clients: int,
+    scenario: Scenario,
+    period: float = CYCLE_SECONDS,
+    n_cycles: int = 1,
+    losses: Optional[LossConfig] = None,
+    policy=None,
+    validate: Optional[bool] = None,
+    obs=None,
+) -> DesFleetResult:
+    """SoA replay of :func:`repro.core.dessim.run_des_fleet` (ideal path).
+
+    Returns a per-client :class:`DesFleetResult` whose ledgers are
+    bit-identical to the scalar per-client kernel's — category totals,
+    durations, and key order all match per client.  Clients with equal
+    wake offsets share one ledger *object* (owned by the lowest member
+    id), exactly like the cohort-expanded view; treat result ledgers as
+    read-only.  Loss model C and fault injection are excluded exactly as
+    in the scalar ideal path (faulty runs go through :mod:`repro.faults`).
+    """
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    losses = losses or LossConfig.none()
+    if losses.client_loss is not None:
+        raise ValueError("run_des_fleet_array does not support loss model C (client dropout)")
+    tasks = list(scenario.client.active_tasks)
+    if scenario.client.active_tasks.total_duration > period:
+        raise ValueError("client tasks exceed the period")
+
+    t0_wall = _time.perf_counter()
+    horizon = n_cycles * period
+    allocation, sizing_extra, wake_offsets = fleet_wake_offsets(
+        n_clients, scenario, period, losses, policy
+    )
+
+    n = n_clients
+    spec = RASPBERRY_PI_3B_PLUS
+    sleep_watts = spec.watts("sleep")
+    names = list(dict.fromkeys(t.name for t in tasks))
+    names.append("sleep")
+    tot = {nm: np.zeros(n) for nm in names}
+    dur = {nm: np.zeros(n) for nm in names}
+    present = {nm: np.zeros(n, dtype=bool) for nm in names}
+
+    if n:
+        offsets = np.fromiter(
+            (wake_offsets[i] for i in range(n)), dtype=np.float64, count=n
+        )
+        t_eng = np.zeros(n)  # per-client view of the engine clock
+        t_dev = offsets.copy()  # device clock (last ledger transition)
+        for cycle in range(n_cycles):
+            wake = cycle * period + offsets
+            delay = wake - t_eng
+            np.add(t_eng, delay, out=t_eng, where=delay > 0.0)
+            dt = t_eng - t_dev
+            if dt.min() < 0.0:
+                raise DeviceError("time went backwards: wake precedes device clock")
+            tot["sleep"] += sleep_watts * dt
+            dur["sleep"] += dt
+            present["sleep"] |= dt > 0.0
+            t = t_eng.copy()
+            for task in tasks:
+                t_new = t + task.duration
+                step = t_new - t
+                tot[task.name] += task.power * step
+                dur[task.name] += step
+                present[task.name] |= step > 0.0
+                t = t_new
+            t_dev = t
+            t_eng = t_eng + (t - t_eng)
+        ends = offsets + horizon
+        dt = ends - t_dev
+        if dt.min() < 0.0:
+            raise DeviceError("time went backwards: finish precedes device clock")
+        tot["sleep"] += sleep_watts * dt
+        dur["sleep"] += dt
+        present["sleep"] |= dt > 0.0
+
+    # Clients sharing a wake offset have bitwise-identical trajectories
+    # (the ledger is a pure function of the offset), so materialize one
+    # representative ledger per distinct offset and share the object —
+    # the same idiom as DesFleetResult.expand_client_accounts, with the
+    # representative owning the lowest member id.  A fully-jittered fleet
+    # (every offset distinct) degenerates to one account per client.
+    if n:
+        uniq, first_idx, inverse = np.unique(
+            offsets, return_index=True, return_inverse=True
+        )
+        if len(uniq) < n:
+            sel = first_idx
+            reps = _build_accounts(
+                names,
+                {nm: tot[nm][sel] for nm in names},
+                {nm: dur[nm][sel] for nm in names},
+                {nm: present[nm][sel] for nm in names},
+                first_idx.tolist(),
+                "client-",
+            )
+            client_accounts = tuple(map(reps.__getitem__, inverse.tolist()))
+        else:
+            client_accounts = tuple(
+                _build_accounts(names, tot, dur, present, range(n), "client-")
+            )
+    else:
+        client_accounts = ()
+
+    # Servers: a server's charge sequence is a pure function of its
+    # occupancy profile (it only waits on its own timeouts), and first-fit
+    # packing leaves at most two distinct profiles per fleet — so simulate
+    # one representative per distinct profile and replicate its ledger.
+    # This is the PR-2 cohort exactness argument applied server-side only;
+    # the result still carries one account object per server.
+    server_accounts = ()
+    rep_devices = []
+    engine = None
+    if allocation is not None:
+        engine = Engine(pool_timeouts=True)
+        profile = scenario.server
+        slot_dur = profile.slot_duration(sizing_extra)
+        reps = {}
+        for srv in allocation.servers:
+            occ = tuple(srv.occupancies)
+            if occ not in reps:
+                dev = AlwaysOnDevice(CLOUD_SERVER_I7_RTX2070, name="")
+                reps[occ] = dev
+                rep_devices.append(dev)
+                engine.process(server_process(
+                    engine, dev, list(occ),
+                    profile, slot_dur, losses, n_cycles, period,
+                ))
+        engine.run()
+        for dev in rep_devices:
+            dev.finish(horizon)
+        accounts = []
+        new = EnergyAccount.__new__
+        for srv in allocation.servers:
+            rep = reps[tuple(srv.occupancies)].account
+            acc = new(EnergyAccount)
+            acc.owner = f"server-{srv.server_index}"
+            acc._totals = dict(rep._totals)
+            acc._durations = dict(rep._durations)
+            acc._entries = None
+            accounts.append(acc)
+        server_accounts = tuple(accounts)
+
+    result = DesFleetResult(
+        n_cycles=n_cycles,
+        period=period,
+        client_accounts=client_accounts,
+        server_accounts=server_accounts,
+        n_clients=n_clients,
+    )
+    elapsed = _time.perf_counter() - t0_wall
+
+    from repro.obs.state import resolve as _resolve_obs
+
+    obs_c = _resolve_obs(obs)
+    if obs_c is not None:
+        from repro.obs.attribution import attribute_accounts, record_run
+        from repro.obs.ledger import PhaseLedger
+
+        obs_c.metrics.counter("des.runs").inc()
+        obs_c.metrics.counter("des.clients").inc(n_clients)
+        obs_c.metrics.counter("des.cycles").inc(n_cycles)
+        obs_c.metrics.histogram("kernel.des_array_s").record(elapsed)
+        local = PhaseLedger()
+        attribute_accounts(local, result.client_accounts, None)
+        attribute_accounts(local, result.server_accounts, None)
+        local.note_total(result.total_energy_j)
+        record_run(
+            obs_c, "des_fleet_array", 0.0, horizon, local,
+            scenario=scenario.name, n_clients=n_clients,
+            n_cycles=n_cycles, kernel="array",
+        )
+
+    from repro.validate.state import resolve
+
+    if resolve(validate):
+        from repro.validate.invariants import validate_des_run
+
+        validate_des_run(
+            result,
+            scenario=scenario,
+            engine=engine,
+            allocation=allocation,
+            devices=tuple(rep_devices),
+            losses=losses,
+            sizing_extra_s=sizing_extra,
+            context={"scenario_name": scenario.name, "kernel": "array"},
+        )
+    return result
+
+
+__all__ = ["run_des_fleet_array"]

@@ -105,10 +105,17 @@ def sweep_clients(
     if max_parallel is not None and not scenario.is_edge_only:
         scenario = scenario.with_max_parallel(max_parallel)
 
-    # Client loss (C).
+    # Client loss (C): draw in canonical (sorted-size) order and scatter
+    # back, so each point's realized loss is a function of the seed and the
+    # multiset of fleet sizes — permuting or reversing the grid yields the
+    # same per-point energies.  Ascending grids (the common case) draw in
+    # grid order, so their realizations are unchanged.
     if losses.client_loss is not None:
         rng = make_rng(seed)
-        active = n - losses.client_loss.draw_lost_array(n, rng)
+        order = np.argsort(n, kind="stable")
+        lost = np.empty_like(n)
+        lost[order] = losses.client_loss.draw_lost_array(n[order], rng)
+        active = n - lost
     else:
         active = n.copy()
 

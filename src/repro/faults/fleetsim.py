@@ -151,8 +151,15 @@ def run_faulty_fleet(
     constants: PaperConstants = PAPER,
     validate: Optional[bool] = None,
     obs=None,
+    kernel: str = "auto",
 ) -> FaultyFleetResult:
     """Replay ``n_cycles`` of the scenario under explicit fault processes.
+
+    ``kernel`` selects the implementation: ``"scalar"`` is the reference
+    per-client loop below; ``"array"`` is the closed-form kernel in
+    :mod:`repro.faults.fleetsim_array` (bit-identical, but requires the
+    first-fit filling policy); ``"auto"`` (default) picks the array kernel
+    whenever the policy allows it.
 
     ``losses`` may carry loss A/B (they price saturation and transfer
     stretch exactly as in the ideal model — including on failover-repacked
@@ -181,6 +188,22 @@ def run_faulty_fleet(
             "pass FaultConfig(client_crash=ClientCrash.from_client_loss(...)) "
             "instead of LossConfig(client_loss=...)"
         )
+    if kernel not in ("auto", "scalar", "array"):
+        raise ValueError(f"unknown kernel {kernel!r}: expected auto, scalar, or array")
+    if kernel != "scalar":
+        from repro.core.allocator import FirstFitPolicy
+
+        first_fit = policy is None or isinstance(policy, FirstFitPolicy)
+        if kernel == "array" and not first_fit:
+            raise ValueError("kernel='array' requires the first-fit filling policy")
+        if first_fit:
+            from repro.faults.fleetsim_array import run_faulty_fleet_array
+
+            return run_faulty_fleet_array(
+                n_clients, scenario, faults, n_cycles=n_cycles, period=period,
+                losses=losses, policy=policy, seed=seed, constants=constants,
+                validate=validate, obs=obs,
+            )
 
     horizon = n_cycles * period
     client = scenario.client

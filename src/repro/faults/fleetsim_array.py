@@ -1,0 +1,599 @@
+"""Array-native analytic faulty-fleet kernel (bit-identical fast path).
+
+:func:`repro.faults.fleetsim.run_faulty_fleet` scans every client every
+cycle — ``O(n_clients · n_cycles)`` schedule probes plus a fresh
+``Allocation`` object (Python lists of slots) per cycle.  This kernel
+produces the identical :class:`~repro.faults.fleetsim.FaultyFleetResult`
+from three exact replacements:
+
+* **Window rasterization.**  Each compiled fault window is mapped once to
+  the cycles it can touch (conservative ``floor(t/period)`` bounds, then
+  the *same* ``FaultWindow.overlaps(t0, t1)`` predicate on the same
+  ``cycle·period`` floats the scalar kernel uses).  Per cycle, only the
+  rasterized candidates are visited — the all-client crash/blackout scans
+  disappear.
+* **Closed-form first-fit geometry.**  The paper's filling policy packs
+  survivors in ascending id order, so a client's slot is pure arithmetic:
+  ``rank = cid − |removed below cid|`` (two bisects on the sparse removed
+  sets), ``server = rank // capacity``, ``slot = (rank % capacity) //
+  max_parallel``.  Failover repack is structural too: at most one survivor
+  (the boundary server) has spare capacity, so orphan placement, the
+  repacked occupancies, and every upload time follow from counts alone —
+  no ``Allocation``/``repack_failed_servers`` objects are built.
+* **Memoized server pricing.**  ``server_cycle_energy`` is keyed by the
+  occupancy profile; a fleet has at most two distinct profiles per cycle
+  (full and boundary), so the per-server pricing loop degenerates to table
+  look-ups added in the scalar kernel's exact ascending-index order.
+
+Bit-identity contract: every float the scalar kernel accumulates is
+reproduced *in the same order with the same operands* — per-client retry /
+degradation charges run ascending allocation rank (== ascending id), the
+store-and-forward buffers see offers and drains at identical timestamps,
+and the per-cycle ``edge/server/...`` ledgers are combined with the same
+expression shapes.  Hypothesis property tests and the ``faulty-array``
+golden pin enforce equality against the scalar kernel, monitor report
+included.
+
+The sparse work (outage probing, blackout ladders, buffer drains) stays
+per-affected-client Python — those sets are bounded by the fault process,
+not the fleet, which is what makes the kernel O(faults + servers) per
+cycle instead of O(clients).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.allocator import Allocator, FillingPolicy
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
+from repro.core.client import fallback_extra_energy
+from repro.core.losses import LossConfig
+from repro.core.routines import Scenario
+from repro.core.simulate import server_cycle_energy
+from repro.faults.config import FaultConfig
+from repro.faults.fleetsim import FaultyFleetResult, _retries_until
+from repro.faults.monitor import (
+    OUTCOME_BUFFERED,
+    OUTCOME_FAILOVER,
+    OUTCOME_FALLBACK,
+    OUTCOME_MISSED,
+    OUTCOME_OK,
+    OUTCOME_RETRIED,
+    FaultMonitor,
+)
+from repro.faults.schedule import (
+    CLIENT_CRASH,
+    LINK_BLACKOUT,
+    LINK_DEGRADATION,
+    SERVER_OUTAGE,
+)
+from repro.network.buffer import BLOCKED, BufferReport, EdgeBuffer
+from repro.network.outage import LINK_OUTAGE
+from repro.util.rng import SeedLike
+
+
+def _rasterize(schedule, kind, period, n_cycles):
+    """Per-cycle sorted target lists for every window of ``kind``.
+
+    Exactness: a window is attached to cycle ``c`` iff it overlaps
+    ``[c·period, (c+1)·period)`` under the scalar kernel's own predicate
+    and floats, so membership here *is* ``down_during`` — and any point
+    query ``covers(t)`` with ``t`` inside the cycle implies overlap, so
+    the lists are complete for ``is_down`` probes too.
+    """
+    per_cycle = [set() for _ in range(n_cycles)]
+    for target in schedule.targets(kind):
+        for w in schedule.windows_for(kind, target):
+            lo = 0 if not math.isfinite(w.start) else max(int(w.start // period) - 1, 0)
+            hi = (
+                n_cycles
+                if not math.isfinite(w.end)
+                else min(int(w.end // period) + 2, n_cycles)
+            )
+            for c in range(lo, hi):
+                if w.overlaps(c * period, (c + 1) * period):
+                    per_cycle[c].add(target)
+    return [sorted(s) for s in per_cycle]
+
+
+def _unrank(ranks, removed_sorted):
+    """Ids of the ``rank``-th non-removed clients (order-statistic inverse)."""
+    ids = np.asarray(ranks, dtype=np.int64)
+    if not len(removed_sorted):
+        return ids.copy()
+    removed = np.asarray(removed_sorted, dtype=np.int64)
+    k = np.zeros(len(ids), dtype=np.int64)
+    while True:
+        k2 = np.searchsorted(removed, ids + k, side="right")
+        if np.array_equal(k2, k):
+            return ids + k
+        k = k2
+
+
+def run_faulty_fleet_array(
+    n_clients: int,
+    scenario: Scenario,
+    faults: Optional[FaultConfig] = None,
+    n_cycles: int = 1,
+    period: float = CYCLE_SECONDS,
+    losses: Optional[LossConfig] = None,
+    policy: Optional[FillingPolicy] = None,
+    seed: SeedLike = None,
+    constants: PaperConstants = PAPER,
+    validate: Optional[bool] = None,
+    obs=None,
+) -> FaultyFleetResult:
+    """Vectorized replay of :func:`repro.faults.fleetsim.run_faulty_fleet`.
+
+    Requires the first-fit filling policy (``policy=None`` or a
+    :class:`~repro.core.allocator.FirstFitPolicy`) — the closed-form slot
+    geometry encodes exactly that packing.  Use
+    ``run_faulty_fleet(..., kernel=...)`` for automatic dispatch.
+    """
+    from repro.core.allocator import FirstFitPolicy
+
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    if policy is not None and not isinstance(policy, FirstFitPolicy):
+        raise ValueError(
+            "run_faulty_fleet_array requires the first-fit filling policy"
+        )
+    faults = faults or FaultConfig.none()
+    losses = losses or LossConfig.none()
+    if losses.client_loss is not None:
+        raise ValueError(
+            "run_faulty_fleet models dropout via ClientCrash; "
+            "pass FaultConfig(client_crash=ClientCrash.from_client_loss(...)) "
+            "instead of LossConfig(client_loss=...)"
+        )
+
+    t0_wall = _time.perf_counter()
+    horizon = n_cycles * period
+    client = scenario.client
+    fallback_model = "svm"
+    if scenario.server is not None and "cnn" in scenario.server.service.name:
+        fallback_model = "cnn"
+
+    allocator: Optional[Allocator] = None
+    n_server_targets = 0
+    if not scenario.is_edge_only:
+        allocator = Allocator(scenario.server, period=period, losses=losses, policy=policy)
+        n_server_targets = allocator.servers_required(n_clients)
+    schedule = faults.compile(
+        horizon, n_servers=n_server_targets, n_clients=n_clients, seed=seed
+    )
+
+    retry = faults.retry
+    send_task = None
+    svc_marginal_1 = 0.0
+    if not scenario.is_edge_only:
+        send_task = client.active_tasks.get("send_audio")
+        svc_marginal_1 = (
+            scenario.server.service.energy
+            - scenario.server.idle_watts * scenario.server.service.duration
+        )
+    outage_on = faults.link_outage is not None and not scenario.is_edge_only
+    buf_spec = faults.buffer_spec()
+    buffers: Dict[int, EdgeBuffer] = {}
+    buffered_infer_j = (
+        fallback_extra_energy(client, fallback_model, constants) if outage_on else 0.0
+    )
+    mon = FaultMonitor()
+    for w in schedule.windows:
+        mon.record_fault(w.start, w.kind, target=w.target, duration=w.duration)
+
+    # Precompiled per-cycle fault candidates (the tentpole's window masks).
+    crash_by_cycle = _rasterize(schedule, CLIENT_CRASH, period, n_cycles)
+    srvdown_by_cycle = _rasterize(schedule, SERVER_OUTAGE, period, n_cycles)
+    black_by_cycle = _rasterize(schedule, LINK_BLACKOUT, period, n_cycles)
+    degr_by_cycle = _rasterize(schedule, LINK_DEGRADATION, period, n_cycles)
+    outage_by_cycle = (
+        _rasterize(schedule, LINK_OUTAGE, period, n_cycles)
+        if outage_on
+        else [[] for _ in range(n_cycles)]
+    )
+
+    from repro.obs.state import resolve as _resolve_obs
+
+    obs_c = _resolve_obs(obs)
+    local = None
+    if obs_c is not None:
+        from repro.obs.attribution import (
+            attribute_client_cycle,
+            attribute_server_cycle,
+            record_run,
+        )
+        from repro.obs.ledger import PhaseLedger
+
+        local = PhaseLedger()
+
+    edge_e = np.zeros(n_cycles)
+    server_e = np.zeros(n_cycles)
+    retry_e = np.zeros(n_cycles)
+    failover_e = np.zeros(n_cycles)
+    fallback_e = np.zeros(n_cycles)
+    degradation_e = np.zeros(n_cycles)
+    buffered_e = np.zeros(n_cycles)
+    drain_e = np.zeros(n_cycles)
+    active_arr = np.zeros(n_cycles, dtype=np.int64)
+    down_arr = np.zeros(n_cycles, dtype=np.int64)
+
+    if allocator is not None:
+        plan = allocator.plan
+        cap = plan.capacity
+        p = plan.max_parallel
+        slot_dur = plan.slot_duration
+        t_rx_base = scenario.server.transfer_s
+        full_occ = (p,) * plan.slots_per_cycle
+        energy_memo: Dict[tuple, float] = {}
+
+        def occ_of(count: int) -> tuple:
+            full, r = divmod(count, p)
+            return (p,) * full + ((r,) if r else ())
+
+        def priced(occ: tuple) -> float:
+            e = energy_memo.get(occ)
+            if e is None:
+                e = energy_memo[occ] = server_cycle_energy(
+                    scenario.server,
+                    list(occ),
+                    period=period,
+                    sizing_extra_s=allocator.sizing_extra_s,
+                    losses=losses,
+                )
+            return e
+
+    for cycle in range(n_cycles):
+        t0, t1 = cycle * period, (cycle + 1) * period
+        mon.expect_cycle(n_clients)
+
+        crashed = crash_by_cycle[cycle]
+        n_active = n_clients - len(crashed)
+        active_arr[cycle] = n_active
+        mon.record_outcome(OUTCOME_MISSED, len(crashed))
+
+        if scenario.is_edge_only:
+            edge_e[cycle] = n_active * client.cycle_energy
+            if local is not None:
+                attribute_client_cycle(local, client, weight=n_active)
+            mon.record_outcome(OUTCOME_OK, n_active)
+            continue
+
+        assert allocator is not None and send_task is not None
+        crashed_set = set(crashed)
+
+        def active_rank(cid: int) -> int:
+            return cid - bisect_left(crashed, cid)
+
+        # Scheduled connectivity outages against the pre-outage packing:
+        # ascending id == ascending rank == the scalar kernel's slot order.
+        out_list: List[int] = []
+        out_times: List[float] = []
+        for cid in outage_by_cycle[cycle]:
+            if cid in crashed_set:
+                continue
+            slot_idx = (active_rank(cid) % cap) // p
+            upload_t = t0 + slot_idx * slot_dur
+            if schedule.is_down(LINK_OUTAGE, cid, upload_t):
+                out_list.append(cid)
+                out_times.append(upload_t)
+        n_out = len(out_list)
+        out_set = set(out_list)
+        for cid, up_t in zip(out_list, out_times):
+            outcome = buffers.setdefault(cid, EdgeBuffer(buf_spec)).offer(up_t)
+            if outcome == BLOCKED:
+                mon.record_outcome(OUTCOME_MISSED)
+            else:
+                buffered_e[cycle] += buffered_infer_j
+                mon.charge_buffered(buffered_infer_j)
+                mon.record_outcome(OUTCOME_BUFFERED)
+
+        edge_e[cycle] = n_active * client.cycle_energy - n_out * send_task.energy
+        if local is not None:
+            attribute_client_cycle(local, client, weight=n_active - n_out)
+            if n_out:
+                attribute_client_cycle(
+                    local, client, weight=n_out, skip_tasks=("send_audio",)
+                )
+
+        # Connected (= packed) cohort geometry, all from counts.
+        removed = sorted(crashed_set | set(out_list)) if out_list else crashed
+        n_conn = n_active - n_out
+        n_srv = -(-n_conn // cap) if n_conn else 0
+        c_bound = n_conn - (n_srv - 1) * cap if n_srv else 0
+
+        def conn_rank(cid: int) -> int:
+            return cid - bisect_left(removed, cid)
+
+        down = [s for s in srvdown_by_cycle[cycle] if s < n_srv]
+        down_set = set(down)
+        down_arr[cycle] = len(down)
+
+        def srv_count(s: int) -> int:
+            return c_bound if s == n_srv - 1 else cap
+
+        n_orphans = sum(srv_count(s) for s in down)
+        boundary_up = n_srv > 0 and (n_srv - 1) not in down_set
+        spare = (cap - c_bound) if boundary_up else 0
+        n_placed = min(n_orphans, spare)
+        n_unplaced = n_orphans - n_placed
+
+        if n_orphans:
+            burn = retry.exhausted_energy_j(send_task.power)
+            retry_e[cycle] += burn * n_orphans
+            mon.charge_retry(burn * n_orphans)
+            mon.record_attempts((1 + retry.max_retries) * n_orphans)
+            if retry.timeout_s > 0:
+                mon.record_timeout_attempts((1 + retry.max_retries) * n_orphans)
+        if n_placed:
+            extra = send_task.energy * n_placed
+            failover_e[cycle] += extra
+            mon.charge_failover(extra)
+            mon.record_attempts(n_placed)
+            mon.record_outcome(OUTCOME_FAILOVER, n_placed)
+        if n_unplaced:
+            if faults.fallback:
+                per = fallback_extra_energy(client, fallback_model, constants)
+                fallback_e[cycle] += per * n_unplaced
+                mon.charge_fallback(per * n_unplaced)
+                mon.record_outcome(OUTCOME_FALLBACK, n_unplaced)
+            else:
+                mon.record_outcome(OUTCOME_MISSED, n_unplaced)
+
+        # Link faults for non-orphan survivors, ascending rank (== ascending
+        # id), replaying the scalar retry ladder per affected client.
+        n_retried = 0
+        n_link_fallback = 0
+        n_link_missed = 0
+        link_failed: set = set()
+        link_cand = black_by_cycle[cycle]
+        if degr_by_cycle[cycle]:
+            link_cand = sorted(set(link_cand) | set(degr_by_cycle[cycle]))
+        for cid in link_cand:
+            if cid in crashed_set or cid in out_set:
+                continue
+            r = conn_rank(cid)
+            if r // cap in down_set:
+                continue  # orphan: already settled by failover accounting
+            upload_t = t0 + ((r % cap) // p) * slot_dur
+            if schedule.is_down(LINK_BLACKOUT, cid, upload_t):
+                window = schedule.active_window(LINK_BLACKOUT, cid, upload_t)
+                attempt_times = [upload_t]
+                t = upload_t
+                for i in range(retry.max_retries):
+                    t += retry.timeout_s + retry.nominal_delay_s(i)
+                    attempt_times.append(t)
+                rec = _retries_until(window.end, attempt_times)
+                if rec is not None:
+                    burn = rec * retry.attempt_energy_j(send_task.power)
+                    retry_e[cycle] += burn
+                    mon.charge_retry(burn)
+                    mon.record_attempts(rec + 1)  # rec timeouts + the success
+                    if retry.timeout_s > 0:
+                        mon.record_timeout_attempts(rec)
+                    n_retried += 1
+                else:
+                    burn = retry.exhausted_energy_j(send_task.power)
+                    retry_e[cycle] += burn
+                    mon.charge_retry(burn)
+                    mon.record_attempts(1 + retry.max_retries)
+                    if retry.timeout_s > 0:
+                        mon.record_timeout_attempts(1 + retry.max_retries)
+                    link_failed.add(cid)
+                    if faults.fallback:
+                        per = fallback_extra_energy(client, fallback_model, constants)
+                        fallback_e[cycle] += per
+                        mon.charge_fallback(per)
+                        n_link_fallback += 1
+                        mon.record_outcome(OUTCOME_FALLBACK)
+                    else:
+                        n_link_missed += 1
+                        mon.record_outcome(OUTCOME_MISSED)
+            elif schedule.is_down(LINK_DEGRADATION, cid, upload_t):
+                window = schedule.active_window(LINK_DEGRADATION, cid, upload_t)
+                stretch = 1.0 / window.severity
+                extra = send_task.power * t_rx_base * (stretch - 1.0)
+                degradation_e[cycle] += extra
+                mon.charge_degradation(extra)
+
+        n_served = (
+            n_active - n_out - n_orphans
+            - n_retried - n_link_fallback - n_link_missed
+        )
+        mon.record_attempts(max(n_served, 0))  # first-try uploads
+        mon.record_outcome(OUTCOME_RETRIED, n_retried)
+        mon.record_outcome(OUTCOME_OK, max(n_served, 0))
+
+        # Burst drain, ascending id over the backlogged clients only.
+        drain_server_j = 0.0
+        n_drained = 0
+        if outage_on and buffers:
+            unplaced_set: set = set()
+            if n_unplaced:
+                ranges: List[int] = []
+                for s in down:
+                    lo = s * cap
+                    ranges.extend(range(lo, lo + srv_count(s)))
+                unplaced_set = set(
+                    _unrank(ranges[n_placed:], removed).tolist()
+                )
+            drainers = [
+                cid
+                for cid in sorted(buffers)
+                if cid not in crashed_set
+                and cid not in out_set
+                and cid not in link_failed
+                and cid not in unplaced_set
+                and buffers[cid].resident_payloads > 0
+            ]
+            if n_srv > len(down) and drainers:
+                # Post-repack upload time: survivors keep their slots; a
+                # placed orphan lands at boundary position c_bound + o.
+                orphan_base: Dict[int, int] = {}
+                o = 0
+                for s in down:
+                    orphan_base[s] = o
+                    o += srv_count(s)
+                k = len(drainers)
+                quota = buf_spec.drain_quota_for(send_task.duration, contenders=k)
+                for cid in drainers:
+                    r = conn_rank(cid)
+                    s = r // cap
+                    if s in down_set:
+                        pos = c_bound + orphan_base[s] + (r - s * cap)
+                        slot_idx = pos // p
+                    else:
+                        slot_idx = (r % cap) // p
+                    done_t = t0 + slot_idx * slot_dur + send_task.duration
+                    payloads = buffers[cid].drain(done_t, quota)
+                    if not payloads:
+                        continue
+                    n = len(payloads)
+                    n_drained += n
+                    client_j = send_task.energy * k * n
+                    drain_e[cycle] += client_j
+                    mon.charge_drain(client_j)
+                    mon.record_attempts(n)
+                    drain_server_j += n * (
+                        (scenario.server.receive_watts - scenario.server.idle_watts)
+                        * t_rx_base
+                        + svc_marginal_1
+                    )
+
+        # Server-side energy, ascending surviving index: table look-ups for
+        # the (at most two) distinct occupancy profiles, plus the repacked
+        # boundary profile when orphans were placed.
+        bound_occ = None
+        if boundary_up:
+            bound_occ = occ_of(c_bound + n_placed)
+        energy = 0.0
+        for s in range(n_srv):
+            if s in down_set:
+                continue
+            occ = bound_occ if s == n_srv - 1 else full_occ
+            energy += priced(occ)
+            if local is not None:
+                attribute_server_cycle(
+                    local,
+                    scenario.server,
+                    list(occ),
+                    period=period,
+                    sizing_extra_s=allocator.sizing_extra_s,
+                    losses=losses,
+                )
+        for sidx in down:
+            overlap = sum(
+                max(0.0, min(w.end, t1) - max(w.start, t0))
+                for w in schedule.windows_for(SERVER_OUTAGE, sidx)
+            )
+            up_s = max(period - overlap, 0.0)
+            energy += scenario.server.idle_watts * up_s
+            if local is not None:
+                local.add("idle", scenario.server.idle_watts * up_s, up_s)
+        server_e[cycle] = energy + drain_server_j
+        edge_e[cycle] += (
+            retry_e[cycle] + failover_e[cycle] + fallback_e[cycle]
+            + degradation_e[cycle] + buffered_e[cycle] + drain_e[cycle]
+        )
+        if local is not None:
+            send_w = send_task.power
+            if retry_e[cycle]:
+                local.add("retry", retry_e[cycle], retry_e[cycle] / send_w)
+            if failover_e[cycle]:
+                local.add("transfer", failover_e[cycle], failover_e[cycle] / send_w)
+            if degradation_e[cycle]:
+                local.add("transfer", degradation_e[cycle], degradation_e[cycle] / send_w)
+            if fallback_e[cycle]:
+                local.add("infer", fallback_e[cycle])
+            if buffered_e[cycle]:
+                local.add("infer", buffered_e[cycle])
+            if drain_e[cycle]:
+                local.add("transfer", drain_e[cycle], drain_e[cycle] / send_w)
+            if n_drained:
+                rx_j = n_drained * (
+                    (scenario.server.receive_watts - scenario.server.idle_watts)
+                    * t_rx_base
+                )
+                local.add("transfer", rx_j, n_drained * t_rx_base)
+                local.add(
+                    "infer",
+                    n_drained * svc_marginal_1,
+                    n_drained * scenario.server.service.duration,
+                )
+
+    result = FaultyFleetResult(
+        scenario_name=scenario.name,
+        n_clients=n_clients,
+        n_cycles=n_cycles,
+        period=period,
+        edge_energy_j=edge_e,
+        server_energy_j=server_e,
+        retry_energy_j=retry_e,
+        failover_energy_j=failover_e,
+        fallback_energy_j=fallback_e,
+        degradation_energy_j=degradation_e,
+        n_active=active_arr,
+        n_servers_down=down_arr,
+        report=mon.report(),
+        monitor=mon,
+        faults_description=faults.describe(),
+        schedule=schedule,
+        buffered_energy_j=buffered_e,
+        drain_energy_j=drain_e,
+        buffer_report=(
+            BufferReport.from_buffers(list(buffers.values())) if outage_on else None
+        ),
+    )
+    elapsed = _time.perf_counter() - t0_wall
+
+    if obs_c is not None:
+        report = result.report
+        obs_c.metrics.counter("fleet.runs").inc()
+        obs_c.metrics.counter("fleet.clients_active").inc(int(active_arr.sum()))
+        for label, count in (
+            ("faults.cycles_expected", report.cycles_expected),
+            ("faults.cycles_ok", report.cycles_ok),
+            ("faults.cycles_retried", report.cycles_retried),
+            ("faults.cycles_failover", report.cycles_failover),
+            ("faults.cycles_fallback", report.cycles_fallback),
+            ("faults.cycles_buffered", report.cycles_buffered),
+            ("faults.cycles_missed", report.cycles_missed),
+            ("faults.events", report.n_fault_events),
+            ("faults.send_attempts", mon.send_attempts),
+            ("faults.timeout_attempts", mon.timeout_attempts),
+        ):
+            obs_c.metrics.counter(label).inc(count)
+        obs_c.metrics.gauge("faults.availability").set(report.availability)
+        obs_c.metrics.histogram("kernel.faulty_array_s").record(elapsed)
+        local.note_total(result.total_energy_j)
+        record_run(
+            obs_c, "faulty_fleet", 0.0, horizon, local,
+            scenario=scenario.name, n_clients=n_clients,
+            n_cycles=n_cycles, availability=report.availability,
+        )
+
+    from repro.validate.state import resolve
+
+    if resolve(validate):
+        from repro.validate.invariants import validate_faulty_fleet_result
+
+        validate_faulty_fleet_result(
+            result,
+            context={
+                "scenario_name": scenario.name,
+                "faults": faults.describe(),
+                "seed": seed,
+                "kernel": "array",
+            },
+        )
+    return result
+
+
+__all__ = ["run_faulty_fleet_array"]

@@ -1,0 +1,115 @@
+"""SoA per-client kernel: bit-identity to the scalar DES (repro.core.dessim_array)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dessim import run_des_fleet
+from repro.core.dessim_array import run_des_fleet_array
+from repro.core.losses import ClientLoss, LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.core.routines import EDGE_CLOUD_CNN, EDGE_CLOUD_SVM, EDGE_SVM, all_scenarios
+
+
+def assert_results_bit_identical(scalar, array):
+    """Ledger contents (values *and* key order) must match per entity."""
+    assert array.n_clients == scalar.n_clients
+    assert len(array.client_accounts) == len(scalar.client_accounts)
+    assert len(array.server_accounts) == len(scalar.server_accounts)
+    for a, b in zip(scalar.client_accounts, array.client_accounts):
+        assert list(a._totals) == list(b._totals)
+        assert a._totals == b._totals
+        assert a._durations == b._durations
+    for a, b in zip(scalar.server_accounts, array.server_accounts):
+        assert a.owner == b.owner
+        assert list(a._totals) == list(b._totals)
+        assert a._totals == b._totals
+        assert a._durations == b._durations
+    assert array.edge_energy_j == scalar.edge_energy_j
+    assert array.server_energy_j == scalar.server_energy_j
+    assert array.total_energy_j == scalar.total_energy_j
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+    def test_matches_scalar_kernel(self, scenario):
+        scalar = run_des_fleet(40, scenario, n_cycles=3, validate=False)
+        array = run_des_fleet_array(40, scenario, n_cycles=3, validate=False)
+        assert_results_bit_identical(scalar, array)
+
+    def test_matches_under_losses(self):
+        losses = LossConfig(saturation=SaturationPenalty(), transfer=TransferTimePenalty())
+        scalar = run_des_fleet(33, EDGE_CLOUD_SVM, n_cycles=4, losses=losses, validate=True)
+        array = run_des_fleet_array(33, EDGE_CLOUD_SVM, n_cycles=4, losses=losses, validate=True)
+        assert_results_bit_identical(scalar, array)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_clients=st.integers(min_value=0, max_value=60),
+        n_cycles=st.integers(min_value=1, max_value=4),
+        scenario=st.sampled_from([EDGE_SVM, EDGE_CLOUD_SVM, EDGE_CLOUD_CNN]),
+        saturation=st.booleans(),
+        transfer=st.booleans(),
+    )
+    def test_property_scalar_equals_array(self, n_clients, n_cycles, scenario, saturation, transfer):
+        losses = LossConfig(
+            saturation=SaturationPenalty() if saturation else None,
+            transfer=TransferTimePenalty() if transfer else None,
+        )
+        scalar = run_des_fleet(n_clients, scenario, n_cycles=n_cycles, losses=losses, validate=False)
+        array = run_des_fleet_array(
+            n_clients, scenario, n_cycles=n_cycles, losses=losses, validate=False
+        )
+        assert_results_bit_identical(scalar, array)
+
+    def test_matches_wheel_engine_scalar(self):
+        # Transitivity closes the triangle: heap scalar == wheel scalar ==
+        # array, so one cross-check pins all three kernels together.
+        wheel = run_des_fleet(40, EDGE_CLOUD_SVM, n_cycles=3, validate=False, engine_queue="wheel")
+        array = run_des_fleet_array(40, EDGE_CLOUD_SVM, n_cycles=3, validate=False)
+        assert_results_bit_identical(wheel, array)
+
+
+class TestLedgerSharing:
+    def test_equal_offsets_share_representative(self):
+        from repro.core.dessim import fleet_wake_offsets
+
+        n = 1500  # enough slots that late slots wake after the pre-send work
+        res = run_des_fleet_array(n, EDGE_CLOUD_SVM, n_cycles=1, validate=False)
+        _, _, offsets = fleet_wake_offsets(
+            n, EDGE_CLOUD_SVM, res.period, LossConfig.none(), None
+        )
+        assert len({id(a) for a in res.client_accounts}) == len(set(offsets.values())) > 1
+        # Same-slot clients share one ledger owned by the lowest member id.
+        p = EDGE_CLOUD_SVM.server.max_parallel
+        assert res.client_accounts[0] is res.client_accounts[p - 1]
+        assert res.client_accounts[0].owner == "client-0"
+        by_offset = {}
+        for cid in range(n):
+            by_offset.setdefault(offsets[cid], cid)
+        for cid in range(n):
+            assert res.client_accounts[cid].owner == f"client-{by_offset[offsets[cid]]}"
+
+    def test_edge_only_fleet_shares_one_ledger(self):
+        res = run_des_fleet_array(10, EDGE_SVM, n_cycles=2, validate=False)
+        assert len({id(a) for a in res.client_accounts}) == 1
+        assert res.server_accounts == ()
+
+
+class TestPreconditions:
+    def test_rejects_negative_clients(self):
+        with pytest.raises(ValueError):
+            run_des_fleet_array(-1, EDGE_CLOUD_SVM)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            run_des_fleet_array(5, EDGE_CLOUD_SVM, n_cycles=0)
+
+    def test_rejects_loss_model_c(self):
+        losses = LossConfig(client_loss=ClientLoss(0.1, 0.05))
+        with pytest.raises(ValueError, match="loss model C"):
+            run_des_fleet_array(5, EDGE_CLOUD_SVM, losses=losses)
+
+    def test_empty_fleet(self):
+        res = run_des_fleet_array(0, EDGE_CLOUD_SVM, n_cycles=2, validate=False)
+        assert res.client_accounts == () and res.edge_energy_j == 0.0

@@ -73,6 +73,31 @@ class TestSweepSemantics:
         sweep = sweep_clients(n, EDGE_CLOUD_SVM, losses=losses, seed=3)
         assert sweep.n_lost.mean() == pytest.approx(50.0, rel=0.05)
 
+    def test_client_loss_is_grid_order_stable(self):
+        """Loss-C realizations are a function of (seed, fleet size), not of
+        the position a size happens to occupy in the grid: permuting the
+        grid permutes the results identically."""
+        losses = LossConfig(client_loss=ClientLoss(mean_fraction=0.10, std=3.0))
+        n = np.array([50, 400, 10, 631, 180, 250, 181, 75])
+        rng = np.random.default_rng(0)
+        base = sweep_clients(n, EDGE_CLOUD_SVM, losses=losses, seed=7)
+        for _ in range(3):
+            perm = rng.permutation(n.size)
+            shuffled = sweep_clients(n[perm], EDGE_CLOUD_SVM, losses=losses, seed=7)
+            assert np.array_equal(shuffled.n_active, base.n_active[perm])
+            assert np.array_equal(shuffled.total_energy_j, base.total_energy_j[perm])
+
+    def test_client_loss_ascending_grid_draws_unchanged(self):
+        """The canonical draw order *is* grid order for sorted grids, so
+        historical realizations (and the fig9 golden) are untouched."""
+        losses = LossConfig(client_loss=ClientLoss(mean_fraction=0.10, std=2.0))
+        n = np.arange(10, 500, 7)
+        sweep = sweep_clients(n, EDGE_CLOUD_SVM, losses=losses, seed=11)
+        from repro.util.rng import make_rng
+
+        expected = n - losses.client_loss.draw_lost_array(n, make_rng(11))
+        assert np.array_equal(sweep.n_active, expected)
+
     def test_rejects_2d(self):
         with pytest.raises(ValueError):
             sweep_clients(np.zeros((2, 2), dtype=int), EDGE_SVM)

@@ -1,0 +1,267 @@
+"""Calendar-queue backend: exact heap-order equivalence (repro.des.wheel)."""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des.engine import Engine, SimulationError
+from repro.des.wheel import CalendarQueue, _MIN_BUCKETS
+from repro.resilience.snapshot import restore_engine, snapshot_engine
+
+# ---------------------------------------------------------------------------
+# queue data structure
+# ---------------------------------------------------------------------------
+
+
+def _drain_both(cq, heap):
+    while heap:
+        assert cq.pop() == heapq.heappop(heap)
+    assert len(cq) == 0
+    with pytest.raises(IndexError):
+        cq.pop()
+
+
+class TestCalendarQueue:
+    def test_pops_in_full_tuple_order(self):
+        cq = CalendarQueue()
+        heap = []
+        for seq, (t, prio) in enumerate(
+            [(5.0, 1), (5.0, 0), (1.0, 2), (5.0, 1), (0.0, 1), (2.5, 1)]
+        ):
+            entry = (t, prio, seq, None)
+            cq.push(entry)
+            heapq.heappush(heap, entry)
+        _drain_both(cq, heap)
+
+    def test_same_time_ties_break_on_priority_then_seq(self):
+        cq = CalendarQueue()
+        entries = [(3.0, p, s, None) for s, p in enumerate([2, 0, 1, 0, 2, 1])]
+        for e in entries:
+            cq.push(e)
+        assert [cq.pop() for _ in range(len(entries))] == sorted(entries)
+
+    def test_far_future_entry_uses_direct_search(self):
+        # One entry many years beyond the scan window: the year scan misses,
+        # the long-jump fallback must find it and re-anchor the calendar.
+        cq = CalendarQueue(width=1.0, n_buckets=8)
+        cq.push((1e9, 1, 0, None))
+        assert cq.min_time() == 1e9
+        assert cq.pop() == (1e9, 1, 0, None)
+        # Re-anchored: a subsequent nearby push pops normally.
+        cq.push((1e9 + 0.5, 1, 1, None))
+        assert cq.pop() == (1e9 + 0.5, 1, 1, None)
+
+    def test_grow_and_shrink_preserve_order(self):
+        cq = CalendarQueue()
+        heap = []
+        rng = random.Random(7)
+        for seq in range(500):  # forces several grows
+            entry = (rng.random() * 1e4, rng.randrange(3), seq, None)
+            cq.push(entry)
+            heapq.heappush(heap, entry)
+        assert cq._n_buckets > _MIN_BUCKETS
+        _drain_both(cq, heap)  # forces shrinks on the way down
+        assert cq._n_buckets == _MIN_BUCKETS
+
+    def test_min_time_is_non_destructive(self):
+        cq = CalendarQueue()
+        cq.push((4.0, 1, 0, None))
+        cq.push((2.0, 1, 1, None))
+        assert cq.min_time() == 2.0
+        assert len(cq) == 2
+        assert cq.pop()[0] == 2.0
+
+    def test_min_time_empty_is_inf(self):
+        assert CalendarQueue().min_time() == float("inf")
+
+    def test_sorted_entries_ascending(self):
+        cq = CalendarQueue()
+        entries = [(float(t), 1, s, None) for s, t in enumerate([9, 3, 7, 1, 5])]
+        for e in entries:
+            cq.push(e)
+        assert cq.sorted_entries() == tuple(sorted(entries))
+        assert len(cq) == 5  # non-destructive
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(n_buckets=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+                st.sampled_from([0, 1, 2]),
+                st.booleans(),
+            ),
+            max_size=80,
+        )
+    )
+    def test_interleaved_push_pop_matches_heapq(self, ops):
+        """Monotone interleavings (the engine's contract) pop in heapq order."""
+        cq = CalendarQueue()
+        heap = []
+        now, seq = 0.0, 0
+        for delay, prio, do_pop in ops:
+            if do_pop and heap:
+                a, b = cq.pop(), heapq.heappop(heap)
+                assert a == b
+                now = a[0]
+            else:
+                entry = (now + delay, prio, seq, None)
+                seq += 1
+                cq.push(entry)
+                heapq.heappush(heap, entry)
+        _drain_both(cq, heap)
+
+
+# ---------------------------------------------------------------------------
+# engine integration
+# ---------------------------------------------------------------------------
+
+
+def _workload(eng, log):
+    """A branching workload with ties, zero delays, and a cancellation."""
+
+    def proc(name, delays):
+        for d in delays:
+            yield eng.timeout(d)
+            log.append((eng.now, name))
+
+    eng.process(proc("a", [3.0, 0.0, 2.0, 7.5]))
+    eng.process(proc("b", [3.0, 2.0, 0.0, 1.25]))
+    eng.process(proc("c", [0.5] * 8))
+    doomed = eng.timeout(4.0, "doomed")
+    doomed.callbacks.append(lambda e: log.append((eng.now, "doomed")))
+    doomed.cancel()
+    late = eng.timeout(6.0, "late")
+    late.callbacks.append(lambda e: log.append((eng.now, "late")))
+
+
+def _run_trace(queue, until=None, **kw):
+    eng = Engine(queue=queue, **kw)
+    log = []
+    _workload(eng, log)
+    eng.run(until=until)
+    return eng, log
+
+
+class TestEngineWheel:
+    def test_queue_kind(self):
+        assert Engine().queue_kind == "heap"
+        assert Engine(queue="wheel").queue_kind == "wheel"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown queue backend"):
+            Engine(queue="ring")
+
+    @pytest.mark.parametrize("kw", [{}, {"pool_timeouts": True}, {"check_clock": True}])
+    def test_trace_identical_to_heap(self, kw):
+        eng_h, log_h = _run_trace("heap", **kw)
+        eng_w, log_w = _run_trace("wheel", **kw)
+        assert log_w == log_h
+        assert eng_w.now == eng_h.now
+        assert eng_w.events_fired == eng_h.events_fired
+
+    def test_until_bound_pushes_entry_back(self):
+        eng_h, log_h = _run_trace("heap", until=4.0)
+        eng_w, log_w = _run_trace("wheel", until=4.0)
+        assert log_w == log_h
+        assert eng_w.now == eng_h.now == 4.0
+        assert not eng_w.drained
+        # The pushed-back entry kept its seq: resuming stays identical.
+        eng_h.run()
+        eng_w.run()
+        assert log_w == log_h
+
+    def test_step_and_peek(self):
+        eng = Engine(queue="wheel")
+        seen = []
+        eng.timeout(1.0).cancel()
+        live = eng.timeout(2.0, "live")
+        live.callbacks.append(lambda e: seen.append(e.value))
+        assert eng.peek() == 1.0  # may name the cancelled entry, like the heap
+        eng.step()
+        assert seen == ["live"] and eng.now == 2.0
+        assert eng.peek() == float("inf")
+        with pytest.raises(SimulationError):
+            eng.step()
+
+    def test_run_until_in_past_rejected(self):
+        eng = Engine(queue="wheel", start_time=10.0)
+        with pytest.raises(SimulationError):
+            eng.run(until=5.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_random_process_traces_hash_identical(self, proc_delays):
+        def run(queue):
+            eng = Engine(queue=queue)
+            log = []
+
+            def proc(name, delays):
+                for d in delays:
+                    yield eng.timeout(d)
+                    log.append((eng.now, name))
+
+            for i, delays in enumerate(proc_delays):
+                eng.process(proc(i, delays))
+            eng.run()
+            return tuple(log)
+
+        assert hash(run("wheel")) == hash(run("heap"))
+        assert run("wheel") == run("heap")
+
+
+# ---------------------------------------------------------------------------
+# snapshot/restore
+# ---------------------------------------------------------------------------
+
+
+class TestWheelSnapshot:
+    def test_round_trip_mid_run(self):
+        eng = Engine(queue="wheel")
+        for i, d in enumerate([1.0, 5.0, 3.0, 5.0, 9.0]):
+            eng.timeout(d, i)
+        eng.run(until=2.0)
+        snap = snapshot_engine(eng)
+        assert snap["queue"] == "wheel"
+
+        restored = restore_engine(snap)
+        assert restored.queue_kind == "wheel"
+        keys = lambda e: [(t, p, s) for t, p, s, _ in e.pending_entries()]  # noqa: E731
+        assert keys(restored) == keys(eng)
+
+        # Both drain the same tail in the same order.
+        def drain(e):
+            out = []
+            while not e.drained:
+                e.step()
+                out.append(e.now)
+            return out
+
+        assert drain(restored) == drain(eng)
+
+    def test_wheel_snapshot_restores_into_heap_schema(self):
+        # A legacy snapshot without the "queue" field restores as heap.
+        eng = Engine()
+        eng.timeout(1.0)
+        snap = snapshot_engine(eng)
+        del snap["queue"]
+        assert restore_engine(snap).queue_kind == "heap"

@@ -1,0 +1,215 @@
+"""Vectorized faulty-fleet kernel: bit-identity to the scalar reference.
+
+The array kernel replays the scalar kernel's float operations in the same
+order, so *everything* must match exactly — per-cycle ledgers, the monitor
+report, attempt counters, and the store-and-forward buffer ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.losses import LossConfig, SaturationPenalty, TransferTimePenalty
+from repro.core.routines import EDGE_SVM, make_scenario
+from repro.faults.config import FaultConfig
+from repro.faults.fleetsim import run_faulty_fleet
+from repro.faults.fleetsim_array import run_faulty_fleet_array
+from repro.faults.spec import ClientCrash, LinkBlackout, LinkDegradation, ServerOutage
+from repro.network.buffer import BLOCK, BufferSpec
+from repro.network.outage import OutagePattern
+
+CLOUD = make_scenario("edge+cloud", "svm", max_parallel=10)
+
+SERIES = (
+    "edge_energy_j", "server_energy_j", "retry_energy_j", "failover_energy_j",
+    "fallback_energy_j", "degradation_energy_j", "n_active", "n_servers_down",
+    "buffered_energy_j", "drain_energy_j",
+)
+
+
+def assert_faulty_bit_identical(scalar, array):
+    for field in SERIES:
+        a, s = getattr(array, field), getattr(scalar, field)
+        if s is None:
+            assert a is None
+            continue
+        assert np.array_equal(a, s), field
+    assert array.report == scalar.report
+    assert array.monitor.send_attempts == scalar.monitor.send_attempts
+    assert array.monitor.timeout_attempts == scalar.monitor.timeout_attempts
+    assert (array.buffer_report is None) == (scalar.buffer_report is None)
+    if scalar.buffer_report is not None:
+        assert array.buffer_report == scalar.buffer_report
+    assert array.total_energy_j == scalar.total_energy_j
+
+
+def golden_faults():
+    return FaultConfig(
+        server_outage=ServerOutage(mtbf_s=900.0, repair_s=240.0),
+        link_blackout=LinkBlackout(mtbf_s=2400.0, repair_s=60.0),
+        client_crash=ClientCrash(mtbf_s=6000.0, repair_s=0.0),
+    )
+
+
+def compare(tag, **kw):
+    scalar = run_faulty_fleet(kernel="scalar", **kw)
+    array = run_faulty_fleet(kernel="array", **kw)
+    assert_faulty_bit_identical(scalar, array)
+    return scalar
+
+
+class TestBitIdentity:
+    def test_golden_analytic_config(self):
+        res = compare(
+            "golden", n_clients=80, scenario=CLOUD, faults=golden_faults(),
+            n_cycles=6, seed=3, validate=True,
+        )
+        assert res.report.cycles_missed > 0  # the config actually faults
+
+    def test_edge_only(self):
+        compare(
+            "edge", n_clients=40, scenario=EDGE_SVM, faults=golden_faults(),
+            n_cycles=6, seed=5, validate=True,
+        )
+
+    def test_outage_with_buffer_drain(self):
+        faults = FaultConfig(
+            link_outage=OutagePattern.duty_cycle(4 * 3600.0, 2 * 3600.0),
+            buffer=BufferSpec.for_cycles(4),
+        )
+        res = compare(
+            "outage", n_clients=60, scenario=CLOUD, faults=faults,
+            n_cycles=48, seed=3, validate=True,
+        )
+        assert res.buffer_report.delivered_payloads > 0  # drains exercised
+
+    def test_outage_block_policy(self):
+        faults = FaultConfig(
+            link_outage=OutagePattern.duty_cycle(4 * 3600.0, 2 * 3600.0),
+            buffer=BufferSpec.for_cycles(2, policy=BLOCK),
+        )
+        compare(
+            "block", n_clients=60, scenario=CLOUD, faults=faults,
+            n_cycles=48, seed=11, validate=True,
+        )
+
+    def test_all_fault_classes_with_losses(self):
+        faults = FaultConfig(
+            link_outage=OutagePattern.duty_cycle(4 * 3600.0, 2 * 3600.0),
+            buffer=BufferSpec.for_cycles(4),
+            server_outage=ServerOutage(mtbf_s=900.0, repair_s=240.0),
+            link_blackout=LinkBlackout(mtbf_s=2400.0, repair_s=60.0),
+            client_crash=ClientCrash(mtbf_s=6000.0, repair_s=0.0),
+            link_degradation=LinkDegradation(
+                mtbf_s=1800.0, repair_s=300.0, throughput_factor=0.5
+            ),
+        )
+        losses = LossConfig(
+            saturation=SaturationPenalty(), transfer=TransferTimePenalty()
+        )
+        compare(
+            "everything", n_clients=50, scenario=CLOUD, faults=faults,
+            n_cycles=24, seed=9, losses=losses, validate=True,
+        )
+
+    def test_no_fallback_misses(self):
+        faults = FaultConfig(
+            server_outage=ServerOutage(mtbf_s=600.0, repair_s=600.0), fallback=False
+        )
+        compare(
+            "no-fallback", n_clients=40, scenario=CLOUD, faults=faults,
+            n_cycles=10, seed=4, validate=True,
+        )
+
+    def test_empty_fleet(self):
+        compare(
+            "empty", n_clients=0, scenario=CLOUD, faults=golden_faults(),
+            n_cycles=3, seed=1, validate=True,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_clients=st.integers(min_value=0, max_value=90),
+        n_cycles=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+        srv_mtbf=st.sampled_from([None, 400.0, 900.0, 3600.0]),
+        blk_mtbf=st.sampled_from([None, 1200.0, 2400.0]),
+        crash_mtbf=st.sampled_from([None, 3000.0, 6000.0]),
+        degr_mtbf=st.sampled_from([None, 1800.0]),
+        outage=st.booleans(),
+        lossy=st.booleans(),
+    )
+    def test_property_random_fault_configs(
+        self, n_clients, n_cycles, seed, srv_mtbf, blk_mtbf, crash_mtbf,
+        degr_mtbf, outage, lossy,
+    ):
+        kw = {}
+        if srv_mtbf:
+            kw["server_outage"] = ServerOutage(mtbf_s=srv_mtbf, repair_s=240.0)
+        if blk_mtbf:
+            kw["link_blackout"] = LinkBlackout(mtbf_s=blk_mtbf, repair_s=60.0)
+        if crash_mtbf:
+            kw["client_crash"] = ClientCrash(mtbf_s=crash_mtbf, repair_s=0.0)
+        if degr_mtbf:
+            kw["link_degradation"] = LinkDegradation(
+                mtbf_s=degr_mtbf, repair_s=300.0, throughput_factor=0.5
+            )
+        if outage:
+            kw["link_outage"] = OutagePattern.duty_cycle(3 * 3600.0, 2 * 3600.0)
+            kw["buffer"] = BufferSpec.for_cycles(3)
+        losses = (
+            LossConfig(saturation=SaturationPenalty(), transfer=TransferTimePenalty())
+            if lossy
+            else None
+        )
+        compare(
+            "prop", n_clients=n_clients, scenario=CLOUD, faults=FaultConfig(**kw),
+            n_cycles=n_cycles, seed=seed, losses=losses, validate=False,
+        )
+
+
+class TestDispatch:
+    def test_auto_routes_to_array_kernel(self, monkeypatch):
+        import repro.faults.fleetsim_array as mod
+
+        calls = []
+        real = mod.run_faulty_fleet_array
+        monkeypatch.setattr(
+            mod, "run_faulty_fleet_array",
+            lambda *a, **k: calls.append(1) or real(*a, **k),
+        )
+        run_faulty_fleet(10, CLOUD, faults=golden_faults(), n_cycles=2, seed=0)
+        assert calls
+
+    def test_auto_falls_back_for_custom_policy(self):
+        from repro.core.allocator import RoundRobinPolicy
+
+        res = run_faulty_fleet(
+            12, CLOUD, faults=golden_faults(), n_cycles=2, seed=0,
+            policy=RoundRobinPolicy(),
+        )
+        assert res.n_clients == 12  # scalar path served the request
+
+    def test_array_rejects_custom_policy(self):
+        from repro.core.allocator import RoundRobinPolicy
+
+        with pytest.raises(ValueError, match="first-fit"):
+            run_faulty_fleet(
+                12, CLOUD, faults=golden_faults(), n_cycles=2, seed=0,
+                policy=RoundRobinPolicy(), kernel="array",
+            )
+        with pytest.raises(ValueError, match="first-fit"):
+            run_faulty_fleet_array(12, CLOUD, policy=RoundRobinPolicy())
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_faulty_fleet(5, CLOUD, kernel="simd")
+
+    def test_rejects_loss_model_c(self):
+        from repro.core.losses import ClientLoss
+
+        losses = LossConfig(client_loss=ClientLoss(0.1, 0.05))
+        with pytest.raises(ValueError, match="ClientCrash"):
+            run_faulty_fleet_array(5, CLOUD, losses=losses)
