@@ -18,7 +18,7 @@ from repro.experiments.registry import experiment_ids, run_experiment
 #: Experiments that accept a ``seed`` keyword.
 _SEEDABLE = {
     "fig2", "fig5", "fig8", "fig9",
-    "ext-adaptive", "ext-contention", "ext-faults", "ext-outage",
+    "ext-adaptive", "ext-contention", "ext-faults", "ext-outage", "ext-serve",
 }
 
 #: Experiments whose sweeps route through the chunked parallel runner

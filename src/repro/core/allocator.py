@@ -72,10 +72,22 @@ class Allocation:
 
         The ``seen`` set spans *all* servers, so a client id appearing on
         two different servers (a failover-repack bug) is rejected, not just
-        duplicates within one server.
+        duplicates within one server.  Duplicate ``server_index`` values are
+        rejected too: two assignments sharing an index keep occupancies
+        summing correctly while corrupting every by-index consumer
+        (:func:`repack_failed_servers` would silently drop one server's
+        clients from its orphan list).
         """
         seen = set()
+        seen_indices = set()
         for srv in self.servers:
+            if srv.server_index in seen_indices:
+                raise InvariantViolation(
+                    "slot-occupancy",
+                    f"server index {srv.server_index} assigned twice",
+                    {"server_index": srv.server_index},
+                )
+            seen_indices.add(srv.server_index)
             if len(srv.slots) > self.plan.slots_per_cycle:
                 raise InvariantViolation(
                     "slot-occupancy",
@@ -102,86 +114,63 @@ class Allocation:
 
 
 class FillingPolicy(Protocol):
-    """Strategy interface: distribute ``client_ids`` into servers/slots."""
+    """Strategy interface: distribute ``client_ids`` into servers/slots.
+
+    Concrete policies carry a ``kind`` tag recognized by
+    :class:`repro.core.livealloc.LiveAllocation`; batch allocation *is* the
+    fold of ``admit`` over ``client_ids`` in order, so the online and batch
+    paths share one layout engine.
+    """
+
+    kind: str
 
     def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation: ...
 
 
-class FirstFitPolicy:
-    """The paper's policy: fill each slot to the cap, slot by slot, server by server."""
+class _FoldPolicy:
+    """Shared batch entry point: allocation as a fold over ``admit``.
+
+    ``LiveAllocation.bulk_admit`` is the O(n) fused form of admitting each
+    client in turn (hypothesis-pinned identical to the one-by-one loop);
+    ``to_allocation`` then materializes the canonical layout.  The result
+    is bit-identical to the historical loop-based fills — that equivalence
+    is the subject of ``tests/core/test_livealloc.py``.
+    """
+
+    kind = "first-fit"
 
     def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
-        servers: List[ServerAssignment] = []
-        ids = list(client_ids)
-        pos = 0
-        server_index = 0
-        while pos < len(ids):
-            slots = []
-            for _slot in range(plan.slots_per_cycle):
-                if pos >= len(ids):
-                    break
-                take = min(plan.max_parallel, len(ids) - pos)
-                slots.append(tuple(ids[pos : pos + take]))
-                pos += take
-            servers.append(ServerAssignment(server_index, tuple(slots)))
-            server_index += 1
-        alloc = Allocation(tuple(servers), plan)
-        alloc.validate()
-        return alloc
+        from repro.core.livealloc import LiveAllocation
+
+        live = LiveAllocation(plan, self.kind)
+        live.bulk_admit(client_ids)
+        return live.to_allocation()
 
 
-class RoundRobinPolicy:
+class FirstFitPolicy(_FoldPolicy):
+    """The paper's policy: fill each slot to the cap, slot by slot, server by server."""
+
+    kind = "first-fit"
+
+
+class RoundRobinPolicy(_FoldPolicy):
     """Deal clients one-by-one across all slots of the current server.
 
     Spreads occupancy within a server (delaying loss-A saturation) while
     still opening the minimum number of servers.
     """
 
-    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
-        ids = list(client_ids)
-        capacity = plan.capacity
-        servers: List[ServerAssignment] = []
-        for server_index in range(max(1, math.ceil(len(ids) / capacity)) if ids else 0):
-            chunk = ids[server_index * capacity : (server_index + 1) * capacity]
-            slots: List[List[int]] = [[] for _ in range(plan.slots_per_cycle)]
-            for i, cid in enumerate(chunk):
-                slots[i % plan.slots_per_cycle].append(cid)
-            servers.append(ServerAssignment(server_index, tuple(tuple(s) for s in slots if s)))
-        alloc = Allocation(tuple(servers), plan)
-        alloc.validate()
-        return alloc
+    kind = "round-robin"
 
 
-class BalancedPolicy:
+class BalancedPolicy(_FoldPolicy):
     """Spread clients as evenly as possible over *all* slots of *all* servers.
 
     Uses the same minimal server count as first-fit but flattens occupancy
     globally — the gentlest layout under loss model A.
     """
 
-    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
-        ids = list(client_ids)
-        if not ids:
-            return Allocation((), plan)
-        n_servers = math.ceil(len(ids) / plan.capacity)
-        n_slots_total = n_servers * plan.slots_per_cycle
-        base, extra = divmod(len(ids), n_slots_total)
-        servers: List[ServerAssignment] = []
-        pos = 0
-        slot_global = 0
-        for server_index in range(n_servers):
-            slots = []
-            for _ in range(plan.slots_per_cycle):
-                take = base + (1 if slot_global < extra else 0)
-                slot_global += 1
-                if take == 0:
-                    continue
-                slots.append(tuple(ids[pos : pos + take]))
-                pos += take
-            servers.append(ServerAssignment(server_index, tuple(slots)))
-        alloc = Allocation(tuple(servers), plan)
-        alloc.validate()
-        return alloc
+    kind = "balanced"
 
 
 def repack_failed_server(

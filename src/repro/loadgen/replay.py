@@ -1,0 +1,199 @@
+"""Replay a load spec against a serving target, open- or closed-loop.
+
+The transport is pluggable so the *same* replay drives both the in-process
+engine (experiments, golden case — zero copies, fast) and a real
+``repro-serve`` subprocess over HTTP (integration tests, CI smoke).  The
+report folds a canonical SHA-256 over every response, so "two replays saw
+identical outcomes" is one string comparison — the client-side twin of the
+server's placement-trace fingerprint.
+
+Open loop sends every arrival at its scheduled sim time regardless of how
+the service is keeping up (the saturation-knee probe).  Closed loop gates
+each hive on its previous inference's ``done_t`` — a hive does not offer
+its next request while the last one is in flight, the classic
+think-time/feedback load model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Protocol
+
+from repro.loadgen.arrivals import Arrival, LoadSpec, arrival_to_request, hive_stream, merged_stream
+from repro.serve.engine import OrchestrationEngine
+from repro.serve.trace import render_event
+
+
+class Transport(Protocol):
+    """Anything that can answer one request dict with a response dict."""
+
+    def send(self, request: Dict[str, Any]) -> Dict[str, Any]: ...
+
+
+class InProcessTransport:
+    """Call the engine directly (no serialization, fully deterministic)."""
+
+    def __init__(self, engine: OrchestrationEngine) -> None:
+        self.engine = engine
+
+    def send(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self.engine.handle(dict(request))
+
+
+class HttpTransport:
+    """POST each request to a running ``repro-serve`` over HTTP."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def send(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        body = {k: v for k, v in request.items() if k != "op"}
+        req = urllib.request.Request(
+            f"{self.base_url}/v1/{op}",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            # Engine-level failures come back as 422 with the same JSON body
+            # the in-process transport would return; surface it so the
+            # replay counts the error instead of crashing the client.
+            body = exc.read()
+            try:
+                return json.loads(body)
+            except (ValueError, UnicodeDecodeError):
+                return {"ok": False, "error": f"HTTP {exc.code}: {body[:200]!r}"}
+
+    def health(self) -> Dict[str, Any]:
+        with urllib.request.urlopen(
+            f"{self.base_url}/v1/health", timeout=self.timeout_s
+        ) as resp:
+            return json.loads(resp.read())
+
+
+@dataclass
+class ReplayReport:
+    """Client-side outcome of one replay."""
+
+    n_requests: int = 0
+    n_errors: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+    placements: Dict[str, int] = field(default_factory=dict)
+    last_t: float = 0.0
+    response_sha256: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "by_op": dict(sorted(self.by_op.items())),
+            "placements": dict(sorted(self.placements.items())),
+            "last_t": self.last_t,
+            "response_sha256": self.response_sha256,
+        }
+
+
+def _fold(report: ReplayReport, digest: "hashlib._Hash",
+          arrival: Arrival, response: Dict[str, Any]) -> None:
+    report.n_requests += 1
+    report.by_op[arrival.op] = report.by_op.get(arrival.op, 0) + 1
+    report.last_t = max(report.last_t, arrival.t)
+    if not response.get("ok"):
+        report.n_errors += 1
+    where = response.get("placement")
+    if where:
+        report.placements[where] = report.placements.get(where, 0) + 1
+    digest.update(render_event(response).encode("utf-8"))
+    digest.update(b"\n")
+
+
+def replay(spec: LoadSpec, transport: Transport) -> ReplayReport:
+    """Send the spec's arrivals through ``transport``; returns the report."""
+    report = ReplayReport()
+    digest = hashlib.sha256()
+    if spec.mode == "open":
+        _replay_open(spec, transport, report, digest)
+    else:
+        _replay_closed(spec, transport, report, digest)
+    report.response_sha256 = digest.hexdigest()
+    return report
+
+
+def _replay_open(spec: LoadSpec, transport: Transport,
+                 report: ReplayReport, digest: "hashlib._Hash") -> None:
+    for arrival in merged_stream(spec):
+        _fold(report, digest, arrival, transport.send(arrival_to_request(arrival)))
+
+
+def _replay_closed(spec: LoadSpec, transport: Transport,
+                   report: ReplayReport, digest: "hashlib._Hash") -> None:
+    """Per-hive feedback gating, still in one deterministic global order.
+
+    Each hive's pending arrival is keyed by its *issue* time — the later of
+    its scheduled time and the hive's previous completion (``done_t``).
+    A heap over (issue_t, hive, seq) serializes the fleet; deferred
+    arrivals re-enter the heap with their pushed-back issue time, keeping
+    the engine's request clock monotonic.
+    """
+    streams = {h: iter(hive_stream(spec, h)) for h in range(spec.n_hives)}
+    ready: Dict[int, float] = {h: 0.0 for h in streams}  # hive -> earliest issue
+    heap = []
+    for hive, stream in streams.items():
+        first = next(stream, None)
+        if first is not None:
+            heapq.heappush(heap, (first.t, hive, first.seq, first))
+    while heap:
+        issue_t, hive, _seq, arrival = heapq.heappop(heap)
+        gate = ready[hive]
+        if issue_t < gate:
+            heapq.heappush(heap, (gate, hive, arrival.seq, arrival))
+            continue
+        request = arrival_to_request(arrival)
+        request["t"] = issue_t
+        response = transport.send(request)
+        _fold(report, digest, arrival, response)
+        done = response.get("done_t")
+        if done is not None:
+            ready[hive] = float(done)
+        nxt = next(streams[hive], None)
+        if nxt is not None:
+            heapq.heappush(heap, (max(nxt.t, ready[hive]), hive, nxt.seq, nxt))
+
+
+def replay_in_process(
+    spec: LoadSpec, engine: Optional[OrchestrationEngine] = None
+) -> tuple:
+    """Convenience: replay against a fresh (or given) in-process engine.
+
+    Returns ``(engine, report)`` so callers can inspect the server-side
+    trace alongside the client-side report.
+    """
+    engine = engine or OrchestrationEngine()
+    report = replay(spec, InProcessTransport(engine))
+    return engine, report
+
+
+def iter_requests(spec: LoadSpec) -> Iterable[Dict[str, Any]]:
+    """The open-loop request dicts of a spec (for tooling and tests)."""
+    return (arrival_to_request(a) for a in merged_stream(spec))
+
+
+__all__ = [
+    "Transport",
+    "InProcessTransport",
+    "HttpTransport",
+    "ReplayReport",
+    "replay",
+    "replay_in_process",
+    "iter_requests",
+]

@@ -1,0 +1,97 @@
+"""``repro-serve``: run the orchestration service from the command line.
+
+Boots an :class:`~repro.serve.engine.OrchestrationEngine` behind the stdlib
+HTTP front end, announces the bound address, and serves until SIGTERM or
+SIGINT.  On shutdown it flushes the final obs snapshot (``--obs-out``) and
+the full placement trace (``--trace-out``) atomically, prints the run
+report to stdout, and exits 0 — the contract the integration tests and the
+``serve-smoke`` CI job rely on.
+
+``--port 0`` binds an ephemeral port; ``--port-file`` writes the chosen
+port as soon as the socket is bound so a parent process (test harness,
+load generator script) can discover it without racing the boot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.calibration import CYCLE_SECONDS
+from repro.serve.engine import OrchestrationEngine, ServeConfig
+from repro.serve.http import make_server, serve_until_signal
+from repro.util.atomic import atomic_write, atomic_write_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve live admission/placement decisions for a hive fleet.",
+    )
+    parser.add_argument("--model", choices=("svm", "cnn"), default="svm")
+    parser.add_argument(
+        "--policy",
+        choices=("first-fit", "round-robin", "balanced"),
+        default="first-fit",
+        help="slot filling policy (default: the paper's first-fit)",
+    )
+    parser.add_argument("--max-parallel", type=int, default=None,
+                        help="per-slot client cap (default: calibration)")
+    parser.add_argument("--period", type=float, default=CYCLE_SECONDS,
+                        help="wake-up cycle seconds (default: %(default)s)")
+    parser.add_argument("--max-servers", type=int, default=None,
+                        help="server budget; omit for elastic cloud")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8037,
+                        help="listen port; 0 binds an ephemeral port")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound port to this file once listening")
+    parser.add_argument("--trace-out", default=None,
+                        help="flush the full placement trace here on shutdown")
+    parser.add_argument("--obs-out", default=None,
+                        help="flush the final obs snapshot here on shutdown")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.max_servers is not None and args.max_servers < 0:
+        print("error: --max-servers must be >= 0", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        model=args.model,
+        policy=args.policy,
+        max_parallel=args.max_parallel,
+        period=args.period,
+        max_servers=args.max_servers,
+    )
+    engine = OrchestrationEngine(config)
+    server = make_server(engine, args.host, args.port)
+    port = server.server_address[1]
+    if args.port_file:
+        atomic_write(args.port_file, f"{port}\n")
+    print(f"repro-serve listening on http://{args.host}:{port}/v1/ "
+          f"(policy={config.policy}, model={config.model})", file=sys.stderr)
+    signum = serve_until_signal(server)
+    report = engine.report()
+    report["shutdown_signal"] = signum
+    if args.trace_out:
+        from repro.util.atomic import atomic_writer
+
+        with atomic_writer(args.trace_out) as fh:
+            engine.trace.dump(fh)
+    if args.obs_out:
+        atomic_write_json(
+            args.obs_out,
+            engine.obs.snapshot(extra={"kind": "serve", "report": report}),
+            sort_keys=True,
+        )
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

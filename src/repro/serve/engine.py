@@ -1,0 +1,369 @@
+"""The orchestration engine: per-request admission and placement decisions.
+
+This is the transport-free core of ``repro-serve``.  It owns a
+:class:`~repro.core.livealloc.LiveAllocation` (the same layout engine the
+batch simulator folds over), prices every request with the existing energy
+primitives (:func:`~repro.core.simulate.occupied_slot_energy`, the Table
+I/II task calibration, the Wi-Fi :class:`~repro.network.link.LinkModel`),
+and answers in *simulated* time: requests carry their arrival time ``t``
+and responses report deterministic completion times, so a replayed load is
+bit-reproducible regardless of wall clock, host, or transport.
+
+Request model
+-------------
+A request is a dict with an ``op`` in :data:`OPS` plus operands; the
+response is a dict with ``ok`` and op-specific fields.  Five operations:
+
+``admit``      seat a hive on the cloud tier (O(log n) via LiveAllocation)
+``release``    free the hive's seat
+``telemetry``  small sensor payload upload — priced on the wifi link
+``inference``  one queen-detection request — the engine decides edge vs
+               cloud by marginal system joules and reports latency/energy
+``health``     liveness + fleet/occupancy snapshot
+
+Latency semantics (documented in ``docs/SERVING.md``): cloud inferences
+start at their slot's next cycle occurrence (wake-up slotting is the
+paper's orchestration contract), edge inferences run immediately on the
+hive, and both queue behind the same hive's previous in-flight request —
+so offered load beyond one request per service window saturates and the
+latency series shows the knee ``ext-serve`` sweeps for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.allocator import (
+    Allocator,
+    BalancedPolicy,
+    FirstFitPolicy,
+    RoundRobinPolicy,
+)
+from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
+from repro.core.client import fallback_inference_task
+from repro.core.livealloc import POLICY_KINDS, AdmissionFull, LiveAllocation
+from repro.core.losses import LossConfig
+from repro.core.routines import make_scenario
+from repro.core.simulate import occupied_slot_energy
+from repro.network.link import LinkModel
+from repro.network.wifi import WIFI_80211N_2G4
+from repro.obs import Obs
+from repro.serve.trace import PlacementTrace
+
+#: The serving API's operation set.
+OPS = ("admit", "release", "telemetry", "inference", "health")
+
+_POLICY_ALIASES = {
+    "first-fit": "first-fit",
+    "firstfit": "first-fit",
+    "round-robin": "round-robin",
+    "roundrobin": "round-robin",
+    "balanced": "balanced",
+}
+
+_POLICY_CLASSES = {
+    "first-fit": FirstFitPolicy,
+    "round-robin": RoundRobinPolicy,
+    "balanced": BalancedPolicy,
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that pins an engine's behaviour (and thus its trace)."""
+
+    model: str = "svm"
+    policy: str = "first-fit"
+    max_parallel: Optional[int] = None
+    period: float = CYCLE_SECONDS
+    max_servers: Optional[int] = None
+    telemetry_bytes: int = 1024
+    constants: PaperConstants = PAPER
+    losses: LossConfig = field(default_factory=LossConfig.none)
+    link: LinkModel = WIFI_80211N_2G4
+
+    def __post_init__(self) -> None:
+        kind = _POLICY_ALIASES.get(self.policy.lower())
+        if kind is None:
+            raise ValueError(f"policy must be one of {POLICY_KINDS}, got {self.policy!r}")
+        object.__setattr__(self, "policy", kind)
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "policy": self.policy,
+            "max_parallel": self.max_parallel,
+            "period": self.period,
+            "max_servers": self.max_servers,
+            "telemetry_bytes": self.telemetry_bytes,
+            "losses": self.losses.describe(),
+        }
+
+
+class OrchestrationEngine:
+    """Deterministic request-at-a-time orchestrator over a live allocation."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, obs: Optional[Obs] = None,
+                 keep_trace_events: bool = True) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        scenario = make_scenario("edge+cloud", cfg.model, cfg.max_parallel, cfg.constants)
+        self.server = scenario.server
+        self.client = scenario.client
+        self.allocator = Allocator(
+            self.server, cfg.period, cfg.losses, _POLICY_CLASSES[cfg.policy]()
+        )
+        self.plan = self.allocator.plan
+        self.live = LiveAllocation(self.plan, cfg.policy, cfg.max_servers)
+        self.edge_task = fallback_inference_task(cfg.model, cfg.constants)
+        # Radio draw during an upload: the Table II send_audio row's power.
+        self.radio_watts = cfg.constants.send_audio_j / cfg.constants.send_audio_s
+        self.obs = obs if obs is not None else Obs()
+        self.trace = PlacementTrace(keep_events=keep_trace_events)
+        self._busy_until: Dict[int, float] = {}
+        self._latencies: Dict[str, List[float]] = {"telemetry": [], "inference": []}
+        self._last_t: Optional[float] = None
+        self.n_requests = 0
+        self.n_errors = 0
+
+    # -- pricing -------------------------------------------------------------
+    def _slot_marginal_j(self, occupancy: int) -> float:
+        """Server-side joules the ``occupancy``-th occupant adds to its slot."""
+        cfg = self.config
+        extra = self.allocator.sizing_extra_s
+        full = occupied_slot_energy(self.server, occupancy, extra, cfg.losses)
+        if occupancy > 1:
+            rest = occupied_slot_energy(self.server, occupancy - 1, extra, cfg.losses)
+        else:
+            rest = self.server.idle_watts * self.server.slot_duration(extra)
+        return full - rest
+
+    def _cloud_cost(self, client_id: int) -> Tuple[float, float, Any]:
+        """(client-side joules, server-side marginal joules, placement)."""
+        placement = self.live.placement_of(client_id)
+        occ = self.live.slot_occupancy(placement)
+        send_j = self.config.constants.send_audio_j
+        return send_j, self._slot_marginal_j(occ), placement
+
+    def _edge_cost(self) -> Tuple[float, float]:
+        return self.edge_task.energy, self.edge_task.duration
+
+    def _next_slot_start(self, slot: int, after: float) -> float:
+        """First occurrence of ``slot``'s window at or after sim time ``after``."""
+        offset = slot * self.plan.slot_duration
+        if after <= offset:
+            return offset
+        cycles = math.ceil((after - offset) / self.config.period)
+        return offset + cycles * self.config.period
+
+    # -- request handling ----------------------------------------------------
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Process one request dict; never raises on a bad request."""
+        op = request.get("op")
+        try:
+            if op == "health":
+                return self._health()
+            if op not in OPS:
+                raise ValueError(f"unknown op {op!r} (expected one of {OPS})")
+            hive = int(request["hive"])
+            t = float(request.get("t", 0.0))
+            if self._last_t is not None and t < self._last_t:
+                raise ValueError(
+                    f"non-monotonic request time {t!r} after {self._last_t!r}"
+                )
+            self._observe_arrival(op, t)
+            if op == "admit":
+                return self._admit(hive, t)
+            if op == "release":
+                return self._release(hive, t)
+            if op == "telemetry":
+                return self._telemetry(hive, t, int(request.get("bytes", self.config.telemetry_bytes)))
+            return self._inference(hive, t)
+        except Exception as exc:  # noqa: BLE001 — surface as a structured error
+            self.n_errors += 1
+            self.obs.metrics.counter("serve.errors").inc()
+            return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _observe_arrival(self, op: str, t: float) -> None:
+        self.n_requests += 1
+        m = self.obs.metrics
+        m.counter("serve.requests").inc()
+        m.counter(f"serve.requests.{op}").inc()
+        if self._last_t is not None and t > self._last_t:
+            m.histogram("serve.interarrival_s").record(t - self._last_t)
+        self._last_t = t if self._last_t is None else max(self._last_t, t)
+
+    def _admit(self, hive: int, t: float) -> Dict[str, Any]:
+        try:
+            placement = self.live.admit(hive)
+        except AdmissionFull as exc:
+            self.obs.metrics.counter("serve.admissions.rejected").inc()
+            self.trace.append(t=t, op="admit", hive=hive, outcome="rejected")
+            return {
+                "ok": True, "op": "admit", "hive": hive, "t": t,
+                "admitted": False, "reason": str(exc),
+            }
+        self.obs.metrics.counter("serve.admissions").inc()
+        self.obs.metrics.gauge("serve.fleet").set(len(self.live))
+        self.obs.metrics.gauge("serve.servers").set(self.live.n_servers)
+        self.trace.append(
+            t=t, op="admit", hive=hive, outcome="admitted",
+            server=placement.server, slot=placement.slot, position=placement.position,
+        )
+        return {
+            "ok": True, "op": "admit", "hive": hive, "t": t, "admitted": True,
+            "server": placement.server, "slot": placement.slot,
+            "position": placement.position,
+        }
+
+    def _release(self, hive: int, t: float) -> Dict[str, Any]:
+        if hive not in self.live:
+            raise KeyError(f"hive {hive} is not admitted")
+        self.live.release(hive)
+        self.obs.metrics.counter("serve.releases").inc()
+        self.obs.metrics.gauge("serve.fleet").set(len(self.live))
+        self.obs.metrics.gauge("serve.servers").set(self.live.n_servers)
+        self.trace.append(t=t, op="release", hive=hive, outcome="released")
+        return {"ok": True, "op": "release", "hive": hive, "t": t, "released": True}
+
+    def _telemetry(self, hive: int, t: float, payload_bytes: int) -> Dict[str, Any]:
+        # float() strips the numpy scalar: trace lines hash the repr and the
+        # HTTP layer JSON-encodes the response, both need a plain float.
+        duration = float(self.config.link.expected_duration(payload_bytes))
+        energy = self.radio_watts * duration
+        self.obs.ledger.add("transfer", energy, duration)
+        self._latencies["telemetry"].append(duration)
+        self.obs.metrics.histogram("serve.latency_s.telemetry").record(duration)
+        self.trace.append(
+            t=t, op="telemetry", hive=hive, bytes=payload_bytes,
+            latency=duration, energy=energy,
+        )
+        return {
+            "ok": True, "op": "telemetry", "hive": hive, "t": t,
+            "bytes": payload_bytes, "latency_s": duration, "energy_j": energy,
+        }
+
+    def _inference(self, hive: int, t: float) -> Dict[str, Any]:
+        """Place one inference by *client* joules — the hive battery is the
+        paper's objective; the server's marginal draw is attributed to the
+        ledger but amortizes over the fleet rather than vetoing offload."""
+        edge_j, edge_service_s = self._edge_cost()
+        if hive in self.live:
+            client_j, server_j, placement = self._cloud_cost(hive)
+            if client_j <= edge_j:
+                return self._run_cloud(hive, t, client_j, server_j, placement)
+            reason = "upload-costs-more-than-local-inference"
+        else:
+            reason = "not-admitted"
+        return self._run_edge(hive, t, edge_j, edge_service_s, reason)
+
+    def _run_cloud(self, hive: int, t: float, client_j: float, server_j: float,
+                   placement) -> Dict[str, Any]:
+        eff_t = max(t, self._busy_until.get(hive, 0.0))
+        start = self._next_slot_start(placement.slot, eff_t)
+        done = start + self.server.transfer_s + self.server.service.duration
+        self._busy_until[hive] = done
+        latency = done - t
+        self.obs.ledger.add("transfer", client_j, self.config.constants.send_audio_s)
+        self.obs.ledger.add("infer", server_j, self.server.service.duration)
+        self._record_inference("cloud", latency)
+        self.trace.append(
+            t=t, op="inference", hive=hive, placement="cloud",
+            server=placement.server, slot=placement.slot, position=placement.position,
+            latency=latency, energy=client_j, server_energy=server_j,
+        )
+        return {
+            "ok": True, "op": "inference", "hive": hive, "t": t,
+            "placement": "cloud", "server": placement.server,
+            "slot": placement.slot, "position": placement.position,
+            "latency_s": latency, "energy_j": client_j,
+            "server_energy_j": server_j, "done_t": done,
+        }
+
+    def _run_edge(self, hive: int, t: float, energy_j: float, service_s: float,
+                  reason: str) -> Dict[str, Any]:
+        eff_t = max(t, self._busy_until.get(hive, 0.0))
+        done = eff_t + service_s
+        self._busy_until[hive] = done
+        latency = done - t
+        self.obs.ledger.add("infer", energy_j, service_s)
+        self._record_inference("edge", latency)
+        self.trace.append(
+            t=t, op="inference", hive=hive, placement="edge", reason=reason,
+            latency=latency, energy=energy_j,
+        )
+        return {
+            "ok": True, "op": "inference", "hive": hive, "t": t,
+            "placement": "edge", "reason": reason,
+            "latency_s": latency, "energy_j": energy_j, "done_t": done,
+        }
+
+    def _record_inference(self, where: str, latency: float) -> None:
+        self.obs.metrics.counter(f"serve.placements.{where}").inc()
+        self._latencies["inference"].append(latency)
+        self.obs.metrics.histogram("serve.latency_s.inference").record(latency)
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "ok": True, "op": "health", "status": "up",
+            "fleet": len(self.live), "servers": self.live.n_servers,
+            "requests": self.n_requests, "errors": self.n_errors,
+            "policy": self.config.policy, "capacity_left": self.live.capacity_left,
+        }
+
+    # -- reporting -----------------------------------------------------------
+    def latency_report(self) -> Dict[str, Any]:
+        """Exact p50/p99 latency quantiles plus offered requests/sec."""
+        out: Dict[str, Any] = {}
+        for kind, values in self._latencies.items():
+            if not values:
+                out[kind] = {"count": 0}
+                continue
+            ordered = sorted(values)
+            out[kind] = {
+                "count": len(ordered),
+                "p50_s": _quantile(ordered, 0.50),
+                "p99_s": _quantile(ordered, 0.99),
+                "mean_s": sum(ordered) / len(ordered),
+                "max_s": ordered[-1],
+            }
+        horizon = self._last_t or 0.0
+        out["rps"] = self.n_requests / horizon if horizon > 0 else 0.0
+        return out
+
+    def report(self) -> Dict[str, Any]:
+        """Shutdown summary: config, counters, latency, trace, allocation."""
+        alloc = self.live.to_allocation()
+        return {
+            "config": self.config.describe(),
+            "requests": self.n_requests,
+            "errors": self.n_errors,
+            "fleet": len(self.live),
+            "servers": self.live.n_servers,
+            "occupancies": [srv.occupancies for srv in alloc.servers],
+            "latency": self.latency_report(),
+            "trace": self.trace.to_dict(include_events=False),
+        }
+
+    def steady_state_matches_batch(self) -> bool:
+        """True iff the live layout equals the batch fold over survivors.
+
+        Structurally guaranteed (``to_allocation`` *is* the fold), but the
+        serve smoke re-asserts it end-to-end through the request path.
+        """
+        batch = self.allocator.policy.allocate(self.live.client_ids(), self.plan)
+        live = self.live.to_allocation()
+        return batch.servers == live.servers and batch.plan == live.plan
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted list."""
+    idx = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[idx]
+
+
+__all__ = ["OPS", "ServeConfig", "OrchestrationEngine"]

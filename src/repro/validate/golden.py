@@ -372,6 +372,17 @@ def _case_checkpoint_resume() -> Dict[str, Any]:
     return fresh
 
 
+def _case_serve_trace() -> Dict[str, Any]:
+    """Canonical serve-under-load replay (see :mod:`repro.serve.smoke`).
+
+    The builder itself refuses to fingerprint if the replay errors or the
+    steady-state live allocation diverges from the batch allocate fold.
+    """
+    from repro.serve.smoke import smoke_fingerprint
+
+    return smoke_fingerprint()
+
+
 def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
     def fig5_case() -> Dict[str, Any]:
         from repro.audio.dataset import DatasetSpec
@@ -424,6 +435,11 @@ def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
         "checkpoint-resume": (
             _case_checkpoint_resume,
             "ext-faults interrupted at a checkpoint and resumed (resume == fresh)",
+        ),
+        "serve-trace": (
+            _case_serve_trace,
+            "Canonical serve-under-load replay: placement trace, response "
+            "hashes, steady state == batch fold",
         ),
     }
 

@@ -151,6 +151,54 @@ class TestValidateCrossServer:
         good.validate()  # must not raise
 
 
+class TestValidateDuplicateServerIndex:
+    def test_duplicate_server_index_rejected(self):
+        from repro.core.allocator import Allocation, ServerAssignment
+
+        # Disjoint clients and correct occupancy sums, but two assignments
+        # share server_index 0 — every by-index consumer would silently
+        # collapse them (repack_failed_servers' by_index dict drops one
+        # assignment's clients from the orphan list).
+        bad = Allocation(
+            (
+                ServerAssignment(0, ((1, 2),)),
+                ServerAssignment(0, ((3, 4),)),
+            ),
+            plan(),
+        )
+        with pytest.raises(ValueError, match="server index 0 assigned twice"):
+            bad.validate()
+
+    def test_repack_would_have_dropped_clients_silently(self):
+        from repro.core.allocator import Allocation, ServerAssignment, repack_failed_servers
+
+        # The corruption the new check guards: without validate(), repacking
+        # the duplicated index orphans only ONE of the two assignments —
+        # clients 1 and 2 vanish from both the new allocation and the
+        # unplaced list.  validate() now refuses the input up front.
+        bad = Allocation(
+            (
+                ServerAssignment(0, ((1, 2),)),
+                ServerAssignment(0, ((3, 4),)),
+                ServerAssignment(1, ((5,),)),
+            ),
+            plan(),
+        )
+        repacked, unplaced = repack_failed_servers(bad, (0,))
+        lost = {1, 2, 3, 4} - set(repacked.client_ids) - set(unplaced)
+        assert lost  # documents the silent loss mode on unvalidated input
+        with pytest.raises(ValueError, match="assigned twice"):
+            bad.validate()
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=500))
+    def test_policy_outputs_have_unique_indices(self, n):
+        for policy in (FirstFitPolicy(), RoundRobinPolicy(), BalancedPolicy()):
+            alloc = policy.allocate(range(n), plan())
+            indices = [s.server_index for s in alloc.servers]
+            assert len(indices) == len(set(indices))
+
+
 class TestRepackFailedServer:
     def test_orphans_fill_survivor_spare_capacity(self):
         from repro.core.allocator import Allocation, ServerAssignment, repack_failed_server

@@ -1,0 +1,350 @@
+"""Property-test net over the incremental allocator (`repro.core.livealloc`).
+
+The central claim: **after any interleaving of admit/release/repack, the
+live state is bit-identical to the batch ``Allocator.allocate`` fold over
+the surviving client sequence** — for all three filling policies — and the
+slot/occupancy invariants hold after every single step.  Legacy loop-based
+reference implementations of the policies are kept here so the fold
+refactor in ``repro.core.allocator`` is checked against the historical
+layouts, not against itself.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocator import (
+    Allocation,
+    BalancedPolicy,
+    FirstFitPolicy,
+    RoundRobinPolicy,
+    ServerAssignment,
+)
+from repro.core.livealloc import (
+    POLICY_KINDS,
+    AdmissionFull,
+    LiveAllocation,
+    materialize,
+)
+from repro.core.server import SlotPlan
+from repro.validate.errors import InvariantViolation
+
+POLICIES = {
+    "first-fit": FirstFitPolicy(),
+    "round-robin": RoundRobinPolicy(),
+    "balanced": BalancedPolicy(),
+}
+
+
+# ---------------------------------------------------------------------------
+# legacy reference implementations (pre-fold loop fills, kept verbatim)
+# ---------------------------------------------------------------------------
+
+
+def legacy_first_fit(client_ids, plan):
+    servers, ids, pos, k = [], list(client_ids), 0, 0
+    while pos < len(ids):
+        slots = []
+        for _ in range(plan.slots_per_cycle):
+            if pos >= len(ids):
+                break
+            take = min(plan.max_parallel, len(ids) - pos)
+            slots.append(tuple(ids[pos : pos + take]))
+            pos += take
+        servers.append(ServerAssignment(k, tuple(slots)))
+        k += 1
+    return Allocation(tuple(servers), plan)
+
+
+def legacy_round_robin(client_ids, plan):
+    ids = list(client_ids)
+    cap = plan.capacity
+    servers = []
+    for k in range(max(1, math.ceil(len(ids) / cap)) if ids else 0):
+        chunk = ids[k * cap : (k + 1) * cap]
+        slots = [[] for _ in range(plan.slots_per_cycle)]
+        for i, cid in enumerate(chunk):
+            slots[i % plan.slots_per_cycle].append(cid)
+        servers.append(ServerAssignment(k, tuple(tuple(s) for s in slots if s)))
+    return Allocation(tuple(servers), plan)
+
+
+def legacy_balanced(client_ids, plan):
+    ids = list(client_ids)
+    if not ids:
+        return Allocation((), plan)
+    n_servers = math.ceil(len(ids) / plan.capacity)
+    base, extra = divmod(len(ids), n_servers * plan.slots_per_cycle)
+    servers, pos, g = [], 0, 0
+    for k in range(n_servers):
+        slots = []
+        for _ in range(plan.slots_per_cycle):
+            take = base + (1 if g < extra else 0)
+            g += 1
+            if take == 0:
+                continue
+            slots.append(tuple(ids[pos : pos + take]))
+            pos += take
+        servers.append(ServerAssignment(k, tuple(slots)))
+    return Allocation(tuple(servers), plan)
+
+
+LEGACY = {
+    "first-fit": legacy_first_fit,
+    "round-robin": legacy_round_robin,
+    "balanced": legacy_balanced,
+}
+
+plans = st.builds(
+    SlotPlan,
+    slot_duration=st.just(16.6),
+    slots_per_cycle=st.integers(min_value=1, max_value=18),
+    max_parallel=st.integers(min_value=1, max_value=10),
+)
+
+kinds = st.sampled_from(POLICY_KINDS)
+
+
+def assert_identical(a: Allocation, b: Allocation) -> None:
+    assert a.plan == b.plan
+    assert a.servers == b.servers  # tuple equality: bit-identical layout
+
+
+# ---------------------------------------------------------------------------
+# batch fold == legacy loops
+# ---------------------------------------------------------------------------
+
+
+class TestFoldMatchesLegacy:
+    @settings(max_examples=120, deadline=None)
+    @given(kind=kinds, plan=plans, n=st.integers(min_value=0, max_value=700))
+    def test_policy_allocate_is_the_legacy_layout(self, kind, plan, n):
+        assert_identical(
+            POLICIES[kind].allocate(range(n), plan), LEGACY[kind](range(n), plan)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        kind=kinds,
+        plan=plans,
+        ids=st.lists(st.integers(min_value=0, max_value=10_000), unique=True, max_size=300),
+    )
+    def test_arbitrary_id_sequences(self, kind, plan, ids):
+        assert_identical(POLICIES[kind].allocate(ids, plan), LEGACY[kind](ids, plan))
+
+    @settings(max_examples=40, deadline=None)
+    @given(kind=kinds, plan=plans, n=st.integers(min_value=1, max_value=400))
+    def test_bulk_admit_equals_admit_loop(self, kind, plan, n):
+        bulk = LiveAllocation(plan, kind)
+        bulk.bulk_admit(range(n))
+        loop = LiveAllocation(plan, kind)
+        for cid in range(n):
+            loop.admit(cid)
+        assert_identical(bulk.to_allocation(), loop.to_allocation())
+
+    def test_duplicate_admission_rejected_with_batch_message(self):
+        live = LiveAllocation(SlotPlan(16.6, 18, 10), "first-fit")
+        live.admit(7)
+        with pytest.raises(ValueError, match="client 7 allocated twice"):
+            live.admit(7)
+        with pytest.raises(InvariantViolation):
+            live.bulk_admit([8, 9, 8])
+        # the failed bulk leaves a consistent structure behind
+        live.check()
+        assert 8 in live and 9 in live
+
+
+# ---------------------------------------------------------------------------
+# interleavings: admit/release/repack == batch over survivors, every step
+# ---------------------------------------------------------------------------
+
+
+def apply_ops(live: LiveAllocation, ops, check_every_step: bool):
+    """Drive an op script; returns the surviving admission-order id list."""
+    admitted = []  # survivors in admission order (the batch reference input)
+    next_id = 0
+    for op, arg in ops:
+        if op == "admit":
+            cid = next_id
+            next_id += 1
+            try:
+                live.admit(cid)
+            except AdmissionFull:
+                continue
+            admitted.append(cid)
+        elif op == "release":
+            if not admitted:
+                continue
+            cid = admitted.pop(arg % len(admitted))
+            live.release(cid)
+        else:  # repack
+            if live.n_servers == 0:
+                continue
+            server = arg % live.n_servers
+            result = live.repack_on_failure(server)
+            assert not result.dropped  # elastic budget drops nobody
+            # reference semantics: orphans move to the tail, in slot order
+            admitted = [c for c in admitted if c not in set(result.orphans)]
+            admitted.extend(result.readmitted)
+        if check_every_step:
+            live.check()
+    return admitted
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "admit", "admit", "release", "repack"]),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=120,
+)
+
+
+class TestInterleavings:
+    @settings(max_examples=80, deadline=None)
+    @given(kind=kinds, plan=plans, ops=ops_strategy)
+    def test_any_interleaving_ends_bit_identical_to_batch(self, kind, plan, ops):
+        live = LiveAllocation(plan, kind)
+        survivors = apply_ops(live, ops, check_every_step=False)
+        live.check()
+        assert live.client_ids() == survivors
+        assert_identical(live.to_allocation(), POLICIES[kind].allocate(survivors, plan))
+        assert_identical(live.to_allocation(), LEGACY[kind](survivors, plan))
+
+    @settings(max_examples=25, deadline=None)
+    @given(kind=kinds, plan=plans, ops=ops_strategy)
+    def test_invariants_hold_after_every_step(self, kind, plan, ops):
+        live = LiveAllocation(plan, kind)
+        apply_ops(live, ops, check_every_step=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kind=kinds,
+        plan=plans,
+        n=st.integers(min_value=1, max_value=300),
+        drops=st.sets(st.integers(min_value=0, max_value=299), max_size=80),
+    )
+    def test_release_recompacts_to_the_survivor_fold(self, kind, plan, n, drops):
+        live = LiveAllocation(plan, kind)
+        live.bulk_admit(range(n))
+        survivors = [c for c in range(n) if c not in drops]
+        for cid in sorted(d for d in drops if d < n):
+            live.release(cid)
+        assert live.client_ids() == survivors
+        assert_identical(live.to_allocation(), POLICIES[kind].allocate(survivors, plan))
+
+    @settings(max_examples=40, deadline=None)
+    @given(kind=kinds, plan=plans, n=st.integers(min_value=1, max_value=400))
+    def test_placement_of_matches_materialized_layout(self, kind, plan, n):
+        live = LiveAllocation(plan, kind)
+        live.bulk_admit(range(n))
+        alloc = live.to_allocation()
+        for srv in alloc.servers:
+            for slot_idx, slot in enumerate(srv.slots):
+                for pos, cid in enumerate(slot):
+                    p = live.placement_of(cid)
+                    assert (p.server, p.slot, p.position) == (
+                        srv.server_index, slot_idx, pos,
+                    )
+                    assert live.slot_occupancy(p) == len(slot)
+                    assert live.server_of(cid) == srv.server_index
+
+
+class TestBudgetAndRepack:
+    def test_admission_full_raised_at_the_budget(self):
+        plan = SlotPlan(16.6, 2, 3)  # capacity 6
+        live = LiveAllocation(plan, "first-fit", max_servers=2)
+        for cid in range(12):
+            live.admit(cid)
+        assert live.capacity_left == 0
+        with pytest.raises(AdmissionFull) as err:
+            live.admit(99)
+        assert err.value.client_id == 99
+        assert len(live) == 12
+
+    def test_repack_reduce_capacity_drops_the_overflow(self):
+        plan = SlotPlan(16.6, 2, 3)
+        live = LiveAllocation(plan, "first-fit", max_servers=2)
+        live.bulk_admit(range(12))
+        result = live.repack_on_failure(0, reduce_capacity=True)
+        assert result.orphans == tuple(range(6))
+        # one server of capacity 6 remains: survivors 6..11 fill it, all
+        # orphans of the failed server are dropped to the edge path
+        assert result.readmitted == ()
+        assert result.dropped == tuple(range(6))
+        assert live.client_ids() == list(range(6, 12))
+        live.check()
+
+    def test_repack_elastic_moves_orphans_to_the_tail(self):
+        plan = SlotPlan(16.6, 2, 2)  # capacity 4
+        live = LiveAllocation(plan, "first-fit")
+        live.bulk_admit(range(10))  # servers: [0..3], [4..7], [8..9]
+        result = live.repack_on_failure(1)
+        assert result.orphans == (4, 5, 6, 7)
+        assert result.readmitted == result.orphans
+        assert live.client_ids() == [0, 1, 2, 3, 8, 9, 4, 5, 6, 7]
+        assert_identical(
+            live.to_allocation(),
+            FirstFitPolicy().allocate([0, 1, 2, 3, 8, 9, 4, 5, 6, 7], plan),
+        )
+
+    def test_repack_unknown_server_rejected(self):
+        live = LiveAllocation(SlotPlan(16.6, 18, 10), "first-fit")
+        live.bulk_admit(range(5))
+        with pytest.raises(ValueError, match="no server 3"):
+            live.repack_on_failure(3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kind=kinds,
+        plan=plans,
+        n=st.integers(min_value=1, max_value=300),
+        which=st.integers(min_value=0, max_value=10),
+    )
+    def test_repack_orphan_order_is_slot_order(self, kind, plan, n, which):
+        live = LiveAllocation(plan, kind)
+        live.bulk_admit(range(n))
+        server = which % live.n_servers
+        before = live.to_allocation()
+        expected = [cid for slot in before.servers[server].slots for cid in slot]
+        result = live.repack_on_failure(server)
+        assert list(result.orphans) == expected
+        live.check()
+
+
+class TestCompactionAndScale:
+    def test_heavy_churn_compacts_without_changing_layout(self):
+        plan = SlotPlan(16.6, 18, 10)
+        live = LiveAllocation(plan, "balanced")
+        alive = []
+        for wave in range(6):
+            start = wave * 100
+            live.bulk_admit(range(start, start + 100))
+            alive.extend(range(start, start + 100))
+            for cid in alive[: len(alive) // 2]:
+                live.release(cid)
+            alive = alive[len(alive) // 2 :]
+            assert live.client_ids() == alive
+            assert_identical(
+                live.to_allocation(), BalancedPolicy().allocate(alive, plan)
+            )
+        live.check()
+
+    def test_queries_are_logarithmic_shape(self):
+        # Not a benchmark — a structural check that rank_of goes through the
+        # Fenwick prefix (O(log n)) rather than scanning the sequence.
+        live = LiveAllocation(SlotPlan(16.6, 18, 10), "first-fit")
+        live.bulk_admit(range(50_000))
+        assert live.rank_of(49_999) == 49_999
+        live.release(0)
+        assert live.rank_of(49_999) == 49_998
+        assert live.placement_of(49_999).server == 49_998 // 180
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="policy must be one of"):
+            LiveAllocation(SlotPlan(16.6, 18, 10), "worst-fit")
+        with pytest.raises(ValueError, match="max_servers"):
+            LiveAllocation(SlotPlan(16.6, 18, 10), "first-fit", max_servers=-1)
+        with pytest.raises(ValueError, match="policy must be one of"):
+            materialize("worst-fit", [1], SlotPlan(16.6, 18, 10))

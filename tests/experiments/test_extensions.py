@@ -14,6 +14,7 @@ class TestRegistry:
             "ext-faults",
             "ext-mixed",
             "ext-outage",
+            "ext-serve",
             "ext-training",
         }
 
@@ -150,6 +151,46 @@ class TestExtOutage:
     def test_des_demo_conserves(self, result):
         c = next(c for c in result.comparisons if "conservation" in c.quantity)
         assert c.measured_value == 0.0
+
+
+class TestExtServe:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Same reduced grid as the JSON-schema sweep: one small fleet, one
+        # rate on each side of the knee, a short horizon.
+        return run_experiment(
+            "ext-serve",
+            fleet_sizes=(8,),
+            rate_multiples=(0.5, 1.5),
+            horizon_cycles=4,
+        )
+
+    def test_live_allocation_bit_identical_to_batch(self, result):
+        c = next(c for c in result.comparisons if "live vs batch" in c.quantity)
+        assert c.measured_value == 0.0
+        assert c.within_tolerance is True
+
+    def test_latency_knee(self, result):
+        p50 = result.series["p50_latency_s_8"]
+        p99 = result.series["p99_latency_s_8"]
+        # Below the knee the median waits less than one slot cycle (mean
+        # alignment wait is half a period); past it the open-loop backlog
+        # pushes both quantiles well beyond.
+        assert p50[0] < 300.0
+        assert p50[1] > 300.0
+        assert p99[1] > 2.0 * p99[0]
+
+    def test_every_inference_placed_cloud(self, result):
+        table = result.tables[0]
+        assert "saturation knee" in table
+        assert result.series["rate_multiple"].tolist() == [0.5, 1.5]
+
+    def test_deterministic_rerun(self, result):
+        again = run_experiment(
+            "ext-serve", fleet_sizes=(8,), rate_multiples=(0.5, 1.5), horizon_cycles=4
+        )
+        for key in ("p50_latency_s_8", "p99_latency_s_8"):
+            assert np.array_equal(result.series[key], again.series[key])
 
 
 class TestExtTraining:

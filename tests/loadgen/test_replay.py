@@ -1,0 +1,126 @@
+"""Tests for the replay driver: open/closed loop, report, determinism."""
+
+import dataclasses
+
+from repro.loadgen.arrivals import LoadSpec
+from repro.loadgen.replay import (
+    InProcessTransport,
+    ReplayReport,
+    iter_requests,
+    replay_in_process,
+)
+from repro.serve.engine import OrchestrationEngine, ServeConfig
+
+SPEC = LoadSpec(n_hives=6, rate_hz=0.02, horizon_s=1200.0, seed=11)
+
+
+class TestOpenLoop:
+    def test_report_accounts_for_every_arrival(self):
+        engine, report = replay_in_process(SPEC)
+        assert report.n_errors == 0
+        assert report.n_requests == sum(report.by_op.values())
+        assert report.by_op["admit"] == SPEC.n_hives
+        assert report.n_requests == len(list(iter_requests(SPEC)))
+        assert engine.n_requests == report.n_requests
+
+    def test_replay_is_deterministic(self):
+        _, r1 = replay_in_process(SPEC)
+        _, r2 = replay_in_process(SPEC)
+        assert r1 == r2
+        assert r1.response_sha256 == r2.response_sha256
+
+    def test_different_seed_different_fingerprint(self):
+        _, r1 = replay_in_process(SPEC)
+        _, r2 = replay_in_process(dataclasses.replace(SPEC, seed=SPEC.seed + 1))
+        assert r1.response_sha256 != r2.response_sha256
+
+    def test_all_admitted_inferences_go_cloud(self):
+        spec = dataclasses.replace(SPEC, telemetry_fraction=0.0)
+        _, report = replay_in_process(spec)
+        inferences = report.by_op.get("inference", 0)
+        assert inferences > 0
+        assert report.placements.get("cloud", 0) == inferences
+
+    def test_engine_errors_counted_not_raised(self):
+        # A zero-budget engine rejects admits politely; inference before
+        # admission falls back to edge.  Neither is a client-side error.
+        engine = OrchestrationEngine(ServeConfig(max_servers=0))
+        _, report = replay_in_process(SPEC, engine)
+        assert report.n_errors == 0
+        assert report.placements.get("edge", 0) > 0
+        assert "cloud" not in report.placements
+
+    def test_report_to_dict_is_stable(self):
+        _, report = replay_in_process(SPEC)
+        d = report.to_dict()
+        assert set(d) == {
+            "n_requests", "n_errors", "by_op", "placements", "last_t",
+            "response_sha256",
+        }
+        assert d["last_t"] <= SPEC.horizon_s
+
+
+class TestClosedLoop:
+    CLOSED = dataclasses.replace(
+        SPEC, mode="closed", telemetry_fraction=0.0, rate_hz=1.0 / 200.0
+    )
+
+    def test_closed_loop_is_deterministic(self):
+        _, r1 = replay_in_process(self.CLOSED)
+        _, r2 = replay_in_process(self.CLOSED)
+        assert r1 == r2
+
+    def test_gating_never_breaks_monotonic_clock(self):
+        engine, report = replay_in_process(self.CLOSED)
+        assert report.n_errors == 0  # any non-monotonic t would error
+
+    def test_closed_loop_issues_no_faster_than_completions(self):
+        # Closed loop defers arrivals past each hive's done_t, so the
+        # offered load can never outrun the service: at most one request
+        # per hive per cycle reaches the engine's cloud path.
+        engine, report = replay_in_process(self.CLOSED)
+        cycles = self.CLOSED.horizon_s / engine.config.period
+        per_hive_cap = cycles + 2  # admit + in-flight tail
+        inferences = report.by_op.get("inference", 0)
+        assert inferences <= self.CLOSED.n_hives * per_hive_cap
+
+    def test_closed_loop_bounds_queueing_under_saturation(self):
+        # Closed loop defers (never drops): both modes issue the same
+        # arrivals, but open loop fires them at schedule and queues up,
+        # while closed loop waits for done_t so at most one request per
+        # hive is ever in flight.  Same counts, very different latency.
+        hot = dataclasses.replace(self.CLOSED, rate_hz=0.05)
+        open_spec = dataclasses.replace(hot, mode="open")
+        closed_engine, closed = replay_in_process(hot)
+        open_engine, opened = replay_in_process(open_spec)
+        assert closed.by_op == opened.by_op
+        assert closed.response_sha256 != opened.response_sha256
+        closed_p99 = closed_engine.latency_report()["inference"]["p99_s"]
+        open_p99 = open_engine.latency_report()["inference"]["p99_s"]
+        assert closed_p99 <= 2 * closed_engine.config.period
+        assert open_p99 > closed_p99
+
+
+class TestTransports:
+    def test_in_process_transport_passes_copies(self):
+        engine = OrchestrationEngine()
+        transport = InProcessTransport(engine)
+        request = {"op": "admit", "hive": 0, "t": 0.0}
+        response = transport.send(request)
+        assert response["ok"]
+        assert request == {"op": "admit", "hive": 0, "t": 0.0}  # not mutated
+
+    def test_replay_accepts_prebuilt_engine(self):
+        engine = OrchestrationEngine(ServeConfig(policy="balanced"))
+        same, report = replay_in_process(SPEC, engine)
+        assert same is engine
+        assert engine.steady_state_matches_batch()
+
+    def test_empty_spec_yields_empty_report(self):
+        _, report = replay_in_process(dataclasses.replace(SPEC, n_hives=0))
+        assert report == ReplayReport(
+            response_sha256=report.response_sha256
+        )
+        import hashlib
+
+        assert report.response_sha256 == hashlib.sha256().hexdigest()
