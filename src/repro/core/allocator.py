@@ -7,7 +7,10 @@ clients by filling one slot up to its maximum after another" — our
 :class:`FirstFitPolicy`.  :class:`RoundRobinPolicy` and
 :class:`BalancedPolicy` are documented extensions used by the ablation
 benchmarks (they interact with loss model A, which penalizes saturated
-slots).
+slots); best-fit, worst-fit, solar-budget, and swarm-scored join them via
+the :class:`~repro.core.placement.PlacementPolicy` interface (see
+``docs/POLICIES.md``).  All policy classes live in
+:mod:`repro.core.placement` and are re-exported here.
 """
 
 from __future__ import annotations
@@ -18,6 +21,17 @@ from typing import List, Optional, Protocol, Sequence
 
 from repro.core.calibration import CYCLE_SECONDS
 from repro.core.losses import LossConfig
+from repro.core.placement import (
+    BalancedPolicy,
+    BestFitPolicy,
+    FirstFitPolicy,
+    PlacementPolicy,
+    RoundRobinPolicy,
+    SolarBudgetPolicy,
+    SwarmScoredPolicy,
+    WorstFitPolicy,
+    resolve_policy,
+)
 from repro.core.server import ServerProfile, SlotPlan
 from repro.validate.errors import InvariantViolation
 
@@ -119,7 +133,9 @@ class FillingPolicy(Protocol):
     Concrete policies carry a ``kind`` tag recognized by
     :class:`repro.core.livealloc.LiveAllocation`; batch allocation *is* the
     fold of ``admit`` over ``client_ids`` in order, so the online and batch
-    paths share one layout engine.
+    paths share one layout engine.  The canonical implementations live in
+    :mod:`repro.core.placement` (:class:`PlacementPolicy` and subclasses);
+    this Protocol remains for structural typing of third-party policies.
     """
 
     kind: str
@@ -127,75 +143,43 @@ class FillingPolicy(Protocol):
     def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation: ...
 
 
-class _FoldPolicy:
-    """Shared batch entry point: allocation as a fold over ``admit``.
-
-    ``LiveAllocation.bulk_admit`` is the O(n) fused form of admitting each
-    client in turn (hypothesis-pinned identical to the one-by-one loop);
-    ``to_allocation`` then materializes the canonical layout.  The result
-    is bit-identical to the historical loop-based fills — that equivalence
-    is the subject of ``tests/core/test_livealloc.py``.
-    """
-
-    kind = "first-fit"
-
-    def allocate(self, client_ids: Sequence[int], plan: SlotPlan) -> Allocation:
-        from repro.core.livealloc import LiveAllocation
-
-        live = LiveAllocation(plan, self.kind)
-        live.bulk_admit(client_ids)
-        return live.to_allocation()
-
-
-class FirstFitPolicy(_FoldPolicy):
-    """The paper's policy: fill each slot to the cap, slot by slot, server by server."""
-
-    kind = "first-fit"
-
-
-class RoundRobinPolicy(_FoldPolicy):
-    """Deal clients one-by-one across all slots of the current server.
-
-    Spreads occupancy within a server (delaying loss-A saturation) while
-    still opening the minimum number of servers.
-    """
-
-    kind = "round-robin"
-
-
-class BalancedPolicy(_FoldPolicy):
-    """Spread clients as evenly as possible over *all* slots of *all* servers.
-
-    Uses the same minimal server count as first-fit but flattens occupancy
-    globally — the gentlest layout under loss model A.
-    """
-
-    kind = "balanced"
+#: Historical name for the shared batch-as-a-fold entry point; the policy
+#: hierarchy now lives in :mod:`repro.core.placement`.
+_FoldPolicy = PlacementPolicy
 
 
 def repack_failed_server(
-    allocation: Allocation, failed_server_index: int
+    allocation: Allocation, failed_server_index: int,
+    policy: Optional[object] = None,
 ) -> tuple:
     """Re-pack a failed server's clients into surviving servers' free slots.
 
     Single-failure shorthand for :func:`repack_failed_servers`; see there
     for the packing rules.
     """
-    return repack_failed_servers(allocation, (failed_server_index,))
+    return repack_failed_servers(allocation, (failed_server_index,), policy)
 
 
 def repack_failed_servers(
-    allocation: Allocation, failed_server_indices: Sequence[int]
+    allocation: Allocation, failed_server_indices: Sequence[int],
+    policy: Optional[object] = None,
 ) -> tuple:
     """Re-pack every failed server's clients into surviving servers' free slots.
 
     Surviving servers keep their existing assignments untouched (their
     clients' wake-up offsets stay valid); orphaned clients fill the
-    survivors' residual capacity first-fit — topping up partially filled
-    slots to ``max_parallel``, then opening unused slots up to the plan's
-    ``slots_per_cycle``.  No new server is spun up: mid-cycle failover
-    cannot provision hardware, so clients that do not fit are returned for
-    the graceful-degradation path (local edge inference).
+    survivors' residual capacity one seat at a time, choosing at each step
+    the open seat the ``policy`` prefers — topping up partially filled
+    slots to ``max_parallel`` and opening unused slots up to the plan's
+    ``slots_per_cycle``.  With no policy (or any whose
+    :meth:`~repro.core.placement.PlacementPolicy.repack_preference` is the
+    constant default: first-fit, round-robin, balanced) the fill is the
+    historical first-fit repack — survivor order, slot order.  Best-fit
+    tops up the fullest seats first, worst-fit the emptiest, solar-budget
+    the sunniest slot windows, swarm-scored the highest-pheromone pairs.
+    No new server is spun up: mid-cycle failover cannot provision hardware,
+    so clients that do not fit are returned for the graceful-degradation
+    path (local edge inference).
 
     All failures are removed *before* any orphan is placed, so a client can
     never fail over onto another server that is itself down (one-at-a-time
@@ -228,18 +212,58 @@ def repack_failed_servers(
         for cid in slot
     ]
     pos = 0
-    repacked: List[ServerAssignment] = []
-    for srv in survivors:
-        slots = [list(s) for s in srv.slots]
-        for slot in slots:
-            while pos < len(orphans) and len(slot) < plan.max_parallel:
-                slot.append(orphans[pos])
-                pos += 1
-        while pos < len(orphans) and len(slots) < plan.slots_per_cycle:
-            take = min(plan.max_parallel, len(orphans) - pos)
-            slots.append(list(orphans[pos : pos + take]))
-            pos += take
-        repacked.append(ServerAssignment(srv.server_index, tuple(tuple(s) for s in slots)))
+    if policy is None:
+        # historical first-fit fill, kept as the O(orphans + slots) fast path
+        repacked: List[ServerAssignment] = []
+        for srv in survivors:
+            slots = [list(s) for s in srv.slots]
+            for slot in slots:
+                while pos < len(orphans) and len(slot) < plan.max_parallel:
+                    slot.append(orphans[pos])
+                    pos += 1
+            while pos < len(orphans) and len(slots) < plan.slots_per_cycle:
+                take = min(plan.max_parallel, len(orphans) - pos)
+                slots.append(list(orphans[pos : pos + take]))
+                pos += take
+            repacked.append(
+                ServerAssignment(srv.server_index, tuple(tuple(s) for s in slots))
+            )
+    else:
+        pol = resolve_policy(policy)
+        n_before = len(allocation.servers)
+        open_slots = [[list(s) for s in srv.slots] for srv in survivors]
+        while pos < len(orphans):
+            best = None  # (preference, survivor_pos, slot_ordinal)
+            for si, srv in enumerate(survivors):
+                slots = open_slots[si]
+                candidates = [
+                    sj for sj, slot in enumerate(slots)
+                    if len(slot) < plan.max_parallel
+                ]
+                if len(slots) < plan.slots_per_cycle:
+                    candidates.append(len(slots))  # open a fresh slot
+                for sj in candidates:
+                    occ = len(slots[sj]) if sj < len(slots) else 0
+                    key = (
+                        pol.repack_preference(
+                            srv.server_index, sj, occ, plan, n_before
+                        ),
+                        si,
+                        sj,
+                    )
+                    if best is None or key < best[0]:
+                        best = (key, si, sj)
+            if best is None:
+                break  # every survivor is full
+            _, si, sj = best
+            if sj == len(open_slots[si]):
+                open_slots[si].append([])
+            open_slots[si][sj].append(orphans[pos])
+            pos += 1
+        repacked = [
+            ServerAssignment(srv.server_index, tuple(tuple(s) for s in open_slots[si]))
+            for si, srv in enumerate(survivors)
+        ]
 
     new_alloc = Allocation(tuple(repacked), plan)
     new_alloc.validate()
@@ -254,12 +278,14 @@ class Allocator:
         server: ServerProfile,
         period: float = CYCLE_SECONDS,
         losses: Optional[LossConfig] = None,
-        policy: Optional[FillingPolicy] = None,
+        policy: Optional[object] = None,
     ) -> None:
         self.server = server
         self.period = period
         self.losses = losses or LossConfig.none()
-        self.policy = policy or FirstFitPolicy()
+        # strings/aliases and PlacementPolicy instances both resolve; pass
+        # an instance to share memoized score tables with a LiveAllocation.
+        self.policy = resolve_policy(policy) if policy is not None else FirstFitPolicy()
         extra = (
             self.losses.transfer.sizing_extra_s(server.max_parallel)
             if self.losses.transfer is not None
@@ -281,3 +307,22 @@ class Allocator:
         if n_clients == 0:
             return 0
         return math.ceil(n_clients / self.plan.capacity)
+
+
+__all__ = [
+    "ServerAssignment",
+    "Allocation",
+    "FillingPolicy",
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "RoundRobinPolicy",
+    "BalancedPolicy",
+    "BestFitPolicy",
+    "WorstFitPolicy",
+    "SolarBudgetPolicy",
+    "SwarmScoredPolicy",
+    "resolve_policy",
+    "repack_failed_server",
+    "repack_failed_servers",
+    "Allocator",
+]

@@ -14,7 +14,7 @@ of the surviving clients (a sequence with tombstoned holes plus a Fenwick
 tree over the alive flags), and every placement question — which server,
 which slot, which position — is answered by a closed-form map from a
 client's **rank** (its index among survivors, in admission order) under the
-active filling policy.  That gives:
+active :class:`~repro.core.placement.PlacementPolicy`.  That gives:
 
 * ``admit``/``release`` in O(log n) (one dict update + one Fenwick update);
 * ``placement_of``/``server_of`` in O(log n) (one Fenwick prefix sum);
@@ -30,8 +30,10 @@ equals the batch policy applied to the surviving client sequence** (pinned
 by the hypothesis suite in ``tests/core/test_livealloc.py``).  The batch
 policies themselves are expressed as a fold over ``admit`` (see
 :meth:`LiveAllocation.bulk_admit` and
-:class:`~repro.core.allocator.FirstFitPolicy` et al.), so the online and
-batch paths cannot drift: they are one engine.
+:meth:`~repro.core.placement.PlacementPolicy.allocate`), so the online and
+batch paths cannot drift: they are one engine — and any new policy written
+against the :class:`~repro.core.placement.PlacementPolicy` interface
+inherits the guarantee for free.
 
 A consequence worth stating explicitly: unlike the mid-cycle failover
 helper :func:`~repro.core.allocator.repack_failed_servers` (which pins the
@@ -49,11 +51,17 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.placement import (
+    POLICY_KINDS,
+    Placement,
+    PlacementPolicy,
+    resolve_policy,
+)
 from repro.core.server import SlotPlan
 from repro.validate.errors import InvariantViolation
 
-#: The three filling-policy kinds the closed-form layout maps support.
-POLICY_KINDS = ("first-fit", "round-robin", "balanced")
+#: Kinds with a specialized O(n) materialize fast path (the PR 8 trio).
+_FAST_MATERIALIZE = ("first-fit", "round-robin", "balanced")
 
 
 class AdmissionFull(RuntimeError):
@@ -71,15 +79,6 @@ class AdmissionFull(RuntimeError):
         )
         self.client_id = client_id
         self.max_servers = max_servers
-
-
-@dataclass(frozen=True)
-class Placement:
-    """Where one client sits: logical server, slot ordinal, position in slot."""
-
-    server: int
-    slot: int
-    position: int
 
 
 @dataclass(frozen=True)
@@ -170,93 +169,33 @@ class _Fenwick:
 
 
 # ---------------------------------------------------------------------------
-# closed-form rank -> placement maps (one per policy kind)
+# batch materialization
 # ---------------------------------------------------------------------------
 
 
-def _place_first_fit(rank: int, n: int, plan: SlotPlan) -> Placement:
-    server, r = divmod(rank, plan.capacity)
-    slot, pos = divmod(r, plan.max_parallel)
-    return Placement(server, slot, pos)
-
-
-def _place_round_robin(rank: int, n: int, plan: SlotPlan) -> Placement:
-    server, j = divmod(rank, plan.capacity)
-    slot = j % plan.slots_per_cycle
-    pos = j // plan.slots_per_cycle
-    return Placement(server, slot, pos)
-
-
-def _balanced_geometry(n: int, plan: SlotPlan) -> Tuple[int, int, int]:
-    """(n_servers, base, extra) of the balanced layout for ``n`` clients."""
-    n_servers = math.ceil(n / plan.capacity)
-    base, extra = divmod(n, n_servers * plan.slots_per_cycle)
-    return n_servers, base, extra
-
-
-def _place_balanced(rank: int, n: int, plan: SlotPlan) -> Placement:
-    _, base, extra = _balanced_geometry(n, plan)
-    if base == 0:
-        g, pos = rank, 0
-    else:
-        threshold = extra * (base + 1)
-        if rank < threshold:
-            g, pos = divmod(rank, base + 1)
-        else:
-            g, pos = divmod(rank - threshold, base)
-            g += extra
-    server, slot = divmod(g, plan.slots_per_cycle)
-    return Placement(server, slot, pos)
-
-
-_PLACE = {
-    "first-fit": _place_first_fit,
-    "round-robin": _place_round_robin,
-    "balanced": _place_balanced,
-}
-
-
-def _slot_occupancy_first_fit(p: Placement, n: int, plan: SlotPlan) -> int:
-    start = p.server * plan.capacity + p.slot * plan.max_parallel
-    return min(plan.max_parallel, n - start)
-
-
-def _slot_occupancy_round_robin(p: Placement, n: int, plan: SlotPlan) -> int:
-    chunk_n = min(plan.capacity, n - p.server * plan.capacity)
-    # members of slot s within the chunk are positions s, s+spc, s+2*spc, ...
-    return (chunk_n - p.slot - 1) // plan.slots_per_cycle + 1
-
-
-def _slot_occupancy_balanced(p: Placement, n: int, plan: SlotPlan) -> int:
-    _, base, extra = _balanced_geometry(n, plan)
-    g = p.server * plan.slots_per_cycle + p.slot
-    return base + (1 if g < extra else 0)
-
-
-_SLOT_OCCUPANCY = {
-    "first-fit": _slot_occupancy_first_fit,
-    "round-robin": _slot_occupancy_round_robin,
-    "balanced": _slot_occupancy_balanced,
-}
-
-
-def materialize(kind: str, ordered_ids: Sequence[int], plan: SlotPlan):
+def materialize(policy: object, ordered_ids: Sequence[int], plan: SlotPlan):
     """Batch :class:`~repro.core.allocator.Allocation` of ``ordered_ids``.
 
-    Bit-identical to what the legacy loop-based policies produced — the
-    layout maps above are their closed forms (hypothesis-pinned in
-    ``tests/core/test_livealloc.py``); the trailing server keeps only its
-    non-empty slots, exactly like the original fills.
+    ``policy`` is anything :func:`~repro.core.placement.resolve_policy`
+    accepts.  For the PR 8 trio this is bit-identical to what the legacy
+    loop-based policies produced — the closed-form layout maps are their
+    closed forms (hypothesis-pinned in ``tests/core/test_livealloc.py``);
+    the trailing server keeps only its non-empty slots, exactly like the
+    original fills.  The generic path (any other policy) buckets every rank
+    through ``policy.place`` and lists each server's non-empty slots in
+    schedule-ordinal order — so policies that fill slots out of schedule
+    order (solar-budget, swarm-scored) leave no gaps in the materialized
+    tuple even when high-priority ordinals are late in the cycle.
     """
     from repro.core.allocator import Allocation, ServerAssignment
 
-    if kind not in _PLACE:
-        raise ValueError(f"policy must be one of {POLICY_KINDS}, got {kind!r}")
+    pol = resolve_policy(policy)
     ids = list(ordered_ids)
     n = len(ids)
     if n == 0:
         return Allocation((), plan)
     cap, mp, spc = plan.capacity, plan.max_parallel, plan.slots_per_cycle
+    kind = pol.kind
     servers = []
     if kind == "first-fit":
         for k, lo in enumerate(range(0, n, cap)):
@@ -268,7 +207,9 @@ def materialize(kind: str, ordered_ids: Sequence[int], plan: SlotPlan):
             chunk = ids[lo : lo + cap]
             slots = tuple(tuple(chunk[s::spc]) for s in range(min(spc, len(chunk))))
             servers.append(ServerAssignment(k, slots))
-    else:  # balanced
+    elif kind == "balanced":
+        from repro.core.placement import _balanced_geometry
+
         n_servers, base, extra = _balanced_geometry(n, plan)
         pos = 0
         g = 0
@@ -282,6 +223,20 @@ def materialize(kind: str, ordered_ids: Sequence[int], plan: SlotPlan):
                 slots.append(tuple(ids[pos : pos + take]))
                 pos += take
             servers.append(ServerAssignment(k, tuple(slots)))
+    else:
+        buckets: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
+        for rank, cid in enumerate(ids):
+            p = pol.place(rank, n, plan)
+            buckets.setdefault(p.server, {}).setdefault(p.slot, []).append(
+                (p.position, cid)
+            )
+        for k in range(pol.n_servers(n, plan)):
+            slots_of = buckets.get(k, {})
+            slots = tuple(
+                tuple(cid for _, cid in sorted(slots_of[ordinal]))
+                for ordinal in sorted(slots_of)
+            )
+            servers.append(ServerAssignment(k, slots))
     alloc = Allocation(tuple(servers), plan)
     alloc.validate()
     return alloc
@@ -300,8 +255,11 @@ class LiveAllocation:
     plan:
         Resolved slot geometry (:class:`~repro.core.server.SlotPlan`).
     policy:
-        Filling-policy kind (``"first-fit"``, ``"round-robin"``,
-        ``"balanced"``) or a policy object carrying a ``kind`` attribute.
+        A filling-policy kind (one of
+        :data:`~repro.core.placement.POLICY_KINDS`, aliases accepted) or a
+        :class:`~repro.core.placement.PlacementPolicy` instance — pass the
+        instance when sharing memoized score tables with a batch
+        :class:`~repro.core.allocator.Allocator`.
     max_servers:
         Optional server budget.  ``None`` (default) is the elastic-cloud
         batch semantics — a new logical server opens whenever needed;
@@ -319,13 +277,11 @@ class LiveAllocation:
         policy: object = "first-fit",
         max_servers: Optional[int] = None,
     ) -> None:
-        kind = getattr(policy, "kind", policy)
-        if kind not in _PLACE:
-            raise ValueError(f"policy must be one of {POLICY_KINDS}, got {kind!r}")
+        self.policy: PlacementPolicy = resolve_policy(policy)
         if max_servers is not None and max_servers < 0:
             raise ValueError(f"max_servers must be >= 0, got {max_servers}")
         self.plan = plan
-        self.kind = kind
+        self.kind = self.policy.kind
         self.max_servers = max_servers
         self._seq: List[Optional[int]] = []  # admission order; None = released
         self._index: Dict[int, int] = {}  # client id -> position in _seq
@@ -474,14 +430,14 @@ class LiveAllocation:
 
     def placement_of(self, client_id: int) -> Placement:
         """Closed-form (server, slot, position) for ``client_id`` (O(log n))."""
-        return _PLACE[self.kind](self.rank_of(client_id), len(self._index), self.plan)
+        return self.policy.place(self.rank_of(client_id), len(self._index), self.plan)
 
     def server_of(self, client_id: int) -> int:
         return self.placement_of(client_id).server
 
     def slot_occupancy(self, placement: Placement) -> int:
         """Number of clients sharing ``placement``'s (server, slot) (O(1))."""
-        return _SLOT_OCCUPANCY[self.kind](placement, len(self._index), self.plan)
+        return self.policy.slot_occupancy(placement, len(self._index), self.plan)
 
     def client_ids(self) -> List[int]:
         """Surviving client ids in admission order (O(n))."""
@@ -489,7 +445,7 @@ class LiveAllocation:
 
     def to_allocation(self):
         """Materialize the canonical batch :class:`Allocation` (O(n))."""
-        return materialize(self.kind, self.client_ids(), self.plan)
+        return materialize(self.policy, self.client_ids(), self.plan)
 
     # -- invariants ----------------------------------------------------------
     def check(self) -> None:
@@ -533,41 +489,21 @@ class LiveAllocation:
             )
 
     # -- internals -----------------------------------------------------------
-    def _server_rank_range(self, server_index: int) -> Tuple[int, int]:
-        """Contiguous [lo, hi) rank interval of one server's clients.
+    def _server_members_slot_order(self, server_index: int) -> List[int]:
+        """Clients of one logical server, in slot order (O(k log n)).
 
-        First-fit and round-robin give every non-trailing server exactly
-        ``capacity`` ranks; balanced spreads evenly, so a server's share is
-        the sum of its slots' ``base (+1 below extra)`` takes — recovered
-        in closed form from the slot-start prefix ``g·base + min(g, extra)``.
+        The policy names the server's ranks; each rank's placement then
+        orders the members by (slot ordinal, position) — for the PR 8 trio
+        this reproduces the historical gathering order exactly.
         """
         n = len(self._index)
-        if self.kind == "balanced":
-            _, base, extra = _balanced_geometry(n, self.plan)
-            spc = self.plan.slots_per_cycle
-            g0, g1 = server_index * spc, (server_index + 1) * spc
-            lo = g0 * base + min(g0, extra)
-            hi = min(g1 * base + min(g1, extra), n)
-        else:
-            cap = self.plan.capacity
-            lo = server_index * cap
-            hi = min(lo + cap, n)
-        return lo, hi
-
-    def _server_members_slot_order(self, server_index: int) -> List[int]:
-        """Clients of one logical server, in slot order (O(k log n))."""
-        lo, hi = self._server_rank_range(server_index)
-        # ranks of a server's clients are contiguous under every policy;
-        # first-fit and balanced also list them in slot order already.
-        members = [self._seq[self._bit.select(r)] for r in range(lo, hi)]
-        if self.kind == "round-robin":
-            spc = self.plan.slots_per_cycle
-            members = [
-                members[s + i * spc]
-                for s in range(min(spc, len(members)))
-                for i in range((len(members) - s - 1) // spc + 1)
-            ]
-        return members  # type: ignore[return-value]
+        ranks = self.policy.server_ranks(server_index, n, self.plan)
+        members = []
+        for r in ranks:
+            p = self.policy.place(r, n, self.plan)
+            members.append((p.slot, p.position, self._seq[self._bit.select(r)]))
+        members.sort(key=lambda item: (item[0], item[1]))
+        return [cid for _, _, cid in members]  # type: ignore[misc]
 
     def _compact(self) -> None:
         """Drop tombstones; survivor order (and thus every rank) is unchanged."""

@@ -1,0 +1,670 @@
+"""Pluggable placement policies: closed-form rank → placement layout maps.
+
+A :class:`PlacementPolicy` answers every placement question the allocator
+stack asks — batch or live — from a client's **rank** (its index among
+survivors, in admission order):
+
+* ``place(rank, n, plan)``: which (server, slot, position) seats this rank;
+* ``slot_occupancy(placement, n, plan)``: how many clients share that slot;
+* ``server_ranks(server, n, plan)``: which ranks one logical server holds
+  (the failover/orphan-gathering query);
+* ``allocate(client_ids, plan)``: the batch fold — admit every client in
+  order through :class:`~repro.core.livealloc.LiveAllocation` and
+  materialize the canonical :class:`~repro.core.allocator.Allocation`;
+* ``repack_preference(...)``: how the mid-cycle failover helper
+  (:func:`~repro.core.allocator.repack_failed_servers`) should rank
+  candidate seats when re-homing orphans.
+
+Because the batch path *is* the fold of the live path, any policy written
+against this interface inherits the online == batch bit-identity guarantee
+for free (hypothesis-pinned in ``tests/core/test_livealloc.py``).
+
+Determinism contract
+--------------------
+Policies must be pure functions of ``(rank, n, plan)`` plus their own
+constructor parameters.  Stochastic scores (the swarm policy's pheromone
+field) are derived via :func:`repro.util.rng.derive_seed` from an explicit
+seed, so two processes given the same seed lay out the same fleet —
+never from wall clock, dict order, or module state.
+
+The seven kinds
+---------------
+``first-fit``     the paper's policy: fill each slot to the cap, slot by
+                  slot, server by server.
+``round-robin``   deal clients across all slots of the current server.
+``balanced``      spread evenly over all slots of all servers.
+``best-fit``      saturation-averse tight packing: fill every slot to a
+                  *soft* cap (``max_parallel - headroom``) first — the
+                  fullest slot that still dodges the loss-model-A
+                  saturation penalty — and only then top slots up to the
+                  hard cap.
+``worst-fit``     emptiest-server spreading: successive admissions rotate
+                  across servers, first-fit within each.
+``solar-budget``  irradiance-weighted: slots whose wake-up window sees the
+                  most sun (``repro.energy.solar.clear_sky_irradiance``)
+                  fill first, so the marginal client lands where the
+                  panel-side energy budget is largest.
+``swarm-scored``  pheromone-style: a seeded score field over the
+                  (server, slot) graph, relaxed by a few deterministic
+                  diffusion sweeps; admissions follow descending score.
+
+All seven open the *minimal* number of servers (``ceil(n / capacity)``) so
+``max_servers`` budget semantics — and :class:`AdmissionFull` timing — are
+policy-independent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.server import SlotPlan
+from repro.util.rng import derive_seed
+
+#: The filling-policy kinds the closed-form layout maps support.
+POLICY_KINDS = (
+    "first-fit",
+    "round-robin",
+    "balanced",
+    "best-fit",
+    "worst-fit",
+    "solar-budget",
+    "swarm-scored",
+)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one client sits: logical server, slot ordinal, position in slot.
+
+    ``slot`` is the *schedule* ordinal (the wake-up window index within the
+    cycle, what :meth:`~repro.serve.engine.OrchestrationEngine` prices the
+    slot-start latency from).  Policies that fill slots out of schedule
+    order (solar-budget, swarm-scored) leave schedule gaps at small ``n``;
+    the materialized :class:`~repro.core.allocator.Allocation` then keeps
+    only the non-empty slots, in ordinal order.
+    """
+
+    server: int
+    slot: int
+    position: int
+
+
+class PlacementPolicy:
+    """Base class: a deterministic closed-form layout over admission ranks.
+
+    Subclasses implement :meth:`place`, :meth:`slot_occupancy`, and
+    :meth:`server_ranks`; everything else (batch fold, server count,
+    failover preference, description) has policy-independent defaults.
+    """
+
+    kind: str = ""
+
+    # -- the closed-form layout map -----------------------------------------
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        """(server, slot, position) of the client at ``rank`` among ``n``."""
+        raise NotImplementedError
+
+    def slot_occupancy(self, placement: Placement, n: int, plan: SlotPlan) -> int:
+        """Number of clients sharing ``placement``'s (server, slot)."""
+        raise NotImplementedError
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        """All ranks seated on logical server ``server`` (any order)."""
+        raise NotImplementedError
+
+    # -- policy-independent structure ---------------------------------------
+    def n_servers(self, n: int, plan: SlotPlan) -> int:
+        """Servers opened for ``n`` clients — minimal under every policy."""
+        return math.ceil(n / plan.capacity) if n else 0
+
+    def allocate(self, client_ids: Sequence[int], plan: SlotPlan):
+        """Batch allocation as the fold of ``admit`` over ``client_ids``.
+
+        ``LiveAllocation.bulk_admit`` is the O(n) fused form of admitting
+        each client in turn (hypothesis-pinned identical to the one-by-one
+        loop); ``to_allocation`` materializes the canonical layout.  The
+        batch and online paths therefore share one engine and cannot drift.
+        """
+        from repro.core.livealloc import LiveAllocation
+
+        live = LiveAllocation(plan, self)
+        live.bulk_admit(client_ids)
+        return live.to_allocation()
+
+    def repack_preference(
+        self,
+        server_index: int,
+        slot_ordinal: int,
+        occupancy: int,
+        plan: SlotPlan,
+        n_servers: int,
+    ) -> float:
+        """Sort key (lower = preferred) for one candidate failover seat.
+
+        The mid-cycle repack (:func:`~repro.core.allocator
+        .repack_failed_servers`) breaks ties by (survivor order, slot
+        order); the default constant preference reduces the greedy fill to
+        exactly the historical first-fit repack.
+        """
+        return 0.0
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe parameters that pin this policy's layout."""
+        return {"kind": self.kind}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        params = ", ".join(f"{k}={v!r}" for k, v in self.describe().items() if k != "kind")
+        return f"{type(self).__name__}({params})"
+
+
+# ---------------------------------------------------------------------------
+# the paper's policy and its two documented extensions (PR 8 closed forms)
+# ---------------------------------------------------------------------------
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """The paper's policy: fill each slot to the cap, slot by slot, server by server."""
+
+    kind = "first-fit"
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        server, r = divmod(rank, plan.capacity)
+        slot, pos = divmod(r, plan.max_parallel)
+        return Placement(server, slot, pos)
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        start = p.server * plan.capacity + p.slot * plan.max_parallel
+        return max(0, min(plan.max_parallel, n - start))
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        lo = server * plan.capacity
+        return list(range(lo, min(lo + plan.capacity, n)))
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Deal clients one-by-one across all slots of the current server.
+
+    Spreads occupancy within a server (delaying loss-A saturation) while
+    still opening the minimum number of servers.
+    """
+
+    kind = "round-robin"
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        server, j = divmod(rank, plan.capacity)
+        slot = j % plan.slots_per_cycle
+        pos = j // plan.slots_per_cycle
+        return Placement(server, slot, pos)
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        chunk_n = min(plan.capacity, n - p.server * plan.capacity)
+        # members of slot s within the chunk are positions s, s+spc, s+2*spc, ...
+        return (chunk_n - p.slot - 1) // plan.slots_per_cycle + 1
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        lo = server * plan.capacity
+        return list(range(lo, min(lo + plan.capacity, n)))
+
+
+def _balanced_geometry(n: int, plan: SlotPlan) -> Tuple[int, int, int]:
+    """(n_servers, base, extra) of the balanced layout for ``n`` clients."""
+    n_servers = math.ceil(n / plan.capacity)
+    base, extra = divmod(n, n_servers * plan.slots_per_cycle)
+    return n_servers, base, extra
+
+
+class BalancedPolicy(PlacementPolicy):
+    """Spread clients as evenly as possible over *all* slots of *all* servers.
+
+    Uses the same minimal server count as first-fit but flattens occupancy
+    globally — the gentlest layout under loss model A.
+    """
+
+    kind = "balanced"
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        _, base, extra = _balanced_geometry(n, plan)
+        if base == 0:
+            g, pos = rank, 0
+        else:
+            threshold = extra * (base + 1)
+            if rank < threshold:
+                g, pos = divmod(rank, base + 1)
+            else:
+                g, pos = divmod(rank - threshold, base)
+                g += extra
+        server, slot = divmod(g, plan.slots_per_cycle)
+        return Placement(server, slot, pos)
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        _, base, extra = _balanced_geometry(n, plan)
+        g = p.server * plan.slots_per_cycle + p.slot
+        return base + (1 if g < extra else 0)
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        # A server's share is the sum of its slots' ``base (+1 below extra)``
+        # takes — recovered from the slot-start prefix ``g·base + min(g, extra)``.
+        _, base, extra = _balanced_geometry(n, plan)
+        spc = plan.slots_per_cycle
+        g0, g1 = server * spc, (server + 1) * spc
+        lo = g0 * base + min(g0, extra)
+        hi = min(g1 * base + min(g1, extra), n)
+        return list(range(lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# occupancy-ranked policies: best-fit and worst-fit
+# ---------------------------------------------------------------------------
+
+
+class BestFitPolicy(PlacementPolicy):
+    """Saturation-averse tight packing: the fullest slot below the soft cap.
+
+    With homogeneous unit-size clients and recompaction, textbook best-fit
+    ("the fullest slot with room") degenerates to first-fit.  The useful
+    best-fit for this system packs against the *soft* cap
+    ``max_parallel - headroom`` — the fullest a slot can get before loss
+    model A's saturation penalty starts pricing it — and only once every
+    slot of every open server sits at the soft cap does it top slots up to
+    the hard cap, in slot order.  ``headroom=1`` by default; set it to the
+    loss-A margin (5 in the paper calibration) to dodge the penalty region
+    entirely while capacity lasts.
+    """
+
+    kind = "best-fit"
+
+    def __init__(self, headroom: int = 1) -> None:
+        if headroom < 0:
+            raise ValueError(f"headroom must be >= 0, got {headroom}")
+        self.headroom = headroom
+
+    def _soft(self, plan: SlotPlan) -> int:
+        return max(1, plan.max_parallel - self.headroom)
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        spc = plan.slots_per_cycle
+        soft = self._soft(plan)
+        scap = spc * soft
+        servers = self.n_servers(n, plan)
+        if rank < servers * scap:
+            server, j = divmod(rank, scap)
+            slot, pos = divmod(j, soft)
+            return Placement(server, slot, pos)
+        # top-up phase: every slot holds ``soft``; fill the remaining
+        # ``extra`` seats per slot, slot by slot, server by server.
+        extra = plan.max_parallel - soft
+        server, j = divmod(rank - servers * scap, spc * extra)
+        slot, pos = divmod(j, extra)
+        return Placement(server, slot, soft + pos)
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        spc = plan.slots_per_cycle
+        soft = self._soft(plan)
+        scap = spc * soft
+        servers = self.n_servers(n, plan)
+        start = p.server * scap + p.slot * soft
+        occ = max(0, min(soft, min(n, servers * scap) - start))
+        extra = plan.max_parallel - soft
+        if n > servers * scap and extra > 0:
+            e_start = (p.server * spc + p.slot) * extra
+            occ += max(0, min(extra, (n - servers * scap) - e_start))
+        return occ
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        spc = plan.slots_per_cycle
+        soft = self._soft(plan)
+        scap = spc * soft
+        servers = self.n_servers(n, plan)
+        phase1 = min(n, servers * scap)
+        lo = server * scap
+        ranks = list(range(lo, min(lo + scap, phase1)))
+        extra = plan.max_parallel - soft
+        if n > servers * scap and extra > 0:
+            span = spc * extra
+            lo2 = servers * scap + server * span
+            ranks.extend(range(min(lo2, n), min(lo2 + span, n)))
+        return ranks
+
+    def repack_preference(
+        self, server_index: int, slot_ordinal: int, occupancy: int,
+        plan: SlotPlan, n_servers: int,
+    ) -> float:
+        # fullest first: top up the most-occupied slot that still has room
+        return -float(occupancy)
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": self.kind, "headroom": self.headroom}
+
+
+class WorstFitPolicy(PlacementPolicy):
+    """Emptiest-server spreading: admissions rotate across all open servers.
+
+    Rank ``r`` lands on server ``r mod n_servers`` — the server with the
+    fewest clients at the moment of (recompacted) admission — and fills
+    first-fit within that server.  Compared to ``balanced`` (which evens
+    out *slots* globally) worst-fit evens out *servers* while keeping each
+    server's early slots saturated, a classic load-spreading layout.
+    """
+
+    kind = "worst-fit"
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        servers = self.n_servers(n, plan)
+        server = rank % servers
+        slot, pos = divmod(rank // servers, plan.max_parallel)
+        return Placement(server, slot, pos)
+
+    def _members_of(self, server: int, n: int, plan: SlotPlan) -> int:
+        servers = self.n_servers(n, plan)
+        return (n - server - 1) // servers + 1
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        m = self._members_of(p.server, n, plan)
+        return max(0, min(plan.max_parallel, m - p.slot * plan.max_parallel))
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        servers = self.n_servers(n, plan)
+        m = self._members_of(server, n, plan)
+        return [server + k * servers for k in range(m)]
+
+    def repack_preference(
+        self, server_index: int, slot_ordinal: int, occupancy: int,
+        plan: SlotPlan, n_servers: int,
+    ) -> float:
+        # emptiest first: spread orphans over the least-loaded seats
+        return float(occupancy)
+
+
+# ---------------------------------------------------------------------------
+# solar-budget-aware placement
+# ---------------------------------------------------------------------------
+
+
+class SolarBudgetPolicy(PlacementPolicy):
+    """Fill the slots whose wake-up window sees the most sun first.
+
+    Each slot ordinal ``k`` maps to a window starting ``k · slot_duration``
+    after ``anchor_s`` (time-of-day of the cycle start); its score is the
+    clear-sky irradiance (:func:`repro.energy.solar.clear_sky_irradiance`)
+    at the window's midpoint.  Admissions fill slots in descending score
+    (ties broken by ordinal), first-fit within a slot and server by server
+    — so the marginal client's radio burst lands where the hive's panel
+    budget is largest.  With the default morning anchor the late (sunnier)
+    slots fill first; anchored in the dark every score is zero and the
+    layout degrades to first-fit.
+    """
+
+    kind = "solar-budget"
+
+    def __init__(
+        self,
+        sunrise_s: float = 6.0 * 3600,
+        sunset_s: float = 20.0 * 3600,
+        peak_irradiance: float = 900.0,
+        anchor_s: float = 6.0 * 3600,
+    ) -> None:
+        if sunset_s <= sunrise_s:
+            raise ValueError("sunset must be after sunrise")
+        self.sunrise_s = float(sunrise_s)
+        self.sunset_s = float(sunset_s)
+        self.peak_irradiance = float(peak_irradiance)
+        self.anchor_s = float(anchor_s)
+        self._memo: Dict[Tuple[int, float], Tuple[Tuple[int, ...], Dict[int, int], Tuple[float, ...]]] = {}
+
+    def slot_scores(self, plan: SlotPlan) -> Tuple[float, ...]:
+        """Irradiance (W/m²) at each slot window's midpoint, by ordinal."""
+        return self._layout(plan)[2]
+
+    def _layout(self, plan: SlotPlan):
+        from repro.energy.solar import clear_sky_irradiance
+
+        key = (plan.slots_per_cycle, plan.slot_duration)
+        cached = self._memo.get(key)
+        if cached is None:
+            scores = tuple(
+                float(
+                    clear_sky_irradiance(
+                        self.anchor_s + (k + 0.5) * plan.slot_duration,
+                        sunrise_s=self.sunrise_s,
+                        sunset_s=self.sunset_s,
+                        peak_irradiance=self.peak_irradiance,
+                    )
+                )
+                for k in range(plan.slots_per_cycle)
+            )
+            order = tuple(
+                sorted(range(plan.slots_per_cycle), key=lambda k: (-scores[k], k))
+            )
+            inverse = {slot: idx for idx, slot in enumerate(order)}
+            cached = (order, inverse, scores)
+            self._memo[key] = cached
+        return cached
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        order, _, _ = self._layout(plan)
+        server, j = divmod(rank, plan.capacity)
+        k, pos = divmod(j, plan.max_parallel)
+        return Placement(server, order[k], pos)
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        _, inverse, _ = self._layout(plan)
+        start = p.server * plan.capacity + inverse[p.slot] * plan.max_parallel
+        return max(0, min(plan.max_parallel, n - start))
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        lo = server * plan.capacity
+        return list(range(lo, min(lo + plan.capacity, n)))
+
+    def repack_preference(
+        self, server_index: int, slot_ordinal: int, occupancy: int,
+        plan: SlotPlan, n_servers: int,
+    ) -> float:
+        scores = self.slot_scores(plan)
+        return -scores[slot_ordinal] if slot_ordinal < len(scores) else 0.0
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "sunrise_s": self.sunrise_s,
+            "sunset_s": self.sunset_s,
+            "peak_irradiance": self.peak_irradiance,
+            "anchor_s": self.anchor_s,
+        }
+
+
+# ---------------------------------------------------------------------------
+# swarm/graph-scored placement
+# ---------------------------------------------------------------------------
+
+
+class SwarmScoredPolicy(PlacementPolicy):
+    """Pheromone-style scores over the (server, slot) graph, seeded.
+
+    Every (server, slot) node starts with a pheromone level derived from
+    ``derive_seed(seed, "swarm-scored", server, slot)`` and is relaxed by
+    ``iterations`` deterministic diffusion sweeps: each node keeps
+    ``1 - evaporation`` of its own level and absorbs ``evaporation`` times
+    the mean of its graph neighbours (adjacent servers on a ring, adjacent
+    slots within a server) — the synchronous mean-field form of ant-colony
+    trail reinforcement.  Admissions then fill (server, slot) pairs in
+    descending final score, ``max_parallel`` at a time; everything is a
+    pure function of (seed, n_servers, slots_per_cycle), so two processes
+    with the same seed score — and place — identically.
+    """
+
+    kind = "swarm-scored"
+
+    def __init__(self, seed: int = 0, evaporation: float = 0.5, iterations: int = 3) -> None:
+        if not 0.0 <= evaporation <= 1.0:
+            raise ValueError(f"evaporation must be in [0, 1], got {evaporation}")
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        self.seed = int(seed)
+        self.evaporation = float(evaporation)
+        self.iterations = int(iterations)
+        self._memo: Dict[Tuple[int, int], Tuple[Tuple[Tuple[int, int], ...], Dict[Tuple[int, int], int], Tuple[Tuple[float, ...], ...]]] = {}
+
+    def pair_scores(self, n_servers: int, plan: SlotPlan) -> Tuple[Tuple[float, ...], ...]:
+        """Final pheromone level per (server, slot), ``[server][slot]``."""
+        return self._layout(n_servers, plan.slots_per_cycle)[2]
+
+    def _layout(self, n_servers: int, spc: int):
+        key = (n_servers, spc)
+        cached = self._memo.get(key)
+        if cached is None:
+            tau = [
+                [
+                    (derive_seed(self.seed, "swarm-scored", s, k) % 2**53) / 2**53
+                    for k in range(spc)
+                ]
+                for s in range(n_servers)
+            ]
+            for _ in range(self.iterations):
+                nxt = [row[:] for row in tau]
+                for s in range(n_servers):
+                    for k in range(spc):
+                        neigh = []
+                        if n_servers > 1:
+                            neigh.append(tau[(s - 1) % n_servers][k])
+                            if n_servers > 2:
+                                neigh.append(tau[(s + 1) % n_servers][k])
+                        if k > 0:
+                            neigh.append(tau[s][k - 1])
+                        if k + 1 < spc:
+                            neigh.append(tau[s][k + 1])
+                        if neigh:
+                            nxt[s][k] = (1.0 - self.evaporation) * tau[s][k] + \
+                                self.evaporation * sum(neigh) / len(neigh)
+                tau = nxt
+            pairs = tuple(
+                sorted(
+                    ((s, k) for s in range(n_servers) for k in range(spc)),
+                    key=lambda p: (-tau[p[0]][p[1]], p),
+                )
+            )
+            inverse = {pair: idx for idx, pair in enumerate(pairs)}
+            cached = (pairs, inverse, tuple(tuple(row) for row in tau))
+            self._memo[key] = cached
+        return cached
+
+    def place(self, rank: int, n: int, plan: SlotPlan) -> Placement:
+        servers = self.n_servers(n, plan)
+        pairs, _, _ = self._layout(servers, plan.slots_per_cycle)
+        g, pos = divmod(rank, plan.max_parallel)
+        server, slot = pairs[g]
+        return Placement(server, slot, pos)
+
+    def slot_occupancy(self, p: Placement, n: int, plan: SlotPlan) -> int:
+        servers = self.n_servers(n, plan)
+        _, inverse, _ = self._layout(servers, plan.slots_per_cycle)
+        start = inverse[(p.server, p.slot)] * plan.max_parallel
+        return max(0, min(plan.max_parallel, n - start))
+
+    def server_ranks(self, server: int, n: int, plan: SlotPlan) -> List[int]:
+        servers = self.n_servers(n, plan)
+        _, inverse, _ = self._layout(servers, plan.slots_per_cycle)
+        mp = plan.max_parallel
+        ranks: List[int] = []
+        for k in range(plan.slots_per_cycle):
+            lo = inverse[(server, k)] * mp
+            ranks.extend(range(min(lo, n), min(lo + mp, n)))
+        return ranks
+
+    def repack_preference(
+        self, server_index: int, slot_ordinal: int, occupancy: int,
+        plan: SlotPlan, n_servers: int,
+    ) -> float:
+        if n_servers <= 0 or server_index >= n_servers or slot_ordinal >= plan.slots_per_cycle:
+            return 0.0
+        scores = self.pair_scores(n_servers, plan)
+        return -scores[server_index][slot_ordinal]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "evaporation": self.evaporation,
+            "iterations": self.iterations,
+        }
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY = {
+    "first-fit": FirstFitPolicy,
+    "round-robin": RoundRobinPolicy,
+    "balanced": BalancedPolicy,
+    "best-fit": BestFitPolicy,
+    "worst-fit": WorstFitPolicy,
+    "solar-budget": SolarBudgetPolicy,
+    "swarm-scored": SwarmScoredPolicy,
+}
+
+#: Accepted spellings (CLI/config convenience) → canonical kind.
+POLICY_ALIASES = {
+    "first-fit": "first-fit",
+    "firstfit": "first-fit",
+    "round-robin": "round-robin",
+    "roundrobin": "round-robin",
+    "balanced": "balanced",
+    "best-fit": "best-fit",
+    "bestfit": "best-fit",
+    "worst-fit": "worst-fit",
+    "worstfit": "worst-fit",
+    "solar-budget": "solar-budget",
+    "solarbudget": "solar-budget",
+    "solar": "solar-budget",
+    "swarm-scored": "swarm-scored",
+    "swarmscored": "swarm-scored",
+    "swarm": "swarm-scored",
+}
+
+
+def normalize_kind(name: str) -> str:
+    """Canonical policy kind for ``name`` (accepting aliases); raises ValueError."""
+    kind = POLICY_ALIASES.get(str(name).strip().lower())
+    if kind is None:
+        raise ValueError(f"policy must be one of {POLICY_KINDS}, got {name!r}")
+    return kind
+
+
+def resolve_policy(spec: object = "first-fit", seed: int = 0) -> PlacementPolicy:
+    """Turn a kind string / alias / policy object into a :class:`PlacementPolicy`.
+
+    Policy objects pass through unchanged (so callers can share one memoized
+    instance between the batch allocator and the live structure); strings
+    resolve through :data:`POLICY_ALIASES` to a default-constructed policy —
+    except ``swarm-scored``, which is constructed with ``seed``.  Legacy
+    duck-typed objects carrying only a ``kind`` attribute resolve by kind.
+    """
+    if isinstance(spec, PlacementPolicy):
+        return spec
+    name = getattr(spec, "kind", spec)
+    if isinstance(name, str):
+        kind = POLICY_ALIASES.get(name.strip().lower())
+        if kind == "swarm-scored":
+            return SwarmScoredPolicy(seed=seed)
+        if kind is not None:
+            return _REGISTRY[kind]()
+    raise ValueError(f"policy must be one of {POLICY_KINDS}, got {spec!r}")
+
+
+__all__ = [
+    "POLICY_KINDS",
+    "POLICY_ALIASES",
+    "Placement",
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "RoundRobinPolicy",
+    "BalancedPolicy",
+    "BestFitPolicy",
+    "WorstFitPolicy",
+    "SolarBudgetPolicy",
+    "SwarmScoredPolicy",
+    "normalize_kind",
+    "resolve_policy",
+]

@@ -15,6 +15,7 @@ from repro.experiments import (
     ext_faults,
     ext_mixed,
     ext_outage,
+    ext_policies,
     ext_serve,
     ext_training,
     fig2_trace,
@@ -49,6 +50,7 @@ EXTENSIONS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-faults": ext_faults.run,
     "ext-mixed": ext_mixed.run,
     "ext-outage": ext_outage.run,
+    "ext-policies": ext_policies.run,
     "ext-serve": ext_serve.run,
     "ext-training": ext_training.run,
 }

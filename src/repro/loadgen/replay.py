@@ -104,10 +104,13 @@ class ReplayReport:
 
 
 def _fold(report: ReplayReport, digest: "hashlib._Hash",
-          arrival: Arrival, response: Dict[str, Any]) -> None:
+          arrival: Arrival, issued_t: float, response: Dict[str, Any]) -> None:
     report.n_requests += 1
     report.by_op[arrival.op] = report.by_op.get(arrival.op, 0) + 1
-    report.last_t = max(report.last_t, arrival.t)
+    # the *issued* time, not the scheduled one: closed-loop gating pushes
+    # arrivals back, and last_t must report the offered horizon the engine
+    # actually saw (rps derived from a smaller horizon overstates load).
+    report.last_t = max(report.last_t, issued_t)
     if not response.get("ok"):
         report.n_errors += 1
     where = response.get("placement")
@@ -132,7 +135,8 @@ def replay(spec: LoadSpec, transport: Transport) -> ReplayReport:
 def _replay_open(spec: LoadSpec, transport: Transport,
                  report: ReplayReport, digest: "hashlib._Hash") -> None:
     for arrival in merged_stream(spec):
-        _fold(report, digest, arrival, transport.send(arrival_to_request(arrival)))
+        _fold(report, digest, arrival, arrival.t,
+              transport.send(arrival_to_request(arrival)))
 
 
 def _replay_closed(spec: LoadSpec, transport: Transport,
@@ -161,7 +165,7 @@ def _replay_closed(spec: LoadSpec, transport: Transport,
         request = arrival_to_request(arrival)
         request["t"] = issue_t
         response = transport.send(request)
-        _fold(report, digest, arrival, response)
+        _fold(report, digest, arrival, issue_t, response)
         done = response.get("done_t")
         if done is not None:
             ready[hive] = float(done)

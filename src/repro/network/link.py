@@ -82,3 +82,11 @@ class LinkModel:
         _check_payload(payload_bytes)
         mean_bps = self.nominal_bps * np.exp(self._sigma**2 / 2)
         return self.handshake_s + payload_bytes * 8.0 / mean_bps
+
+    def describe(self) -> dict:
+        """Stable, JSON-safe parameters (for config headers and fingerprints)."""
+        return {
+            "nominal_bps": self.nominal_bps,
+            "cv": self.cv,
+            "handshake_s": self.handshake_s,
+        }

@@ -20,6 +20,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.calibration import CYCLE_SECONDS
+from repro.core.placement import POLICY_KINDS
 from repro.serve.engine import OrchestrationEngine, ServeConfig
 from repro.serve.http import make_server, serve_until_signal
 from repro.util.atomic import atomic_write, atomic_write_json
@@ -33,9 +34,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--model", choices=("svm", "cnn"), default="svm")
     parser.add_argument(
         "--policy",
-        choices=("first-fit", "round-robin", "balanced"),
+        choices=POLICY_KINDS,
         default="first-fit",
         help="slot filling policy (default: the paper's first-fit)",
+    )
+    parser.add_argument(
+        "--policy-seed", type=int, default=0,
+        help="seed for stochastic-score policies (swarm-scored)",
     )
     parser.add_argument("--max-parallel", type=int, default=None,
                         help="per-slot client cap (default: calibration)")
@@ -63,6 +68,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = ServeConfig(
         model=args.model,
         policy=args.policy,
+        policy_seed=args.policy_seed,
         max_parallel=args.max_parallel,
         period=args.period,
         max_servers=args.max_servers,

@@ -31,20 +31,18 @@ latency series shows the knee ``ext-serve`` sweeps for.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.allocator import (
-    Allocator,
-    BalancedPolicy,
-    FirstFitPolicy,
-    RoundRobinPolicy,
-)
+from repro.core.allocator import Allocator
 from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
 from repro.core.client import fallback_inference_task
-from repro.core.livealloc import POLICY_KINDS, AdmissionFull, LiveAllocation
+from repro.core.livealloc import AdmissionFull, LiveAllocation
 from repro.core.losses import LossConfig
+from repro.core.placement import normalize_kind, resolve_policy
 from repro.core.routines import make_scenario
 from repro.core.simulate import occupied_slot_energy
 from repro.network.link import LinkModel
@@ -55,20 +53,6 @@ from repro.serve.trace import PlacementTrace
 #: The serving API's operation set.
 OPS = ("admit", "release", "telemetry", "inference", "health")
 
-_POLICY_ALIASES = {
-    "first-fit": "first-fit",
-    "firstfit": "first-fit",
-    "round-robin": "round-robin",
-    "roundrobin": "round-robin",
-    "balanced": "balanced",
-}
-
-_POLICY_CLASSES = {
-    "first-fit": FirstFitPolicy,
-    "round-robin": RoundRobinPolicy,
-    "balanced": BalancedPolicy,
-}
-
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -76,6 +60,7 @@ class ServeConfig:
 
     model: str = "svm"
     policy: str = "first-fit"
+    policy_seed: int = 0
     max_parallel: Optional[int] = None
     period: float = CYCLE_SECONDS
     max_servers: Optional[int] = None
@@ -85,22 +70,30 @@ class ServeConfig:
     link: LinkModel = WIFI_80211N_2G4
 
     def __post_init__(self) -> None:
-        kind = _POLICY_ALIASES.get(self.policy.lower())
-        if kind is None:
-            raise ValueError(f"policy must be one of {POLICY_KINDS}, got {self.policy!r}")
-        object.__setattr__(self, "policy", kind)
+        object.__setattr__(self, "policy", normalize_kind(self.policy))
         if self.period <= 0:
             raise ValueError(f"period must be > 0, got {self.period}")
 
     def describe(self) -> Dict[str, Any]:
+        """Stable, JSON-safe header pinning the full engine behaviour.
+
+        Includes the link model and the calibration constants: two engines
+        that price transfers differently (another Wi-Fi profile, retuned
+        Table I/II numbers) must produce different trace/report headers,
+        or the placement-trace fingerprint silently weakens.
+        """
         return {
             "model": self.model,
             "policy": self.policy,
+            "policy_params": resolve_policy(self.policy, seed=self.policy_seed).describe(),
             "max_parallel": self.max_parallel,
             "period": self.period,
             "max_servers": self.max_servers,
             "telemetry_bytes": self.telemetry_bytes,
             "losses": self.losses.describe(),
+            "link": self.link.describe(),
+            # json round-trip flattens the nested dataclasses/tuples
+            "constants": json.loads(json.dumps(dataclasses.asdict(self.constants))),
         }
 
 
@@ -114,11 +107,12 @@ class OrchestrationEngine:
         scenario = make_scenario("edge+cloud", cfg.model, cfg.max_parallel, cfg.constants)
         self.server = scenario.server
         self.client = scenario.client
-        self.allocator = Allocator(
-            self.server, cfg.period, cfg.losses, _POLICY_CLASSES[cfg.policy]()
-        )
+        # one shared policy instance: the batch allocator and the live
+        # structure must agree on memoized score tables (solar/swarm)
+        policy = resolve_policy(cfg.policy, seed=cfg.policy_seed)
+        self.allocator = Allocator(self.server, cfg.period, cfg.losses, policy)
         self.plan = self.allocator.plan
-        self.live = LiveAllocation(self.plan, cfg.policy, cfg.max_servers)
+        self.live = LiveAllocation(self.plan, policy, cfg.max_servers)
         self.edge_task = fallback_inference_task(cfg.model, cfg.constants)
         # Radio draw during an upload: the Table II send_audio row's power.
         self.radio_watts = cfg.constants.send_audio_j / cfg.constants.send_audio_s
@@ -162,8 +156,19 @@ class OrchestrationEngine:
 
     # -- request handling ----------------------------------------------------
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Process one request dict; never raises on a bad request."""
+        """Process one request dict; never raises on a bad request.
+
+        Every handled request is counted exactly once, *before* dispatch:
+        health probes and malformed requests both land in ``n_requests``
+        and the per-op counters (unknown ops under ``serve.requests.invalid``),
+        so ``n_requests >= n_errors`` always holds and the per-op counter
+        totals sum to the request count.
+        """
         op = request.get("op")
+        self.n_requests += 1
+        m = self.obs.metrics
+        m.counter("serve.requests").inc()
+        m.counter(f"serve.requests.{op if op in OPS else 'invalid'}").inc()
         try:
             if op == "health":
                 return self._health()
@@ -175,7 +180,7 @@ class OrchestrationEngine:
                 raise ValueError(
                     f"non-monotonic request time {t!r} after {self._last_t!r}"
                 )
-            self._observe_arrival(op, t)
+            self._observe_arrival(t)
             if op == "admit":
                 return self._admit(hive, t)
             if op == "release":
@@ -188,13 +193,9 @@ class OrchestrationEngine:
             self.obs.metrics.counter("serve.errors").inc()
             return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
 
-    def _observe_arrival(self, op: str, t: float) -> None:
-        self.n_requests += 1
-        m = self.obs.metrics
-        m.counter("serve.requests").inc()
-        m.counter(f"serve.requests.{op}").inc()
+    def _observe_arrival(self, t: float) -> None:
         if self._last_t is not None and t > self._last_t:
-            m.histogram("serve.interarrival_s").record(t - self._last_t)
+            self.obs.metrics.histogram("serve.interarrival_s").record(t - self._last_t)
         self._last_t = t if self._last_t is None else max(self._last_t, t)
 
     def _admit(self, hive: int, t: float) -> Dict[str, Any]:

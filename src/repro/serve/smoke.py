@@ -34,7 +34,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.loadgen.arrivals import LoadSpec
 from repro.loadgen.replay import HttpTransport, ReplayReport, replay, replay_in_process
-from repro.serve.engine import OrchestrationEngine
+from repro.serve.engine import OrchestrationEngine, ServeConfig
 
 #: The canonical smoke load: ~64 × (1 admit + 0.02 Hz × 4000 s) ≈ 5.2k requests.
 SMOKE_SPEC = LoadSpec(
@@ -48,16 +48,19 @@ SMOKE_SPEC = LoadSpec(
 )
 
 
-def run_smoke_in_process() -> Tuple[OrchestrationEngine, ReplayReport]:
-    """The canonical replay against a default in-process engine."""
-    return replay_in_process(SMOKE_SPEC)
+def run_smoke_in_process(
+    policy: str = "first-fit", policy_seed: int = 0
+) -> Tuple[OrchestrationEngine, ReplayReport]:
+    """The canonical replay against an in-process engine under ``policy``."""
+    engine = OrchestrationEngine(ServeConfig(policy=policy, policy_seed=policy_seed))
+    return replay_in_process(SMOKE_SPEC, engine)
 
 
-def smoke_fingerprint() -> Dict[str, Any]:
+def smoke_fingerprint(policy: str = "first-fit", policy_seed: int = 0) -> Dict[str, Any]:
     """Golden-able fingerprint of the canonical run (raises on any breach)."""
     from repro.validate.golden import round_sig
 
-    engine, report = run_smoke_in_process()
+    engine, report = run_smoke_in_process(policy, policy_seed)
     if report.n_errors:
         raise RuntimeError(f"smoke replay produced {report.n_errors} failed responses")
     if not engine.steady_state_matches_batch():
@@ -68,6 +71,9 @@ def smoke_fingerprint() -> Dict[str, Any]:
     latency = engine.latency_report()
     return {
         "spec": SMOKE_SPEC.describe(),
+        # the full engine config header (policy params, link, calibration
+        # constants): a retuned engine cannot silently share a fingerprint
+        "config": engine.config.describe(),
         "n_requests": report.n_requests,
         "n_errors": report.n_errors,
         "by_op": dict(sorted(report.by_op.items())),
@@ -96,7 +102,9 @@ def smoke_fingerprint() -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def _boot_server(tmp: Path) -> Tuple[subprocess.Popen, str, Path, Path]:
+def _boot_server(
+    tmp: Path, policy: str = "first-fit", policy_seed: int = 0
+) -> Tuple[subprocess.Popen, str, Path, Path]:
     """Start ``repro-serve`` on an ephemeral port; returns (proc, url, trace, obs)."""
     port_file = tmp / "port"
     trace_out = tmp / "trace.json"
@@ -107,6 +115,7 @@ def _boot_server(tmp: Path) -> Tuple[subprocess.Popen, str, Path, Path]:
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro.serve.cli",
+            "--policy", policy, "--policy-seed", str(policy_seed),
             "--port", "0", "--port-file", str(port_file),
             "--trace-out", str(trace_out), "--obs-out", str(obs_out),
         ],
@@ -126,7 +135,7 @@ def _boot_server(tmp: Path) -> Tuple[subprocess.Popen, str, Path, Path]:
     return proc, f"http://127.0.0.1:{port}", trace_out, obs_out
 
 
-def run_smoke_http() -> Dict[str, Any]:
+def run_smoke_http(policy: str = "first-fit", policy_seed: int = 0) -> Dict[str, Any]:
     """Boot a real server, replay the canonical load over HTTP, shut it down.
 
     Returns ``{report, trace_sha256, trace_events, obs_snapshot}`` read
@@ -134,7 +143,7 @@ def run_smoke_http() -> Dict[str, Any]:
     """
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmpdir:
         tmp = Path(tmpdir)
-        proc, url, trace_out, obs_out = _boot_server(tmp)
+        proc, url, trace_out, obs_out = _boot_server(tmp, policy, policy_seed)
         try:
             transport = HttpTransport(url)
             health = transport.health()
@@ -168,39 +177,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--http", action="store_true",
                         help="also boot a repro-serve subprocess and replay over HTTP")
+    parser.add_argument("--policy", default="first-fit",
+                        help="placement policy to smoke (non-default skips the "
+                             "golden compare; zero-error + bit-identity still gate)")
+    parser.add_argument("--policy-seed", type=int, default=0,
+                        help="seed for stochastic-score policies (swarm-scored)")
     parser.add_argument("--golden-dir", default=None,
                         help="directory holding serve-trace.json (default: tests/golden)")
     parser.add_argument("--latency-out", default=None,
                         help="write the p50/p99/RPS latency report here (CI artifact)")
     args = parser.parse_args(argv)
 
+    from repro.core.placement import normalize_kind
     from repro.validate.golden import diff_fingerprints, load_golden, render_drift_report
 
-    fresh = smoke_fingerprint()
-    print(f"in-process replay: {fresh['n_requests']} requests, "
+    policy = normalize_kind(args.policy)
+    fresh = smoke_fingerprint(policy, args.policy_seed)
+    print(f"in-process replay [{policy}]: {fresh['n_requests']} requests, "
           f"{fresh['n_errors']} errors, trace {fresh['trace_sha256'][:16]}…")
 
-    directory = Path(args.golden_dir) if args.golden_dir else None
-    stored = load_golden("serve-trace", directory)
-    drifts = diff_fingerprints(stored["fingerprint"], fresh)
-    if drifts:
-        print(render_drift_report({"serve-trace": drifts}))
-        return 1
-    print("golden serve-trace: match")
+    canonical = policy == "first-fit" and args.policy_seed == 0
+    if canonical:
+        directory = Path(args.golden_dir) if args.golden_dir else None
+        stored = load_golden("serve-trace", directory)
+        drifts = diff_fingerprints(stored["fingerprint"], fresh)
+        if drifts:
+            print(render_drift_report({"serve-trace": drifts}))
+            return 1
+        print("golden serve-trace: match")
+    else:
+        # only the canonical config is pinned; other policies still gate on
+        # zero errors (smoke_fingerprint raised otherwise) and, with --http,
+        # on subprocess bit-identity below
+        print(f"golden serve-trace: skipped (non-canonical policy {policy})")
 
     if args.latency_out:
         from repro.util.atomic import atomic_write_json
 
-        engine, _report = run_smoke_in_process()
+        engine, _report = run_smoke_in_process(policy, args.policy_seed)
         atomic_write_json(
             args.latency_out,
-            {"spec": SMOKE_SPEC.describe(), "latency": engine.latency_report()},
+            {"spec": SMOKE_SPEC.describe(), "policy": policy,
+             "latency": engine.latency_report()},
             sort_keys=True,
         )
         print(f"latency report written to {args.latency_out}")
 
     if args.http:
-        http = run_smoke_http()
+        http = run_smoke_http(policy, args.policy_seed)
         report: ReplayReport = http["report"]
         if report.n_errors:
             print(f"HTTP replay: {report.n_errors} failed responses")

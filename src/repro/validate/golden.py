@@ -428,6 +428,15 @@ def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
             "Intermittent-connectivity sweep (reduced grid): outage schedules, "
             "store-and-forward buffering, crossover shift",
         ),
+        "ext-policies": (
+            lambda: _experiment_fingerprint(
+                "ext-policies",
+                fleet_sizes=(100, 350),
+                seed=0,
+            ),
+            "Placement-policy sweep (reduced grid): energy and solar "
+            "alignment per policy, online == batch pins",
+        ),
         "parallel-crossover": (
             _case_parallel_crossover,
             "ext-faults via the chunked parallel runner (serial == parallel)",

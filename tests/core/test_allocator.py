@@ -329,3 +329,89 @@ class TestRepackFailedServers:
         assert placed_ids.isdisjoint(unplaced)
         assert placed_ids | set(unplaced) == set(range(n))
         assert {s.server_index for s in repacked.servers}.isdisjoint(failed)
+
+
+class TestPolicyAwareRepack:
+    """``repack_failed_servers(..., policy=...)`` steers orphan fill order."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=600))
+    def test_none_policy_matches_first_fit_policy_byte_exact(self, n):
+        from repro.core.allocator import repack_failed_server
+
+        alloc = RoundRobinPolicy().allocate(range(n), plan())
+        failed = alloc.servers[0].server_index
+        legacy = repack_failed_server(alloc, failed)
+        steered = repack_failed_server(alloc, failed, policy=FirstFitPolicy())
+        assert legacy[1] == steered[1]
+        assert [(s.server_index, s.slots) for s in legacy[0].servers] == [
+            (s.server_index, s.slots) for s in steered[0].servers
+        ]
+
+    def test_best_fit_tops_up_the_fullest_slots_first(self):
+        from repro.core.allocator import (
+            Allocation,
+            BestFitPolicy,
+            ServerAssignment,
+            repack_failed_server,
+        )
+
+        p = plan(slots=3, parallel=4)
+        alloc = Allocation(
+            (
+                ServerAssignment(0, ((0, 1, 2), (3,))),  # occupancies 3, 1
+                ServerAssignment(1, ((10, 11),)),  # the one to fail
+            ),
+            p,
+        )
+        repacked, unplaced = repack_failed_server(alloc, 1, policy=BestFitPolicy())
+        assert unplaced == ()
+        srv = repacked.servers[0]
+        # fullest first: slot 0 (occ 3) takes one orphan, then slot 1 (occ 1+1).
+        assert srv.slots[0] == (0, 1, 2, 10)
+        assert srv.slots[1] == (3, 11)
+
+    def test_worst_fit_fills_the_emptiest_slots_first(self):
+        from repro.core.allocator import (
+            Allocation,
+            ServerAssignment,
+            WorstFitPolicy,
+            repack_failed_server,
+        )
+
+        p = plan(slots=3, parallel=4)
+        alloc = Allocation(
+            (
+                ServerAssignment(0, ((0, 1, 2), (3,))),
+                ServerAssignment(1, ((10, 11),)),
+            ),
+            p,
+        )
+        repacked, unplaced = repack_failed_server(alloc, 1, policy=WorstFitPolicy())
+        assert unplaced == ()
+        srv = repacked.servers[0]
+        # emptiest first: a brand-new slot (occ 0) wins over slot 1 (occ 1);
+        # the second orphan then ties that fresh slot with slot 1, and the
+        # lower slot ordinal breaks the tie.
+        assert srv.slots[0] == (0, 1, 2)
+        assert srv.slots[1] == (3, 11)
+        assert srv.slots[2] == (10,)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=600),
+        kind=st.sampled_from(
+            ("first-fit", "best-fit", "worst-fit", "solar-budget", "swarm-scored")
+        ),
+    )
+    def test_policy_repack_preserves_invariants(self, n, kind):
+        from repro.core.allocator import repack_failed_servers, resolve_policy
+
+        policy = resolve_policy(kind)
+        alloc = policy.allocate(range(n), plan())
+        failed = [alloc.servers[0].server_index]
+        repacked, unplaced = repack_failed_servers(alloc, failed, policy=policy)
+        repacked.validate()
+        placed_ids = set(repacked.client_ids)
+        assert placed_ids.isdisjoint(unplaced)
+        assert placed_ids | set(unplaced) == set(range(n))

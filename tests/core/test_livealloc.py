@@ -2,11 +2,14 @@
 
 The central claim: **after any interleaving of admit/release/repack, the
 live state is bit-identical to the batch ``Allocator.allocate`` fold over
-the surviving client sequence** — for all three filling policies — and the
+the surviving client sequence** — for all seven filling policies — and the
 slot/occupancy invariants hold after every single step.  Legacy loop-based
-reference implementations of the policies are kept here so the fold
+reference implementations of the PR 8 trio are kept here so the fold
 refactor in ``repro.core.allocator`` is checked against the historical
-layouts, not against itself.
+layouts, not against itself; the four policies added with the
+``PlacementPolicy`` interface (best-fit, worst-fit, solar-budget,
+swarm-scored) get the same interleaving net plus direct structural checks
+of their layout semantics.
 """
 
 import math
@@ -18,7 +21,6 @@ from repro.core.allocator import (
     Allocation,
     BalancedPolicy,
     FirstFitPolicy,
-    RoundRobinPolicy,
     ServerAssignment,
 )
 from repro.core.livealloc import (
@@ -27,14 +29,21 @@ from repro.core.livealloc import (
     LiveAllocation,
     materialize,
 )
+from repro.core.placement import (
+    BestFitPolicy,
+    SwarmScoredPolicy,
+    resolve_policy,
+)
 from repro.core.server import SlotPlan
 from repro.validate.errors import InvariantViolation
 
-POLICIES = {
-    "first-fit": FirstFitPolicy(),
-    "round-robin": RoundRobinPolicy(),
-    "balanced": BalancedPolicy(),
-}
+# the same instances LiveAllocation(plan, kind) resolves to — swarm-scored
+# with the default seed 0, so string and object construction agree
+POLICIES = {kind: resolve_policy(kind) for kind in POLICY_KINDS}
+
+#: Policies whose servers fill slots in ordinal order, so a materialized
+#: assignment's tuple index *is* the placement's slot ordinal.
+PREFIX_KINDS = ("first-fit", "round-robin", "balanced", "best-fit", "worst-fit")
 
 
 # ---------------------------------------------------------------------------
@@ -104,6 +113,7 @@ plans = st.builds(
 )
 
 kinds = st.sampled_from(POLICY_KINDS)
+legacy_kinds = st.sampled_from(tuple(LEGACY))
 
 
 def assert_identical(a: Allocation, b: Allocation) -> None:
@@ -118,7 +128,7 @@ def assert_identical(a: Allocation, b: Allocation) -> None:
 
 class TestFoldMatchesLegacy:
     @settings(max_examples=120, deadline=None)
-    @given(kind=kinds, plan=plans, n=st.integers(min_value=0, max_value=700))
+    @given(kind=legacy_kinds, plan=plans, n=st.integers(min_value=0, max_value=700))
     def test_policy_allocate_is_the_legacy_layout(self, kind, plan, n):
         assert_identical(
             POLICIES[kind].allocate(range(n), plan), LEGACY[kind](range(n), plan)
@@ -126,7 +136,7 @@ class TestFoldMatchesLegacy:
 
     @settings(max_examples=60, deadline=None)
     @given(
-        kind=kinds,
+        kind=legacy_kinds,
         plan=plans,
         ids=st.lists(st.integers(min_value=0, max_value=10_000), unique=True, max_size=300),
     )
@@ -210,7 +220,8 @@ class TestInterleavings:
         live.check()
         assert live.client_ids() == survivors
         assert_identical(live.to_allocation(), POLICIES[kind].allocate(survivors, plan))
-        assert_identical(live.to_allocation(), LEGACY[kind](survivors, plan))
+        if kind in LEGACY:
+            assert_identical(live.to_allocation(), LEGACY[kind](survivors, plan))
 
     @settings(max_examples=25, deadline=None)
     @given(kind=kinds, plan=plans, ops=ops_strategy)
@@ -235,7 +246,8 @@ class TestInterleavings:
         assert_identical(live.to_allocation(), POLICIES[kind].allocate(survivors, plan))
 
     @settings(max_examples=40, deadline=None)
-    @given(kind=kinds, plan=plans, n=st.integers(min_value=1, max_value=400))
+    @given(kind=st.sampled_from(PREFIX_KINDS), plan=plans,
+           n=st.integers(min_value=1, max_value=400))
     def test_placement_of_matches_materialized_layout(self, kind, plan, n):
         live = LiveAllocation(plan, kind)
         live.bulk_admit(range(n))
@@ -249,6 +261,45 @@ class TestInterleavings:
                     )
                     assert live.slot_occupancy(p) == len(slot)
                     assert live.server_of(cid) == srv.server_index
+
+    @settings(max_examples=40, deadline=None)
+    @given(kind=kinds, plan=plans, n=st.integers(min_value=1, max_value=400))
+    def test_placements_bucket_to_the_materialized_slots(self, kind, plan, n):
+        """Ordinal-aware twin of the test above, valid for every policy.
+
+        Solar-budget and swarm-scored fill slots out of schedule order, so
+        ``Placement.slot`` (the schedule ordinal) need not equal the tuple
+        index of the materialized assignment — but bucketing the per-client
+        placements by (server, ordinal) and listing non-empty ordinals in
+        order must reproduce the materialized slots exactly.
+        """
+        live = LiveAllocation(plan, kind)
+        live.bulk_admit(range(n))
+        groups = {}
+        for cid in live.client_ids():
+            p = live.placement_of(cid)
+            assert 0 <= p.server < live.n_servers
+            assert 0 <= p.slot < plan.slots_per_cycle
+            assert 0 <= p.position < plan.max_parallel
+            groups.setdefault(p.server, {}).setdefault(p.slot, []).append(
+                (p.position, cid)
+            )
+            assert live.server_of(cid) == p.server
+        alloc = live.to_allocation()
+        assert alloc.n_servers == live.n_servers
+        for srv in alloc.servers:
+            by_ordinal = groups.get(srv.server_index, {})
+            expected = tuple(
+                tuple(cid for _, cid in sorted(by_ordinal[o]))
+                for o in sorted(by_ordinal)
+            )
+            assert srv.slots == expected
+        for server, by_ordinal in groups.items():
+            for ordinal, members in by_ordinal.items():
+                positions = sorted(pos for pos, _ in members)
+                assert positions == list(range(len(members)))  # dense, unique
+                p = live.placement_of(members[0][1])
+                assert live.slot_occupancy(p) == len(members)
 
 
 class TestBudgetAndRepack:
@@ -343,8 +394,117 @@ class TestCompactionAndScale:
 
     def test_policy_validation(self):
         with pytest.raises(ValueError, match="policy must be one of"):
-            LiveAllocation(SlotPlan(16.6, 18, 10), "worst-fit")
+            LiveAllocation(SlotPlan(16.6, 18, 10), "worst-case")
         with pytest.raises(ValueError, match="max_servers"):
             LiveAllocation(SlotPlan(16.6, 18, 10), "first-fit", max_servers=-1)
         with pytest.raises(ValueError, match="policy must be one of"):
-            materialize("worst-fit", [1], SlotPlan(16.6, 18, 10))
+            materialize("worst-case", [1], SlotPlan(16.6, 18, 10))
+
+
+# ---------------------------------------------------------------------------
+# the four PlacementPolicy additions: layout semantics + failover
+# ---------------------------------------------------------------------------
+
+NEW_KINDS = ("best-fit", "worst-fit", "solar-budget", "swarm-scored")
+
+
+class TestNewPolicyLayouts:
+    @settings(max_examples=60, deadline=None)
+    @given(kind=kinds, plan=plans, n=st.integers(min_value=0, max_value=500))
+    def test_every_policy_opens_minimal_servers(self, kind, plan, n):
+        alloc = POLICIES[kind].allocate(range(n), plan)
+        assert alloc.n_servers == math.ceil(n / plan.capacity)
+        assert alloc.n_clients == n
+        assert all(srv.n_clients > 0 for srv in alloc.servers)
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plans, n=st.integers(min_value=0, max_value=500))
+    def test_best_fit_respects_the_soft_cap_until_overflow(self, plan, n):
+        policy = BestFitPolicy(headroom=1)
+        soft = max(1, plan.max_parallel - 1)
+        alloc = policy.allocate(range(n), plan)
+        n_servers = alloc.n_servers
+        soft_capacity = n_servers * plan.slots_per_cycle * soft
+        occs = [occ for srv in alloc.servers for occ in srv.occupancies]
+        if n <= soft_capacity:
+            assert all(occ <= soft for occ in occs)
+        else:
+            # the soft tier is full everywhere before any slot exceeds it
+            assert sum(min(occ, soft) for occ in occs) == soft_capacity
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plans, n=st.integers(min_value=1, max_value=500))
+    def test_worst_fit_balances_server_populations(self, plan, n):
+        alloc = POLICIES["worst-fit"].allocate(range(n), plan)
+        counts = [srv.n_clients for srv in alloc.servers]
+        assert max(counts) - min(counts) <= 1
+        # round-robin across servers: client 0 on server 0, 1 on server 1, …
+        assert alloc.servers[0].slots[0][0] == 0
+        if alloc.n_servers > 1:
+            assert alloc.servers[1].slots[0][0] == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=plans, n=st.integers(min_value=1, max_value=500))
+    def test_solar_budget_fills_sunniest_slots_first(self, plan, n):
+        policy = POLICIES["solar-budget"]
+        live = LiveAllocation(plan, policy)
+        live.bulk_admit(range(n))
+        scores = policy.slot_scores(plan)
+        assert len(scores) == plan.slots_per_cycle
+        # the very first admission lands in a maximum-score slot
+        first = live.placement_of(0)
+        assert scores[first.slot] == max(scores)
+        # within each server, occupied slots are exactly the score-ordered
+        # prefix: no sunnier slot is emptier than a dimmer one
+        order = {slot: idx for idx, slot in
+                 enumerate(sorted(range(plan.slots_per_cycle),
+                                  key=lambda k: (-scores[k], k)))}
+        for srv in live.to_allocation().servers:
+            ordinals = set()
+            for cid in (c for slot in srv.slots for c in slot):
+                ordinals.add(live.placement_of(cid).slot)
+            ranks = sorted(order[o] for o in ordinals)
+            assert ranks == list(range(len(ranks)))
+
+    def test_swarm_scored_is_seed_deterministic(self):
+        plan = SlotPlan(16.6, 6, 4)
+        a = SwarmScoredPolicy(seed=3).allocate(range(40), plan)
+        b = SwarmScoredPolicy(seed=3).allocate(range(40), plan)
+        assert a.servers == b.servers
+        c = SwarmScoredPolicy(seed=4).allocate(range(40), plan)
+        assert a.servers != c.servers  # a different trail, a different layout
+
+    def test_swarm_scored_follows_descending_pheromone(self):
+        plan = SlotPlan(16.6, 5, 3)
+        policy = SwarmScoredPolicy(seed=11)
+        live = LiveAllocation(plan, policy)
+        live.bulk_admit(range(3 * 5 * 3 * 2))  # six full servers of 15
+        scores = policy.pair_scores(live.n_servers, plan)
+        seen = []
+        for rank in range(0, len(live), plan.max_parallel):
+            p = policy.place(rank, len(live), plan)
+            seen.append(scores[p.server][p.slot])
+        assert seen == sorted(seen, reverse=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(kind=st.sampled_from(NEW_KINDS), plan=plans,
+           n=st.integers(min_value=1, max_value=400),
+           first=st.integers(min_value=0, max_value=10),
+           second=st.integers(min_value=0, max_value=10))
+    def test_multi_server_failure_repack_stays_canonical(self, kind, plan, n,
+                                                         first, second):
+        live = LiveAllocation(plan, kind)
+        live.bulk_admit(range(n))
+        survivors = list(range(n))
+        for which in (first, second):
+            if live.n_servers == 0:
+                break
+            result = live.repack_on_failure(which % live.n_servers)
+            assert not result.dropped
+            gone = set(result.orphans)
+            survivors = [c for c in survivors if c not in gone]
+            survivors.extend(result.readmitted)
+            live.check()
+        assert live.client_ids() == survivors
+        assert_identical(live.to_allocation(),
+                         POLICIES[kind].allocate(survivors, plan))

@@ -1,0 +1,62 @@
+"""Tests for the placement-policy comparison experiment (ext-policies)."""
+
+import json
+
+import numpy as np
+
+from repro.core.placement import POLICY_KINDS
+from repro.experiments.registry import run_experiment
+
+GRID = {"fleet_sizes": (100, 350)}
+
+
+def run_once():
+    return run_experiment("ext-policies", **GRID)
+
+
+class TestExtPolicies:
+    def test_all_pins_hold(self):
+        result = run_once()
+        pins = {c.quantity: c for c in result.comparisons}
+        identity = pins["live churn vs batch allocation, max |Δ| slots"]
+        assert identity.measured_value == 0.0
+        assert identity.within_tolerance is True
+        spread = pins["server-count spread across policies"]
+        assert spread.measured_value == 0.0
+        solar = pins["solar-budget tops the solar-alignment ranking"]
+        assert solar.measured_value == 1.0
+
+    def test_series_cover_every_policy(self):
+        result = run_once()
+        for kind in POLICY_KINDS:
+            for prefix in ("server_energy_j_none_", "server_energy_j_ab_",
+                           "solar_alignment_wm2_"):
+                series = result.series[f"{prefix}{kind}"]
+                assert len(series) == len(GRID["fleet_sizes"])
+                assert np.all(np.asarray(series) >= 0)
+        # loss A+B always costs at least the loss-free layout
+        for kind in POLICY_KINDS:
+            none = np.asarray(result.series[f"server_energy_j_none_{kind}"])
+            ab = np.asarray(result.series[f"server_energy_j_ab_{kind}"])
+            assert np.all(ab >= none)
+
+    def test_solar_budget_alignment_dominates(self):
+        result = run_once()
+        solar = np.asarray(result.series["solar_alignment_wm2_solar-budget"])
+        for kind in POLICY_KINDS:
+            other = np.asarray(result.series[f"solar_alignment_wm2_{kind}"])
+            assert np.all(solar >= other)
+
+    def test_fingerprint_is_deterministic_and_json_safe(self):
+        a = run_once().fingerprint()
+        b = run_once().fingerprint()
+        assert a == b
+        encoded = json.dumps(a, sort_keys=True)
+        assert json.loads(encoded) == a
+
+    def test_matches_committed_golden(self):
+        from repro.validate.golden import diff_fingerprints, load_golden
+
+        stored = load_golden("ext-policies")
+        fresh = run_experiment("ext-policies", fleet_sizes=(100, 350), seed=0)
+        assert diff_fingerprints(stored["fingerprint"], fresh.fingerprint()) == []

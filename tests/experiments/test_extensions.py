@@ -14,6 +14,7 @@ class TestRegistry:
             "ext-faults",
             "ext-mixed",
             "ext-outage",
+            "ext-policies",
             "ext-serve",
             "ext-training",
         }

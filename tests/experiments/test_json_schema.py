@@ -29,6 +29,7 @@ REDUCED_KWARGS = {
     "ext-contention": {"max_clients": 6, "n_trials": 10},
     "ext-faults": {"n_clients": 70, "n_cycles": 12, "crossover_sizes": (350, 650, 150)},
     "ext-outage": {"n_clients": 70, "n_cycles": 12, "crossover_sizes": (350, 650, 150)},
+    "ext-policies": {"fleet_sizes": (100, 350)},
     "ext-serve": {"fleet_sizes": (8,), "rate_multiples": (0.5, 1.5), "horizon_cycles": 4},
 }
 

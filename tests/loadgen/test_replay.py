@@ -100,6 +100,20 @@ class TestClosedLoop:
         assert closed_p99 <= 2 * closed_engine.config.period
         assert open_p99 > closed_p99
 
+    def test_last_t_reports_the_pushed_back_issue_time(self):
+        # Regression: _fold used to record the *scheduled* arrival.t, so a
+        # gated closed loop under-reported the horizon (and overstated rps).
+        # Saturate hard enough that deferral pushes the final issue time
+        # past every scheduled arrival, then cross-check against the
+        # engine's own clock — the engine saw issue times, nothing else.
+        from repro.loadgen.arrivals import merged_stream
+
+        hot = dataclasses.replace(self.CLOSED, rate_hz=0.05)
+        engine, report = replay_in_process(hot)
+        last_scheduled = max(a.t for a in merged_stream(hot))
+        assert report.last_t > last_scheduled
+        assert report.last_t == engine._last_t
+
 
 class TestTransports:
     def test_in_process_transport_passes_copies(self):

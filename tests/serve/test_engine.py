@@ -16,14 +16,34 @@ class TestConfig:
     def test_policy_aliases_normalize(self):
         assert ServeConfig(policy="FirstFit").policy == "first-fit"
         assert ServeConfig(policy="roundrobin").policy == "round-robin"
+        assert ServeConfig(policy="bestfit").policy == "best-fit"
+        assert ServeConfig(policy="solar").policy == "solar-budget"
+        assert ServeConfig(policy="swarm").policy == "swarm-scored"
 
     def test_bad_policy_rejected(self):
         with pytest.raises(ValueError, match="policy"):
-            ServeConfig(policy="worst-fit")
+            ServeConfig(policy="worst-case")
 
     def test_bad_period_rejected(self):
         with pytest.raises(ValueError, match="period"):
             ServeConfig(period=0.0)
+
+    def test_describe_pins_the_full_engine_behaviour(self):
+        desc = ServeConfig(policy="swarm-scored", policy_seed=7).describe()
+        json.dumps(desc, sort_keys=True)  # JSON-safe throughout
+        assert desc["policy"] == "swarm-scored"
+        assert desc["policy_params"] == {
+            "kind": "swarm-scored", "seed": 7, "evaporation": 0.5, "iterations": 3,
+        }
+        # the two fields the header used to omit: two engines priced by
+        # different links or calibration constants must describe differently
+        assert desc["link"] == {
+            "nominal_bps": ServeConfig().link.nominal_bps,
+            "cv": ServeConfig().link.cv,
+            "handshake_s": ServeConfig().link.handshake_s,
+        }
+        assert desc["constants"]["svm_edge_j"] == PAPER.svm_edge_j
+        assert desc["constants"]["send_audio_j"] == PAPER.send_audio_j
 
 
 class TestAdmitRelease:
@@ -132,8 +152,64 @@ class TestObsAndReport:
         assert sum(sum(o) for o in report["occupancies"]) == 6
 
 
+class TestAccounting:
+    """Every request counts exactly once — health and garbage included."""
+
+    def test_health_and_malformed_requests_are_counted(self):
+        e = engine()
+        e.handle({"op": "health"})
+        e.handle({"op": "admit", "hive": 0, "t": 0.0})
+        e.handle({"op": "reboot", "hive": 0, "t": 1.0})  # unknown op
+        e.handle({"op": "admit", "t": 2.0})  # missing hive
+        e.handle({"op": "admit", "hive": 0, "t": 3.0})  # duplicate admit
+        e.handle({"op": "health"})
+        assert e.n_requests == 6
+        assert e.n_errors == 3
+        assert e.n_requests >= e.n_errors
+
+    def test_per_op_counters_sum_to_the_request_count(self):
+        e = engine()
+        requests = [
+            {"op": "health"},
+            {"op": "admit", "hive": 0, "t": 0.0},
+            {"op": "telemetry", "hive": 0, "t": 1.0},
+            {"op": "inference", "hive": 0, "t": 2.0},
+            {"op": "inference", "hive": 0, "t": 1.0},  # non-monotonic -> error
+            {"op": "frobnicate"},  # unknown -> invalid bucket
+            {},  # no op at all -> invalid bucket
+            {"op": "release", "hive": 0, "t": 3.0},
+        ]
+        for r in requests:
+            e.handle(r)
+        metrics = e.obs.snapshot()["metrics"]
+        assert metrics["serve.requests"]["value"] == float(len(requests))
+        by_op = {
+            op: metrics.get(f"serve.requests.{op}", {"value": 0.0})["value"]
+            for op in ("admit", "release", "telemetry", "inference", "health", "invalid")
+        }
+        assert by_op == {
+            "admit": 1.0, "release": 1.0, "telemetry": 1.0, "inference": 2.0,
+            "health": 1.0, "invalid": 2.0,
+        }
+        assert sum(by_op.values()) == metrics["serve.requests"]["value"]
+        assert e.n_requests == len(requests)
+        assert e.n_errors == 3  # non-monotonic + two invalid ops
+
+    def test_health_probe_reports_itself_in_the_request_count(self):
+        e = engine()
+        first = e.handle({"op": "health"})
+        assert first["requests"] == 1  # the probe itself is request #1
+        second = e.handle({"op": "health"})
+        assert second["requests"] == 2
+        assert e.n_errors == 0
+
+
 class TestBatchIdentity:
-    @pytest.mark.parametrize("policy", ["first-fit", "round-robin", "balanced"])
+    @pytest.mark.parametrize(
+        "policy",
+        ["first-fit", "round-robin", "balanced", "best-fit", "worst-fit",
+         "solar-budget", "swarm-scored"],
+    )
     def test_steady_state_matches_batch_after_churn(self, policy):
         e = engine(policy=policy)
         t = 0.0

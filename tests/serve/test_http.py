@@ -57,9 +57,12 @@ class TestLifecycle:
         assert health["ok"] is True
         assert health["fleet"] == 0
         stdout = shutdown(proc)
-        # shutdown flushed both artifacts and printed the report
+        # shutdown flushed both artifacts and printed the report; the health
+        # probe itself counts (every handled request does, since the
+        # accounting fix) and must not register as an error
         report = json.loads(stdout)
-        assert report["requests"] == 0
+        assert report["requests"] == 1
+        assert report["errors"] == 0
         assert report["shutdown_signal"] == signal.SIGTERM
         assert trace_out.exists() and obs_out.exists()
 

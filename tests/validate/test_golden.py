@@ -28,7 +28,7 @@ from repro.validate.golden import (
 #: Cases cheap enough for tier-1 (each < ~2 s).
 FAST_CASES = [
     "table1", "table2", "fig3", "des-ideal", "des-faulty", "faulty-analytic",
-    "serve-trace",
+    "serve-trace", "ext-policies",
 ]
 
 
