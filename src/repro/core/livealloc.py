@@ -384,7 +384,8 @@ class LiveAllocation:
             self._compact()
 
     def repack_on_failure(
-        self, server_index: int, reduce_capacity: bool = False
+        self, server_index: int, reduce_capacity: bool = False,
+        policy_order: bool = False,
     ) -> RepackResult:
         """React to the loss of logical server ``server_index``.
 
@@ -395,6 +396,17 @@ class LiveAllocation:
         With ``reduce_capacity=True`` and a finite ``max_servers``, the
         budget shrinks by one first — orphans that no longer fit are
         *dropped* (returned for the edge-fallback path) instead of seated.
+
+        With ``policy_order=True`` the orphans' *readmission order* is
+        steered by the policy's
+        :meth:`~repro.core.placement.PlacementPolicy.repack_preference`:
+        the tail seats the orphans will occupy are previewed, ranked by
+        preference, and the slot-order orphan queue is dealt onto the
+        seats most-preferred-first — so a best-fit repack tops up full
+        slots with its highest-priority orphans while a policy with a
+        constant preference (the default) keeps the historical order
+        exactly.  The final *layout* is rank-derived either way; only
+        which orphan lands in which tail seat changes.
 
         O(k log n) for k orphans.
         """
@@ -408,9 +420,12 @@ class LiveAllocation:
             self.release(cid)
         if reduce_capacity and self.max_servers is not None:
             self.max_servers = max(0, self.max_servers - 1)
+        admit_order = list(orphans)
+        if policy_order and len(orphans) > 1:
+            admit_order = self._policy_readmission_order(orphans)
         readmitted: List[int] = []
         dropped: List[int] = []
-        for cid in orphans:
+        for cid in admit_order:
             try:
                 self.admit(cid)
             except AdmissionFull:
@@ -418,6 +433,27 @@ class LiveAllocation:
             else:
                 readmitted.append(cid)
         return RepackResult(tuple(orphans), tuple(readmitted), tuple(dropped))
+
+    def _policy_readmission_order(self, orphans: List[int]) -> List[int]:
+        """Deal slot-ordered orphans onto their previewed tail seats,
+        most-preferred seat first (stable: a constant preference is the
+        identity, preserving the historical admit order bit-for-bit)."""
+        n0 = len(self._index)
+        k = len(orphans)
+        final_n = n0 + k
+        n_servers = self.policy.n_servers(final_n, self.plan)
+        prefs = []
+        for i in range(k):
+            p = self.policy.place(n0 + i, final_n, self.plan)
+            occ = self.policy.slot_occupancy(p, final_n, self.plan)
+            prefs.append(
+                self.policy.repack_preference(p.server, p.slot, occ, self.plan, n_servers)
+            )
+        seat_order = sorted(range(k), key=lambda i: (prefs[i], i))
+        order: List[Optional[int]] = [None] * k
+        for priority, seat in enumerate(seat_order):
+            order[seat] = orphans[priority]
+        return [cid for cid in order if cid is not None]
 
     # -- queries -------------------------------------------------------------
     def rank_of(self, client_id: int) -> int:

@@ -17,6 +17,7 @@ from repro.experiments import (
     ext_outage,
     ext_policies,
     ext_serve,
+    ext_serve_faults,
     ext_training,
     fig2_trace,
     fig3_frequency,
@@ -52,6 +53,7 @@ EXTENSIONS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-outage": ext_outage.run,
     "ext-policies": ext_policies.run,
     "ext-serve": ext_serve.run,
+    "ext-serve-faults": ext_serve_faults.run,
     "ext-training": ext_training.run,
 }
 

@@ -23,7 +23,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.loadgen.arrivals import LoadSpec
-from repro.loadgen.replay import HttpTransport, InProcessTransport, replay
+from repro.loadgen.replay import ERROR_CLASSES, HttpTransport, InProcessTransport, replay
 from repro.util.atomic import atomic_write_json
 from repro.util.rng import DEFAULT_SEED
 
@@ -50,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report to this file atomically")
     parser.add_argument("--expect-zero-errors", action="store_true",
                         help="exit 1 unless every response was ok (CI smoke)")
+    parser.add_argument(
+        "--allow-errors", default=None, metavar="CLASSES",
+        help="comma-separated failure classes that are expected (e.g. "
+        f"'shed'); any other class exits 1. Known: {', '.join(ERROR_CLASSES)}",
+    )
+    parser.add_argument("--skip", type=int, default=0,
+                        help="skip the first N arrivals (reconnect primitive)")
+    parser.add_argument(
+        "--resume-from-target", action="store_true",
+        help="ask the target's /v1/health how many requests it already "
+        "offered and skip that many — reconnect after a serve --resume",
+    )
     return parser
 
 
@@ -68,20 +80,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    allowed = []
+    if args.allow_errors:
+        allowed = [c.strip() for c in args.allow_errors.split(",") if c.strip()]
+        unknown = [c for c in allowed if c not in ERROR_CLASSES]
+        if unknown:
+            print(f"error: unknown error classes: {', '.join(unknown)} "
+                  f"(known: {', '.join(ERROR_CLASSES)})", file=sys.stderr)
+            return 2
+    if args.resume_from_target and args.in_process:
+        print("error: --resume-from-target needs an HTTP --target", file=sys.stderr)
+        return 2
     if args.in_process:
         from repro.serve.engine import OrchestrationEngine
 
         transport = InProcessTransport(OrchestrationEngine())
     else:
         transport = HttpTransport(args.target)
-    report = replay(spec, transport)
-    payload = {"spec": spec.describe(), "report": report.to_dict()}
+    skip = args.skip
+    if args.resume_from_target:
+        try:
+            health = transport.health()
+        except OSError as exc:
+            print(f"error: cannot reach target for resume: {exc}", file=sys.stderr)
+            return 1
+        skip = max(skip, int(health.get("offered", 0)))
+        print(f"resuming: target already offered {health.get('offered', 0)} "
+              f"requests, skipping to arrival {skip}", file=sys.stderr)
+    report = replay(spec, transport, skip=skip)
+    payload = {"spec": spec.describe(), "report": report.to_dict(), "skip": skip}
     if args.json_out:
         atomic_write_json(args.json_out, payload, sort_keys=True)
     json.dump(payload, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
+    if report.by_class:
+        classes = ", ".join(f"{c}={n}" for c, n in sorted(report.by_class.items()))
+        print(f"failure classes: {classes}", file=sys.stderr)
     if args.expect_zero_errors and report.n_errors:
         print(f"error: {report.n_errors} failed responses", file=sys.stderr)
+        return 1
+    unexpected = report.unexpected_classes(allowed)
+    if args.allow_errors is not None and unexpected:
+        detail = ", ".join(f"{c}={n}" for c, n in unexpected.items())
+        print(f"error: unexpected failure classes: {detail}", file=sys.stderr)
         return 1
     return 0
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import socket
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
@@ -27,6 +29,30 @@ from typing import Any, Dict, Iterable, Optional, Protocol
 from repro.loadgen.arrivals import Arrival, LoadSpec, arrival_to_request, hive_stream, merged_stream
 from repro.serve.engine import OrchestrationEngine
 from repro.serve.trace import render_event
+from repro.util.rng import derive_seed, make_rng
+
+#: Structured failure classes a replay distinguishes in its report.
+SHED = "shed"                            # deterministic 503 overload rejection
+ENGINE_ERROR = "engine"                  # structured engine error (422 / ok=False)
+CONNECTION_REFUSED = "connection-refused"  # nothing listening / reset
+TIMEOUT = "timeout"                      # request exceeded the client budget
+HTTP_ERROR = "http"                      # non-JSON HTTP failure (4xx/5xx)
+
+ERROR_CLASSES = (SHED, ENGINE_ERROR, CONNECTION_REFUSED, TIMEOUT, HTTP_ERROR)
+
+
+def classify_response(response: Dict[str, Any]) -> Optional[str]:
+    """The failure class of one response dict (``None`` for a success).
+
+    Shed responses are classified first (they carry ``ok=False`` *and*
+    ``shed=True``); transport-synthesized failures tag themselves with
+    ``error_class``; any other ``ok=False`` is a structured engine error.
+    """
+    if response.get("shed"):
+        return SHED
+    if response.get("ok"):
+        return None
+    return response.get("error_class") or ENGINE_ERROR
 
 
 class Transport(Protocol):
@@ -46,14 +72,29 @@ class InProcessTransport:
 
 
 class HttpTransport:
-    """POST each request to a running ``repro-serve`` over HTTP."""
+    """POST each request to a running ``repro-serve`` over HTTP.
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+    Transport-level failures never raise: refused connections and timeouts
+    are retried up to ``max_attempts`` with seeded-jitter exponential
+    backoff (wall-clock; the *sim* clock is untouched), then surfaced as a
+    synthetic ``ok=False`` response tagged with ``error_class`` so the
+    replay report can bucket them.  HTTP errors that carry a JSON body
+    (422 engine errors, 503 sheds) pass through as that body — the same
+    dict the in-process transport would have returned.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0,
+                 max_attempts: int = 3, backoff_s: float = 0.2,
+                 seed: int = 0) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self._rng = make_rng(derive_seed(seed, "loadgen", "transport"))
 
-    def send(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        op = request["op"]
+    def _post_once(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
         body = {k: v for k, v in request.items() if k != "op"}
         req = urllib.request.Request(
             f"{self.base_url}/v1/{op}",
@@ -61,18 +102,55 @@ class HttpTransport:
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            # Engine-level failures come back as 422 with the same JSON body
-            # the in-process transport would return; surface it so the
-            # replay counts the error instead of crashing the client.
-            body = exc.read()
+        with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+            return json.loads(resp.read())
+
+    def _backoff(self, attempt: int) -> None:
+        jitter = 1.0 + 0.25 * float(self._rng.uniform(-1.0, 1.0))
+        time.sleep(self.backoff_s * (2.0 ** attempt) * jitter)
+
+    def send(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        failure: Dict[str, Any] = {}
+        for attempt in range(self.max_attempts):
             try:
-                return json.loads(body)
-            except (ValueError, UnicodeDecodeError):
-                return {"ok": False, "error": f"HTTP {exc.code}: {body[:200]!r}"}
+                return self._post_once(op, request)
+            except urllib.error.HTTPError as exc:
+                # The server answered — never retry.  Engine-level failures
+                # (422) and sheds (503) come back as the same JSON body the
+                # in-process transport would return.
+                payload = exc.read()
+                try:
+                    return json.loads(payload)
+                except (ValueError, UnicodeDecodeError):
+                    return {
+                        "ok": False, "op": op,
+                        "error": f"HTTP {exc.code}: {payload[:200]!r}",
+                        "error_class": HTTP_ERROR,
+                    }
+            except (socket.timeout, TimeoutError) as exc:
+                failure = {
+                    "ok": False, "op": op,
+                    "error": f"timeout after {self.timeout_s}s: {exc}",
+                    "error_class": TIMEOUT,
+                }
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                reason = getattr(exc, "reason", exc)
+                if isinstance(reason, (socket.timeout, TimeoutError)):
+                    failure = {
+                        "ok": False, "op": op,
+                        "error": f"timeout after {self.timeout_s}s: {reason}",
+                        "error_class": TIMEOUT,
+                    }
+                else:
+                    failure = {
+                        "ok": False, "op": op,
+                        "error": f"connection failed: {reason}",
+                        "error_class": CONNECTION_REFUSED,
+                    }
+            if attempt + 1 < self.max_attempts:
+                self._backoff(attempt)
+        return failure
 
     def health(self) -> Dict[str, Any]:
         with urllib.request.urlopen(
@@ -88,6 +166,7 @@ class ReplayReport:
     n_requests: int = 0
     n_errors: int = 0
     by_op: Dict[str, int] = field(default_factory=dict)
+    by_class: Dict[str, int] = field(default_factory=dict)
     placements: Dict[str, int] = field(default_factory=dict)
     last_t: float = 0.0
     response_sha256: str = ""
@@ -97,10 +176,16 @@ class ReplayReport:
             "n_requests": self.n_requests,
             "n_errors": self.n_errors,
             "by_op": dict(sorted(self.by_op.items())),
+            "by_class": dict(sorted(self.by_class.items())),
             "placements": dict(sorted(self.placements.items())),
             "last_t": self.last_t,
             "response_sha256": self.response_sha256,
         }
+
+    def unexpected_classes(self, allowed: Iterable[str] = ()) -> Dict[str, int]:
+        """Failure classes seen beyond the caller's allow-list."""
+        allow = set(allowed)
+        return {c: n for c, n in sorted(self.by_class.items()) if c not in allow}
 
 
 def _fold(report: ReplayReport, digest: "hashlib._Hash",
@@ -111,8 +196,10 @@ def _fold(report: ReplayReport, digest: "hashlib._Hash",
     # arrivals back, and last_t must report the offered horizon the engine
     # actually saw (rps derived from a smaller horizon overstates load).
     report.last_t = max(report.last_t, issued_t)
-    if not response.get("ok"):
+    failure_class = classify_response(response)
+    if failure_class is not None:
         report.n_errors += 1
+        report.by_class[failure_class] = report.by_class.get(failure_class, 0) + 1
     where = response.get("placement")
     if where:
         report.placements[where] = report.placements.get(where, 0) + 1
@@ -120,12 +207,24 @@ def _fold(report: ReplayReport, digest: "hashlib._Hash",
     digest.update(b"\n")
 
 
-def replay(spec: LoadSpec, transport: Transport) -> ReplayReport:
-    """Send the spec's arrivals through ``transport``; returns the report."""
+def replay(spec: LoadSpec, transport: Transport, skip: int = 0) -> ReplayReport:
+    """Send the spec's arrivals through ``transport``; returns the report.
+
+    ``skip`` drops the first N arrivals of the (deterministic) open-loop
+    stream before sending — the reconnect primitive: a resumed server's
+    ``/v1/health`` reports how many requests it has already ``offered``,
+    and a loadgen restarted with that skip continues the replay exactly
+    where the checkpoint left it.  The report (and its response digest)
+    covers only the tail actually sent.
+    """
+    if skip < 0:
+        raise ValueError(f"skip must be >= 0, got {skip}")
+    if skip and spec.mode != "open":
+        raise ValueError("skip/reconnect is only supported for open-loop replay")
     report = ReplayReport()
     digest = hashlib.sha256()
     if spec.mode == "open":
-        _replay_open(spec, transport, report, digest)
+        _replay_open(spec, transport, report, digest, skip)
     else:
         _replay_closed(spec, transport, report, digest)
     report.response_sha256 = digest.hexdigest()
@@ -133,8 +232,11 @@ def replay(spec: LoadSpec, transport: Transport) -> ReplayReport:
 
 
 def _replay_open(spec: LoadSpec, transport: Transport,
-                 report: ReplayReport, digest: "hashlib._Hash") -> None:
-    for arrival in merged_stream(spec):
+                 report: ReplayReport, digest: "hashlib._Hash",
+                 skip: int = 0) -> None:
+    for index, arrival in enumerate(merged_stream(spec)):
+        if index < skip:
+            continue
         _fold(report, digest, arrival, arrival.t,
               transport.send(arrival_to_request(arrival)))
 
@@ -193,6 +295,13 @@ def iter_requests(spec: LoadSpec) -> Iterable[Dict[str, Any]]:
 
 
 __all__ = [
+    "SHED",
+    "ENGINE_ERROR",
+    "CONNECTION_REFUSED",
+    "TIMEOUT",
+    "HTTP_ERROR",
+    "ERROR_CLASSES",
+    "classify_response",
     "Transport",
     "InProcessTransport",
     "HttpTransport",

@@ -31,6 +31,14 @@ and are also driven by ``tests/chaos/`` in CI, so the guarantees in
     resumed run's fingerprint must match the committed golden pin in
     ``tests/golden/ext-outage.json`` — crash-safety composed with the
     intermittent-connectivity subsystem.
+``kill-serve-resume``
+    A live ``repro-serve`` (fault injection, shedding and checkpointing
+    all on) is SIGKILLed **twice** mid-replay; each reboot ``--resume``\\ s
+    from its checkpoint and the reconnecting load generator continues from
+    the ``offered`` count ``/v1/health`` reports.  The final flushed
+    placement trace must be SHA-256 bit-identical to one uninterrupted
+    in-process run of the same load — the serving tentpole's end-to-end
+    guarantee.
 
 Workers communicate "I already crashed once" through marker files in a
 scratch directory, so every injected failure happens exactly once and the
@@ -338,6 +346,142 @@ def scenario_link_outage_resume() -> str:
     )
 
 
+#: Serving twin of the chaos suite: one fault-injected, shedding,
+#: checkpointing serve run.  The CLI flags and this config MUST stay in
+#: lockstep — the scenario's in-process reference uses the config, the
+#: subprocess uses the flags.
+_SERVE_FLAGS = [
+    "--policy", "best-fit", "--queue-bound", "8",
+    "--server-mtbf", "150", "--server-repair", "60", "--fault-servers", "3",
+    "--dark-mtbf", "200", "--dark-repair", "60", "--fault-hives", "6",
+    "--fault-horizon", "600", "--fault-seed", "7",
+]
+
+
+def _serve_chaos_config():
+    """The in-process ``ServeConfig`` twin of :data:`_SERVE_FLAGS`."""
+    from repro.serve.engine import ServeConfig
+    from repro.serve.faults import ServeFaultSpec
+
+    return ServeConfig(
+        policy="best-fit",
+        queue_bound=8,
+        faults=ServeFaultSpec(
+            server_mtbf_s=150.0, server_repair_s=60.0, fault_servers=3,
+            dark_mtbf_s=200.0, dark_repair_s=60.0, fault_hives=6,
+            horizon_s=600.0, seed=7,
+        ),
+    )
+
+
+def _serve_chaos_spec():
+    """The load every serve-chaos participant replays (open loop)."""
+    from repro.loadgen.arrivals import LoadSpec
+
+    return LoadSpec(
+        n_hives=16, rate_hz=0.05, horizon_s=600.0,
+        telemetry_fraction=0.5, payload_bytes=1024,
+        seed=0xC0FFEE, mode="open",
+    )
+
+
+def _boot_serve(tmp: str, ckpt: str, trace_out: str) -> Tuple[subprocess.Popen, str]:
+    """Start ``repro-serve`` with checkpoint+resume; wait for its port."""
+    port_file = Path(tmp) / "port"
+    if port_file.exists():
+        port_file.unlink()
+    cmd = [
+        sys.executable, "-m", "repro.serve.cli",
+        "--host", "127.0.0.1", "--port", "0", "--port-file", str(port_file),
+        *_SERVE_FLAGS,
+        "--checkpoint", ckpt, "--checkpoint-every", "20", "--resume",
+        "--trace-out", trace_out,
+    ]
+    proc = subprocess.Popen(
+        cmd, env=_child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return proc, f"http://127.0.0.1:{int(text)}"
+        if proc.poll() is not None:
+            raise AssertionError(f"serve exited {proc.returncode} during boot")
+        time.sleep(0.01)
+    proc.kill()
+    raise AssertionError("serve did not announce a port within 30s")
+
+
+def scenario_kill_serve_resume() -> str:
+    """SIGKILL a live serve twice mid-replay; resumed trace bit-identical."""
+    from repro.loadgen.arrivals import arrival_to_request, merged_stream
+    from repro.loadgen.replay import HttpTransport
+    from repro.serve.engine import OrchestrationEngine
+
+    spec = _serve_chaos_spec()
+    requests = [arrival_to_request(a) for a in merged_stream(spec)]
+    if len(requests) < 60:
+        raise AssertionError(f"chaos load too small to be interesting: {len(requests)}")
+
+    # Ground truth: one uninterrupted in-process fold over the same load.
+    reference = OrchestrationEngine(_serve_chaos_config())
+    for request in requests:
+        reference.handle(dict(request))
+    expected_sha = reference.trace.fingerprint()
+    expected_events = reference.trace.n_events
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = str(Path(tmp) / "serve-ck.json")
+        trace_out = str(Path(tmp) / "trace.json")
+        sent = 0
+        # Two kill points: the first exercises kill-serve (fresh boot →
+        # SIGKILL), the second kill-resume (resumed boot → SIGKILL again).
+        for cut in (len(requests) // 3, (2 * len(requests)) // 3):
+            proc, base_url = _boot_serve(tmp, ckpt, trace_out)
+            transport = HttpTransport(base_url)
+            offered = int(transport.health().get("offered", 0))
+            if offered > sent:
+                raise AssertionError(
+                    f"resumed serve claims {offered} offered > {sent} actually sent"
+                )
+            for request in requests[offered:cut]:
+                response = transport.send(dict(request))
+                if response.get("error_class"):
+                    raise AssertionError(f"transport failure mid-replay: {response}")
+            sent = cut
+            proc.kill()  # SIGKILL: no drain, no flush, no atexit
+            proc.wait()
+        if not Path(ckpt).exists():
+            raise AssertionError("no serve checkpoint survived the SIGKILLs")
+
+        proc, base_url = _boot_serve(tmp, ckpt, trace_out)
+        transport = HttpTransport(base_url)
+        offered = int(transport.health().get("offered", 0))
+        if offered == 0:
+            raise AssertionError("second resume lost the whole run (offered=0)")
+        for request in requests[offered:]:
+            response = transport.send(dict(request))
+            if response.get("error_class"):
+                raise AssertionError(f"transport failure mid-replay: {response}")
+        proc.send_signal(signal.SIGTERM)
+        if proc.wait(timeout=30) != 0:
+            raise AssertionError(f"serve exited {proc.returncode} on SIGTERM")
+        trace = json.loads(Path(trace_out).read_text())
+
+    if trace["sha256"] != expected_sha or trace["n_events"] != expected_events:
+        raise AssertionError(
+            f"resumed serve trace diverged: {trace['n_events']} events, "
+            f"sha {trace['sha256'][:12]}… vs expected {expected_events} "
+            f"events, sha {expected_sha[:12]}…"
+        )
+    return (
+        f"serve SIGKILLed twice mid-replay; resumed+reconnected trace "
+        f"bit-identical ({expected_events} events, sha {expected_sha[:12]}…)"
+    )
+
+
 SCENARIOS: Dict[str, Tuple[Callable[[], str], str]] = {
     "kill-worker": (scenario_kill_worker, "SIGKILL a pool worker mid-chunk"),
     "hang-worker": (scenario_hang_worker, "hang a worker past its chunk deadline"),
@@ -347,6 +491,10 @@ SCENARIOS: Dict[str, Tuple[Callable[[], str], str]] = {
     "link-outage-resume": (
         scenario_link_outage_resume,
         "SIGKILL a checkpointed link-outage sweep, resume against the golden",
+    ),
+    "kill-serve-resume": (
+        scenario_kill_serve_resume,
+        "SIGKILL a live serve twice mid-replay, resume + reconnect, trace bit-identical",
     ),
 }
 

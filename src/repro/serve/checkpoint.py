@@ -1,0 +1,179 @@
+"""Crash-recoverable serving: periodic engine checkpoints and exact resume.
+
+The orchestration engine is quiescent between requests — all of its state
+(live allocation layout, sim clock, busy map, streaming trace, obs ledger,
+fault cursor, buffers, conservation counters) is a pure fold over the
+request stream.  :func:`snapshot_engine` freezes that fold after request
+``k``; :func:`restore_engine` rebuilds an engine that behaves — to the bit
+— like the original after its first ``k`` requests.  A SIGKILLed
+``repro-serve`` therefore restarts with ``--resume`` and a reconnecting
+load generator (skipping the ``offered`` count the resumed ``/v1/health``
+reports) converges to the identical :class:`~repro.serve.trace.
+PlacementTrace` fingerprint as an uninterrupted run.
+
+Two deliberate choices:
+
+* The live allocation is stored as its **admission order** (``client_ids``)
+  rather than its seat map: rank-derived placement makes the layout a pure
+  function of that order, and failure repacks only ever rotate orphans to
+  the tail of it — so re-admitting in order reproduces the exact layout,
+  post-repack included.
+* The trace is stored as its **event list**, not its hash object (hashlib
+  states do not pickle): replaying the events through a fresh trace
+  re-derives the identical streaming SHA-256.
+
+The envelope (digest, schema, run-key binding) is
+:mod:`repro.resilience.checkpoint`'s — a serve checkpoint refuses to resume
+under a different :class:`~repro.serve.engine.ServeConfig`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.network.buffer import EdgeBuffer
+from repro.obs import Obs
+from repro.resilience.checkpoint import load_checkpoint, run_key, write_checkpoint
+from repro.resilience.snapshot import restore_obs, snapshot_obs
+from repro.serve.engine import OrchestrationEngine, ServeConfig
+
+#: Envelope ``kind`` tag for serve checkpoints.
+SERVE_CHECKPOINT_KIND = "serve"
+
+#: Default checkpoint cadence (requests between snapshots).
+DEFAULT_EVERY = 50
+
+
+def engine_run_key(config: ServeConfig) -> str:
+    """Run identity a checkpoint is bound to: the full config header."""
+    return run_key("serve", json.dumps(config.describe(), sort_keys=True))
+
+
+def snapshot_engine(engine: OrchestrationEngine) -> Dict[str, Any]:
+    """Freeze one quiescent engine as a plain payload dict."""
+    return {
+        "clients": engine.live.client_ids(),
+        "last_t": engine._last_t,
+        "busy_until": sorted(engine._busy_until.items()),
+        "inflight": sorted(engine._inflight),
+        "latencies": {k: list(v) for k, v in engine._latencies.items()},
+        "counters": {
+            "n_requests": engine.n_requests,
+            "n_errors": engine.n_errors,
+            "n_offered": engine.n_offered,
+            "n_served": engine.n_served,
+            "n_shed": engine.n_shed,
+            "n_errored": engine.n_errored,
+        },
+        "fault_cursor": engine._fault_cursor,
+        "down_servers": sorted(engine._down_servers),
+        "buffers": {hive: buf.snapshot() for hive, buf in sorted(engine._buffers.items())},
+        "trace_events": [dict(e) for e in engine.trace.events],
+        "obs": snapshot_obs(engine.obs),
+    }
+
+
+def restore_engine(
+    config: ServeConfig,
+    payload: Dict[str, Any],
+    keep_trace_events: bool = True,
+) -> OrchestrationEngine:
+    """Rebuild an engine that continues bit-identically from ``payload``."""
+    engine = OrchestrationEngine(config, obs=restore_obs(payload["obs"]),
+                                 keep_trace_events=keep_trace_events)
+    for client_id in payload["clients"]:
+        engine.live.admit(client_id)
+    for event in payload["trace_events"]:
+        line = dict(event)
+        line.pop("seq", None)  # append() re-derives identical sequence numbers
+        engine.trace.append(**line)
+    engine._last_t = payload["last_t"]
+    engine._busy_until = {int(h): float(v) for h, v in payload["busy_until"]}
+    engine._inflight = [float(v) for v in payload["inflight"]]
+    engine._latencies = {k: [float(v) for v in vs] for k, vs in payload["latencies"].items()}
+    counters = payload["counters"]
+    engine.n_requests = int(counters["n_requests"])
+    engine.n_errors = int(counters["n_errors"])
+    engine.n_offered = int(counters["n_offered"])
+    engine.n_served = int(counters["n_served"])
+    engine.n_shed = int(counters["n_shed"])
+    engine.n_errored = int(counters["n_errored"])
+    engine._fault_cursor = int(payload["fault_cursor"])
+    engine._down_servers = set(int(s) for s in payload["down_servers"])
+    if payload["buffers"]:
+        spec = config.faults.buffer  # buffers only exist under a fault spec
+        engine._buffers = {
+            int(hive): EdgeBuffer.restore(spec, snap)
+            for hive, snap in payload["buffers"].items()
+        }
+    return engine
+
+
+def save_engine(path, engine: OrchestrationEngine) -> None:
+    """Write one digest-protected serve checkpoint (atomic replace)."""
+    write_checkpoint(
+        path,
+        snapshot_engine(engine),
+        kind=SERVE_CHECKPOINT_KIND,
+        run_key=engine_run_key(engine.config),
+    )
+
+
+def resume_engine(
+    path,
+    config: ServeConfig,
+    obs: Optional[Obs] = None,
+    keep_trace_events: bool = True,
+) -> OrchestrationEngine:
+    """Load a serve checkpoint written under exactly this config.
+
+    ``obs`` is accepted for signature symmetry with the engine constructor
+    but must be ``None`` — the checkpoint carries its own obs continuity.
+    """
+    if obs is not None:
+        raise ValueError("resume_engine restores obs from the checkpoint; pass obs=None")
+    payload = load_checkpoint(
+        path, kind=SERVE_CHECKPOINT_KIND, expect_run_key=engine_run_key(config)
+    )
+    return restore_engine(config, payload, keep_trace_events=keep_trace_events)
+
+
+class ServeCheckpointer:
+    """Request-cadence checkpoint hook the CLI attaches to the engine.
+
+    ``engine.handle`` calls :meth:`after_request` once per handled request;
+    every ``every`` requests the full quiescent state is flushed (atomic
+    replace, so a kill mid-write leaves the previous checkpoint intact).
+    """
+
+    def __init__(self, path, every: int = DEFAULT_EVERY) -> None:
+        if every < 1:
+            raise ValueError(f"checkpoint cadence must be >= 1, got {every}")
+        self.path = Path(path)
+        self.every = int(every)
+        self.n_written = 0
+        self._since = 0
+
+    def after_request(self, engine: OrchestrationEngine) -> None:
+        self._since += 1
+        if self._since >= self.every:
+            self._since = 0
+            self.flush(engine)
+
+    def flush(self, engine: OrchestrationEngine) -> None:
+        save_engine(self.path, engine)
+        self.n_written += 1
+
+
+__all__ = [
+    "SERVE_CHECKPOINT_KIND",
+    "DEFAULT_EVERY",
+    "engine_run_key",
+    "snapshot_engine",
+    "restore_engine",
+    "save_engine",
+    "resume_engine",
+    "ServeCheckpointer",
+]

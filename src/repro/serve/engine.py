@@ -32,10 +32,11 @@ latency series shows the knee ``ext-serve`` sweeps for.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.allocator import Allocator
 from repro.core.calibration import CYCLE_SECONDS, PAPER, PaperConstants
@@ -45,10 +46,14 @@ from repro.core.losses import LossConfig
 from repro.core.placement import normalize_kind, resolve_policy
 from repro.core.routines import make_scenario
 from repro.core.simulate import occupied_slot_energy
+from repro.network.buffer import STORED, EdgeBuffer
 from repro.network.link import LinkModel
 from repro.network.wifi import WIFI_80211N_2G4
 from repro.obs import Obs
+from repro.serve.faults import SERVER_FAIL, CompiledServeFaults, ServeFaultSpec
 from repro.serve.trace import PlacementTrace
+from repro.util.rng import derive_seed, make_rng
+from repro.validate.invariants import ServeConservation, run_checkers
 
 #: The serving API's operation set.
 OPS = ("admit", "release", "telemetry", "inference", "health")
@@ -56,7 +61,16 @@ OPS = ("admit", "release", "telemetry", "inference", "health")
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Everything that pins an engine's behaviour (and thus its trace)."""
+    """Everything that pins an engine's behaviour (and thus its trace).
+
+    ``queue_bound`` switches on deterministic overload shedding: when the
+    simulated number of in-flight server-bound requests reaches the bound,
+    inference requests are shed; telemetry is shed earlier, at half the
+    bound (lower-value traffic yields first).  ``faults`` attaches a seeded
+    live fault surface (:class:`~repro.serve.faults.ServeFaultSpec`).  Both
+    default to off, in which case the engine's trace and responses are
+    byte-identical to the fault-free serving layer.
+    """
 
     model: str = "svm"
     policy: str = "first-fit"
@@ -68,11 +82,15 @@ class ServeConfig:
     constants: PaperConstants = PAPER
     losses: LossConfig = field(default_factory=LossConfig.none)
     link: LinkModel = WIFI_80211N_2G4
+    queue_bound: Optional[int] = None
+    faults: Optional[ServeFaultSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", normalize_kind(self.policy))
         if self.period <= 0:
             raise ValueError(f"period must be > 0, got {self.period}")
+        if self.queue_bound is not None and self.queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {self.queue_bound}")
 
     def describe(self) -> Dict[str, Any]:
         """Stable, JSON-safe header pinning the full engine behaviour.
@@ -92,6 +110,8 @@ class ServeConfig:
             "telemetry_bytes": self.telemetry_bytes,
             "losses": self.losses.describe(),
             "link": self.link.describe(),
+            "queue_bound": self.queue_bound,
+            "faults": None if self.faults is None else self.faults.describe(),
             # json round-trip flattens the nested dataclasses/tuples
             "constants": json.loads(json.dumps(dataclasses.asdict(self.constants))),
         }
@@ -123,6 +143,27 @@ class OrchestrationEngine:
         self._last_t: Optional[float] = None
         self.n_requests = 0
         self.n_errors = 0
+        # -- live-resilience state (all quiescent between requests) --------
+        # Conservation ledgers over non-health requests: every offered
+        # request lands in exactly one of served / shed / errored
+        # (ServeConservation enforces the partition in report()).
+        self.n_offered = 0
+        self.n_served = 0
+        self.n_shed = 0
+        self.n_errored = 0
+        self.faults: Optional[CompiledServeFaults] = (
+            cfg.faults.compile() if cfg.faults is not None and cfg.faults.active else None
+        )
+        self._fault_cursor = 0
+        self._down_servers: Set[int] = set()
+        self._buffers: Dict[int, EdgeBuffer] = {}
+        # Min-heap of completion times of server-bound work (cloud
+        # inferences and telemetry uploads); its pruned length at a request's
+        # arrival time is the admission-queue depth shedding decides on.
+        self._inflight: List[float] = []
+        # Duck-typed checkpoint hook (see repro.serve.checkpoint): called
+        # after every handled request, when attached by the CLI.
+        self.checkpointer: Optional[Any] = None
 
     # -- pricing -------------------------------------------------------------
     def _slot_marginal_j(self, occupancy: int) -> float:
@@ -169,6 +210,20 @@ class OrchestrationEngine:
         m = self.obs.metrics
         m.counter("serve.requests").inc()
         m.counter(f"serve.requests.{op if op in OPS else 'invalid'}").inc()
+        response = self._dispatch(op, request)
+        if op != "health":
+            self.n_offered += 1
+            if response.get("shed"):
+                self.n_shed += 1
+            elif response.get("ok"):
+                self.n_served += 1
+            else:
+                self.n_errored += 1
+        if self.checkpointer is not None:
+            self.checkpointer.after_request(self)
+        return response
+
+    def _dispatch(self, op: Optional[str], request: Dict[str, Any]) -> Dict[str, Any]:
         try:
             if op == "health":
                 return self._health()
@@ -181,10 +236,12 @@ class OrchestrationEngine:
                     f"non-monotonic request time {t!r} after {self._last_t!r}"
                 )
             self._observe_arrival(t)
+            self._advance_faults(t)
             if op == "admit":
                 return self._admit(hive, t)
             if op == "release":
                 return self._release(hive, t)
+            self._maybe_drain(hive, t)
             if op == "telemetry":
                 return self._telemetry(hive, t, int(request.get("bytes", self.config.telemetry_bytes)))
             return self._inference(hive, t)
@@ -197,6 +254,126 @@ class OrchestrationEngine:
         if self._last_t is not None and t > self._last_t:
             self.obs.metrics.histogram("serve.interarrival_s").record(t - self._last_t)
         self._last_t = t if self._last_t is None else max(self._last_t, t)
+
+    # -- live fault injection ------------------------------------------------
+    def _advance_faults(self, t: float) -> None:
+        """Apply every server fail/recover transition due at or before ``t``.
+
+        Transitions ride the request clock: the engine is quiescent between
+        requests, so applying them lazily — but always *before* the request
+        that first observes time ``t`` — yields the same state as a
+        continuously running timer, deterministically.  A failure repacks
+        the live allocation immediately (the orchestrator re-seats the dead
+        server's hives in the active policy's ``repack_preference`` order);
+        recovery only clears the down flag — clients re-spread naturally as
+        admissions churn, matching the batch fold over survivors.
+        """
+        f = self.faults
+        if f is None:
+            return
+        while self._fault_cursor < len(f.transitions):
+            when, _target, kind, server = f.transitions[self._fault_cursor]
+            if when > t:
+                break
+            self._fault_cursor += 1
+            if kind == SERVER_FAIL:
+                self._down_servers.add(server)
+                self.obs.metrics.counter("serve.faults.server_fail").inc()
+                orphans = readmitted = dropped = 0
+                if server < self.live.n_servers and len(self.live) > 0:
+                    result = self.live.repack_on_failure(server, policy_order=True)
+                    orphans = len(result.orphans)
+                    readmitted = len(result.readmitted)
+                    dropped = len(result.dropped)
+                self.trace.append(
+                    t=when, op="server-fail", server=server,
+                    orphans=orphans, readmitted=readmitted, dropped=dropped,
+                )
+            else:
+                self._down_servers.discard(server)
+                self.obs.metrics.counter("serve.faults.server_recover").inc()
+                self.trace.append(t=when, op="server-recover", server=server)
+            self.obs.metrics.gauge("serve.servers_down").set(len(self._down_servers))
+
+    def _buffer_for(self, hive: int) -> EdgeBuffer:
+        buf = self._buffers.get(hive)
+        if buf is None:
+            buf = self._buffers[hive] = EdgeBuffer(self.faults.spec.buffer)
+        return buf
+
+    def _buffer_telemetry(self, hive: int, t: float, payload_bytes: int) -> Dict[str, Any]:
+        """Dark-window telemetry: store-and-forward on the hive, zero radio."""
+        buf = self._buffer_for(hive)
+        outcome = buf.offer(t, payload_bytes)
+        self.obs.metrics.counter(f"serve.buffered.{outcome}").inc()
+        self.trace.append(
+            t=t, op="telemetry", hive=hive, bytes=payload_bytes, outcome=outcome,
+        )
+        return {
+            "ok": True, "op": "telemetry", "hive": hive, "t": t,
+            "bytes": payload_bytes, "buffered": outcome == STORED,
+            "outcome": outcome,
+        }
+
+    def _maybe_drain(self, hive: int, t: float) -> None:
+        """Burst-drain a reconnected hive's backlog before its request.
+
+        Bounded by the buffer's contended drain quota; each drained byte is
+        priced on the serving link and charged to the hive's transfer phase
+        — catching up is never free.
+        """
+        if self.faults is None:
+            return
+        buf = self._buffers.get(hive)
+        if buf is None or buf.resident_payloads == 0:
+            return
+        if self.faults.hive_dark(hive, t):
+            return
+        quota = self.faults.spec.buffer.drain_quota(self.config.link, 1)
+        payloads = buf.drain(t, quota)
+        if not payloads:
+            return
+        nbytes = sum(p.nbytes for p in payloads)
+        duration = float(self.config.link.expected_duration(nbytes))
+        energy = self.radio_watts * duration
+        self.obs.ledger.add("transfer", energy, duration)
+        self.obs.metrics.counter("serve.drained").inc(len(payloads))
+        self.trace.append(
+            t=t, op="drain", hive=hive, payloads=len(payloads),
+            bytes=nbytes, energy=energy,
+        )
+
+    # -- overload shedding ---------------------------------------------------
+    def _prune_inflight(self, t: float) -> None:
+        while self._inflight and self._inflight[0] <= t:
+            heapq.heappop(self._inflight)
+
+    def _maybe_shed(self, op: str, hive: int, t: float) -> Optional[Dict[str, Any]]:
+        """Deterministic admission control over the bounded in-flight queue.
+
+        Telemetry sheds first (at half the bound, rounded up); inference
+        holds on until the queue is actually full.  The 503 carries a
+        ``retry_after_s`` hint: the time until the oldest in-flight request
+        completes (one service period when the queue is somehow empty).
+        """
+        bound = self.config.queue_bound
+        if bound is None:
+            return None
+        self._prune_inflight(t)
+        depth = len(self._inflight)
+        threshold = bound if op == "inference" else (bound + 1) // 2
+        if depth < threshold:
+            return None
+        retry_after = self._inflight[0] - t if self._inflight else self.config.period
+        self.obs.metrics.counter(f"serve.shed.{op}").inc()
+        self.trace.append(
+            t=t, op="shed", hive=hive, shed_op=op,
+            queue_depth=depth, retry_after=retry_after,
+        )
+        return {
+            "ok": False, "op": op, "hive": hive, "t": t, "shed": True,
+            "queue_depth": depth, "retry_after_s": retry_after,
+        }
 
     def _admit(self, hive: int, t: float) -> Dict[str, Any]:
         try:
@@ -232,6 +409,11 @@ class OrchestrationEngine:
         return {"ok": True, "op": "release", "hive": hive, "t": t, "released": True}
 
     def _telemetry(self, hive: int, t: float, payload_bytes: int) -> Dict[str, Any]:
+        if self.faults is not None and self.faults.hive_dark(hive, t):
+            return self._buffer_telemetry(hive, t, payload_bytes)
+        shed = self._maybe_shed("telemetry", hive, t)
+        if shed is not None:
+            return shed
         # float() strips the numpy scalar: trace lines hash the repr and the
         # HTTP layer JSON-encodes the response, both need a plain float.
         duration = float(self.config.link.expected_duration(payload_bytes))
@@ -243,6 +425,7 @@ class OrchestrationEngine:
             t=t, op="telemetry", hive=hive, bytes=payload_bytes,
             latency=duration, energy=energy,
         )
+        heapq.heappush(self._inflight, t + duration)
         return {
             "ok": True, "op": "telemetry", "hive": hive, "t": t,
             "bytes": payload_bytes, "latency_s": duration, "energy_j": energy,
@@ -253,18 +436,68 @@ class OrchestrationEngine:
         paper's objective; the server's marginal draw is attributed to the
         ledger but amortizes over the fleet rather than vetoing offload."""
         edge_j, edge_service_s = self._edge_cost()
+        if self.faults is not None and self.faults.hive_dark(hive, t):
+            # A dark hive cannot reach the service at all: it degrades to
+            # local inference without consulting (or loading) the frontend.
+            return self._run_edge(hive, t, edge_j, edge_service_s, "link-dark")
+        shed = self._maybe_shed("inference", hive, t)
+        if shed is not None:
+            return shed
         if hive in self.live:
             client_j, server_j, placement = self._cloud_cost(hive)
             if client_j <= edge_j:
+                if self.faults is not None and placement.server in self._down_servers:
+                    return self._retry_cloud(hive, t, client_j, server_j, placement)
                 return self._run_cloud(hive, t, client_j, server_j, placement)
             reason = "upload-costs-more-than-local-inference"
         else:
             reason = "not-admitted"
         return self._run_edge(hive, t, edge_j, edge_service_s, reason)
 
+    def _retry_cloud(self, hive: int, t: float, client_j: float, server_j: float,
+                     placement) -> Dict[str, Any]:
+        """Upload aimed at a down server: walk the seeded retry ladder.
+
+        Attempt ``i`` probes the fault schedule at its (timeout- and
+        backoff-shifted) start time — a server repaired mid-ladder rescues
+        the request onto the cloud path with the accumulated delay and
+        retry joules attached; an exhausted ladder degrades to the edge
+        with reason ``server-down``.  The jitter stream is derived from
+        ``(fault seed, hive, trace position)``, so a resumed engine replays
+        the identical ladder.
+        """
+        spec = self.faults.spec
+        retry = spec.retry
+        rng = make_rng(derive_seed(spec.seed, "serve-retry", hive, self.trace.n_events))
+        attempt_t = max(t, self._busy_until.get(hive, 0.0))
+        attempts = 0
+        retry_j = 0.0
+        for i in range(retry.max_retries + 1):
+            if not self.faults.server_down(placement.server, attempt_t):
+                return self._run_cloud(
+                    hive, t, client_j, server_j, placement,
+                    start_floor=attempt_t, retries=attempts, retry_energy=retry_j,
+                )
+            attempts += 1
+            burn = retry.attempt_energy_j(self.radio_watts)
+            retry_j += burn
+            self.obs.ledger.add("retry", burn, retry.timeout_s)
+            attempt_t += retry.timeout_s
+            if i < retry.max_retries:
+                attempt_t += retry.delay_s(i, rng)
+        self.obs.metrics.counter("serve.retries.exhausted").inc()
+        edge_j, edge_service_s = self._edge_cost()
+        return self._run_edge(
+            hive, t, edge_j, edge_service_s, "server-down",
+            start_floor=attempt_t, retries=attempts, retry_energy=retry_j,
+        )
+
     def _run_cloud(self, hive: int, t: float, client_j: float, server_j: float,
-                   placement) -> Dict[str, Any]:
+                   placement, start_floor: Optional[float] = None,
+                   retries: int = 0, retry_energy: float = 0.0) -> Dict[str, Any]:
         eff_t = max(t, self._busy_until.get(hive, 0.0))
+        if start_floor is not None:
+            eff_t = max(eff_t, start_floor)
         start = self._next_slot_start(placement.slot, eff_t)
         done = start + self.server.transfer_s + self.server.service.duration
         self._busy_until[hive] = done
@@ -272,36 +505,50 @@ class OrchestrationEngine:
         self.obs.ledger.add("transfer", client_j, self.config.constants.send_audio_s)
         self.obs.ledger.add("infer", server_j, self.server.service.duration)
         self._record_inference("cloud", latency)
+        extra = {"retries": retries, "retry_energy": retry_energy} if retries else {}
         self.trace.append(
             t=t, op="inference", hive=hive, placement="cloud",
             server=placement.server, slot=placement.slot, position=placement.position,
-            latency=latency, energy=client_j, server_energy=server_j,
+            latency=latency, energy=client_j, server_energy=server_j, **extra,
         )
-        return {
+        heapq.heappush(self._inflight, done)
+        response = {
             "ok": True, "op": "inference", "hive": hive, "t": t,
             "placement": "cloud", "server": placement.server,
             "slot": placement.slot, "position": placement.position,
             "latency_s": latency, "energy_j": client_j,
             "server_energy_j": server_j, "done_t": done,
         }
+        if retries:
+            response["retries"] = retries
+            response["retry_energy_j"] = retry_energy
+        return response
 
     def _run_edge(self, hive: int, t: float, energy_j: float, service_s: float,
-                  reason: str) -> Dict[str, Any]:
+                  reason: str, start_floor: Optional[float] = None,
+                  retries: int = 0, retry_energy: float = 0.0) -> Dict[str, Any]:
         eff_t = max(t, self._busy_until.get(hive, 0.0))
+        if start_floor is not None:
+            eff_t = max(eff_t, start_floor)
         done = eff_t + service_s
         self._busy_until[hive] = done
         latency = done - t
         self.obs.ledger.add("infer", energy_j, service_s)
         self._record_inference("edge", latency)
+        extra = {"retries": retries, "retry_energy": retry_energy} if retries else {}
         self.trace.append(
             t=t, op="inference", hive=hive, placement="edge", reason=reason,
-            latency=latency, energy=energy_j,
+            latency=latency, energy=energy_j, **extra,
         )
-        return {
+        response = {
             "ok": True, "op": "inference", "hive": hive, "t": t,
             "placement": "edge", "reason": reason,
             "latency_s": latency, "energy_j": energy_j, "done_t": done,
         }
+        if retries:
+            response["retries"] = retries
+            response["retry_energy_j"] = retry_energy
+        return response
 
     def _record_inference(self, where: str, latency: float) -> None:
         self.obs.metrics.counter(f"serve.placements.{where}").inc()
@@ -309,11 +556,22 @@ class OrchestrationEngine:
         self.obs.metrics.histogram("serve.latency_s.inference").record(latency)
 
     def _health(self) -> Dict[str, Any]:
+        if self._last_t is not None:
+            self._prune_inflight(self._last_t)
+        depth = len(self._inflight)
+        degraded = bool(self._down_servers) or (
+            self.config.queue_bound is not None and depth >= self.config.queue_bound
+        )
         return {
-            "ok": True, "op": "health", "status": "up",
+            "ok": True, "op": "health",
+            "status": "degraded" if degraded else "up",
             "fleet": len(self.live), "servers": self.live.n_servers,
             "requests": self.n_requests, "errors": self.n_errors,
             "policy": self.config.policy, "capacity_left": self.live.capacity_left,
+            "offered": self.n_offered, "served": self.n_served,
+            "shed": self.n_shed, "errored": self.n_errored,
+            "queue_depth": depth, "failed_servers": len(self._down_servers),
+            "uptime_s": self._last_t if self._last_t is not None else 0.0,
         }
 
     # -- reporting -----------------------------------------------------------
@@ -337,14 +595,24 @@ class OrchestrationEngine:
         return out
 
     def report(self) -> Dict[str, Any]:
-        """Shutdown summary: config, counters, latency, trace, allocation."""
+        """Shutdown summary: config, counters, latency, trace, allocation.
+
+        Runs the serve-conservation checker first: a report whose request
+        partition does not balance raises instead of publishing.
+        """
+        run_checkers(self, [ServeConservation()], {"path": "serve-report"})
         alloc = self.live.to_allocation()
         return {
             "config": self.config.describe(),
             "requests": self.n_requests,
             "errors": self.n_errors,
+            "offered": self.n_offered,
+            "served": self.n_served,
+            "shed": self.n_shed,
+            "errored": self.n_errored,
             "fleet": len(self.live),
             "servers": self.live.n_servers,
+            "failed_servers": sorted(self._down_servers),
             "occupancies": [srv.occupancies for srv in alloc.servers],
             "latency": self.latency_report(),
             "trace": self.trace.to_dict(include_events=False),

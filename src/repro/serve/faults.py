@@ -1,0 +1,172 @@
+"""Live fault injection for the serving path.
+
+:class:`ServeFaultSpec` describes the adversities a running
+:class:`~repro.serve.engine.OrchestrationEngine` must survive, reusing the
+batch fault machinery end to end: seeded server-outage and link-blackout
+renewal processes (:mod:`repro.faults.spec`), the retry/backoff ladder
+(:class:`~repro.faults.retry.RetryPolicy`) and the store-and-forward edge
+buffer (:class:`~repro.network.buffer.BufferSpec`).  Compiling the spec
+yields a :class:`CompiledServeFaults` — the realized
+:class:`~repro.faults.schedule.FaultSchedule` plus a flat, time-sorted list
+of server fail/recover *transitions* the engine advances through on its
+simulated request clock, so servers die and return mid-replay at
+deterministic instants.
+
+Everything here is a pure function of ``(spec, seed)``: the same spec
+always produces the same timeline, which is what lets a SIGKILLed server
+resume from a checkpoint and still converge to a bit-identical placement
+trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    LINK_BLACKOUT,
+    SERVER_OUTAGE,
+    FaultSchedule,
+    compile_schedule,
+)
+from repro.faults.spec import LinkBlackout, ServerOutage
+from repro.network.buffer import BufferSpec
+from repro.util.validation import check_non_negative, check_positive
+
+#: Transition kinds in :attr:`CompiledServeFaults.transitions`.
+SERVER_FAIL = "server-fail"
+SERVER_RECOVER = "server-recover"
+
+
+@dataclass(frozen=True)
+class ServeFaultSpec:
+    """Seeded failure surface of one serving run.
+
+    Attributes
+    ----------
+    server_mtbf_s / server_repair_s / fault_servers:
+        Exponential crash/repair process per logical server index
+        ``0..fault_servers-1`` (``inf`` MTBF disables server outages).
+    dark_mtbf_s / dark_repair_s / fault_hives:
+        Link-blackout process per hive id ``0..fault_hives-1`` — while a
+        hive's window is active its uplink is dark: telemetry is buffered
+        locally and inference degrades to the edge.
+    horizon_s:
+        Simulated horizon the schedules are realized over; requests past
+        the horizon see a fault-free world.
+    seed:
+        Base seed for every derived stream (windows and retry jitter).
+    retry:
+        Backoff ladder for uploads aimed at a down server.
+    buffer:
+        Per-hive store-and-forward buffer used during dark windows.
+    """
+
+    server_mtbf_s: float = math.inf
+    server_repair_s: float = 600.0
+    fault_servers: int = 4
+    dark_mtbf_s: float = math.inf
+    dark_repair_s: float = 240.0
+    fault_hives: int = 0
+    horizon_s: float = 4000.0
+    seed: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    buffer: BufferSpec = field(
+        default_factory=lambda: BufferSpec(capacity_bytes=8 * 1024, payload_bytes=1024)
+    )
+
+    def __post_init__(self) -> None:
+        check_positive(self.horizon_s, "horizon_s")
+        check_non_negative(self.server_repair_s, "server_repair_s")
+        check_non_negative(self.dark_repair_s, "dark_repair_s")
+        if self.fault_servers < 0 or self.fault_hives < 0:
+            raise ValueError("fault_servers and fault_hives must be >= 0")
+        for name in ("server_mtbf_s", "dark_mtbf_s"):
+            value = getattr(self, name)
+            if not (value > 0):  # inf allowed: the "never fires" sentinel
+                raise ValueError(f"{name} must be > 0 (or +inf), got {value}")
+
+    @property
+    def active(self) -> bool:
+        """True when at least one fault process can actually fire."""
+        return (math.isfinite(self.server_mtbf_s) and self.fault_servers > 0) or (
+            math.isfinite(self.dark_mtbf_s) and self.fault_hives > 0
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Stable JSON-safe header (infinities rendered as ``"inf"``)."""
+
+        def _num(x: float) -> Any:
+            return "inf" if math.isinf(x) else x
+
+        return {
+            "server_mtbf_s": _num(self.server_mtbf_s),
+            "server_repair_s": self.server_repair_s,
+            "fault_servers": self.fault_servers,
+            "dark_mtbf_s": _num(self.dark_mtbf_s),
+            "dark_repair_s": self.dark_repair_s,
+            "fault_hives": self.fault_hives,
+            "horizon_s": self.horizon_s,
+            "seed": self.seed,
+            "retry": self.retry.describe(),
+            "buffer": self.buffer.describe(),
+        }
+
+    def compile(self) -> "CompiledServeFaults":
+        """Realize the seeded timetable and the server transition list."""
+        specs = []
+        if math.isfinite(self.server_mtbf_s) and self.fault_servers > 0:
+            specs.append(
+                ServerOutage(mtbf_s=self.server_mtbf_s, repair_s=self.server_repair_s)
+            )
+        if math.isfinite(self.dark_mtbf_s) and self.fault_hives > 0:
+            specs.append(
+                LinkBlackout(mtbf_s=self.dark_mtbf_s, repair_s=self.dark_repair_s)
+            )
+        schedule = compile_schedule(
+            specs,
+            self.horizon_s,
+            n_servers=self.fault_servers,
+            n_clients=self.fault_hives,
+            seed=self.seed,
+        )
+        transitions: List[Tuple[float, int, str, int]] = []
+        for w in schedule.windows:
+            if w.kind != SERVER_OUTAGE:
+                continue
+            transitions.append((w.start, w.target, SERVER_FAIL, w.target))
+            if w.end > w.start:
+                transitions.append((w.end, w.target, SERVER_RECOVER, w.target))
+        transitions.sort()
+        return CompiledServeFaults(self, schedule, tuple(transitions))
+
+
+@dataclass(frozen=True)
+class CompiledServeFaults:
+    """A realized fault timeline the engine can advance through.
+
+    ``transitions`` is time-sorted ``(t, target, kind, server)`` tuples
+    (the redundant target in the sort key makes same-instant transitions
+    deterministic); :meth:`server_down` / :meth:`hive_dark` answer the
+    point-in-time queries on the underlying schedule.
+    """
+
+    spec: ServeFaultSpec
+    schedule: FaultSchedule
+    transitions: Tuple[Tuple[float, int, str, int], ...]
+
+    def server_down(self, server: int, t: float) -> bool:
+        return self.schedule.is_down(SERVER_OUTAGE, server, t)
+
+    def hive_dark(self, hive: int, t: float) -> bool:
+        return self.schedule.is_down(LINK_BLACKOUT, hive, t)
+
+
+__all__ = [
+    "SERVER_FAIL",
+    "SERVER_RECOVER",
+    "ServeFaultSpec",
+    "CompiledServeFaults",
+]

@@ -19,8 +19,11 @@ the run's telemetry.
 from __future__ import annotations
 
 import json
+import math
+import select
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Any, Dict, Optional
 
@@ -29,20 +32,29 @@ from repro.serve.engine import OPS, OrchestrationEngine
 #: URL prefix of the serving API.
 API_PREFIX = "/v1/"
 
+#: Accept-backlog drain budget on graceful shutdown (seconds).
+DRAIN_BUDGET_S = 2.0
+
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
+    # A rude keep-alive client must not wedge the single serving thread
+    # (nor the shutdown drain): idle connections are dropped after this.
+    timeout = 5.0
     engine: OrchestrationEngine  # set by make_server on the class
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # keep stdout/stderr deterministic; obs carries the counters
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+    def _reply(self, status: int, payload: Dict[str, Any],
+               headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -73,6 +85,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         request["op"] = op
         response = self.engine.handle(request)
+        if response.get("shed"):
+            # Deterministic overload rejection: 503 plus the engine's hint
+            # for when the oldest in-flight request frees a queue slot.
+            retry_after = max(1, math.ceil(float(response.get("retry_after_s", 1.0))))
+            self._reply(503, response, headers={"Retry-After": str(retry_after)})
+            return
         self._reply(200 if response.get("ok") else 422, response)
 
 
@@ -83,11 +101,38 @@ def make_server(engine: OrchestrationEngine, host: str = "127.0.0.1",
     return HTTPServer((host, port), handler)
 
 
+def drain_pending(server: HTTPServer, budget_s: float = DRAIN_BUDGET_S) -> int:
+    """Serve connections already queued in the accept backlog.
+
+    ``HTTPServer.shutdown`` only stops the *loop*: a request whose TCP
+    connection was accepted by the kernel but not yet picked up by
+    ``serve_forever`` would be silently dropped — offered but never
+    counted, breaking the serve-conservation contract at the transport.
+    This drains the backlog (bounded by ``budget_s``) before the socket
+    closes, so every request that reached the listener gets an answer.
+    Returns the number of drained connections.
+    """
+    deadline = time.monotonic() + budget_s
+    drained = 0
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        ready, _, _ = select.select([server], [], [], min(remaining, 0.05))
+        if not ready:
+            break  # backlog empty — nothing left to answer
+        server.handle_request()
+        drained += 1
+    return drained
+
+
 def serve_until_signal(server: HTTPServer) -> int:
     """Run the accept loop until SIGTERM/SIGINT; returns the signal number.
 
     Restores the previous handlers on exit so embedding callers (tests)
-    keep their signal disposition.
+    keep their signal disposition.  Before the socket closes, the accept
+    backlog is drained (:func:`drain_pending`) so a graceful stop never
+    drops an already-connected client.
     """
     got = {"signum": 0}
 
@@ -102,6 +147,7 @@ def serve_until_signal(server: HTTPServer) -> int:
     }
     try:
         server.serve_forever(poll_interval=0.05)
+        drain_pending(server)
     finally:
         for sig, old in previous.items():
             signal.signal(sig, old)
@@ -109,4 +155,4 @@ def serve_until_signal(server: HTTPServer) -> int:
     return got["signum"]
 
 
-__all__ = ["API_PREFIX", "make_server", "serve_until_signal"]
+__all__ = ["API_PREFIX", "DRAIN_BUDGET_S", "make_server", "serve_until_signal", "drain_pending"]

@@ -22,6 +22,7 @@ regeneration workflow.
 from repro.validate.errors import InvariantViolation
 from repro.validate.invariants import (
     Checker,
+    ServeConservation,
     battery_delta,
     check_monotone_nonincreasing,
     default_checkers,
@@ -45,6 +46,7 @@ from repro.validate.state import (
 __all__ = [
     "InvariantViolation",
     "Checker",
+    "ServeConservation",
     "battery_delta",
     "check_monotone_nonincreasing",
     "default_checkers",

@@ -450,6 +450,18 @@ def _build_cases() -> Dict[str, Tuple[Callable[[], Dict[str, Any]], str]]:
             "Canonical serve-under-load replay: placement trace, response "
             "hashes, steady state == batch fold",
         ),
+        "ext-serve-faults": (
+            lambda: _experiment_fingerprint(
+                "ext-serve-faults",
+                policies=("first-fit",),
+                fault_levels=(0.0, 3.0),
+                queue_bounds=(None, 8),
+                n_hives=12,
+                horizon_cycles=4,
+            ),
+            "Fault-injected serving sweep (reduced grid): availability, "
+            "shedding, retry energy, zero-fault bit-identity pin",
+        ),
     }
 
 

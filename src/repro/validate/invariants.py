@@ -457,6 +457,40 @@ class BufferConservation(Checker):
                 )
 
 
+class ServeConservation(Checker):
+    """The serving layer's request partition: nothing offered is lost.
+
+    Every non-health request an :class:`~repro.serve.engine.
+    OrchestrationEngine` accepts lands in exactly one of three ledgers —
+    served (an ``ok`` response), shed (deterministic overload rejection,
+    503 over HTTP) or errored (a structured engine error) — checked with
+    exact integer arithmetic.  The subject is anything exposing the four
+    counters (the engine itself, or a report-shaped stand-in).
+    """
+
+    name = "serve-conservation"
+    contract = "offered requests == served + shed + errored (exact integers)"
+
+    def check(self, subject: Any, context: Dict[str, Any]) -> None:
+        offered = int(getattr(subject, "n_offered"))
+        served = int(getattr(subject, "n_served"))
+        shed = int(getattr(subject, "n_shed"))
+        errored = int(getattr(subject, "n_errored"))
+        for label, value in (
+            ("n_offered", offered), ("n_served", served),
+            ("n_shed", shed), ("n_errored", errored),
+        ):
+            if value < 0:
+                raise self.violation(f"{label} is negative ({value})", context)
+        if offered != served + shed + errored:
+            raise self.violation(
+                f"offered {offered} != served {served} + shed {shed} "
+                f"+ errored {errored}",
+                context,
+                n_offered=offered, n_served=served, n_shed=shed, n_errored=errored,
+            )
+
+
 class FleetCountsConsistent(Checker):
     """Scalar sanity for the analytic single-cycle result."""
 
@@ -676,6 +710,7 @@ __all__ = [
     "ClockMonotonicity",
     "AvailabilityBounds",
     "FaultyArraysConsistent",
+    "ServeConservation",
     "FleetCountsConsistent",
     "validate_fleet_result",
     "validate_des_run",

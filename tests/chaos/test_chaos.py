@@ -64,6 +64,10 @@ def test_link_outage_resume_matches_golden():
     assert "matched the committed golden" in chaos.scenario_link_outage_resume()
 
 
+def test_kill_serve_resume_trace_bit_identical():
+    assert "bit-identical" in chaos.scenario_kill_serve_resume()
+
+
 # -- CLI surface --------------------------------------------------------------
 
 

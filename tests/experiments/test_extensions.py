@@ -16,6 +16,7 @@ class TestRegistry:
             "ext-outage",
             "ext-policies",
             "ext-serve",
+            "ext-serve-faults",
             "ext-training",
         }
 
@@ -192,6 +193,55 @@ class TestExtServe:
         )
         for key in ("p50_latency_s_8", "p99_latency_s_8"):
             assert np.array_equal(result.series[key], again.series[key])
+
+
+REDUCED_SERVE_FAULTS = dict(
+    policies=("first-fit",),
+    fault_levels=(0.0, 3.0),
+    queue_bounds=(None, 8),
+    n_hives=12,
+    horizon_cycles=4,
+)
+
+
+class TestExtServeFaults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Same reduced grid as the JSON-schema sweep: one policy, one
+        # finite fault level, one finite bound, a short horizon.
+        return run_experiment("ext-serve-faults", **REDUCED_SERVE_FAULTS)
+
+    def test_zero_fault_config_is_bit_identical(self, result):
+        c = next(c for c in result.comparisons if "trace drift" in c.quantity)
+        assert c.measured_value == 0.0
+        assert c.within_tolerance is True
+
+    def test_conservation_holds_everywhere(self, result):
+        c = next(c for c in result.comparisons if "offered" in c.quantity)
+        assert c.measured_value == 0.0
+        assert c.within_tolerance is True
+
+    def test_faults_degrade_to_edge_and_charge_retries(self, result):
+        edge = result.series["edge_fraction_first-fit_unbounded"]
+        retry = result.series["retry_energy_j_first-fit_unbounded"]
+        assert edge[0] == 0.0 and retry[0] == 0.0  # fault-free baseline
+        assert edge[1] > 0.0  # server-down/dark windows push work on-hive
+        assert retry[1] > 0.0  # in-flight retry ladder burned radio energy
+
+    def test_bounded_queue_sheds_deterministically(self, result):
+        shed = result.series["shed_fraction_first-fit_q8"]
+        avail = result.series["availability_first-fit_q8"]
+        assert shed[0] > 0.0  # oversaturated open loop hits the bound
+        assert np.allclose(avail + shed, 1.0)  # nothing errored on this grid
+
+    def test_unbounded_zero_fault_serves_everything(self, result):
+        avail = result.series["availability_first-fit_unbounded"]
+        assert avail[0] == 1.0
+
+    def test_deterministic_rerun(self, result):
+        again = run_experiment("ext-serve-faults", **REDUCED_SERVE_FAULTS)
+        for key in sorted(result.series):
+            assert np.array_equal(result.series[key], again.series[key]), key
 
 
 class TestExtTraining:

@@ -31,6 +31,13 @@ REDUCED_KWARGS = {
     "ext-outage": {"n_clients": 70, "n_cycles": 12, "crossover_sizes": (350, 650, 150)},
     "ext-policies": {"fleet_sizes": (100, 350)},
     "ext-serve": {"fleet_sizes": (8,), "rate_multiples": (0.5, 1.5), "horizon_cycles": 4},
+    "ext-serve-faults": {
+        "policies": ("first-fit",),
+        "fault_levels": (0.0, 3.0),
+        "queue_bounds": (None, 8),
+        "n_hives": 12,
+        "horizon_cycles": 4,
+    },
 }
 
 ALL_IDS = sorted(set(REGISTRY) | set(EXTENSIONS))

@@ -1,6 +1,9 @@
 """Tests for the replay driver: open/closed loop, report, determinism."""
 
 import dataclasses
+import json
+
+import pytest
 
 from repro.loadgen.arrivals import LoadSpec
 from repro.loadgen.replay import (
@@ -54,8 +57,8 @@ class TestOpenLoop:
         _, report = replay_in_process(SPEC)
         d = report.to_dict()
         assert set(d) == {
-            "n_requests", "n_errors", "by_op", "placements", "last_t",
-            "response_sha256",
+            "n_requests", "n_errors", "by_op", "by_class", "placements",
+            "last_t", "response_sha256",
         }
         assert d["last_t"] <= SPEC.horizon_s
 
@@ -138,3 +141,136 @@ class TestTransports:
         import hashlib
 
         assert report.response_sha256 == hashlib.sha256().hexdigest()
+
+
+class TestErrorClasses:
+    def test_classify_success_and_shed_and_engine(self):
+        from repro.loadgen.replay import ENGINE_ERROR, SHED, classify_response
+
+        assert classify_response({"ok": True, "op": "inference"}) is None
+        assert classify_response({"ok": False, "shed": True}) == SHED
+        assert classify_response({"ok": False, "error": "boom"}) == ENGINE_ERROR
+
+    def test_classify_transport_tags_pass_through(self):
+        from repro.loadgen.replay import CONNECTION_REFUSED, TIMEOUT, classify_response
+
+        for cls in (CONNECTION_REFUSED, TIMEOUT):
+            assert classify_response({"ok": False, "error_class": cls}) == cls
+
+    def test_connection_refused_is_synthesized_not_raised(self):
+        import socket
+
+        from repro.loadgen.replay import CONNECTION_REFUSED, HttpTransport
+
+        # grab a port that is certainly closed
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        transport = HttpTransport(
+            f"http://127.0.0.1:{port}", max_attempts=2, backoff_s=0.01
+        )
+        response = transport.send({"op": "inference", "hive": 0, "t": 0.0})
+        assert response["ok"] is False
+        assert response["error_class"] == CONNECTION_REFUSED
+        assert response["op"] == "inference"
+
+    def test_timeout_is_synthesized_not_raised(self):
+        import socket
+
+        from repro.loadgen.replay import TIMEOUT, HttpTransport
+
+        # a listener that accepts but never answers forces a read timeout
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            transport = HttpTransport(
+                f"http://127.0.0.1:{port}", timeout_s=0.2, max_attempts=1
+            )
+            response = transport.send({"op": "telemetry", "hive": 0, "t": 0.0})
+        assert response["ok"] is False
+        assert response["error_class"] == TIMEOUT
+
+    def test_transport_backoff_is_seeded(self):
+        from repro.loadgen.replay import HttpTransport
+
+        a = HttpTransport("http://x", seed=1)
+        b = HttpTransport("http://x", seed=1)
+        assert [a._rng.uniform(-1, 1) for _ in range(4)] == [
+            b._rng.uniform(-1, 1) for _ in range(4)
+        ]
+
+    def test_report_buckets_and_unexpected_classes(self):
+        report = ReplayReport(
+            n_errors=3, by_class={"shed": 2, "timeout": 1}
+        )
+        assert report.unexpected_classes(("shed",)) == {"timeout": 1}
+        assert report.unexpected_classes(("shed", "timeout")) == {}
+        assert report.unexpected_classes() == {"shed": 2, "timeout": 1}
+
+    def test_shed_responses_counted_in_by_class(self):
+        from repro.serve.engine import ServeConfig
+
+        engine = OrchestrationEngine(ServeConfig(queue_bound=1))
+        hot = dataclasses.replace(SPEC, rate_hz=0.05, telemetry_fraction=0.0)
+        _, report = replay_in_process(hot, engine)
+        assert report.by_class.get("shed", 0) > 0
+        assert report.n_errors == sum(report.by_class.values())
+        assert report.unexpected_classes(("shed",)) == {}
+
+
+class TestSkipReconnect:
+    def test_skip_replays_only_the_tail(self):
+        from repro.loadgen.replay import InProcessTransport, replay
+
+        full = list(iter_requests(SPEC))
+        skip = len(full) // 2
+        engine = OrchestrationEngine()
+        for request in full[:skip]:
+            engine.handle(dict(request))
+        tail = replay(SPEC, InProcessTransport(engine), skip=skip)
+        assert tail.n_requests == len(full) - skip
+        # the server-side totals cover the whole stream
+        assert engine.n_requests == len(full)
+
+    def test_skip_validation(self):
+        from repro.loadgen.replay import InProcessTransport, replay
+
+        transport = InProcessTransport(OrchestrationEngine())
+        with pytest.raises(ValueError):
+            replay(SPEC, transport, skip=-1)
+        with pytest.raises(ValueError):
+            replay(dataclasses.replace(SPEC, mode="closed"), transport, skip=1)
+
+    def test_skip_everything_is_an_empty_report(self):
+        from repro.loadgen.replay import InProcessTransport, replay
+
+        n = len(list(iter_requests(SPEC)))
+        report = replay(SPEC, InProcessTransport(OrchestrationEngine()), skip=n)
+        assert report.n_requests == 0
+
+
+class TestCliErrorHandling:
+    def test_unknown_allow_errors_class_exits_2(self, capsys):
+        from repro.loadgen.cli import main
+
+        assert main(["--in-process", "--hives", "2", "--horizon", "300",
+                     "--allow-errors", "bogus"]) == 2
+        assert "unknown error classes" in capsys.readouterr().err
+
+    def test_resume_from_target_requires_http(self, capsys):
+        from repro.loadgen.cli import main
+
+        assert main(["--in-process", "--resume-from-target"]) == 2
+        assert "HTTP" in capsys.readouterr().err
+
+    def test_clean_run_with_allow_errors_exits_0(self, capsys):
+        from repro.loadgen.cli import main
+
+        code = main(["--in-process", "--hives", "2", "--horizon", "300",
+                     "--allow-errors", "shed", "--expect-zero-errors"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["report"]["n_errors"] == 0
+        assert payload["skip"] == 0

@@ -1,0 +1,506 @@
+"""Live-path resilience: fault injection, shedding, crash recovery.
+
+Covers the serving layer's survival story end to end — the compiled fault
+timetable, mid-replay server death and repack, dark-window buffering,
+deterministic overload shedding with the ``offered == served + shed +
+errored`` conservation partition, and the checkpoint/resume round trip —
+plus two Hypothesis nets: conservation under arbitrary request
+interleavings, and live-equals-batch-fold across every placement policy
+under fail/repack/recover churn.
+"""
+
+import dataclasses
+import json
+import math
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import POLICY_KINDS
+from repro.loadgen.arrivals import LoadSpec
+from repro.loadgen.replay import SHED, replay_in_process
+from repro.resilience.errors import CheckpointError
+from repro.serve.checkpoint import (
+    ServeCheckpointer,
+    restore_engine,
+    resume_engine,
+    save_engine,
+    snapshot_engine,
+)
+from repro.serve.engine import OrchestrationEngine, ServeConfig
+from repro.serve.faults import SERVER_FAIL, SERVER_RECOVER, ServeFaultSpec
+from repro.serve.http import drain_pending, make_server
+from repro.validate import ServeConservation
+from repro.validate.invariants import run_checkers
+
+FAULTS = ServeFaultSpec(
+    server_mtbf_s=150.0,
+    server_repair_s=60.0,
+    fault_servers=3,
+    dark_mtbf_s=200.0,
+    dark_repair_s=80.0,
+    fault_hives=6,
+    horizon_s=1200.0,
+    seed=7,
+)
+
+LOAD = LoadSpec(
+    n_hives=12,
+    rate_hz=0.02,
+    horizon_s=1200.0,
+    telemetry_fraction=0.5,
+    payload_bytes=1024,
+    seed=0xFA01,
+    mode="open",
+)
+
+
+class TestFaultSpec:
+    def test_inactive_by_default(self):
+        spec = ServeFaultSpec()
+        assert spec.active is False
+        assert spec.compile().transitions == ()
+
+    def test_active_when_any_process_can_fire(self):
+        assert FAULTS.active is True
+        assert ServeFaultSpec(server_mtbf_s=100.0, fault_servers=0).active is False
+        assert ServeFaultSpec(dark_mtbf_s=100.0, fault_hives=2).active is True
+
+    def test_describe_renders_inf_and_round_trips_json(self):
+        d = ServeFaultSpec().describe()
+        assert d["server_mtbf_s"] == "inf" and d["dark_mtbf_s"] == "inf"
+        assert json.loads(json.dumps(d, sort_keys=True)) == d
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            ServeFaultSpec(server_mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            ServeFaultSpec(fault_servers=-1)
+        with pytest.raises(ValueError):
+            ServeFaultSpec(horizon_s=0.0)
+
+    def test_transitions_sorted_and_paired_with_point_queries(self):
+        compiled = FAULTS.compile()
+        times = [t for t, *_ in compiled.transitions]
+        assert times == sorted(times)
+        assert any(k == SERVER_FAIL for _, _, k, _ in compiled.transitions)
+        assert any(k == SERVER_RECOVER for _, _, k, _ in compiled.transitions)
+        # just after a fail (and before its recover) the server reads down
+        for when, _target, kind, server in compiled.transitions:
+            if kind == SERVER_FAIL:
+                assert compiled.server_down(server, when + 1e-6)
+                break
+
+    def test_compile_is_deterministic(self):
+        assert FAULTS.compile().transitions == FAULTS.compile().transitions
+        reseeded = dataclasses.replace(FAULTS, seed=FAULTS.seed + 1)
+        assert reseeded.compile().transitions != FAULTS.compile().transitions
+
+
+def _first_fail(compiled):
+    return next(
+        (when, server)
+        for when, _t, kind, server in compiled.transitions
+        if kind == SERVER_FAIL
+    )
+
+
+class TestFaultInjection:
+    N_HIVES = 40  # with max_parallel=1 (18 slots/server) this spans servers 0-2
+
+    def test_server_failure_repacks_and_stays_the_batch_fold(self):
+        # The repack does not shun the dead index — the retry ladder covers
+        # requests aimed at it — but every orphan must be accounted for and
+        # the layout must remain the canonical fold over admission order.
+        spec = dataclasses.replace(FAULTS, dark_mtbf_s=math.inf, fault_hives=0)
+        engine = OrchestrationEngine(ServeConfig(max_parallel=1, faults=spec))
+        fail_t, failed = _first_fail(spec.compile())
+        for hive in range(self.N_HIVES):
+            engine.handle({"op": "admit", "hive": hive, "t": 0.0})
+        assert any(
+            engine.live.placement_of(h).server == failed for h in range(self.N_HIVES)
+        ), "fleet never reached the failing server — fix the fixture"
+        engine.handle({"op": "telemetry", "hive": 0, "t": fail_t + 1.0})
+        assert failed in engine._down_servers
+        fails = [e for e in engine.trace.events if e["op"] == "server-fail"]
+        assert fails and fails[0]["server"] == failed
+        assert fails[0]["orphans"] >= 1
+        assert fails[0]["orphans"] == fails[0]["readmitted"] + fails[0]["dropped"]
+        assert engine.report()["failed_servers"] == [failed]
+        assert engine.steady_state_matches_batch()
+
+    def test_recovery_clears_the_down_flag(self):
+        spec = dataclasses.replace(FAULTS, dark_mtbf_s=math.inf, fault_hives=0)
+        compiled = spec.compile()
+        fail_t, failed = _first_fail(compiled)
+        recover_t = next(
+            when for when, _t, kind, server in compiled.transitions
+            if kind == SERVER_RECOVER and server == failed and when > fail_t
+        )
+        engine = OrchestrationEngine(ServeConfig(faults=spec))
+        engine.handle({"op": "telemetry", "hive": 0, "t": fail_t + 1.0})
+        assert failed in engine._down_servers
+        engine.handle({"op": "telemetry", "hive": 0, "t": recover_t + 1.0})
+        assert failed not in engine._down_servers
+        ops = [e["op"] for e in engine.trace.events]
+        assert "server-recover" in ops
+
+    def test_inference_at_down_server_walks_the_retry_ladder(self):
+        spec = dataclasses.replace(FAULTS, dark_mtbf_s=math.inf, fault_hives=0)
+        engine = OrchestrationEngine(ServeConfig(max_parallel=1, faults=spec))
+        fail_t, failed = _first_fail(spec.compile())
+        # Apply the failure while the fleet is empty (a not-yet-allocated
+        # server index cannot be repacked), then admit a fleet wide enough
+        # that placements land on the already-down server: its inference
+        # must walk the retry ladder.
+        t = fail_t + 0.5
+        engine.handle({"op": "telemetry", "hive": 99, "t": t})
+        assert failed in engine._down_servers
+        victim = None
+        for hive in range(self.N_HIVES):
+            r = engine.handle({"op": "admit", "hive": hive, "t": t})
+            if r["admitted"] and r["server"] == failed:
+                victim = hive
+                break
+        assert victim is not None
+        response = engine.handle({"op": "inference", "hive": victim, "t": t})
+        assert response["ok"] is True
+        assert response["retries"] >= 1
+        assert response["retry_energy_j"] > 0.0
+        assert engine.obs.ledger.energy_j("retry") == pytest.approx(
+            response["retry_energy_j"]
+        )
+        # rescued mid-ladder onto the cloud, or exhausted onto the edge
+        if response["placement"] == "edge":
+            assert response["reason"] == "server-down"
+
+    def test_full_replay_under_faults_conserves_and_matches_batch(self):
+        engine = OrchestrationEngine(ServeConfig(faults=FAULTS))
+        _, client = replay_in_process(LOAD, engine)
+        assert client.unexpected_classes(()) == {}  # faults never leak errors
+        report = engine.report()  # conservation checker runs inside
+        assert report["offered"] == report["served"] + report["shed"] + report["errored"]
+        assert report["shed"] == 0  # no queue bound configured
+        ops = {e["op"] for e in engine.trace.events}
+        assert "server-fail" in ops
+        assert engine.steady_state_matches_batch()
+
+
+class TestDarkWindows:
+    @pytest.fixture(scope="class")
+    def dark_point(self):
+        """(hive, t) inside a realized blackout window."""
+        compiled = FAULTS.compile()
+        for hive in range(FAULTS.fault_hives):
+            for t in range(0, int(FAULTS.horizon_s), 5):
+                if compiled.hive_dark(hive, float(t)):
+                    return hive, float(t)
+        pytest.fail("seed realized no dark window — fix the fixture")
+
+    def test_dark_telemetry_is_buffered_with_zero_radio(self, dark_point):
+        hive, t = dark_point
+        engine = OrchestrationEngine(ServeConfig(faults=FAULTS))
+        before = engine.obs.ledger.energy_j("transfer")
+        r = engine.handle({"op": "telemetry", "hive": hive, "t": t, "bytes": 512})
+        assert r["ok"] is True and r["buffered"] is True
+        assert engine.obs.ledger.energy_j("transfer") == before  # radio stayed off
+        assert engine._buffers[hive].resident_payloads == 1
+
+    def test_dark_inference_degrades_to_edge(self, dark_point):
+        hive, t = dark_point
+        engine = OrchestrationEngine(ServeConfig(faults=FAULTS))
+        engine.handle({"op": "admit", "hive": hive, "t": 0.0})
+        r = engine.handle({"op": "inference", "hive": hive, "t": t})
+        assert r["placement"] == "edge"
+        assert r["reason"] == "link-dark"
+
+    def test_reconnected_hive_drains_its_backlog_at_a_price(self, dark_point):
+        hive, t = dark_point
+        compiled = FAULTS.compile()
+        engine = OrchestrationEngine(ServeConfig(faults=FAULTS))
+        engine.handle({"op": "telemetry", "hive": hive, "t": t, "bytes": 512})
+        bright = next(
+            float(u) for u in range(int(t) + 1, int(FAULTS.horizon_s))
+            if not compiled.hive_dark(hive, float(u))
+        )
+        before = engine.obs.ledger.energy_j("transfer")
+        engine.handle({"op": "telemetry", "hive": hive, "t": bright, "bytes": 512})
+        drains = [e for e in engine.trace.events if e["op"] == "drain"]
+        assert drains and drains[0]["hive"] == hive and drains[0]["payloads"] == 1
+        assert engine.obs.ledger.energy_j("transfer") > before  # catch-up priced
+        assert engine._buffers[hive].resident_payloads == 0
+
+
+class TestShedding:
+    def test_bad_queue_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(queue_bound=0)
+
+    def test_telemetry_sheds_at_half_bound_inference_at_bound(self):
+        engine = OrchestrationEngine(ServeConfig(queue_bound=2))
+        engine.handle({"op": "admit", "hive": 0, "t": 0.0})
+        first = engine.handle({"op": "inference", "hive": 0, "t": 0.0})
+        assert first["ok"] is True  # depth 0 < 2
+        shed_tel = engine.handle({"op": "telemetry", "hive": 0, "t": 1.0})
+        assert shed_tel["shed"] is True  # depth 1 >= (2+1)//2
+        assert shed_tel["ok"] is False
+        second = engine.handle({"op": "inference", "hive": 0, "t": 2.0})
+        assert second["ok"] is True  # depth 1 < 2
+        shed_inf = engine.handle({"op": "inference", "hive": 0, "t": 3.0})
+        assert shed_inf["shed"] is True  # depth 2 >= 2
+        assert shed_inf["queue_depth"] == 2
+        assert shed_inf["retry_after_s"] > 0.0
+        # conservation partition: 5 offered = 3 served + 2 shed + 0 errored
+        assert (engine.n_offered, engine.n_served, engine.n_shed,
+                engine.n_errored) == (5, 3, 2, 0)
+        run_checkers(engine, [ServeConservation()], {"path": "test"})
+
+    def test_health_reports_degraded_at_the_bound(self):
+        engine = OrchestrationEngine(ServeConfig(queue_bound=1))
+        assert engine.handle({"op": "health"})["status"] == "up"
+        engine.handle({"op": "admit", "hive": 0, "t": 0.0})
+        engine.handle({"op": "inference", "hive": 0, "t": 0.0})
+        health = engine.handle({"op": "health"})
+        assert health["status"] == "degraded"
+        assert health["queue_depth"] == 1
+        # health probes are never offered: the partition ignores them
+        assert engine.n_offered == 2
+
+    def test_queue_drains_as_time_passes(self):
+        engine = OrchestrationEngine(ServeConfig(queue_bound=1))
+        engine.handle({"op": "admit", "hive": 0, "t": 0.0})
+        done = engine.handle({"op": "inference", "hive": 0, "t": 0.0})["done_t"]
+        assert engine.handle({"op": "inference", "hive": 0, "t": 1.0})["shed"] is True
+        late = engine.handle({"op": "inference", "hive": 0, "t": done + 1.0})
+        assert late.get("shed") is None and late["ok"] is True
+
+    def test_unbounded_engine_never_sheds(self):
+        engine = OrchestrationEngine(ServeConfig())
+        engine.handle({"op": "admit", "hive": 0, "t": 0.0})
+        for i in range(10):
+            r = engine.handle({"op": "inference", "hive": 0, "t": float(i + 1)})
+            assert r["ok"] is True
+        assert engine.n_shed == 0
+
+
+class TestCheckpoint:
+    CONFIG = ServeConfig(policy="best-fit", queue_bound=8, faults=FAULTS)
+
+    def test_snapshot_restore_round_trip_is_bit_identical(self):
+        from repro.loadgen.replay import iter_requests
+
+        requests = list(iter_requests(LOAD))
+        cut = len(requests) // 2
+        engine = OrchestrationEngine(self.CONFIG)
+        for request in requests[:cut]:
+            engine.handle(dict(request))
+        clone = restore_engine(self.CONFIG, snapshot_engine(engine))
+        assert clone.trace.fingerprint() == engine.trace.fingerprint()
+        for request in requests[cut:]:
+            a = engine.handle(dict(request))
+            b = clone.handle(dict(request))
+            assert a == b
+        assert clone.trace.fingerprint() == engine.trace.fingerprint()
+        assert clone.report() == engine.report()
+
+    def test_save_resume_refuses_a_different_config(self, tmp_path):
+        path = tmp_path / "serve.ckpt"
+        engine = OrchestrationEngine(self.CONFIG)
+        engine.handle({"op": "admit", "hive": 0, "t": 0.0})
+        save_engine(path, engine)
+        resumed = resume_engine(path, self.CONFIG)
+        assert resumed.trace.fingerprint() == engine.trace.fingerprint()
+        other = dataclasses.replace(self.CONFIG, policy="first-fit")
+        with pytest.raises(CheckpointError):
+            resume_engine(path, other)
+
+    def test_checkpointer_writes_on_cadence_and_flushes(self, tmp_path):
+        path = tmp_path / "serve.ckpt"
+        engine = OrchestrationEngine(ServeConfig())
+        engine.checkpointer = ServeCheckpointer(path, every=3)
+        for i in range(7):
+            engine.handle({"op": "telemetry", "hive": 0, "t": float(i)})
+        assert engine.checkpointer.n_written == 2  # after requests 3 and 6
+        engine.checkpointer.flush(engine)
+        resumed = resume_engine(path, ServeConfig())
+        assert resumed.n_requests == 7
+        assert resumed.trace.fingerprint() == engine.trace.fingerprint()
+
+    def test_restored_engine_resumes_fault_cursor_and_buffers(self):
+        compiled = FAULTS.compile()
+        fail_t, _failed = _first_fail(compiled)
+        engine = OrchestrationEngine(ServeConfig(faults=FAULTS))
+        dark = next(
+            (h, float(t))
+            for h in range(FAULTS.fault_hives)
+            for t in range(int(fail_t) + 1, int(FAULTS.horizon_s), 5)
+            if compiled.hive_dark(h, float(t))
+        )
+        engine.handle({"op": "telemetry", "hive": dark[0], "t": dark[1], "bytes": 256})
+        clone = restore_engine(ServeConfig(faults=FAULTS), snapshot_engine(engine))
+        assert clone._fault_cursor == engine._fault_cursor
+        assert clone._down_servers == engine._down_servers
+        assert clone._buffers[dark[0]].resident_payloads == 1
+
+
+class TestPropertyNets:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bound=st.integers(min_value=1, max_value=4),
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["admit", "release", "telemetry", "inference", "health"]),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+    )
+    def test_conservation_under_arbitrary_interleavings(self, bound, steps):
+        """offered == served + shed + errored for every request soup."""
+        engine = OrchestrationEngine(ServeConfig(queue_bound=bound))
+        t = 0.0
+        n_health = 0
+        for op, hive, dt in steps:
+            t += dt
+            n_health += op == "health"
+            engine.handle({"op": op, "hive": hive, "t": t})
+        assert engine.n_offered == len(steps) - n_health
+        assert engine.n_offered == engine.n_served + engine.n_shed + engine.n_errored
+        run_checkers(engine, [ServeConservation()], {"path": "property"})
+
+    @settings(max_examples=21, deadline=None)
+    @given(
+        policy=st.sampled_from(POLICY_KINDS),
+        seed=st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_live_matches_batch_fold_under_fail_repack_recover(self, policy, seed):
+        """After any fault churn, the live layout equals the batch fold."""
+        spec = dataclasses.replace(FAULTS, seed=seed)
+        engine = OrchestrationEngine(ServeConfig(policy=policy, faults=spec))
+        t = 0.0
+        for hive in range(10):
+            engine.handle({"op": "admit", "hive": hive, "t": t})
+        # sweep the request clock across the whole fault horizon so every
+        # transition (fail + repack, recover) is applied
+        step = spec.horizon_s / 24.0
+        for i in range(26):
+            t += step
+            engine.handle({"op": "inference", "hive": i % 10, "t": t})
+        engine.handle({"op": "release", "hive": 3, "t": t})
+        engine.handle({"op": "admit", "hive": 11, "t": t})
+        assert engine.steady_state_matches_batch()
+        assert engine.n_offered == engine.n_served + engine.n_shed + engine.n_errored
+
+
+class TestDrainPending:
+    def test_backlogged_connection_is_answered_not_dropped(self):
+        engine = OrchestrationEngine(ServeConfig())
+        server = make_server(engine, "127.0.0.1", 0)
+        try:
+            host, port = server.server_address
+            body = json.dumps({"hive": 1, "t": 0.0}).encode()
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(
+                    b"POST /v1/admit HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                # the accept loop never ran: only drain_pending can answer
+                assert drain_pending(server, budget_s=5.0) == 1
+                reply = sock.recv(65536)
+            assert b"200" in reply.split(b"\r\n", 1)[0]
+            assert engine.n_requests == 1 and engine.n_served == 1
+        finally:
+            server.server_close()
+
+    def test_empty_backlog_drains_zero_quickly(self):
+        engine = OrchestrationEngine(ServeConfig())
+        server = make_server(engine, "127.0.0.1", 0)
+        try:
+            start = time.monotonic()
+            assert drain_pending(server, budget_s=0.5) == 0
+            assert time.monotonic() - start < 0.5
+        finally:
+            server.server_close()
+
+
+def _boot_resilient_server(tmp: Path, *extra: str):
+    """Start repro-serve with resilience flags on an ephemeral port."""
+    port_file = tmp / "port"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve.cli",
+            "--port", "0", "--port-file", str(port_file), *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists():
+        if proc.poll() is not None:
+            raise RuntimeError(f"repro-serve exited early with {proc.returncode}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("repro-serve did not write its port file in 30 s")
+        time.sleep(0.05)
+    return proc, f"http://127.0.0.1:{int(port_file.read_text().strip())}"
+
+
+class TestHttpResilience:
+    def test_shed_is_503_with_retry_after_and_degraded_health(self, tmp_path):
+        proc, url = _boot_resilient_server(tmp_path, "--queue-bound", "1")
+        try:
+            def post(op, payload):
+                req = urllib.request.Request(
+                    f"{url}/v1/{op}",
+                    data=json.dumps(payload).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                return urllib.request.urlopen(req, timeout=10)
+
+            assert post("admit", {"hive": 0, "t": 0.0}).status == 200
+            assert post("inference", {"hive": 0, "t": 0.0}).status == 200
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                post("inference", {"hive": 0, "t": 1.0})
+            assert exc.value.code == 503
+            assert int(exc.value.headers["Retry-After"]) >= 1
+            body = json.loads(exc.value.read())
+            assert body["shed"] is True and body["retry_after_s"] > 0.0
+            with urllib.request.urlopen(f"{url}/v1/health", timeout=10) as r:
+                health = json.loads(r.read())
+            assert health["status"] == "degraded"
+            assert health["shed"] == 1 and health["served"] == 2
+            proc.send_signal(signal.SIGTERM)
+            stdout, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            report = json.loads(stdout)
+            assert report["offered"] == 3
+            assert report["served"] + report["shed"] + report["errored"] == 3
+            assert report["shed"] == 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_resume_without_checkpoint_flag_is_rejected(self):
+        from repro.serve.cli import main
+
+        assert main(["--resume"]) == 2
